@@ -1,0 +1,103 @@
+// E1 — Interconnect throughput (paper §3.2).
+//
+// Paper claim: "Various simulations show an average network throughput of
+// up to 20.000 packets (of 256 bits) per second for each processing
+// element simultaneously", on a 64-PE machine with four 10 Mbit/s links
+// per PE, mesh-like or chordal-ring topology.
+//
+// This harness re-runs that simulation: Poisson packet injection at a
+// swept offered load, measuring delivered packets/s/PE and latency for
+// the 8x8 mesh and the chordal ring, plus the pattern sensitivity at a
+// fixed load.
+
+#include <cstdio>
+
+#include "net/topology.h"
+#include "net/traffic.h"
+
+using prisma::net::LinkParams;
+using prisma::net::RunSyntheticTraffic;
+using prisma::net::Topology;
+using prisma::net::TrafficConfig;
+using prisma::net::TrafficPattern;
+using prisma::net::TrafficResult;
+
+namespace {
+
+void PrintHeader(const char* title) {
+  std::printf("\n--- %s ---\n", title);
+  std::printf("%-14s %14s %14s %12s %10s\n", "topology", "offered/PE/s",
+              "delivered/PE/s", "avg lat us", "peak util");
+}
+
+void RunPoint(const Topology& topology, TrafficPattern pattern,
+              double offered) {
+  TrafficConfig config;
+  config.pattern = pattern;
+  config.offered_packets_per_sec_per_pe = offered;
+  config.warmup_ns = 10 * prisma::sim::kNanosPerMilli;
+  config.measure_ns = 50 * prisma::sim::kNanosPerMilli;
+  const TrafficResult r = RunSyntheticTraffic(topology, LinkParams(), config);
+  std::printf("%-14s %14.0f %14.0f %12.1f %9.0f%%\n",
+              topology.name().c_str(), r.offered_packets_per_sec_per_pe,
+              r.delivered_packets_per_sec_per_pe, r.average_latency_us,
+              r.peak_link_utilization * 100);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E1: network throughput of the 64-PE machine\n");
+  std::printf("paper claim: up to 20,000 delivered packets (256 bit) per "
+              "second per PE\n");
+  std::printf("links: 4 per PE, 10 Mbit/s each; store-and-forward\n");
+
+  const Topology mesh = Topology::Mesh(8, 8);
+  const Topology chordal = Topology::ChordalRing(64, 8);
+  std::printf("\ntopology properties: mesh diameter=%d avg=%.2f | "
+              "chordal diameter=%d avg=%.2f\n",
+              mesh.Diameter(), mesh.AverageDistance(), chordal.Diameter(),
+              chordal.AverageDistance());
+
+  PrintHeader("offered-load sweep, uniform random traffic");
+  for (const double offered :
+       {2'000.0, 5'000.0, 10'000.0, 15'000.0, 20'000.0, 30'000.0, 50'000.0}) {
+    RunPoint(mesh, TrafficPattern::kUniform, offered);
+  }
+  std::printf("\n");
+  for (const double offered :
+       {2'000.0, 5'000.0, 10'000.0, 15'000.0, 20'000.0, 30'000.0, 50'000.0}) {
+    RunPoint(chordal, TrafficPattern::kUniform, offered);
+  }
+
+  PrintHeader("nearest-neighbour traffic (short paths) sweep");
+  for (const double offered :
+       {10'000.0, 20'000.0, 40'000.0, 60'000.0, 80'000.0}) {
+    RunPoint(mesh, TrafficPattern::kNeighbor, offered);
+  }
+
+  PrintHeader("pattern sensitivity at 15,000 packets/s/PE offered");
+  for (const TrafficPattern pattern :
+       {TrafficPattern::kUniform, TrafficPattern::kNeighbor,
+        TrafficPattern::kTranspose, TrafficPattern::kHotspot}) {
+    TrafficConfig config;
+    config.pattern = pattern;
+    config.offered_packets_per_sec_per_pe = 15'000;
+    config.warmup_ns = 10 * prisma::sim::kNanosPerMilli;
+    config.measure_ns = 50 * prisma::sim::kNanosPerMilli;
+    const TrafficResult r =
+        RunSyntheticTraffic(mesh, LinkParams(), config);
+    std::printf("%-14s %14.0f %14.0f %12.1f %9.0f%%\n",
+                TrafficPatternName(pattern),
+                r.offered_packets_per_sec_per_pe,
+                r.delivered_packets_per_sec_per_pe, r.average_latency_us,
+                r.peak_link_utilization * 100);
+  }
+
+  std::printf(
+      "\nreading: delivered throughput tracks offered load until links "
+      "saturate;\nshort-path (neighbour) traffic sustains well beyond the "
+      "paper's 20k/PE,\nuniform random traffic saturates near the bisection "
+      "limit. See EXPERIMENTS.md.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// E2 — Fragment parallelism (paper §2.1, §2.2).
+//
+// Paper claim: "performance improvement by introduction of parallelism";
+// fragmented relations are processed by many One-Fragment Managers in
+// parallel, coordinated per query.
+//
+// Harness: the same selection / aggregation / join workloads over a
+// 50,000-row relation fragmented into 1..48 fragments of a 64-PE machine;
+// reports simulated response time and speedup versus one fragment.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+#include "core/prisma_db.h"
+
+using prisma::StrFormat;
+using prisma::core::MachineConfig;
+using prisma::core::PrismaDb;
+
+namespace {
+
+constexpr int kRows = 50'000;
+constexpr int kBatch = 500;
+
+struct Timings {
+  double select_ms;
+  double aggregate_ms;
+  double join_ms;
+};
+
+Timings RunWithFragments(int fragments) {
+  PrismaDb db{MachineConfig()};  // 64 PEs.
+  auto must = [](auto&& r) {
+    PRISMA_CHECK(r.ok()) << r.status().ToString();
+    return std::forward<decltype(r)>(r).value();
+  };
+  must(db.Execute(StrFormat(
+      "CREATE TABLE sales (id INT, region INT, amount INT) "
+      "FRAGMENTED BY HASH(id) INTO %d FRAGMENTS",
+      fragments)));
+  must(db.Execute(
+      "CREATE TABLE region (id INT, name STRING) "
+      "FRAGMENTED BY HASH(id) INTO 2 FRAGMENTS"));
+  for (int r = 0; r < 10; ++r) {
+    must(db.Execute(StrFormat("INSERT INTO region VALUES (%d, 'r%d')", r, r)));
+  }
+  for (int base = 0; base < kRows; base += kBatch) {
+    std::string sql = "INSERT INTO sales VALUES ";
+    for (int i = 0; i < kBatch; ++i) {
+      const int id = base + i;
+      if (i > 0) sql += ", ";
+      sql += StrFormat("(%d, %d, %d)", id, id % 10, (id * 37) % 1000);
+    }
+    must(db.Execute(sql));
+  }
+
+  Timings t;
+  t.select_ms = static_cast<double>(
+                    must(db.Execute("SELECT id FROM sales WHERE amount < 20"))
+                        .response_time_ns) /
+                1e6;
+  t.aggregate_ms =
+      static_cast<double>(
+          must(db.Execute("SELECT region, COUNT(*), SUM(amount) FROM sales "
+                          "GROUP BY region"))
+              .response_time_ns) /
+      1e6;
+  t.join_ms = static_cast<double>(
+                  must(db.Execute(
+                          "SELECT r.name, s.amount FROM sales s "
+                          "JOIN region r ON s.region = r.id "
+                          "WHERE s.amount >= 990"))
+                      .response_time_ns) /
+              1e6;
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E2: fragment-parallel query processing, %d rows, 64 PEs\n",
+              kRows);
+  std::printf("%-10s | %12s %8s | %12s %8s | %12s %8s\n", "fragments",
+              "select ms", "speedup", "aggregate ms", "speedup", "join ms",
+              "speedup");
+  Timings base{0, 0, 0};
+  for (const int fragments : {1, 2, 4, 8, 16, 32, 48}) {
+    const Timings t = RunWithFragments(fragments);
+    if (base.select_ms == 0) base = t;
+    std::printf("%-10d | %12.2f %7.1fx | %12.2f %7.1fx | %12.2f %7.1fx\n",
+                fragments, t.select_ms, base.select_ms / t.select_ms,
+                t.aggregate_ms, base.aggregate_ms / t.aggregate_ms, t.join_ms,
+                base.join_ms / t.join_ms);
+  }
+  std::printf(
+      "\nreading: near-linear speedup while per-fragment work dominates; "
+      "the curve\nflattens (and can turn) when coordination and result "
+      "gathering dominate —\nthe coarse-grain tradeoff the paper's §2.4 "
+      "discusses.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Ablation — OFM storage structures (paper §2.5).
+//
+// Paper claim: OFMs contain "(various) storage structures" and a local
+// query optimizer; each OFM is "tuned towards the requirements that can
+// be derived from the relation definition."
+//
+// Harness: point and range selections over one fragment at several sizes,
+// answered by (a) a full scan, (b) a hash index probe, (c) a B+-tree
+// bounded scan — simulated CPU time from the virtual cost model, plus the
+// wall-clock time of the real data structures.
+
+#include <chrono>
+#include <cstdio>
+
+#include "algebra/expr.h"
+#include "algebra/plan.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "exec/executor.h"
+#include "storage/btree_index.h"
+#include "storage/hash_index.h"
+#include "storage/relation.h"
+
+using namespace prisma;           // NOLINT: bench convenience.
+using namespace prisma::algebra;  // NOLINT
+
+namespace {
+
+Schema ItemSchema() {
+  return Schema({{"id", DataType::kInt64}, {"v", DataType::kInt64}});
+}
+
+std::unique_ptr<Plan> PointQuery(int64_t key) {
+  auto plan = SelectPlan::Create(
+      ScanPlan::Create("item", ItemSchema()),
+      Expr::Binary(BinaryOp::kEq, Col("id"), Lit(key)));
+  PRISMA_CHECK(plan.ok());
+  return std::move(plan).value();
+}
+
+std::unique_ptr<Plan> RangeQuery(int64_t lo, int64_t hi) {
+  auto plan = SelectPlan::Create(
+      ScanPlan::Create("item", ItemSchema()),
+      algebra::And(Expr::Binary(BinaryOp::kGe, Col("id"), Lit(lo)),
+                   Expr::Binary(BinaryOp::kLt, Col("id"), Lit(hi))));
+  PRISMA_CHECK(plan.ok());
+  return std::move(plan).value();
+}
+
+struct Sample {
+  double sim_us;
+  double wall_us;
+};
+
+Sample Measure(const exec::TableResolver& resolver, const Plan& plan,
+               int repeats) {
+  double sim_ns = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < repeats; ++i) {
+    exec::Executor executor(&resolver, exec::ExecOptions());
+    auto out = executor.Execute(plan);
+    PRISMA_CHECK(out.ok());
+    sim_ns += static_cast<double>(executor.stats().charged_ns);
+  }
+  const auto end = std::chrono::steady_clock::now();
+  return Sample{
+      sim_ns / repeats / 1e3,
+      std::chrono::duration<double, std::micro>(end - start).count() / repeats};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("ablation: OFM storage structures (scan vs hash vs B+-tree)\n");
+  std::printf("%-8s %-12s | %12s | %12s | %12s   (simulated us/query)\n",
+              "rows", "query", "scan", "hash index", "btree index");
+  for (const int rows : {1'000, 10'000, 100'000}) {
+    storage::Relation rel("item", ItemSchema());
+    Rng rng(5);
+    for (int i = 0; i < rows; ++i) {
+      rel.Insert(Tuple({Value::Int(i), Value::Int(rng.UniformInt(0, 999))}))
+          .value();
+    }
+    storage::HashIndex hash("h", {0});
+    hash.Rebuild(rel);
+    storage::BTreeIndex btree("b", {0});
+    btree.Rebuild(rel);
+
+    exec::MapTableResolver scan_only;
+    scan_only.Register("item", &rel);
+    exec::MapTableResolver with_hash;
+    with_hash.Register("item", &rel);
+    with_hash.RegisterHashIndex("item", &hash);
+    exec::MapTableResolver with_btree;
+    with_btree.Register("item", &rel);
+    with_btree.RegisterBTreeIndex("item", &btree);
+
+    const int repeats = 20;
+    auto point = PointQuery(rows / 2);
+    const Sample p_scan = Measure(scan_only, *point, repeats);
+    const Sample p_hash = Measure(with_hash, *point, repeats);
+    const Sample p_btree = Measure(with_btree, *point, repeats);
+    std::printf("%-8d %-12s | %12.1f | %12.1f | %12.1f\n", rows, "point",
+                p_scan.sim_us, p_hash.sim_us, p_btree.sim_us);
+
+    auto range = RangeQuery(rows / 2, rows / 2 + rows / 100 + 1);
+    const Sample r_scan = Measure(scan_only, *range, repeats);
+    const Sample r_btree = Measure(with_btree, *range, repeats);
+    std::printf("%-8d %-12s | %12.1f | %12s | %12.1f\n", rows, "range(1%)",
+                r_scan.sim_us, "-", r_btree.sim_us);
+  }
+  std::printf(
+      "\nreading: a point probe is O(1) and a bounded B+-tree scan touches "
+      "only the\nmatching keys, while the scan pays per resident tuple — "
+      "the reason each OFM\nis 'equipped with the right amount of tools' "
+      "for its fragment (§2.5).\n");
+  return 0;
+}

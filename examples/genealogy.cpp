@@ -1,0 +1,86 @@
+// Genealogy: PRISMAlog — the machine's logic-programming interface
+// (paper §2.3). Recursive rules are translated to the extended relational
+// algebra; the classic linear-recursion pair is detected and evaluated
+// with the One-Fragment Managers' transitive-closure operator (§2.5).
+//
+//   $ ./examples/genealogy
+
+#include <cstdio>
+
+#include "common/str_util.h"
+#include "core/prisma_db.h"
+
+using prisma::StrFormat;
+using prisma::core::MachineConfig;
+using prisma::core::PrismaDb;
+
+int main() {
+  MachineConfig config;
+  config.pes = 16;
+  PrismaDb db(config);
+
+  auto run = [&](const std::string& text, bool prismalog) {
+    auto result =
+        prismalog ? db.ExecutePrismalog(text) : db.Execute(text);
+    if (!result.ok()) {
+      std::fprintf(stderr, "error: %s\n  in: %s\n",
+                   result.status().ToString().c_str(), text.c_str());
+      std::exit(1);
+    }
+    return std::move(result).value();
+  };
+
+  run("CREATE TABLE parent (parent STRING, child STRING) "
+      "FRAGMENTED BY HASH(parent) INTO 4 FRAGMENTS",
+      false);
+  // Three generations.
+  const char* edges[] = {
+      "('wilhelmina','juliana')", "('juliana','beatrix')",
+      "('juliana','margriet')",   "('beatrix','alexander')",
+      "('beatrix','friso')",      "('margriet','maurits')",
+  };
+  for (const char* edge : edges) {
+    run(std::string("INSERT INTO parent VALUES ") + edge, false);
+  }
+
+  std::printf("== all descendants of juliana (recursive query) ==\n");
+  auto descendants = run(
+      "descendant(X, Y) :- parent(X, Y).\n"
+      "descendant(X, Z) :- parent(X, Y), descendant(Y, Z).\n"
+      "? descendant(juliana, D).",
+      true);
+  for (const auto& t : descendants.tuples) {
+    std::printf("  %s\n", t.at(0).string_value().c_str());
+  }
+  std::printf("(evaluated in %.2f simulated ms via the TC operator)\n\n",
+              static_cast<double>(descendants.response_time_ns) / 1e6);
+
+  std::printf("== grandparents (non-recursive rule) ==\n");
+  auto grandparents = run(
+      "grandparent(G, C) :- parent(G, P), parent(P, C).\n"
+      "? grandparent(G, C).",
+      true);
+  for (const auto& t : grandparents.tuples) {
+    std::printf("  %s -> %s\n", t.at(0).string_value().c_str(),
+                t.at(1).string_value().c_str());
+  }
+
+  std::printf("\n== leaves: people with no children (stratified negation) ==\n");
+  auto leaves = run(
+      "has_child(X) :- parent(X, Y).\n"
+      "leaf(X) :- parent(Y, X), not has_child(X).\n"
+      "? leaf(X).",
+      true);
+  for (const auto& t : leaves.tuples) {
+    std::printf("  %s\n", t.at(0).string_value().c_str());
+  }
+
+  std::printf("\n== is friso a descendant of wilhelmina? (ground query) ==\n");
+  auto ground = run(
+      "descendant(X, Y) :- parent(X, Y).\n"
+      "descendant(X, Z) :- parent(X, Y), descendant(Y, Z).\n"
+      "? descendant(wilhelmina, friso).",
+      true);
+  std::printf("  %s\n", ground.tuples.front().at(0).ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,64 @@
+#ifndef PRISMA_COMMON_LOGGING_H_
+#define PRISMA_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "common/status.h"
+
+namespace prisma {
+namespace internal_logging {
+
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* condition,
+                                   const std::string& message) {
+  std::fprintf(stderr, "PRISMA check failed at %s:%d: %s %s\n", file, line,
+               condition, message.c_str());
+  std::abort();
+}
+
+/// Collects streamed detail for PRISMA_CHECK failures.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* condition)
+      : file_(file), line_(line), condition_(condition) {}
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFail(file_, line_, condition_, stream_.str());
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* condition_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace prisma
+
+/// Aborts with a diagnostic when `condition` is false. Used for internal
+/// invariants only — user-facing failures must return Status instead.
+#define PRISMA_CHECK(condition)                                        \
+  if (condition) {                                                     \
+  } else                                                               \
+    ::prisma::internal_logging::CheckMessageBuilder(__FILE__, __LINE__, \
+                                                    #condition)
+
+#define PRISMA_CHECK_OK(expr)                                      \
+  do {                                                             \
+    ::prisma::Status _st = (expr);                                 \
+    PRISMA_CHECK(_st.ok()) << _st.ToString();                      \
+  } while (0)
+
+#define PRISMA_DCHECK(condition) PRISMA_CHECK(condition)
+
+#endif  // PRISMA_COMMON_LOGGING_H_

@@ -1,0 +1,67 @@
+#include "common/schema.h"
+
+namespace prisma {
+namespace {
+
+// Returns the part after the last '.' (or the whole name).
+std::string_view UnqualifiedName(std::string_view name) {
+  const size_t dot = name.rfind('.');
+  if (dot == std::string_view::npos) return name;
+  return name.substr(dot + 1);
+}
+
+}  // namespace
+
+StatusOr<size_t> Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  // Unqualified lookup: "salary" matches "emp.salary" when unambiguous.
+  size_t found = columns_.size();
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (UnqualifiedName(columns_[i].name) == name) {
+      if (found != columns_.size()) {
+        return InvalidArgumentError("ambiguous column name: " + name);
+      }
+      found = i;
+    }
+  }
+  if (found == columns_.size()) {
+    return NotFoundError("no such column: " + name);
+  }
+  return found;
+}
+
+bool Schema::HasColumn(const std::string& name) const {
+  return ColumnIndex(name).ok();
+}
+
+Schema Schema::Concat(const Schema& other) const {
+  std::vector<Column> cols = columns_;
+  cols.insert(cols.end(), other.columns_.begin(), other.columns_.end());
+  return Schema(std::move(cols));
+}
+
+Schema Schema::Qualified(const std::string& alias) const {
+  std::vector<Column> cols;
+  cols.reserve(columns_.size());
+  for (const Column& c : columns_) {
+    cols.push_back(
+        Column{alias + "." + std::string(UnqualifiedName(c.name)), c.type});
+  }
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += DataTypeName(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace prisma

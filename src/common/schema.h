@@ -1,0 +1,66 @@
+#ifndef PRISMA_COMMON_SCHEMA_H_
+#define PRISMA_COMMON_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace prisma {
+
+/// A named, typed column of a relation schema.
+struct Column {
+  std::string name;
+  DataType type = DataType::kNull;
+
+  bool operator==(const Column& other) const = default;
+};
+
+/// An ordered list of columns describing the shape of tuples in a relation
+/// or an intermediate operator result.
+///
+/// Column names are case-sensitive and may be qualified ("emp.salary") by
+/// the binder; lookup matches either the full name or the unqualified
+/// suffix when it is unambiguous.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  void AddColumn(std::string name, DataType type) {
+    columns_.push_back(Column{std::move(name), type});
+  }
+
+  /// Returns the index of the column named `name`, trying an exact match
+  /// first and then an unambiguous unqualified match ("salary" matches
+  /// "emp.salary" if no other column ends in ".salary").
+  StatusOr<size_t> ColumnIndex(const std::string& name) const;
+
+  /// True if a column with that (exact or unqualified) name exists.
+  bool HasColumn(const std::string& name) const;
+
+  /// Schema of `this` concatenated with `other` (used by joins).
+  Schema Concat(const Schema& other) const;
+
+  /// Returns a copy whose column names are prefixed with "alias.". Any
+  /// existing qualifier is replaced.
+  Schema Qualified(const std::string& alias) const;
+
+  bool operator==(const Schema& other) const = default;
+
+  /// Renders as "(a INT, b STRING)".
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace prisma
+
+#endif  // PRISMA_COMMON_SCHEMA_H_

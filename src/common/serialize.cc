@@ -1,0 +1,188 @@
+#include "common/serialize.h"
+
+#include <cstring>
+
+namespace prisma {
+namespace {
+
+constexpr uint8_t kTagNull = 0;
+constexpr uint8_t kTagBool = 1;
+constexpr uint8_t kTagInt = 2;
+constexpr uint8_t kTagDouble = 3;
+constexpr uint8_t kTagString = 4;
+
+}  // namespace
+
+void BinaryWriter::PutU32(uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, sizeof(v));
+  out_.append(buf, sizeof(buf));
+}
+
+void BinaryWriter::PutU64(uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, sizeof(v));
+  out_.append(buf, sizeof(buf));
+}
+
+void BinaryWriter::PutDouble(double v) {
+  char buf[8];
+  std::memcpy(buf, &v, sizeof(v));
+  out_.append(buf, sizeof(buf));
+}
+
+void BinaryWriter::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  out_.append(s.data(), s.size());
+}
+
+void BinaryWriter::PutValue(const Value& value) {
+  switch (value.type()) {
+    case DataType::kNull:
+      PutU8(kTagNull);
+      return;
+    case DataType::kBool:
+      PutU8(kTagBool);
+      PutU8(value.bool_value() ? 1 : 0);
+      return;
+    case DataType::kInt64:
+      PutU8(kTagInt);
+      PutI64(value.int_value());
+      return;
+    case DataType::kDouble:
+      PutU8(kTagDouble);
+      PutDouble(value.double_value());
+      return;
+    case DataType::kString:
+      PutU8(kTagString);
+      PutString(value.string_value());
+      return;
+  }
+}
+
+void BinaryWriter::PutTuple(const Tuple& tuple) {
+  PutU32(static_cast<uint32_t>(tuple.size()));
+  for (const Value& v : tuple.values()) PutValue(v);
+}
+
+void BinaryWriter::PutSchema(const Schema& schema) {
+  PutU32(static_cast<uint32_t>(schema.num_columns()));
+  for (const Column& c : schema.columns()) {
+    PutString(c.name);
+    PutU8(static_cast<uint8_t>(c.type));
+  }
+}
+
+Status BinaryReader::Need(size_t n) const {
+  if (pos_ + n > data_.size()) {
+    return OutOfRangeError("truncated serialized data");
+  }
+  return Status::OK();
+}
+
+StatusOr<uint8_t> BinaryReader::GetU8() {
+  RETURN_IF_ERROR(Need(1));
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+StatusOr<uint32_t> BinaryReader::GetU32() {
+  RETURN_IF_ERROR(Need(4));
+  uint32_t v;
+  std::memcpy(&v, data_.data() + pos_, sizeof(v));
+  pos_ += 4;
+  return v;
+}
+
+StatusOr<uint64_t> BinaryReader::GetU64() {
+  RETURN_IF_ERROR(Need(8));
+  uint64_t v;
+  std::memcpy(&v, data_.data() + pos_, sizeof(v));
+  pos_ += 8;
+  return v;
+}
+
+StatusOr<int64_t> BinaryReader::GetI64() {
+  ASSIGN_OR_RETURN(uint64_t v, GetU64());
+  return static_cast<int64_t>(v);
+}
+
+StatusOr<double> BinaryReader::GetDouble() {
+  RETURN_IF_ERROR(Need(8));
+  double v;
+  std::memcpy(&v, data_.data() + pos_, sizeof(v));
+  pos_ += 8;
+  return v;
+}
+
+StatusOr<std::string> BinaryReader::GetString() {
+  ASSIGN_OR_RETURN(uint32_t n, GetU32());
+  RETURN_IF_ERROR(Need(n));
+  std::string s(data_.substr(pos_, n));
+  pos_ += n;
+  return s;
+}
+
+StatusOr<Value> BinaryReader::GetValue() {
+  ASSIGN_OR_RETURN(uint8_t tag, GetU8());
+  switch (tag) {
+    case kTagNull:
+      return Value::Null();
+    case kTagBool: {
+      ASSIGN_OR_RETURN(uint8_t b, GetU8());
+      return Value::Bool(b != 0);
+    }
+    case kTagInt: {
+      ASSIGN_OR_RETURN(int64_t v, GetI64());
+      return Value::Int(v);
+    }
+    case kTagDouble: {
+      ASSIGN_OR_RETURN(double v, GetDouble());
+      return Value::Double(v);
+    }
+    case kTagString: {
+      ASSIGN_OR_RETURN(std::string s, GetString());
+      return Value::String(std::move(s));
+    }
+    default:
+      return InvalidArgumentError("corrupt value tag " + std::to_string(tag));
+  }
+}
+
+StatusOr<Tuple> BinaryReader::GetTuple() {
+  ASSIGN_OR_RETURN(uint32_t n, GetU32());
+  std::vector<Value> values;
+  values.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    ASSIGN_OR_RETURN(Value v, GetValue());
+    values.push_back(std::move(v));
+  }
+  return Tuple(std::move(values));
+}
+
+StatusOr<Schema> BinaryReader::GetSchema() {
+  ASSIGN_OR_RETURN(uint32_t n, GetU32());
+  std::vector<Column> cols;
+  cols.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    ASSIGN_OR_RETURN(std::string name, GetString());
+    ASSIGN_OR_RETURN(uint8_t type, GetU8());
+    if (type > static_cast<uint8_t>(DataType::kString)) {
+      return InvalidArgumentError("corrupt schema type tag");
+    }
+    cols.push_back(Column{std::move(name), static_cast<DataType>(type)});
+  }
+  return Schema(std::move(cols));
+}
+
+std::string SerializeTuple(const Tuple& tuple) {
+  BinaryWriter w;
+  w.PutTuple(tuple);
+  return w.Take();
+}
+
+StatusOr<Tuple> DeserializeTuple(std::string_view data) {
+  BinaryReader r(data);
+  return r.GetTuple();
+}
+
+}  // namespace prisma

@@ -1,0 +1,169 @@
+#ifndef PRISMA_COMMON_STATUS_H_
+#define PRISMA_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace prisma {
+
+/// Canonical error space for all fallible PRISMA operations.
+///
+/// The library does not use exceptions; every operation that can fail
+/// returns a Status (or a StatusOr<T> when it also produces a value).
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kAborted,        // Transaction aborted (deadlock victim, conflict, ...).
+  kUnavailable,    // Processing element or fragment is down.
+  kInternal,
+  kUnimplemented,
+};
+
+/// Returns the canonical lower-case name of a status code ("ok",
+/// "invalid_argument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation: a code plus, for errors, a human-readable message.
+///
+/// An OK status carries no message and is cheap to copy. Statuses are
+/// value types; they are copyable and movable.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders as "OK" or "INVALID_ARGUMENT: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Factory helpers, mirroring absl::...Error().
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status AbortedError(std::string message);
+Status UnavailableError(std::string message);
+Status InternalError(std::string message);
+Status UnimplementedError(std::string message);
+
+/// A Status or a value of type T: exactly one of the two is present.
+///
+/// Accessing value() on an error StatusOr aborts the process (there are no
+/// exceptions to throw); callers must check ok() first or use the
+/// ASSIGN_OR_RETURN macro.
+template <typename T>
+class StatusOr {
+ public:
+  /// Intentionally implicit so `return value;` and `return status;` both
+  /// work in functions returning StatusOr<T>.
+  StatusOr(const T& value) : value_(value) {}
+  StatusOr(T&& value) : value_(std::move(value)) {}
+  StatusOr(Status status) : status_(std::move(status)) {
+    AbortIfOkStatus();
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfError();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfError() const {
+    if (!value_.has_value()) AbortBadAccess(status_);
+  }
+  void AbortIfOkStatus() const {
+    if (status_.ok()) AbortOkConstructed();
+  }
+  static void AbortBadAccess(const Status& status);
+  static void AbortOkConstructed();
+
+  Status status_;          // kOk iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+namespace internal_status {
+[[noreturn]] void DieStatus(const char* what, const Status& status);
+}  // namespace internal_status
+
+template <typename T>
+void StatusOr<T>::AbortBadAccess(const Status& status) {
+  internal_status::DieStatus("StatusOr::value() on error status", status);
+}
+
+template <typename T>
+void StatusOr<T>::AbortOkConstructed() {
+  internal_status::DieStatus("StatusOr constructed from OK status", Status());
+}
+
+}  // namespace prisma
+
+/// Propagates an error Status from an expression, e.g.
+///   RETURN_IF_ERROR(DoThing());
+#define RETURN_IF_ERROR(expr)                   \
+  do {                                          \
+    ::prisma::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+#define PRISMA_CONCAT_INNER_(a, b) a##b
+#define PRISMA_CONCAT_(a, b) PRISMA_CONCAT_INNER_(a, b)
+
+/// Evaluates an expression returning StatusOr<T>; on error propagates the
+/// status, otherwise assigns the value:
+///   ASSIGN_OR_RETURN(auto plan, Optimize(query));
+#define ASSIGN_OR_RETURN(lhs, expr)                              \
+  auto PRISMA_CONCAT_(_statusor_, __LINE__) = (expr);            \
+  if (!PRISMA_CONCAT_(_statusor_, __LINE__).ok())                \
+    return PRISMA_CONCAT_(_statusor_, __LINE__).status();        \
+  lhs = std::move(PRISMA_CONCAT_(_statusor_, __LINE__)).value()
+
+#endif  // PRISMA_COMMON_STATUS_H_

@@ -1,0 +1,30 @@
+#ifndef PRISMA_COMMON_STR_UTIL_H_
+#define PRISMA_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace prisma {
+
+/// Lower-cases ASCII characters (SQL keywords are case-insensitive).
+std::string AsciiLower(std::string_view s);
+
+/// True if `a` equals `b` ignoring ASCII case.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits on a single character, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace prisma
+
+#endif  // PRISMA_COMMON_STR_UTIL_H_

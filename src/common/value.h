@@ -1,0 +1,94 @@
+#ifndef PRISMA_COMMON_VALUE_H_
+#define PRISMA_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+
+namespace prisma {
+
+/// Column data types supported by the PRISMA relational model.
+enum class DataType : uint8_t {
+  kNull = 0,  // Type of the NULL literal before coercion.
+  kBool,
+  kInt64,
+  kDouble,
+  kString,
+};
+
+/// Returns the SQL-ish name of a data type ("INT", "DOUBLE", ...).
+const char* DataTypeName(DataType type);
+
+/// A dynamically typed scalar value: NULL, BOOL, INT, DOUBLE or STRING.
+///
+/// Values are ordered within a type (NULL sorts before everything); mixed
+/// INT/DOUBLE comparisons promote to double. Cross-type comparisons between
+/// incomparable types (e.g. INT vs STRING) are rejected by the expression
+/// type checker before evaluation, and fall back to type-tag order here.
+class Value {
+ public:
+  /// Constructs the NULL value.
+  Value() : rep_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Rep(v)); }
+  static Value Int(int64_t v) { return Value(Rep(v)); }
+  static Value Double(double v) { return Value(Rep(v)); }
+  static Value String(std::string v) { return Value(Rep(std::move(v))); }
+
+  DataType type() const;
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(rep_); }
+
+  /// Typed accessors; the caller must check type() first. Accessing the
+  /// wrong alternative aborts (internal invariant violation).
+  bool bool_value() const { return std::get<bool>(rep_); }
+  int64_t int_value() const { return std::get<int64_t>(rep_); }
+  double double_value() const { return std::get<double>(rep_); }
+  const std::string& string_value() const { return std::get<std::string>(rep_); }
+
+  /// Returns the value as a double, promoting INT; aborts on other types.
+  double AsDouble() const;
+
+  /// Total order used by sort/merge operators and ordered indexes.
+  /// NULL < BOOL < numeric < STRING across incomparable types.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Stable 64-bit hash (equal values hash equal, including INT/DOUBLE
+  /// values that compare equal).
+  uint64_t Hash() const;
+
+  /// Renders the value for result printing ("NULL", "42", "'abc'").
+  std::string ToString() const;
+
+  /// Approximate in-memory footprint in bytes, used by the per-PE memory
+  /// tracker and the optimizer's size estimator.
+  size_t ByteSize() const;
+
+ private:
+  using Rep = std::variant<std::monostate, bool, int64_t, double, std::string>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& value);
+
+/// True if a value of type `from` may be used where `to` is expected
+/// (identity, NULL-to-anything, INT-to-DOUBLE widening).
+bool IsCoercible(DataType from, DataType to);
+
+/// Coerces `value` to `type` (INT->DOUBLE widening, NULL passthrough).
+/// Fails with kInvalidArgument for lossy or unrelated conversions.
+StatusOr<Value> CoerceValue(const Value& value, DataType type);
+
+}  // namespace prisma
+
+#endif  // PRISMA_COMMON_VALUE_H_

@@ -1,0 +1,192 @@
+#include "core/prisma_db.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+#include "gdh/messages.h"
+
+namespace prisma::core {
+
+/// The client endpoint: a POOL-X process through which sessions submit
+/// statements and receive replies. One shared instance multiplexes all
+/// outstanding requests by id.
+class PrismaDb::ClientProcess : public pool::Process {
+ public:
+  explicit ClientProcess(pool::ProcessId* gdh_pid) : gdh_pid_(gdh_pid) {}
+
+  void OnMail(const pool::Mail& mail) override {
+    if (mail.kind != gdh::kMailClientReply) return;
+    auto reply = std::any_cast<std::shared_ptr<gdh::ClientReply>>(mail.body);
+    auto it = pending_.find(reply->request_id);
+    if (it == pending_.end()) return;
+    Pending pending = std::move(it->second);
+    pending_.erase(it);
+    pending.callback(*reply,
+                     runtime()->simulator()->now() - pending.submitted_at);
+  }
+
+  /// Called from outside the simulation: registers the request and sends
+  /// the statement to the GDH at the current instant.
+  void SubmitNow(uint64_t id, std::shared_ptr<gdh::ClientStatement> statement,
+                 ReplyCallback callback) {
+    pending_[id] =
+        Pending{runtime()->simulator()->now(), std::move(callback)};
+    pool::Mail mail;
+    mail.from = self();
+    mail.to = *gdh_pid_;
+    mail.kind = gdh::kMailClientStatement;
+    mail.size_bits =
+        gdh::kControlBits + static_cast<int64_t>(statement->text.size()) * 8;
+    mail.body = std::move(statement);
+    runtime()->Send(std::move(mail));
+  }
+
+ private:
+  struct Pending {
+    sim::SimTime submitted_at = 0;
+    ReplyCallback callback;
+  };
+  pool::ProcessId* gdh_pid_;
+  std::map<uint64_t, Pending> pending_;
+};
+
+net::Topology PrismaDb::MakeTopology(const MachineConfig& config) {
+  const int n = config.pes;
+  switch (config.topology) {
+    case TopologyKind::kMesh:
+    case TopologyKind::kTorus: {
+      // Most square factorization of n.
+      int rows = static_cast<int>(std::sqrt(static_cast<double>(n)));
+      while (rows > 1 && n % rows != 0) --rows;
+      const int cols = n / rows;
+      return config.topology == TopologyKind::kMesh
+                 ? net::Topology::Mesh(rows, cols)
+                 : net::Topology::Torus(rows, cols);
+    }
+    case TopologyKind::kChordalRing:
+      return net::Topology::ChordalRing(n, config.chord);
+    case TopologyKind::kRing:
+      return net::Topology::Ring(n);
+    case TopologyKind::kFullyConnected:
+      return net::Topology::FullyConnected(n);
+  }
+  return net::Topology::Mesh(1, n);
+}
+
+PrismaDb::PrismaDb(MachineConfig config) : config_(std::move(config)) {
+  PRISMA_CHECK(config_.pes >= 1);
+  network_ = std::make_unique<net::Network>(&sim_, MakeTopology(config_),
+                                            config_.link);
+  runtime_ =
+      std::make_unique<pool::Runtime>(&sim_, network_.get(), config_.costs);
+
+  const int n = network_->topology().num_nodes();
+  for (int pe = 0; pe < n; ++pe) {
+    memory_.push_back(
+        std::make_unique<storage::MemoryTracker>(config_.pe_memory_bytes));
+    stable_.push_back(std::make_unique<storage::StableStore>(config_.disk));
+  }
+
+  gdh::GdhProcess::Config gdh_config;
+  // The GDH lives on PE 0; fragments prefer the other PEs, coordinators
+  // use every PE ("possibly running at its own processor", §2.2).
+  for (int pe = (n > 1 ? 1 : 0); pe < n; ++pe) {
+    gdh_config.fragment_pes.push_back(pe);
+  }
+  for (int pe = 0; pe < n; ++pe) {
+    gdh_config.coordinator_pes.push_back(pe);
+    gdh_config.resources[pe] = gdh::GdhProcess::PeResources{
+        memory_[pe].get(), stable_[pe].get()};
+  }
+  gdh_config.costs = config_.costs;
+  gdh_config.rules = config_.rules;
+  gdh_config.expr_mode = config_.expr_mode;
+  gdh_config.base_ofm_type = config_.base_ofm_type;
+  gdh_config.placement = config_.placement;
+  gdh_config.registry = &registry_;
+  gdh_config.op_timeout_ns = config_.op_timeout_ns;
+  gdh_config.query_timeout_ns = config_.query_timeout_ns;
+
+  auto gdh = std::make_unique<gdh::GdhProcess>(std::move(gdh_config));
+  gdh_ = gdh.get();
+  gdh_pid_ = runtime_->Spawn(0, std::move(gdh));
+
+  auto client = std::make_unique<ClientProcess>(&gdh_pid_);
+  client_ = client.get();
+  client_pid_ = runtime_->Spawn(0, std::move(client));
+  sim_.Run();  // Let OnStart handlers settle.
+}
+
+PrismaDb::~PrismaDb() = default;
+
+uint64_t PrismaDb::Submit(const std::string& text, bool prismalog,
+                          exec::TxnId txn, ReplyCallback callback,
+                          sim::SimTime delay) {
+  static uint64_t next_id = 1;
+  const uint64_t id = next_id++;
+  auto statement = std::make_shared<gdh::ClientStatement>();
+  statement->request_id = id;
+  statement->text = text;
+  statement->is_prismalog = prismalog;
+  statement->txn = txn;
+  sim_.Schedule(delay, [this, id, statement = std::move(statement),
+                        callback = std::move(callback)]() mutable {
+    client_->SubmitNow(id, std::move(statement), std::move(callback));
+  });
+  return id;
+}
+
+StatusOr<QueryResult> PrismaDb::ExecuteInternal(const std::string& text,
+                                                bool prismalog,
+                                                exec::TxnId txn) {
+  bool got_reply = false;
+  QueryResult result;
+  Status status;
+  Submit(text, prismalog, txn,
+         [&](const gdh::ClientReply& reply, sim::SimTime response_ns) {
+           got_reply = true;
+           status = reply.status;
+           result.schema = reply.schema;
+           if (reply.tuples != nullptr) result.tuples = *reply.tuples;
+           result.affected_rows = reply.affected_rows;
+           result.txn = reply.txn;
+           result.response_time_ns = response_ns;
+         });
+  sim_.Run();
+  if (!got_reply) {
+    return InternalError("statement produced no reply: " + text);
+  }
+  RETURN_IF_ERROR(status);
+  return result;
+}
+
+StatusOr<QueryResult> PrismaDb::Execute(const std::string& sql) {
+  return ExecuteInternal(sql, /*prismalog=*/false, exec::kAutoCommit);
+}
+
+StatusOr<QueryResult> PrismaDb::ExecutePrismalog(const std::string& program) {
+  return ExecuteInternal(program, /*prismalog=*/true, exec::kAutoCommit);
+}
+
+StatusOr<QueryResult> PrismaDb::Session::Execute(const std::string& sql) {
+  auto result = db_->ExecuteInternal(sql, /*prismalog=*/false, txn_);
+  if (result.ok() && result->txn != exec::kAutoCommit) {
+    txn_ = result->txn;  // BEGIN handed us a transaction.
+  }
+  // COMMIT/ABORT (and deadlock aborts) end the session transaction.
+  if (txn_ != exec::kAutoCommit) {
+    const std::string upper = AsciiLower(std::string(StripWhitespace(sql)));
+    if (upper.rfind("commit", 0) == 0 || upper.rfind("abort", 0) == 0 ||
+        upper.rfind("rollback", 0) == 0) {
+      txn_ = exec::kAutoCommit;
+    } else if (!result.ok() &&
+               result.status().code() == StatusCode::kAborted) {
+      txn_ = exec::kAutoCommit;  // Deadlock victim: transaction is gone.
+    }
+  }
+  return result;
+}
+
+}  // namespace prisma::core

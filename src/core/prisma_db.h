@@ -1,0 +1,176 @@
+#ifndef PRISMA_CORE_PRISMA_DB_H_
+#define PRISMA_CORE_PRISMA_DB_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/tuple.h"
+#include "exec/executor.h"
+#include "exec/ofm.h"
+#include "gdh/gdh_process.h"
+#include "net/network.h"
+#include "net/topology.h"
+#include "pool/runtime.h"
+#include "sim/simulator.h"
+#include "storage/memory_tracker.h"
+#include "storage/stable_store.h"
+
+namespace prisma::core {
+
+/// Interconnect families supported by the machine (§3.2: "mesh-like or a
+/// variant of a chordal ring").
+enum class TopologyKind : uint8_t {
+  kMesh,
+  kTorus,
+  kChordalRing,
+  kRing,
+  kFullyConnected,
+};
+
+/// Configuration of one simulated PRISMA machine. The defaults are the
+/// paper's prototype: 64 PEs, 16 MB each, 10 Mbit/s links, mesh topology.
+struct MachineConfig {
+  int pes = 64;
+  TopologyKind topology = TopologyKind::kMesh;
+  /// Chord stride for kChordalRing.
+  int chord = 8;
+  net::LinkParams link;
+  pool::CostModel costs;
+  gdh::OptimizerRules rules;
+  exec::ExprMode expr_mode = exec::ExprMode::kCompiled;
+  exec::OfmType base_ofm_type = exec::OfmType::kFull;
+  gdh::PlacementPolicy placement = gdh::PlacementPolicy::kAligned;
+  storage::DiskModel disk;
+  size_t pe_memory_bytes = storage::kDefaultPeMemoryBytes;
+  sim::SimTime op_timeout_ns = 10 * sim::kNanosPerSecond;
+  sim::SimTime query_timeout_ns = 30 * sim::kNanosPerSecond;
+};
+
+/// Result of one statement.
+struct QueryResult {
+  Schema schema;
+  std::vector<Tuple> tuples;
+  uint64_t affected_rows = 0;
+  /// Transaction id (BEGIN statements).
+  exec::TxnId txn = exec::kAutoCommit;
+  /// Virtual time from submission to the client receiving the reply.
+  sim::SimTime response_time_ns = 0;
+};
+
+/// The PRISMA database machine: a 64-PE (configurable) multi-computer in
+/// a discrete-event simulation, running the Global Data Handler plus
+/// One-Fragment Managers as POOL-X processes, with SQL and PRISMAlog
+/// interfaces (§2.2).
+///
+/// Synchronous calls (Execute/ExecutePrismalog and Session::Execute) run
+/// the simulation until the statement's reply arrives. The asynchronous
+/// Submit/Run pair drives multi-client experiments; all timings are in
+/// virtual nanoseconds and deterministic.
+class PrismaDb {
+ public:
+  explicit PrismaDb(MachineConfig config = MachineConfig());
+  ~PrismaDb();
+
+  PrismaDb(const PrismaDb&) = delete;
+  PrismaDb& operator=(const PrismaDb&) = delete;
+
+  // ------------------------------------------------------ Synchronous API
+
+  /// Executes one auto-commit SQL statement.
+  StatusOr<QueryResult> Execute(const std::string& sql);
+
+  /// Evaluates a PRISMAlog program ending in a query.
+  StatusOr<QueryResult> ExecutePrismalog(const std::string& program);
+
+  /// A session carries an explicit transaction across statements:
+  /// BEGIN binds it, COMMIT/ABORT clears it.
+  class Session {
+   public:
+    StatusOr<QueryResult> Execute(const std::string& sql);
+    exec::TxnId txn() const { return txn_; }
+    bool in_transaction() const { return txn_ != exec::kAutoCommit; }
+
+   private:
+    friend class PrismaDb;
+    explicit Session(PrismaDb* db) : db_(db) {}
+    PrismaDb* db_;
+    exec::TxnId txn_ = exec::kAutoCommit;
+  };
+  Session OpenSession() { return Session(this); }
+
+  // ----------------------------------------------------- Asynchronous API
+
+  using ReplyCallback = std::function<void(const gdh::ClientReply&,
+                                           sim::SimTime response_ns)>;
+
+  /// Schedules a statement submission `delay` virtual ns from now; the
+  /// callback fires when the reply reaches the client process.
+  uint64_t Submit(const std::string& text, bool prismalog, exec::TxnId txn,
+                  ReplyCallback callback, sim::SimTime delay = 0);
+
+  /// Runs the simulation until the event queue drains.
+  void Run() { sim_.Run(); }
+
+  // -------------------------------------------------------- Control plane
+
+  sim::Simulator& simulator() { return sim_; }
+  net::Network& network() { return *network_; }
+  pool::Runtime& runtime() { return *runtime_; }
+  gdh::GdhProcess& gdh() { return *gdh_; }
+  const MachineConfig& config() const { return config_; }
+
+  /// Kills / restores one fragment's OFM (failure injection).
+  Status CrashFragment(const std::string& table, int fragment) {
+    return gdh_->CrashFragment(table, fragment);
+  }
+  Status RecoverFragment(const std::string& table, int fragment) {
+    return gdh_->RecoverFragment(table, fragment);
+  }
+
+  /// Per-PE CPU busy time and stable stores, for reporting.
+  sim::SimTime PeBusyNs(net::NodeId pe) const {
+    return runtime_->pe_busy_ns(pe);
+  }
+  storage::StableStore& stable_store(net::NodeId pe) {
+    return *stable_[pe];
+  }
+  storage::MemoryTracker& memory_tracker(net::NodeId pe) {
+    return *memory_[pe];
+  }
+
+ private:
+  class ClientProcess;
+
+  static net::Topology MakeTopology(const MachineConfig& config);
+
+  /// Blocks (runs the simulation) until request `id` completes.
+  StatusOr<QueryResult> Await(uint64_t id);
+  StatusOr<QueryResult> ExecuteInternal(const std::string& text,
+                                        bool prismalog, exec::TxnId txn);
+
+  MachineConfig config_;
+  sim::Simulator sim_;
+  // Declaration order matters: the runtime's processes (OFMs) release
+  // memory into the trackers, touch stable stores and unregister from the
+  // fragment registry on destruction, so all of these must outlive
+  // runtime_.
+  std::vector<std::unique_ptr<storage::MemoryTracker>> memory_;
+  std::vector<std::unique_ptr<storage::StableStore>> stable_;
+  gdh::PeLocalRegistry registry_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<pool::Runtime> runtime_;
+  gdh::GdhProcess* gdh_ = nullptr;  // Owned by the runtime.
+  ClientProcess* client_ = nullptr;  // Owned by the runtime.
+  pool::ProcessId gdh_pid_ = pool::kNoProcess;
+  pool::ProcessId client_pid_ = pool::kNoProcess;
+};
+
+}  // namespace prisma::core
+
+#endif  // PRISMA_CORE_PRISMA_DB_H_

@@ -1,0 +1,629 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <utility>
+
+#include "common/logging.h"
+#include "exec/expr_eval.h"
+#include "exec/join.h"
+#include "exec/transitive_closure.h"
+
+namespace prisma::exec {
+
+using algebra::AggFunc;
+using algebra::AggregatePlan;
+using algebra::JoinPlan;
+using algebra::LimitPlan;
+using algebra::Plan;
+using algebra::PlanKind;
+using algebra::ProjectPlan;
+using algebra::ScanPlan;
+using algebra::SelectPlan;
+using algebra::SortPlan;
+using algebra::ValuesPlan;
+
+StatusOr<const storage::Relation*> MapTableResolver::Resolve(
+    const std::string& table) const {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return NotFoundError("no resident relation named " + table);
+  }
+  return it->second;
+}
+
+const storage::HashIndex* MapTableResolver::FindHashIndex(
+    const std::string& table, const std::vector<size_t>& columns) const {
+  auto it = hash_indexes_.find(table);
+  if (it == hash_indexes_.end()) return nullptr;
+  for (const storage::HashIndex* index : it->second) {
+    if (index->key_columns() == columns) return index;
+  }
+  return nullptr;
+}
+
+const storage::BTreeIndex* MapTableResolver::FindBTreeIndex(
+    const std::string& table, const std::vector<size_t>& columns) const {
+  auto it = btree_indexes_.find(table);
+  if (it == btree_indexes_.end()) return nullptr;
+  for (const storage::BTreeIndex* index : it->second) {
+    if (index->key_columns() == columns) return index;
+  }
+  return nullptr;
+}
+
+// ------------------------------------------------------------ PreparedExpr
+
+StatusOr<Executor::PreparedExpr> Executor::PreparedExpr::Make(
+    const algebra::Expr& expr, const ExecOptions& options) {
+  PreparedExpr p;
+  if (options.expr_mode == ExprMode::kCompiled) {
+    ASSIGN_OR_RETURN(CompiledExpr compiled, CompileExpr(expr));
+    p.compiled_ = std::make_shared<CompiledExpr>(std::move(compiled));
+    p.cost_ns_ = static_cast<sim::SimTime>(p.compiled_->num_instructions()) *
+                 options.costs.compiled_instr_ns;
+  } else {
+    p.interpreted_ = &expr;
+    p.cost_ns_ = static_cast<sim::SimTime>(expr.TreeSize()) *
+                 options.costs.interpreted_node_ns;
+  }
+  return p;
+}
+
+StatusOr<Value> Executor::PreparedExpr::Eval(const Tuple& tuple) const {
+  if (compiled_ != nullptr) return compiled_->Eval(tuple);
+  return EvalExpr(*interpreted_, tuple);
+}
+
+StatusOr<bool> Executor::PreparedExpr::EvalPredicate(const Tuple& tuple) const {
+  if (compiled_ != nullptr) return compiled_->EvalPredicate(tuple);
+  return exec::EvalPredicate(*interpreted_, tuple);
+}
+
+// ---------------------------------------------------------------- Executor
+
+Executor::Executor(const TableResolver* resolver, ExecOptions options)
+    : resolver_(resolver), options_(std::move(options)) {}
+
+void Executor::Charge(sim::SimTime ns) {
+  stats_.charged_ns += ns;
+  if (options_.charge) options_.charge(ns);
+}
+
+StatusOr<std::vector<Tuple>> Executor::Execute(const Plan& plan) {
+  ASSIGN_OR_RETURN(std::vector<Tuple> out, Run(plan));
+  stats_.tuples_output = out.size();
+  return out;
+}
+
+namespace {
+
+/// Only expensive nodes are worth memoizing under the subtree cache.
+bool CacheableKind(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kJoin:
+    case PlanKind::kAggregate:
+    case PlanKind::kSort:
+    case PlanKind::kDistinct:
+    case PlanKind::kTransitiveClosure:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+StatusOr<std::vector<Tuple>> Executor::Run(const Plan& plan) {
+  if (options_.enable_subtree_cache && CacheableKind(plan.kind())) {
+    const std::string key = plan.ToString();
+    auto it = subtree_cache_.find(key);
+    if (it != subtree_cache_.end()) {
+      ++stats_.subtree_cache_hits;
+      return it->second;
+    }
+    ASSIGN_OR_RETURN(std::vector<Tuple> out, RunUncached(plan));
+    subtree_cache_[key] = out;
+    return out;
+  }
+  return RunUncached(plan);
+}
+
+StatusOr<std::vector<Tuple>> Executor::RunUncached(const Plan& plan) {
+  switch (plan.kind()) {
+    case PlanKind::kScan:
+      return RunScan(static_cast<const ScanPlan&>(plan));
+    case PlanKind::kValues:
+      return static_cast<const ValuesPlan&>(plan).rows();
+    case PlanKind::kSelect:
+      return RunSelect(static_cast<const SelectPlan&>(plan));
+    case PlanKind::kProject:
+      return RunProject(static_cast<const ProjectPlan&>(plan));
+    case PlanKind::kJoin:
+      return RunJoin(static_cast<const JoinPlan&>(plan));
+    case PlanKind::kUnion:
+      return RunUnion(plan);
+    case PlanKind::kDifference:
+      return RunDifference(plan);
+    case PlanKind::kDistinct:
+      return RunDistinct(plan);
+    case PlanKind::kAggregate:
+      return RunAggregate(static_cast<const AggregatePlan&>(plan));
+    case PlanKind::kSort:
+      return RunSort(static_cast<const SortPlan&>(plan));
+    case PlanKind::kLimit:
+      return RunLimit(static_cast<const LimitPlan&>(plan));
+    case PlanKind::kTransitiveClosure:
+      return RunTransitiveClosure(plan);
+  }
+  return InternalError("corrupt plan kind");
+}
+
+StatusOr<std::vector<Tuple>> Executor::RunScan(const ScanPlan& plan) {
+  ASSIGN_OR_RETURN(const storage::Relation* rel,
+                   resolver_->Resolve(plan.table()));
+  std::vector<Tuple> out = rel->AllTuples();
+  stats_.tuples_scanned += out.size();
+  Charge(static_cast<sim::SimTime>(out.size()) * options_.costs.tuple_ns);
+  return out;
+}
+
+namespace {
+
+/// A per-column restriction extracted from a conjunct: column OP literal.
+struct ColumnBound {
+  size_t column;
+  algebra::BinaryOp op;
+  Value literal;
+};
+
+/// Matches `conjunct` as (ColumnRef OP Literal) or (Literal OP ColumnRef),
+/// normalizing so the column is on the left.
+std::optional<ColumnBound> MatchColumnBound(const algebra::Expr& conjunct) {
+  if (conjunct.kind() != algebra::ExprKind::kBinary) return std::nullopt;
+  algebra::BinaryOp op = conjunct.binary_op();
+  const algebra::Expr* l = conjunct.left();
+  const algebra::Expr* r = conjunct.right();
+  if (l->kind() == algebra::ExprKind::kLiteral &&
+      r->kind() == algebra::ExprKind::kColumnRef) {
+    std::swap(l, r);
+    switch (op) {  // Mirror the comparison.
+      case algebra::BinaryOp::kLt: op = algebra::BinaryOp::kGt; break;
+      case algebra::BinaryOp::kLe: op = algebra::BinaryOp::kGe; break;
+      case algebra::BinaryOp::kGt: op = algebra::BinaryOp::kLt; break;
+      case algebra::BinaryOp::kGe: op = algebra::BinaryOp::kLe; break;
+      default: break;
+    }
+  }
+  if (l->kind() != algebra::ExprKind::kColumnRef || !l->bound() ||
+      r->kind() != algebra::ExprKind::kLiteral) {
+    return std::nullopt;
+  }
+  switch (op) {
+    case algebra::BinaryOp::kEq:
+    case algebra::BinaryOp::kLt:
+    case algebra::BinaryOp::kLe:
+    case algebra::BinaryOp::kGt:
+    case algebra::BinaryOp::kGe:
+      return ColumnBound{l->column_index(), op, r->literal()};
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace
+
+StatusOr<std::optional<std::vector<Tuple>>> Executor::TryIndexSelect(
+    const SelectPlan& plan) {
+  if (plan.child()->kind() != PlanKind::kScan) return std::optional<std::vector<Tuple>>();
+  const auto& scan = static_cast<const ScanPlan&>(*plan.child());
+  ASSIGN_OR_RETURN(const storage::Relation* rel,
+                   resolver_->Resolve(scan.table()));
+
+  std::vector<ColumnBound> bounds;
+  for (const auto& conjunct : algebra::SplitConjuncts(plan.predicate())) {
+    auto bound = MatchColumnBound(*conjunct);
+    if (bound.has_value()) bounds.push_back(std::move(*bound));
+  }
+
+  ASSIGN_OR_RETURN(PreparedExpr pred,
+                   PreparedExpr::Make(plan.predicate(), options_));
+  // Candidate rows are re-checked against the *full* predicate, so the
+  // access path only needs to be a superset of the answer.
+  auto filter_rows =
+      [&](const std::vector<storage::RowId>& rows)
+      -> StatusOr<std::vector<Tuple>> {
+    std::vector<Tuple> out;
+    for (const storage::RowId row : rows) {
+      auto tuple = rel->Get(row);
+      if (!tuple.ok()) continue;  // Row vanished (not possible locally).
+      ASSIGN_OR_RETURN(bool keep, pred.EvalPredicate(*tuple));
+      ++stats_.expr_evaluations;
+      if (keep) out.push_back(std::move(*tuple));
+    }
+    Charge(static_cast<sim::SimTime>(rows.size()) *
+           (options_.costs.hash_ns + pred.cost_ns()));
+    return out;
+  };
+
+  // Equality on a hash-indexed column: probe.
+  for (const ColumnBound& bound : bounds) {
+    if (bound.op != algebra::BinaryOp::kEq) continue;
+    const storage::HashIndex* hash =
+        resolver_->FindHashIndex(scan.table(), {bound.column});
+    if (hash == nullptr) continue;
+    ++stats_.index_selections;
+    ASSIGN_OR_RETURN(std::vector<Tuple> out,
+                     filter_rows(hash->Probe(Tuple({bound.literal}))));
+    return std::optional<std::vector<Tuple>>(std::move(out));
+  }
+
+  // Range (or equality) on an ordered-indexed column: bounded scan.
+  for (const ColumnBound& first : bounds) {
+    const storage::BTreeIndex* btree =
+        resolver_->FindBTreeIndex(scan.table(), {first.column});
+    if (btree == nullptr) continue;
+    // Combine every bound on this column into one [lo, hi] window.
+    std::optional<Tuple> lo;
+    std::optional<Tuple> hi;
+    bool lo_inclusive = true;
+    bool hi_inclusive = true;
+    auto tighten_lo = [&](const Value& v, bool inclusive) {
+      Tuple key({v});
+      if (!lo || key.Compare(*lo) > 0 ||
+          (key.Compare(*lo) == 0 && !inclusive)) {
+        lo = std::move(key);
+        lo_inclusive = inclusive;
+      }
+    };
+    auto tighten_hi = [&](const Value& v, bool inclusive) {
+      Tuple key({v});
+      if (!hi || key.Compare(*hi) < 0 ||
+          (key.Compare(*hi) == 0 && !inclusive)) {
+        hi = std::move(key);
+        hi_inclusive = inclusive;
+      }
+    };
+    for (const ColumnBound& bound : bounds) {
+      if (bound.column != first.column) continue;
+      switch (bound.op) {
+        case algebra::BinaryOp::kEq:
+          tighten_lo(bound.literal, true);
+          tighten_hi(bound.literal, true);
+          break;
+        case algebra::BinaryOp::kGt:
+          tighten_lo(bound.literal, false);
+          break;
+        case algebra::BinaryOp::kGe:
+          tighten_lo(bound.literal, true);
+          break;
+        case algebra::BinaryOp::kLt:
+          tighten_hi(bound.literal, false);
+          break;
+        case algebra::BinaryOp::kLe:
+          tighten_hi(bound.literal, true);
+          break;
+        default:
+          break;
+      }
+    }
+    if (!lo && !hi) continue;  // No usable window on this column.
+    ++stats_.index_selections;
+    std::vector<storage::RowId> rows;
+    btree->ScanRange(lo, lo_inclusive, hi, hi_inclusive,
+                     [&](const Tuple&, storage::RowId row) {
+                       rows.push_back(row);
+                       return true;
+                     });
+    Charge(static_cast<sim::SimTime>(rows.size()) * options_.costs.compare_ns);
+    ASSIGN_OR_RETURN(std::vector<Tuple> out, filter_rows(rows));
+    return std::optional<std::vector<Tuple>>(std::move(out));
+  }
+  return std::optional<std::vector<Tuple>>();
+}
+
+StatusOr<std::vector<Tuple>> Executor::RunSelect(const SelectPlan& plan) {
+  // Local access-path selection (§2.5): try an index before scanning.
+  ASSIGN_OR_RETURN(std::optional<std::vector<Tuple>> via_index,
+                   TryIndexSelect(plan));
+  if (via_index.has_value()) return std::move(*via_index);
+
+  ASSIGN_OR_RETURN(std::vector<Tuple> in, Run(*plan.child()));
+  ASSIGN_OR_RETURN(PreparedExpr pred,
+                   PreparedExpr::Make(plan.predicate(), options_));
+  std::vector<Tuple> out;
+  for (Tuple& t : in) {
+    ASSIGN_OR_RETURN(bool keep, pred.EvalPredicate(t));
+    ++stats_.expr_evaluations;
+    if (keep) out.push_back(std::move(t));
+  }
+  Charge(static_cast<sim::SimTime>(in.size()) *
+         (options_.costs.tuple_ns + pred.cost_ns()));
+  return out;
+}
+
+StatusOr<std::vector<Tuple>> Executor::RunProject(const ProjectPlan& plan) {
+  ASSIGN_OR_RETURN(std::vector<Tuple> in, Run(*plan.child()));
+  std::vector<PreparedExpr> exprs;
+  sim::SimTime per_tuple = options_.costs.tuple_ns;
+  for (const auto& e : plan.exprs()) {
+    ASSIGN_OR_RETURN(PreparedExpr p, PreparedExpr::Make(*e, options_));
+    per_tuple += p.cost_ns();
+    exprs.push_back(std::move(p));
+  }
+  std::vector<Tuple> out;
+  out.reserve(in.size());
+  for (const Tuple& t : in) {
+    std::vector<Value> values;
+    values.reserve(exprs.size());
+    for (const PreparedExpr& e : exprs) {
+      ASSIGN_OR_RETURN(Value v, e.Eval(t));
+      ++stats_.expr_evaluations;
+      values.push_back(std::move(v));
+    }
+    out.push_back(Tuple(std::move(values)));
+  }
+  Charge(static_cast<sim::SimTime>(in.size()) * per_tuple);
+  return out;
+}
+
+StatusOr<std::vector<Tuple>> Executor::RunJoin(const JoinPlan& plan) {
+  ASSIGN_OR_RETURN(std::vector<Tuple> left, Run(*plan.child(0)));
+  ASSIGN_OR_RETURN(std::vector<Tuple> right, Run(*plan.child(1)));
+
+  JoinFilter filter;
+  sim::SimTime filter_cost = 0;
+  std::optional<PreparedExpr> pred;
+  if (plan.predicate() != nullptr) {
+    ASSIGN_OR_RETURN(PreparedExpr p,
+                     PreparedExpr::Make(*plan.predicate(), options_));
+    filter_cost = p.cost_ns();
+    pred = std::move(p);
+    filter = [this, &pred](const Tuple& t) {
+      ++stats_.expr_evaluations;
+      return pred->EvalPredicate(t);
+    };
+  }
+
+  const auto keys = plan.EquiKeys();
+  JoinCounters counters;
+  StatusOr<std::vector<Tuple>> out =
+      keys.empty()
+          ? NestedLoopJoin(left, right, filter, &counters)
+          : HashJoin(left, right, keys, filter, &counters);
+  RETURN_IF_ERROR(out.status());
+  Charge(static_cast<sim::SimTime>(counters.hash_ops) *
+             options_.costs.hash_ns +
+         static_cast<sim::SimTime>(counters.compare_ops) *
+             options_.costs.compare_ns +
+         static_cast<sim::SimTime>(counters.pairs_examined) *
+             (options_.costs.tuple_ns + filter_cost));
+  return out;
+}
+
+StatusOr<std::vector<Tuple>> Executor::RunUnion(const Plan& plan) {
+  ASSIGN_OR_RETURN(std::vector<Tuple> left, Run(*plan.child(0)));
+  ASSIGN_OR_RETURN(std::vector<Tuple> right, Run(*plan.child(1)));
+  Charge(static_cast<sim::SimTime>(right.size()) * options_.costs.tuple_ns);
+  for (Tuple& t : right) left.push_back(std::move(t));
+  return left;
+}
+
+StatusOr<std::vector<Tuple>> Executor::RunDifference(const Plan& plan) {
+  ASSIGN_OR_RETURN(std::vector<Tuple> left, Run(*plan.child(0)));
+  ASSIGN_OR_RETURN(std::vector<Tuple> right, Run(*plan.child(1)));
+  // Anti-semi by whole-tuple equality; left duplicates surviving together.
+  std::set<Tuple> reject(right.begin(), right.end());
+  Charge(static_cast<sim::SimTime>(left.size() + right.size()) *
+         options_.costs.hash_ns);
+  std::vector<Tuple> out;
+  for (Tuple& t : left) {
+    if (reject.count(t) == 0) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+StatusOr<std::vector<Tuple>> Executor::RunDistinct(const Plan& plan) {
+  ASSIGN_OR_RETURN(std::vector<Tuple> in, Run(*plan.child()));
+  Charge(static_cast<sim::SimTime>(in.size()) * options_.costs.hash_ns);
+  std::set<Tuple> seen;
+  std::vector<Tuple> out;
+  for (Tuple& t : in) {
+    if (seen.insert(t).second) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+namespace {
+
+/// Running state of one aggregate over one group.
+struct AggState {
+  uint64_t count = 0;        // Non-null inputs (or all rows for COUNT(*)).
+  int64_t sum_i = 0;
+  double sum_d = 0;
+  bool sum_is_double = false;
+  std::optional<Value> min;
+  std::optional<Value> max;
+
+  void Add(const Value& v, AggFunc func, bool count_star) {
+    if (count_star) {
+      ++count;
+      return;
+    }
+    if (v.is_null()) return;  // SQL aggregates ignore NULLs.
+    ++count;
+    switch (func) {
+      case AggFunc::kCount:
+        break;
+      case AggFunc::kSum:
+      case AggFunc::kAvg:
+        if (v.type() == DataType::kDouble) {
+          sum_is_double = true;
+          sum_d += v.double_value();
+        } else {
+          sum_i += v.int_value();
+          sum_d += static_cast<double>(v.int_value());
+        }
+        break;
+      case AggFunc::kMin:
+        if (!min.has_value() || v < *min) min = v;
+        break;
+      case AggFunc::kMax:
+        if (!max.has_value() || *max < v) max = v;
+        break;
+    }
+  }
+
+  Value Result(AggFunc func, DataType out_type) const {
+    switch (func) {
+      case AggFunc::kCount:
+        return Value::Int(static_cast<int64_t>(count));
+      case AggFunc::kSum:
+        if (count == 0) return Value::Null();
+        if (out_type == DataType::kDouble || sum_is_double) {
+          return Value::Double(sum_d);
+        }
+        return Value::Int(sum_i);
+      case AggFunc::kAvg:
+        if (count == 0) return Value::Null();
+        return Value::Double(sum_d / static_cast<double>(count));
+      case AggFunc::kMin:
+        return min.has_value() ? *min : Value::Null();
+      case AggFunc::kMax:
+        return max.has_value() ? *max : Value::Null();
+    }
+    return Value::Null();
+  }
+};
+
+}  // namespace
+
+StatusOr<std::vector<Tuple>> Executor::RunAggregate(const AggregatePlan& plan) {
+  ASSIGN_OR_RETURN(std::vector<Tuple> in, Run(*plan.child()));
+
+  std::vector<PreparedExpr> group_exprs;
+  sim::SimTime per_tuple = options_.costs.hash_ns;
+  for (const auto& g : plan.group_by()) {
+    ASSIGN_OR_RETURN(PreparedExpr p, PreparedExpr::Make(*g, options_));
+    per_tuple += p.cost_ns();
+    group_exprs.push_back(std::move(p));
+  }
+  std::vector<PreparedExpr> agg_args(plan.aggs().size());
+  std::vector<bool> has_arg(plan.aggs().size(), false);
+  for (size_t i = 0; i < plan.aggs().size(); ++i) {
+    if (plan.aggs()[i].arg != nullptr) {
+      ASSIGN_OR_RETURN(PreparedExpr p,
+                       PreparedExpr::Make(*plan.aggs()[i].arg, options_));
+      per_tuple += p.cost_ns();
+      agg_args[i] = std::move(p);
+      has_arg[i] = true;
+    }
+  }
+
+  // Grouped accumulation; std::map keeps output deterministic in group
+  // order. A grand total (no GROUP BY) always emits exactly one row.
+  std::map<Tuple, std::vector<AggState>> groups;
+  for (const Tuple& t : in) {
+    std::vector<Value> key_vals;
+    key_vals.reserve(group_exprs.size());
+    for (const PreparedExpr& g : group_exprs) {
+      ASSIGN_OR_RETURN(Value v, g.Eval(t));
+      ++stats_.expr_evaluations;
+      key_vals.push_back(std::move(v));
+    }
+    auto [it, inserted] =
+        groups.try_emplace(Tuple(std::move(key_vals)),
+                           std::vector<AggState>(plan.aggs().size()));
+    for (size_t i = 0; i < plan.aggs().size(); ++i) {
+      Value v;
+      if (has_arg[i]) {
+        ASSIGN_OR_RETURN(v, agg_args[i].Eval(t));
+        ++stats_.expr_evaluations;
+      }
+      it->second[i].Add(v, plan.aggs()[i].func, !has_arg[i]);
+    }
+  }
+  if (groups.empty() && plan.group_by().empty()) {
+    groups.try_emplace(Tuple(), std::vector<AggState>(plan.aggs().size()));
+  }
+  Charge(static_cast<sim::SimTime>(in.size()) * per_tuple);
+
+  std::vector<Tuple> out;
+  out.reserve(groups.size());
+  const size_t num_groups = plan.group_by().size();
+  for (const auto& [key, states] : groups) {
+    std::vector<Value> row = key.values();
+    for (size_t i = 0; i < states.size(); ++i) {
+      row.push_back(states[i].Result(
+          plan.aggs()[i].func, plan.schema().column(num_groups + i).type));
+    }
+    out.push_back(Tuple(std::move(row)));
+  }
+  return out;
+}
+
+StatusOr<std::vector<Tuple>> Executor::RunSort(const SortPlan& plan) {
+  ASSIGN_OR_RETURN(std::vector<Tuple> in, Run(*plan.child()));
+
+  std::vector<PreparedExpr> keys;
+  sim::SimTime key_cost = 0;
+  for (const auto& k : plan.keys()) {
+    ASSIGN_OR_RETURN(PreparedExpr p, PreparedExpr::Make(*k.expr, options_));
+    key_cost += p.cost_ns();
+    keys.push_back(std::move(p));
+  }
+  // Evaluate sort keys once per tuple.
+  std::vector<Tuple> key_tuples;
+  key_tuples.reserve(in.size());
+  for (const Tuple& t : in) {
+    std::vector<Value> vals;
+    vals.reserve(keys.size());
+    for (const PreparedExpr& k : keys) {
+      ASSIGN_OR_RETURN(Value v, k.Eval(t));
+      ++stats_.expr_evaluations;
+      vals.push_back(std::move(v));
+    }
+    key_tuples.push_back(Tuple(std::move(vals)));
+  }
+
+  std::vector<size_t> order(in.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      const int c = key_tuples[a].at(i).Compare(key_tuples[b].at(i));
+      if (c != 0) return plan.keys()[i].descending ? c > 0 : c < 0;
+    }
+    return false;
+  });
+
+  const double n = static_cast<double>(std::max<size_t>(in.size(), 2));
+  Charge(static_cast<sim::SimTime>(n * std::log2(n)) *
+             options_.costs.compare_ns +
+         static_cast<sim::SimTime>(in.size()) * key_cost);
+
+  std::vector<Tuple> out;
+  out.reserve(in.size());
+  for (const size_t i : order) out.push_back(std::move(in[i]));
+  return out;
+}
+
+StatusOr<std::vector<Tuple>> Executor::RunLimit(const LimitPlan& plan) {
+  ASSIGN_OR_RETURN(std::vector<Tuple> in, Run(*plan.child()));
+  if (in.size() > plan.limit()) in.resize(plan.limit());
+  return in;
+}
+
+StatusOr<std::vector<Tuple>> Executor::RunTransitiveClosure(const Plan& plan) {
+  ASSIGN_OR_RETURN(std::vector<Tuple> edges, Run(*plan.child()));
+  TcStats tc_stats;
+  ASSIGN_OR_RETURN(
+      std::vector<Tuple> out,
+      TransitiveClosure(edges, TcAlgorithm::kSeminaive, &tc_stats));
+  Charge(static_cast<sim::SimTime>(tc_stats.pairs_derived) *
+         options_.costs.hash_ns);
+  return out;
+}
+
+}  // namespace prisma::exec

@@ -1,0 +1,173 @@
+#ifndef PRISMA_EXEC_EXECUTOR_H_
+#define PRISMA_EXEC_EXECUTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "algebra/plan.h"
+#include "common/status.h"
+#include "common/tuple.h"
+#include "exec/expr_compiler.h"
+#include "pool/runtime.h"
+#include "sim/simulator.h"
+#include "storage/btree_index.h"
+#include "storage/hash_index.h"
+#include "storage/relation.h"
+
+namespace prisma::exec {
+
+/// Resolves base-table names in Scan nodes to resident relations. Inside
+/// an OFM the resolver maps the fragment's qualified name to its local
+/// fragment; in tests it is a simple map.
+///
+/// A resolver may also expose secondary indexes; the executor's local
+/// access-path selection (the OFM's "local query optimizer", §2.5) uses
+/// them for selections pinning or bounding an indexed column.
+class TableResolver {
+ public:
+  virtual ~TableResolver() = default;
+  virtual StatusOr<const storage::Relation*> Resolve(
+      const std::string& table) const = 0;
+
+  /// Hash index of `table` on exactly `columns`, or null.
+  virtual const storage::HashIndex* FindHashIndex(
+      const std::string& table, const std::vector<size_t>& columns) const {
+    (void)table;
+    (void)columns;
+    return nullptr;
+  }
+  /// Ordered index of `table` on exactly `columns`, or null.
+  virtual const storage::BTreeIndex* FindBTreeIndex(
+      const std::string& table, const std::vector<size_t>& columns) const {
+    (void)table;
+    (void)columns;
+    return nullptr;
+  }
+};
+
+/// Map-backed resolver (does not own the relations or indexes).
+class MapTableResolver : public TableResolver {
+ public:
+  void Register(const std::string& name, const storage::Relation* relation) {
+    tables_[name] = relation;
+  }
+  void RegisterHashIndex(const std::string& table,
+                         const storage::HashIndex* index) {
+    hash_indexes_[table].push_back(index);
+  }
+  void RegisterBTreeIndex(const std::string& table,
+                          const storage::BTreeIndex* index) {
+    btree_indexes_[table].push_back(index);
+  }
+
+  StatusOr<const storage::Relation*> Resolve(
+      const std::string& table) const override;
+  const storage::HashIndex* FindHashIndex(
+      const std::string& table,
+      const std::vector<size_t>& columns) const override;
+  const storage::BTreeIndex* FindBTreeIndex(
+      const std::string& table,
+      const std::vector<size_t>& columns) const override;
+
+ private:
+  std::map<std::string, const storage::Relation*> tables_;
+  std::map<std::string, std::vector<const storage::HashIndex*>> hash_indexes_;
+  std::map<std::string, std::vector<const storage::BTreeIndex*>> btree_indexes_;
+};
+
+/// How the executor evaluates scalar expressions — the E4 ablation switch.
+enum class ExprMode : uint8_t {
+  kInterpreted,  // Tree-walking EvalExpr (the 1988 baseline to beat).
+  kCompiled,     // CompiledExpr bytecode (the OFM's generative approach).
+};
+
+struct ExecOptions {
+  ExprMode expr_mode = ExprMode::kCompiled;
+  /// Virtual-time unit costs; see pool::CostModel.
+  pool::CostModel costs;
+  /// Invoked with virtual nanoseconds as work is performed; may be null.
+  /// Inside an OFM process this forwards to Process::ChargeCpu.
+  std::function<void(sim::SimTime)> charge;
+  /// Memoize results of structurally identical expensive subtrees (joins,
+  /// aggregates, sorts, closures) within one Execute call — the execution
+  /// side of the optimizer's common-subexpression detection (§2.4).
+  bool enable_subtree_cache = false;
+};
+
+struct ExecStats {
+  uint64_t tuples_scanned = 0;
+  /// Selections answered through an index instead of a scan.
+  uint64_t index_selections = 0;
+  uint64_t tuples_output = 0;
+  uint64_t expr_evaluations = 0;
+  /// Subtree-cache hits (common subexpressions evaluated once).
+  uint64_t subtree_cache_hits = 0;
+  /// Total virtual CPU time charged for the last Execute call tree.
+  sim::SimTime charged_ns = 0;
+};
+
+/// Materializing executor for (fragment-local) plans of the extended
+/// relational algebra. One Executor per plan execution; it charges the
+/// virtual cost model as it goes, so the same code path produces both
+/// results and simulated response times.
+class Executor {
+ public:
+  explicit Executor(const TableResolver* resolver, ExecOptions options = {});
+
+  /// Runs the plan to completion and returns all result tuples.
+  StatusOr<std::vector<Tuple>> Execute(const algebra::Plan& plan);
+
+  const ExecStats& stats() const { return stats_; }
+
+ private:
+  /// Expression prepared for per-tuple evaluation in the selected mode,
+  /// with its precomputed per-evaluation virtual cost.
+  class PreparedExpr {
+   public:
+    static StatusOr<PreparedExpr> Make(const algebra::Expr& expr,
+                                       const ExecOptions& options);
+    StatusOr<Value> Eval(const Tuple& tuple) const;
+    StatusOr<bool> EvalPredicate(const Tuple& tuple) const;
+    sim::SimTime cost_ns() const { return cost_ns_; }
+
+   private:
+    const algebra::Expr* interpreted_ = nullptr;  // Borrowed from the plan.
+    std::shared_ptr<CompiledExpr> compiled_;
+    sim::SimTime cost_ns_ = 0;
+  };
+
+  void Charge(sim::SimTime ns);
+
+  StatusOr<std::vector<Tuple>> Run(const algebra::Plan& plan);
+  StatusOr<std::vector<Tuple>> RunUncached(const algebra::Plan& plan);
+  StatusOr<std::vector<Tuple>> RunScan(const algebra::ScanPlan& plan);
+  StatusOr<std::vector<Tuple>> RunSelect(const algebra::SelectPlan& plan);
+  /// Index fast path for Select-over-Scan; returns nullopt when no usable
+  /// access path exists (caller falls back to scan + filter).
+  StatusOr<std::optional<std::vector<Tuple>>> TryIndexSelect(
+      const algebra::SelectPlan& plan);
+  StatusOr<std::vector<Tuple>> RunProject(const algebra::ProjectPlan& plan);
+  StatusOr<std::vector<Tuple>> RunJoin(const algebra::JoinPlan& plan);
+  StatusOr<std::vector<Tuple>> RunUnion(const algebra::Plan& plan);
+  StatusOr<std::vector<Tuple>> RunDifference(const algebra::Plan& plan);
+  StatusOr<std::vector<Tuple>> RunDistinct(const algebra::Plan& plan);
+  StatusOr<std::vector<Tuple>> RunAggregate(const algebra::AggregatePlan& plan);
+  StatusOr<std::vector<Tuple>> RunSort(const algebra::SortPlan& plan);
+  StatusOr<std::vector<Tuple>> RunLimit(const algebra::LimitPlan& plan);
+  StatusOr<std::vector<Tuple>> RunTransitiveClosure(const algebra::Plan& plan);
+
+  const TableResolver* resolver_;
+  ExecOptions options_;
+  ExecStats stats_;
+  std::map<std::string, std::vector<Tuple>> subtree_cache_;
+};
+
+}  // namespace prisma::exec
+
+#endif  // PRISMA_EXEC_EXECUTOR_H_

@@ -1,0 +1,160 @@
+#include "exec/expr_eval.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace prisma::exec {
+
+using algebra::BinaryOp;
+using algebra::Expr;
+using algebra::ExprKind;
+using algebra::UnaryOp;
+
+namespace {
+
+StatusOr<Value> EvalArithmetic(BinaryOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null();
+  // String concatenation rides on kAdd.
+  if (op == BinaryOp::kAdd && l.type() == DataType::kString) {
+    return Value::String(l.string_value() + r.string_value());
+  }
+  if (op == BinaryOp::kMod) {
+    if (r.int_value() == 0) return InvalidArgumentError("modulo by zero");
+    return Value::Int(l.int_value() % r.int_value());
+  }
+  const bool as_double =
+      l.type() == DataType::kDouble || r.type() == DataType::kDouble;
+  if (as_double) {
+    const double a = l.AsDouble();
+    const double b = r.AsDouble();
+    switch (op) {
+      case BinaryOp::kAdd:
+        return Value::Double(a + b);
+      case BinaryOp::kSub:
+        return Value::Double(a - b);
+      case BinaryOp::kMul:
+        return Value::Double(a * b);
+      case BinaryOp::kDiv:
+        if (b == 0.0) return InvalidArgumentError("division by zero");
+        return Value::Double(a / b);
+      default:
+        break;
+    }
+  } else {
+    const int64_t a = l.int_value();
+    const int64_t b = r.int_value();
+    switch (op) {
+      case BinaryOp::kAdd:
+        return Value::Int(a + b);
+      case BinaryOp::kSub:
+        return Value::Int(a - b);
+      case BinaryOp::kMul:
+        return Value::Int(a * b);
+      case BinaryOp::kDiv:
+        if (b == 0) return InvalidArgumentError("division by zero");
+        return Value::Int(a / b);
+      default:
+        break;
+    }
+  }
+  return InternalError("bad arithmetic op");
+}
+
+Value EvalComparison(BinaryOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null();
+  const int c = l.Compare(r);
+  switch (op) {
+    case BinaryOp::kEq:
+      return Value::Bool(c == 0);
+    case BinaryOp::kNe:
+      return Value::Bool(c != 0);
+    case BinaryOp::kLt:
+      return Value::Bool(c < 0);
+    case BinaryOp::kLe:
+      return Value::Bool(c <= 0);
+    case BinaryOp::kGt:
+      return Value::Bool(c > 0);
+    case BinaryOp::kGe:
+      return Value::Bool(c >= 0);
+    default:
+      break;
+  }
+  return Value::Null();
+}
+
+}  // namespace
+
+StatusOr<Value> EvalExpr(const Expr& expr, const Tuple& tuple) {
+  PRISMA_CHECK(expr.bound()) << "evaluating unbound expression";
+  switch (expr.kind()) {
+    case ExprKind::kLiteral:
+      return expr.literal();
+    case ExprKind::kColumnRef:
+      if (expr.column_index() >= tuple.size()) {
+        return InternalError("column index beyond tuple width");
+      }
+      return tuple.at(expr.column_index());
+    case ExprKind::kUnary: {
+      ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.operand(), tuple));
+      switch (expr.unary_op()) {
+        case UnaryOp::kNeg:
+          if (v.is_null()) return Value::Null();
+          if (v.type() == DataType::kDouble) {
+            return Value::Double(-v.double_value());
+          }
+          return Value::Int(-v.int_value());
+        case UnaryOp::kNot:
+          if (v.is_null()) return Value::Null();
+          return Value::Bool(!v.bool_value());
+        case UnaryOp::kIsNull:
+          return Value::Bool(v.is_null());
+      }
+      return InternalError("bad unary op");
+    }
+    case ExprKind::kBinary: {
+      const BinaryOp op = expr.binary_op();
+      // AND/OR need Kleene logic with short-circuiting.
+      if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
+        ASSIGN_OR_RETURN(Value l, EvalExpr(*expr.left(), tuple));
+        if (!l.is_null()) {
+          const bool lb = l.bool_value();
+          if (op == BinaryOp::kAnd && !lb) return Value::Bool(false);
+          if (op == BinaryOp::kOr && lb) return Value::Bool(true);
+        }
+        ASSIGN_OR_RETURN(Value r, EvalExpr(*expr.right(), tuple));
+        if (!r.is_null()) {
+          const bool rb = r.bool_value();
+          if (op == BinaryOp::kAnd && !rb) return Value::Bool(false);
+          if (op == BinaryOp::kOr && rb) return Value::Bool(true);
+        }
+        if (l.is_null() || r.is_null()) return Value::Null();
+        return Value::Bool(op == BinaryOp::kAnd);
+      }
+      ASSIGN_OR_RETURN(Value l, EvalExpr(*expr.left(), tuple));
+      ASSIGN_OR_RETURN(Value r, EvalExpr(*expr.right(), tuple));
+      switch (op) {
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv:
+        case BinaryOp::kMod:
+          return EvalArithmetic(op, l, r);
+        default:
+          return EvalComparison(op, l, r);
+      }
+    }
+  }
+  return InternalError("corrupt expression kind");
+}
+
+StatusOr<bool> EvalPredicate(const Expr& expr, const Tuple& tuple) {
+  ASSIGN_OR_RETURN(Value v, EvalExpr(expr, tuple));
+  if (v.is_null()) return false;
+  if (v.type() != DataType::kBool) {
+    return InvalidArgumentError("predicate did not evaluate to BOOL");
+  }
+  return v.bool_value();
+}
+
+}  // namespace prisma::exec

@@ -1,0 +1,28 @@
+#ifndef PRISMA_EXEC_EXPR_EVAL_H_
+#define PRISMA_EXEC_EXPR_EVAL_H_
+
+#include "algebra/expr.h"
+#include "common/status.h"
+#include "common/tuple.h"
+#include "common/value.h"
+
+namespace prisma::exec {
+
+/// Tree-walking evaluation of a bound expression against one input tuple.
+///
+/// This is the *interpretive* baseline the paper's OFM expression compiler
+/// exists to beat (§2.5: dynamic routine generation "avoids the otherwise
+/// excessive interpretation overhead"); experiment E4 contrasts it with
+/// CompiledExpr.
+///
+/// NULL semantics: arithmetic and comparisons with a NULL operand yield
+/// NULL; AND/OR follow Kleene three-valued logic; IS NULL never yields
+/// NULL. Division or modulo by zero is an kInvalidArgument error.
+StatusOr<Value> EvalExpr(const algebra::Expr& expr, const Tuple& tuple);
+
+/// Evaluates a predicate, mapping NULL to false (SQL WHERE semantics).
+StatusOr<bool> EvalPredicate(const algebra::Expr& expr, const Tuple& tuple);
+
+}  // namespace prisma::exec
+
+#endif  // PRISMA_EXEC_EXPR_EVAL_H_

@@ -1,0 +1,194 @@
+#include "exec/join.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace prisma::exec {
+namespace {
+
+std::vector<size_t> LeftCols(const std::vector<std::pair<size_t, size_t>>& keys) {
+  std::vector<size_t> out;
+  out.reserve(keys.size());
+  for (const auto& [l, _] : keys) out.push_back(l);
+  return out;
+}
+
+std::vector<size_t> RightCols(
+    const std::vector<std::pair<size_t, size_t>>& keys) {
+  std::vector<size_t> out;
+  out.reserve(keys.size());
+  for (const auto& [_, r] : keys) out.push_back(r);
+  return out;
+}
+
+/// True if the key columns of `l` and `r` are pairwise equal (NULL keys
+/// never join, as in SQL).
+bool KeysEqual(const Tuple& l, const std::vector<size_t>& lcols,
+               const Tuple& r, const std::vector<size_t>& rcols) {
+  for (size_t i = 0; i < lcols.size(); ++i) {
+    const Value& a = l.at(lcols[i]);
+    const Value& b = r.at(rcols[i]);
+    if (a.is_null() || b.is_null()) return false;
+    if (a.Compare(b) != 0) return false;
+  }
+  return true;
+}
+
+bool HasNullKey(const Tuple& t, const std::vector<size_t>& cols) {
+  for (size_t c : cols) {
+    if (t.at(c).is_null()) return true;
+  }
+  return false;
+}
+
+Status EmitIfPassing(const Tuple& l, const Tuple& r, const JoinFilter& filter,
+                     std::vector<Tuple>* out) {
+  Tuple joined = Tuple::Concat(l, r);
+  if (filter != nullptr) {
+    ASSIGN_OR_RETURN(bool keep, filter(joined));
+    if (!keep) return Status::OK();
+  }
+  out->push_back(std::move(joined));
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<std::vector<Tuple>> HashJoin(
+    const std::vector<Tuple>& left, const std::vector<Tuple>& right,
+    const std::vector<std::pair<size_t, size_t>>& keys,
+    const JoinFilter& filter, JoinCounters* counters) {
+  if (keys.empty()) {
+    return InvalidArgumentError("hash join requires equi-join keys");
+  }
+  JoinCounters local;
+  JoinCounters& c = counters != nullptr ? *counters : local;
+  const std::vector<size_t> lcols = LeftCols(keys);
+  const std::vector<size_t> rcols = RightCols(keys);
+
+  // Build on the smaller side.
+  const bool build_left = left.size() <= right.size();
+  const std::vector<Tuple>& build = build_left ? left : right;
+  const std::vector<Tuple>& probe = build_left ? right : left;
+  const std::vector<size_t>& bcols = build_left ? lcols : rcols;
+  const std::vector<size_t>& pcols = build_left ? rcols : lcols;
+
+  std::unordered_map<uint64_t, std::vector<size_t>> table;
+  table.reserve(build.size());
+  for (size_t i = 0; i < build.size(); ++i) {
+    if (HasNullKey(build[i], bcols)) continue;  // NULL keys never join.
+    table[HashTupleColumns(build[i], bcols)].push_back(i);
+    ++c.hash_ops;
+  }
+
+  std::vector<Tuple> out;
+  for (const Tuple& p : probe) {
+    if (HasNullKey(p, pcols)) continue;
+    ++c.hash_ops;
+    auto it = table.find(HashTupleColumns(p, pcols));
+    if (it == table.end()) continue;
+    for (const size_t bi : it->second) {
+      ++c.compare_ops;
+      const Tuple& b = build[bi];
+      // Re-verify (hash collisions) with real comparisons.
+      const bool match = build_left ? KeysEqual(b, bcols, p, pcols)
+                                    : KeysEqual(p, pcols, b, bcols);
+      if (!match) continue;
+      ++c.pairs_examined;
+      const Tuple& l = build_left ? b : p;
+      const Tuple& r = build_left ? p : b;
+      RETURN_IF_ERROR(EmitIfPassing(l, r, filter, &out));
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<Tuple>> NestedLoopJoin(const std::vector<Tuple>& left,
+                                            const std::vector<Tuple>& right,
+                                            const JoinFilter& filter,
+                                            JoinCounters* counters) {
+  JoinCounters local;
+  JoinCounters& c = counters != nullptr ? *counters : local;
+  std::vector<Tuple> out;
+  for (const Tuple& l : left) {
+    for (const Tuple& r : right) {
+      ++c.pairs_examined;
+      RETURN_IF_ERROR(EmitIfPassing(l, r, filter, &out));
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<Tuple>> MergeJoin(
+    const std::vector<Tuple>& left, const std::vector<Tuple>& right,
+    const std::vector<std::pair<size_t, size_t>>& keys,
+    const JoinFilter& filter, JoinCounters* counters) {
+  if (keys.empty()) {
+    return InvalidArgumentError("merge join requires equi-join keys");
+  }
+  JoinCounters local;
+  JoinCounters& c = counters != nullptr ? *counters : local;
+  const std::vector<size_t> lcols = LeftCols(keys);
+  const std::vector<size_t> rcols = RightCols(keys);
+
+  auto key_less = [&c](const Tuple& a, const std::vector<size_t>& acols,
+                       const Tuple& b, const std::vector<size_t>& bcols) {
+    for (size_t i = 0; i < acols.size(); ++i) {
+      ++c.compare_ops;
+      const int cmp = a.at(acols[i]).Compare(b.at(bcols[i]));
+      if (cmp != 0) return cmp < 0;
+    }
+    return false;
+  };
+
+  std::vector<Tuple> ls = left;
+  std::vector<Tuple> rs = right;
+  std::sort(ls.begin(), ls.end(), [&](const Tuple& a, const Tuple& b) {
+    return key_less(a, lcols, b, lcols);
+  });
+  std::sort(rs.begin(), rs.end(), [&](const Tuple& a, const Tuple& b) {
+    return key_less(a, rcols, b, rcols);
+  });
+
+  std::vector<Tuple> out;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < ls.size() && j < rs.size()) {
+    if (HasNullKey(ls[i], lcols)) {
+      ++i;
+      continue;
+    }
+    if (HasNullKey(rs[j], rcols)) {
+      ++j;
+      continue;
+    }
+    if (key_less(ls[i], lcols, rs[j], rcols)) {
+      ++i;
+    } else if (key_less(rs[j], rcols, ls[i], lcols)) {
+      ++j;
+    } else {
+      // Equal-key groups; emit the cross product of the two runs.
+      size_t i_end = i + 1;
+      while (i_end < ls.size() && !key_less(ls[i], lcols, ls[i_end], lcols)) {
+        ++i_end;
+      }
+      size_t j_end = j + 1;
+      while (j_end < rs.size() && !key_less(rs[j], rcols, rs[j_end], rcols)) {
+        ++j_end;
+      }
+      for (size_t a = i; a < i_end; ++a) {
+        for (size_t b = j; b < j_end; ++b) {
+          ++c.pairs_examined;
+          RETURN_IF_ERROR(EmitIfPassing(ls[a], rs[b], filter, &out));
+        }
+      }
+      i = i_end;
+      j = j_end;
+    }
+  }
+  return out;
+}
+
+}  // namespace prisma::exec

@@ -1,0 +1,46 @@
+#ifndef PRISMA_EXEC_JOIN_H_
+#define PRISMA_EXEC_JOIN_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/tuple.h"
+
+namespace prisma::exec {
+
+/// Per-tuple residual filter applied to a joined (left ++ right) tuple;
+/// null means accept everything.
+using JoinFilter = std::function<StatusOr<bool>(const Tuple&)>;
+
+/// Work counters reported by the join kernels, used by the virtual-time
+/// cost model and the optimizer's calibration tests.
+struct JoinCounters {
+  uint64_t hash_ops = 0;      // Hash-table inserts + probes.
+  uint64_t compare_ops = 0;   // Key or tuple comparisons.
+  uint64_t pairs_examined = 0;  // Candidate pairs fed to the filter.
+};
+
+/// Hash equi-join: builds on the smaller input, probes with the larger.
+/// `keys` pairs (left column, right column); must be non-empty.
+StatusOr<std::vector<Tuple>> HashJoin(
+    const std::vector<Tuple>& left, const std::vector<Tuple>& right,
+    const std::vector<std::pair<size_t, size_t>>& keys,
+    const JoinFilter& filter = nullptr, JoinCounters* counters = nullptr);
+
+/// Nested-loop join on an arbitrary filter (cross product when null).
+StatusOr<std::vector<Tuple>> NestedLoopJoin(
+    const std::vector<Tuple>& left, const std::vector<Tuple>& right,
+    const JoinFilter& filter = nullptr, JoinCounters* counters = nullptr);
+
+/// Sort-merge equi-join; sorts copies of both inputs by the key columns.
+StatusOr<std::vector<Tuple>> MergeJoin(
+    const std::vector<Tuple>& left, const std::vector<Tuple>& right,
+    const std::vector<std::pair<size_t, size_t>>& keys,
+    const JoinFilter& filter = nullptr, JoinCounters* counters = nullptr);
+
+}  // namespace prisma::exec
+
+#endif  // PRISMA_EXEC_JOIN_H_

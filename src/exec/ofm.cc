@@ -1,0 +1,580 @@
+#include "exec/ofm.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/serialize.h"
+#include "common/str_util.h"
+#include "exec/expr_eval.h"
+
+namespace prisma::exec {
+namespace {
+
+// WAL record opcodes.
+constexpr uint8_t kWalInsert = 1;
+constexpr uint8_t kWalDelete = 2;
+constexpr uint8_t kWalUpdate = 3;
+constexpr uint8_t kWalCommit = 4;
+constexpr uint8_t kWalAbort = 5;
+constexpr uint8_t kWalPrepare = 6;
+
+std::string EncodeDataRecord(uint8_t op, TxnId txn, storage::RowId row,
+                             const Tuple* tuple) {
+  BinaryWriter w;
+  w.PutU8(op);
+  w.PutI64(txn);
+  w.PutU64(row);
+  if (tuple != nullptr) w.PutTuple(*tuple);
+  return w.Take();
+}
+
+std::string EncodeMarker(uint8_t op, TxnId txn) {
+  BinaryWriter w;
+  w.PutU8(op);
+  w.PutI64(txn);
+  return w.Take();
+}
+
+}  // namespace
+
+const char* OfmTypeName(OfmType type) {
+  switch (type) {
+    case OfmType::kFull:
+      return "full";
+    case OfmType::kQueryOnly:
+      return "query_only";
+  }
+  return "?";
+}
+
+Ofm::Ofm(std::string fragment_name, Schema schema, Options options)
+    : fragment_name_(std::move(fragment_name)),
+      options_(std::move(options)),
+      relation_(fragment_name_, std::move(schema), options_.memory) {
+  PRISMA_CHECK(options_.type == OfmType::kQueryOnly ||
+               options_.stable != nullptr)
+      << "full OFM " << fragment_name_ << " requires stable storage";
+}
+
+void Ofm::ChargeCpu(sim::SimTime ns) {
+  if (options_.exec.charge) options_.exec.charge(ns);
+}
+
+// ------------------------------------------------------------------ Indexes
+
+Status Ofm::CreateHashIndex(const std::string& index_name,
+                            std::vector<size_t> key_columns) {
+  for (size_t c : key_columns) {
+    if (c >= schema().num_columns()) {
+      return InvalidArgumentError("index column out of range");
+    }
+  }
+  auto idx = std::make_unique<storage::HashIndex>(index_name,
+                                                  std::move(key_columns));
+  idx->Rebuild(relation_);
+  ChargeCpu(static_cast<sim::SimTime>(relation_.num_tuples()) *
+            options_.exec.costs.hash_ns);
+  hash_indexes_.push_back(std::move(idx));
+  return Status::OK();
+}
+
+Status Ofm::CreateBTreeIndex(const std::string& index_name,
+                             std::vector<size_t> key_columns) {
+  for (size_t c : key_columns) {
+    if (c >= schema().num_columns()) {
+      return InvalidArgumentError("index column out of range");
+    }
+  }
+  auto idx = std::make_unique<storage::BTreeIndex>(index_name,
+                                                   std::move(key_columns));
+  idx->Rebuild(relation_);
+  ChargeCpu(static_cast<sim::SimTime>(relation_.num_tuples()) *
+            options_.exec.costs.compare_ns * 4);
+  btree_indexes_.push_back(std::move(idx));
+  return Status::OK();
+}
+
+const storage::HashIndex* Ofm::FindHashIndex(
+    const std::vector<size_t>& key_columns) const {
+  for (const auto& idx : hash_indexes_) {
+    if (idx->key_columns() == key_columns) return idx.get();
+  }
+  return nullptr;
+}
+
+const storage::BTreeIndex* Ofm::FindBTreeIndex(
+    const std::vector<size_t>& key_columns) const {
+  for (const auto& idx : btree_indexes_) {
+    if (idx->key_columns() == key_columns) return idx.get();
+  }
+  return nullptr;
+}
+
+void Ofm::IndexInsert(storage::RowId row, const Tuple& tuple) {
+  for (const auto& idx : hash_indexes_) idx->OnInsert(row, tuple);
+  for (const auto& idx : btree_indexes_) idx->OnInsert(row, tuple);
+  ChargeCpu(static_cast<sim::SimTime>(hash_indexes_.size() +
+                                      btree_indexes_.size()) *
+            options_.exec.costs.hash_ns);
+}
+
+void Ofm::IndexDelete(storage::RowId row, const Tuple& tuple) {
+  for (const auto& idx : hash_indexes_) idx->OnDelete(row, tuple);
+  for (const auto& idx : btree_indexes_) idx->OnDelete(row, tuple);
+  ChargeCpu(static_cast<sim::SimTime>(hash_indexes_.size() +
+                                      btree_indexes_.size()) *
+            options_.exec.costs.hash_ns);
+}
+
+// --------------------------------------------------------------- Write path
+
+Status Ofm::LogRedo(TxnId txn, std::string record) {
+  if (options_.type == OfmType::kQueryOnly) return Status::OK();
+  if (txn == kAutoCommit) {
+    ++wal_records_;
+    ChargeCpu(options_.stable->Append(WalStream(), std::move(record)));
+    return Status::OK();
+  }
+  open_txns_[txn].pending_redo.push_back(std::move(record));
+  return Status::OK();
+}
+
+Status Ofm::LogMarker(TxnId txn, uint8_t op) {
+  if (options_.type == OfmType::kQueryOnly) return Status::OK();
+  ++wal_records_;
+  ChargeCpu(options_.stable->Append(WalStream(), EncodeMarker(op, txn)));
+  return Status::OK();
+}
+
+StatusOr<storage::RowId> Ofm::Insert(TxnId txn, Tuple tuple) {
+  ASSIGN_OR_RETURN(storage::RowId row, relation_.Insert(std::move(tuple)));
+  ChargeCpu(options_.exec.costs.tuple_ns);
+  // Validated/coerced tuple re-read for the log and the indexes.
+  ASSIGN_OR_RETURN(Tuple stored, relation_.Get(row));
+  IndexInsert(row, stored);
+  if (txn != kAutoCommit) {
+    open_txns_[txn].undo.push_back(
+        UndoRecord{UndoRecord::Op::kInsert, row, Tuple()});
+  }
+  RETURN_IF_ERROR(LogRedo(txn, EncodeDataRecord(kWalInsert, txn, row, &stored)));
+  return row;
+}
+
+Status Ofm::Delete(TxnId txn, storage::RowId row) {
+  ASSIGN_OR_RETURN(Tuple before, relation_.Get(row));
+  RETURN_IF_ERROR(relation_.Delete(row));
+  ChargeCpu(options_.exec.costs.tuple_ns);
+  IndexDelete(row, before);
+  if (txn != kAutoCommit) {
+    open_txns_[txn].undo.push_back(
+        UndoRecord{UndoRecord::Op::kDelete, row, before});
+  }
+  return LogRedo(txn, EncodeDataRecord(kWalDelete, txn, row, nullptr));
+}
+
+Status Ofm::Update(TxnId txn, storage::RowId row, Tuple tuple) {
+  ASSIGN_OR_RETURN(Tuple before, relation_.Get(row));
+  RETURN_IF_ERROR(relation_.Update(row, std::move(tuple)));
+  ChargeCpu(options_.exec.costs.tuple_ns);
+  ASSIGN_OR_RETURN(Tuple after, relation_.Get(row));
+  IndexDelete(row, before);
+  IndexInsert(row, after);
+  if (txn != kAutoCommit) {
+    open_txns_[txn].undo.push_back(
+        UndoRecord{UndoRecord::Op::kUpdate, row, before});
+  }
+  return LogRedo(txn, EncodeDataRecord(kWalUpdate, txn, row, &after));
+}
+
+StatusOr<size_t> Ofm::DeleteWhere(TxnId txn, const algebra::Expr* predicate) {
+  std::vector<storage::RowId> victims;
+  Status eval_status;
+  relation_.Scan([&](storage::RowId row, const Tuple& tuple) {
+    if (predicate == nullptr) {
+      victims.push_back(row);
+      return true;
+    }
+    auto keep = EvalPredicate(*predicate, tuple);
+    if (!keep.ok()) {
+      eval_status = keep.status();
+      return false;
+    }
+    if (*keep) victims.push_back(row);
+    return true;
+  });
+  RETURN_IF_ERROR(eval_status);
+  ChargeCpu(static_cast<sim::SimTime>(relation_.num_tuples()) *
+            options_.exec.costs.tuple_ns);
+  for (const storage::RowId row : victims) {
+    RETURN_IF_ERROR(Delete(txn, row));
+  }
+  return victims.size();
+}
+
+StatusOr<size_t> Ofm::UpdateWhere(
+    TxnId txn, const algebra::Expr* predicate,
+    const std::vector<std::pair<size_t, const algebra::Expr*>>& assignments) {
+  for (const auto& [col, expr] : assignments) {
+    if (col >= schema().num_columns()) {
+      return InvalidArgumentError("assignment column out of range");
+    }
+    if (expr == nullptr) return InvalidArgumentError("null assignment");
+  }
+  std::vector<std::pair<storage::RowId, Tuple>> updates;
+  Status eval_status;
+  relation_.Scan([&](storage::RowId row, const Tuple& tuple) {
+    bool matches = true;
+    if (predicate != nullptr) {
+      auto keep = EvalPredicate(*predicate, tuple);
+      if (!keep.ok()) {
+        eval_status = keep.status();
+        return false;
+      }
+      matches = *keep;
+    }
+    if (!matches) return true;
+    Tuple updated = tuple;
+    for (const auto& [col, expr] : assignments) {
+      auto v = EvalExpr(*expr, tuple);  // RHS sees the *old* tuple.
+      if (!v.ok()) {
+        eval_status = v.status();
+        return false;
+      }
+      updated.at(col) = std::move(v).value();
+    }
+    updates.push_back({row, std::move(updated)});
+    return true;
+  });
+  RETURN_IF_ERROR(eval_status);
+  ChargeCpu(static_cast<sim::SimTime>(relation_.num_tuples()) *
+            options_.exec.costs.tuple_ns);
+  for (auto& [row, tuple] : updates) {
+    RETURN_IF_ERROR(Update(txn, row, std::move(tuple)));
+  }
+  return updates.size();
+}
+
+// ------------------------------------------------------- Transaction control
+
+bool Ofm::HasTransaction(TxnId txn) const {
+  return open_txns_.count(txn) > 0;
+}
+
+Status Ofm::Prepare(TxnId txn) {
+  auto it = open_txns_.find(txn);
+  if (it == open_txns_.end()) {
+    // A transaction that never touched this fragment can trivially commit.
+    return Status::OK();
+  }
+  if (options_.type == OfmType::kFull) {
+    // Group-commit: force all redo records and the prepare marker as one
+    // physical write.
+    std::vector<std::string> records = std::move(it->second.pending_redo);
+    it->second.pending_redo.clear();
+    records.push_back(EncodeMarker(kWalPrepare, txn));
+    wal_records_ += records.size();
+    ChargeCpu(options_.stable->AppendBatch(WalStream(), std::move(records)));
+  }
+  it->second.prepared = true;
+  return Status::OK();
+}
+
+Status Ofm::Commit(TxnId txn) {
+  auto it = open_txns_.find(txn);
+  if (it == open_txns_.end()) return Status::OK();
+  if (options_.type == OfmType::kFull) {
+    std::vector<std::string> records = std::move(it->second.pending_redo);
+    it->second.pending_redo.clear();
+    records.push_back(EncodeMarker(kWalCommit, txn));
+    wal_records_ += records.size();
+    ChargeCpu(options_.stable->AppendBatch(WalStream(), std::move(records)));
+  }
+  open_txns_.erase(it);
+  return Status::OK();
+}
+
+Status Ofm::Abort(TxnId txn) {
+  auto it = open_txns_.find(txn);
+  if (it == open_txns_.end()) return Status::OK();
+  // Undo in reverse order.
+  auto& undo = it->second.undo;
+  for (auto rit = undo.rbegin(); rit != undo.rend(); ++rit) {
+    switch (rit->op) {
+      case UndoRecord::Op::kInsert: {
+        ASSIGN_OR_RETURN(Tuple current, relation_.Get(rit->row));
+        RETURN_IF_ERROR(relation_.Delete(rit->row));
+        IndexDelete(rit->row, current);
+        break;
+      }
+      case UndoRecord::Op::kDelete: {
+        // Tombstoned slots are never reused, so the row can be restored
+        // in place.
+        RETURN_IF_ERROR(relation_.RestoreRow(rit->row, rit->before));
+        IndexInsert(rit->row, rit->before);
+        break;
+      }
+      case UndoRecord::Op::kUpdate: {
+        ASSIGN_OR_RETURN(Tuple current, relation_.Get(rit->row));
+        RETURN_IF_ERROR(relation_.Update(rit->row, rit->before));
+        IndexDelete(rit->row, current);
+        IndexInsert(rit->row, rit->before);
+        break;
+      }
+    }
+  }
+  if (options_.type == OfmType::kFull && it->second.prepared) {
+    RETURN_IF_ERROR(LogMarker(txn, kWalAbort));
+  }
+  open_txns_.erase(txn);
+  return Status::OK();
+}
+
+// ------------------------------------------------------------------ Querying
+
+namespace {
+
+/// Resolver handed to the OFM's executor: the single resident fragment
+/// plus its secondary indexes, enabling local access-path selection.
+class OfmResolver : public TableResolver {
+ public:
+  OfmResolver(const std::string& fragment, const storage::Relation* relation,
+              const std::vector<std::unique_ptr<storage::HashIndex>>* hash,
+              const std::vector<std::unique_ptr<storage::BTreeIndex>>* btree,
+              const TableResolver* colocated)
+      : fragment_(fragment),
+        relation_(relation),
+        hash_(hash),
+        btree_(btree),
+        colocated_(colocated) {}
+
+  StatusOr<const storage::Relation*> Resolve(
+      const std::string& table) const override {
+    if (table == fragment_) return relation_;
+    if (colocated_ != nullptr) return colocated_->Resolve(table);
+    return NotFoundError("OFM " + fragment_ + " cannot resolve " + table);
+  }
+  const storage::HashIndex* FindHashIndex(
+      const std::string& table,
+      const std::vector<size_t>& columns) const override {
+    if (table != fragment_) {
+      return colocated_ == nullptr ? nullptr
+                                   : colocated_->FindHashIndex(table, columns);
+    }
+    for (const auto& index : *hash_) {
+      if (index->key_columns() == columns) return index.get();
+    }
+    return nullptr;
+  }
+  const storage::BTreeIndex* FindBTreeIndex(
+      const std::string& table,
+      const std::vector<size_t>& columns) const override {
+    if (table != fragment_) {
+      return colocated_ == nullptr
+                 ? nullptr
+                 : colocated_->FindBTreeIndex(table, columns);
+    }
+    for (const auto& index : *btree_) {
+      if (index->key_columns() == columns) return index.get();
+    }
+    return nullptr;
+  }
+
+ private:
+  const std::string& fragment_;
+  const storage::Relation* relation_;
+  const std::vector<std::unique_ptr<storage::HashIndex>>* hash_;
+  const std::vector<std::unique_ptr<storage::BTreeIndex>>* btree_;
+  const TableResolver* colocated_;
+};
+
+}  // namespace
+
+StatusOr<std::vector<Tuple>> Ofm::ExecutePlan(
+    const algebra::Plan& plan, const TableResolver* colocated) {
+  OfmResolver resolver(fragment_name_, &relation_, &hash_indexes_,
+                       &btree_indexes_, colocated);
+  Executor executor(&resolver, options_.exec);
+  auto result = executor.Execute(plan);
+  last_exec_stats_ = executor.stats();
+  return result;
+}
+
+std::optional<Tuple> Ofm::Cursor::Next() {
+  while (position_ < relation_->num_slots()) {
+    const storage::RowId row = position_++;
+    if (relation_->IsLive(row)) {
+      auto t = relation_->Get(row);
+      if (t.ok()) return std::move(t).value();
+    }
+  }
+  return std::nullopt;
+}
+
+// ------------------------------------------------------------------ Recovery
+
+Status Ofm::Checkpoint() {
+  if (options_.type == OfmType::kQueryOnly) {
+    return FailedPreconditionError("query-only OFM has no stable storage");
+  }
+  if (!open_txns_.empty()) {
+    return FailedPreconditionError(
+        "cannot checkpoint with open transactions on " + fragment_name_);
+  }
+  // The snapshot preserves the whole slot array (tombstones included) so
+  // RowIds in the WAL suffix stay valid.
+  BinaryWriter w;
+  w.PutSchema(relation_.schema());
+  w.PutU64(relation_.num_slots());
+  for (storage::RowId row = 0; row < relation_.num_slots(); ++row) {
+    if (relation_.IsLive(row)) {
+      w.PutU8(1);
+      ASSIGN_OR_RETURN(Tuple t, relation_.Get(row));
+      w.PutTuple(t);
+    } else {
+      w.PutU8(0);
+    }
+  }
+  ChargeCpu(options_.stable->WriteSnapshot(SnapshotName(), w.Take()));
+  options_.stable->TruncateStream(WalStream());
+  return Status::OK();
+}
+
+Status Ofm::ApplyWalData(uint8_t op, BinaryReader* r) {
+  switch (op) {
+    case kWalInsert: {
+      ASSIGN_OR_RETURN(uint64_t row, r->GetU64());
+      ASSIGN_OR_RETURN(Tuple t, r->GetTuple());
+      // Replay must reproduce the original RowId space.
+      while (relation_.num_slots() < row) {
+        RETURN_IF_ERROR(relation_.RestoreSlot(std::nullopt));
+      }
+      if (relation_.num_slots() == row) {
+        ASSIGN_OR_RETURN(storage::RowId got, relation_.Insert(std::move(t)));
+        if (got != row) {
+          return InternalError("WAL replay row id mismatch");
+        }
+      } else {
+        RETURN_IF_ERROR(relation_.RestoreRow(row, std::move(t)));
+      }
+      return Status::OK();
+    }
+    case kWalDelete: {
+      ASSIGN_OR_RETURN(uint64_t row, r->GetU64());
+      return relation_.Delete(row);
+    }
+    case kWalUpdate: {
+      ASSIGN_OR_RETURN(uint64_t row, r->GetU64());
+      ASSIGN_OR_RETURN(Tuple t, r->GetTuple());
+      return relation_.Update(row, std::move(t));
+    }
+    default:
+      return InternalError("unexpected WAL record opcode " +
+                           std::to_string(op));
+  }
+}
+
+Status Ofm::ResolveRecovered(TxnId txn, bool commit) {
+  auto it = undecided_records_.find(txn);
+  if (it == undecided_records_.end()) {
+    return NotFoundError("transaction " + std::to_string(txn) +
+                         " is not in doubt");
+  }
+  if (commit) {
+    for (const std::string& record : it->second) {
+      BinaryReader r(record);
+      ASSIGN_OR_RETURN(uint8_t op, r.GetU8());
+      ASSIGN_OR_RETURN(TxnId rec_txn, r.GetI64());
+      PRISMA_CHECK(rec_txn == txn);
+      RETURN_IF_ERROR(ApplyWalData(op, &r));
+    }
+    for (const auto& idx : hash_indexes_) idx->Rebuild(relation_);
+    for (const auto& idx : btree_indexes_) idx->Rebuild(relation_);
+  }
+  RETURN_IF_ERROR(LogMarker(txn, commit ? kWalCommit : kWalAbort));
+  undecided_records_.erase(it);
+  undecided_order_.erase(
+      std::find(undecided_order_.begin(), undecided_order_.end(), txn));
+  return Status::OK();
+}
+
+Status Ofm::Recover() {
+  if (options_.type == OfmType::kQueryOnly) {
+    return FailedPreconditionError("query-only OFM cannot recover");
+  }
+  relation_.Clear();
+  open_txns_.clear();
+
+  // Load the checkpoint image, if any.
+  auto snapshot = options_.stable->ReadSnapshot(SnapshotName());
+  if (snapshot.ok()) {
+    ChargeCpu(options_.stable->SnapshotReadNs(SnapshotName()));
+    BinaryReader r(*snapshot);
+    ASSIGN_OR_RETURN(Schema schema, r.GetSchema());
+    if (!(schema == relation_.schema())) {
+      return InternalError("checkpoint schema mismatch for " + fragment_name_);
+    }
+    ASSIGN_OR_RETURN(uint64_t slots, r.GetU64());
+    for (uint64_t i = 0; i < slots; ++i) {
+      ASSIGN_OR_RETURN(uint8_t live, r.GetU8());
+      if (live != 0) {
+        ASSIGN_OR_RETURN(Tuple t, r.GetTuple());
+        RETURN_IF_ERROR(relation_.RestoreSlot(std::move(t)));
+      } else {
+        RETURN_IF_ERROR(relation_.RestoreSlot(std::nullopt));
+      }
+    }
+  }
+
+  // Scan the WAL once to classify transactions: committed work replays;
+  // prepared-but-undecided work is withheld for the coordinator.
+  const auto& wal = options_.stable->ReadStream(WalStream());
+  ChargeCpu(options_.stable->StreamReadNs(WalStream()));
+  std::set<TxnId> committed;
+  std::set<TxnId> aborted;
+  std::set<TxnId> prepared;
+  committed.insert(kAutoCommit);
+  for (const std::string& record : wal) {
+    BinaryReader r(record);
+    ASSIGN_OR_RETURN(uint8_t op, r.GetU8());
+    ASSIGN_OR_RETURN(TxnId txn, r.GetI64());
+    if (op == kWalCommit) committed.insert(txn);
+    if (op == kWalAbort) aborted.insert(txn);
+    if (op == kWalPrepare) prepared.insert(txn);
+  }
+  undecided_records_.clear();
+  undecided_order_.clear();
+  for (const TxnId txn : prepared) {
+    if (committed.count(txn) == 0 && aborted.count(txn) == 0) {
+      undecided_records_[txn] = {};
+      undecided_order_.push_back(txn);
+    }
+  }
+
+  // Replay committed work in order; buffer in-doubt records.
+  for (const std::string& record : wal) {
+    BinaryReader r(record);
+    ASSIGN_OR_RETURN(uint8_t op, r.GetU8());
+    ASSIGN_OR_RETURN(TxnId txn, r.GetI64());
+    if (op == kWalCommit || op == kWalAbort || op == kWalPrepare) continue;
+    auto in_doubt = undecided_records_.find(txn);
+    if (in_doubt != undecided_records_.end()) {
+      in_doubt->second.push_back(record);
+      continue;
+    }
+    if (committed.count(txn) == 0) continue;
+    RETURN_IF_ERROR(ApplyWalData(op, &r));
+  }
+
+  for (const auto& idx : hash_indexes_) idx->Rebuild(relation_);
+  for (const auto& idx : btree_indexes_) idx->Rebuild(relation_);
+  ChargeCpu(static_cast<sim::SimTime>(relation_.num_tuples()) *
+            options_.exec.costs.hash_ns *
+            static_cast<sim::SimTime>(hash_indexes_.size() +
+                                      btree_indexes_.size()));
+  return Status::OK();
+}
+
+}  // namespace prisma::exec

@@ -1,0 +1,225 @@
+#ifndef PRISMA_EXEC_OFM_H_
+#define PRISMA_EXEC_OFM_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "algebra/plan.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/serialize.h"
+#include "common/tuple.h"
+#include "exec/executor.h"
+#include "storage/btree_index.h"
+#include "storage/hash_index.h"
+#include "storage/memory_tracker.h"
+#include "storage/relation.h"
+#include "storage/stable_store.h"
+
+namespace prisma::exec {
+
+/// Transaction identifier; kAutoCommit marks single-operation transactions
+/// that commit immediately.
+using TxnId = int64_t;
+constexpr TxnId kAutoCommit = 0;
+
+/// OFM flavours (§2.5): "Several OFM types are envisioned, each equipped
+/// with the right amount of tools. For example, OFMs needed for query
+/// processing only do not require extensive crash recovery facilities."
+enum class OfmType : uint8_t {
+  kFull,       // Base fragments: write-ahead logging + checkpoint/recover.
+  kQueryOnly,  // Intermediate results: no durability machinery at all.
+};
+
+const char* OfmTypeName(OfmType type);
+
+/// One-Fragment Manager: the per-fragment database system at the heart of
+/// the PRISMA architecture (§2.5). It owns exactly one relation fragment
+/// in main memory together with its access structures, and provides every
+/// local DBMS function: query execution over the fragment (with the
+/// expression compiler), cursor/marking maintenance, transactional writes
+/// with undo, write-ahead logging, checkpointing, and restart recovery.
+///
+/// The OFM itself is machine-agnostic; the distributed layer wraps it in a
+/// POOL-X process and talks to it with messages.
+class Ofm {
+ public:
+  struct Options {
+    OfmType type = OfmType::kFull;
+    /// Memory budget of the hosting PE (may be null: untracked).
+    storage::MemoryTracker* memory = nullptr;
+    /// Stable storage of the hosting (or nearest disk-equipped) PE.
+    /// Required for kFull, ignored for kQueryOnly.
+    storage::StableStore* stable = nullptr;
+    /// Execution options (expression mode, cost model, charge hook).
+    ExecOptions exec;
+  };
+
+  /// `fragment_name` is the globally unique name ("emp#3") under which
+  /// Scan nodes address this fragment.
+  Ofm(std::string fragment_name, Schema schema, Options options);
+
+  Ofm(const Ofm&) = delete;
+  Ofm& operator=(const Ofm&) = delete;
+
+  const std::string& fragment_name() const { return fragment_name_; }
+  const Schema& schema() const { return relation_.schema(); }
+  OfmType type() const { return options_.type; }
+  const storage::Relation& relation() const { return relation_; }
+  size_t num_tuples() const { return relation_.num_tuples(); }
+
+  // ------------------------------------------------------------- Indexes
+
+  Status CreateHashIndex(const std::string& index_name,
+                         std::vector<size_t> key_columns);
+  Status CreateBTreeIndex(const std::string& index_name,
+                          std::vector<size_t> key_columns);
+  const storage::HashIndex* FindHashIndex(
+      const std::vector<size_t>& key_columns) const;
+  const storage::BTreeIndex* FindBTreeIndex(
+      const std::vector<size_t>& key_columns) const;
+  size_t num_indexes() const {
+    return hash_indexes_.size() + btree_indexes_.size();
+  }
+
+  // ---------------------------------------------------------- Write path
+
+  /// Transactional writes. With txn == kAutoCommit the operation is
+  /// durable immediately; otherwise it joins `txn`'s undo scope and its
+  /// redo record is buffered until Prepare.
+  StatusOr<storage::RowId> Insert(TxnId txn, Tuple tuple);
+  Status Delete(TxnId txn, storage::RowId row);
+  Status Update(TxnId txn, storage::RowId row, Tuple tuple);
+
+  /// Deletes every tuple satisfying `predicate` (bound to the schema);
+  /// returns the count. Null predicate deletes everything.
+  StatusOr<size_t> DeleteWhere(TxnId txn, const algebra::Expr* predicate);
+
+  /// SET column = expr assignments applied to tuples matching `predicate`.
+  StatusOr<size_t> UpdateWhere(
+      TxnId txn, const algebra::Expr* predicate,
+      const std::vector<std::pair<size_t, const algebra::Expr*>>& assignments);
+
+  // -------------------------------------------------- Transaction control
+
+  /// Phase 1 of 2PC: force-logs the transaction's redo records and a
+  /// prepare marker; after OK the OFM guarantees it can commit.
+  Status Prepare(TxnId txn);
+  /// Phase 2: logs the commit marker and discards undo state.
+  Status Commit(TxnId txn);
+  /// Undoes the transaction's local effects (reverse order).
+  Status Abort(TxnId txn);
+  /// True if `txn` has touched this fragment and is still open.
+  bool HasTransaction(TxnId txn) const;
+
+  // ------------------------------------------------------------ Querying
+
+  /// Executes a local plan; Scan nodes naming this fragment resolve to the
+  /// resident relation. Index selection and expression compilation happen
+  /// here — the OFM is a complete little query processor. Scans of other
+  /// names fall back to `colocated` when provided (co-located join
+  /// execution; see gdh::PeLocalRegistry).
+  StatusOr<std::vector<Tuple>> ExecutePlan(
+      const algebra::Plan& plan,
+      const TableResolver* colocated = nullptr);
+
+  /// Stats of the most recent ExecutePlan.
+  const ExecStats& last_exec_stats() const { return last_exec_stats_; }
+
+  /// Cursor with marking support ("markings and cursor maintenance",
+  /// §2.5): iterates live tuples in RowId order; a mark can be taken and
+  /// later restored. Deletions of not-yet-visited rows are skipped
+  /// naturally (tombstones).
+  class Cursor {
+   public:
+    explicit Cursor(const storage::Relation* relation)
+        : relation_(relation) {}
+    /// Returns the next live tuple, or nullopt at the end.
+    std::optional<Tuple> Next();
+    /// Marks the current position.
+    void Mark() { mark_ = position_; }
+    /// Rewinds to the last mark (start if none was taken).
+    void ResetToMark() { position_ = mark_; }
+
+   private:
+    const storage::Relation* relation_;
+    storage::RowId position_ = 0;
+    storage::RowId mark_ = 0;
+  };
+  Cursor OpenCursor() const { return Cursor(&relation_); }
+
+  // ------------------------------------------------------------ Recovery
+
+  /// Writes a fragment snapshot to stable storage and truncates the WAL.
+  Status Checkpoint();
+
+  /// Rebuilds the fragment from the last checkpoint plus the WAL suffix,
+  /// applying only committed (or auto-committed) transactions. Called
+  /// after a crash replaces the OFM process.
+  ///
+  /// Transactions that were *prepared* but neither committed nor aborted
+  /// are in-doubt: their effects are withheld and their ids reported by
+  /// recovered_undecided(); the coordinator must ResolveRecovered() each.
+  Status Recover();
+
+  /// In-doubt transactions found by the last Recover.
+  const std::vector<TxnId>& recovered_undecided() const {
+    return undecided_order_;
+  }
+
+  /// Applies (commit) or discards (abort) an in-doubt transaction's
+  /// logged effects and writes the outcome marker.
+  Status ResolveRecovered(TxnId txn, bool commit);
+
+  /// Number of WAL records written over this OFM's lifetime.
+  uint64_t wal_records() const { return wal_records_; }
+
+ private:
+  struct UndoRecord {
+    enum class Op : uint8_t { kInsert, kDelete, kUpdate } op;
+    storage::RowId row;
+    Tuple before;  // kDelete/kUpdate.
+  };
+  struct OpenTxn {
+    std::vector<UndoRecord> undo;
+    std::vector<std::string> pending_redo;  // Buffered until Prepare.
+    bool prepared = false;
+  };
+
+  std::string WalStream() const { return fragment_name_ + ".wal"; }
+  std::string SnapshotName() const { return fragment_name_ + ".ckpt"; }
+
+  /// Appends (or buffers) a redo record; charges disk time when forced.
+  Status LogRedo(TxnId txn, std::string record);
+  /// Applies one WAL data record during recovery/decision resolution;
+  /// `reader` is positioned just past the (op, txn) header.
+  Status ApplyWalData(uint8_t op, BinaryReader* reader);
+  Status LogMarker(TxnId txn, uint8_t op);
+  void ChargeCpu(sim::SimTime ns);
+
+  void IndexInsert(storage::RowId row, const Tuple& tuple);
+  void IndexDelete(storage::RowId row, const Tuple& tuple);
+
+  std::string fragment_name_;
+  Options options_;
+  storage::Relation relation_;
+  std::vector<std::unique_ptr<storage::HashIndex>> hash_indexes_;
+  std::vector<std::unique_ptr<storage::BTreeIndex>> btree_indexes_;
+  std::map<TxnId, OpenTxn> open_txns_;
+  // In-doubt transactions from the last Recover: their WAL data records,
+  // awaiting the coordinator's decision.
+  std::map<TxnId, std::vector<std::string>> undecided_records_;
+  std::vector<TxnId> undecided_order_;
+  ExecStats last_exec_stats_;
+  uint64_t wal_records_ = 0;
+};
+
+}  // namespace prisma::exec
+
+#endif  // PRISMA_EXEC_OFM_H_

@@ -1,0 +1,88 @@
+#ifndef PRISMA_GDH_DATA_DICTIONARY_H_
+#define PRISMA_GDH_DATA_DICTIONARY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "gdh/fragmentation.h"
+#include "net/topology.h"
+#include "pool/runtime.h"
+#include "sql/binder.h"
+
+namespace prisma::gdh {
+
+/// Placement of one fragment: which PE hosts it and which POOL-X process
+/// is its One-Fragment Manager.
+struct FragmentInfo {
+  std::string name;  // "emp#3".
+  net::NodeId pe = 0;
+  pool::ProcessId ofm = pool::kNoProcess;
+  /// Live tuple count, maintained by the GDH on writes; the optimizer's
+  /// size estimator reads it.
+  uint64_t row_count = 0;
+};
+
+struct IndexInfo {
+  std::string name;
+  std::vector<size_t> columns;
+  bool ordered = false;
+};
+
+/// Catalog entry of one relation.
+struct TableInfo {
+  std::string name;
+  Schema schema;
+  FragmentationSpec fragmentation;
+  std::vector<FragmentInfo> fragments;
+  std::vector<IndexInfo> indexes;
+  std::unique_ptr<Fragmenter> fragmenter;
+
+  uint64_t TotalRows() const {
+    uint64_t n = 0;
+    for (const FragmentInfo& f : fragments) n += f.row_count;
+    return n;
+  }
+};
+
+/// The GDH's data dictionary (§2.2): schemas, fragmentation, placement and
+/// statistics for every relation in the machine. Implements the binder's
+/// catalog interface.
+class DataDictionary : public sql::CatalogReader {
+ public:
+  DataDictionary() = default;
+
+  DataDictionary(const DataDictionary&) = delete;
+  DataDictionary& operator=(const DataDictionary&) = delete;
+
+  // sql::CatalogReader:
+  StatusOr<Schema> GetTableSchema(const std::string& table) const override;
+
+  /// Registers a new table; fragment placement (pe/ofm) is filled in by
+  /// the caller (the GDH's allocation step).
+  StatusOr<TableInfo*> CreateTable(const std::string& table, Schema schema,
+                                   FragmentationSpec fragmentation);
+
+  Status DropTable(const std::string& table);
+
+  bool HasTable(const std::string& table) const {
+    return tables_.count(table) > 0;
+  }
+
+  StatusOr<TableInfo*> GetTable(const std::string& table);
+  StatusOr<const TableInfo*> GetTable(const std::string& table) const;
+
+  Status AddIndex(const std::string& table, IndexInfo index);
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<TableInfo>> tables_;
+};
+
+}  // namespace prisma::gdh
+
+#endif  // PRISMA_GDH_DATA_DICTIONARY_H_

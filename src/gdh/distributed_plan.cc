@@ -1,0 +1,375 @@
+#include "gdh/distributed_plan.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace prisma::gdh {
+
+using algebra::AggFunc;
+using algebra::AggregatePlan;
+using algebra::AggSpec;
+using algebra::DistinctPlan;
+using algebra::Expr;
+using algebra::Plan;
+using algebra::PlanKind;
+using algebra::ProjectPlan;
+using algebra::ScanPlan;
+
+std::string PartName(size_t index) {
+  return StrFormat("\x02part:%zu", index);
+}
+
+std::unique_ptr<Plan> CloneWithScanRenamed(const Plan& plan,
+                                           const std::string& from,
+                                           const std::string& to) {
+  if (plan.kind() == PlanKind::kScan) {
+    const auto& scan = static_cast<const ScanPlan&>(plan);
+    return ScanPlan::Create(scan.table() == from ? to : scan.table(),
+                            scan.schema());
+  }
+  std::unique_ptr<Plan> clone = plan.Clone();
+  for (size_t i = 0; i < plan.num_children(); ++i) {
+    clone->SetChild(i, CloneWithScanRenamed(*plan.child(i), from, to));
+  }
+  return clone;
+}
+
+void CollectScanTables(const Plan& plan, std::vector<std::string>* tables) {
+  if (plan.kind() == PlanKind::kScan) {
+    tables->push_back(static_cast<const ScanPlan&>(plan).table());
+    return;
+  }
+  for (size_t i = 0; i < plan.num_children(); ++i) {
+    CollectScanTables(*plan.child(i), tables);
+  }
+}
+
+namespace {
+
+/// Collects Select nodes whose predicates are bound to the base scan
+/// schema (i.e. only Selects between them and the Scan). Returns true if
+/// `plan`'s own output schema is still the scan schema.
+bool CollectBasePredicates(const Plan& plan,
+                           std::vector<const algebra::SelectPlan*>* out) {
+  switch (plan.kind()) {
+    case PlanKind::kScan:
+      return true;
+    case PlanKind::kSelect: {
+      const bool base = CollectBasePredicates(*plan.child(), out);
+      if (base) out->push_back(static_cast<const algebra::SelectPlan*>(&plan));
+      return base;
+    }
+    case PlanKind::kProject:
+    case PlanKind::kDistinct:
+      // Selects further down still qualify; anything above here does not.
+      CollectBasePredicates(*plan.child(), out);
+      return false;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::vector<int> PruneFragmentsForPart(const TableInfo& info,
+                                       const Plan& part_plan) {
+  std::vector<int> all(info.fragments.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+  const auto strategy = info.fragmentation.strategy;
+  if (strategy != sql::FragmentStrategy::kHash &&
+      strategy != sql::FragmentStrategy::kRange) {
+    return all;
+  }
+  std::vector<const algebra::SelectPlan*> selects;
+  CollectBasePredicates(part_plan, &selects);
+  for (const algebra::SelectPlan* select : selects) {
+    for (const auto& conjunct : algebra::SplitConjuncts(select->predicate())) {
+      if (conjunct->kind() != algebra::ExprKind::kBinary ||
+          conjunct->binary_op() != algebra::BinaryOp::kEq) {
+        continue;
+      }
+      const algebra::Expr* l = conjunct->left();
+      const algebra::Expr* r = conjunct->right();
+      if (l->kind() == algebra::ExprKind::kLiteral) std::swap(l, r);
+      if (l->kind() == algebra::ExprKind::kColumnRef && l->bound() &&
+          l->column_index() == info.fragmentation.column &&
+          r->kind() == algebra::ExprKind::kLiteral) {
+        return info.fragmenter->FragmentsForKey(r->literal());
+      }
+    }
+  }
+  return all;
+}
+
+namespace {
+
+/// True if `plan` is Select*/Project*/Distinct* over one dictionary-known
+/// base-table Scan. Sets the table name and whether a Distinct occurs.
+bool IsLocalCandidate(const Plan& plan, const DataDictionary& dictionary,
+                      std::string* table, bool* has_distinct) {
+  switch (plan.kind()) {
+    case PlanKind::kScan: {
+      const auto& scan = static_cast<const ScanPlan&>(plan);
+      if (!dictionary.HasTable(scan.table())) return false;
+      *table = scan.table();
+      return true;
+    }
+    case PlanKind::kSelect:
+    case PlanKind::kProject:
+      return IsLocalCandidate(*plan.child(), dictionary, table, has_distinct);
+    case PlanKind::kDistinct:
+      *has_distinct = true;
+      return IsLocalCandidate(*plan.child(), dictionary, table, has_distinct);
+    default:
+      return false;
+  }
+}
+
+/// Registers `subtree` as a local part and returns the global-side
+/// replacement scan (re-Distinct-ed when the part deduplicates locally,
+/// since fragments may still share duplicates across the machine).
+std::unique_ptr<Plan> MakePart(std::unique_ptr<Plan> subtree,
+                               const std::string& table, bool has_distinct,
+                               DistributedPlan* out,
+                               const std::string& second_table = "") {
+  const size_t index = out->parts.size();
+  const Schema schema = subtree->schema();
+  out->parts.push_back(LocalPart{table, second_table, std::move(subtree)});
+  std::unique_ptr<Plan> scan = ScanPlan::Create(PartName(index), schema);
+  if (has_distinct) scan = DistinctPlan::Create(std::move(scan));
+  return scan;
+}
+
+/// Detects Join(candidateA, candidateB) where A and B are hash-fragmented
+/// on the join key with equal fragment counts and aligned placement. Such
+/// a join decomposes exactly into per-fragment-pair joins executed where
+/// the two fragments live. Returns the replacement part scan or null.
+std::unique_ptr<Plan> TryColocatedJoin(std::unique_ptr<Plan>& plan,
+                                       const DataDictionary& dictionary,
+                                       DistributedPlan* out) {
+  auto& join = static_cast<algebra::JoinPlan&>(*plan);
+  // Both children must keep the base scan schema (Selects only), so join
+  // key indexes map directly onto base columns.
+  std::vector<const algebra::SelectPlan*> ignored;
+  if (!CollectBasePredicates(*plan.get()->child(0), &ignored) ||
+      !CollectBasePredicates(*plan.get()->child(1), &ignored)) {
+    return nullptr;
+  }
+  std::string table_a;
+  std::string table_b;
+  bool distinct_a = false;
+  bool distinct_b = false;
+  if (!IsLocalCandidate(*plan->child(0), dictionary, &table_a, &distinct_a) ||
+      !IsLocalCandidate(*plan->child(1), dictionary, &table_b, &distinct_b) ||
+      table_a == table_b) {
+    return nullptr;
+  }
+  auto info_a = dictionary.GetTable(table_a);
+  auto info_b = dictionary.GetTable(table_b);
+  if (!info_a.ok() || !info_b.ok()) return nullptr;
+  const TableInfo& a = **info_a;
+  const TableInfo& b = **info_b;
+  if (a.fragmentation.strategy != sql::FragmentStrategy::kHash ||
+      b.fragmentation.strategy != sql::FragmentStrategy::kHash ||
+      a.fragmentation.num_fragments != b.fragmentation.num_fragments) {
+    return nullptr;
+  }
+  // The join key must be the fragmentation key on both sides.
+  const size_t left_width = plan->child(0)->schema().num_columns();
+  bool keyed = false;
+  for (const auto& [l, r] : join.EquiKeys()) {
+    if (l == a.fragmentation.column && r == b.fragmentation.column) {
+      keyed = true;
+      break;
+    }
+  }
+  (void)left_width;
+  if (!keyed) return nullptr;
+  // Aligned placement: fragment i of both tables on one PE.
+  for (size_t i = 0; i < a.fragments.size(); ++i) {
+    if (a.fragments[i].pe != b.fragments[i].pe) return nullptr;
+  }
+  ++out->colocated_joins;
+  return MakePart(std::move(plan), table_a, false, out, table_b);
+}
+
+/// Decomposes Aggregate(local-candidate) into per-fragment partials plus
+/// a global combine + final projection. Returns null when the shape does
+/// not apply (caller falls back to gathering raw rows).
+StatusOr<std::unique_ptr<Plan>> TryAggregatePushdown(
+    std::unique_ptr<Plan>& plan, const DataDictionary& dictionary,
+    DistributedPlan* out) {
+  auto& agg = static_cast<AggregatePlan&>(*plan);
+  std::string table;
+  bool has_distinct = false;
+  if (!IsLocalCandidate(*plan->child(), dictionary, &table, &has_distinct) ||
+      has_distinct) {
+    return std::unique_ptr<Plan>();  // Distinct under aggregate: bail out.
+  }
+
+  // Build the partial (per-fragment) aggregate.
+  std::vector<std::unique_ptr<Expr>> partial_groups;
+  std::vector<std::string> partial_group_names;
+  for (size_t i = 0; i < agg.group_by().size(); ++i) {
+    partial_groups.push_back(agg.group_by()[i]->Clone());
+    partial_group_names.push_back(StrFormat("g%zu", i));
+  }
+  std::vector<AggSpec> partial_aggs;
+  // For each original aggregate: indexes of its partial column(s) within
+  // the partial-agg output (offset by the group count).
+  struct CombineInfo {
+    AggFunc func;
+    size_t first;   // Partial column (sum for AVG).
+    size_t second;  // AVG only: partial count column.
+  };
+  std::vector<CombineInfo> combine;
+  for (const AggSpec& spec : agg.aggs()) {
+    CombineInfo info{spec.func, partial_aggs.size(), 0};
+    switch (spec.func) {
+      case AggFunc::kCount:
+      case AggFunc::kSum:
+      case AggFunc::kMin:
+      case AggFunc::kMax:
+        partial_aggs.push_back(
+            AggSpec{spec.func, spec.arg ? spec.arg->Clone() : nullptr,
+                    StrFormat("p%zu", partial_aggs.size())});
+        break;
+      case AggFunc::kAvg: {
+        // AVG = SUM(x * 1.0) / COUNT(x), combined globally.
+        auto as_double = Expr::Binary(algebra::BinaryOp::kMul,
+                                      spec.arg->Clone(),
+                                      Expr::Literal(Value::Double(1.0)));
+        partial_aggs.push_back(AggSpec{AggFunc::kSum, std::move(as_double),
+                                       StrFormat("p%zu", partial_aggs.size())});
+        info.second = partial_aggs.size();
+        partial_aggs.push_back(AggSpec{AggFunc::kCount, spec.arg->Clone(),
+                                       StrFormat("p%zu", partial_aggs.size())});
+        break;
+      }
+    }
+    combine.push_back(info);
+  }
+  ASSIGN_OR_RETURN(auto partial_plan,
+                   AggregatePlan::Create(plan->TakeChild(0),
+                                         std::move(partial_groups),
+                                         partial_group_names,
+                                         std::move(partial_aggs)));
+  const Schema partial_schema = partial_plan->schema();
+  const size_t group_count = agg.group_by().size();
+
+  // Global side: combine gathered partials.
+  std::unique_ptr<Plan> gathered =
+      MakePart(std::move(partial_plan), table, false, out);
+  std::vector<std::unique_ptr<Expr>> global_groups;
+  std::vector<std::string> global_group_names;
+  for (size_t i = 0; i < group_count; ++i) {
+    global_groups.push_back(
+        Expr::ColumnIndex(i, partial_schema.column(i).type));
+    global_group_names.push_back(agg.schema().column(i).name);
+  }
+  std::vector<AggSpec> global_aggs;
+  for (const CombineInfo& info : combine) {
+    auto col = [&](size_t partial_index) {
+      const size_t c = group_count + partial_index;
+      return Expr::ColumnIndex(c, partial_schema.column(c).type);
+    };
+    switch (info.func) {
+      case AggFunc::kCount:
+      case AggFunc::kSum:
+        global_aggs.push_back(AggSpec{AggFunc::kSum, col(info.first),
+                                      StrFormat("c%zu", global_aggs.size())});
+        break;
+      case AggFunc::kMin:
+        global_aggs.push_back(AggSpec{AggFunc::kMin, col(info.first),
+                                      StrFormat("c%zu", global_aggs.size())});
+        break;
+      case AggFunc::kMax:
+        global_aggs.push_back(AggSpec{AggFunc::kMax, col(info.first),
+                                      StrFormat("c%zu", global_aggs.size())});
+        break;
+      case AggFunc::kAvg:
+        global_aggs.push_back(AggSpec{AggFunc::kSum, col(info.first),
+                                      StrFormat("c%zu", global_aggs.size())});
+        global_aggs.push_back(AggSpec{AggFunc::kSum, col(info.second),
+                                      StrFormat("c%zu", global_aggs.size())});
+        break;
+    }
+  }
+  ASSIGN_OR_RETURN(std::unique_ptr<Plan> combined,
+                   AggregatePlan::Create(std::move(gathered),
+                                         std::move(global_groups),
+                                         global_group_names,
+                                         std::move(global_aggs)));
+
+  // Final projection restores the original output (folding AVG pairs).
+  const Schema& combined_schema = combined->schema();
+  std::vector<std::unique_ptr<Expr>> proj;
+  std::vector<std::string> names;
+  for (size_t i = 0; i < group_count; ++i) {
+    proj.push_back(Expr::ColumnIndex(i, combined_schema.column(i).type));
+    names.push_back(agg.schema().column(i).name);
+  }
+  size_t combined_col = group_count;
+  for (size_t i = 0; i < combine.size(); ++i) {
+    if (combine[i].func == AggFunc::kAvg) {
+      auto sum = Expr::ColumnIndex(combined_col,
+                                   combined_schema.column(combined_col).type);
+      auto count = Expr::ColumnIndex(
+          combined_col + 1, combined_schema.column(combined_col + 1).type);
+      proj.push_back(Expr::Binary(algebra::BinaryOp::kDiv, std::move(sum),
+                                  std::move(count)));
+      combined_col += 2;
+    } else {
+      proj.push_back(Expr::ColumnIndex(
+          combined_col, combined_schema.column(combined_col).type));
+      combined_col += 1;
+    }
+    names.push_back(agg.schema().column(group_count + i).name);
+  }
+  ASSIGN_OR_RETURN(std::unique_ptr<ProjectPlan> final_proj,
+                   ProjectPlan::Create(std::move(combined), std::move(proj),
+                                       std::move(names)));
+  out->pushed_aggregate = true;
+  return std::unique_ptr<Plan>(std::move(final_proj));
+}
+
+StatusOr<std::unique_ptr<Plan>> SplitNode(std::unique_ptr<Plan> plan,
+                                          const DataDictionary& dictionary,
+                                          bool colocated_joins,
+                                          DistributedPlan* out) {
+  if (plan->kind() == PlanKind::kAggregate) {
+    ASSIGN_OR_RETURN(std::unique_ptr<Plan> pushed,
+                     TryAggregatePushdown(plan, dictionary, out));
+    if (pushed != nullptr) return pushed;
+  }
+  if (colocated_joins && plan->kind() == PlanKind::kJoin) {
+    std::unique_ptr<Plan> part = TryColocatedJoin(plan, dictionary, out);
+    if (part != nullptr) return part;
+  }
+  std::string table;
+  bool has_distinct = false;
+  if (IsLocalCandidate(*plan, dictionary, &table, &has_distinct)) {
+    return MakePart(std::move(plan), table, has_distinct, out);
+  }
+  for (size_t i = 0; i < plan->num_children(); ++i) {
+    ASSIGN_OR_RETURN(auto child, SplitNode(plan->TakeChild(i), dictionary,
+                                           colocated_joins, out));
+    plan->SetChild(i, std::move(child));
+  }
+  return plan;
+}
+
+}  // namespace
+
+StatusOr<DistributedPlan> SplitPlanForFragments(
+    std::unique_ptr<Plan> plan, const DataDictionary& dictionary,
+    bool colocated_joins) {
+  DistributedPlan out;
+  ASSIGN_OR_RETURN(out.global, SplitNode(std::move(plan), dictionary,
+                                         colocated_joins, &out));
+  return out;
+}
+
+}  // namespace prisma::gdh

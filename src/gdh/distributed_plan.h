@@ -1,0 +1,73 @@
+#ifndef PRISMA_GDH_DISTRIBUTED_PLAN_H_
+#define PRISMA_GDH_DISTRIBUTED_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/plan.h"
+#include "common/status.h"
+#include "gdh/data_dictionary.h"
+
+namespace prisma::gdh {
+
+/// Scan name used by the global plan to reference the gathered result of
+/// local part `i`.
+std::string PartName(size_t index);
+
+/// One fragment-parallel unit of a distributed query: a plan to run at
+/// every fragment of `table`, with its Scan node naming the *table* — the
+/// coordinator clones it per fragment and renames the scan.
+///
+/// When `second_table` is set the part is a *co-located join*: the plan
+/// scans both tables and runs at the PE hosting fragment i of each
+/// (tables are co-partitioned on the join key and placement-aligned).
+struct LocalPart {
+  std::string table;
+  std::string second_table;  // Empty for single-table parts.
+  std::shared_ptr<const algebra::Plan> plan;
+};
+
+/// A SELECT plan split for fragment-parallel execution (§2.2): the local
+/// parts run inside the OFMs, the global plan merges their gathered
+/// results at the coordinator (its Scan nodes use PartName(i)).
+struct DistributedPlan {
+  std::vector<LocalPart> parts;
+  std::unique_ptr<algebra::Plan> global;
+  /// True if an aggregate was decomposed into per-fragment partials plus
+  /// a global combine step.
+  bool pushed_aggregate = false;
+  /// Number of joins distributed to co-located fragment pairs.
+  int colocated_joins = 0;
+};
+
+/// Splits a logical plan. Maximal subtrees of the form
+/// Select*/Project*/Distinct over a single base-table Scan become local
+/// parts; an Aggregate directly above such a subtree is decomposed into
+/// partial aggregation at the fragments and a combining aggregation in
+/// the global plan (COUNT/SUM/MIN/MAX/AVG). Everything else stays global.
+StatusOr<DistributedPlan> SplitPlanForFragments(
+    std::unique_ptr<algebra::Plan> plan, const DataDictionary& dictionary,
+    bool colocated_joins = true);
+
+/// Deep-copies `plan`, renaming every Scan of `from` to `to` (used to
+/// retarget a local part at one fragment).
+std::unique_ptr<algebra::Plan> CloneWithScanRenamed(const algebra::Plan& plan,
+                                                    const std::string& from,
+                                                    const std::string& to);
+
+/// Base tables referenced by Scan nodes (for lock acquisition).
+void CollectScanTables(const algebra::Plan& plan,
+                       std::vector<std::string>* tables);
+
+/// Fragment indexes of `info` that can hold rows surviving the local
+/// part's selections: when a selection conjunct sitting directly over the
+/// scan pins the fragmentation key to a constant, only the matching
+/// fragment needs to run the part (the coordinator-side counterpart of
+/// the GDH's DML pruning). Returns all fragments otherwise.
+std::vector<int> PruneFragmentsForPart(const TableInfo& info,
+                                       const algebra::Plan& part_plan);
+
+}  // namespace prisma::gdh
+
+#endif  // PRISMA_GDH_DISTRIBUTED_PLAN_H_

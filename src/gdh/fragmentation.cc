@@ -1,0 +1,78 @@
+#include "gdh/fragmentation.h"
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace prisma::gdh {
+
+Fragmenter::Fragmenter(FragmentationSpec spec) : spec_(std::move(spec)) {
+  PRISMA_CHECK(spec_.num_fragments >= 1);
+  if (spec_.strategy == sql::FragmentStrategy::kRange &&
+      spec_.boundaries.empty() && spec_.num_fragments > 1) {
+    // Equal-width INT boundaries over the default domain.
+    const int64_t width = kDefaultRangeDomain / spec_.num_fragments;
+    for (int i = 1; i < spec_.num_fragments; ++i) {
+      spec_.boundaries.push_back(Value::Int(i * width));
+    }
+  }
+}
+
+int Fragmenter::HashFragment(const Value& key) const {
+  return static_cast<int>(key.Hash() % static_cast<uint64_t>(spec_.num_fragments));
+}
+
+int Fragmenter::RangeFragment(const Value& key) const {
+  for (size_t i = 0; i < spec_.boundaries.size(); ++i) {
+    if (key.Compare(spec_.boundaries[i]) < 0) return static_cast<int>(i);
+  }
+  return static_cast<int>(spec_.boundaries.size());
+}
+
+StatusOr<int> Fragmenter::FragmentOf(const Tuple& tuple) {
+  switch (spec_.strategy) {
+    case sql::FragmentStrategy::kNone:
+      return 0;
+    case sql::FragmentStrategy::kRoundRobin: {
+      const int f = rr_cursor_;
+      rr_cursor_ = (rr_cursor_ + 1) % spec_.num_fragments;
+      return f;
+    }
+    case sql::FragmentStrategy::kHash: {
+      if (spec_.column >= tuple.size()) {
+        return InternalError("fragmentation column out of range");
+      }
+      const Value& key = tuple.at(spec_.column);
+      if (key.is_null()) return 0;
+      return HashFragment(key);
+    }
+    case sql::FragmentStrategy::kRange: {
+      if (spec_.column >= tuple.size()) {
+        return InternalError("fragmentation column out of range");
+      }
+      const Value& key = tuple.at(spec_.column);
+      if (key.is_null()) return 0;
+      return RangeFragment(key);
+    }
+  }
+  return InternalError("corrupt fragmentation strategy");
+}
+
+std::vector<int> Fragmenter::FragmentsForKey(const Value& key) const {
+  if (!key.is_null()) {
+    if (spec_.strategy == sql::FragmentStrategy::kHash) {
+      return {HashFragment(key)};
+    }
+    if (spec_.strategy == sql::FragmentStrategy::kRange) {
+      return {RangeFragment(key)};
+    }
+  }
+  std::vector<int> all(spec_.num_fragments);
+  for (int i = 0; i < spec_.num_fragments; ++i) all[i] = i;
+  return all;
+}
+
+std::string FragmentName(const std::string& table, int index) {
+  return StrFormat("%s#%d", table.c_str(), index);
+}
+
+}  // namespace prisma::gdh

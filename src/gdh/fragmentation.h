@@ -1,0 +1,61 @@
+#ifndef PRISMA_GDH_FRAGMENTATION_H_
+#define PRISMA_GDH_FRAGMENTATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/tuple.h"
+#include "common/value.h"
+#include "sql/ast.h"
+
+namespace prisma::gdh {
+
+/// How a relation is split into the one-fragment units managed by OFMs —
+/// the data-allocation manager's placement function (§2.2).
+struct FragmentationSpec {
+  sql::FragmentStrategy strategy = sql::FragmentStrategy::kNone;
+  /// Column driving kHash / kRange placement.
+  size_t column = 0;
+  int num_fragments = 1;
+  /// kRange: num_fragments - 1 ascending split values; fragment i holds
+  /// keys < boundaries[i] (last fragment holds the rest). When empty, the
+  /// dictionary synthesizes equal-width INT boundaries over
+  /// [0, kDefaultRangeDomain).
+  std::vector<Value> boundaries;
+};
+
+/// Upper end of the default INT key domain assumed for RANGE
+/// fragmentation when no explicit boundaries are given (see README).
+constexpr int64_t kDefaultRangeDomain = 1'000'000;
+
+/// Routes tuples to fragments according to a spec. Stateless except for
+/// the round-robin cursor.
+class Fragmenter {
+ public:
+  explicit Fragmenter(FragmentationSpec spec);
+
+  const FragmentationSpec& spec() const { return spec_; }
+
+  /// Fragment index for a tuple. NULL keys go to fragment 0. Round-robin
+  /// advances an internal cursor.
+  StatusOr<int> FragmentOf(const Tuple& tuple);
+
+  /// Fragments that could hold a tuple whose fragmentation-column value
+  /// equals `key` (a single fragment for kHash/kRange; all for others).
+  std::vector<int> FragmentsForKey(const Value& key) const;
+
+ private:
+  int HashFragment(const Value& key) const;
+  int RangeFragment(const Value& key) const;
+
+  FragmentationSpec spec_;
+  int rr_cursor_ = 0;
+};
+
+/// Canonical name of fragment `index` of `table` ("emp#3").
+std::string FragmentName(const std::string& table, int index);
+
+}  // namespace prisma::gdh
+
+#endif  // PRISMA_GDH_FRAGMENTATION_H_

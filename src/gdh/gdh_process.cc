@@ -1,0 +1,825 @@
+#include "gdh/gdh_process.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+#include "gdh/ofm_process.h"
+#include "gdh/query_process.h"
+#include "sql/parser.h"
+
+namespace prisma::gdh {
+
+using sql::BoundStatement;
+using sql::Statement;
+
+GdhProcess::GdhProcess(Config config) : config_(std::move(config)) {
+  PRISMA_CHECK(!config_.fragment_pes.empty());
+  PRISMA_CHECK(!config_.coordinator_pes.empty());
+}
+
+// --------------------------------------------------------------- Plumbing
+
+void GdhProcess::ReplyToClient(pool::ProcessId client, uint64_t request_id,
+                               Status status, uint64_t affected,
+                               exec::TxnId txn) {
+  auto reply = std::make_shared<ClientReply>();
+  reply->request_id = request_id;
+  reply->status = std::move(status);
+  reply->affected_rows = affected;
+  reply->txn = txn;
+  SendMail(client, kMailClientReply, reply, reply->WireBits());
+}
+
+StatusOr<pool::ProcessId> GdhProcess::OfmOf(const std::string& fragment) const {
+  const size_t hash_pos = fragment.rfind('#');
+  if (hash_pos == std::string::npos) {
+    return InvalidArgumentError("malformed fragment name " + fragment);
+  }
+  const std::string table = fragment.substr(0, hash_pos);
+  ASSIGN_OR_RETURN(const TableInfo* info, dictionary_.GetTable(table));
+  for (const FragmentInfo& frag : info->fragments) {
+    if (frag.name == fragment) return frag.ofm;
+  }
+  return NotFoundError("no fragment " + fragment);
+}
+
+void GdhProcess::UpdateRowCount(const std::string& fragment, int64_t delta) {
+  const size_t hash_pos = fragment.rfind('#');
+  if (hash_pos == std::string::npos) return;
+  auto info = dictionary_.GetTable(fragment.substr(0, hash_pos));
+  if (!info.ok()) return;
+  for (FragmentInfo& frag : (*info)->fragments) {
+    if (frag.name != fragment) continue;
+    if (delta < 0 && frag.row_count < static_cast<uint64_t>(-delta)) {
+      frag.row_count = 0;
+    } else {
+      frag.row_count += delta;
+    }
+    return;
+  }
+}
+
+exec::TxnId GdhProcess::NewTxn(bool explicit_txn) {
+  const exec::TxnId txn = next_txn_++;
+  txns_[txn].explicit_txn = explicit_txn;
+  return txn;
+}
+
+void GdhProcess::FinishMulticast(uint64_t batch_id, Multicast& batch) {
+  if (batch.done_called) return;
+  batch.done_called = true;
+  runtime()->simulator()->Cancel(batch.timeout_event);
+  auto done = std::move(batch.done);
+  Multicast snapshot = std::move(batch);
+  batches_.erase(batch_id);
+  done(snapshot);
+}
+
+// ----------------------------------------------------------------- Locks
+
+void GdhProcess::AcquireExclusive(exec::TxnId txn,
+                                  std::vector<std::string> resources,
+                                  size_t index,
+                                  std::function<void(Status)> then) {
+  if (index >= resources.size()) {
+    then(Status::OK());
+    return;
+  }
+  const std::string resource = resources[index];
+  locks_.Acquire(
+      txn, resource, LockMode::kExclusive,
+      [this, txn, resources = std::move(resources), index,
+       then = std::move(then)](Status status) mutable {
+        if (!status.ok()) {
+          ++stats_.deadlock_aborts;
+          then(std::move(status));
+          return;
+        }
+        AcquireExclusive(txn, std::move(resources), index + 1,
+                         std::move(then));
+      });
+}
+
+void GdhProcess::HandleLockBatch(const pool::Mail& mail) {
+  auto request = std::any_cast<std::shared_ptr<LockBatchRequest>>(mail.body);
+  ChargeCpu(config_.costs.message_handling_ns);
+  std::sort(request->resources.begin(), request->resources.end());
+  const pool::ProcessId requester = mail.from;
+  const exec::TxnId txn = request->txn;
+  const uint64_t request_id = request->request_id;
+  // Sequentially acquire shared locks; callback-chained like the X path.
+  auto respond = [this, requester, request_id, txn](Status status) {
+    if (!status.ok()) {
+      ++stats_.deadlock_aborts;
+      // A deadlock aborts the whole transaction (the SELECT's statement
+      // txn, or the enclosing explicit transaction).
+      AbortEverywhere(txn, [this, requester, request_id,
+                            status](Status) mutable {
+        auto reply = std::make_shared<LockBatchReply>();
+        reply->request_id = request_id;
+        reply->status = std::move(status);
+        SendMail(requester, kMailLockBatchReply, reply, kControlBits);
+      });
+      return;
+    }
+    auto reply = std::make_shared<LockBatchReply>();
+    reply->request_id = request_id;
+    SendMail(requester, kMailLockBatchReply, reply, kControlBits);
+  };
+
+  // Recursive shared acquisition.
+  auto resources = std::make_shared<std::vector<std::string>>(
+      std::move(request->resources));
+  auto step = std::make_shared<std::function<void(size_t)>>();
+  *step = [this, resources, txn, respond, step](size_t index) {
+    if (index >= resources->size()) {
+      respond(Status::OK());
+      return;
+    }
+    locks_.Acquire(txn, (*resources)[index], LockMode::kShared,
+                   [respond, step, index](Status status) {
+                     if (!status.ok()) {
+                       respond(std::move(status));
+                       return;
+                     }
+                     (*step)(index + 1);
+                   });
+  };
+  (*step)(0);
+}
+
+// ------------------------------------------------------------------- 2PC
+
+void GdhProcess::RunTwoPhaseCommit(exec::TxnId txn,
+                                   std::function<void(Status)> then) {
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) {
+    then(NotFoundError("unknown transaction " + std::to_string(txn)));
+    return;
+  }
+  std::vector<std::string> involved(it->second.involved.begin(),
+                                    it->second.involved.end());
+  if (involved.empty()) {
+    decisions_[txn] = true;
+    locks_.ReleaseAll(txn);
+    txns_.erase(txn);
+    ++stats_.txns_committed;
+    then(Status::OK());
+    return;
+  }
+
+  // Phase 1: prepare.
+  const uint64_t batch_id = next_batch_id_++;
+  Multicast& batch = batches_[batch_id];
+  batch.expected = involved.size();
+  batch.done = [this, txn, involved, then = std::move(then)](Multicast& m) {
+    const bool commit = m.first_error.ok();
+    decisions_[txn] = commit;
+    // Phase 2: decision.
+    const uint64_t batch2 = next_batch_id_++;
+    Multicast& second = batches_[batch2];
+    second.expected = involved.size();
+    Status outcome = commit ? Status::OK()
+                            : AbortedError("transaction " +
+                                           std::to_string(txn) +
+                                           " aborted during prepare: " +
+                                           m.first_error.message());
+    second.done = [this, txn, outcome, then](Multicast&) {
+      locks_.ReleaseAll(txn);
+      txns_.erase(txn);
+      if (outcome.ok()) {
+        ++stats_.txns_committed;
+      } else {
+        ++stats_.txns_aborted;
+      }
+      then(outcome);
+    };
+    for (const std::string& fragment : involved) {
+      auto ofm = OfmOf(fragment);
+      auto request = std::make_shared<TxnControlRequest>();
+      request->request_id = next_request_id_++;
+      request->op = commit ? TxnControlRequest::Op::kCommit
+                           : TxnControlRequest::Op::kAbort;
+      request->txn = txn;
+      request_batch_[request->request_id] = batch2;
+      if (ofm.ok()) {
+        SendMail(*ofm, kMailTxnControl, request, kControlBits);
+      }
+    }
+    batches_[batch2].timeout_event = SendSelfAfter(
+        config_.op_timeout_ns, kMailOpTimeout,
+        std::make_shared<uint64_t>(batch2));
+  };
+  for (const std::string& fragment : involved) {
+    auto ofm = OfmOf(fragment);
+    auto request = std::make_shared<TxnControlRequest>();
+    request->request_id = next_request_id_++;
+    request->op = TxnControlRequest::Op::kPrepare;
+    request->txn = txn;
+    request_batch_[request->request_id] = batch_id;
+    if (ofm.ok()) {
+      SendMail(*ofm, kMailTxnControl, request, kControlBits);
+    }
+  }
+  batches_[batch_id].timeout_event = SendSelfAfter(
+      config_.op_timeout_ns, kMailOpTimeout,
+      std::make_shared<uint64_t>(batch_id));
+}
+
+void GdhProcess::AbortEverywhere(exec::TxnId txn,
+                                 std::function<void(Status)> then) {
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) {
+    then(Status::OK());
+    return;
+  }
+  std::vector<std::string> involved(it->second.involved.begin(),
+                                    it->second.involved.end());
+  decisions_[txn] = false;
+  if (involved.empty()) {
+    locks_.ReleaseAll(txn);
+    txns_.erase(txn);
+    then(Status::OK());
+    return;
+  }
+  const uint64_t batch_id = next_batch_id_++;
+  Multicast& batch = batches_[batch_id];
+  batch.expected = involved.size();
+  batch.done = [this, txn, then = std::move(then)](Multicast&) {
+    locks_.ReleaseAll(txn);
+    txns_.erase(txn);
+    ++stats_.txns_aborted;
+    then(Status::OK());
+  };
+  for (const std::string& fragment : involved) {
+    auto ofm = OfmOf(fragment);
+    auto request = std::make_shared<TxnControlRequest>();
+    request->request_id = next_request_id_++;
+    request->op = TxnControlRequest::Op::kAbort;
+    request->txn = txn;
+    request_batch_[request->request_id] = batch_id;
+    if (ofm.ok()) {
+      SendMail(*ofm, kMailTxnControl, request, kControlBits);
+    }
+  }
+  batches_[batch_id].timeout_event = SendSelfAfter(
+      config_.op_timeout_ns, kMailOpTimeout,
+      std::make_shared<uint64_t>(batch_id));
+}
+
+// ------------------------------------------------------------------- DDL
+
+void GdhProcess::ExecuteDdl(const BoundStatement& bound,
+                            const std::shared_ptr<ClientStatement>& stmt,
+                            pool::ProcessId client) {
+  switch (bound.kind) {
+    case Statement::Kind::kCreateTable: {
+      FragmentationSpec spec;
+      spec.strategy = bound.fragmentation.strategy;
+      spec.column = bound.fragment_column;
+      spec.num_fragments = bound.fragmentation.num_fragments;
+      auto info_or =
+          dictionary_.CreateTable(bound.table, bound.create_schema, spec);
+      if (!info_or.ok()) {
+        ReplyToClient(client, stmt->request_id, info_or.status(), 0, 0);
+        return;
+      }
+      TableInfo* info = *info_or;
+      const size_t pool = config_.fragment_pes.size();
+      for (size_t i = 0; i < info->fragments.size(); ++i) {
+        const net::NodeId pe =
+            config_.placement == PlacementPolicy::kAligned
+                ? config_.fragment_pes[i % pool]
+                : config_.fragment_pes[placement_cursor_++ % pool];
+        OfmProcess::Config ofm_config;
+        ofm_config.fragment_name = info->fragments[i].name;
+        ofm_config.schema = info->schema;
+        ofm_config.ofm.type = config_.base_ofm_type;
+        auto res = config_.resources.find(pe);
+        if (res != config_.resources.end()) {
+          ofm_config.ofm.memory = res->second.memory;
+          ofm_config.ofm.stable = res->second.stable;
+        }
+        ofm_config.ofm.exec.expr_mode = config_.expr_mode;
+        ofm_config.ofm.exec.costs = config_.costs;
+        ofm_config.gdh = self();
+        ofm_config.registry = config_.registry;
+        info->fragments[i].pe = pe;
+        info->fragments[i].ofm =
+            runtime()->Spawn(pe, std::make_unique<OfmProcess>(
+                                     std::move(ofm_config)));
+      }
+      ReplyToClient(client, stmt->request_id, Status::OK(), 0, 0);
+      return;
+    }
+    case Statement::Kind::kDropTable: {
+      auto info = dictionary_.GetTable(bound.table);
+      if (!info.ok()) {
+        ReplyToClient(client, stmt->request_id, info.status(), 0, 0);
+        return;
+      }
+      for (const FragmentInfo& frag : (*info)->fragments) {
+        runtime()->Kill(frag.ofm);
+      }
+      PRISMA_CHECK_OK(dictionary_.DropTable(bound.table));
+      ReplyToClient(client, stmt->request_id, Status::OK(), 0, 0);
+      return;
+    }
+    case Statement::Kind::kCreateIndex: {
+      IndexInfo index;
+      index.name = bound.index_name;
+      index.columns = bound.index_columns;
+      index.ordered = bound.index_ordered;
+      Status added = dictionary_.AddIndex(bound.table, index);
+      if (!added.ok()) {
+        ReplyToClient(client, stmt->request_id, added, 0, 0);
+        return;
+      }
+      auto info = dictionary_.GetTable(bound.table);
+      PRISMA_CHECK(info.ok());
+      const uint64_t batch_id = next_batch_id_++;
+      Multicast& batch = batches_[batch_id];
+      batch.expected = (*info)->fragments.size();
+      const uint64_t request_id = stmt->request_id;
+      batch.done = [this, client, request_id](Multicast& m) {
+        ReplyToClient(client, request_id, m.first_error, 0, 0);
+      };
+      for (const FragmentInfo& frag : (*info)->fragments) {
+        auto request = std::make_shared<CreateIndexRequest>();
+        request->request_id = next_request_id_++;
+        request->index_name = index.name;
+        request->columns = index.columns;
+        request->ordered = index.ordered;
+        request_batch_[request->request_id] = batch_id;
+        SendMail(frag.ofm, kMailCreateIndex, request, kControlBits);
+      }
+      batches_[batch_id].timeout_event = SendSelfAfter(
+          config_.op_timeout_ns, kMailOpTimeout,
+          std::make_shared<uint64_t>(batch_id));
+      return;
+    }
+    default:
+      ReplyToClient(client, stmt->request_id,
+                    InternalError("not a DDL statement"), 0, 0);
+  }
+}
+
+// ------------------------------------------------------------------- DML
+
+StatusOr<std::vector<std::string>> GdhProcess::TargetFragments(
+    const std::string& table, const algebra::Expr* where) const {
+  ASSIGN_OR_RETURN(const TableInfo* info, dictionary_.GetTable(table));
+  // Prune to one fragment when the predicate pins the fragmentation key.
+  if (where != nullptr &&
+      (info->fragmentation.strategy == sql::FragmentStrategy::kHash ||
+       info->fragmentation.strategy == sql::FragmentStrategy::kRange)) {
+    for (const auto& conjunct : algebra::SplitConjuncts(*where)) {
+      if (conjunct->kind() != algebra::ExprKind::kBinary ||
+          conjunct->binary_op() != algebra::BinaryOp::kEq) {
+        continue;
+      }
+      const algebra::Expr* l = conjunct->left();
+      const algebra::Expr* r = conjunct->right();
+      if (l->kind() == algebra::ExprKind::kLiteral) std::swap(l, r);
+      if (l->kind() == algebra::ExprKind::kColumnRef && l->bound() &&
+          l->column_index() == info->fragmentation.column &&
+          r->kind() == algebra::ExprKind::kLiteral) {
+        std::vector<std::string> out;
+        for (const int f :
+             info->fragmenter->FragmentsForKey(r->literal())) {
+          out.push_back(info->fragments[f].name);
+        }
+        return out;
+      }
+    }
+  }
+  std::vector<std::string> all;
+  for (const FragmentInfo& frag : info->fragments) all.push_back(frag.name);
+  return all;
+}
+
+void GdhProcess::ExecuteWrite(std::shared_ptr<BoundStatement> bound,
+                              const std::shared_ptr<ClientStatement>& stmt,
+                              pool::ProcessId client) {
+  auto info_or = dictionary_.GetTable(bound->table);
+  if (!info_or.ok()) {
+    ReplyToClient(client, stmt->request_id, info_or.status(), 0, 0);
+    return;
+  }
+  TableInfo* info = *info_or;
+
+  // Build the per-fragment operation list.
+  struct Op {
+    std::string fragment;
+    std::shared_ptr<WriteRequest> request;
+  };
+  auto ops = std::make_shared<std::vector<Op>>();
+  switch (bound->kind) {
+    case Statement::Kind::kInsert: {
+      for (const Tuple& row : bound->insert_rows) {
+        auto frag_or = info->fragmenter->FragmentOf(row);
+        if (!frag_or.ok()) {
+          ReplyToClient(client, stmt->request_id, frag_or.status(), 0, 0);
+          return;
+        }
+        auto request = std::make_shared<WriteRequest>();
+        request->op = WriteRequest::Op::kInsert;
+        request->tuple = row;
+        ops->push_back(Op{info->fragments[*frag_or].name, std::move(request)});
+      }
+      break;
+    }
+    case Statement::Kind::kDelete:
+    case Statement::Kind::kUpdate: {
+      auto targets = TargetFragments(bound->table, bound->where.get());
+      if (!targets.ok()) {
+        ReplyToClient(client, stmt->request_id, targets.status(), 0, 0);
+        return;
+      }
+      for (const std::string& fragment : *targets) {
+        auto request = std::make_shared<WriteRequest>();
+        request->op = bound->kind == Statement::Kind::kDelete
+                          ? WriteRequest::Op::kDeleteWhere
+                          : WriteRequest::Op::kUpdateWhere;
+        if (bound->where != nullptr) {
+          request->predicate = std::shared_ptr<const algebra::Expr>(
+              bound, bound->where.get());
+        }
+        for (const auto& [col, expr] : bound->assignments) {
+          request->assignments.push_back(
+              {col, std::shared_ptr<const algebra::Expr>(bound, expr.get())});
+        }
+        ops->push_back(Op{fragment, std::move(request)});
+      }
+      break;
+    }
+    default:
+      ReplyToClient(client, stmt->request_id,
+                    InternalError("not a write statement"), 0, 0);
+      return;
+  }
+
+  // Transaction scope: the session transaction or an implicit one that
+  // two-phase-commits at the end of the statement.
+  exec::TxnId txn = stmt->txn;
+  bool implicit = false;
+  if (txn == exec::kAutoCommit) {
+    txn = NewTxn(false);
+    implicit = true;
+  } else if (txns_.count(txn) == 0) {
+    ReplyToClient(client, stmt->request_id,
+                  NotFoundError("unknown transaction " + std::to_string(txn)),
+                  0, 0);
+    return;
+  }
+
+  std::vector<std::string> resources;
+  for (const Op& op : *ops) resources.push_back(op.fragment);
+  std::sort(resources.begin(), resources.end());
+  resources.erase(std::unique(resources.begin(), resources.end()),
+                  resources.end());
+
+  const uint64_t client_request = stmt->request_id;
+  AcquireExclusive(
+      txn, resources, 0,
+      [this, txn, implicit, ops, bound, client,
+       client_request](Status lock_status) {
+        if (!lock_status.ok()) {
+          AbortEverywhere(txn, [this, client, client_request,
+                                lock_status](Status) {
+            ReplyToClient(client, client_request, lock_status, 0, 0);
+          });
+          return;
+        }
+        // Locks held: scatter the writes.
+        auto& txn_state = txns_[txn];
+        const uint64_t batch_id = next_batch_id_++;
+        Multicast& batch = batches_[batch_id];
+        batch.expected = ops->size();
+        batch.done = [this, txn, implicit, client,
+                      client_request](Multicast& m) {
+          if (!m.first_error.ok()) {
+            Status error = m.first_error;
+            AbortEverywhere(txn, [this, client, client_request,
+                                  error](Status) {
+              ReplyToClient(client, client_request, error, 0, 0);
+            });
+            return;
+          }
+          const uint64_t affected = m.affected;
+          if (implicit) {
+            RunTwoPhaseCommit(txn, [this, client, client_request,
+                                    affected](Status status) {
+              ReplyToClient(client, client_request, status, affected, 0);
+            });
+          } else {
+            ReplyToClient(client, client_request, Status::OK(), affected, 0);
+          }
+        };
+        for (Op& op : *ops) {
+          txn_state.involved.insert(op.fragment);
+          op.request->request_id = next_request_id_++;
+          op.request->txn = txn;
+          request_batch_[op.request->request_id] = batch_id;
+          auto ofm = OfmOf(op.fragment);
+          ++stats_.write_ops_sent;
+          if (ofm.ok()) {
+            SendMail(*ofm, kMailWrite, op.request, op.request->WireBits());
+          }
+        }
+        batches_[batch_id].timeout_event = SendSelfAfter(
+            config_.op_timeout_ns, kMailOpTimeout,
+            std::make_shared<uint64_t>(batch_id));
+      });
+}
+
+// --------------------------------------------------------------- Txn ctl
+
+void GdhProcess::ExecuteTxnControl(const BoundStatement& bound,
+                                   const std::shared_ptr<ClientStatement>& stmt,
+                                   pool::ProcessId client) {
+  switch (bound.txn_control) {
+    case sql::TxnControl::kBegin: {
+      const exec::TxnId txn = NewTxn(true);
+      ++stats_.txns_begun;
+      ReplyToClient(client, stmt->request_id, Status::OK(), 0, txn);
+      return;
+    }
+    case sql::TxnControl::kCommit: {
+      const uint64_t request_id = stmt->request_id;
+      RunTwoPhaseCommit(stmt->txn,
+                        [this, client, request_id](Status status) {
+                          ReplyToClient(client, request_id, status, 0, 0);
+                        });
+      return;
+    }
+    case sql::TxnControl::kAbort: {
+      const uint64_t request_id = stmt->request_id;
+      AbortEverywhere(stmt->txn, [this, client, request_id](Status status) {
+        ReplyToClient(client, request_id, status, 0, 0);
+      });
+      return;
+    }
+  }
+}
+
+// ----------------------------------------------------------- Coordinators
+
+void GdhProcess::SpawnCoordinator(const std::shared_ptr<ClientStatement>& stmt,
+                                  pool::ProcessId client) {
+  exec::TxnId lock_txn = stmt->txn;
+  if (lock_txn == exec::kAutoCommit) {
+    lock_txn = NewTxn(false);
+  } else if (txns_.count(lock_txn) == 0) {
+    ReplyToClient(client, stmt->request_id,
+                  NotFoundError("unknown transaction " +
+                                std::to_string(lock_txn)),
+                  0, 0);
+    return;
+  }
+  QueryProcess::Config config;
+  config.dictionary = &dictionary_;
+  config.rules = config_.rules;
+  config.costs = config_.costs;
+  config.expr_mode = config_.expr_mode;
+  config.gdh = self();
+  config.client = client;
+  config.statement = stmt;
+  config.lock_txn = lock_txn;
+  config.timeout_ns = config_.query_timeout_ns;
+  const net::NodeId pe = config_.coordinator_pes[coordinator_cursor_++ %
+                                                 config_.coordinator_pes.size()];
+  runtime()->Spawn(pe, std::make_unique<QueryProcess>(std::move(config)));
+  ++stats_.selects_spawned;
+}
+
+void GdhProcess::HandleStatementDone(const pool::Mail& mail) {
+  auto done = std::any_cast<std::shared_ptr<StatementDone>>(mail.body);
+  auto it = txns_.find(done->txn);
+  if (it != txns_.end() && !it->second.explicit_txn &&
+      it->second.involved.empty()) {
+    // Statement-scoped read locks.
+    locks_.ReleaseAll(done->txn);
+    txns_.erase(it);
+  }
+  // The per-query coordinator instance has served its purpose (§2.2).
+  runtime()->Kill(mail.from);
+}
+
+// ---------------------------------------------------------------- Replies
+
+void GdhProcess::HandleWriteReply(const pool::Mail& mail) {
+  auto reply = std::any_cast<std::shared_ptr<WriteReply>>(mail.body);
+  auto it = request_batch_.find(reply->request_id);
+  if (it == request_batch_.end()) return;
+  const uint64_t batch_id = it->second;
+  request_batch_.erase(it);
+  auto batch_it = batches_.find(batch_id);
+  if (batch_it == batches_.end()) return;
+  Multicast& batch = batch_it->second;
+  ++batch.received;
+  if (!reply->status.ok() && batch.first_error.ok()) {
+    batch.first_error = reply->status;
+  }
+  batch.affected += reply->affected_rows;
+  if (reply->row_delta != 0) UpdateRowCount(reply->fragment, reply->row_delta);
+  if (batch.received == batch.expected) FinishMulticast(batch_id, batch);
+}
+
+void GdhProcess::HandleTxnControlReply(const pool::Mail& mail) {
+  auto reply = std::any_cast<std::shared_ptr<TxnControlReply>>(mail.body);
+  auto it = request_batch_.find(reply->request_id);
+  if (it == request_batch_.end()) return;
+  const uint64_t batch_id = it->second;
+  request_batch_.erase(it);
+  auto batch_it = batches_.find(batch_id);
+  if (batch_it == batches_.end()) return;
+  Multicast& batch = batch_it->second;
+  ++batch.received;
+  if (!reply->status.ok() && batch.first_error.ok()) {
+    batch.first_error = reply->status;
+  }
+  if (batch.received == batch.expected) FinishMulticast(batch_id, batch);
+}
+
+void GdhProcess::HandleDecisionRequest(const pool::Mail& mail) {
+  auto request = std::any_cast<std::shared_ptr<DecisionRequest>>(mail.body);
+  auto reply = std::make_shared<DecisionReply>();
+  reply->request_id = request->request_id;
+  for (const exec::TxnId txn : request->transactions) {
+    auto it = decisions_.find(txn);
+    // Presumed abort for unknown transactions.
+    reply->commit.push_back(it != decisions_.end() && it->second);
+  }
+  SendMail(mail.from, kMailDecisionReply, reply, kControlBits);
+}
+
+void GdhProcess::HandleOpTimeout(const pool::Mail& mail) {
+  auto batch_id = std::any_cast<std::shared_ptr<uint64_t>>(mail.body);
+  auto it = batches_.find(*batch_id);
+  if (it == batches_.end()) return;
+  Multicast& batch = it->second;
+  if (batch.first_error.ok()) {
+    batch.first_error =
+        UnavailableError("fragment did not respond (crashed PE?)");
+  }
+  FinishMulticast(*batch_id, batch);
+}
+
+// ------------------------------------------------------------ Statements
+
+void GdhProcess::HandleClientStatement(const pool::Mail& mail) {
+  auto stmt = std::any_cast<std::shared_ptr<ClientStatement>>(mail.body);
+  const pool::ProcessId client = mail.from;
+  ++stats_.statements;
+  // Routing parse is cheap; full parse/optimize happens per-query in the
+  // coordinator instances.
+  ChargeCpu(config_.costs.optimize_ns / 10);
+
+  if (stmt->is_prismalog) {
+    SpawnCoordinator(stmt, client);
+    return;
+  }
+  auto parsed = sql::ParseSql(stmt->text);
+  if (!parsed.ok()) {
+    ReplyToClient(client, stmt->request_id, parsed.status(), 0, 0);
+    return;
+  }
+  switch (parsed->kind) {
+    case Statement::Kind::kSelect:
+      SpawnCoordinator(stmt, client);
+      return;
+    case Statement::Kind::kTxnControl: {
+      auto bound = sql::BindStatement(*parsed, dictionary_);
+      PRISMA_CHECK(bound.ok());
+      ExecuteTxnControl(*bound, stmt, client);
+      return;
+    }
+    case Statement::Kind::kCreateTable:
+    case Statement::Kind::kDropTable:
+    case Statement::Kind::kCreateIndex: {
+      auto bound = sql::BindStatement(*parsed, dictionary_);
+      if (!bound.ok()) {
+        ReplyToClient(client, stmt->request_id, bound.status(), 0, 0);
+        return;
+      }
+      ExecuteDdl(*bound, stmt, client);
+      return;
+    }
+    case Statement::Kind::kCheckpoint: {
+      ExecuteCheckpoint(stmt, client);
+      return;
+    }
+    case Statement::Kind::kInsert:
+    case Statement::Kind::kDelete:
+    case Statement::Kind::kUpdate: {
+      auto bound = sql::BindStatement(*parsed, dictionary_);
+      if (!bound.ok()) {
+        ReplyToClient(client, stmt->request_id, bound.status(), 0, 0);
+        return;
+      }
+      ExecuteWrite(std::make_shared<BoundStatement>(std::move(bound).value()),
+                   stmt, client);
+      return;
+    }
+  }
+}
+
+void GdhProcess::ExecuteCheckpoint(
+    const std::shared_ptr<ClientStatement>& stmt, pool::ProcessId client) {
+  std::vector<pool::ProcessId> ofms;
+  for (const std::string& table : dictionary_.TableNames()) {
+    auto info = dictionary_.GetTable(table);
+    PRISMA_CHECK(info.ok());
+    for (const FragmentInfo& frag : (*info)->fragments) {
+      if (frag.ofm != pool::kNoProcess) ofms.push_back(frag.ofm);
+    }
+  }
+  if (ofms.empty()) {
+    ReplyToClient(client, stmt->request_id, Status::OK(), 0, 0);
+    return;
+  }
+  const uint64_t batch_id = next_batch_id_++;
+  Multicast& batch = batches_[batch_id];
+  batch.expected = ofms.size();
+  const uint64_t request_id = stmt->request_id;
+  batch.done = [this, client, request_id](Multicast& m) {
+    ReplyToClient(client, request_id, m.first_error, m.affected, 0);
+  };
+  for (const pool::ProcessId ofm : ofms) {
+    auto request = std::make_shared<CheckpointRequest>();
+    request->request_id = next_request_id_++;
+    request_batch_[request->request_id] = batch_id;
+    SendMail(ofm, kMailCheckpoint, request, kControlBits);
+  }
+  batches_[batch_id].timeout_event = SendSelfAfter(
+      config_.op_timeout_ns, kMailOpTimeout,
+      std::make_shared<uint64_t>(batch_id));
+}
+
+// -------------------------------------------------------- Crash / recover
+
+Status GdhProcess::CrashFragment(const std::string& table, int fragment) {
+  ASSIGN_OR_RETURN(TableInfo * info, dictionary_.GetTable(table));
+  if (fragment < 0 || fragment >= static_cast<int>(info->fragments.size())) {
+    return OutOfRangeError("no such fragment");
+  }
+  runtime()->Kill(info->fragments[fragment].ofm);
+  info->fragments[fragment].ofm = pool::kNoProcess;
+  return Status::OK();
+}
+
+Status GdhProcess::RecoverFragment(const std::string& table, int fragment) {
+  ASSIGN_OR_RETURN(TableInfo * info, dictionary_.GetTable(table));
+  if (fragment < 0 || fragment >= static_cast<int>(info->fragments.size())) {
+    return OutOfRangeError("no such fragment");
+  }
+  FragmentInfo& frag = info->fragments[fragment];
+  if (frag.ofm != pool::kNoProcess && runtime()->IsAlive(frag.ofm)) {
+    return FailedPreconditionError(frag.name + " is alive");
+  }
+  OfmProcess::Config config;
+  config.fragment_name = frag.name;
+  config.schema = info->schema;
+  config.ofm.type = config_.base_ofm_type;
+  auto res = config_.resources.find(frag.pe);
+  if (res != config_.resources.end()) {
+    config.ofm.memory = res->second.memory;
+    config.ofm.stable = res->second.stable;
+  }
+  config.ofm.exec.expr_mode = config_.expr_mode;
+  config.ofm.exec.costs = config_.costs;
+  config.recover = true;
+  config.gdh = self();
+  config.registry = config_.registry;
+  config.indexes = info->indexes;
+  frag.ofm =
+      runtime()->Spawn(frag.pe, std::make_unique<OfmProcess>(std::move(config)));
+  // The recovered fragment's statistics are rebuilt lazily; reset to keep
+  // the estimator sane.
+  return Status::OK();
+}
+
+// ------------------------------------------------------------------- Mail
+
+void GdhProcess::OnMail(const pool::Mail& mail) {
+  if (mail.kind == kMailClientStatement) {
+    HandleClientStatement(mail);
+  } else if (mail.kind == kMailLockBatch) {
+    HandleLockBatch(mail);
+  } else if (mail.kind == kMailStatementDone) {
+    HandleStatementDone(mail);
+  } else if (mail.kind == kMailWriteReply) {
+    HandleWriteReply(mail);
+  } else if (mail.kind == kMailTxnControlReply) {
+    HandleTxnControlReply(mail);
+  } else if (mail.kind == kMailDecisionRequest) {
+    HandleDecisionRequest(mail);
+  } else if (mail.kind == kMailOpTimeout) {
+    HandleOpTimeout(mail);
+  }
+}
+
+}  // namespace prisma::gdh

@@ -1,0 +1,185 @@
+#ifndef PRISMA_GDH_GDH_PROCESS_H_
+#define PRISMA_GDH_GDH_PROCESS_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gdh/data_dictionary.h"
+#include "gdh/lock_manager.h"
+#include "gdh/messages.h"
+#include "gdh/optimizer.h"
+#include "gdh/pe_registry.h"
+#include "pool/runtime.h"
+#include "sql/binder.h"
+#include "storage/memory_tracker.h"
+#include "storage/stable_store.h"
+
+namespace prisma::gdh {
+
+/// How the data-allocation manager places fragments on PEs.
+enum class PlacementPolicy : uint8_t {
+  /// Fragment i of every table lands on the i-th fragment PE, so equal
+  /// fragment indexes of co-partitioned tables share a PE.
+  kAligned,
+  /// Fragments take consecutive PEs from a global cursor (spreads load,
+  /// destroys co-location) — the E9 contrast.
+  kRoundRobin,
+};
+
+/// The Global Data Handler (§2.2): data dictionary, query optimizer
+/// configuration, transaction manager, concurrency-control unit, recovery
+/// coordinator and data-allocation manager, running as one POOL-X process
+/// (conventionally on PE 0). SELECTs are delegated to per-query
+/// coordinator processes; DDL, DML and transaction control are handled
+/// here.
+class GdhProcess : public pool::Process {
+ public:
+  struct PeResources {
+    storage::MemoryTracker* memory = nullptr;
+    storage::StableStore* stable = nullptr;
+  };
+  struct Config {
+    /// PEs eligible to host fragments (the allocation pool).
+    std::vector<net::NodeId> fragment_pes;
+    /// PEs eligible to host per-query coordinators.
+    std::vector<net::NodeId> coordinator_pes;
+    std::map<net::NodeId, PeResources> resources;
+    pool::CostModel costs;
+    OptimizerRules rules;
+    exec::ExprMode expr_mode = exec::ExprMode::kCompiled;
+    /// Base-fragment OFM flavour (kQueryOnly disables durability — E7).
+    exec::OfmType base_ofm_type = exec::OfmType::kFull;
+    PlacementPolicy placement = PlacementPolicy::kAligned;
+    /// Directory of co-located fragments for distributed joins (owned by
+    /// the machine; may be null to disable co-located execution).
+    PeLocalRegistry* registry = nullptr;
+    sim::SimTime op_timeout_ns = 10 * sim::kNanosPerSecond;
+    sim::SimTime query_timeout_ns = 30 * sim::kNanosPerSecond;
+  };
+
+  explicit GdhProcess(Config config);
+
+  void OnMail(const pool::Mail& mail) override;
+
+  // --- Control plane, used by core::PrismaDb and tests between events ---
+
+  DataDictionary& dictionary() { return dictionary_; }
+  const LockManager& locks() const { return locks_; }
+
+  /// Kills the OFM process of one fragment (simulated PE crash).
+  Status CrashFragment(const std::string& table, int fragment);
+  /// Spawns a replacement OFM that recovers from stable storage and
+  /// resolves in-doubt transactions with this coordinator.
+  Status RecoverFragment(const std::string& table, int fragment);
+
+  struct Stats {
+    uint64_t statements = 0;
+    uint64_t selects_spawned = 0;
+    uint64_t txns_begun = 0;
+    uint64_t txns_committed = 0;
+    uint64_t txns_aborted = 0;
+    uint64_t deadlock_aborts = 0;
+    uint64_t write_ops_sent = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  // Transaction bookkeeping.
+  struct TxnState {
+    bool explicit_txn = false;  // Created by BEGIN (vs statement/implicit).
+    std::set<std::string> involved;  // Fragments with writes.
+    pool::ProcessId coordinator = pool::kNoProcess;  // Statement-scoped.
+  };
+
+  /// One scatter/await-all interaction with a set of OFMs.
+  struct Multicast {
+    size_t expected = 0;
+    size_t received = 0;
+    Status first_error;
+    uint64_t affected = 0;
+    bool done_called = false;
+    sim::EventId timeout_event = 0;
+    std::function<void(Multicast&)> done;
+  };
+
+  void HandleClientStatement(const pool::Mail& mail);
+  void HandleLockBatch(const pool::Mail& mail);
+  void HandleStatementDone(const pool::Mail& mail);
+  void HandleWriteReply(const pool::Mail& mail);
+  void HandleTxnControlReply(const pool::Mail& mail);
+  void HandleDecisionRequest(const pool::Mail& mail);
+  void HandleOpTimeout(const pool::Mail& mail);
+
+  void SpawnCoordinator(const std::shared_ptr<ClientStatement>& stmt,
+                        pool::ProcessId client);
+  void ExecuteDdl(const sql::BoundStatement& bound,
+                  const std::shared_ptr<ClientStatement>& stmt,
+                  pool::ProcessId client);
+  void ExecuteWrite(std::shared_ptr<sql::BoundStatement> bound,
+                    const std::shared_ptr<ClientStatement>& stmt,
+                    pool::ProcessId client);
+  void ExecuteTxnControl(const sql::BoundStatement& bound,
+                         const std::shared_ptr<ClientStatement>& stmt,
+                         pool::ProcessId client);
+  /// CHECKPOINT: every fragment snapshots and truncates its WAL.
+  void ExecuteCheckpoint(const std::shared_ptr<ClientStatement>& stmt,
+                         pool::ProcessId client);
+
+  /// Acquires X locks on `resources` one by one, then calls `then` with
+  /// OK or the deadlock abort status.
+  void AcquireExclusive(exec::TxnId txn, std::vector<std::string> resources,
+                        size_t index, std::function<void(Status)> then);
+
+  /// Two-phase commit over `txn`'s involved fragments, then release +
+  /// `then(decision_status)`.
+  void RunTwoPhaseCommit(exec::TxnId txn, std::function<void(Status)> then);
+  /// Aborts `txn` everywhere, releases locks, then `then`.
+  void AbortEverywhere(exec::TxnId txn, std::function<void(Status)> then);
+
+  void ReplyToClient(pool::ProcessId client, uint64_t request_id,
+                     Status status, uint64_t affected, exec::TxnId txn);
+
+  /// Sends `kind` to the OFMs of `fragments` and runs `done` when all
+  /// replied (or the op times out with kUnavailable).
+  template <typename Request>
+  void MulticastToFragments(const std::vector<std::string>& fragments,
+                            const char* kind,
+                            std::function<std::shared_ptr<Request>(uint64_t)>
+                                make_request,
+                            std::function<void(Multicast&)> done);
+
+  StatusOr<pool::ProcessId> OfmOf(const std::string& fragment) const;
+  /// Fragments of `table` possibly matching `where` (pruned via the
+  /// fragmentation key when the predicate pins it to one value).
+  StatusOr<std::vector<std::string>> TargetFragments(
+      const std::string& table, const algebra::Expr* where) const;
+  void UpdateRowCount(const std::string& fragment, int64_t delta);
+
+  exec::TxnId NewTxn(bool explicit_txn);
+  void FinishMulticast(uint64_t batch_id, Multicast& batch);
+
+  Config config_;
+  DataDictionary dictionary_;
+  LockManager locks_;
+  Stats stats_;
+
+  exec::TxnId next_txn_ = 1;
+  std::map<exec::TxnId, TxnState> txns_;
+  std::map<exec::TxnId, bool> decisions_;  // 2PC outcomes, for recovery.
+
+  uint64_t next_request_id_ = 1;
+  uint64_t next_batch_id_ = 1;
+  std::map<uint64_t, Multicast> batches_;
+  std::map<uint64_t, uint64_t> request_batch_;  // request id -> batch id.
+
+  size_t coordinator_cursor_ = 0;
+  size_t placement_cursor_ = 0;
+};
+
+}  // namespace prisma::gdh
+
+#endif  // PRISMA_GDH_GDH_PROCESS_H_

@@ -1,0 +1,154 @@
+#include "gdh/lock_manager.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace prisma::gdh {
+
+bool LockManager::Compatible(const ResourceState& state, TxnId txn,
+                             LockMode mode) {
+  for (const auto& [holder, held_mode] : state.holders) {
+    if (holder == txn) continue;
+    if (mode == LockMode::kExclusive || held_mode == LockMode::kExclusive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void LockManager::Acquire(TxnId txn, const std::string& resource,
+                          LockMode mode, GrantCallback callback) {
+  ResourceState& state = resources_[resource];
+
+  auto held = state.holders.find(txn);
+  if (held != state.holders.end()) {
+    if (held->second == LockMode::kExclusive || mode == LockMode::kShared) {
+      // Already strong enough.
+      ++locks_granted_;
+      callback(Status::OK());
+      return;
+    }
+    // S -> X upgrade.
+    if (Compatible(state, txn, LockMode::kExclusive)) {
+      held->second = LockMode::kExclusive;
+      ++locks_granted_;
+      callback(Status::OK());
+      return;
+    }
+    // Upgrade must wait like any other request (and can deadlock).
+  }
+
+  if (held == state.holders.end() && state.waiters.empty() &&
+      Compatible(state, txn, mode)) {
+    state.holders[txn] = mode;
+    ++locks_granted_;
+    callback(Status::OK());
+    return;
+  }
+
+  // Must wait: check for a waits-for cycle first; the requester is the
+  // victim if granting the wait would close one.
+  if (WouldDeadlock(txn, resource)) {
+    ++deadlocks_detected_;
+    callback(AbortedError("deadlock detected; transaction " +
+                          std::to_string(txn) + " chosen as victim"));
+    return;
+  }
+  ++waits_;
+  state.waiters.push_back(Request{txn, mode, std::move(callback)});
+}
+
+bool LockManager::WouldDeadlock(TxnId waiter,
+                                const std::string& resource) const {
+  // Direct blockers of the hypothetical wait.
+  std::vector<TxnId> frontier;
+  auto it = resources_.find(resource);
+  if (it != resources_.end()) {
+    for (const auto& [holder, _] : it->second.holders) {
+      if (holder != waiter) frontier.push_back(holder);
+    }
+    for (const Request& r : it->second.waiters) {
+      if (r.txn != waiter) frontier.push_back(r.txn);
+    }
+  }
+  // DFS over the waits-for graph: blocked txn -> holders and earlier
+  // waiters of the resource it waits on.
+  std::set<TxnId> visited;
+  while (!frontier.empty()) {
+    const TxnId t = frontier.back();
+    frontier.pop_back();
+    if (t == waiter) return true;
+    if (!visited.insert(t).second) continue;
+    for (const auto& [_, state] : resources_) {
+      for (size_t i = 0; i < state.waiters.size(); ++i) {
+        if (state.waiters[i].txn != t) continue;
+        for (const auto& [holder, __] : state.holders) {
+          frontier.push_back(holder);
+        }
+        for (size_t j = 0; j < i; ++j) {
+          frontier.push_back(state.waiters[j].txn);
+        }
+      }
+    }
+  }
+  return false;
+}
+
+void LockManager::GrantWaiters(const std::string& resource) {
+  auto it = resources_.find(resource);
+  if (it == resources_.end()) return;
+  ResourceState& state = it->second;
+  // FIFO with shared batching: grant the head while compatible.
+  std::vector<Request> granted;
+  while (!state.waiters.empty()) {
+    Request& head = state.waiters.front();
+    // An upgrade request holds S already; treat specially.
+    auto held = state.holders.find(head.txn);
+    const bool ok = Compatible(state, head.txn, head.mode);
+    if (!ok) break;
+    if (held != state.holders.end()) {
+      held->second = head.mode;
+    } else {
+      state.holders[head.txn] = head.mode;
+    }
+    ++locks_granted_;
+    granted.push_back(std::move(head));
+    state.waiters.pop_front();
+  }
+  if (state.holders.empty() && state.waiters.empty()) {
+    resources_.erase(it);
+  }
+  for (Request& r : granted) r.callback(Status::OK());
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  std::vector<std::string> touched;
+  for (auto& [name, state] : resources_) {
+    const bool held = state.holders.erase(txn) > 0;
+    const size_t before = state.waiters.size();
+    state.waiters.erase(
+        std::remove_if(state.waiters.begin(), state.waiters.end(),
+                       [txn](const Request& r) { return r.txn == txn; }),
+        state.waiters.end());
+    if (held || before != state.waiters.size()) touched.push_back(name);
+  }
+  for (const std::string& name : touched) GrantWaiters(name);
+  // Drop fully idle resources.
+  for (auto it = resources_.begin(); it != resources_.end();) {
+    if (it->second.holders.empty() && it->second.waiters.empty()) {
+      it = resources_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool LockManager::Holds(TxnId txn, const std::string& resource) const {
+  auto it = resources_.find(resource);
+  return it != resources_.end() && it->second.holders.count(txn) > 0;
+}
+
+size_t LockManager::num_locked_resources() const { return resources_.size(); }
+
+}  // namespace prisma::gdh

@@ -1,0 +1,87 @@
+#ifndef PRISMA_GDH_LOCK_MANAGER_H_
+#define PRISMA_GDH_LOCK_MANAGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/ofm.h"
+
+namespace prisma::gdh {
+
+using exec::TxnId;
+
+enum class LockMode : uint8_t { kShared, kExclusive };
+
+/// The GDH's concurrency-control unit (§2.2): strict two-phase locking at
+/// fragment granularity with waits-for deadlock detection.
+///
+/// Acquire is asynchronous: the callback fires immediately when the lock
+/// is compatible, later when it becomes available, or with kAborted when
+/// granting would close a waits-for cycle (the requester is the victim,
+/// matching "evaluation ... in parallel, except for accesses to the same
+/// copy of base fragments", §2.2). All of a transaction's locks are
+/// released together (strictness).
+class LockManager {
+ public:
+  using GrantCallback = std::function<void(Status)>;
+
+  LockManager() = default;
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  /// Requests `mode` on `resource` for `txn`. Re-acquiring a held lock
+  /// (or upgrading S->X when alone) succeeds immediately.
+  void Acquire(TxnId txn, const std::string& resource, LockMode mode,
+               GrantCallback callback);
+
+  /// Releases everything `txn` holds or waits for; grants unblocked
+  /// waiters (their callbacks fire inside this call).
+  void ReleaseAll(TxnId txn);
+
+  /// True if `txn` currently holds a lock on `resource`.
+  bool Holds(TxnId txn, const std::string& resource) const;
+
+  /// Number of resources with at least one holder or waiter.
+  size_t num_locked_resources() const;
+
+  /// Deadlock victims so far (for experiment E8's abort-rate metric).
+  uint64_t deadlocks_detected() const { return deadlocks_detected_; }
+  uint64_t locks_granted() const { return locks_granted_; }
+  uint64_t waits() const { return waits_; }
+
+ private:
+  struct Request {
+    TxnId txn;
+    LockMode mode;
+    GrantCallback callback;
+  };
+  struct ResourceState {
+    // Holders (all kShared, or exactly one kExclusive).
+    std::map<TxnId, LockMode> holders;
+    std::deque<Request> waiters;
+  };
+
+  /// True if `txn` could hold `mode` on the resource right now.
+  static bool Compatible(const ResourceState& state, TxnId txn, LockMode mode);
+
+  /// Would `waiter` (blocked on `resource`) create a waits-for cycle?
+  bool WouldDeadlock(TxnId waiter, const std::string& resource) const;
+
+  /// Grants queued waiters that became compatible.
+  void GrantWaiters(const std::string& resource);
+
+  std::map<std::string, ResourceState> resources_;
+  uint64_t deadlocks_detected_ = 0;
+  uint64_t locks_granted_ = 0;
+  uint64_t waits_ = 0;
+};
+
+}  // namespace prisma::gdh
+
+#endif  // PRISMA_GDH_LOCK_MANAGER_H_

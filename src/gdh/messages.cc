@@ -1,0 +1,11 @@
+#include "gdh/messages.h"
+
+namespace prisma::gdh {
+
+int64_t TuplesBits(const std::vector<Tuple>& tuples) {
+  int64_t bytes = 16;
+  for (const Tuple& t : tuples) bytes += static_cast<int64_t>(t.ByteSize());
+  return bytes * 8;
+}
+
+}  // namespace prisma::gdh

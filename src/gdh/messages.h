@@ -1,0 +1,189 @@
+#ifndef PRISMA_GDH_MESSAGES_H_
+#define PRISMA_GDH_MESSAGES_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "algebra/plan.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/tuple.h"
+#include "exec/ofm.h"
+#include "pool/runtime.h"
+
+namespace prisma::gdh {
+
+// Mail kinds exchanged between the GDH, query coordinators, OFM processes
+// and clients. Payloads (std::any) hold std::shared_ptr of the structs
+// below; plans and expressions are shared by pointer inside the simulated
+// machine while the modelled wire size reflects their serialized form.
+
+inline constexpr char kMailClientStatement[] = "client_stmt";
+inline constexpr char kMailClientReply[] = "client_reply";
+inline constexpr char kMailExecPlan[] = "exec_plan";
+inline constexpr char kMailExecPlanReply[] = "exec_plan_reply";
+inline constexpr char kMailWrite[] = "write";
+inline constexpr char kMailWriteReply[] = "write_reply";
+inline constexpr char kMailTxnControl[] = "txn_control";
+inline constexpr char kMailTxnControlReply[] = "txn_control_reply";
+inline constexpr char kMailLockBatch[] = "lock_batch";
+inline constexpr char kMailLockBatchReply[] = "lock_batch_reply";
+inline constexpr char kMailStatementDone[] = "stmt_done";
+inline constexpr char kMailCreateIndex[] = "create_index";
+inline constexpr char kMailCheckpoint[] = "checkpoint";
+inline constexpr char kMailDecisionRequest[] = "decision_request";
+inline constexpr char kMailDecisionReply[] = "decision_reply";
+inline constexpr char kMailQueryTimeout[] = "query_timeout";
+inline constexpr char kMailOpTimeout[] = "op_timeout";
+
+/// Serialized-size model: tuples count their byte size, plans a fixed
+/// budget per node, expressions per tree node.
+constexpr int64_t kPlanNodeBits = 512;
+constexpr int64_t kExprNodeBits = 128;
+constexpr int64_t kControlBits = 256;
+
+int64_t TuplesBits(const std::vector<Tuple>& tuples);
+
+/// A SQL or PRISMAlog statement submitted by a client session.
+struct ClientStatement {
+  uint64_t request_id = 0;
+  std::string text;
+  bool is_prismalog = false;
+  /// Session transaction (kAutoCommit when outside BEGIN/COMMIT).
+  exec::TxnId txn = exec::kAutoCommit;
+};
+
+/// Reply to a client statement: result rows for queries, affected count
+/// for DML, the new transaction id for BEGIN.
+struct ClientReply {
+  uint64_t request_id = 0;
+  Status status;
+  Schema schema;
+  std::shared_ptr<std::vector<Tuple>> tuples;
+  uint64_t affected_rows = 0;
+  exec::TxnId txn = exec::kAutoCommit;
+
+  int64_t WireBits() const {
+    return kControlBits + (tuples ? TuplesBits(*tuples) : 0);
+  }
+};
+
+/// Coordinator -> OFM: execute a fragment-local plan.
+struct ExecPlanRequest {
+  uint64_t request_id = 0;
+  std::shared_ptr<const algebra::Plan> plan;
+
+  int64_t WireBits() const {
+    return kControlBits +
+           static_cast<int64_t>(plan->TreeSize()) * kPlanNodeBits;
+  }
+};
+
+struct ExecPlanReply {
+  uint64_t request_id = 0;
+  Status status;
+  std::string fragment;
+  std::shared_ptr<std::vector<Tuple>> tuples;
+
+  int64_t WireBits() const {
+    return kControlBits + (tuples ? TuplesBits(*tuples) : 0);
+  }
+};
+
+/// GDH -> OFM: one write operation (insert / predicated delete / update).
+struct WriteRequest {
+  enum class Op : uint8_t { kInsert, kDeleteWhere, kUpdateWhere };
+  uint64_t request_id = 0;
+  Op op = Op::kInsert;
+  exec::TxnId txn = exec::kAutoCommit;
+  Tuple tuple;  // kInsert.
+  std::shared_ptr<const algebra::Expr> predicate;  // May be null (all rows).
+  std::vector<std::pair<size_t, std::shared_ptr<const algebra::Expr>>>
+      assignments;  // kUpdateWhere.
+
+  int64_t WireBits() const {
+    int64_t bits = kControlBits + static_cast<int64_t>(tuple.ByteSize()) * 8;
+    if (predicate) {
+      bits += static_cast<int64_t>(predicate->TreeSize()) * kExprNodeBits;
+    }
+    for (const auto& [_, e] : assignments) {
+      bits += static_cast<int64_t>(e->TreeSize()) * kExprNodeBits;
+    }
+    return bits;
+  }
+};
+
+struct WriteReply {
+  uint64_t request_id = 0;
+  Status status;
+  uint64_t affected_rows = 0;
+  /// Row-count delta of the fragment (insert: +1; delete: -n).
+  int64_t row_delta = 0;
+  std::string fragment;
+};
+
+/// GDH -> OFM two-phase-commit control; OFM replies with the same id.
+struct TxnControlRequest {
+  enum class Op : uint8_t { kPrepare, kCommit, kAbort };
+  uint64_t request_id = 0;
+  Op op = Op::kPrepare;
+  exec::TxnId txn = exec::kAutoCommit;
+};
+
+struct TxnControlReply {
+  uint64_t request_id = 0;
+  Status status;
+  std::string fragment;
+};
+
+/// GDH -> OFM: snapshot the fragment and truncate its WAL.
+struct CheckpointRequest {
+  uint64_t request_id = 0;
+};
+
+/// GDH -> OFM: build a secondary index on the fragment.
+struct CreateIndexRequest {
+  uint64_t request_id = 0;
+  std::string index_name;
+  std::vector<size_t> columns;
+  bool ordered = false;
+};
+
+/// Coordinator -> GDH: acquire shared locks on a set of fragments.
+struct LockBatchRequest {
+  uint64_t request_id = 0;
+  exec::TxnId txn = exec::kAutoCommit;  // Statement txn for autocommit reads.
+  std::vector<std::string> resources;
+  bool exclusive = false;
+};
+
+struct LockBatchReply {
+  uint64_t request_id = 0;
+  Status status;
+};
+
+/// Coordinator -> GDH: statement finished (releases statement locks).
+struct StatementDone {
+  exec::TxnId txn = exec::kAutoCommit;
+};
+
+/// Recovering OFM -> GDH: what happened to these in-doubt transactions?
+struct DecisionRequest {
+  uint64_t request_id = 0;
+  std::vector<exec::TxnId> transactions;
+};
+
+/// GDH -> OFM: commit flags matching DecisionRequest::transactions
+/// (unknown transactions are presumed aborted).
+struct DecisionReply {
+  uint64_t request_id = 0;
+  std::vector<bool> commit;
+};
+
+}  // namespace prisma::gdh
+
+#endif  // PRISMA_GDH_MESSAGES_H_

@@ -1,0 +1,172 @@
+#include "gdh/ofm_process.h"
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace prisma::gdh {
+
+OfmProcess::OfmProcess(Config config) : config_(std::move(config)) {}
+
+OfmProcess::~OfmProcess() {
+  if (config_.registry != nullptr && ofm_ != nullptr) {
+    config_.registry->Unregister(pe(), config_.fragment_name);
+  }
+}
+
+void OfmProcess::OnStart() {
+  // The charge hook binds to this process so all OFM work lands on the
+  // hosting PE's clock.
+  config_.ofm.exec.charge = [this](sim::SimTime ns) { ChargeCpu(ns); };
+  ofm_ = std::make_unique<exec::Ofm>(config_.fragment_name, config_.schema,
+                                     config_.ofm);
+  if (config_.recover) {
+    PRISMA_CHECK_OK(ofm_->Recover());
+    if (!ofm_->recovered_undecided().empty() &&
+        config_.gdh != pool::kNoProcess) {
+      auto request = std::make_shared<DecisionRequest>();
+      request->transactions = ofm_->recovered_undecided();
+      SendMail(config_.gdh, kMailDecisionRequest, request, kControlBits);
+    }
+  }
+  for (const IndexInfo& index : config_.indexes) {
+    if (index.ordered) {
+      PRISMA_CHECK_OK(ofm_->CreateBTreeIndex(index.name, index.columns));
+    } else {
+      PRISMA_CHECK_OK(ofm_->CreateHashIndex(index.name, index.columns));
+    }
+  }
+  if (config_.registry != nullptr) {
+    config_.registry->Register(pe(), config_.fragment_name, ofm_.get());
+  }
+}
+
+void OfmProcess::OnMail(const pool::Mail& mail) {
+  if (mail.kind == kMailExecPlan) {
+    HandleExecPlan(mail);
+  } else if (mail.kind == kMailWrite) {
+    HandleWrite(mail);
+  } else if (mail.kind == kMailTxnControl) {
+    HandleTxnControl(mail);
+  } else if (mail.kind == kMailDecisionReply) {
+    HandleDecisionReply(mail);
+  } else if (mail.kind == kMailCheckpoint) {
+    auto request =
+        std::any_cast<std::shared_ptr<CheckpointRequest>>(mail.body);
+    auto reply = std::make_shared<WriteReply>();
+    reply->request_id = request->request_id;
+    reply->fragment = config_.fragment_name;
+    reply->status = ofm_->Checkpoint();
+    SendMail(mail.from, kMailWriteReply, reply, kControlBits);
+  } else if (mail.kind == kMailCreateIndex) {
+    auto request =
+        std::any_cast<std::shared_ptr<CreateIndexRequest>>(mail.body);
+    auto reply = std::make_shared<WriteReply>();
+    reply->request_id = request->request_id;
+    reply->fragment = config_.fragment_name;
+    reply->status = request->ordered
+                        ? ofm_->CreateBTreeIndex(request->index_name,
+                                                 request->columns)
+                        : ofm_->CreateHashIndex(request->index_name,
+                                                request->columns);
+    SendMail(mail.from, kMailWriteReply, reply, kControlBits);
+  }
+  // Unknown kinds are ignored (forward compatibility).
+}
+
+void OfmProcess::HandleExecPlan(const pool::Mail& mail) {
+  auto request = std::any_cast<std::shared_ptr<ExecPlanRequest>>(mail.body);
+  auto reply = std::make_shared<ExecPlanReply>();
+  reply->request_id = request->request_id;
+  reply->fragment = config_.fragment_name;
+  std::optional<PeLocalResolver> colocated;
+  if (config_.registry != nullptr) {
+    colocated.emplace(config_.registry, pe());
+  }
+  auto result = ofm_->ExecutePlan(
+      *request->plan, colocated.has_value() ? &*colocated : nullptr);
+  if (result.ok()) {
+    reply->tuples =
+        std::make_shared<std::vector<Tuple>>(std::move(result).value());
+  } else {
+    reply->status = result.status();
+  }
+  SendMail(mail.from, kMailExecPlanReply, reply, reply->WireBits());
+}
+
+void OfmProcess::HandleWrite(const pool::Mail& mail) {
+  auto request = std::any_cast<std::shared_ptr<WriteRequest>>(mail.body);
+  auto reply = std::make_shared<WriteReply>();
+  reply->request_id = request->request_id;
+  reply->fragment = config_.fragment_name;
+  switch (request->op) {
+    case WriteRequest::Op::kInsert: {
+      auto row = ofm_->Insert(request->txn, request->tuple);
+      if (row.ok()) {
+        reply->affected_rows = 1;
+        reply->row_delta = 1;
+      } else {
+        reply->status = row.status();
+      }
+      break;
+    }
+    case WriteRequest::Op::kDeleteWhere: {
+      auto count = ofm_->DeleteWhere(request->txn, request->predicate.get());
+      if (count.ok()) {
+        reply->affected_rows = *count;
+        reply->row_delta = -static_cast<int64_t>(*count);
+      } else {
+        reply->status = count.status();
+      }
+      break;
+    }
+    case WriteRequest::Op::kUpdateWhere: {
+      std::vector<std::pair<size_t, const algebra::Expr*>> assignments;
+      assignments.reserve(request->assignments.size());
+      for (const auto& [col, expr] : request->assignments) {
+        assignments.push_back({col, expr.get()});
+      }
+      auto count =
+          ofm_->UpdateWhere(request->txn, request->predicate.get(), assignments);
+      if (count.ok()) {
+        reply->affected_rows = *count;
+      } else {
+        reply->status = count.status();
+      }
+      break;
+    }
+  }
+  SendMail(mail.from, kMailWriteReply, reply, kControlBits);
+}
+
+void OfmProcess::HandleTxnControl(const pool::Mail& mail) {
+  auto request = std::any_cast<std::shared_ptr<TxnControlRequest>>(mail.body);
+  auto reply = std::make_shared<TxnControlReply>();
+  reply->request_id = request->request_id;
+  reply->fragment = config_.fragment_name;
+  switch (request->op) {
+    case TxnControlRequest::Op::kPrepare:
+      reply->status = ofm_->Prepare(request->txn);
+      break;
+    case TxnControlRequest::Op::kCommit:
+      reply->status = ofm_->Commit(request->txn);
+      break;
+    case TxnControlRequest::Op::kAbort:
+      reply->status = ofm_->Abort(request->txn);
+      break;
+  }
+  SendMail(mail.from, kMailTxnControlReply, reply, kControlBits);
+}
+
+void OfmProcess::HandleDecisionReply(const pool::Mail& mail) {
+  auto reply = std::any_cast<std::shared_ptr<DecisionReply>>(mail.body);
+  // The ids were sent in recovered_undecided() order; resolve each.
+  const std::vector<exec::TxnId> undecided = ofm_->recovered_undecided();
+  PRISMA_CHECK(reply->commit.size() == undecided.size());
+  for (size_t i = 0; i < undecided.size(); ++i) {
+    PRISMA_CHECK_OK(ofm_->ResolveRecovered(undecided[i], reply->commit[i]));
+  }
+}
+
+}  // namespace prisma::gdh

@@ -1,0 +1,59 @@
+#ifndef PRISMA_GDH_OFM_PROCESS_H_
+#define PRISMA_GDH_OFM_PROCESS_H_
+
+#include <memory>
+#include <string>
+
+#include "exec/ofm.h"
+#include "gdh/data_dictionary.h"
+#include "gdh/messages.h"
+#include "gdh/pe_registry.h"
+#include "pool/runtime.h"
+
+namespace prisma::gdh {
+
+/// POOL-X process hosting one One-Fragment Manager on its PE. Handles
+/// plan execution, write, 2PC and index requests from the GDH and query
+/// coordinators, charging all work to its PE.
+///
+/// On start it recovers from its PE's stable store when `recover` is set
+/// (crash replacement) and asks the GDH to decide any in-doubt prepared
+/// transactions.
+class OfmProcess : public pool::Process {
+ public:
+  struct Config {
+    std::string fragment_name;
+    Schema schema;
+    exec::Ofm::Options ofm;
+    /// Run restart recovery in OnStart (crash replacement).
+    bool recover = false;
+    /// Coordinator to consult for in-doubt transactions.
+    pool::ProcessId gdh = pool::kNoProcess;
+    /// Directory of co-located fragments (may be null); this OFM
+    /// registers itself and resolves co-located scans through it.
+    PeLocalRegistry* registry = nullptr;
+    /// Secondary indexes to create at start: (name, columns, ordered).
+    std::vector<IndexInfo> indexes;
+  };
+
+  explicit OfmProcess(Config config);
+  ~OfmProcess() override;
+
+  void OnStart() override;
+  void OnMail(const pool::Mail& mail) override;
+
+  exec::Ofm& ofm() { return *ofm_; }
+
+ private:
+  void HandleExecPlan(const pool::Mail& mail);
+  void HandleWrite(const pool::Mail& mail);
+  void HandleTxnControl(const pool::Mail& mail);
+  void HandleDecisionReply(const pool::Mail& mail);
+
+  Config config_;
+  std::unique_ptr<exec::Ofm> ofm_;
+};
+
+}  // namespace prisma::gdh
+
+#endif  // PRISMA_GDH_OFM_PROCESS_H_

@@ -1,0 +1,81 @@
+#ifndef PRISMA_GDH_PE_REGISTRY_H_
+#define PRISMA_GDH_PE_REGISTRY_H_
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "exec/ofm.h"
+#include "net/topology.h"
+
+namespace prisma::gdh {
+
+/// Directory of the OFMs resident on each PE, enabling *co-located*
+/// fragment access: when two co-partitioned fragments share a PE, a join
+/// between them can run inside that PE, shipping only results over the
+/// interconnect.
+///
+/// Access through the registry models same-PE POOL-X processes exchanging
+/// tuples at local-message cost (zero link traffic); the per-tuple CPU is
+/// still charged by the executor. Only OFMs on the *same* PE as the
+/// requester are visible.
+class PeLocalRegistry {
+ public:
+  PeLocalRegistry() = default;
+  PeLocalRegistry(const PeLocalRegistry&) = delete;
+  PeLocalRegistry& operator=(const PeLocalRegistry&) = delete;
+
+  void Register(net::NodeId pe, const std::string& fragment,
+                const exec::Ofm* ofm) {
+    ofms_[{pe, fragment}] = ofm;
+  }
+  void Unregister(net::NodeId pe, const std::string& fragment) {
+    ofms_.erase({pe, fragment});
+  }
+
+  /// The OFM hosting `fragment` on `pe`, or null.
+  const exec::Ofm* Find(net::NodeId pe, const std::string& fragment) const {
+    auto it = ofms_.find({pe, fragment});
+    return it == ofms_.end() ? nullptr : it->second;
+  }
+
+ private:
+  std::map<std::pair<net::NodeId, std::string>, const exec::Ofm*> ofms_;
+};
+
+/// Resolver over the co-located OFMs of one PE (used as the fallback of a
+/// fragment's own resolver during co-located join execution).
+class PeLocalResolver : public exec::TableResolver {
+ public:
+  PeLocalResolver(const PeLocalRegistry* registry, net::NodeId pe)
+      : registry_(registry), pe_(pe) {}
+
+  StatusOr<const storage::Relation*> Resolve(
+      const std::string& table) const override {
+    const exec::Ofm* ofm = registry_->Find(pe_, table);
+    if (ofm == nullptr) {
+      return NotFoundError("no co-located fragment " + table);
+    }
+    return &ofm->relation();
+  }
+  const storage::HashIndex* FindHashIndex(
+      const std::string& table,
+      const std::vector<size_t>& columns) const override {
+    const exec::Ofm* ofm = registry_->Find(pe_, table);
+    return ofm == nullptr ? nullptr : ofm->FindHashIndex(columns);
+  }
+  const storage::BTreeIndex* FindBTreeIndex(
+      const std::string& table,
+      const std::vector<size_t>& columns) const override {
+    const exec::Ofm* ofm = registry_->Find(pe_, table);
+    return ofm == nullptr ? nullptr : ofm->FindBTreeIndex(columns);
+  }
+
+ private:
+  const PeLocalRegistry* registry_;
+  net::NodeId pe_;
+};
+
+}  // namespace prisma::gdh
+
+#endif  // PRISMA_GDH_PE_REGISTRY_H_

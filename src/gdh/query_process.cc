@@ -1,0 +1,469 @@
+#include "gdh/query_process.h"
+
+#include <set>
+#include <utility>
+
+#include "common/logging.h"
+#include "prismalog/engine.h"
+#include "prismalog/parser.h"
+#include "sql/binder.h"
+#include "common/str_util.h"
+#include "sql/parser.h"
+
+namespace prisma::gdh {
+
+namespace {
+
+/// Structural key of a local part, insensitive to schema qualifiers
+/// ("a.cid" vs "b.cid") so that self-join sides compare equal: node kinds
+/// plus positional predicate/projection text plus scan column types.
+std::string PartShapeKey(const algebra::Plan& plan) {
+  std::string out;
+  const algebra::Plan* node = &plan;
+  while (true) {
+    out += algebra::PlanKindName(node->kind());
+    if (node->kind() == algebra::PlanKind::kScan) {
+      for (const Column& c : node->schema().columns()) {
+        out += ':';
+        out += DataTypeName(c.type);
+      }
+      return out;
+    }
+    if (node->kind() == algebra::PlanKind::kSelect) {
+      out += '[';
+      out += static_cast<const algebra::SelectPlan*>(node)
+                 ->predicate()
+                 .ToString();
+      out += ']';
+    } else if (node->kind() == algebra::PlanKind::kProject) {
+      out += '[';
+      for (const auto& e :
+           static_cast<const algebra::ProjectPlan*>(node)->exprs()) {
+        out += e->ToString();
+        out += ',';
+      }
+      out += ']';
+    } else if (node->kind() == algebra::PlanKind::kAggregate) {
+      out += '[';
+      out += node->ToString();
+      out += ']';
+    }
+    out += '/';
+    node = node->child();
+  }
+}
+
+}  // namespace
+
+QueryProcess::QueryProcess(Config config) : config_(std::move(config)) {}
+
+void QueryProcess::OnStart() {
+  // Guard against lost fragments / crashed OFMs.
+  timeout_event_ = SendSelfAfter(config_.timeout_ns, kMailQueryTimeout);
+  if (config_.statement->is_prismalog) {
+    StartPrismalog();
+  } else {
+    StartSql();
+  }
+}
+
+void QueryProcess::Reply(Status status, Schema schema,
+                         std::shared_ptr<std::vector<Tuple>> tuples) {
+  if (finished_) return;
+  finished_ = true;
+  runtime()->simulator()->Cancel(timeout_event_);
+  auto reply = std::make_shared<ClientReply>();
+  reply->request_id = config_.statement->request_id;
+  reply->status = std::move(status);
+  reply->schema = std::move(schema);
+  reply->tuples = std::move(tuples);
+  SendMail(config_.client, kMailClientReply, reply, reply->WireBits());
+  auto done = std::make_shared<StatementDone>();
+  done->txn = config_.lock_txn;
+  SendMail(config_.gdh, kMailStatementDone, done, kControlBits);
+}
+
+// ------------------------------------------------------------------- SQL
+
+void QueryProcess::StartSql() {
+  // Parsing + optimizing burns this coordinator's PE — the per-query
+  // "instance of the parser and optimizer" of §2.2.
+  ChargeCpu(config_.costs.optimize_ns);
+  auto parsed = sql::ParseSql(config_.statement->text);
+  if (!parsed.ok()) {
+    Reply(parsed.status(), Schema(), nullptr);
+    return;
+  }
+  explain_ = parsed->explain;
+  auto bound = sql::BindStatement(*parsed, *config_.dictionary);
+  if (!bound.ok()) {
+    Reply(bound.status(), Schema(), nullptr);
+    return;
+  }
+  if (bound->kind != sql::Statement::Kind::kSelect) {
+    Reply(InternalError("query coordinator received non-SELECT"), Schema(),
+          nullptr);
+    return;
+  }
+
+  Optimizer optimizer(config_.dictionary, config_.rules);
+  auto optimized =
+      optimizer.Optimize(std::move(bound->plan), &optimizer_report_);
+  if (!optimized.ok()) {
+    Reply(optimized.status(), Schema(), nullptr);
+    return;
+  }
+
+  auto split =
+      SplitPlanForFragments(std::move(optimized).value(), *config_.dictionary,
+                            config_.rules.colocated_joins);
+  if (!split.ok()) {
+    Reply(split.status(), Schema(), nullptr);
+    return;
+  }
+  split_ = std::move(split).value();
+
+  if (explain_) {
+    ReplyExplain();
+    return;
+  }
+
+  // Shared locks on the fragments this statement can actually touch
+  // (selections pinning the fragmentation key prune the rest).
+  std::set<std::string> resources;
+  part_fragments_.clear();
+  for (const LocalPart& part : split_.parts) {
+    auto info = config_.dictionary->GetTable(part.table);
+    if (!info.ok()) {
+      Reply(info.status(), Schema(), nullptr);
+      return;
+    }
+    std::vector<int> pruned = PruneFragmentsForPart(**info, *part.plan);
+    for (const int f : pruned) {
+      resources.insert((*info)->fragments[f].name);
+    }
+    if (!part.second_table.empty()) {
+      // Co-located join: the partner's aligned fragments are read too.
+      auto second = config_.dictionary->GetTable(part.second_table);
+      if (!second.ok()) {
+        Reply(second.status(), Schema(), nullptr);
+        return;
+      }
+      for (const int f : pruned) {
+        resources.insert((*second)->fragments[f].name);
+      }
+    }
+    part_fragments_.push_back(std::move(pruned));
+  }
+  RequestLocks({resources.begin(), resources.end()});
+}
+
+void QueryProcess::RequestLocks(std::vector<std::string> resources) {
+  auto request = std::make_shared<LockBatchRequest>();
+  request->request_id = next_request_id_++;
+  request->txn = config_.lock_txn;
+  request->resources = std::move(resources);
+  request->exclusive = false;
+  SendMail(config_.gdh, kMailLockBatch, request, kControlBits);
+}
+
+void QueryProcess::Scatter() {
+  // Build the per-fragment work list.
+  gathered_.assign(
+      is_prismalog_phase_ ? plog_tables_.size() : split_.parts.size(), {});
+  duplicate_of_.assign(gathered_.size(), SIZE_MAX);
+  work_.clear();
+  if (is_prismalog_phase_) {
+    for (size_t i = 0; i < plog_tables_.size(); ++i) {
+      auto info = config_.dictionary->GetTable(plog_tables_[i]);
+      PRISMA_CHECK(info.ok());
+      std::shared_ptr<const algebra::Plan> scan =
+          algebra::ScanPlan::Create(plog_tables_[i], (*info)->schema);
+      for (const FragmentInfo& frag : (*info)->fragments) {
+        work_.push_back(FragmentWork{
+            frag.ofm,
+            std::shared_ptr<const algebra::Plan>(CloneWithScanRenamed(
+                *scan, plog_tables_[i], frag.name)),
+            i});
+      }
+    }
+  } else {
+    // Identical parts (common subexpressions, e.g. self-joins) are
+    // scattered once and their gathered result shared (§2.4).
+    std::map<std::string, size_t> part_shapes;
+    duplicate_of_.assign(split_.parts.size(), SIZE_MAX);
+    for (size_t i = 0; i < split_.parts.size(); ++i) {
+      const LocalPart& part = split_.parts[i];
+      if (config_.rules.detect_common_subexpressions) {
+        const std::string key = part.table + "\n" + PartShapeKey(*part.plan);
+        auto [it, inserted] = part_shapes.try_emplace(key, i);
+        if (!inserted) {
+          duplicate_of_[i] = it->second;
+          continue;
+        }
+      }
+      auto info = config_.dictionary->GetTable(part.table);
+      PRISMA_CHECK(info.ok());
+      const TableInfo* second = nullptr;
+      if (!part.second_table.empty()) {
+        auto second_or = config_.dictionary->GetTable(part.second_table);
+        PRISMA_CHECK(second_or.ok());
+        second = *second_or;
+      }
+      for (const int f : part_fragments_[i]) {
+        const FragmentInfo& frag = (*info)->fragments[f];
+        std::unique_ptr<algebra::Plan> local =
+            CloneWithScanRenamed(*part.plan, part.table, frag.name);
+        if (second != nullptr) {
+          local = CloneWithScanRenamed(*local, part.second_table,
+                                       second->fragments[f].name);
+        }
+        work_.push_back(FragmentWork{
+            frag.ofm, std::shared_ptr<const algebra::Plan>(std::move(local)),
+            i});
+      }
+    }
+  }
+  next_work_ = 0;
+  outstanding_ = 0;
+  completed_ = 0;
+  if (work_.empty()) {
+    FinishGather();
+    return;
+  }
+  if (config_.rules.parallel_fragments) {
+    // Scatter everything at once — fragment parallelism (§2.2).
+    while (next_work_ < work_.size()) SendNextFragmentPlan();
+  } else {
+    // Ablation: one fragment at a time.
+    SendNextFragmentPlan();
+  }
+}
+
+void QueryProcess::SendNextFragmentPlan() {
+  const FragmentWork& w = work_[next_work_++];
+  auto request = std::make_shared<ExecPlanRequest>();
+  request->request_id = next_request_id_++;
+  request->plan = w.plan;
+  request_part_[request->request_id] = w.part;
+  ++outstanding_;
+  SendMail(w.ofm, kMailExecPlan, request, request->WireBits());
+}
+
+void QueryProcess::HandlePlanReply(const pool::Mail& mail) {
+  if (finished_) return;
+  auto reply = std::any_cast<std::shared_ptr<ExecPlanReply>>(mail.body);
+  auto it = request_part_.find(reply->request_id);
+  if (it == request_part_.end()) return;  // Stale.
+  const size_t part = it->second;
+  request_part_.erase(it);
+  --outstanding_;
+  ++completed_;
+  if (!reply->status.ok()) {
+    Reply(reply->status, Schema(), nullptr);
+    return;
+  }
+  if (reply->tuples != nullptr) {
+    // Merging gathered tuples costs coordinator CPU.
+    ChargeCpu(static_cast<sim::SimTime>(reply->tuples->size()) *
+              config_.costs.tuple_ns);
+    auto& sink = gathered_[part];
+    sink.insert(sink.end(), reply->tuples->begin(), reply->tuples->end());
+  }
+  if (completed_ == work_.size()) {
+    FinishGather();
+    return;
+  }
+  if (!config_.rules.parallel_fragments && next_work_ < work_.size()) {
+    SendNextFragmentPlan();
+  }
+}
+
+void QueryProcess::FinishGather() {
+  // Materialize shared results for deduplicated parts.
+  for (size_t i = 0; i < duplicate_of_.size(); ++i) {
+    if (duplicate_of_[i] != SIZE_MAX) {
+      gathered_[i] = gathered_[duplicate_of_[i]];
+    }
+  }
+  if (is_prismalog_phase_) {
+    RunPrismalogPhase();
+  } else {
+    RunGlobalPhase();
+  }
+}
+
+void QueryProcess::RunGlobalPhase() {
+  // Materialize each gathered part as a resident relation and execute the
+  // global plan over them.
+  std::vector<std::unique_ptr<storage::Relation>> relations;
+  exec::MapTableResolver resolver;
+  for (size_t i = 0; i < split_.parts.size(); ++i) {
+    auto rel = std::make_unique<storage::Relation>(
+        PartName(i), split_.parts[i].plan->schema());
+    for (Tuple& t : gathered_[i]) {
+      auto row = rel->Insert(std::move(t));
+      if (!row.ok()) {
+        Reply(row.status(), Schema(), nullptr);
+        return;
+      }
+    }
+    resolver.Register(PartName(i), rel.get());
+    relations.push_back(std::move(rel));
+  }
+  exec::ExecOptions exec_opts;
+  exec_opts.expr_mode = config_.expr_mode;
+  exec_opts.costs = config_.costs;
+  exec_opts.charge = [this](sim::SimTime ns) { ChargeCpu(ns); };
+  exec_opts.enable_subtree_cache = optimizer_report_.enable_subtree_cache;
+  exec::Executor executor(&resolver, exec_opts);
+  auto result = executor.Execute(*split_.global);
+  if (!result.ok()) {
+    Reply(result.status(), Schema(), nullptr);
+    return;
+  }
+  Reply(Status::OK(), split_.global->schema(),
+        std::make_shared<std::vector<Tuple>>(std::move(result).value()));
+}
+
+void QueryProcess::ReplyExplain() {
+  // One STRING row per output line: optimizer summary, the global plan,
+  // then each local part and its fragment fan-out.
+  auto lines = std::make_shared<std::vector<Tuple>>();
+  auto emit = [&](const std::string& text) {
+    lines->push_back(Tuple({Value::String(text)}));
+  };
+  emit(StrFormat("optimizer: %d selection(s) pushed, %d join reorder(s), "
+                 "%d common subtree(s), aggregate pushdown: %s, "
+                 "co-located joins: %d",
+                 optimizer_report_.selections_pushed,
+                 optimizer_report_.joins_reordered,
+                 optimizer_report_.common_subtrees,
+                 split_.pushed_aggregate ? "yes" : "no",
+                 split_.colocated_joins));
+  emit("global plan (runs at the query coordinator):");
+  for (const std::string& line :
+       Split(split_.global->ToString(), '\n')) {
+    if (!line.empty()) emit("  " + line);
+  }
+  for (size_t i = 0; i < split_.parts.size(); ++i) {
+    const LocalPart& part = split_.parts[i];
+    auto info = config_.dictionary->GetTable(part.table);
+    const size_t fan_out =
+        info.ok() ? PruneFragmentsForPart(**info, *part.plan).size() : 0;
+    if (part.second_table.empty()) {
+      emit(StrFormat("part %zu (table %s, %zu fragment(s)):", i,
+                     part.table.c_str(), fan_out));
+    } else {
+      emit(StrFormat("part %zu (co-located join %s x %s, %zu fragment "
+                     "pair(s)):",
+                     i, part.table.c_str(), part.second_table.c_str(),
+                     fan_out));
+    }
+    for (const std::string& line : Split(part.plan->ToString(), '\n')) {
+      if (!line.empty()) emit("  " + line);
+    }
+  }
+  Schema schema;
+  schema.AddColumn("plan", DataType::kString);
+  Reply(Status::OK(), std::move(schema), std::move(lines));
+}
+
+// -------------------------------------------------------------- PRISMAlog
+
+void QueryProcess::StartPrismalog() {
+  ChargeCpu(config_.costs.optimize_ns);
+  auto program = prismalog::ParsePrismalog(config_.statement->text);
+  if (!program.ok()) {
+    Reply(program.status(), Schema(), nullptr);
+    return;
+  }
+  // Base tables = every predicate present in the dictionary.
+  std::set<std::string> tables;
+  auto consider = [&](const std::string& pred) {
+    if (config_.dictionary->HasTable(pred)) tables.insert(pred);
+  };
+  for (const prismalog::Rule& rule : program->rules) {
+    consider(rule.head.predicate);
+    for (const prismalog::BodyElem& elem : rule.body) {
+      if (elem.kind == prismalog::BodyElem::Kind::kAtom) {
+        consider(elem.atom.predicate);
+      }
+    }
+  }
+  if (program->query.has_value()) consider(program->query->predicate);
+
+  is_prismalog_phase_ = true;
+  plog_tables_.assign(tables.begin(), tables.end());
+  for (size_t i = 0; i < plog_tables_.size(); ++i) {
+    plog_part_of_table_[plog_tables_[i]] = i;
+  }
+
+  std::set<std::string> resources;
+  for (const std::string& table : plog_tables_) {
+    auto info = config_.dictionary->GetTable(table);
+    PRISMA_CHECK(info.ok());
+    for (const FragmentInfo& frag : (*info)->fragments) {
+      resources.insert(frag.name);
+    }
+  }
+  if (resources.empty()) {
+    // Program over in-program facts only.
+    RequestLocks({});
+    return;
+  }
+  RequestLocks({resources.begin(), resources.end()});
+}
+
+void QueryProcess::RunPrismalogPhase() {
+  std::vector<std::unique_ptr<storage::Relation>> relations;
+  exec::MapTableResolver resolver;
+  for (size_t i = 0; i < plog_tables_.size(); ++i) {
+    auto info = config_.dictionary->GetTable(plog_tables_[i]);
+    PRISMA_CHECK(info.ok());
+    auto rel = std::make_unique<storage::Relation>(plog_tables_[i],
+                                                   (*info)->schema);
+    for (Tuple& t : gathered_[i]) {
+      auto row = rel->Insert(std::move(t));
+      if (!row.ok()) {
+        Reply(row.status(), Schema(), nullptr);
+        return;
+      }
+    }
+    resolver.Register(plog_tables_[i], rel.get());
+    relations.push_back(std::move(rel));
+  }
+  prismalog::EngineOptions options;
+  options.costs = config_.costs;
+  options.charge = [this](sim::SimTime ns) { ChargeCpu(ns); };
+  prismalog::Engine engine(&resolver, config_.dictionary, options);
+  auto program = prismalog::ParsePrismalog(config_.statement->text);
+  PRISMA_CHECK(program.ok());
+  auto result = engine.Run(*program);
+  if (!result.ok()) {
+    Reply(result.status(), Schema(), nullptr);
+    return;
+  }
+  Reply(Status::OK(), result->schema,
+        std::make_shared<std::vector<Tuple>>(std::move(result->tuples)));
+}
+
+// ------------------------------------------------------------------ Mail
+
+void QueryProcess::OnMail(const pool::Mail& mail) {
+  if (mail.kind == kMailLockBatchReply) {
+    auto reply = std::any_cast<std::shared_ptr<LockBatchReply>>(mail.body);
+    if (!reply->status.ok()) {
+      Reply(reply->status, Schema(), nullptr);
+      return;
+    }
+    Scatter();
+  } else if (mail.kind == kMailExecPlanReply) {
+    HandlePlanReply(mail);
+  } else if (mail.kind == kMailQueryTimeout) {
+    Reply(UnavailableError("query timed out (fragment unreachable?)"),
+          Schema(), nullptr);
+  }
+}
+
+}  // namespace prisma::gdh

@@ -1,0 +1,109 @@
+#ifndef PRISMA_GDH_QUERY_PROCESS_H_
+#define PRISMA_GDH_QUERY_PROCESS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+#include "gdh/data_dictionary.h"
+#include "gdh/distributed_plan.h"
+#include "gdh/messages.h"
+#include "gdh/optimizer.h"
+#include "pool/runtime.h"
+#include "storage/relation.h"
+
+namespace prisma::gdh {
+
+/// Per-query coordinator: the paper's "for each query a new instance is
+/// created, possibly running at its own processor" (§2.2). Spawned by the
+/// GDH on a round-robin PE; it parses, optimizes and schedules one SELECT
+/// (or PRISMAlog program), scatters fragment plans to the OFMs, merges
+/// the gathered results, answers the client, and reports back to the GDH
+/// so its statement locks can be released and the process reaped.
+///
+/// The data dictionary is read through shared memory: conceptually the
+/// GDH hands the coordinator the catalog slice it needs at spawn time
+/// (catalog traffic is not modelled; see DESIGN.md).
+class QueryProcess : public pool::Process {
+ public:
+  struct Config {
+    const DataDictionary* dictionary = nullptr;
+    OptimizerRules rules;
+    pool::CostModel costs;
+    exec::ExprMode expr_mode = exec::ExprMode::kCompiled;
+    pool::ProcessId gdh = pool::kNoProcess;
+    pool::ProcessId client = pool::kNoProcess;
+    std::shared_ptr<ClientStatement> statement;
+    /// Transaction whose locks cover this statement (the session txn, or
+    /// a GDH-assigned statement txn released at stmt_done).
+    exec::TxnId lock_txn = exec::kAutoCommit;
+    sim::SimTime timeout_ns = 30 * sim::kNanosPerSecond;
+  };
+
+  explicit QueryProcess(Config config);
+
+  void OnStart() override;
+  void OnMail(const pool::Mail& mail) override;
+
+  /// Filled as the query runs; read by benches after completion.
+  struct QueryStats {
+    OptimizerReport optimizer;
+    size_t fragments_contacted = 0;
+    uint64_t tuples_gathered = 0;
+    bool pushed_aggregate = false;
+  };
+
+ private:
+  void StartSql();
+  void ReplyExplain();
+  void StartPrismalog();
+  void RequestLocks(std::vector<std::string> resources);
+  void Scatter();
+  void SendNextFragmentPlan();
+  void HandlePlanReply(const pool::Mail& mail);
+  void FinishGather();
+  void RunGlobalPhase();
+  void RunPrismalogPhase();
+  void Reply(Status status, Schema schema,
+             std::shared_ptr<std::vector<Tuple>> tuples);
+
+  Config config_;
+  bool finished_ = false;
+  sim::EventId timeout_event_ = 0;
+
+  // SELECT state.
+  DistributedPlan split_;
+  OptimizerReport optimizer_report_;
+  bool is_prismalog_phase_ = false;
+  bool explain_ = false;
+
+  // Scatter/gather bookkeeping.
+  struct FragmentWork {
+    pool::ProcessId ofm;
+    std::shared_ptr<const algebra::Plan> plan;
+    size_t part;
+  };
+  std::vector<FragmentWork> work_;
+  size_t next_work_ = 0;      // Sequential mode cursor.
+  size_t outstanding_ = 0;
+  size_t completed_ = 0;
+  uint64_t next_request_id_ = 1;
+  std::map<uint64_t, size_t> request_part_;  // request id -> part index.
+  std::vector<std::vector<Tuple>> gathered_;  // Per part.
+  // Pruned fragment indexes per SQL part (see PruneFragmentsForPart).
+  std::vector<std::vector<int>> part_fragments_;
+  // Common-subexpression elimination across parts: duplicate_of_[i] names
+  // the earlier identical part whose gathered result part i reuses
+  // (SIZE_MAX = unique part, scattered normally).
+  std::vector<size_t> duplicate_of_;
+
+  // PRISMAlog state: gathered base tables by name.
+  std::vector<std::string> plog_tables_;
+  std::map<std::string, size_t> plog_part_of_table_;
+};
+
+}  // namespace prisma::gdh
+
+#endif  // PRISMA_GDH_QUERY_PROCESS_H_

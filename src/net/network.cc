@@ -1,0 +1,86 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace prisma::net {
+
+Network::Network(sim::Simulator* sim, Topology topology, LinkParams params)
+    : sim_(sim),
+      topology_(std::move(topology)),
+      params_(params),
+      links_(static_cast<size_t>(topology_.num_nodes()) *
+             topology_.num_nodes()),
+      receivers_(topology_.num_nodes()),
+      delivery_times_(topology_.num_nodes()) {}
+
+void Network::SetReceiver(NodeId node, Receiver receiver) {
+  receivers_[node] = std::move(receiver);
+}
+
+void Network::Send(NodeId src, NodeId dst, int64_t size_bits,
+                   std::any payload) {
+  PRISMA_CHECK(src >= 0 && src < topology_.num_nodes());
+  PRISMA_CHECK(dst >= 0 && dst < topology_.num_nodes());
+  PRISMA_CHECK(size_bits > 0);
+  ++stats_.messages_sent;
+  Message message;
+  message.src = src;
+  message.dst = dst;
+  message.size_bits = size_bits;
+  message.sent_at = sim_->now();
+  message.payload = std::move(payload);
+  if (src == dst) {
+    sim_->Schedule(params_.local_delivery_ns,
+                   [this, message = std::move(message)]() mutable {
+                     Deliver(message.dst, std::move(message));
+                   });
+    return;
+  }
+  Arrive(src, std::move(message));
+}
+
+void Network::Arrive(NodeId node, Message message) {
+  if (node == message.dst) {
+    Deliver(node, std::move(message));
+    return;
+  }
+  const NodeId hop = topology_.NextHop(node, message.dst);
+  LinkState& l = link(node, hop);
+  const sim::SimTime now = sim_->now();
+  const sim::SimTime serialization =
+      message.size_bits * sim::kNanosPerSecond / params_.bandwidth_bps;
+  const sim::SimTime depart = std::max(now, l.free_at);
+  const sim::SimTime arrival = depart + serialization + params_.propagation_ns;
+  l.free_at = depart + serialization;
+  l.busy_ns += serialization;
+  ++l.backlog;
+  stats_.max_link_backlog = std::max(stats_.max_link_backlog, l.backlog);
+  stats_.link_bits += message.size_bits;
+  sim_->ScheduleAt(arrival,
+                   [this, node, hop, message = std::move(message)]() mutable {
+                     --link(node, hop).backlog;
+                     Arrive(hop, std::move(message));
+                   });
+}
+
+void Network::Deliver(NodeId node, Message message) {
+  ++stats_.messages_delivered;
+  const sim::SimTime latency = sim_->now() - message.sent_at;
+  stats_.total_latency_ns += latency;
+  stats_.max_latency_ns = std::max(stats_.max_latency_ns, latency);
+  if (record_deliveries_) delivery_times_[node].push_back(sim_->now());
+  if (receivers_[node]) receivers_[node](message);
+}
+
+double Network::PeakLinkUtilization() const {
+  const sim::SimTime now = sim_->now();
+  if (now <= 0) return 0;
+  sim::SimTime peak = 0;
+  for (const LinkState& l : links_) peak = std::max(peak, l.busy_ns);
+  return static_cast<double>(peak) / static_cast<double>(now);
+}
+
+}  // namespace prisma::net

@@ -1,0 +1,134 @@
+#ifndef PRISMA_NET_NETWORK_H_
+#define PRISMA_NET_NETWORK_H_
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+namespace prisma::net {
+
+/// Physical parameters of one communication link, defaulted to the paper's
+/// prototype: 10 Mbit/s links, 256-bit packets (§3.2).
+struct LinkParams {
+  /// Serialization bandwidth of each link, bits per second.
+  int64_t bandwidth_bps = 10'000'000;
+  /// Fixed per-hop latency (wire propagation + switching), nanoseconds.
+  sim::SimTime propagation_ns = 1'000;
+  /// Latency of a loop-back (same-PE) delivery, nanoseconds.
+  sim::SimTime local_delivery_ns = 500;
+};
+
+/// Hardware packet size used by the paper's network simulations.
+constexpr int64_t kPacketBits = 256;
+
+/// A message in flight or delivered. For machine-level traffic experiments
+/// a message is a single 256-bit packet; the DBMS layers send larger
+/// messages whose serialization time scales with size.
+struct Message {
+  NodeId src = 0;
+  NodeId dst = 0;
+  int64_t size_bits = kPacketBits;
+  sim::SimTime sent_at = 0;
+  std::any payload;
+};
+
+/// Store-and-forward message-passing network over a Topology, running on
+/// the discrete-event simulator.
+///
+/// Every directed link is a FIFO resource: a message occupies the link for
+/// its serialization time (size / bandwidth) and experiences the fixed
+/// propagation delay; contention appears as queueing before busy links.
+/// Queues are unbounded (the DBMS applies its own flow control), and the
+/// maximum backlog is reported in the statistics.
+class Network {
+ public:
+  using Receiver = std::function<void(const Message&)>;
+
+  Network(sim::Simulator* sim, Topology topology, LinkParams params = {});
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  const Topology& topology() const { return topology_; }
+  const LinkParams& params() const { return params_; }
+  sim::Simulator* simulator() const { return sim_; }
+
+  /// Installs the upcall invoked when a message reaches `node`.
+  void SetReceiver(NodeId node, Receiver receiver);
+
+  /// Injects a message at `src` addressed to `dst`; it is forwarded hop by
+  /// hop and handed to dst's receiver (if any) on arrival.
+  void Send(NodeId src, NodeId dst, int64_t size_bits, std::any payload);
+
+  /// Convenience for single-packet sends (machine-level experiments).
+  void SendPacket(NodeId src, NodeId dst) {
+    Send(src, dst, kPacketBits, std::any());
+  }
+
+  /// Aggregate transport statistics since construction (or last Reset).
+  struct Stats {
+    uint64_t messages_sent = 0;
+    uint64_t messages_delivered = 0;
+    /// Bits that crossed links, counted once per hop (loopback excluded).
+    int64_t link_bits = 0;
+    /// Sum over delivered messages of (delivery - send) time.
+    sim::SimTime total_latency_ns = 0;
+    sim::SimTime max_latency_ns = 0;
+    /// Largest number of messages simultaneously queued on one link.
+    int max_link_backlog = 0;
+
+    double AverageLatencyUs() const {
+      if (messages_delivered == 0) return 0;
+      return static_cast<double>(total_latency_ns) /
+             static_cast<double>(messages_delivered) / 1000.0;
+    }
+  };
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+  /// Delivery timestamps per destination node (for throughput windows).
+  const std::vector<std::vector<sim::SimTime>>& delivery_times() const {
+    return delivery_times_;
+  }
+  /// Stop recording per-delivery timestamps (they are only needed by the
+  /// network experiments, not by the DBMS).
+  void set_record_deliveries(bool record) { record_deliveries_ = record; }
+
+  /// Busy-time fraction of the most loaded directed link over [0, now].
+  double PeakLinkUtilization() const;
+
+ private:
+  struct LinkState {
+    sim::SimTime free_at = 0;   // Earliest instant the link can start sending.
+    sim::SimTime busy_ns = 0;   // Accumulated serialization time.
+    int backlog = 0;            // Messages waiting or in transmission.
+  };
+
+  LinkState& link(NodeId from, NodeId to) {
+    return links_[static_cast<size_t>(from) * topology_.num_nodes() + to];
+  }
+  const LinkState& link(NodeId from, NodeId to) const {
+    return links_[static_cast<size_t>(from) * topology_.num_nodes() + to];
+  }
+
+  /// Message is at `node` at the current sim time; forward or deliver.
+  void Arrive(NodeId node, Message message);
+  void Deliver(NodeId node, Message message);
+
+  sim::Simulator* sim_;
+  Topology topology_;
+  LinkParams params_;
+  std::vector<LinkState> links_;
+  std::vector<Receiver> receivers_;
+  std::vector<std::vector<sim::SimTime>> delivery_times_;
+  bool record_deliveries_ = false;
+  Stats stats_;
+};
+
+}  // namespace prisma::net
+
+#endif  // PRISMA_NET_NETWORK_H_

@@ -1,0 +1,138 @@
+#include "net/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace prisma::net {
+namespace {
+
+/// Per-run state shared by injection and delivery callbacks.
+struct RunState {
+  sim::SimTime window_begin = 0;
+  sim::SimTime window_end = 0;
+  uint64_t delivered_in_window = 0;
+  sim::SimTime latency_sum_ns = 0;
+  sim::SimTime latency_max_ns = 0;
+};
+
+NodeId PickDestination(TrafficPattern pattern, double hotspot_fraction,
+                       const Topology& topology, NodeId src, Rng& rng) {
+  const int n = topology.num_nodes();
+  switch (pattern) {
+    case TrafficPattern::kUniform: {
+      NodeId dst = static_cast<NodeId>(rng.Uniform(n - 1));
+      if (dst >= src) ++dst;  // Skip self.
+      return dst;
+    }
+    case TrafficPattern::kTranspose:
+      return (src + n / 2) % n;
+    case TrafficPattern::kHotspot: {
+      if (src != 0 && rng.NextDouble() < hotspot_fraction) return 0;
+      NodeId dst = static_cast<NodeId>(rng.Uniform(n - 1));
+      if (dst >= src) ++dst;
+      return dst;
+    }
+    case TrafficPattern::kNeighbor: {
+      const auto& nb = topology.neighbors(src);
+      return nb[rng.Uniform(nb.size())];
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+const char* TrafficPatternName(TrafficPattern pattern) {
+  switch (pattern) {
+    case TrafficPattern::kUniform:
+      return "uniform";
+    case TrafficPattern::kTranspose:
+      return "transpose";
+    case TrafficPattern::kHotspot:
+      return "hotspot";
+    case TrafficPattern::kNeighbor:
+      return "neighbor";
+  }
+  return "?";
+}
+
+TrafficResult RunSyntheticTraffic(const Topology& topology,
+                                  const LinkParams& params,
+                                  const TrafficConfig& config) {
+  PRISMA_CHECK(config.offered_packets_per_sec_per_pe > 0);
+  sim::Simulator sim;
+  Network network(&sim, topology, params);
+  const int n = topology.num_nodes();
+
+  RunState state;
+  state.window_begin = config.warmup_ns;
+  state.window_end = config.warmup_ns + config.measure_ns;
+
+  for (NodeId node = 0; node < n; ++node) {
+    network.SetReceiver(node, [&sim, &state](const Message& message) {
+      const sim::SimTime now = sim.now();
+      if (now < state.window_begin || now > state.window_end) return;
+      ++state.delivered_in_window;
+      const sim::SimTime latency = now - message.sent_at;
+      state.latency_sum_ns += latency;
+      state.latency_max_ns = std::max(state.latency_max_ns, latency);
+    });
+  }
+
+  // One independent Poisson injection process per PE. Each event sends one
+  // packet and schedules the next injection until the window closes.
+  struct Injector {
+    Rng rng;
+    NodeId node;
+  };
+  std::vector<std::unique_ptr<Injector>> injectors;
+  const double rate_per_ns =
+      config.offered_packets_per_sec_per_pe / sim::kNanosPerSecond;
+
+  // Recursive lambda via std::function kept alive in a holder.
+  std::function<void(Injector*)> inject = [&](Injector* inj) {
+    network.SendPacket(inj->node,
+                       PickDestination(config.pattern, config.hotspot_fraction,
+                                       topology, inj->node, inj->rng));
+    const double u = std::max(1e-12, inj->rng.NextDouble());
+    const sim::SimTime gap =
+        static_cast<sim::SimTime>(std::ceil(-std::log(u) / rate_per_ns));
+    if (sim.now() + gap < state.window_end) {
+      sim.Schedule(gap, [&inject, inj]() { inject(inj); });
+    }
+  };
+
+  for (NodeId node = 0; node < n; ++node) {
+    auto inj = std::make_unique<Injector>(
+        Injector{Rng(config.seed * 1000003 + node), node});
+    Injector* raw = inj.get();
+    const double u = std::max(1e-12, raw->rng.NextDouble());
+    const sim::SimTime start =
+        static_cast<sim::SimTime>(std::ceil(-std::log(u) / rate_per_ns));
+    sim.ScheduleAt(start, [&inject, raw]() { inject(raw); });
+    injectors.push_back(std::move(inj));
+  }
+
+  sim.Run();
+
+  TrafficResult result;
+  result.offered_packets_per_sec_per_pe = config.offered_packets_per_sec_per_pe;
+  result.packets_delivered = state.delivered_in_window;
+  result.delivered_packets_per_sec_per_pe =
+      static_cast<double>(state.delivered_in_window) * sim::kNanosPerSecond /
+      static_cast<double>(config.measure_ns) / n;
+  if (state.delivered_in_window > 0) {
+    result.average_latency_us = static_cast<double>(state.latency_sum_ns) /
+                                state.delivered_in_window / 1000.0;
+  }
+  result.max_latency_us = static_cast<double>(state.latency_max_ns) / 1000.0;
+  result.peak_link_utilization = network.PeakLinkUtilization();
+  return result;
+}
+
+}  // namespace prisma::net

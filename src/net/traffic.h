@@ -1,0 +1,59 @@
+#ifndef PRISMA_NET_TRAFFIC_H_
+#define PRISMA_NET_TRAFFIC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "net/network.h"
+#include "net/topology.h"
+
+namespace prisma::net {
+
+/// Destination patterns for synthetic network load, standard in
+/// interconnect evaluation. All experiments use 256-bit packets as in the
+/// paper's own network simulations (§3.2).
+enum class TrafficPattern {
+  kUniform,    // Each packet targets a uniformly random other PE.
+  kTranspose,  // PE i sends to PE (i + n/2) mod n — long paths.
+  kHotspot,    // A fraction of packets targets PE 0, rest uniform.
+  kNeighbor,   // PE i sends to a random direct neighbour — short paths.
+};
+
+const char* TrafficPatternName(TrafficPattern pattern);
+
+/// Parameters of one synthetic-traffic run.
+struct TrafficConfig {
+  TrafficPattern pattern = TrafficPattern::kUniform;
+  /// Offered load: packets injected per second per PE (Poisson process).
+  double offered_packets_per_sec_per_pe = 10'000;
+  /// Fraction of hotspot traffic aimed at PE 0 (kHotspot only).
+  double hotspot_fraction = 0.10;
+  /// Measurement window; injections stop at its end and in-flight packets
+  /// are drained, but only deliveries inside the window count.
+  sim::SimTime warmup_ns = 20 * sim::kNanosPerMilli;
+  sim::SimTime measure_ns = 100 * sim::kNanosPerMilli;
+  uint64_t seed = 17;
+};
+
+/// Results of one synthetic-traffic run.
+struct TrafficResult {
+  double offered_packets_per_sec_per_pe = 0;
+  /// Delivered packets per second per PE inside the measurement window —
+  /// the metric the paper quotes as "average network throughput".
+  double delivered_packets_per_sec_per_pe = 0;
+  double average_latency_us = 0;
+  double max_latency_us = 0;
+  double peak_link_utilization = 0;
+  uint64_t packets_delivered = 0;
+};
+
+/// Drives a Poisson packet workload over a fresh Network built on
+/// `topology` and returns throughput/latency statistics. Deterministic for
+/// a fixed seed.
+TrafficResult RunSyntheticTraffic(const Topology& topology,
+                                  const LinkParams& params,
+                                  const TrafficConfig& config);
+
+}  // namespace prisma::net
+
+#endif  // PRISMA_NET_TRAFFIC_H_

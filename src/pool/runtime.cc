@@ -1,0 +1,157 @@
+#include "pool/runtime.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace prisma::pool {
+
+void Process::SendMail(ProcessId to, std::string kind, std::any body,
+                       int64_t size_bits) {
+  PRISMA_CHECK(runtime_ != nullptr) << "process not attached";
+  Mail mail;
+  mail.from = id_;
+  mail.to = to;
+  mail.kind = std::move(kind);
+  mail.body = std::move(body);
+  mail.size_bits = size_bits;
+  runtime_->Send(std::move(mail));
+}
+
+sim::EventId Process::SendSelfAfter(sim::SimTime delay, std::string kind,
+                                    std::any body) {
+  PRISMA_CHECK(runtime_ != nullptr) << "process not attached";
+  auto mail = std::make_shared<Mail>();
+  mail->from = id_;
+  mail->to = id_;
+  mail->kind = std::move(kind);
+  mail->body = std::move(body);
+  mail->size_bits = 0;
+  Runtime* rt = runtime_;
+  return rt->simulator()->Schedule(delay,
+                                   [rt, mail]() { rt->MailArrived(mail); });
+}
+
+void Process::ChargeCpu(sim::SimTime ns) {
+  PRISMA_CHECK(runtime_ != nullptr) << "process not attached";
+  PRISMA_CHECK(ns >= 0);
+  PRISMA_CHECK(runtime_->in_handler_) << "ChargeCpu outside a handler";
+  runtime_->handler_charged_ns_ += ns;
+}
+
+Runtime::Runtime(sim::Simulator* sim, net::Network* network, CostModel costs)
+    : sim_(sim),
+      network_(network),
+      costs_(costs),
+      pe_cpu_free_at_(network->topology().num_nodes(), 0),
+      pe_busy_ns_(network->topology().num_nodes(), 0) {
+  // All process mail travels as net::Message payloads; one receiver per PE
+  // dispatches to the addressed process.
+  const int n = network_->topology().num_nodes();
+  for (net::NodeId node = 0; node < n; ++node) {
+    network_->SetReceiver(node, [this](const net::Message& message) {
+      auto mail = std::any_cast<std::shared_ptr<Mail>>(message.payload);
+      MailArrived(std::move(mail));
+    });
+  }
+}
+
+ProcessId Runtime::Spawn(net::NodeId pe, std::unique_ptr<Process> process) {
+  PRISMA_CHECK(pe >= 0 && pe < network_->topology().num_nodes());
+  const ProcessId id = next_id_++;
+  process->runtime_ = this;
+  process->id_ = id;
+  process->pe_ = pe;
+  Process* raw = process.get();
+  processes_[id] = std::move(process);
+  // OnStart runs behind the PE's CPU like any handler and pays spawn cost.
+  sim_->Schedule(0, [this, pe, id, raw]() {
+    if (!IsAlive(id)) return;
+    ExecuteHandler(pe, [this, raw]() {
+      handler_charged_ns_ += costs_.spawn_ns;
+      raw->OnStart();
+    });
+  });
+  return id;
+}
+
+void Runtime::Kill(ProcessId id) { processes_.erase(id); }
+
+net::NodeId Runtime::PeOf(ProcessId id) const {
+  auto it = processes_.find(id);
+  PRISMA_CHECK(it != processes_.end()) << "PeOf on dead process " << id;
+  return it->second->pe_;
+}
+
+void Runtime::Send(Mail mail) {
+  if (in_handler_) {
+    // Released when the running handler's charged CPU completes.
+    deferred_sends_.push_back(std::move(mail));
+    return;
+  }
+  DispatchMail(std::make_shared<Mail>(std::move(mail)));
+}
+
+void Runtime::DispatchMail(const std::shared_ptr<Mail>& mail) {
+  auto it = processes_.find(mail->to);
+  if (it == processes_.end()) {
+    ++dropped_mail_;
+    return;
+  }
+  const net::NodeId dst_pe = it->second->pe_;
+  net::NodeId src_pe = dst_pe;
+  auto from_it = processes_.find(mail->from);
+  if (from_it != processes_.end()) src_pe = from_it->second->pe_;
+  network_->Send(src_pe, dst_pe, std::max<int64_t>(mail->size_bits, 1), mail);
+}
+
+void Runtime::MailArrived(std::shared_ptr<Mail> mail) {
+  auto it = processes_.find(mail->to);
+  if (it == processes_.end()) {
+    ++dropped_mail_;
+    return;
+  }
+  const net::NodeId pe = it->second->pe_;
+  ExecuteHandler(pe, [this, mail]() {
+    auto it2 = processes_.find(mail->to);
+    if (it2 == processes_.end()) {
+      ++dropped_mail_;
+      return;
+    }
+    handler_charged_ns_ += costs_.message_handling_ns;
+    it2->second->OnMail(*mail);
+  });
+}
+
+void Runtime::ExecuteHandler(net::NodeId pe, const std::function<void()>& body) {
+  const sim::SimTime now = sim_->now();
+  if (pe_cpu_free_at_[pe] > now) {
+    // The PE is busy with an earlier handler; retry when it frees up.
+    sim_->ScheduleAt(pe_cpu_free_at_[pe],
+                     [this, pe, body]() { ExecuteHandler(pe, body); });
+    return;
+  }
+  PRISMA_CHECK(!in_handler_) << "nested handler execution";
+  in_handler_ = true;
+  handler_charged_ns_ = 0;
+  deferred_sends_.clear();
+  body();
+  const sim::SimTime charged = handler_charged_ns_;
+  std::vector<Mail> sends = std::move(deferred_sends_);
+  in_handler_ = false;
+  handler_charged_ns_ = 0;
+  deferred_sends_.clear();
+
+  pe_cpu_free_at_[pe] = now + charged;
+  pe_busy_ns_[pe] += charged;
+  if (sends.empty()) return;
+  auto release = std::make_shared<std::vector<Mail>>(std::move(sends));
+  sim_->Schedule(charged, [this, release]() {
+    for (Mail& m : *release) {
+      DispatchMail(std::make_shared<Mail>(std::move(m)));
+    }
+  });
+}
+
+}  // namespace prisma::pool

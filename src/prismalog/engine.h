@@ -1,0 +1,119 @@
+#ifndef PRISMA_PRISMALOG_ENGINE_H_
+#define PRISMA_PRISMALOG_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/tuple.h"
+#include "exec/executor.h"
+#include "exec/transitive_closure.h"
+#include "prismalog/ast.h"
+#include "sql/binder.h"
+
+namespace prisma::prismalog {
+
+struct EngineOptions {
+  /// Virtual-time cost model and charge hook (see exec::ExecOptions).
+  pool::CostModel costs;
+  std::function<void(sim::SimTime)> charge;
+  /// Detect the linear transitive-closure pattern and evaluate it with the
+  /// OFM's dedicated TC operator (§2.5) instead of generic seminaive rule
+  /// iteration.
+  bool use_tc_operator = true;
+  exec::TcAlgorithm tc_algorithm = exec::TcAlgorithm::kSeminaive;
+  /// Safety valve against non-terminating programs (cannot trigger for
+  /// range-restricted Datalog, which always terminates).
+  uint64_t max_iterations = 1'000'000;
+};
+
+struct EvalStats {
+  int num_strata = 0;
+  uint64_t iterations = 0;       // Seminaive rounds summed over strata.
+  uint64_t facts_derived = 0;    // Distinct IDB facts.
+  uint64_t rule_evaluations = 0; // Rule-body plan executions.
+  bool used_tc_operator = false;
+};
+
+struct QueryResult {
+  /// One column per distinct variable of the goal, in first-appearance
+  /// order; a goal without variables yields schema ("sat") with one row
+  /// (TRUE/FALSE).
+  Schema schema;
+  std::vector<Tuple> tuples;  // Distinct, sorted.
+};
+
+/// PRISMAlog evaluator (§2.3): set-oriented, bottom-up evaluation of
+/// definite function-free Horn clauses with stratified negation and
+/// comparison built-ins.
+///
+/// Rule bodies are translated to the extended relational algebra (scans,
+/// equi-joins, selections, projections) and executed by exec::Executor;
+/// recursion is evaluated seminaively, and the classic linear-recursion
+/// pair of rules is detected and routed to the transitive-closure
+/// operator. Negation is an anti-join applied per derivation.
+///
+/// Rule plans run with *interpreted* expressions: untyped Datalog columns
+/// have no static type for the expression compiler to specialize on.
+class Engine {
+ public:
+  // Implementation detail, public so the internal rule resolver can name
+  // the map type; not part of the supported API.
+  struct PredicateInfo;
+
+  /// `edb` resolves base-relation scans, `catalog` provides their schemas
+  /// (both borrowed, must outlive the engine).
+  Engine(const exec::TableResolver* edb, const sql::CatalogReader* catalog,
+         EngineOptions options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Evaluates the program and answers its query.
+  StatusOr<QueryResult> Run(const Program& program);
+
+  /// Evaluates the program and returns the full extension of `predicate`
+  /// (IDB or EDB), for tests and the PRISMAlog REPL.
+  StatusOr<std::vector<Tuple>> EvaluatePredicate(const Program& program,
+                                                 const std::string& predicate);
+
+  const EvalStats& stats() const { return stats_; }
+
+ private:
+  struct RuleInfo;
+
+  Status Analyze(const Program& program);
+  Status CheckRangeRestriction(const Rule& rule) const;
+  Status Stratify();
+  Status EvaluateStratum(const std::vector<std::string>& stratum);
+  StatusOr<bool> TryTcShortcut(const std::vector<std::string>& stratum);
+  /// Evaluates one rule with the given body occurrence reading the delta
+  /// relation (-1 = all occurrences read full extensions); returns newly
+  /// derived head tuples (not yet deduplicated).
+  StatusOr<std::vector<Tuple>> EvaluateRule(const RuleInfo& rule,
+                                            int delta_occurrence);
+  /// Inserts derived tuples into `pred`'s extension; returns how many
+  /// were new (those also go to the pending-delta buffer).
+  StatusOr<size_t> Absorb(const std::string& pred, std::vector<Tuple> tuples);
+
+  StatusOr<std::vector<Tuple>> ExtensionOf(const std::string& predicate);
+
+  const exec::TableResolver* edb_;
+  const sql::CatalogReader* catalog_;
+  EngineOptions options_;
+  EvalStats stats_;
+
+  std::map<std::string, std::unique_ptr<PredicateInfo>> predicates_;
+  std::vector<RuleInfo> rules_;
+  std::vector<std::vector<std::string>> strata_;
+};
+
+}  // namespace prisma::prismalog
+
+#endif  // PRISMA_PRISMALOG_ENGINE_H_

@@ -1,0 +1,193 @@
+#include "prismalog/parser.h"
+
+#include <cctype>
+
+#include "common/str_util.h"
+#include "sql/lexer.h"
+
+namespace prisma::prismalog {
+namespace {
+
+using sql::Token;
+using sql::TokenKind;
+
+bool IsVariableName(const std::string& name) {
+  return !name.empty() &&
+         (std::isupper(static_cast<unsigned char>(name[0])) || name[0] == '_');
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<Program> ParseProgram() {
+    Program program;
+    while (Peek().kind != TokenKind::kEnd) {
+      if (TrySymbol("?")) {
+        TrySymbol("-");  // Accept "?-" as well.
+        if (program.query.has_value()) {
+          return InvalidArgumentError("multiple queries in program");
+        }
+        ASSIGN_OR_RETURN(Atom goal, ParseAtom());
+        RETURN_IF_ERROR(ExpectSymbol("."));
+        program.query = std::move(goal);
+        continue;
+      }
+      ASSIGN_OR_RETURN(Rule rule, ParseRule());
+      program.rules.push_back(std::move(rule));
+    }
+    return program;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool TrySymbol(const char* s) {
+    if (Peek().IsSymbol(s)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectSymbol(const char* s) {
+    if (!TrySymbol(s)) {
+      return InvalidArgumentError(StrFormat("expected '%s' near offset %zu",
+                                            s, Peek().offset));
+    }
+    return Status::OK();
+  }
+
+  StatusOr<Rule> ParseRule() {
+    Rule rule;
+    ASSIGN_OR_RETURN(rule.head, ParseAtom());
+    if (TrySymbol(":-")) {
+      do {
+        ASSIGN_OR_RETURN(BodyElem elem, ParseBodyElem());
+        rule.body.push_back(std::move(elem));
+      } while (TrySymbol(","));
+    }
+    RETURN_IF_ERROR(ExpectSymbol("."));
+    if (rule.IsFact()) {
+      for (const Term& t : rule.head.args) {
+        if (t.is_variable()) {
+          return InvalidArgumentError("fact with variable argument: " +
+                                      rule.head.ToString());
+        }
+      }
+    }
+    return rule;
+  }
+
+  StatusOr<BodyElem> ParseBodyElem() {
+    BodyElem elem;
+    if (Peek().IsKeyword("not")) {
+      Advance();
+      elem.kind = BodyElem::Kind::kAtom;
+      elem.negated = true;
+      ASSIGN_OR_RETURN(elem.atom, ParseAtom());
+      return elem;
+    }
+    // Lookahead: predicate '(' means an atom; otherwise a comparison.
+    if (Peek().kind == TokenKind::kIdentifier && Peek(1).IsSymbol("(") &&
+        !IsVariableName(Peek().text)) {
+      elem.kind = BodyElem::Kind::kAtom;
+      ASSIGN_OR_RETURN(elem.atom, ParseAtom());
+      return elem;
+    }
+    elem.kind = BodyElem::Kind::kComparison;
+    ASSIGN_OR_RETURN(elem.cmp_lhs, ParseTerm());
+    struct Cmp {
+      const char* sym;
+      algebra::BinaryOp op;
+    };
+    static const Cmp kCmps[] = {
+        {"=", algebra::BinaryOp::kEq},  {"<>", algebra::BinaryOp::kNe},
+        {"!=", algebra::BinaryOp::kNe}, {"<=", algebra::BinaryOp::kLe},
+        {">=", algebra::BinaryOp::kGe}, {"<", algebra::BinaryOp::kLt},
+        {">", algebra::BinaryOp::kGt}};
+    for (const Cmp& cmp : kCmps) {
+      if (TrySymbol(cmp.sym)) {
+        elem.cmp_op = cmp.op;
+        ASSIGN_OR_RETURN(elem.cmp_rhs, ParseTerm());
+        return elem;
+      }
+    }
+    return InvalidArgumentError(StrFormat(
+        "expected comparison operator near offset %zu", Peek().offset));
+  }
+
+  StatusOr<Atom> ParseAtom() {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return InvalidArgumentError(StrFormat(
+          "expected predicate name near offset %zu", Peek().offset));
+    }
+    Atom atom;
+    atom.predicate = Advance().text;
+    if (IsVariableName(atom.predicate)) {
+      return InvalidArgumentError("predicate names must start lower-case: " +
+                                  atom.predicate);
+    }
+    RETURN_IF_ERROR(ExpectSymbol("("));
+    if (!TrySymbol(")")) {
+      do {
+        ASSIGN_OR_RETURN(Term t, ParseTerm());
+        atom.args.push_back(std::move(t));
+      } while (TrySymbol(","));
+      RETURN_IF_ERROR(ExpectSymbol(")"));
+    }
+    if (atom.args.empty()) {
+      return InvalidArgumentError("nullary predicates are not supported: " +
+                                  atom.predicate);
+    }
+    return atom;
+  }
+
+  StatusOr<Term> ParseTerm() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kIdentifier:
+        Advance();
+        if (IsVariableName(t.text)) return Var(t.text);
+        return Const(Value::String(t.text));  // Prolog-style atom constant.
+      case TokenKind::kIntLiteral:
+        Advance();
+        return Const(Value::Int(t.int_value));
+      case TokenKind::kDoubleLiteral:
+        Advance();
+        return Const(Value::Double(t.double_value));
+      case TokenKind::kStringLiteral:
+        Advance();
+        return Const(Value::String(t.text));
+      case TokenKind::kSymbol:
+        if (t.text == "-" && Peek(1).kind == TokenKind::kIntLiteral) {
+          Advance();
+          return Const(Value::Int(-Advance().int_value));
+        }
+        if (t.text == "-" && Peek(1).kind == TokenKind::kDoubleLiteral) {
+          Advance();
+          return Const(Value::Double(-Advance().double_value));
+        }
+        break;
+      default:
+        break;
+    }
+    return InvalidArgumentError(
+        StrFormat("expected term near offset %zu", t.offset));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Program> ParsePrismalog(const std::string& text) {
+  ASSIGN_OR_RETURN(std::vector<Token> tokens, sql::Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseProgram();
+}
+
+}  // namespace prisma::prismalog

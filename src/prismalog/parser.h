@@ -1,0 +1,28 @@
+#ifndef PRISMA_PRISMALOG_PARSER_H_
+#define PRISMA_PRISMALOG_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "prismalog/ast.h"
+
+namespace prisma::prismalog {
+
+/// Parses a PRISMAlog program. Syntax (Prolog-like, §2.3):
+///
+///   ancestor(X, Y) :- parent(X, Y).
+///   ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).
+///   rich(N) :- account(N, B), B > 1000.
+///   senior(X) :- person(X, A), not junior(X), A >= 65.
+///   ? ancestor(X, mary).
+///
+/// Identifiers with an upper-case (or '_') initial are variables; others
+/// are string constants ("atoms"), as are quoted strings; numbers are
+/// INT/DOUBLE constants. Comparisons use =, <>, <, <=, >, >=. `not` in
+/// front of a body atom negates it. The query line starts with `?` or
+/// `?-`. At most one query per program.
+StatusOr<Program> ParsePrismalog(const std::string& text);
+
+}  // namespace prisma::prismalog
+
+#endif  // PRISMA_PRISMALOG_PARSER_H_

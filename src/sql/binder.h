@@ -1,0 +1,73 @@
+#ifndef PRISMA_SQL_BINDER_H_
+#define PRISMA_SQL_BINDER_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "algebra/plan.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/tuple.h"
+#include "sql/ast.h"
+
+namespace prisma::sql {
+
+/// Read access to the data dictionary, implemented by gdh::DataDictionary.
+class CatalogReader {
+ public:
+  virtual ~CatalogReader() = default;
+  /// Logical schema of a base table (unqualified column names).
+  virtual StatusOr<Schema> GetTableSchema(const std::string& table) const = 0;
+};
+
+/// A statement resolved against the catalog and lowered into executable
+/// form: SELECTs become logical plans; DML becomes typed commands.
+struct BoundStatement {
+  Statement::Kind kind = Statement::Kind::kSelect;
+
+  // kSelect.
+  std::unique_ptr<algebra::Plan> plan;
+
+  // kInsert: full-width tuples in schema order.
+  std::string table;
+  std::vector<Tuple> insert_rows;
+
+  // kDelete / kUpdate: predicate bound to the table schema (null = all).
+  std::unique_ptr<algebra::Expr> where;
+  // kUpdate: (column index, value expression bound to the table schema).
+  std::vector<std::pair<size_t, std::unique_ptr<algebra::Expr>>> assignments;
+
+  // kCreateTable.
+  Schema create_schema;
+  FragmentClause fragmentation;
+  /// Index of the fragmentation column in create_schema (kHash/kRange).
+  size_t fragment_column = 0;
+
+  // kCreateIndex.
+  std::string index_name;
+  std::vector<size_t> index_columns;
+  bool index_ordered = false;
+
+  // kTxnControl.
+  TxnControl txn_control = TxnControl::kBegin;
+};
+
+/// Resolves names, checks types and lowers a parsed statement.
+///
+/// SELECT restrictions (documented in README): aggregates may appear only
+/// as direct select items `FUNC(expr) [AS name]`; every non-aggregate
+/// select item of an aggregating query must also appear in GROUP BY;
+/// ORDER BY refers to the select output columns.
+StatusOr<BoundStatement> BindStatement(const Statement& stmt,
+                                       const CatalogReader& catalog);
+
+/// Convenience: parse + bind.
+StatusOr<BoundStatement> ParseAndBind(const std::string& sql,
+                                      const CatalogReader& catalog);
+
+}  // namespace prisma::sql
+
+#endif  // PRISMA_SQL_BINDER_H_

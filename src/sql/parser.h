@@ -1,0 +1,34 @@
+#ifndef PRISMA_SQL_PARSER_H_
+#define PRISMA_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace prisma::sql {
+
+/// Parses one SQL statement (an optional trailing ';' is accepted).
+///
+/// Supported grammar (§2.2's SQL interface):
+///   SELECT [DISTINCT] item, ... FROM t [alias] [JOIN t2 [a2] ON cond]...
+///     [WHERE expr] [GROUP BY expr, ...] [ORDER BY expr [ASC|DESC], ...]
+///     [LIMIT n]
+///   CREATE TABLE t (col TYPE, ...)
+///     [FRAGMENTED BY HASH(col)|RANGE(col)|ROUNDROBIN INTO n FRAGMENTS]
+///   DROP TABLE t
+///   CREATE [ORDERED] INDEX i ON t (col, ...)
+///   INSERT INTO t [(col, ...)] VALUES (expr, ...), ...
+///   DELETE FROM t [WHERE expr]
+///   UPDATE t SET col = expr, ... [WHERE expr]
+///   BEGIN | COMMIT | ABORT (also ROLLBACK)
+///   EXPLAIN SELECT ...   (returns the distributed plan as text)
+///   CHECKPOINT           (snapshots every fragment, truncates the WALs)
+///
+/// Aggregates (COUNT/SUM/MIN/MAX/AVG) are parsed as function calls; the
+/// binder restricts where they may appear.
+StatusOr<Statement> ParseSql(const std::string& sql);
+
+}  // namespace prisma::sql
+
+#endif  // PRISMA_SQL_PARSER_H_

@@ -1,0 +1,308 @@
+#include "storage/btree_index.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace prisma::storage {
+
+struct BTreeIndex::Node {
+  explicit Node(bool leaf) : is_leaf(leaf) {}
+  virtual ~Node() = default;
+  bool is_leaf;
+};
+
+struct BTreeIndex::LeafNode : Node {
+  LeafNode() : Node(true) {}
+  std::vector<Tuple> keys;               // Sorted, unique.
+  std::vector<std::vector<RowId>> rows;  // rows[i] belongs to keys[i].
+  LeafNode* next = nullptr;              // Right sibling for range scans.
+};
+
+struct BTreeIndex::InternalNode : Node {
+  InternalNode() : Node(false) {}
+  // children.size() == keys.size() + 1; keys[i] is the smallest key in the
+  // subtree of children[i + 1].
+  std::vector<Tuple> keys;
+  std::vector<std::unique_ptr<Node>> children;
+};
+
+namespace {
+
+/// Index of the first element in `keys` that is >= `key`.
+size_t LowerBound(const std::vector<Tuple>& keys, const Tuple& key) {
+  size_t lo = 0;
+  size_t hi = keys.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (keys[mid].Compare(key) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// Child slot to descend into for `key`: first separator > key.
+size_t ChildSlot(const std::vector<Tuple>& keys, const Tuple& key) {
+  size_t lo = 0;
+  size_t hi = keys.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (keys[mid].Compare(key) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+BTreeIndex::BTreeIndex(std::string name, std::vector<size_t> key_columns,
+                       int order)
+    : name_(std::move(name)),
+      key_columns_(std::move(key_columns)),
+      max_keys_(static_cast<size_t>(order)),
+      root_(std::make_unique<LeafNode>()) {
+  PRISMA_CHECK(order >= 4) << "B-tree order must be >= 4";
+}
+
+BTreeIndex::~BTreeIndex() = default;
+
+Tuple BTreeIndex::ExtractKey(const Tuple& tuple) const {
+  std::vector<Value> vals;
+  vals.reserve(key_columns_.size());
+  for (size_t c : key_columns_) vals.push_back(tuple.at(c));
+  return Tuple(std::move(vals));
+}
+
+BTreeIndex::LeafNode* BTreeIndex::FindLeaf(const Tuple& key) const {
+  Node* node = root_.get();
+  while (!node->is_leaf) {
+    auto* in = static_cast<InternalNode*>(node);
+    node = in->children[ChildSlot(in->keys, key)].get();
+  }
+  return static_cast<LeafNode*>(node);
+}
+
+const BTreeIndex::LeafNode* BTreeIndex::LeftmostLeaf() const {
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    node = static_cast<const InternalNode*>(node)->children.front().get();
+  }
+  return static_cast<const LeafNode*>(node);
+}
+
+std::optional<BTreeIndex::SplitResult> BTreeIndex::InsertInto(
+    Node* node, const Tuple& key, RowId row) {
+  if (node->is_leaf) {
+    auto* leaf = static_cast<LeafNode*>(node);
+    const size_t pos = LowerBound(leaf->keys, key);
+    if (pos < leaf->keys.size() && leaf->keys[pos].Compare(key) == 0) {
+      leaf->rows[pos].push_back(row);
+      ++num_entries_;
+      return std::nullopt;
+    }
+    leaf->keys.insert(leaf->keys.begin() + pos, key);
+    leaf->rows.insert(leaf->rows.begin() + pos, std::vector<RowId>{row});
+    ++num_entries_;
+    ++num_keys_;
+    if (leaf->keys.size() <= max_keys_) return std::nullopt;
+
+    // Split the leaf in half; the separator is the right half's first key.
+    const size_t mid = leaf->keys.size() / 2;
+    auto right = std::make_unique<LeafNode>();
+    right->keys.assign(std::make_move_iterator(leaf->keys.begin() + mid),
+                       std::make_move_iterator(leaf->keys.end()));
+    right->rows.assign(std::make_move_iterator(leaf->rows.begin() + mid),
+                       std::make_move_iterator(leaf->rows.end()));
+    leaf->keys.resize(mid);
+    leaf->rows.resize(mid);
+    right->next = leaf->next;
+    leaf->next = right.get();
+    SplitResult result{right->keys.front(), std::move(right)};
+    return result;
+  }
+
+  auto* in = static_cast<InternalNode*>(node);
+  const size_t slot = ChildSlot(in->keys, key);
+  auto split = InsertInto(in->children[slot].get(), key, row);
+  if (!split.has_value()) return std::nullopt;
+
+  in->keys.insert(in->keys.begin() + slot, std::move(split->separator));
+  in->children.insert(in->children.begin() + slot + 1,
+                      std::move(split->right));
+  if (in->keys.size() <= max_keys_) return std::nullopt;
+
+  // Split the internal node; the middle separator moves up.
+  const size_t mid = in->keys.size() / 2;
+  auto right = std::make_unique<InternalNode>();
+  Tuple up = std::move(in->keys[mid]);
+  right->keys.assign(std::make_move_iterator(in->keys.begin() + mid + 1),
+                     std::make_move_iterator(in->keys.end()));
+  right->children.assign(
+      std::make_move_iterator(in->children.begin() + mid + 1),
+      std::make_move_iterator(in->children.end()));
+  in->keys.resize(mid);
+  in->children.resize(mid + 1);
+  SplitResult result{std::move(up), std::move(right)};
+  return result;
+}
+
+void BTreeIndex::OnInsert(RowId row, const Tuple& tuple) {
+  const Tuple key = ExtractKey(tuple);
+  auto split = InsertInto(root_.get(), key, row);
+  if (!split.has_value()) return;
+  auto new_root = std::make_unique<InternalNode>();
+  new_root->keys.push_back(std::move(split->separator));
+  new_root->children.push_back(std::move(root_));
+  new_root->children.push_back(std::move(split->right));
+  root_ = std::move(new_root);
+}
+
+void BTreeIndex::OnDelete(RowId row, const Tuple& tuple) {
+  const Tuple key = ExtractKey(tuple);
+  LeafNode* leaf = FindLeaf(key);
+  const size_t pos = LowerBound(leaf->keys, key);
+  if (pos >= leaf->keys.size() || leaf->keys[pos].Compare(key) != 0) return;
+  auto& rows = leaf->rows[pos];
+  auto it = std::find(rows.begin(), rows.end(), row);
+  if (it == rows.end()) return;
+  rows.erase(it);
+  --num_entries_;
+  if (rows.empty()) {
+    // Unlink the key; underfull leaves are tolerated (see class comment).
+    leaf->keys.erase(leaf->keys.begin() + pos);
+    leaf->rows.erase(leaf->rows.begin() + pos);
+    --num_keys_;
+  }
+}
+
+std::vector<RowId> BTreeIndex::Probe(const Tuple& key) const {
+  PRISMA_CHECK(key.size() == key_columns_.size())
+      << "probe arity mismatch on index " << name_;
+  const LeafNode* leaf = FindLeaf(key);
+  const size_t pos = LowerBound(leaf->keys, key);
+  if (pos >= leaf->keys.size() || leaf->keys[pos].Compare(key) != 0) {
+    return {};
+  }
+  return leaf->rows[pos];
+}
+
+void BTreeIndex::ScanRange(
+    const std::optional<Tuple>& lo, bool lo_inclusive,
+    const std::optional<Tuple>& hi, bool hi_inclusive,
+    const std::function<bool(const Tuple&, RowId)>& fn) const {
+  const LeafNode* leaf;
+  size_t pos = 0;
+  if (lo.has_value()) {
+    leaf = FindLeaf(*lo);
+    pos = LowerBound(leaf->keys, *lo);
+    if (!lo_inclusive && pos < leaf->keys.size() &&
+        leaf->keys[pos].Compare(*lo) == 0) {
+      ++pos;
+    }
+  } else {
+    leaf = LeftmostLeaf();
+  }
+  while (leaf != nullptr) {
+    for (; pos < leaf->keys.size(); ++pos) {
+      const Tuple& key = leaf->keys[pos];
+      if (hi.has_value()) {
+        const int c = key.Compare(*hi);
+        if (c > 0 || (c == 0 && !hi_inclusive)) return;
+      }
+      for (const RowId row : leaf->rows[pos]) {
+        if (!fn(key, row)) return;
+      }
+    }
+    leaf = leaf->next;
+    pos = 0;
+  }
+}
+
+void BTreeIndex::Rebuild(const Relation& relation) {
+  Clear();
+  relation.Scan([this](RowId row, const Tuple& tuple) {
+    OnInsert(row, tuple);
+    return true;
+  });
+}
+
+int BTreeIndex::height() const {
+  int h = 1;
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    node = static_cast<const InternalNode*>(node)->children.front().get();
+    ++h;
+  }
+  return h;
+}
+
+void BTreeIndex::Clear() {
+  root_ = std::make_unique<LeafNode>();
+  num_entries_ = 0;
+  num_keys_ = 0;
+}
+
+int BTreeIndex::LeafDepth() const { return height(); }
+
+Status BTreeIndex::ValidateNode(const Node* node, const Tuple* lo,
+                                const Tuple* hi, int depth,
+                                int leaf_depth) const {
+  auto in_bounds = [&](const Tuple& k) {
+    if (lo != nullptr && k.Compare(*lo) < 0) return false;
+    if (hi != nullptr && k.Compare(*hi) >= 0) return false;
+    return true;
+  };
+  if (node->is_leaf) {
+    if (depth != leaf_depth) {
+      return InternalError("leaf at wrong depth in " + name_);
+    }
+    const auto* leaf = static_cast<const LeafNode*>(node);
+    if (leaf->keys.size() != leaf->rows.size()) {
+      return InternalError("leaf keys/rows size mismatch in " + name_);
+    }
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      if (i > 0 && leaf->keys[i - 1].Compare(leaf->keys[i]) >= 0) {
+        return InternalError("unsorted leaf keys in " + name_);
+      }
+      if (!in_bounds(leaf->keys[i])) {
+        return InternalError("leaf key outside separator bounds in " + name_);
+      }
+      if (leaf->rows[i].empty()) {
+        return InternalError("empty RowId list in " + name_);
+      }
+    }
+    return Status::OK();
+  }
+  const auto* in = static_cast<const InternalNode*>(node);
+  if (in->children.size() != in->keys.size() + 1) {
+    return InternalError("internal child count mismatch in " + name_);
+  }
+  for (size_t i = 0; i < in->keys.size(); ++i) {
+    if (i > 0 && in->keys[i - 1].Compare(in->keys[i]) >= 0) {
+      return InternalError("unsorted internal keys in " + name_);
+    }
+    if (!in_bounds(in->keys[i])) {
+      return InternalError("separator outside bounds in " + name_);
+    }
+  }
+  for (size_t i = 0; i < in->children.size(); ++i) {
+    const Tuple* clo = (i == 0) ? lo : &in->keys[i - 1];
+    const Tuple* chi = (i == in->keys.size()) ? hi : &in->keys[i];
+    RETURN_IF_ERROR(
+        ValidateNode(in->children[i].get(), clo, chi, depth + 1, leaf_depth));
+  }
+  return Status::OK();
+}
+
+Status BTreeIndex::Validate() const {
+  return ValidateNode(root_.get(), nullptr, nullptr, 1, LeafDepth());
+}
+
+}  // namespace prisma::storage

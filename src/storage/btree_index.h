@@ -1,0 +1,100 @@
+#ifndef PRISMA_STORAGE_BTREE_INDEX_H_
+#define PRISMA_STORAGE_BTREE_INDEX_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/tuple.h"
+#include "storage/relation.h"
+
+namespace prisma::storage {
+
+/// Ordered secondary index: an in-memory B+-tree keyed on a subset of a
+/// relation's columns, supporting equality probes and range scans in key
+/// order. This is the OFM's ordered "storage structure" (§2.5), used for
+/// range selections, ORDER BY and merge joins.
+///
+/// Keys are the projected key-column tuples (compared with Tuple::Compare);
+/// duplicates share one key entry carrying all matching RowIds. Deletion is
+/// by unlinking (no node merging): leaves may become underfull but never
+/// violate ordering, which is the classic main-memory simplification —
+/// occupancy is restored by Rebuild after Relation::Compact.
+class BTreeIndex {
+ public:
+  /// `order` = maximum keys per node (>= 4, even recommended).
+  BTreeIndex(std::string name, std::vector<size_t> key_columns, int order = 32);
+  ~BTreeIndex();
+
+  BTreeIndex(const BTreeIndex&) = delete;
+  BTreeIndex& operator=(const BTreeIndex&) = delete;
+
+  const std::string& name() const { return name_; }
+  const std::vector<size_t>& key_columns() const { return key_columns_; }
+
+  void OnInsert(RowId row, const Tuple& tuple);
+  void OnDelete(RowId row, const Tuple& tuple);
+
+  /// RowIds whose key equals `key` (arity = key_columns).
+  std::vector<RowId> Probe(const Tuple& key) const;
+
+  /// Visits entries with lo <= key <= hi in ascending key order (open
+  /// bounds when a limit is std::nullopt); `fn` returns false to stop.
+  void ScanRange(
+      const std::optional<Tuple>& lo, bool lo_inclusive,
+      const std::optional<Tuple>& hi, bool hi_inclusive,
+      const std::function<bool(const Tuple& key, RowId row)>& fn) const;
+
+  /// Visits every entry in ascending key order.
+  void ScanAll(const std::function<bool(const Tuple&, RowId)>& fn) const {
+    ScanRange(std::nullopt, true, std::nullopt, true, fn);
+  }
+
+  /// Rebuilds from a relation's live tuples.
+  void Rebuild(const Relation& relation);
+
+  size_t num_entries() const { return num_entries_; }
+  size_t num_keys() const { return num_keys_; }
+  int height() const;
+  void Clear();
+
+  /// Checks structural invariants (ordering, uniform leaf depth, child
+  /// counts, separator placement); used by property tests.
+  Status Validate() const;
+
+ private:
+  struct Node;
+  struct LeafNode;
+  struct InternalNode;
+
+  Tuple ExtractKey(const Tuple& tuple) const;
+  LeafNode* FindLeaf(const Tuple& key) const;
+  const LeafNode* LeftmostLeaf() const;
+
+  /// Result of inserting into a subtree: set when the child split and a
+  /// (separator, new right sibling) must be added to the parent.
+  struct SplitResult {
+    Tuple separator;
+    std::unique_ptr<Node> right;
+  };
+  std::optional<SplitResult> InsertInto(Node* node, const Tuple& key,
+                                        RowId row);
+
+  Status ValidateNode(const Node* node, const Tuple* lo, const Tuple* hi,
+                      int depth, int leaf_depth) const;
+  int LeafDepth() const;
+
+  std::string name_;
+  std::vector<size_t> key_columns_;
+  size_t max_keys_;
+  std::unique_ptr<Node> root_;
+  size_t num_entries_ = 0;  // (key, RowId) pairs.
+  size_t num_keys_ = 0;     // Distinct keys.
+};
+
+}  // namespace prisma::storage
+
+#endif  // PRISMA_STORAGE_BTREE_INDEX_H_

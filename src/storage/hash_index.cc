@@ -1,0 +1,44 @@
+#include "storage/hash_index.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace prisma::storage {
+
+void HashIndex::OnInsert(RowId row, const Tuple& tuple) {
+  buckets_[KeyHashOfRow(tuple)].push_back(row);
+  ++num_entries_;
+}
+
+void HashIndex::OnDelete(RowId row, const Tuple& tuple) {
+  auto it = buckets_.find(KeyHashOfRow(tuple));
+  if (it == buckets_.end()) return;
+  auto& rows = it->second;
+  auto pos = std::find(rows.begin(), rows.end(), row);
+  if (pos == rows.end()) return;
+  rows.erase(pos);
+  --num_entries_;
+  if (rows.empty()) buckets_.erase(it);
+}
+
+std::vector<RowId> HashIndex::Probe(const Tuple& key) const {
+  PRISMA_CHECK(key.size() == key_columns_.size())
+      << "probe arity mismatch on index " << name_;
+  // Key tuples hash with identity column positions (0..k-1).
+  std::vector<size_t> identity(key.size());
+  for (size_t i = 0; i < identity.size(); ++i) identity[i] = i;
+  auto it = buckets_.find(HashTupleColumns(key, identity));
+  if (it == buckets_.end()) return {};
+  return it->second;
+}
+
+void HashIndex::Rebuild(const Relation& relation) {
+  Clear();
+  relation.Scan([this](RowId row, const Tuple& tuple) {
+    OnInsert(row, tuple);
+    return true;
+  });
+}
+
+}  // namespace prisma::storage

@@ -1,0 +1,62 @@
+#ifndef PRISMA_STORAGE_HASH_INDEX_H_
+#define PRISMA_STORAGE_HASH_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/tuple.h"
+#include "storage/relation.h"
+
+namespace prisma::storage {
+
+/// Unordered secondary index on a subset of a relation's columns,
+/// supporting equality probes. The OFM's local optimizer picks it for
+/// selections and as the build side of local hash joins (§2.5 "various
+/// storage structures").
+///
+/// Duplicate keys are allowed; a probe returns every matching RowId. The
+/// index does not observe the relation automatically — the OFM calls
+/// OnInsert/OnDelete as part of its write path.
+class HashIndex {
+ public:
+  /// `key_columns` are positions in the relation's schema.
+  HashIndex(std::string name, std::vector<size_t> key_columns)
+      : name_(std::move(name)), key_columns_(std::move(key_columns)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<size_t>& key_columns() const { return key_columns_; }
+
+  void OnInsert(RowId row, const Tuple& tuple);
+  void OnDelete(RowId row, const Tuple& tuple);
+
+  /// RowIds whose key columns equal `key` (same arity as key_columns).
+  /// Hash collisions are resolved by the caller re-checking the tuple; the
+  /// returned ids are a superset only in the (vanishingly rare) case of a
+  /// 64-bit hash collision, so the OFM always re-verifies equality.
+  std::vector<RowId> Probe(const Tuple& key) const;
+
+  /// Rebuilds from scratch (after Relation::Compact).
+  void Rebuild(const Relation& relation);
+
+  size_t num_entries() const { return num_entries_; }
+  void Clear() {
+    buckets_.clear();
+    num_entries_ = 0;
+  }
+
+ private:
+  uint64_t KeyHashOfRow(const Tuple& tuple) const {
+    return HashTupleColumns(tuple, key_columns_);
+  }
+
+  std::string name_;
+  std::vector<size_t> key_columns_;
+  std::unordered_map<uint64_t, std::vector<RowId>> buckets_;
+  size_t num_entries_ = 0;
+};
+
+}  // namespace prisma::storage
+
+#endif  // PRISMA_STORAGE_HASH_INDEX_H_

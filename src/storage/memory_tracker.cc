@@ -1,0 +1,27 @@
+#include "storage/memory_tracker.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace prisma::storage {
+
+Status MemoryTracker::Reserve(size_t bytes) {
+  if (used_ + bytes > capacity_) {
+    return ResourceExhaustedError(
+        StrFormat("PE memory exhausted: need %zu, available %zu of %zu",
+                  bytes, available(), capacity_));
+  }
+  used_ += bytes;
+  high_water_ = std::max(high_water_, used_);
+  return Status::OK();
+}
+
+void MemoryTracker::Release(size_t bytes) {
+  PRISMA_CHECK(bytes <= used_) << "releasing " << bytes << " with only "
+                               << used_ << " reserved";
+  used_ -= bytes;
+}
+
+}  // namespace prisma::storage

@@ -1,0 +1,46 @@
+#ifndef PRISMA_STORAGE_MEMORY_TRACKER_H_
+#define PRISMA_STORAGE_MEMORY_TRACKER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace prisma::storage {
+
+/// The paper's prototype gives every PE 16 MByte of local main memory
+/// (§3.2).
+constexpr size_t kDefaultPeMemoryBytes = 16 * 1024 * 1024;
+
+/// Accounts main-memory consumption of one PE against its capacity.
+///
+/// Main memory is the *primary* store in PRISMA, so running out is a hard
+/// allocation failure (kResourceExhausted), not a spill trigger. All
+/// fragments and indexes resident on a PE share its tracker.
+class MemoryTracker {
+ public:
+  explicit MemoryTracker(size_t capacity_bytes = kDefaultPeMemoryBytes)
+      : capacity_(capacity_bytes) {}
+
+  /// Reserves `bytes`; fails without side effects if it would exceed
+  /// capacity.
+  Status Reserve(size_t bytes);
+
+  /// Returns previously reserved bytes to the pool.
+  void Release(size_t bytes);
+
+  size_t capacity() const { return capacity_; }
+  size_t used() const { return used_; }
+  size_t available() const { return capacity_ - used_; }
+  /// Largest `used` value ever observed (for reporting).
+  size_t high_water() const { return high_water_; }
+
+ private:
+  size_t capacity_;
+  size_t used_ = 0;
+  size_t high_water_ = 0;
+};
+
+}  // namespace prisma::storage
+
+#endif  // PRISMA_STORAGE_MEMORY_TRACKER_H_

@@ -1,0 +1,142 @@
+#include "storage/relation.h"
+
+#include <utility>
+
+#include "common/str_util.h"
+
+namespace prisma::storage {
+
+Relation::Relation(std::string name, Schema schema, MemoryTracker* memory)
+    : name_(std::move(name)), schema_(std::move(schema)), memory_(memory) {}
+
+Relation::~Relation() {
+  if (memory_ != nullptr) memory_->Release(byte_size_);
+}
+
+Status Relation::Validate(Tuple& tuple) const {
+  if (tuple.size() != schema_.num_columns()) {
+    return InvalidArgumentError(StrFormat(
+        "relation %s expects %zu columns, got %zu", name_.c_str(),
+        schema_.num_columns(), tuple.size()));
+  }
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    const DataType want = schema_.column(i).type;
+    // A kNull column type is a wildcard (untyped Datalog relations).
+    if (want == DataType::kNull) continue;
+    if (tuple.at(i).type() == want || tuple.at(i).is_null()) continue;
+    ASSIGN_OR_RETURN(Value coerced, CoerceValue(tuple.at(i), want));
+    tuple.at(i) = std::move(coerced);
+  }
+  return Status::OK();
+}
+
+Status Relation::TrackReserve(size_t bytes) {
+  if (memory_ != nullptr) RETURN_IF_ERROR(memory_->Reserve(bytes));
+  byte_size_ += bytes;
+  return Status::OK();
+}
+
+void Relation::TrackRelease(size_t bytes) {
+  if (memory_ != nullptr) memory_->Release(bytes);
+  byte_size_ -= bytes;
+}
+
+StatusOr<RowId> Relation::Insert(Tuple tuple) {
+  RETURN_IF_ERROR(Validate(tuple));
+  RETURN_IF_ERROR(TrackReserve(tuple.ByteSize()));
+  rows_.emplace_back(std::move(tuple));
+  ++live_count_;
+  return rows_.size() - 1;
+}
+
+Status Relation::Delete(RowId row) {
+  if (!IsLive(row)) {
+    return NotFoundError(StrFormat("row %llu not found in %s",
+                                   static_cast<unsigned long long>(row),
+                                   name_.c_str()));
+  }
+  TrackRelease(rows_[row]->ByteSize());
+  rows_[row].reset();
+  --live_count_;
+  return Status::OK();
+}
+
+Status Relation::Update(RowId row, Tuple tuple) {
+  if (!IsLive(row)) {
+    return NotFoundError(StrFormat("row %llu not found in %s",
+                                   static_cast<unsigned long long>(row),
+                                   name_.c_str()));
+  }
+  RETURN_IF_ERROR(Validate(tuple));
+  RETURN_IF_ERROR(TrackReserve(tuple.ByteSize()));
+  TrackRelease(rows_[row]->ByteSize());
+  rows_[row] = std::move(tuple);
+  return Status::OK();
+}
+
+Status Relation::RestoreRow(RowId row, Tuple tuple) {
+  if (row >= rows_.size() || rows_[row].has_value()) {
+    return FailedPreconditionError(
+        StrFormat("slot %llu of %s is not restorable",
+                  static_cast<unsigned long long>(row), name_.c_str()));
+  }
+  RETURN_IF_ERROR(Validate(tuple));
+  RETURN_IF_ERROR(TrackReserve(tuple.ByteSize()));
+  rows_[row] = std::move(tuple);
+  ++live_count_;
+  return Status::OK();
+}
+
+Status Relation::RestoreSlot(std::optional<Tuple> slot) {
+  if (!slot.has_value()) {
+    rows_.emplace_back(std::nullopt);
+    return Status::OK();
+  }
+  RETURN_IF_ERROR(Validate(*slot));
+  RETURN_IF_ERROR(TrackReserve(slot->ByteSize()));
+  rows_.emplace_back(std::move(*slot));
+  ++live_count_;
+  return Status::OK();
+}
+
+StatusOr<Tuple> Relation::Get(RowId row) const {
+  if (!IsLive(row)) {
+    return NotFoundError(StrFormat("row %llu not found in %s",
+                                   static_cast<unsigned long long>(row),
+                                   name_.c_str()));
+  }
+  return *rows_[row];
+}
+
+void Relation::Scan(const std::function<bool(RowId, const Tuple&)>& fn) const {
+  for (RowId r = 0; r < rows_.size(); ++r) {
+    if (!rows_[r].has_value()) continue;
+    if (!fn(r, *rows_[r])) return;
+  }
+}
+
+std::vector<Tuple> Relation::AllTuples() const {
+  std::vector<Tuple> out;
+  out.reserve(live_count_);
+  for (const auto& r : rows_) {
+    if (r.has_value()) out.push_back(*r);
+  }
+  return out;
+}
+
+void Relation::Clear() {
+  TrackRelease(byte_size_);
+  rows_.clear();
+  live_count_ = 0;
+}
+
+void Relation::Compact() {
+  std::vector<std::optional<Tuple>> packed;
+  packed.reserve(live_count_);
+  for (auto& r : rows_) {
+    if (r.has_value()) packed.emplace_back(std::move(r));
+  }
+  rows_ = std::move(packed);
+}
+
+}  // namespace prisma::storage

@@ -1,0 +1,97 @@
+#ifndef PRISMA_STORAGE_RELATION_H_
+#define PRISMA_STORAGE_RELATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/tuple.h"
+#include "storage/memory_tracker.h"
+
+namespace prisma::storage {
+
+/// Stable identifier of a tuple within one Relation; survives unrelated
+/// deletes (slots are tombstoned, not reused until Compact).
+using RowId = uint64_t;
+
+/// An in-memory, row-oriented relation (or relation fragment).
+///
+/// This is the primary storage structure of a One-Fragment Manager: tuples
+/// live in main memory only (§2.1); durability is layered on top by the
+/// recovery component. Inserts validate tuple arity and column types
+/// against the schema (with NULL and INT->DOUBLE coercion).
+class Relation {
+ public:
+  /// `memory` may be null (untracked, for tests and transient results).
+  Relation(std::string name, Schema schema, MemoryTracker* memory = nullptr);
+  ~Relation();
+
+  Relation(const Relation&) = delete;
+  Relation& operator=(const Relation&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Validates and stores a tuple; returns its RowId.
+  StatusOr<RowId> Insert(Tuple tuple);
+
+  /// Removes a live tuple; kNotFound for unknown or already deleted rows.
+  Status Delete(RowId row);
+
+  /// Replaces a live tuple, revalidating against the schema.
+  Status Update(RowId row, Tuple tuple);
+
+  /// Re-occupies the tombstoned slot `row` with `tuple` (transaction undo
+  /// of a delete, WAL replay). Fails if the slot is live or out of range.
+  Status RestoreRow(RowId row, Tuple tuple);
+
+  /// Appends one slot verbatim during recovery: a live tuple or a
+  /// tombstone (std::nullopt), preserving the checkpointed RowId space.
+  Status RestoreSlot(std::optional<Tuple> slot);
+
+  /// Returns the tuple at `row` if live.
+  StatusOr<Tuple> Get(RowId row) const;
+  bool IsLive(RowId row) const {
+    return row < rows_.size() && rows_[row].has_value();
+  }
+
+  /// Invokes `fn(row_id, tuple)` for every live tuple in RowId order;
+  /// stops early if `fn` returns false.
+  void Scan(const std::function<bool(RowId, const Tuple&)>& fn) const;
+
+  /// All live tuples in RowId order (convenience for small results).
+  std::vector<Tuple> AllTuples() const;
+
+  size_t num_tuples() const { return live_count_; }
+  /// Approximate bytes held, including tombstoned slots until Compact.
+  size_t byte_size() const { return byte_size_; }
+  /// Total slots including tombstones (the RowId space).
+  size_t num_slots() const { return rows_.size(); }
+
+  /// Drops all tuples.
+  void Clear();
+
+  /// Reclaims tombstoned slots. Invalidates all previously returned
+  /// RowIds; callers (index maintenance) must rebuild afterwards.
+  void Compact();
+
+ private:
+  Status Validate(Tuple& tuple) const;
+  Status TrackReserve(size_t bytes);
+  void TrackRelease(size_t bytes);
+
+  std::string name_;
+  Schema schema_;
+  MemoryTracker* memory_;
+  std::vector<std::optional<Tuple>> rows_;
+  size_t live_count_ = 0;
+  size_t byte_size_ = 0;
+};
+
+}  // namespace prisma::storage
+
+#endif  // PRISMA_STORAGE_RELATION_H_

@@ -1,0 +1,76 @@
+#include "storage/stable_store.h"
+
+namespace prisma::storage {
+
+sim::SimTime StableStore::Append(const std::string& stream,
+                                 std::string record) {
+  const size_t bytes = record.size();
+  streams_[stream].push_back(std::move(record));
+  stream_sizes_[stream] += bytes;
+  return model_.IoNs(bytes);
+}
+
+sim::SimTime StableStore::AppendBatch(const std::string& stream,
+                                      std::vector<std::string> records) {
+  size_t total = 0;
+  auto& target = streams_[stream];
+  for (std::string& record : records) {
+    total += record.size();
+    target.push_back(std::move(record));
+  }
+  stream_sizes_[stream] += total;
+  return model_.IoNs(total);
+}
+
+const std::vector<std::string>& StableStore::ReadStream(
+    const std::string& stream) const {
+  static const std::vector<std::string>* empty =
+      new std::vector<std::string>();
+  auto it = streams_.find(stream);
+  if (it == streams_.end()) return *empty;
+  return it->second;
+}
+
+sim::SimTime StableStore::StreamReadNs(const std::string& stream) const {
+  return model_.IoNs(stream_bytes(stream));
+}
+
+void StableStore::TruncateStream(const std::string& stream) {
+  streams_.erase(stream);
+  stream_sizes_.erase(stream);
+}
+
+sim::SimTime StableStore::WriteSnapshot(const std::string& name,
+                                        std::string bytes) {
+  const size_t n = bytes.size();
+  snapshots_[name] = std::move(bytes);
+  return model_.IoNs(n);
+}
+
+StatusOr<std::string> StableStore::ReadSnapshot(const std::string& name) const {
+  auto it = snapshots_.find(name);
+  if (it == snapshots_.end()) {
+    return NotFoundError("no snapshot named " + name);
+  }
+  return it->second;
+}
+
+sim::SimTime StableStore::SnapshotReadNs(const std::string& name) const {
+  auto it = snapshots_.find(name);
+  if (it == snapshots_.end()) return model_.IoNs(0);
+  return model_.IoNs(it->second.size());
+}
+
+size_t StableStore::stream_bytes(const std::string& stream) const {
+  auto it = stream_sizes_.find(stream);
+  return it == stream_sizes_.end() ? 0 : it->second;
+}
+
+size_t StableStore::total_bytes() const {
+  size_t n = 0;
+  for (const auto& [_, bytes] : stream_sizes_) n += bytes;
+  for (const auto& [_, snap] : snapshots_) n += snap.size();
+  return n;
+}
+
+}  // namespace prisma::storage

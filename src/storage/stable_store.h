@@ -1,0 +1,85 @@
+#ifndef PRISMA_STORAGE_STABLE_STORE_H_
+#define PRISMA_STORAGE_STABLE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/simulator.h"
+
+namespace prisma::storage {
+
+/// Latency model of the disk attached to a disk-equipped PE (§3.2: "some
+/// of the processing elements will also be connected to secondary storage").
+/// Defaults model a late-1980s Winchester drive; the point of experiment E3
+/// is the orders-of-magnitude gap to main memory, not the absolute values.
+struct DiskModel {
+  /// Average positioning time (seek + rotational latency) per operation.
+  sim::SimTime access_ns = 25 * sim::kNanosPerMilli;
+  /// Sequential transfer rate.
+  int64_t bandwidth_bytes_per_sec = 1'000'000;
+  /// Cost of transferring `bytes` after positioning.
+  sim::SimTime TransferNs(size_t bytes) const {
+    return static_cast<sim::SimTime>(bytes) * sim::kNanosPerSecond /
+           bandwidth_bytes_per_sec;
+  }
+  /// Full cost of one random I/O of `bytes`.
+  sim::SimTime IoNs(size_t bytes) const { return access_ns + TransferNs(bytes); }
+};
+
+/// Crash-surviving storage of one disk-equipped PE: named append-only
+/// streams (write-ahead logs) and named overwritable snapshots
+/// (checkpoints). Contents survive PE process crashes in the simulation —
+/// a "crash" kills the POOL-X processes but not this object, exactly like
+/// a machine losing memory but not its disk.
+///
+/// Every mutating or reading call returns the simulated I/O duration so
+/// the caller can charge it to its PE's virtual clock; the store itself is
+/// passive and does not touch the simulator.
+class StableStore {
+ public:
+  explicit StableStore(DiskModel model = {}) : model_(model) {}
+
+  const DiskModel& model() const { return model_; }
+
+  /// Appends a record to the stream, creating it if needed.
+  /// Returns the simulated duration of the synchronous write.
+  sim::SimTime Append(const std::string& stream, std::string record);
+
+  /// Appends several records as one group-committed physical write: a
+  /// single positioning delay plus the combined transfer (how the OFM
+  /// forces a transaction's redo records at prepare time).
+  sim::SimTime AppendBatch(const std::string& stream,
+                           std::vector<std::string> records);
+
+  /// All records of a stream in append order (empty if absent).
+  const std::vector<std::string>& ReadStream(const std::string& stream) const;
+
+  /// Simulated duration of sequentially reading the whole stream.
+  sim::SimTime StreamReadNs(const std::string& stream) const;
+
+  /// Drops all records of a stream (log truncation after checkpoint).
+  void TruncateStream(const std::string& stream);
+
+  /// Overwrites a named snapshot; returns the simulated write duration.
+  sim::SimTime WriteSnapshot(const std::string& name, std::string bytes);
+
+  /// Reads a snapshot; kNotFound if absent. Duration via SnapshotReadNs.
+  StatusOr<std::string> ReadSnapshot(const std::string& name) const;
+  sim::SimTime SnapshotReadNs(const std::string& name) const;
+
+  size_t stream_bytes(const std::string& stream) const;
+  size_t total_bytes() const;
+
+ private:
+  DiskModel model_;
+  std::map<std::string, std::vector<std::string>> streams_;
+  std::map<std::string, size_t> stream_sizes_;
+  std::map<std::string, std::string> snapshots_;
+};
+
+}  // namespace prisma::storage
+
+#endif  // PRISMA_STORAGE_STABLE_STORE_H_

@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "algebra/expr.h"
+#include "algebra/plan.h"
+
+namespace prisma::algebra {
+namespace {
+
+Schema EmpSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"dept", DataType::kString},
+                 {"salary", DataType::kDouble}});
+}
+
+std::unique_ptr<Plan> EmpScan() { return ScanPlan::Create("emp", EmpSchema()); }
+
+// ------------------------------------------------------------------ Scan
+
+TEST(PlanTest, ScanCarriesTableAndSchema) {
+  auto scan = ScanPlan::Create("emp", EmpSchema());
+  EXPECT_EQ(scan->kind(), PlanKind::kScan);
+  EXPECT_EQ(scan->table(), "emp");
+  EXPECT_EQ(scan->schema(), EmpSchema());
+  EXPECT_EQ(scan->num_children(), 0u);
+  EXPECT_EQ(scan->TreeSize(), 1u);
+}
+
+// ---------------------------------------------------------------- Values
+
+TEST(PlanTest, ValuesCoercesAndValidates) {
+  Schema s({{"x", DataType::kDouble}});
+  auto good = ValuesPlan::Create(s, {Tuple({Value::Int(1)})});
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ((*good)->rows()[0].at(0).type(), DataType::kDouble);
+
+  EXPECT_FALSE(ValuesPlan::Create(s, {Tuple({Value::String("x")})}).ok());
+  EXPECT_FALSE(
+      ValuesPlan::Create(s, {Tuple({Value::Int(1), Value::Int(2)})}).ok());
+}
+
+// ---------------------------------------------------------------- Select
+
+TEST(PlanTest, SelectRequiresBooleanPredicate) {
+  auto good = SelectPlan::Create(
+      EmpScan(), Expr::Binary(BinaryOp::kGt, Col("salary"), Lit(10.0)));
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ((*good)->schema(), EmpSchema());  // Selection keeps the schema.
+
+  auto non_bool = SelectPlan::Create(EmpScan(), Col("salary"));
+  EXPECT_FALSE(non_bool.ok());
+
+  auto bad_column = SelectPlan::Create(
+      EmpScan(), Expr::Binary(BinaryOp::kGt, Col("ghost"), Lit(10.0)));
+  EXPECT_FALSE(bad_column.ok());
+}
+
+// --------------------------------------------------------------- Project
+
+TEST(PlanTest, ProjectComputesOutputSchema) {
+  std::vector<std::unique_ptr<Expr>> exprs;
+  exprs.push_back(Col("id"));
+  exprs.push_back(Expr::Binary(BinaryOp::kMul, Col("salary"), Lit(2.0)));
+  auto plan = ProjectPlan::Create(EmpScan(), std::move(exprs), {"id", "x2"});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->schema().column(0).type, DataType::kInt64);
+  EXPECT_EQ((*plan)->schema().column(1).type, DataType::kDouble);
+  EXPECT_EQ((*plan)->schema().column(1).name, "x2");
+}
+
+TEST(PlanTest, ProjectRejectsBadShapes) {
+  std::vector<std::unique_ptr<Expr>> exprs;
+  exprs.push_back(Col("id"));
+  EXPECT_FALSE(
+      ProjectPlan::Create(EmpScan(), std::move(exprs), {"a", "b"}).ok());
+  EXPECT_FALSE(ProjectPlan::Create(EmpScan(), {}, {}).ok());
+}
+
+// ------------------------------------------------------------------ Join
+
+TEST(PlanTest, JoinConcatenatesSchemas) {
+  auto join = JoinPlan::Create(EmpScan(), EmpScan(), nullptr);
+  ASSERT_TRUE(join.ok());
+  EXPECT_EQ((*join)->schema().num_columns(), 6u);
+  EXPECT_EQ((*join)->predicate(), nullptr);
+  EXPECT_TRUE((*join)->EquiKeys().empty());
+}
+
+TEST(PlanTest, JoinExtractsEquiKeys) {
+  auto join = JoinPlan::Create(
+      EmpScan(), EmpScan(),
+      And(Expr::Binary(BinaryOp::kEq, Expr::ColumnIndex(0, DataType::kInt64),
+                       Expr::ColumnIndex(3, DataType::kInt64)),
+          Expr::Binary(BinaryOp::kGt, Expr::ColumnIndex(2, DataType::kDouble),
+                       Lit(1.0))));
+  ASSERT_TRUE(join.ok());
+  const auto keys = (*join)->EquiKeys();
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], (std::pair<size_t, size_t>{0, 0}));
+}
+
+TEST(PlanTest, JoinEquiKeysNormalizeSideOrder) {
+  // right-col = left-col still yields (left, right).
+  auto join = JoinPlan::Create(
+      EmpScan(), EmpScan(),
+      Expr::Binary(BinaryOp::kEq, Expr::ColumnIndex(4, DataType::kString),
+                   Expr::ColumnIndex(1, DataType::kString)));
+  ASSERT_TRUE(join.ok());
+  const auto keys = (*join)->EquiKeys();
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], (std::pair<size_t, size_t>{1, 1}));
+}
+
+TEST(PlanTest, JoinSameSideEqualityIsNotAKey) {
+  auto join = JoinPlan::Create(
+      EmpScan(), EmpScan(),
+      Expr::Binary(BinaryOp::kEq, Expr::ColumnIndex(0, DataType::kInt64),
+                   Expr::ColumnIndex(2, DataType::kDouble)));
+  ASSERT_TRUE(join.ok());
+  EXPECT_TRUE((*join)->EquiKeys().empty());
+}
+
+// ------------------------------------------------------------- Set ops
+
+TEST(PlanTest, UnionRequiresCompatibleShapes) {
+  EXPECT_TRUE(UnionPlan::Create(EmpScan(), EmpScan()).ok());
+  Schema narrow({{"id", DataType::kInt64}});
+  EXPECT_FALSE(
+      UnionPlan::Create(EmpScan(), ScanPlan::Create("t", narrow)).ok());
+  Schema retyped({{"id", DataType::kString},
+                  {"dept", DataType::kString},
+                  {"salary", DataType::kDouble}});
+  EXPECT_FALSE(
+      UnionPlan::Create(EmpScan(), ScanPlan::Create("t", retyped)).ok());
+  EXPECT_FALSE(
+      DifferencePlan::Create(EmpScan(), ScanPlan::Create("t", narrow)).ok());
+}
+
+// ------------------------------------------------------------- Aggregate
+
+TEST(PlanTest, AggregateSchemaAndTypeRules) {
+  std::vector<std::unique_ptr<Expr>> groups;
+  groups.push_back(Col("dept"));
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggFunc::kCount, nullptr, "n"});
+  aggs.push_back({AggFunc::kSum, Col("salary"), "total"});
+  aggs.push_back({AggFunc::kAvg, Col("id"), "avg_id"});
+  aggs.push_back({AggFunc::kMin, Col("dept"), "first_dept"});
+  auto plan = AggregatePlan::Create(EmpScan(), std::move(groups), {"dept"},
+                                    std::move(aggs));
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const Schema& s = (*plan)->schema();
+  EXPECT_EQ(s.column(0).type, DataType::kString);   // Group.
+  EXPECT_EQ(s.column(1).type, DataType::kInt64);    // COUNT.
+  EXPECT_EQ(s.column(2).type, DataType::kDouble);   // SUM of double.
+  EXPECT_EQ(s.column(3).type, DataType::kDouble);   // AVG always double.
+  EXPECT_EQ(s.column(4).type, DataType::kString);   // MIN keeps arg type.
+}
+
+TEST(PlanTest, AggregateRejectsBadSpecs) {
+  // SUM of a string.
+  std::vector<AggSpec> bad_sum;
+  bad_sum.push_back({AggFunc::kSum, Col("dept"), "s"});
+  EXPECT_FALSE(
+      AggregatePlan::Create(EmpScan(), {}, {}, std::move(bad_sum)).ok());
+  // Non-COUNT without argument.
+  std::vector<AggSpec> no_arg;
+  no_arg.push_back({AggFunc::kMax, nullptr, "m"});
+  EXPECT_FALSE(
+      AggregatePlan::Create(EmpScan(), {}, {}, std::move(no_arg)).ok());
+  // Entirely empty output.
+  EXPECT_FALSE(AggregatePlan::Create(EmpScan(), {}, {}, {}).ok());
+}
+
+// ----------------------------------------------------------------- Sort
+
+TEST(PlanTest, SortBindsKeys) {
+  std::vector<SortKey> keys;
+  keys.push_back({Col("salary"), true});
+  EXPECT_TRUE(SortPlan::Create(EmpScan(), std::move(keys)).ok());
+  EXPECT_FALSE(SortPlan::Create(EmpScan(), {}).ok());
+  std::vector<SortKey> bad;
+  bad.push_back({Col("ghost"), false});
+  EXPECT_FALSE(SortPlan::Create(EmpScan(), std::move(bad)).ok());
+}
+
+// ----------------------------------------------------- TransitiveClosure
+
+TEST(PlanTest, TransitiveClosureRequiresBinaryUniformSchema) {
+  Schema pair({{"a", DataType::kInt64}, {"b", DataType::kInt64}});
+  EXPECT_TRUE(
+      TransitiveClosurePlan::Create(ScanPlan::Create("e", pair)).ok());
+  EXPECT_FALSE(TransitiveClosurePlan::Create(EmpScan()).ok());
+  Schema mixed({{"a", DataType::kInt64}, {"b", DataType::kString}});
+  EXPECT_FALSE(
+      TransitiveClosurePlan::Create(ScanPlan::Create("e", mixed)).ok());
+}
+
+// ------------------------------------------------------------ Structure
+
+TEST(PlanTest, CloneIsDeepAndEqualShaped) {
+  auto select = SelectPlan::Create(
+      EmpScan(), Expr::Binary(BinaryOp::kGt, Col("salary"), Lit(10.0)));
+  ASSERT_TRUE(select.ok());
+  auto join = JoinPlan::Create(std::move(*select), EmpScan(), nullptr);
+  ASSERT_TRUE(join.ok());
+  auto clone = (*join)->Clone();
+  EXPECT_EQ(clone->ToString(), (*join)->ToString());
+  EXPECT_EQ(clone->TreeSize(), (*join)->TreeSize());
+  EXPECT_NE(clone.get(), join->get());
+  EXPECT_NE(clone->child(0), (*join)->child(0));
+}
+
+TEST(PlanTest, TakeAndSetChild) {
+  auto limit = LimitPlan::Create(EmpScan(), 5);
+  auto taken = limit->TakeChild(0);
+  EXPECT_EQ(taken->kind(), PlanKind::kScan);
+  limit->SetChild(0, ScanPlan::Create("other", EmpSchema()));
+  EXPECT_EQ(static_cast<const ScanPlan*>(limit->child())->table(), "other");
+}
+
+TEST(PlanTest, ToStringShowsTreeShape) {
+  auto select = SelectPlan::Create(
+      EmpScan(), Expr::Binary(BinaryOp::kGt, Col("salary"), Lit(10.0)));
+  ASSERT_TRUE(select.ok());
+  const std::string rendered = (*select)->ToString();
+  EXPECT_NE(rendered.find("Select"), std::string::npos);
+  EXPECT_NE(rendered.find("Scan emp"), std::string::npos);
+  // Child indented under parent.
+  EXPECT_LT(rendered.find("Select"), rendered.find("Scan"));
+}
+
+TEST(PlanTest, DistinctAndLimitPreserveSchema) {
+  auto distinct = DistinctPlan::Create(EmpScan());
+  EXPECT_EQ(distinct->schema(), EmpSchema());
+  auto limit = LimitPlan::Create(std::move(distinct), 3);
+  EXPECT_EQ(limit->schema(), EmpSchema());
+  EXPECT_EQ(limit->limit(), 3u);
+}
+
+}  // namespace
+}  // namespace prisma::algebra

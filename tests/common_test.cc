@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/str_util.h"
+#include "common/tuple.h"
+#include "common/value.h"
+
+namespace prisma {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = NotFoundError("relation emp");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "relation emp");
+  EXPECT_EQ(s.ToString(), "not_found: relation emp");
+}
+
+TEST(StatusTest, FactoriesProduceDistinctCodes) {
+  EXPECT_EQ(InvalidArgumentError("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(AlreadyExistsError("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(AbortedError("x").code(), StatusCode::kAborted);
+  EXPECT_EQ(UnavailableError("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return InvalidArgumentError("not positive");
+  return x;
+}
+
+TEST(StatusOrTest, HoldsValueOrStatus) {
+  StatusOr<int> good = ParsePositive(4);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 4);
+  EXPECT_EQ(*good, 4);
+
+  StatusOr<int> bad = ParsePositive(-1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+StatusOr<int> Doubled(int x) {
+  ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(Doubled(21).value(), 42);
+  EXPECT_FALSE(Doubled(0).ok());
+}
+
+Status FailsWhenNegative(int x) {
+  RETURN_IF_ERROR(ParsePositive(x).status());
+  return Status::OK();
+}
+
+TEST(StatusOrTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(FailsWhenNegative(3).ok());
+  EXPECT_EQ(FailsWhenNegative(-3).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> p = std::make_unique<int>(7);
+  ASSERT_TRUE(p.ok());
+  std::unique_ptr<int> owned = std::move(p).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+// ---------------------------------------------------------------- Value
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Null().type(), DataType::kNull);
+  EXPECT_EQ(Value::Bool(true).type(), DataType::kBool);
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+  EXPECT_EQ(Value::Int(42).int_value(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).double_value(), 2.5);
+  EXPECT_EQ(Value::String("abc").string_value(), "abc");
+}
+
+TEST(ValueTest, CompareWithinTypes) {
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_EQ(Value::Int(5), Value::Int(5));
+  EXPECT_LT(Value::String("abc"), Value::String("abd"));
+  EXPECT_LT(Value::Bool(false), Value::Bool(true));
+  EXPECT_LT(Value::Double(1.5), Value::Double(2.0));
+}
+
+TEST(ValueTest, MixedNumericComparesByValue) {
+  EXPECT_EQ(Value::Int(2), Value::Double(2.0));
+  EXPECT_LT(Value::Int(2), Value::Double(2.5));
+  EXPECT_LT(Value::Double(1.9), Value::Int(2));
+}
+
+TEST(ValueTest, NullSortsFirst) {
+  EXPECT_LT(Value::Null(), Value::Bool(false));
+  EXPECT_LT(Value::Null(), Value::Int(-100));
+  EXPECT_LT(Value::Null(), Value::String(""));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, CrossTypeRankOrder) {
+  EXPECT_LT(Value::Bool(true), Value::Int(0));
+  EXPECT_LT(Value::Int(999), Value::String("a"));
+}
+
+TEST(ValueTest, HashEqualValuesAgree) {
+  EXPECT_EQ(Value::Int(7).Hash(), Value::Int(7).Hash());
+  EXPECT_EQ(Value::Int(7).Hash(), Value::Double(7.0).Hash());
+  EXPECT_EQ(Value::String("xy").Hash(), Value::String("xy").Hash());
+  EXPECT_NE(Value::Int(7).Hash(), Value::Int(8).Hash());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(-3).ToString(), "-3");
+  EXPECT_EQ(Value::Bool(true).ToString(), "TRUE");
+  EXPECT_EQ(Value::String("hi").ToString(), "'hi'");
+}
+
+TEST(ValueTest, Coercion) {
+  EXPECT_TRUE(IsCoercible(DataType::kInt64, DataType::kDouble));
+  EXPECT_TRUE(IsCoercible(DataType::kNull, DataType::kString));
+  EXPECT_FALSE(IsCoercible(DataType::kDouble, DataType::kInt64));
+  EXPECT_FALSE(IsCoercible(DataType::kString, DataType::kInt64));
+
+  auto v = CoerceValue(Value::Int(3), DataType::kDouble);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->type(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ(v->double_value(), 3.0);
+
+  EXPECT_FALSE(CoerceValue(Value::String("x"), DataType::kInt64).ok());
+  // NULL coerces to anything, staying NULL.
+  EXPECT_TRUE(CoerceValue(Value::Null(), DataType::kInt64)->is_null());
+}
+
+TEST(ValueTest, ByteSizeMonotonicInStringLength) {
+  EXPECT_LT(Value::String("a").ByteSize(), Value::String("aaaa").ByteSize());
+  EXPECT_EQ(Value::Int(1).ByteSize(), 8u);
+}
+
+// ---------------------------------------------------------------- Schema
+
+TEST(SchemaTest, BasicLookup) {
+  Schema s({{"id", DataType::kInt64}, {"name", DataType::kString}});
+  EXPECT_EQ(s.num_columns(), 2u);
+  EXPECT_EQ(s.ColumnIndex("id").value(), 0u);
+  EXPECT_EQ(s.ColumnIndex("name").value(), 1u);
+  EXPECT_FALSE(s.ColumnIndex("salary").ok());
+  EXPECT_TRUE(s.HasColumn("id"));
+  EXPECT_FALSE(s.HasColumn("nope"));
+}
+
+TEST(SchemaTest, QualifiedLookupBySuffix) {
+  Schema s({{"emp.id", DataType::kInt64}, {"emp.name", DataType::kString}});
+  EXPECT_EQ(s.ColumnIndex("emp.id").value(), 0u);
+  EXPECT_EQ(s.ColumnIndex("id").value(), 0u);
+  EXPECT_EQ(s.ColumnIndex("name").value(), 1u);
+}
+
+TEST(SchemaTest, AmbiguousUnqualifiedLookupFails) {
+  Schema s({{"emp.id", DataType::kInt64}, {"dept.id", DataType::kInt64}});
+  auto r = s.ColumnIndex("id");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // Exact qualified names still work.
+  EXPECT_EQ(s.ColumnIndex("dept.id").value(), 1u);
+}
+
+TEST(SchemaTest, ConcatAndQualify) {
+  Schema a({{"id", DataType::kInt64}});
+  Schema b({{"x", DataType::kDouble}});
+  Schema ab = a.Concat(b);
+  EXPECT_EQ(ab.num_columns(), 2u);
+  EXPECT_EQ(ab.column(1).name, "x");
+
+  Schema q = ab.Qualified("t");
+  EXPECT_EQ(q.column(0).name, "t.id");
+  EXPECT_EQ(q.column(1).name, "t.x");
+  // Re-qualifying replaces the old qualifier.
+  EXPECT_EQ(q.Qualified("u").column(0).name, "u.id");
+}
+
+TEST(SchemaTest, ToString) {
+  Schema s({{"a", DataType::kInt64}, {"b", DataType::kString}});
+  EXPECT_EQ(s.ToString(), "(a INT, b STRING)");
+}
+
+// ---------------------------------------------------------------- Tuple
+
+TEST(TupleTest, BasicsAndConcat) {
+  Tuple t({Value::Int(1), Value::String("x")});
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.at(0), Value::Int(1));
+
+  Tuple u({Value::Double(2.5)});
+  Tuple c = Tuple::Concat(t, u);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.at(2), Value::Double(2.5));
+}
+
+TEST(TupleTest, LexicographicCompare) {
+  Tuple a({Value::Int(1), Value::Int(2)});
+  Tuple b({Value::Int(1), Value::Int(3)});
+  Tuple c({Value::Int(1), Value::Int(2)});
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, c);
+  // Prefix sorts before longer tuple.
+  EXPECT_LT(Tuple({Value::Int(1)}), a);
+}
+
+TEST(TupleTest, HashAndColumnsHash) {
+  Tuple a({Value::Int(1), Value::String("x")});
+  Tuple b({Value::Int(1), Value::String("x")});
+  EXPECT_EQ(a.Hash(), b.Hash());
+
+  Tuple c({Value::Int(1), Value::String("y")});
+  EXPECT_EQ(HashTupleColumns(a, {0}), HashTupleColumns(c, {0}));
+  EXPECT_NE(HashTupleColumns(a, {1}), HashTupleColumns(c, {1}));
+}
+
+TEST(TupleTest, ToString) {
+  Tuple t({Value::Int(1), Value::Null()});
+  EXPECT_EQ(t.ToString(), "(1, NULL)");
+}
+
+// ---------------------------------------------------------------- StrUtil
+
+TEST(StrUtilTest, LowerAndEqualsIgnoreCase) {
+  EXPECT_EQ(AsciiLower("SeLeCt"), "select");
+  EXPECT_TRUE(EqualsIgnoreCase("FROM", "from"));
+  EXPECT_FALSE(EqualsIgnoreCase("FROM", "form"));
+  EXPECT_FALSE(EqualsIgnoreCase("ab", "abc"));
+}
+
+TEST(StrUtilTest, JoinSplitStrip) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(StripWhitespace("  x y \t"), "x y");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+TEST(StrUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d/%s", 3, "x"), "3/x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+}
+
+// ---------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  // Different seeds diverge immediately with overwhelming probability.
+  EXPECT_NE(Rng(42).Next(), c.Next());
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.Uniform(10);
+    EXPECT_LT(v, 10u);
+    const int64_t w = rng.UniformInt(-5, 5);
+    EXPECT_GE(w, -5);
+    EXPECT_LE(w, 5);
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, CoversRange) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+}  // namespace
+}  // namespace prisma

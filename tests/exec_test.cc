@@ -1,0 +1,658 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "algebra/expr.h"
+#include "algebra/plan.h"
+#include "common/rng.h"
+#include "exec/executor.h"
+#include "exec/join.h"
+#include "exec/transitive_closure.h"
+#include "storage/relation.h"
+
+namespace prisma::exec {
+namespace {
+
+using algebra::AggFunc;
+using algebra::AggregatePlan;
+using algebra::BinaryOp;
+using algebra::Col;
+using algebra::DifferencePlan;
+using algebra::DistinctPlan;
+using algebra::Expr;
+using algebra::JoinPlan;
+using algebra::LimitPlan;
+using algebra::Lit;
+using algebra::ProjectPlan;
+using algebra::ScanPlan;
+using algebra::SelectPlan;
+using algebra::SortKey;
+using algebra::SortPlan;
+using algebra::TransitiveClosurePlan;
+using algebra::UnionPlan;
+using algebra::ValuesPlan;
+
+Tuple Pair(int64_t a, int64_t b) {
+  return Tuple({Value::Int(a), Value::Int(b)});
+}
+
+std::vector<Tuple> Pairs(std::vector<std::pair<int64_t, int64_t>> ps) {
+  std::vector<Tuple> out;
+  for (auto [a, b] : ps) out.push_back(Pair(a, b));
+  return out;
+}
+
+// ------------------------------------------------------------------ Joins
+
+TEST(JoinTest, HashJoinBasic) {
+  auto left = Pairs({{1, 10}, {2, 20}, {3, 30}});
+  auto right = Pairs({{2, 200}, {3, 300}, {3, 301}, {4, 400}});
+  auto out = HashJoin(left, right, {{0, 0}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 3u);
+  for (const Tuple& t : *out) {
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_EQ(t.at(0), t.at(2));  // Key columns equal.
+  }
+}
+
+TEST(JoinTest, NullKeysNeverJoin) {
+  std::vector<Tuple> left = {Tuple({Value::Null(), Value::Int(1)}), Pair(2, 2)};
+  std::vector<Tuple> right = {Tuple({Value::Null(), Value::Int(9)}),
+                              Pair(2, 9)};
+  for (auto* fn : {&HashJoin, &MergeJoin}) {
+    auto out = (*fn)(left, right, {{0, 0}}, nullptr, nullptr);
+    ASSERT_TRUE(out.ok());
+    ASSERT_EQ(out->size(), 1u) << "null keys joined";
+    EXPECT_EQ(out->front().at(0), Value::Int(2));
+  }
+}
+
+TEST(JoinTest, NestedLoopCrossProduct) {
+  auto out = NestedLoopJoin(Pairs({{1, 1}, {2, 2}}), Pairs({{5, 5}}), nullptr);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 2u);
+}
+
+TEST(JoinTest, FilterApplies) {
+  auto filter = [](const Tuple& t) -> StatusOr<bool> {
+    return t.at(1).int_value() + t.at(3).int_value() > 25;
+  };
+  auto out = HashJoin(Pairs({{1, 10}, {2, 20}}), Pairs({{1, 10}, {2, 20}}),
+                      {{0, 0}}, filter);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ(out->front().at(0), Value::Int(2));
+}
+
+TEST(JoinTest, MergeJoinDuplicateRuns) {
+  auto left = Pairs({{1, 1}, {1, 2}, {2, 3}});
+  auto right = Pairs({{1, 7}, {1, 8}, {3, 9}});
+  auto out = MergeJoin(left, right, {{0, 0}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 4u);  // 2x2 for key 1.
+}
+
+/// Property: the three join algorithms agree on random inputs.
+class JoinAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JoinAgreementTest, AllAlgorithmsAgree) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Tuple> left;
+    std::vector<Tuple> right;
+    const int nl = 1 + static_cast<int>(rng.Uniform(40));
+    const int nr = 1 + static_cast<int>(rng.Uniform(40));
+    for (int i = 0; i < nl; ++i) {
+      left.push_back(Pair(rng.UniformInt(0, 8), rng.UniformInt(0, 100)));
+    }
+    for (int i = 0; i < nr; ++i) {
+      right.push_back(Pair(rng.UniformInt(0, 8), rng.UniformInt(0, 100)));
+    }
+    auto eq_filter = [](const Tuple& t) -> StatusOr<bool> {
+      return t.at(0).Compare(t.at(2)) == 0;
+    };
+    auto h = HashJoin(left, right, {{0, 0}});
+    auto m = MergeJoin(left, right, {{0, 0}});
+    auto n = NestedLoopJoin(left, right, eq_filter);
+    ASSERT_TRUE(h.ok() && m.ok() && n.ok());
+    auto canon = [](std::vector<Tuple> v) {
+      std::sort(v.begin(), v.end());
+      return v;
+    };
+    EXPECT_EQ(canon(*h), canon(*n));
+    EXPECT_EQ(canon(*m), canon(*n));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JoinAgreementTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+// ------------------------------------------------------- TransitiveClosure
+
+TEST(TransitiveClosureTest, Chain) {
+  auto edges = Pairs({{1, 2}, {2, 3}, {3, 4}});
+  for (auto alg : {TcAlgorithm::kNaive, TcAlgorithm::kSeminaive,
+                   TcAlgorithm::kSmart}) {
+    auto out = TransitiveClosure(edges, alg);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out->size(), 6u) << TcAlgorithmName(alg);  // All i<j pairs.
+  }
+}
+
+TEST(TransitiveClosureTest, CycleSaturates) {
+  auto edges = Pairs({{1, 2}, {2, 3}, {3, 1}});
+  auto out = TransitiveClosure(edges, TcAlgorithm::kSeminaive);
+  ASSERT_TRUE(out.ok());
+  // Every node reaches every node including itself: 9 pairs.
+  EXPECT_EQ(out->size(), 9u);
+}
+
+TEST(TransitiveClosureTest, EmptyAndSelfLoop) {
+  EXPECT_TRUE(TransitiveClosure({}, TcAlgorithm::kNaive)->empty());
+  auto out = TransitiveClosure(Pairs({{1, 1}}), TcAlgorithm::kSeminaive);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 1u);
+}
+
+TEST(TransitiveClosureTest, NullEndpointsIgnored) {
+  std::vector<Tuple> edges = {Pair(1, 2),
+                              Tuple({Value::Null(), Value::Int(3)})};
+  auto out = TransitiveClosure(edges, TcAlgorithm::kSeminaive);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 1u);
+}
+
+TEST(TransitiveClosureTest, RejectsNonBinary) {
+  std::vector<Tuple> bad = {Tuple({Value::Int(1)})};
+  EXPECT_FALSE(TransitiveClosure(bad, TcAlgorithm::kNaive).ok());
+}
+
+TEST(TransitiveClosureTest, WorksOnStrings) {
+  std::vector<Tuple> edges = {
+      Tuple({Value::String("a"), Value::String("b")}),
+      Tuple({Value::String("b"), Value::String("c")})};
+  auto out = TransitiveClosure(edges, TcAlgorithm::kSmart);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 3u);
+}
+
+TEST(TransitiveClosureTest, SeminaiveDerivesFewerPairsThanNaive) {
+  // A long chain maximizes naive's re-derivation waste.
+  std::vector<Tuple> edges;
+  for (int i = 0; i < 30; ++i) edges.push_back(Pair(i, i + 1));
+  TcStats naive, semi, smart;
+  ASSERT_TRUE(TransitiveClosure(edges, TcAlgorithm::kNaive, &naive).ok());
+  ASSERT_TRUE(TransitiveClosure(edges, TcAlgorithm::kSeminaive, &semi).ok());
+  ASSERT_TRUE(TransitiveClosure(edges, TcAlgorithm::kSmart, &smart).ok());
+  EXPECT_EQ(naive.result_size, semi.result_size);
+  EXPECT_EQ(naive.result_size, smart.result_size);
+  EXPECT_GT(naive.pairs_derived, 3 * semi.pairs_derived);
+  // Smart runs O(log n) iterations vs O(n).
+  EXPECT_LT(smart.iterations, 8u);
+  EXPECT_GT(semi.iterations, 25u);
+}
+
+/// Property: all three algorithms agree on random graphs, and match a
+/// reference Floyd-Warshall closure.
+class TcAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TcAgreementTest, MatchesFloydWarshall) {
+  Rng rng(GetParam());
+  const int n = 12;
+  std::vector<Tuple> edges;
+  bool reach[12][12] = {};
+  for (int i = 0; i < 28; ++i) {
+    const int a = static_cast<int>(rng.Uniform(n));
+    const int b = static_cast<int>(rng.Uniform(n));
+    edges.push_back(Pair(a, b));
+    reach[a][b] = true;
+  }
+  for (int k = 0; k < n; ++k) {
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        reach[i][j] = reach[i][j] || (reach[i][k] && reach[k][j]);
+      }
+    }
+  }
+  std::set<std::pair<int64_t, int64_t>> want;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (reach[i][j]) want.insert({i, j});
+    }
+  }
+  for (auto alg : {TcAlgorithm::kNaive, TcAlgorithm::kSeminaive,
+                   TcAlgorithm::kSmart}) {
+    auto out = TransitiveClosure(edges, alg);
+    ASSERT_TRUE(out.ok());
+    std::set<std::pair<int64_t, int64_t>> got;
+    for (const Tuple& t : *out) {
+      got.insert({t.at(0).int_value(), t.at(1).int_value()});
+    }
+    EXPECT_EQ(got, want) << TcAlgorithmName(alg);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TcAgreementTest,
+                         ::testing::Values(7, 17, 27, 37, 47));
+
+// --------------------------------------------------------------- Executor
+
+Schema EmpSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"dept", DataType::kString},
+                 {"salary", DataType::kInt64}});
+}
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest() : emp_("emp", EmpSchema()) {
+    const char* depts[] = {"sales", "eng", "hr"};
+    for (int i = 0; i < 30; ++i) {
+      emp_.Insert(Tuple({Value::Int(i), Value::String(depts[i % 3]),
+                         Value::Int(1000 + 100 * i)}))
+          .value();
+    }
+    resolver_.Register("emp", &emp_);
+  }
+
+  std::unique_ptr<algebra::Plan> EmpScan() {
+    return ScanPlan::Create("emp", EmpSchema());
+  }
+
+  StatusOr<std::vector<Tuple>> Execute(const algebra::Plan& plan,
+                                       ExprMode mode = ExprMode::kCompiled) {
+    ExecOptions opts;
+    opts.expr_mode = mode;
+    Executor executor(&resolver_, opts);
+    auto result = executor.Execute(plan);
+    last_stats_ = executor.stats();
+    return result;
+  }
+
+  storage::Relation emp_;
+  MapTableResolver resolver_;
+  ExecStats last_stats_;
+};
+
+TEST_F(ExecutorTest, ScanReturnsAll) {
+  auto out = Execute(*EmpScan());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 30u);
+  EXPECT_EQ(last_stats_.tuples_scanned, 30u);
+  EXPECT_GT(last_stats_.charged_ns, 0);
+}
+
+TEST_F(ExecutorTest, ScanUnknownTableFails) {
+  auto plan = ScanPlan::Create("ghost", EmpSchema());
+  EXPECT_EQ(Execute(*plan).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExecutorTest, SelectFilters) {
+  auto plan = SelectPlan::Create(
+      EmpScan(), Expr::Binary(BinaryOp::kGe, Col("salary"), Lit(int64_t{3500})));
+  ASSERT_TRUE(plan.ok());
+  for (ExprMode mode : {ExprMode::kCompiled, ExprMode::kInterpreted}) {
+    auto out = Execute(**plan, mode);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out->size(), 5u);
+    for (const Tuple& t : *out) EXPECT_GE(t.at(2).int_value(), 3500);
+  }
+}
+
+TEST_F(ExecutorTest, InterpretedChargesMoreThanCompiled) {
+  auto plan = SelectPlan::Create(
+      EmpScan(), Expr::Binary(BinaryOp::kGe, Col("salary"), Lit(int64_t{0})));
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(Execute(**plan, ExprMode::kCompiled).ok());
+  const sim::SimTime compiled_ns = last_stats_.charged_ns;
+  ASSERT_TRUE(Execute(**plan, ExprMode::kInterpreted).ok());
+  const sim::SimTime interpreted_ns = last_stats_.charged_ns;
+  // The virtual cost model reflects the interpretation overhead (E4).
+  EXPECT_GT(interpreted_ns, compiled_ns);
+}
+
+TEST_F(ExecutorTest, ProjectComputes) {
+  std::vector<std::unique_ptr<Expr>> exprs;
+  exprs.push_back(Col("id"));
+  exprs.push_back(Expr::Binary(BinaryOp::kMul, Col("salary"), Lit(int64_t{2})));
+  auto plan = ProjectPlan::Create(EmpScan(), std::move(exprs),
+                                  {"id", "double_salary"});
+  ASSERT_TRUE(plan.ok());
+  auto out = Execute(**plan);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*plan)->schema().column(1).name, "double_salary");
+  EXPECT_EQ(out->front().at(1), Value::Int(2000));
+}
+
+TEST_F(ExecutorTest, JoinViaHashPath) {
+  // Self-join emp with emp on dept, restricted to two specific ids.
+  auto left = SelectPlan::Create(
+      EmpScan(), Expr::Binary(BinaryOp::kLt, Col("id"), Lit(int64_t{3})));
+  ASSERT_TRUE(left.ok());
+  auto right_scan = EmpScan();
+  auto join = JoinPlan::Create(
+      std::move(*left), std::move(right_scan),
+      Expr::Binary(BinaryOp::kEq, Expr::ColumnIndex(1, DataType::kString),
+                   Expr::ColumnIndex(4, DataType::kString)));
+  ASSERT_TRUE(join.ok());
+  EXPECT_FALSE((*join)->EquiKeys().empty());
+  auto out = Execute(**join);
+  ASSERT_TRUE(out.ok());
+  // Each of ids 0,1,2 joins its department's 10 members.
+  EXPECT_EQ(out->size(), 30u);
+  EXPECT_EQ(out->front().size(), 6u);
+}
+
+TEST_F(ExecutorTest, UnionConcatenates) {
+  auto plan = UnionPlan::Create(EmpScan(), EmpScan());
+  ASSERT_TRUE(plan.ok());
+  auto out = Execute(**plan);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 60u);
+}
+
+TEST_F(ExecutorTest, DifferenceRemoves) {
+  auto half = SelectPlan::Create(
+      EmpScan(), Expr::Binary(BinaryOp::kLt, Col("id"), Lit(int64_t{10})));
+  ASSERT_TRUE(half.ok());
+  auto plan = DifferencePlan::Create(EmpScan(), std::move(*half));
+  ASSERT_TRUE(plan.ok());
+  auto out = Execute(**plan);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 20u);
+  for (const Tuple& t : *out) EXPECT_GE(t.at(0).int_value(), 10);
+}
+
+TEST_F(ExecutorTest, DistinctDeduplicates) {
+  std::vector<std::unique_ptr<Expr>> exprs;
+  exprs.push_back(Col("dept"));
+  auto proj = ProjectPlan::Create(EmpScan(), std::move(exprs), {"dept"});
+  ASSERT_TRUE(proj.ok());
+  auto plan = DistinctPlan::Create(std::move(*proj));
+  auto out = Execute(*plan);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 3u);
+}
+
+TEST_F(ExecutorTest, AggregateGrouped) {
+  std::vector<std::unique_ptr<Expr>> groups;
+  groups.push_back(Col("dept"));
+  std::vector<algebra::AggSpec> aggs;
+  aggs.push_back({AggFunc::kCount, nullptr, "n"});
+  aggs.push_back({AggFunc::kSum, Col("salary"), "total"});
+  aggs.push_back({AggFunc::kMin, Col("salary"), "lo"});
+  aggs.push_back({AggFunc::kMax, Col("salary"), "hi"});
+  aggs.push_back({AggFunc::kAvg, Col("salary"), "avg"});
+  auto plan = AggregatePlan::Create(EmpScan(), std::move(groups), {"dept"},
+                                    std::move(aggs));
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto out = Execute(**plan);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 3u);
+  for (const Tuple& t : *out) {
+    EXPECT_EQ(t.at(1), Value::Int(10));  // 10 per department.
+    EXPECT_LT(t.at(3), t.at(4));         // lo < hi.
+    EXPECT_EQ(t.at(5).type(), DataType::kDouble);
+  }
+}
+
+TEST_F(ExecutorTest, AggregateGrandTotalOnEmptyInput) {
+  auto none = SelectPlan::Create(
+      EmpScan(), Expr::Binary(BinaryOp::kLt, Col("id"), Lit(int64_t{0})));
+  ASSERT_TRUE(none.ok());
+  std::vector<algebra::AggSpec> aggs;
+  aggs.push_back({AggFunc::kCount, nullptr, "n"});
+  aggs.push_back({AggFunc::kSum, Col("salary"), "total"});
+  auto plan =
+      AggregatePlan::Create(std::move(*none), {}, {}, std::move(aggs));
+  ASSERT_TRUE(plan.ok());
+  auto out = Execute(**plan);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ(out->front().at(0), Value::Int(0));
+  EXPECT_TRUE(out->front().at(1).is_null());  // SUM of nothing is NULL.
+}
+
+TEST_F(ExecutorTest, SortAscendingAndDescending) {
+  std::vector<SortKey> keys;
+  keys.push_back({Col("salary"), /*descending=*/true});
+  auto plan = SortPlan::Create(EmpScan(), std::move(keys));
+  ASSERT_TRUE(plan.ok());
+  auto out = Execute(**plan);
+  ASSERT_TRUE(out.ok());
+  for (size_t i = 1; i < out->size(); ++i) {
+    EXPECT_GE((*out)[i - 1].at(2).int_value(), (*out)[i].at(2).int_value());
+  }
+}
+
+TEST_F(ExecutorTest, LimitTruncates) {
+  auto plan = LimitPlan::Create(EmpScan(), 7);
+  auto out = Execute(*plan);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 7u);
+}
+
+TEST_F(ExecutorTest, TransitiveClosureNode) {
+  storage::Relation edges("edges", Schema({{"src", DataType::kInt64},
+                                           {"dst", DataType::kInt64}}));
+  for (int i = 0; i < 5; ++i) edges.Insert(Pair(i, i + 1)).value();
+  resolver_.Register("edges", &edges);
+  auto scan = ScanPlan::Create("edges", edges.schema());
+  auto plan = TransitiveClosurePlan::Create(std::move(scan));
+  ASSERT_TRUE(plan.ok());
+  auto out = Execute(**plan);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 15u);  // 6 choose 2.
+}
+
+TEST_F(ExecutorTest, ValuesPlanFeedsPipeline) {
+  Schema s({{"x", DataType::kInt64}});
+  auto values = ValuesPlan::Create(s, {Tuple({Value::Int(1)}),
+                                       Tuple({Value::Int(2)}),
+                                       Tuple({Value::Int(2)})});
+  ASSERT_TRUE(values.ok());
+  auto plan = DistinctPlan::Create(std::move(*values));
+  auto out = Execute(*plan);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 2u);
+}
+
+TEST_F(ExecutorTest, HashIndexSelectionMatchesScan) {
+  storage::HashIndex by_id("by_id", {0});
+  by_id.Rebuild(emp_);
+  auto make_plan = [&] {
+    auto plan = SelectPlan::Create(
+        EmpScan(), Expr::Binary(BinaryOp::kEq, Col("id"), Lit(int64_t{7})));
+    EXPECT_TRUE(plan.ok());
+    return std::move(plan).value();
+  };
+  // Without the index: full scan.
+  auto scan_result = Execute(*make_plan());
+  ASSERT_TRUE(scan_result.ok());
+  EXPECT_EQ(last_stats_.index_selections, 0u);
+  EXPECT_EQ(last_stats_.tuples_scanned, 30u);
+
+  // With the index registered: probe, no scan, same answer.
+  resolver_.RegisterHashIndex("emp", &by_id);
+  auto index_result = Execute(*make_plan());
+  ASSERT_TRUE(index_result.ok());
+  EXPECT_EQ(last_stats_.index_selections, 1u);
+  EXPECT_EQ(last_stats_.tuples_scanned, 0u);
+  EXPECT_EQ(*index_result, *scan_result);
+  ASSERT_EQ(index_result->size(), 1u);
+}
+
+TEST_F(ExecutorTest, BTreeIndexRangeSelectionMatchesScan) {
+  storage::BTreeIndex by_salary("by_salary", {2});
+  by_salary.Rebuild(emp_);
+  auto make_plan = [&](int64_t lo, int64_t hi) {
+    auto plan = SelectPlan::Create(
+        EmpScan(),
+        algebra::And(
+            Expr::Binary(BinaryOp::kGe, Col("salary"), Lit(lo)),
+            Expr::Binary(BinaryOp::kLt, Col("salary"), Lit(hi))));
+    EXPECT_TRUE(plan.ok());
+    return std::move(plan).value();
+  };
+  auto scan_result = Execute(*make_plan(1500, 2500));
+  ASSERT_TRUE(scan_result.ok());
+
+  resolver_.RegisterBTreeIndex("emp", &by_salary);
+  auto index_result = Execute(*make_plan(1500, 2500));
+  ASSERT_TRUE(index_result.ok());
+  EXPECT_EQ(last_stats_.index_selections, 1u);
+  EXPECT_EQ(last_stats_.tuples_scanned, 0u);
+  auto canon = [](std::vector<Tuple> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(canon(*index_result), canon(*scan_result));
+  EXPECT_EQ(index_result->size(), 10u);  // Salaries 1500..2400.
+}
+
+TEST_F(ExecutorTest, IndexSelectionRechecksResidualPredicate) {
+  storage::HashIndex by_dept("by_dept", {1});
+  by_dept.Rebuild(emp_);
+  resolver_.RegisterHashIndex("emp", &by_dept);
+  // dept = 'eng' is indexed; the salary conjunct is residual.
+  auto plan = SelectPlan::Create(
+      EmpScan(),
+      algebra::And(
+          Expr::Binary(BinaryOp::kEq, Col("dept"), Lit(std::string("eng"))),
+          Expr::Binary(BinaryOp::kGe, Col("salary"), Lit(int64_t{3000}))));
+  ASSERT_TRUE(plan.ok());
+  auto out = Execute(**plan);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(last_stats_.index_selections, 1u);
+  for (const Tuple& t : *out) {
+    EXPECT_EQ(t.at(1), Value::String("eng"));
+    EXPECT_GE(t.at(2).int_value(), 3000);
+  }
+  EXPECT_EQ(out->size(), 3u);  // ids 22, 25, 28.
+}
+
+TEST_F(ExecutorTest, IndexPathSkippedWhenNoUsableBound) {
+  storage::HashIndex by_id("by_id", {0});
+  by_id.Rebuild(emp_);
+  resolver_.RegisterHashIndex("emp", &by_id);
+  // Inequality cannot use a hash index; OR is not a conjunct chain.
+  auto plan = SelectPlan::Create(
+      EmpScan(), Expr::Binary(BinaryOp::kGt, Col("id"), Lit(int64_t{25})));
+  ASSERT_TRUE(plan.ok());
+  auto out = Execute(**plan);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(last_stats_.index_selections, 0u);
+  EXPECT_EQ(out->size(), 4u);
+}
+
+/// Property: with random data and predicates, the indexed path and the
+/// scan path agree exactly.
+class IndexAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IndexAgreementTest, IndexAndScanAgree) {
+  Rng rng(GetParam());
+  Schema schema({{"k", DataType::kInt64}, {"v", DataType::kInt64}});
+  storage::Relation rel("t", schema);
+  for (int i = 0; i < 300; ++i) {
+    rel.Insert(Tuple({rng.NextBool(0.05) ? Value::Null()
+                                         : Value::Int(rng.UniformInt(0, 40)),
+                      Value::Int(rng.UniformInt(0, 100))}))
+        .value();
+  }
+  storage::HashIndex hash("h", {0});
+  hash.Rebuild(rel);
+  storage::BTreeIndex btree("b", {0});
+  btree.Rebuild(rel);
+
+  MapTableResolver plain;
+  plain.Register("t", &rel);
+  MapTableResolver indexed;
+  indexed.Register("t", &rel);
+  indexed.RegisterHashIndex("t", &hash);
+  indexed.RegisterBTreeIndex("t", &btree);
+
+  auto canon = [](std::vector<Tuple> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  for (int trial = 0; trial < 30; ++trial) {
+    const int64_t a = rng.UniformInt(0, 40);
+    const int64_t b = rng.UniformInt(0, 40);
+    std::unique_ptr<algebra::Plan> plans[2];
+    for (auto* p : {&plans[0], &plans[1]}) {
+      std::unique_ptr<Expr> pred;
+      switch (trial % 3) {
+        case 0:
+          pred = Expr::Binary(BinaryOp::kEq, Col("k"), Lit(a));
+          break;
+        case 1:
+          pred = algebra::And(
+              Expr::Binary(BinaryOp::kGe, Col("k"), Lit(std::min(a, b))),
+              Expr::Binary(BinaryOp::kLe, Col("k"), Lit(std::max(a, b))));
+          break;
+        default:
+          pred = algebra::And(
+              Expr::Binary(BinaryOp::kLt, Col("k"), Lit(a)),
+              Expr::Binary(BinaryOp::kGt, Col("v"), Lit(int64_t{50})));
+          break;
+      }
+      auto plan =
+          SelectPlan::Create(ScanPlan::Create("t", schema), std::move(pred));
+      ASSERT_TRUE(plan.ok());
+      *p = std::move(plan).value();
+    }
+    Executor scan_exec(&plain, exec::ExecOptions());
+    Executor index_exec(&indexed, exec::ExecOptions());
+    auto scan_out = scan_exec.Execute(*plans[0]);
+    auto index_out = index_exec.Execute(*plans[1]);
+    ASSERT_TRUE(scan_out.ok() && index_out.ok());
+    EXPECT_EQ(canon(*scan_out), canon(*index_out)) << "trial " << trial;
+    if (trial % 3 != 2) {
+      EXPECT_EQ(index_exec.stats().index_selections, 1u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexAgreementTest,
+                         ::testing::Values(101, 202, 303));
+
+/// Property: pushing a selection below a join preserves results — the
+/// algebraic identity the optimizer's rewrite rules rely on (E6).
+TEST_F(ExecutorTest, SelectionPushdownEquivalence) {
+  // Plan A: select over join.
+  auto join_a = JoinPlan::Create(
+      EmpScan(), EmpScan(),
+      Expr::Binary(BinaryOp::kEq, Expr::ColumnIndex(1, DataType::kString),
+                   Expr::ColumnIndex(4, DataType::kString)));
+  ASSERT_TRUE(join_a.ok());
+  auto sel_a = SelectPlan::Create(
+      std::move(*join_a),
+      Expr::Binary(BinaryOp::kLt, Expr::ColumnIndex(0, DataType::kInt64),
+                   Lit(int64_t{2})));
+  ASSERT_TRUE(sel_a.ok());
+
+  // Plan B: selection pushed to the left input.
+  auto pushed = SelectPlan::Create(
+      EmpScan(), Expr::Binary(BinaryOp::kLt, Col("id"), Lit(int64_t{2})));
+  ASSERT_TRUE(pushed.ok());
+  auto join_b = JoinPlan::Create(
+      std::move(*pushed), EmpScan(),
+      Expr::Binary(BinaryOp::kEq, Expr::ColumnIndex(1, DataType::kString),
+                   Expr::ColumnIndex(4, DataType::kString)));
+  ASSERT_TRUE(join_b.ok());
+
+  auto a = Execute(**sel_a);
+  auto b = Execute(**join_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto canon = [](std::vector<Tuple> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(canon(*a), canon(*b));
+  EXPECT_FALSE(a->empty());
+}
+
+}  // namespace
+}  // namespace prisma::exec

@@ -1,0 +1,704 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "algebra/expr.h"
+#include "algebra/plan.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "exec/executor.h"
+#include "gdh/data_dictionary.h"
+#include "gdh/distributed_plan.h"
+#include "gdh/fragmentation.h"
+#include "gdh/lock_manager.h"
+#include "gdh/optimizer.h"
+#include "storage/relation.h"
+
+namespace prisma::gdh {
+namespace {
+
+using algebra::BinaryOp;
+using algebra::Col;
+using algebra::Expr;
+using algebra::JoinPlan;
+using algebra::Lit;
+using algebra::Plan;
+using algebra::PlanKind;
+using algebra::ScanPlan;
+using algebra::SelectPlan;
+
+// ------------------------------------------------------------ Fragmenter
+
+TEST(FragmenterTest, HashIsDeterministicAndInRange) {
+  FragmentationSpec spec;
+  spec.strategy = sql::FragmentStrategy::kHash;
+  spec.column = 0;
+  spec.num_fragments = 8;
+  Fragmenter f(spec);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    Tuple t({Value::Int(rng.UniformInt(-1000, 1000)), Value::Int(0)});
+    const int a = f.FragmentOf(t).value();
+    const int b = f.FragmentOf(t).value();
+    EXPECT_EQ(a, b);
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 8);
+    // FragmentsForKey agrees with FragmentOf.
+    EXPECT_EQ(f.FragmentsForKey(t.at(0)), std::vector<int>{a});
+  }
+}
+
+TEST(FragmenterTest, HashSpreadsKeys) {
+  FragmentationSpec spec;
+  spec.strategy = sql::FragmentStrategy::kHash;
+  spec.num_fragments = 4;
+  Fragmenter f(spec);
+  std::set<int> seen;
+  for (int i = 0; i < 100; ++i) {
+    seen.insert(f.FragmentOf(Tuple({Value::Int(i)})).value());
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(FragmenterTest, RoundRobinCycles) {
+  FragmentationSpec spec;
+  spec.strategy = sql::FragmentStrategy::kRoundRobin;
+  spec.num_fragments = 3;
+  Fragmenter f(spec);
+  Tuple t({Value::Int(7)});
+  EXPECT_EQ(f.FragmentOf(t).value(), 0);
+  EXPECT_EQ(f.FragmentOf(t).value(), 1);
+  EXPECT_EQ(f.FragmentOf(t).value(), 2);
+  EXPECT_EQ(f.FragmentOf(t).value(), 0);
+  // Every fragment may hold any key.
+  EXPECT_EQ(f.FragmentsForKey(Value::Int(7)).size(), 3u);
+}
+
+TEST(FragmenterTest, RangeWithExplicitBoundaries) {
+  FragmentationSpec spec;
+  spec.strategy = sql::FragmentStrategy::kRange;
+  spec.num_fragments = 3;
+  spec.boundaries = {Value::Int(10), Value::Int(20)};
+  Fragmenter f(spec);
+  EXPECT_EQ(f.FragmentOf(Tuple({Value::Int(5)})).value(), 0);
+  EXPECT_EQ(f.FragmentOf(Tuple({Value::Int(10)})).value(), 1);
+  EXPECT_EQ(f.FragmentOf(Tuple({Value::Int(19)})).value(), 1);
+  EXPECT_EQ(f.FragmentOf(Tuple({Value::Int(99)})).value(), 2);
+}
+
+TEST(FragmenterTest, RangeDefaultBoundariesCoverDomain) {
+  FragmentationSpec spec;
+  spec.strategy = sql::FragmentStrategy::kRange;
+  spec.num_fragments = 4;
+  Fragmenter f(spec);
+  EXPECT_EQ(f.spec().boundaries.size(), 3u);
+  EXPECT_EQ(f.FragmentOf(Tuple({Value::Int(0)})).value(), 0);
+  EXPECT_EQ(
+      f.FragmentOf(Tuple({Value::Int(kDefaultRangeDomain - 1)})).value(), 3);
+}
+
+TEST(FragmenterTest, NullKeysGoToFragmentZero) {
+  FragmentationSpec spec;
+  spec.strategy = sql::FragmentStrategy::kHash;
+  spec.num_fragments = 4;
+  Fragmenter f(spec);
+  EXPECT_EQ(f.FragmentOf(Tuple({Value::Null()})).value(), 0);
+}
+
+TEST(FragmenterTest, FragmentNames) {
+  EXPECT_EQ(FragmentName("emp", 3), "emp#3");
+}
+
+// --------------------------------------------------------- DataDictionary
+
+TEST(DataDictionaryTest, CreateGetDrop) {
+  DataDictionary dict;
+  Schema schema({{"id", DataType::kInt64}});
+  FragmentationSpec spec;
+  spec.num_fragments = 4;
+  auto info = dict.CreateTable("emp", schema, spec);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ((*info)->fragments.size(), 4u);
+  EXPECT_EQ((*info)->fragments[2].name, "emp#2");
+  EXPECT_TRUE(dict.HasTable("emp"));
+  EXPECT_EQ(dict.GetTableSchema("emp")->num_columns(), 1u);
+
+  EXPECT_EQ(dict.CreateTable("emp", schema, spec).status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(dict.DropTable("emp").ok());
+  EXPECT_FALSE(dict.HasTable("emp"));
+  EXPECT_EQ(dict.DropTable("emp").code(), StatusCode::kNotFound);
+}
+
+TEST(DataDictionaryTest, RowCountsAggregate) {
+  DataDictionary dict;
+  FragmentationSpec spec;
+  spec.num_fragments = 2;
+  auto info = dict.CreateTable("t", Schema({{"x", DataType::kInt64}}), spec);
+  ASSERT_TRUE(info.ok());
+  (*info)->fragments[0].row_count = 10;
+  (*info)->fragments[1].row_count = 5;
+  EXPECT_EQ((*info)->TotalRows(), 15u);
+}
+
+TEST(DataDictionaryTest, IndexRegistration) {
+  DataDictionary dict;
+  FragmentationSpec spec;
+  dict.CreateTable("t", Schema({{"x", DataType::kInt64}}), spec).value();
+  EXPECT_TRUE(dict.AddIndex("t", IndexInfo{"i1", {0}, false}).ok());
+  EXPECT_EQ(dict.AddIndex("t", IndexInfo{"i1", {0}, true}).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_FALSE(dict.AddIndex("ghost", IndexInfo{"i2", {0}, false}).ok());
+}
+
+// ------------------------------------------------------------ LockManager
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockManager lm;
+  int granted = 0;
+  lm.Acquire(1, "r", LockMode::kShared, [&](Status s) {
+    EXPECT_TRUE(s.ok());
+    ++granted;
+  });
+  lm.Acquire(2, "r", LockMode::kShared, [&](Status s) {
+    EXPECT_TRUE(s.ok());
+    ++granted;
+  });
+  EXPECT_EQ(granted, 2);
+  EXPECT_TRUE(lm.Holds(1, "r"));
+  EXPECT_TRUE(lm.Holds(2, "r"));
+}
+
+TEST(LockManagerTest, ExclusiveBlocksUntilRelease) {
+  LockManager lm;
+  bool second_granted = false;
+  lm.Acquire(1, "r", LockMode::kExclusive, [](Status s) {
+    EXPECT_TRUE(s.ok());
+  });
+  lm.Acquire(2, "r", LockMode::kExclusive, [&](Status s) {
+    EXPECT_TRUE(s.ok());
+    second_granted = true;
+  });
+  EXPECT_FALSE(second_granted);
+  EXPECT_EQ(lm.waits(), 1u);
+  lm.ReleaseAll(1);
+  EXPECT_TRUE(second_granted);
+  EXPECT_TRUE(lm.Holds(2, "r"));
+}
+
+TEST(LockManagerTest, SharedReaderBlocksWriterNotReaders) {
+  LockManager lm;
+  bool writer = false;
+  lm.Acquire(1, "r", LockMode::kShared, [](Status) {});
+  lm.Acquire(2, "r", LockMode::kExclusive, [&](Status s) {
+    EXPECT_TRUE(s.ok());
+    writer = true;
+  });
+  EXPECT_FALSE(writer);
+  // FIFO fairness: a reader arriving behind the writer waits too.
+  bool late_reader = false;
+  lm.Acquire(3, "r", LockMode::kShared, [&](Status) { late_reader = true; });
+  EXPECT_FALSE(late_reader);
+  lm.ReleaseAll(1);
+  EXPECT_TRUE(writer);
+  EXPECT_FALSE(late_reader);
+  lm.ReleaseAll(2);
+  EXPECT_TRUE(late_reader);
+}
+
+TEST(LockManagerTest, ReacquireAndUpgrade) {
+  LockManager lm;
+  int calls = 0;
+  lm.Acquire(1, "r", LockMode::kShared, [&](Status) { ++calls; });
+  lm.Acquire(1, "r", LockMode::kShared, [&](Status) { ++calls; });
+  // Lone-holder upgrade succeeds immediately.
+  lm.Acquire(1, "r", LockMode::kExclusive, [&](Status s) {
+    EXPECT_TRUE(s.ok());
+    ++calls;
+  });
+  EXPECT_EQ(calls, 3);
+  // X holder re-requesting S is a no-op grant.
+  lm.Acquire(1, "r", LockMode::kShared, [&](Status s) {
+    EXPECT_TRUE(s.ok());
+    ++calls;
+  });
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(LockManagerTest, DeadlockVictimIsRequester) {
+  LockManager lm;
+  lm.Acquire(1, "a", LockMode::kExclusive, [](Status) {});
+  lm.Acquire(2, "b", LockMode::kExclusive, [](Status) {});
+  // 1 waits for b (held by 2).
+  bool t1_waiting_ok = false;
+  lm.Acquire(1, "b", LockMode::kExclusive,
+             [&](Status s) { t1_waiting_ok = s.ok(); });
+  // 2 requesting a would close the cycle: aborted.
+  Status t2_status;
+  lm.Acquire(2, "a", LockMode::kExclusive, [&](Status s) { t2_status = s; });
+  EXPECT_EQ(t2_status.code(), StatusCode::kAborted);
+  EXPECT_EQ(lm.deadlocks_detected(), 1u);
+  // Victim releases; txn 1 proceeds.
+  lm.ReleaseAll(2);
+  EXPECT_TRUE(t1_waiting_ok);
+}
+
+TEST(LockManagerTest, ThreeWayDeadlockDetected) {
+  LockManager lm;
+  lm.Acquire(1, "a", LockMode::kExclusive, [](Status) {});
+  lm.Acquire(2, "b", LockMode::kExclusive, [](Status) {});
+  lm.Acquire(3, "c", LockMode::kExclusive, [](Status) {});
+  lm.Acquire(1, "b", LockMode::kExclusive, [](Status) {});
+  lm.Acquire(2, "c", LockMode::kExclusive, [](Status) {});
+  Status s3;
+  lm.Acquire(3, "a", LockMode::kExclusive, [&](Status s) { s3 = s; });
+  EXPECT_EQ(s3.code(), StatusCode::kAborted);
+}
+
+TEST(LockManagerTest, ReleaseDropsWaitingRequests) {
+  LockManager lm;
+  lm.Acquire(1, "r", LockMode::kExclusive, [](Status) {});
+  bool fired = false;
+  lm.Acquire(2, "r", LockMode::kExclusive, [&](Status) { fired = true; });
+  lm.ReleaseAll(2);  // Waiter withdrawn before grant.
+  lm.ReleaseAll(1);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(lm.num_locked_resources(), 0u);
+}
+
+// -------------------------------------------------------------- Optimizer
+
+Schema EmpSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"dept", DataType::kString},
+                 {"salary", DataType::kInt64}});
+}
+
+std::unique_ptr<Plan> EmpScan() { return ScanPlan::Create("emp", EmpSchema()); }
+
+TEST(OptimizerTest, PushesSelectionBelowJoin) {
+  // Select(salary > 10) over Join(emp, emp on dept).
+  auto join = JoinPlan::Create(
+      EmpScan(), EmpScan(),
+      Expr::Binary(BinaryOp::kEq, Expr::ColumnIndex(1, DataType::kString),
+                   Expr::ColumnIndex(4, DataType::kString)));
+  ASSERT_TRUE(join.ok());
+  auto select = SelectPlan::Create(
+      std::move(*join),
+      Expr::Binary(BinaryOp::kGt, Expr::ColumnIndex(2, DataType::kInt64),
+                   Lit(int64_t{10})));
+  ASSERT_TRUE(select.ok());
+
+  Optimizer optimizer(nullptr);
+  OptimizerReport report;
+  auto optimized = optimizer.Optimize(std::move(*select), &report);
+  ASSERT_TRUE(optimized.ok());
+  EXPECT_GE(report.selections_pushed, 1);
+  // Top node is now the join; the selection sits on the left scan.
+  EXPECT_EQ((*optimized)->kind(), PlanKind::kJoin);
+  EXPECT_EQ((*optimized)->child(0)->kind(), PlanKind::kSelect);
+  EXPECT_LT(report.estimated_flow_after, report.estimated_flow_before);
+}
+
+TEST(OptimizerTest, PushesRightSideSelectionWithRemap) {
+  auto join = JoinPlan::Create(EmpScan(), EmpScan(), nullptr);
+  ASSERT_TRUE(join.ok());
+  // Column 4 = right scan's dept.
+  auto select = SelectPlan::Create(
+      std::move(*join),
+      Expr::Binary(BinaryOp::kEq, Expr::ColumnIndex(4, DataType::kString),
+                   Lit(std::string("x"))));
+  ASSERT_TRUE(select.ok());
+  Optimizer optimizer(nullptr);
+  auto optimized = optimizer.Optimize(std::move(*select));
+  ASSERT_TRUE(optimized.ok());
+  ASSERT_EQ((*optimized)->kind(), PlanKind::kJoin);
+  ASSERT_EQ((*optimized)->child(1)->kind(), PlanKind::kSelect);
+  // The remapped predicate references the right scan's column 1.
+  const auto& pushed =
+      static_cast<const SelectPlan&>(*(*optimized)->child(1));
+  std::vector<size_t> cols;
+  pushed.predicate().CollectColumnIndexes(&cols);
+  EXPECT_EQ(cols, (std::vector<size_t>{1}));
+}
+
+TEST(OptimizerTest, MixedConjunctBecomesJoinPredicate) {
+  auto join = JoinPlan::Create(EmpScan(), EmpScan(), nullptr);
+  ASSERT_TRUE(join.ok());
+  EXPECT_TRUE(static_cast<JoinPlan&>(**join).EquiKeys().empty());
+  auto select = SelectPlan::Create(
+      std::move(*join),
+      Expr::Binary(BinaryOp::kEq, Expr::ColumnIndex(0, DataType::kInt64),
+                   Expr::ColumnIndex(3, DataType::kInt64)));
+  ASSERT_TRUE(select.ok());
+  Optimizer optimizer(nullptr);
+  auto optimized = optimizer.Optimize(std::move(*select));
+  ASSERT_TRUE(optimized.ok());
+  ASSERT_EQ((*optimized)->kind(), PlanKind::kJoin);
+  // The equality conjunct became a hash-join key.
+  EXPECT_EQ(static_cast<const JoinPlan&>(**optimized).EquiKeys().size(), 1u);
+}
+
+TEST(OptimizerTest, RewritePreservesResults) {
+  // Property: an optimized plan returns the same rows.
+  storage::Relation emp("emp", EmpSchema());
+  const char* depts[] = {"a", "b", "c"};
+  for (int i = 0; i < 30; ++i) {
+    emp.Insert(Tuple({Value::Int(i), Value::String(depts[i % 3]),
+                      Value::Int(100 * (i % 7))}))
+        .value();
+  }
+  exec::MapTableResolver resolver;
+  resolver.Register("emp", &emp);
+
+  auto build = [&]() -> std::unique_ptr<Plan> {
+    auto j1 = JoinPlan::Create(
+        EmpScan(), EmpScan(),
+        Expr::Binary(BinaryOp::kEq, Expr::ColumnIndex(1, DataType::kString),
+                     Expr::ColumnIndex(4, DataType::kString)));
+    auto j2 = JoinPlan::Create(
+        std::move(*j1), EmpScan(),
+        Expr::Binary(BinaryOp::kEq, Expr::ColumnIndex(3, DataType::kInt64),
+                     Expr::ColumnIndex(6, DataType::kInt64)));
+    auto sel = SelectPlan::Create(
+        std::move(*j2),
+        algebra::And(
+            Expr::Binary(BinaryOp::kLt, Expr::ColumnIndex(0, DataType::kInt64),
+                         Lit(int64_t{5})),
+            Expr::Binary(BinaryOp::kGt, Expr::ColumnIndex(8, DataType::kInt64),
+                         Lit(int64_t{100}))));
+    return std::move(*sel);
+  };
+
+  exec::Executor baseline_exec(&resolver, exec::ExecOptions());
+  auto baseline = baseline_exec.Execute(*build());
+  ASSERT_TRUE(baseline.ok());
+
+  Optimizer optimizer(nullptr);
+  OptimizerReport report;
+  auto optimized = optimizer.Optimize(build(), &report);
+  ASSERT_TRUE(optimized.ok());
+  exec::Executor optimized_exec(&resolver, exec::ExecOptions());
+  auto rewritten = optimized_exec.Execute(**optimized);
+  ASSERT_TRUE(rewritten.ok());
+
+  auto canon = [](std::vector<Tuple> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(canon(*baseline), canon(*rewritten));
+  EXPECT_FALSE(baseline->empty());
+  EXPECT_GE(report.selections_pushed, 2);
+}
+
+TEST(OptimizerTest, JoinReorderPutsSmallTableFirst) {
+  DataDictionary dict;
+  FragmentationSpec spec;
+  dict.CreateTable("big", EmpSchema(), spec).value();
+  dict.CreateTable("small", EmpSchema(), spec).value();
+  dict.CreateTable("mid", EmpSchema(), spec).value();
+  dict.GetTable("big").value()->fragments[0].row_count = 10000;
+  dict.GetTable("small").value()->fragments[0].row_count = 10;
+  dict.GetTable("mid").value()->fragments[0].row_count = 1000;
+
+  // big JOIN mid JOIN small, chained on id.
+  auto j1 = JoinPlan::Create(
+      ScanPlan::Create("big", EmpSchema()), ScanPlan::Create("mid", EmpSchema()),
+      Expr::Binary(BinaryOp::kEq, Expr::ColumnIndex(0, DataType::kInt64),
+                   Expr::ColumnIndex(3, DataType::kInt64)));
+  ASSERT_TRUE(j1.ok());
+  auto j2 = JoinPlan::Create(
+      std::move(*j1), ScanPlan::Create("small", EmpSchema()),
+      Expr::Binary(BinaryOp::kEq, Expr::ColumnIndex(3, DataType::kInt64),
+                   Expr::ColumnIndex(6, DataType::kInt64)));
+  ASSERT_TRUE(j2.ok());
+
+  Optimizer optimizer(&dict);
+  OptimizerReport report;
+  const double flow_before = optimizer.EstimateFlow(**j2);
+  auto optimized = optimizer.Optimize(std::move(*j2), &report);
+  ASSERT_TRUE(optimized.ok());
+  EXPECT_EQ(report.joins_reordered, 1);
+  EXPECT_LT(optimizer.EstimateFlow(**optimized), flow_before);
+  // Schema restored to the original order for the parent.
+  EXPECT_EQ((*optimized)->schema().num_columns(), 9u);
+  EXPECT_EQ((*optimized)->kind(), PlanKind::kProject);
+}
+
+TEST(OptimizerTest, ReorderedJoinPreservesResults) {
+  storage::Relation r1("r1", EmpSchema());
+  storage::Relation r2("r2", EmpSchema());
+  storage::Relation r3("r3", EmpSchema());
+  Rng rng(7);
+  auto fill = [&](storage::Relation& r, int n) {
+    for (int i = 0; i < n; ++i) {
+      r.Insert(Tuple({Value::Int(rng.UniformInt(0, 8)), Value::String("d"),
+                      Value::Int(rng.UniformInt(0, 5))}))
+          .value();
+    }
+  };
+  fill(r1, 20);
+  fill(r2, 8);
+  fill(r3, 14);
+  exec::MapTableResolver resolver;
+  resolver.Register("r1", &r1);
+  resolver.Register("r2", &r2);
+  resolver.Register("r3", &r3);
+  DataDictionary dict;
+  FragmentationSpec spec;
+  dict.CreateTable("r1", EmpSchema(), spec).value()->fragments[0].row_count = 20;
+  dict.CreateTable("r2", EmpSchema(), spec).value()->fragments[0].row_count = 8;
+  dict.CreateTable("r3", EmpSchema(), spec).value()->fragments[0].row_count = 14;
+
+  auto build = [&]() -> std::unique_ptr<Plan> {
+    auto j1 = JoinPlan::Create(
+        ScanPlan::Create("r1", EmpSchema()), ScanPlan::Create("r2", EmpSchema()),
+        Expr::Binary(BinaryOp::kEq, Expr::ColumnIndex(0, DataType::kInt64),
+                     Expr::ColumnIndex(3, DataType::kInt64)));
+    auto j2 = JoinPlan::Create(
+        std::move(*j1), ScanPlan::Create("r3", EmpSchema()),
+        Expr::Binary(BinaryOp::kEq, Expr::ColumnIndex(5, DataType::kInt64),
+                     Expr::ColumnIndex(8, DataType::kInt64)));
+    return std::move(*j2);
+  };
+  exec::Executor e1(&resolver, exec::ExecOptions());
+  auto baseline = e1.Execute(*build());
+  ASSERT_TRUE(baseline.ok());
+  Optimizer optimizer(&dict);
+  auto optimized = optimizer.Optimize(build());
+  ASSERT_TRUE(optimized.ok());
+  exec::Executor e2(&resolver, exec::ExecOptions());
+  auto rewritten = e2.Execute(**optimized);
+  ASSERT_TRUE(rewritten.ok());
+  auto canon = [](std::vector<Tuple> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(canon(*baseline), canon(*rewritten));
+  EXPECT_FALSE(baseline->empty());
+}
+
+TEST(OptimizerTest, DetectsCommonSubtrees) {
+  // Join(X, X) where X = Distinct(Scan) duplicated.
+  auto left = algebra::DistinctPlan::Create(EmpScan());
+  auto right = algebra::DistinctPlan::Create(EmpScan());
+  auto join = JoinPlan::Create(std::move(left), std::move(right), nullptr);
+  ASSERT_TRUE(join.ok());
+  Optimizer optimizer(nullptr);
+  OptimizerReport report;
+  auto optimized = optimizer.Optimize(std::move(*join), &report);
+  ASSERT_TRUE(optimized.ok());
+  EXPECT_GE(report.common_subtrees, 1);
+  EXPECT_TRUE(report.enable_subtree_cache);
+}
+
+TEST(OptimizerTest, RuleTogglesDisableRewrites) {
+  OptimizerRules off;
+  off.push_selections = false;
+  off.reorder_joins = false;
+  off.detect_common_subexpressions = false;
+  auto join = JoinPlan::Create(EmpScan(), EmpScan(), nullptr);
+  ASSERT_TRUE(join.ok());
+  auto select = SelectPlan::Create(
+      std::move(*join),
+      Expr::Binary(BinaryOp::kGt, Expr::ColumnIndex(0, DataType::kInt64),
+                   Lit(int64_t{3})));
+  ASSERT_TRUE(select.ok());
+  Optimizer optimizer(nullptr, off);
+  OptimizerReport report;
+  auto optimized = optimizer.Optimize(std::move(*select), &report);
+  ASSERT_TRUE(optimized.ok());
+  EXPECT_EQ(report.selections_pushed, 0);
+  EXPECT_EQ((*optimized)->kind(), PlanKind::kSelect);  // Untouched.
+}
+
+TEST(OptimizerTest, EstimatesUseDictionaryCardinalities) {
+  DataDictionary dict;
+  FragmentationSpec spec;
+  dict.CreateTable("emp", EmpSchema(), spec).value()->fragments[0].row_count =
+      5000;
+  Optimizer optimizer(&dict);
+  EXPECT_DOUBLE_EQ(optimizer.EstimateRows(*EmpScan()), 5000);
+  auto select = SelectPlan::Create(
+      EmpScan(), Expr::Binary(BinaryOp::kEq,
+                              Expr::ColumnIndex(0, DataType::kInt64),
+                              Lit(int64_t{1})));
+  ASSERT_TRUE(select.ok());
+  EXPECT_DOUBLE_EQ(optimizer.EstimateRows(**select),
+                   5000 * Optimizer::kEqSelectivity);
+}
+
+// -------------------------------------------------------- DistributedPlan
+
+class SplitTest : public ::testing::Test {
+ protected:
+  SplitTest() {
+    FragmentationSpec spec;
+    spec.strategy = sql::FragmentStrategy::kHash;
+    spec.num_fragments = 4;
+    dict_.CreateTable("emp", EmpSchema(), spec).value();
+  }
+  DataDictionary dict_;
+};
+
+TEST_F(SplitTest, SelectOverScanBecomesLocalPart) {
+  auto select = SelectPlan::Create(
+      EmpScan(), Expr::Binary(BinaryOp::kGt,
+                              Expr::ColumnIndex(2, DataType::kInt64),
+                              Lit(int64_t{100})));
+  ASSERT_TRUE(select.ok());
+  auto split = SplitPlanForFragments(std::move(*select), dict_);
+  ASSERT_TRUE(split.ok());
+  ASSERT_EQ(split->parts.size(), 1u);
+  EXPECT_EQ(split->parts[0].table, "emp");
+  EXPECT_EQ(split->parts[0].plan->kind(), PlanKind::kSelect);
+  // Global side is just the gathered scan.
+  EXPECT_EQ(split->global->kind(), PlanKind::kScan);
+}
+
+TEST_F(SplitTest, JoinStaysGlobalWithTwoParts) {
+  auto join = JoinPlan::Create(
+      EmpScan(), EmpScan(),
+      Expr::Binary(BinaryOp::kEq, Expr::ColumnIndex(0, DataType::kInt64),
+                   Expr::ColumnIndex(3, DataType::kInt64)));
+  ASSERT_TRUE(join.ok());
+  auto split = SplitPlanForFragments(std::move(*join), dict_);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->parts.size(), 2u);
+  EXPECT_EQ(split->global->kind(), PlanKind::kJoin);
+}
+
+TEST_F(SplitTest, AggregatePushdownDecomposes) {
+  std::vector<std::unique_ptr<Expr>> groups;
+  groups.push_back(Expr::ColumnIndex(1, DataType::kString));
+  std::vector<algebra::AggSpec> aggs;
+  aggs.push_back({algebra::AggFunc::kCount, nullptr, "n"});
+  aggs.push_back({algebra::AggFunc::kAvg,
+                  Expr::ColumnIndex(2, DataType::kInt64), "avg_sal"});
+  auto agg = algebra::AggregatePlan::Create(EmpScan(), std::move(groups),
+                                            {"dept"}, std::move(aggs));
+  ASSERT_TRUE(agg.ok());
+  auto split = SplitPlanForFragments(std::move(*agg), dict_);
+  ASSERT_TRUE(split.ok());
+  EXPECT_TRUE(split->pushed_aggregate);
+  ASSERT_EQ(split->parts.size(), 1u);
+  // The local part aggregates per fragment.
+  EXPECT_EQ(split->parts[0].plan->kind(), PlanKind::kAggregate);
+  // The global side re-aggregates and projects the AVG division.
+  EXPECT_EQ(split->global->kind(), PlanKind::kProject);
+  EXPECT_EQ(split->global->schema().num_columns(), 3u);
+  EXPECT_EQ(split->global->schema().column(2).name, "avg_sal");
+}
+
+class ColocatedSplitTest : public ::testing::Test {
+ protected:
+  ColocatedSplitTest() {
+    FragmentationSpec spec;
+    spec.strategy = sql::FragmentStrategy::kHash;
+    spec.column = 0;
+    spec.num_fragments = 4;
+    TableInfo* a = dict_.CreateTable("a", EmpSchema(), spec).value();
+    TableInfo* b = dict_.CreateTable("b", EmpSchema(), spec).value();
+    for (int i = 0; i < 4; ++i) {
+      a->fragments[i].pe = i + 1;
+      b->fragments[i].pe = i + 1;  // Aligned with a.
+    }
+  }
+
+  std::unique_ptr<Plan> KeyJoin() {
+    auto join = JoinPlan::Create(
+        ScanPlan::Create("a", EmpSchema()), ScanPlan::Create("b", EmpSchema()),
+        Expr::Binary(BinaryOp::kEq, Expr::ColumnIndex(0, DataType::kInt64),
+                     Expr::ColumnIndex(3, DataType::kInt64)));
+    PRISMA_CHECK(join.ok());
+    return std::move(join).value();
+  }
+
+  DataDictionary dict_;
+};
+
+TEST_F(ColocatedSplitTest, KeyJoinBecomesColocatedPart) {
+  auto split = SplitPlanForFragments(KeyJoin(), dict_);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->colocated_joins, 1);
+  ASSERT_EQ(split->parts.size(), 1u);
+  EXPECT_EQ(split->parts[0].table, "a");
+  EXPECT_EQ(split->parts[0].second_table, "b");
+  EXPECT_EQ(split->parts[0].plan->kind(), PlanKind::kJoin);
+  EXPECT_EQ(split->global->kind(), PlanKind::kScan);
+}
+
+TEST_F(ColocatedSplitTest, DisabledFlagFallsBackToGather) {
+  auto split = SplitPlanForFragments(KeyJoin(), dict_, false);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->colocated_joins, 0);
+  EXPECT_EQ(split->parts.size(), 2u);
+  EXPECT_EQ(split->global->kind(), PlanKind::kJoin);
+}
+
+TEST_F(ColocatedSplitTest, NonKeyJoinStaysGlobal) {
+  // Join on salary (column 2), not the fragmentation key.
+  auto join = JoinPlan::Create(
+      ScanPlan::Create("a", EmpSchema()), ScanPlan::Create("b", EmpSchema()),
+      Expr::Binary(BinaryOp::kEq, Expr::ColumnIndex(2, DataType::kInt64),
+                   Expr::ColumnIndex(5, DataType::kInt64)));
+  ASSERT_TRUE(join.ok());
+  auto split = SplitPlanForFragments(std::move(*join), dict_);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->colocated_joins, 0);
+  EXPECT_EQ(split->parts.size(), 2u);
+}
+
+TEST_F(ColocatedSplitTest, MisalignedPlacementStaysGlobal) {
+  dict_.GetTable("b").value()->fragments[2].pe = 9;  // Break alignment.
+  auto split = SplitPlanForFragments(KeyJoin(), dict_);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->colocated_joins, 0);
+}
+
+TEST_F(ColocatedSplitTest, SelectionsBelowJoinStayInPart) {
+  auto left = SelectPlan::Create(
+      ScanPlan::Create("a", EmpSchema()),
+      Expr::Binary(BinaryOp::kGt, Expr::ColumnIndex(2, DataType::kInt64),
+                   Lit(int64_t{10})));
+  ASSERT_TRUE(left.ok());
+  auto join = JoinPlan::Create(
+      std::move(*left), ScanPlan::Create("b", EmpSchema()),
+      Expr::Binary(BinaryOp::kEq, Expr::ColumnIndex(0, DataType::kInt64),
+                   Expr::ColumnIndex(3, DataType::kInt64)));
+  ASSERT_TRUE(join.ok());
+  auto split = SplitPlanForFragments(std::move(*join), dict_);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->colocated_joins, 1);
+  ASSERT_EQ(split->parts.size(), 1u);
+  // The selection travels with the co-located join plan.
+  EXPECT_EQ(split->parts[0].plan->child(0)->kind(), PlanKind::kSelect);
+}
+
+TEST_F(SplitTest, UnknownTableStaysGlobal) {
+  auto scan = ScanPlan::Create("not_in_dictionary", EmpSchema());
+  auto split = SplitPlanForFragments(std::move(scan), dict_);
+  ASSERT_TRUE(split.ok());
+  EXPECT_TRUE(split->parts.empty());
+  EXPECT_EQ(split->global->kind(), PlanKind::kScan);
+}
+
+TEST_F(SplitTest, CloneWithScanRenamedRetargets) {
+  auto select = SelectPlan::Create(
+      EmpScan(), Expr::Binary(BinaryOp::kGt,
+                              Expr::ColumnIndex(0, DataType::kInt64),
+                              Lit(int64_t{0})));
+  ASSERT_TRUE(select.ok());
+  auto renamed = CloneWithScanRenamed(**select, "emp", "emp#2");
+  std::vector<std::string> tables;
+  CollectScanTables(*renamed, &tables);
+  EXPECT_EQ(tables, (std::vector<std::string>{"emp#2"}));
+  // The original is untouched.
+  tables.clear();
+  CollectScanTables(**select, &tables);
+  EXPECT_EQ(tables, (std::vector<std::string>{"emp"}));
+}
+
+}  // namespace
+}  // namespace prisma::gdh

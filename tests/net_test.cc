@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/network.h"
+#include "net/topology.h"
+#include "net/traffic.h"
+#include "sim/simulator.h"
+
+namespace prisma::net {
+namespace {
+
+// -------------------------------------------------------------- Topology
+
+TEST(TopologyTest, MeshShape) {
+  Topology t = Topology::Mesh(8, 8);
+  EXPECT_EQ(t.num_nodes(), 64);
+  EXPECT_EQ(t.max_degree(), 4);   // Paper: 4 links per PE.
+  // Corner node 0 has 2 neighbours, edge nodes 3, interior 4.
+  EXPECT_EQ(t.neighbors(0).size(), 2u);
+  EXPECT_EQ(t.neighbors(1).size(), 3u);
+  EXPECT_EQ(t.neighbors(9).size(), 4u);
+  EXPECT_EQ(t.Diameter(), 14);    // (8-1) + (8-1).
+}
+
+TEST(TopologyTest, TorusShape) {
+  Topology t = Topology::Torus(8, 8);
+  EXPECT_EQ(t.num_nodes(), 64);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(t.neighbors(i).size(), 4u);
+  EXPECT_EQ(t.Diameter(), 8);     // 4 + 4.
+}
+
+TEST(TopologyTest, RingShape) {
+  Topology t = Topology::Ring(10);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(t.neighbors(i).size(), 2u);
+  EXPECT_EQ(t.Diameter(), 5);
+  EXPECT_EQ(t.Distance(0, 5), 5);
+  EXPECT_EQ(t.Distance(0, 9), 1);
+}
+
+TEST(TopologyTest, ChordalRingHasDegreeFourAndShortcuts) {
+  Topology t = Topology::ChordalRing(64, 8);
+  EXPECT_EQ(t.num_nodes(), 64);
+  EXPECT_EQ(t.max_degree(), 4);   // Paper's chordal-ring variant.
+  // Chords shorten long paths well below the plain ring's diameter (32).
+  EXPECT_LT(t.Diameter(), 12);
+  EXPECT_EQ(t.Distance(0, 8), 1);  // Direct chord.
+}
+
+TEST(TopologyTest, FullyConnectedDiameterOne) {
+  Topology t = Topology::FullyConnected(8);
+  EXPECT_EQ(t.Diameter(), 1);
+  EXPECT_DOUBLE_EQ(t.AverageDistance(), 1.0);
+}
+
+TEST(TopologyTest, NextHopWalksShortestPath) {
+  Topology t = Topology::Mesh(4, 4);
+  for (int src = 0; src < 16; ++src) {
+    for (int dst = 0; dst < 16; ++dst) {
+      int node = src;
+      int hops = 0;
+      while (node != dst) {
+        node = t.NextHop(node, dst);
+        ++hops;
+        ASSERT_LE(hops, 16) << "routing loop " << src << "->" << dst;
+      }
+      EXPECT_EQ(hops, t.Distance(src, dst)) << src << "->" << dst;
+    }
+  }
+}
+
+TEST(TopologyTest, DistanceSymmetricOnUndirectedGraphs) {
+  Topology t = Topology::ChordalRing(32, 5);
+  for (int a = 0; a < 32; ++a) {
+    for (int b = 0; b < 32; ++b) {
+      EXPECT_EQ(t.Distance(a, b), t.Distance(b, a));
+    }
+  }
+}
+
+TEST(TopologyTest, AverageDistanceOrderingAcrossTopologies) {
+  // More connectivity => shorter average paths.
+  const double full = Topology::FullyConnected(64).AverageDistance();
+  const double torus = Topology::Torus(8, 8).AverageDistance();
+  const double mesh = Topology::Mesh(8, 8).AverageDistance();
+  const double ring = Topology::Ring(64).AverageDistance();
+  EXPECT_LT(full, torus);
+  EXPECT_LT(torus, mesh);
+  EXPECT_LT(mesh, ring);
+}
+
+// -------------------------------------------------------------- Network
+
+TEST(NetworkTest, DeliversWithSerializationAndPropagationDelay) {
+  sim::Simulator sim;
+  LinkParams params;
+  params.bandwidth_bps = 10'000'000;
+  params.propagation_ns = 1'000;
+  Network net(&sim, Topology::Mesh(2, 2), params);
+
+  sim::SimTime delivered_at = -1;
+  net.SetReceiver(1, [&](const Message& m) {
+    delivered_at = sim.now();
+    EXPECT_EQ(m.src, 0);
+    EXPECT_EQ(m.dst, 1);
+  });
+  net.SendPacket(0, 1);
+  sim.Run();
+  // 256 bits / 10 Mbit/s = 25.6 us -> 25600 ns, + 1000 ns propagation.
+  EXPECT_EQ(delivered_at, 26'600);
+  EXPECT_EQ(net.stats().messages_delivered, 1u);
+  EXPECT_EQ(net.stats().total_latency_ns, 26'600);
+}
+
+TEST(NetworkTest, MultiHopLatencyScalesWithDistance) {
+  auto latency_to = [](NodeId dst) {
+    sim::Simulator sim;
+    Network net(&sim, Topology::Ring(8), LinkParams());
+    sim::SimTime t = -1;
+    net.SetReceiver(dst, [&](const Message&) { t = sim.now(); });
+    net.SendPacket(0, dst);
+    sim.Run();
+    return t;
+  };
+  const sim::SimTime t1 = latency_to(1);
+  const sim::SimTime t4 = latency_to(4);
+  ASSERT_GT(t1, 0);
+  ASSERT_GT(t4, 0);
+  // 4 hops vs 1 hop: the distant delivery takes exactly 4x as long under
+  // store-and-forward with no contention.
+  EXPECT_NEAR(static_cast<double>(t4) / t1, 4.0, 0.01);
+}
+
+TEST(NetworkTest, LinkContentionSerializesMessages) {
+  sim::Simulator sim;
+  Network net(&sim, Topology::Ring(4), LinkParams());
+  std::vector<sim::SimTime> deliveries;
+  net.SetReceiver(1, [&](const Message&) { deliveries.push_back(sim.now()); });
+  // Two packets queued on the same link back to back.
+  net.SendPacket(0, 1);
+  net.SendPacket(0, 1);
+  sim.Run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  // Second waits for the first's serialization (25.6us), not propagation.
+  EXPECT_EQ(deliveries[1] - deliveries[0], 25'600);
+  EXPECT_GE(net.stats().max_link_backlog, 2);
+}
+
+TEST(NetworkTest, LocalDeliveryBypassesLinks) {
+  sim::Simulator sim;
+  Network net(&sim, Topology::Mesh(2, 2), LinkParams());
+  bool got = false;
+  net.SetReceiver(2, [&](const Message&) { got = true; });
+  net.Send(2, 2, 1024, std::any());
+  sim.Run();
+  EXPECT_TRUE(got);
+  EXPECT_EQ(net.stats().link_bits, 0);
+  EXPECT_EQ(net.stats().messages_delivered, 1u);
+}
+
+TEST(NetworkTest, LargeMessageOccupiesLinkLonger) {
+  sim::Simulator sim;
+  Network net(&sim, Topology::Ring(4), LinkParams());
+  sim::SimTime small_t = -1, big_t = -1;
+  {
+    net.SetReceiver(1, [&](const Message& m) {
+      if (m.size_bits == 256) small_t = sim.now() - m.sent_at;
+      else big_t = sim.now() - m.sent_at;
+    });
+  }
+  net.Send(0, 1, 256, std::any());
+  sim.Run();
+  net.Send(0, 1, 256 * 100, std::any());
+  sim.Run();
+  EXPECT_GT(big_t, small_t * 50);
+}
+
+TEST(NetworkTest, LinkBitsCountsEveryHop) {
+  sim::Simulator sim;
+  Network net(&sim, Topology::Ring(8), LinkParams());
+  net.SendPacket(0, 4);  // 4 hops.
+  sim.Run();
+  EXPECT_EQ(net.stats().link_bits, 4 * 256);
+}
+
+// -------------------------------------------------------------- Traffic
+
+TEST(TrafficTest, DeterministicForSeed) {
+  Topology topo = Topology::Mesh(4, 4);
+  TrafficConfig cfg;
+  cfg.offered_packets_per_sec_per_pe = 5'000;
+  cfg.warmup_ns = 5 * sim::kNanosPerMilli;
+  cfg.measure_ns = 20 * sim::kNanosPerMilli;
+  cfg.seed = 3;
+  TrafficResult a = RunSyntheticTraffic(topo, LinkParams(), cfg);
+  TrafficResult b = RunSyntheticTraffic(topo, LinkParams(), cfg);
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+  EXPECT_DOUBLE_EQ(a.average_latency_us, b.average_latency_us);
+  EXPECT_GT(a.packets_delivered, 0u);
+}
+
+TEST(TrafficTest, LightLoadDeliversOffered) {
+  TrafficConfig cfg;
+  cfg.offered_packets_per_sec_per_pe = 2'000;
+  cfg.warmup_ns = 10 * sim::kNanosPerMilli;
+  cfg.measure_ns = 50 * sim::kNanosPerMilli;
+  TrafficResult r =
+      RunSyntheticTraffic(Topology::Mesh(8, 8), LinkParams(), cfg);
+  // Under light load the network delivers what is offered (within Poisson
+  // noise over the measurement window).
+  EXPECT_NEAR(r.delivered_packets_per_sec_per_pe, 2'000, 200);
+  EXPECT_GT(r.average_latency_us, 0);
+}
+
+TEST(TrafficTest, SaturationCapsThroughput) {
+  TrafficConfig low;
+  low.offered_packets_per_sec_per_pe = 5'000;
+  TrafficConfig high = low;
+  high.offered_packets_per_sec_per_pe = 200'000;
+  const Topology topo = Topology::Mesh(8, 8);
+  TrafficResult rl = RunSyntheticTraffic(topo, LinkParams(), low);
+  TrafficResult rh = RunSyntheticTraffic(topo, LinkParams(), high);
+  // Delivered throughput saturates far below the absurd offered load, and
+  // latency explodes past saturation.
+  EXPECT_LT(rh.delivered_packets_per_sec_per_pe, 100'000);
+  EXPECT_GT(rh.average_latency_us, 10 * rl.average_latency_us);
+  EXPECT_GT(rh.peak_link_utilization, 0.95);
+}
+
+TEST(TrafficTest, NeighborPatternOutperformsTranspose) {
+  TrafficConfig cfg;
+  cfg.offered_packets_per_sec_per_pe = 20'000;
+  TrafficConfig nb = cfg;
+  nb.pattern = TrafficPattern::kNeighbor;
+  TrafficConfig tr = cfg;
+  tr.pattern = TrafficPattern::kTranspose;
+  const Topology topo = Topology::Mesh(8, 8);
+  TrafficResult rn = RunSyntheticTraffic(topo, LinkParams(), nb);
+  TrafficResult rt = RunSyntheticTraffic(topo, LinkParams(), tr);
+  // Single-hop traffic sustains the load; transpose saturates the bisection.
+  EXPECT_GT(rn.delivered_packets_per_sec_per_pe,
+            rt.delivered_packets_per_sec_per_pe);
+}
+
+TEST(TrafficTest, HotspotCongestsAroundTarget) {
+  TrafficConfig cfg;
+  cfg.pattern = TrafficPattern::kHotspot;
+  cfg.hotspot_fraction = 0.5;
+  cfg.offered_packets_per_sec_per_pe = 20'000;
+  TrafficConfig uni = cfg;
+  uni.pattern = TrafficPattern::kUniform;
+  const Topology topo = Topology::Mesh(8, 8);
+  TrafficResult rh = RunSyntheticTraffic(topo, LinkParams(), cfg);
+  TrafficResult ru = RunSyntheticTraffic(topo, LinkParams(), uni);
+  EXPECT_LT(rh.delivered_packets_per_sec_per_pe,
+            ru.delivered_packets_per_sec_per_pe);
+}
+
+}  // namespace
+}  // namespace prisma::net

@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "algebra/expr.h"
+#include "algebra/plan.h"
+#include "exec/ofm.h"
+#include "storage/stable_store.h"
+
+namespace prisma::exec {
+namespace {
+
+using algebra::BinaryOp;
+using algebra::Col;
+using algebra::Expr;
+using algebra::Lit;
+using algebra::ScanPlan;
+using algebra::SelectPlan;
+
+Schema AcctSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"owner", DataType::kString},
+                 {"balance", DataType::kInt64}});
+}
+
+Tuple Acct(int64_t id, const std::string& owner, int64_t balance) {
+  return Tuple({Value::Int(id), Value::String(owner), Value::Int(balance)});
+}
+
+class OfmTest : public ::testing::Test {
+ protected:
+  OfmTest() { Reset(OfmType::kFull); }
+
+  void Reset(OfmType type) {
+    Ofm::Options opts;
+    opts.type = type;
+    opts.stable = &stable_;
+    ofm_ = std::make_unique<Ofm>("acct#0", AcctSchema(), opts);
+  }
+
+  storage::StableStore stable_;
+  std::unique_ptr<Ofm> ofm_;
+};
+
+TEST_F(OfmTest, AutoCommitInsertIsDurable) {
+  ASSERT_TRUE(ofm_->Insert(kAutoCommit, Acct(1, "ann", 100)).ok());
+  ASSERT_TRUE(ofm_->Insert(kAutoCommit, Acct(2, "bob", 200)).ok());
+  EXPECT_EQ(ofm_->num_tuples(), 2u);
+  EXPECT_EQ(ofm_->wal_records(), 2u);
+
+  // Crash: rebuild a fresh OFM over the same stable store and recover.
+  Reset(OfmType::kFull);
+  EXPECT_EQ(ofm_->num_tuples(), 0u);
+  ASSERT_TRUE(ofm_->Recover().ok());
+  EXPECT_EQ(ofm_->num_tuples(), 2u);
+}
+
+TEST_F(OfmTest, TransactionalCommitSurvivesCrash) {
+  const TxnId txn = 42;
+  ASSERT_TRUE(ofm_->Insert(txn, Acct(1, "ann", 100)).ok());
+  ASSERT_TRUE(ofm_->Insert(txn, Acct(2, "bob", 200)).ok());
+  ASSERT_TRUE(ofm_->Prepare(txn).ok());
+  ASSERT_TRUE(ofm_->Commit(txn).ok());
+
+  Reset(OfmType::kFull);
+  ASSERT_TRUE(ofm_->Recover().ok());
+  EXPECT_EQ(ofm_->num_tuples(), 2u);
+}
+
+TEST_F(OfmTest, PreparedButUncommittedRollsBackOnRecovery) {
+  ASSERT_TRUE(ofm_->Insert(kAutoCommit, Acct(1, "ann", 100)).ok());
+  const TxnId txn = 7;
+  ASSERT_TRUE(ofm_->Insert(txn, Acct(2, "bob", 200)).ok());
+  ASSERT_TRUE(ofm_->Prepare(txn).ok());
+  // Crash before the coordinator's commit arrives: presumed abort.
+  Reset(OfmType::kFull);
+  ASSERT_TRUE(ofm_->Recover().ok());
+  EXPECT_EQ(ofm_->num_tuples(), 1u);
+}
+
+TEST_F(OfmTest, InDoubtTransactionAwaitsCoordinatorDecision) {
+  const TxnId txn = 8;
+  ASSERT_TRUE(ofm_->Insert(txn, Acct(1, "ann", 100)).ok());
+  ASSERT_TRUE(ofm_->Prepare(txn).ok());
+
+  // Crash after prepare: the transaction is in doubt, its effects held.
+  Reset(OfmType::kFull);
+  ASSERT_TRUE(ofm_->Recover().ok());
+  EXPECT_EQ(ofm_->num_tuples(), 0u);
+  ASSERT_EQ(ofm_->recovered_undecided().size(), 1u);
+  EXPECT_EQ(ofm_->recovered_undecided()[0], txn);
+
+  // Coordinator says commit: effects apply and become durable.
+  ASSERT_TRUE(ofm_->ResolveRecovered(txn, /*commit=*/true).ok());
+  EXPECT_EQ(ofm_->num_tuples(), 1u);
+  EXPECT_TRUE(ofm_->recovered_undecided().empty());
+  Reset(OfmType::kFull);
+  ASSERT_TRUE(ofm_->Recover().ok());
+  EXPECT_EQ(ofm_->num_tuples(), 1u);
+  EXPECT_TRUE(ofm_->recovered_undecided().empty());
+
+  // Unknown transactions cannot be resolved.
+  EXPECT_EQ(ofm_->ResolveRecovered(999, true).code(), StatusCode::kNotFound);
+}
+
+TEST_F(OfmTest, InDoubtTransactionResolvedAbortLeavesNoTrace) {
+  const TxnId txn = 12;
+  ASSERT_TRUE(ofm_->Insert(kAutoCommit, Acct(1, "base", 1)).ok());
+  ASSERT_TRUE(ofm_->Insert(txn, Acct(2, "doubt", 2)).ok());
+  ASSERT_TRUE(ofm_->Prepare(txn).ok());
+  Reset(OfmType::kFull);
+  ASSERT_TRUE(ofm_->Recover().ok());
+  ASSERT_EQ(ofm_->recovered_undecided().size(), 1u);
+  ASSERT_TRUE(ofm_->ResolveRecovered(txn, /*commit=*/false).ok());
+  EXPECT_EQ(ofm_->num_tuples(), 1u);
+  Reset(OfmType::kFull);
+  ASSERT_TRUE(ofm_->Recover().ok());
+  EXPECT_EQ(ofm_->num_tuples(), 1u);
+  EXPECT_TRUE(ofm_->recovered_undecided().empty());
+}
+
+TEST_F(OfmTest, AbortUndoesAllOperationKinds) {
+  const auto r1 = ofm_->Insert(kAutoCommit, Acct(1, "ann", 100));
+  const auto r2 = ofm_->Insert(kAutoCommit, Acct(2, "bob", 200));
+  ASSERT_TRUE(r1.ok() && r2.ok());
+
+  const TxnId txn = 9;
+  ASSERT_TRUE(ofm_->Insert(txn, Acct(3, "carol", 300)).ok());
+  ASSERT_TRUE(ofm_->Delete(txn, *r1).ok());
+  ASSERT_TRUE(ofm_->Update(txn, *r2, Acct(2, "bob", 999)).ok());
+  EXPECT_EQ(ofm_->num_tuples(), 2u);
+  EXPECT_TRUE(ofm_->HasTransaction(txn));
+
+  ASSERT_TRUE(ofm_->Abort(txn).ok());
+  EXPECT_FALSE(ofm_->HasTransaction(txn));
+  EXPECT_EQ(ofm_->num_tuples(), 2u);
+  EXPECT_EQ(ofm_->relation().Get(*r1)->at(1), Value::String("ann"));
+  EXPECT_EQ(ofm_->relation().Get(*r2)->at(2), Value::Int(200));
+}
+
+TEST_F(OfmTest, AbortedTransactionLeavesNoDurableTrace) {
+  const TxnId txn = 5;
+  ASSERT_TRUE(ofm_->Insert(txn, Acct(1, "ann", 100)).ok());
+  ASSERT_TRUE(ofm_->Abort(txn).ok());
+  Reset(OfmType::kFull);
+  ASSERT_TRUE(ofm_->Recover().ok());
+  EXPECT_EQ(ofm_->num_tuples(), 0u);
+}
+
+TEST_F(OfmTest, CheckpointTruncatesWalAndRecovers) {
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(ofm_->Insert(kAutoCommit, Acct(i, "user", 100 * i)).ok());
+  }
+  ASSERT_TRUE(ofm_->Delete(kAutoCommit, 3).ok());
+  ASSERT_TRUE(ofm_->Checkpoint().ok());
+  EXPECT_EQ(stable_.stream_bytes("acct#0.wal"), 0u);
+
+  // Post-checkpoint activity lands in the (new) WAL; RowIds keep working.
+  ASSERT_TRUE(ofm_->Insert(kAutoCommit, Acct(100, "late", 1)).ok());
+  ASSERT_TRUE(ofm_->Update(kAutoCommit, 5, Acct(5, "user", 42)).ok());
+
+  Reset(OfmType::kFull);
+  ASSERT_TRUE(ofm_->Recover().ok());
+  EXPECT_EQ(ofm_->num_tuples(), 10u);  // 10 - 1 deleted + 1 late.
+  EXPECT_EQ(ofm_->relation().Get(5)->at(2), Value::Int(42));
+  EXPECT_FALSE(ofm_->relation().IsLive(3));
+}
+
+TEST_F(OfmTest, CheckpointRefusesOpenTransactions) {
+  ASSERT_TRUE(ofm_->Insert(77, Acct(1, "x", 1)).ok());
+  EXPECT_EQ(ofm_->Checkpoint().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(ofm_->Commit(77).ok());
+  EXPECT_TRUE(ofm_->Checkpoint().ok());
+}
+
+TEST_F(OfmTest, QueryOnlyOfmSkipsDurability) {
+  Reset(OfmType::kQueryOnly);
+  ASSERT_TRUE(ofm_->Insert(kAutoCommit, Acct(1, "tmp", 1)).ok());
+  EXPECT_EQ(ofm_->wal_records(), 0u);
+  EXPECT_EQ(stable_.total_bytes(), 0u);
+  EXPECT_EQ(ofm_->Checkpoint().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ofm_->Recover().code(), StatusCode::kFailedPrecondition);
+  // But transactional undo still works (it is memory-only machinery).
+  const TxnId txn = 3;
+  ASSERT_TRUE(ofm_->Insert(txn, Acct(2, "tmp2", 2)).ok());
+  ASSERT_TRUE(ofm_->Abort(txn).ok());
+  EXPECT_EQ(ofm_->num_tuples(), 1u);
+}
+
+TEST_F(OfmTest, FullOfmWritesMoreWalThanQueryOnly) {
+  // The E7 claim in miniature: durability costs WAL records.
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(ofm_->Insert(kAutoCommit, Acct(i, "u", i)).ok());
+  }
+  const uint64_t full_wal = ofm_->wal_records();
+  Reset(OfmType::kQueryOnly);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(ofm_->Insert(kAutoCommit, Acct(i, "u", i)).ok());
+  }
+  EXPECT_EQ(ofm_->wal_records(), 0u);
+  EXPECT_EQ(full_wal, 20u);
+}
+
+TEST_F(OfmTest, DeleteWhereAndUpdateWhere) {
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(ofm_->Insert(kAutoCommit, Acct(i, "u", 100 * i)).ok());
+  }
+  auto pred = Expr::Binary(BinaryOp::kLt, Col("balance"), Lit(int64_t{300}));
+  ASSERT_TRUE(pred->Bind(AcctSchema()).ok());
+  auto deleted = ofm_->DeleteWhere(kAutoCommit, pred.get());
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_EQ(*deleted, 3u);
+  EXPECT_EQ(ofm_->num_tuples(), 7u);
+
+  // UPDATE acct SET balance = balance + 1 WHERE id >= 8.
+  auto where = Expr::Binary(BinaryOp::kGe, Col("id"), Lit(int64_t{8}));
+  ASSERT_TRUE(where->Bind(AcctSchema()).ok());
+  auto add = Expr::Binary(BinaryOp::kAdd, Col("balance"), Lit(int64_t{1}));
+  ASSERT_TRUE(add->Bind(AcctSchema()).ok());
+  auto updated = ofm_->UpdateWhere(kAutoCommit, where.get(), {{2, add.get()}});
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(*updated, 2u);
+  EXPECT_EQ(ofm_->relation().Get(8)->at(2), Value::Int(801));
+}
+
+TEST_F(OfmTest, ExecutePlanOverFragment) {
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(ofm_->Insert(kAutoCommit, Acct(i, "u", 100 * i)).ok());
+  }
+  auto scan = ScanPlan::Create("acct#0", AcctSchema());
+  auto plan = SelectPlan::Create(
+      std::move(scan),
+      Expr::Binary(BinaryOp::kGe, Col("balance"), Lit(int64_t{700})));
+  ASSERT_TRUE(plan.ok());
+  auto out = ofm_->ExecutePlan(**plan);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 3u);
+  EXPECT_GT(ofm_->last_exec_stats().charged_ns, 0);
+}
+
+TEST_F(OfmTest, IndexesMaintainedAcrossWritesAndRecovery) {
+  ASSERT_TRUE(ofm_->CreateHashIndex("by_owner", {1}).ok());
+  ASSERT_TRUE(ofm_->CreateBTreeIndex("by_balance", {2}).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        ofm_->Insert(kAutoCommit, Acct(i, i % 2 ? "odd" : "even", 10 * i))
+            .ok());
+  }
+  const auto* hash = ofm_->FindHashIndex({1});
+  ASSERT_NE(hash, nullptr);
+  EXPECT_EQ(hash->Probe(Tuple({Value::String("odd")})).size(), 5u);
+
+  ASSERT_TRUE(ofm_->Delete(kAutoCommit, 1).ok());
+  EXPECT_EQ(hash->Probe(Tuple({Value::String("odd")})).size(), 4u);
+
+  const auto* btree = ofm_->FindBTreeIndex({2});
+  ASSERT_NE(btree, nullptr);
+  size_t in_range = 0;
+  btree->ScanRange(Tuple({Value::Int(20)}), true, Tuple({Value::Int(60)}),
+                   true, [&](const Tuple&, storage::RowId) {
+                     ++in_range;
+                     return true;
+                   });
+  EXPECT_EQ(in_range, 5u);  // 20,30,40,50,60.
+  EXPECT_EQ(ofm_->FindHashIndex({0}), nullptr);
+}
+
+TEST_F(OfmTest, ExecutePlanUsesLocalIndexes) {
+  ASSERT_TRUE(ofm_->CreateHashIndex("by_id", {0}).ok());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(ofm_->Insert(kAutoCommit, Acct(i, "u", i)).ok());
+  }
+  auto scan = ScanPlan::Create("acct#0", AcctSchema());
+  auto plan = SelectPlan::Create(
+      std::move(scan),
+      Expr::Binary(BinaryOp::kEq, Col("id"), Lit(int64_t{123})));
+  ASSERT_TRUE(plan.ok());
+  auto out = ofm_->ExecutePlan(**plan);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  // The OFM's local optimizer answered through the index, not a scan.
+  EXPECT_EQ(ofm_->last_exec_stats().index_selections, 1u);
+  EXPECT_EQ(ofm_->last_exec_stats().tuples_scanned, 0u);
+  // Index selection charges far less virtual CPU than a 200-row scan.
+  const sim::SimTime indexed_ns = ofm_->last_exec_stats().charged_ns;
+  Ofm::Options no_index_opts;
+  no_index_opts.type = OfmType::kQueryOnly;
+  Ofm plain("acct#0", AcctSchema(), no_index_opts);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(plain.Insert(kAutoCommit, Acct(i, "u", i)).ok());
+  }
+  auto scan2 = ScanPlan::Create("acct#0", AcctSchema());
+  auto plan2 = SelectPlan::Create(
+      std::move(scan2),
+      Expr::Binary(BinaryOp::kEq, Col("id"), Lit(int64_t{123})));
+  ASSERT_TRUE(plan2.ok());
+  ASSERT_TRUE(plain.ExecutePlan(**plan2).ok());
+  EXPECT_LT(indexed_ns, plain.last_exec_stats().charged_ns);
+}
+
+TEST_F(OfmTest, CursorWithMarkings) {
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ofm_->Insert(kAutoCommit, Acct(i, "u", i)).ok());
+  }
+  auto cursor = ofm_->OpenCursor();
+  EXPECT_EQ(cursor.Next()->at(0), Value::Int(0));
+  EXPECT_EQ(cursor.Next()->at(0), Value::Int(1));
+  cursor.Mark();
+  EXPECT_EQ(cursor.Next()->at(0), Value::Int(2));
+  EXPECT_EQ(cursor.Next()->at(0), Value::Int(3));
+  cursor.ResetToMark();
+  EXPECT_EQ(cursor.Next()->at(0), Value::Int(2));
+  while (cursor.Next().has_value()) {
+  }
+  EXPECT_FALSE(cursor.Next().has_value());
+}
+
+}  // namespace
+}  // namespace prisma::exec

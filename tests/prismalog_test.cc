@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "exec/executor.h"
+#include "prismalog/engine.h"
+#include "prismalog/parser.h"
+#include "storage/relation.h"
+
+namespace prisma::prismalog {
+namespace {
+
+// ----------------------------------------------------------------- Parser
+
+TEST(PlogParserTest, FactsRulesAndQuery) {
+  auto program = ParsePrismalog(
+      "edge(a, b).\n"
+      "edge(b, c).\n"
+      "path(X, Y) :- edge(X, Y).\n"
+      "path(X, Z) :- edge(X, Y), path(Y, Z).\n"
+      "? path(a, X).\n");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(program->rules.size(), 4u);
+  EXPECT_TRUE(program->rules[0].IsFact());
+  EXPECT_FALSE(program->rules[2].IsFact());
+  ASSERT_TRUE(program->query.has_value());
+  EXPECT_EQ(program->query->predicate, "path");
+  EXPECT_TRUE(program->query->args[1].is_variable());
+  EXPECT_EQ(program->query->args[0].constant, Value::String("a"));
+}
+
+TEST(PlogParserTest, ComparisonsNegationAndNumbers) {
+  auto program = ParsePrismalog(
+      "rich(N) :- account(N, B), B >= 1000, not broke(N).\n"
+      "cold(T) :- reading(T), T < -5.\n");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  const Rule& r = program->rules[0];
+  ASSERT_EQ(r.body.size(), 3u);
+  EXPECT_EQ(r.body[1].kind, BodyElem::Kind::kComparison);
+  EXPECT_EQ(r.body[1].cmp_op, algebra::BinaryOp::kGe);
+  EXPECT_TRUE(r.body[2].negated);
+  // Negative numeric constant.
+  EXPECT_EQ(program->rules[1].body[1].cmp_rhs.constant, Value::Int(-5));
+}
+
+TEST(PlogParserTest, QueryDashForm) {
+  auto program = ParsePrismalog("?- p(X).");
+  ASSERT_TRUE(program.ok());
+  EXPECT_TRUE(program->query.has_value());
+}
+
+TEST(PlogParserTest, Errors) {
+  EXPECT_FALSE(ParsePrismalog("p(X).").ok());             // Variable fact.
+  EXPECT_FALSE(ParsePrismalog("P(x) :- q(x).").ok());     // Upper-case pred.
+  EXPECT_FALSE(ParsePrismalog("p(a) :- q(a)").ok());      // Missing period.
+  EXPECT_FALSE(ParsePrismalog("p().").ok());              // Nullary.
+  EXPECT_FALSE(ParsePrismalog("? p(X). ? q(X).").ok());   // Two queries.
+}
+
+// ----------------------------------------------------------------- Engine
+
+class FakeCatalog : public sql::CatalogReader {
+ public:
+  StatusOr<Schema> GetTableSchema(const std::string& table) const override {
+    auto it = schemas_.find(table);
+    if (it == schemas_.end()) return NotFoundError("no table " + table);
+    return it->second;
+  }
+  void Add(const std::string& name, Schema schema) {
+    schemas_[name] = std::move(schema);
+  }
+
+ private:
+  std::map<std::string, Schema> schemas_;
+};
+
+class PlogEngineTest : public ::testing::Test {
+ protected:
+  PlogEngineTest()
+      : parent_("parent", Schema({{"child_of", DataType::kString},
+                                  {"who", DataType::kString}})),
+        account_("account", Schema({{"owner", DataType::kString},
+                                    {"balance", DataType::kInt64}})) {
+    // tom -> bob -> ann -> sue, tom -> liz.
+    AddParent("tom", "bob");
+    AddParent("tom", "liz");
+    AddParent("bob", "ann");
+    AddParent("ann", "sue");
+    account_.Insert(Tuple({Value::String("bob"), Value::Int(5000)})).value();
+    account_.Insert(Tuple({Value::String("liz"), Value::Int(10)})).value();
+    catalog_.Add("parent", parent_.schema());
+    catalog_.Add("account", account_.schema());
+    resolver_.Register("parent", &parent_);
+    resolver_.Register("account", &account_);
+  }
+
+  void AddParent(const std::string& a, const std::string& b) {
+    parent_.Insert(Tuple({Value::String(a), Value::String(b)})).value();
+  }
+
+  StatusOr<QueryResult> Query(const std::string& text,
+                              EngineOptions options = {}) {
+    ASSIGN_OR_RETURN(Program program, ParsePrismalog(text));
+    Engine engine(&resolver_, &catalog_, options);
+    auto result = engine.Run(program);
+    last_stats_ = engine.stats();
+    return result;
+  }
+
+  std::set<std::string> Names(const QueryResult& r, size_t col = 0) {
+    std::set<std::string> out;
+    for (const Tuple& t : r.tuples) out.insert(t.at(col).string_value());
+    return out;
+  }
+
+  storage::Relation parent_;
+  storage::Relation account_;
+  FakeCatalog catalog_;
+  exec::MapTableResolver resolver_;
+  EvalStats last_stats_;
+};
+
+TEST_F(PlogEngineTest, NonRecursiveRuleOverBaseTable) {
+  auto result = Query(
+      "grandparent(X, Z) :- parent(X, Y), parent(Y, Z).\n"
+      "? grandparent(X, Y).");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->schema.num_columns(), 2u);
+  EXPECT_EQ(result->tuples.size(), 2u);  // tom->ann, bob->sue.
+  EXPECT_EQ(Names(*result), (std::set<std::string>{"bob", "tom"}));
+}
+
+TEST_F(PlogEngineTest, RecursiveAncestorViaTcOperator) {
+  auto result = Query(
+      "ancestor(X, Y) :- parent(X, Y).\n"
+      "ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).\n"
+      "? ancestor(tom, X).");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(Names(*result),
+            (std::set<std::string>{"bob", "liz", "ann", "sue"}));
+  // The linear-recursion pair was routed to the TC operator (§2.5).
+  EXPECT_TRUE(last_stats_.used_tc_operator);
+}
+
+TEST_F(PlogEngineTest, RecursionWithoutTcShortcutAgrees) {
+  EngineOptions no_tc;
+  no_tc.use_tc_operator = false;
+  auto with = Query(
+      "ancestor(X, Y) :- parent(X, Y).\n"
+      "ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).\n"
+      "? ancestor(X, Y).");
+  auto without = Query(
+      "ancestor(X, Y) :- parent(X, Y).\n"
+      "ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).\n"
+      "? ancestor(X, Y).",
+      no_tc);
+  ASSERT_TRUE(with.ok() && without.ok());
+  EXPECT_FALSE(last_stats_.used_tc_operator);
+  EXPECT_EQ(with->tuples, without->tuples);
+  EXPECT_EQ(with->tuples.size(), 7u);
+}
+
+TEST_F(PlogEngineTest, RightLinearRecursionAlsoUsesTc) {
+  auto result = Query(
+      "reach(X, Y) :- parent(X, Y).\n"
+      "reach(X, Z) :- reach(X, Y), parent(Y, Z).\n"
+      "? reach(X, sue).");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(last_stats_.used_tc_operator);
+  EXPECT_EQ(Names(*result), (std::set<std::string>{"tom", "bob", "ann"}));
+}
+
+TEST_F(PlogEngineTest, ComparisonBuiltins) {
+  auto result = Query(
+      "rich(N) :- account(N, B), B >= 1000.\n"
+      "? rich(X).");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(Names(*result), (std::set<std::string>{"bob"}));
+}
+
+TEST_F(PlogEngineTest, StratifiedNegation) {
+  auto result = Query(
+      "has_child(X) :- parent(X, Y).\n"
+      "leaf(X) :- parent(Y, X), not has_child(X).\n"
+      "? leaf(X).");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(Names(*result), (std::set<std::string>{"liz", "sue"}));
+  EXPECT_GE(last_stats_.num_strata, 2);
+}
+
+TEST_F(PlogEngineTest, UnstratifiableProgramRejected) {
+  auto result = Query(
+      "p(X) :- parent(X, Y), not q(X).\n"
+      "q(X) :- parent(X, Y), not p(X).\n"
+      "? p(X).");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("stratifiable"),
+            std::string::npos);
+}
+
+TEST_F(PlogEngineTest, FactsInProgram) {
+  auto result = Query(
+      "likes(alice, databases).\n"
+      "likes(bob, networks).\n"
+      "likes(X, prisma) :- likes(X, databases).\n"
+      "? likes(X, prisma).");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(Names(*result), (std::set<std::string>{"alice"}));
+}
+
+TEST_F(PlogEngineTest, GroundQueryAnswersBool) {
+  auto yes = Query(
+      "ancestor(X, Y) :- parent(X, Y).\n"
+      "ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).\n"
+      "? ancestor(tom, sue).");
+  ASSERT_TRUE(yes.ok());
+  ASSERT_EQ(yes->tuples.size(), 1u);
+  EXPECT_EQ(yes->tuples[0].at(0), Value::Bool(true));
+
+  auto no = Query(
+      "ancestor(X, Y) :- parent(X, Y).\n"
+      "? ancestor(sue, tom).");
+  ASSERT_TRUE(no.ok());
+  EXPECT_EQ(no->tuples[0].at(0), Value::Bool(false));
+}
+
+TEST_F(PlogEngineTest, RepeatedQueryVariable) {
+  // self(X, X) pattern: who is their own ancestor? (none, acyclic).
+  auto result = Query(
+      "ancestor(X, Y) :- parent(X, Y).\n"
+      "ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).\n"
+      "? ancestor(X, X).");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->tuples.empty());
+}
+
+TEST_F(PlogEngineTest, MutualRecursionEvaluates) {
+  // Even/odd distance from tom, via mutual recursion (one SCC, 2 preds).
+  auto result = Query(
+      "even(tom).\n"
+      "odd(Y) :- even(X), parent(X, Y).\n"
+      "even(Y) :- odd(X), parent(X, Y).\n"
+      "? odd(X).");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Odd depth: bob, liz (1), sue (3).
+  EXPECT_EQ(Names(*result), (std::set<std::string>{"bob", "liz", "sue"}));
+  EXPECT_FALSE(last_stats_.used_tc_operator);
+}
+
+TEST_F(PlogEngineTest, SemanticErrors) {
+  // Unknown predicate (not EDB, no rules).
+  EXPECT_FALSE(Query("p(X) :- ghost(X). ? p(X).").ok());
+  // Arity mismatch with the base table.
+  EXPECT_FALSE(Query("p(X) :- parent(X). ? p(X).").ok());
+  // Inconsistent arity across uses.
+  EXPECT_FALSE(Query("p(X) :- parent(X, Y). p(X, Y) :- parent(X, Y). "
+                     "? p(X).")
+                   .ok());
+  // Not range-restricted: head variable unbound.
+  EXPECT_FALSE(Query("p(X, W) :- parent(X, Y). ? p(X, W).").ok());
+  // Negated variable unbound.
+  EXPECT_FALSE(Query("p(X) :- parent(X, Y), not account(Z, B). ? p(X).").ok());
+  // Rule head collides with a base table.
+  EXPECT_FALSE(Query("parent(X, Y) :- account(X, Y). ? parent(X, Y).").ok());
+  // No query.
+  EXPECT_FALSE(Query("p(X) :- parent(X, Y).").ok());
+}
+
+TEST_F(PlogEngineTest, EvaluatePredicateExposesFullExtension) {
+  auto program = ParsePrismalog(
+      "ancestor(X, Y) :- parent(X, Y).\n"
+      "ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).\n"
+      "? ancestor(X, Y).");
+  ASSERT_TRUE(program.ok());
+  Engine engine(&resolver_, &catalog_);
+  auto ext = engine.EvaluatePredicate(*program, "ancestor");
+  ASSERT_TRUE(ext.ok());
+  EXPECT_EQ(ext->size(), 7u);
+  // EDB predicates work too.
+  auto edb = engine.EvaluatePredicate(*program, "parent");
+  ASSERT_TRUE(edb.ok());
+  EXPECT_EQ(edb->size(), 4u);
+}
+
+TEST_F(PlogEngineTest, TcAlgorithmsAgreeEndToEnd) {
+  const char* program =
+      "ancestor(X, Y) :- parent(X, Y).\n"
+      "ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).\n"
+      "? ancestor(X, Y).";
+  std::vector<Tuple> reference;
+  for (auto alg : {exec::TcAlgorithm::kNaive, exec::TcAlgorithm::kSeminaive,
+                   exec::TcAlgorithm::kSmart}) {
+    EngineOptions options;
+    options.tc_algorithm = alg;
+    auto result = Query(program, options);
+    ASSERT_TRUE(result.ok());
+    if (reference.empty()) {
+      reference = result->tuples;
+    } else {
+      EXPECT_EQ(result->tuples, reference);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prisma::prismalog

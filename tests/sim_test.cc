@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace prisma::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtZeroWithNoEvents) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(30, [&] { order.push_back(3); });
+  sim.Schedule(10, [&] { order.push_back(1); });
+  sim.Schedule(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+  EXPECT_EQ(sim.events_executed(), 3u);
+}
+
+TEST(SimulatorTest, TiesBreakBySchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.Schedule(100, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.Schedule(5, [&] {
+    times.push_back(sim.now());
+    sim.Schedule(5, [&] { times.push_back(sim.now()); });
+  });
+  sim.Run();
+  EXPECT_EQ(times, (std::vector<SimTime>{5, 10}));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(10, [&] { ++fired; });
+  sim.Schedule(20, [&] { ++fired; });
+  sim.Schedule(30, [&] { ++fired; });
+  EXPECT_EQ(sim.RunUntil(20), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 20);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.Run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockOnEmptyQueue) {
+  Simulator sim;
+  sim.RunUntil(500);
+  EXPECT_EQ(sim.now(), 500);
+}
+
+TEST(SimulatorTest, RunWithEventCap) {
+  Simulator sim;
+  int fired = 0;
+  // A self-perpetuating event chain; the cap must stop it.
+  std::function<void()> tick = [&] {
+    ++fired;
+    sim.Schedule(1, tick);
+  };
+  sim.Schedule(1, tick);
+  EXPECT_EQ(sim.Run(100), 100u);
+  EXPECT_EQ(fired, 100);
+}
+
+TEST(SimulatorTest, CancelledEventDoesNotRun) {
+  Simulator sim;
+  int fired = 0;
+  const EventId id = sim.Schedule(10, [&] { ++fired; });
+  sim.Schedule(20, [&] { ++fired; });
+  sim.Cancel(id);
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 20);
+}
+
+TEST(SimulatorTest, CancelledTailDoesNotAdvanceClock) {
+  // A late timer that gets cancelled must not drag the clock (the whole
+  // point of cancellable timeouts: makespans stay meaningful).
+  Simulator sim;
+  const EventId timeout = sim.Schedule(1'000'000, [] {});
+  sim.Schedule(5, [&] { sim.Cancel(timeout); });
+  sim.Run();
+  EXPECT_EQ(sim.now(), 5);
+}
+
+TEST(SimulatorTest, CancelAfterExecutionIsHarmless) {
+  Simulator sim;
+  int fired = 0;
+  const EventId id = sim.Schedule(1, [&] { ++fired; });
+  sim.Run();
+  sim.Cancel(id);  // Already ran; must not affect future events.
+  sim.Schedule(1, [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, RunUntilSkipsCancelledFront) {
+  Simulator sim;
+  int fired = 0;
+  const EventId early = sim.Schedule(10, [&] { ++fired; });
+  sim.Schedule(50, [&] { ++fired; });
+  sim.Schedule(99999, [&] { ++fired; });
+  sim.Cancel(early);
+  EXPECT_EQ(sim.RunUntil(60), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 60);
+}
+
+TEST(SimulatorTest, ZeroDelayRunsAtCurrentTime) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.Schedule(7, [&] {
+    sim.Schedule(0, [&] { seen = sim.now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(seen, 7);
+}
+
+}  // namespace
+}  // namespace prisma::sim
