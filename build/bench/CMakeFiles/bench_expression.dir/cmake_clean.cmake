@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_expression.dir/bench_expression.cc.o"
+  "CMakeFiles/bench_expression.dir/bench_expression.cc.o.d"
+  "bench_expression"
+  "bench_expression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_expression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_main_memory.dir/bench_main_memory.cc.o"
+  "CMakeFiles/bench_main_memory.dir/bench_main_memory.cc.o.d"
+  "bench_main_memory"
+  "bench_main_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_main_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

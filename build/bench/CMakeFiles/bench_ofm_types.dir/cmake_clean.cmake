@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ofm_types.dir/bench_ofm_types.cc.o"
+  "CMakeFiles/bench_ofm_types.dir/bench_ofm_types.cc.o.d"
+  "bench_ofm_types"
+  "bench_ofm_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ofm_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_optimizer.cc" "bench/CMakeFiles/bench_optimizer.dir/bench_optimizer.cc.o" "gcc" "bench/CMakeFiles/bench_optimizer.dir/bench_optimizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/prisma_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gdh/CMakeFiles/prisma_gdh.dir/DependInfo.cmake"
+  "/root/repo/build/src/prismalog/CMakeFiles/prisma_prismalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/prisma_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/prisma_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/prisma_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/pool/CMakeFiles/prisma_pool.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/prisma_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/prisma_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/prisma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/prisma_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

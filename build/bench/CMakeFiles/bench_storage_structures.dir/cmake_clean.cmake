@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_storage_structures.dir/bench_storage_structures.cc.o"
+  "CMakeFiles/bench_storage_structures.dir/bench_storage_structures.cc.o.d"
+  "bench_storage_structures"
+  "bench_storage_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_storage_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genealogy.dir/genealogy.cpp.o"
+  "CMakeFiles/genealogy.dir/genealogy.cpp.o.d"
+  "genealogy"
+  "genealogy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genealogy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_analytics.dir/parallel_analytics.cpp.o"
+  "CMakeFiles/parallel_analytics.dir/parallel_analytics.cpp.o.d"
+  "parallel_analytics"
+  "parallel_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

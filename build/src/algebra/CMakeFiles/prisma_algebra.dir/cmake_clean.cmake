@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prisma_algebra.dir/expr.cc.o"
+  "CMakeFiles/prisma_algebra.dir/expr.cc.o.d"
+  "CMakeFiles/prisma_algebra.dir/plan.cc.o"
+  "CMakeFiles/prisma_algebra.dir/plan.cc.o.d"
+  "libprisma_algebra.a"
+  "libprisma_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prisma_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

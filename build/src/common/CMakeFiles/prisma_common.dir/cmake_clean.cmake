@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prisma_common.dir/schema.cc.o"
+  "CMakeFiles/prisma_common.dir/schema.cc.o.d"
+  "CMakeFiles/prisma_common.dir/serialize.cc.o"
+  "CMakeFiles/prisma_common.dir/serialize.cc.o.d"
+  "CMakeFiles/prisma_common.dir/status.cc.o"
+  "CMakeFiles/prisma_common.dir/status.cc.o.d"
+  "CMakeFiles/prisma_common.dir/str_util.cc.o"
+  "CMakeFiles/prisma_common.dir/str_util.cc.o.d"
+  "CMakeFiles/prisma_common.dir/tuple.cc.o"
+  "CMakeFiles/prisma_common.dir/tuple.cc.o.d"
+  "CMakeFiles/prisma_common.dir/value.cc.o"
+  "CMakeFiles/prisma_common.dir/value.cc.o.d"
+  "libprisma_common.a"
+  "libprisma_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prisma_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prisma_core.dir/prisma_db.cc.o"
+  "CMakeFiles/prisma_core.dir/prisma_db.cc.o.d"
+  "libprisma_core.a"
+  "libprisma_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prisma_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

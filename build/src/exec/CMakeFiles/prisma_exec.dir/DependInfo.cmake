@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/executor.cc" "src/exec/CMakeFiles/prisma_exec.dir/executor.cc.o" "gcc" "src/exec/CMakeFiles/prisma_exec.dir/executor.cc.o.d"
+  "/root/repo/src/exec/expr_compiler.cc" "src/exec/CMakeFiles/prisma_exec.dir/expr_compiler.cc.o" "gcc" "src/exec/CMakeFiles/prisma_exec.dir/expr_compiler.cc.o.d"
+  "/root/repo/src/exec/expr_eval.cc" "src/exec/CMakeFiles/prisma_exec.dir/expr_eval.cc.o" "gcc" "src/exec/CMakeFiles/prisma_exec.dir/expr_eval.cc.o.d"
+  "/root/repo/src/exec/join.cc" "src/exec/CMakeFiles/prisma_exec.dir/join.cc.o" "gcc" "src/exec/CMakeFiles/prisma_exec.dir/join.cc.o.d"
+  "/root/repo/src/exec/ofm.cc" "src/exec/CMakeFiles/prisma_exec.dir/ofm.cc.o" "gcc" "src/exec/CMakeFiles/prisma_exec.dir/ofm.cc.o.d"
+  "/root/repo/src/exec/transitive_closure.cc" "src/exec/CMakeFiles/prisma_exec.dir/transitive_closure.cc.o" "gcc" "src/exec/CMakeFiles/prisma_exec.dir/transitive_closure.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algebra/CMakeFiles/prisma_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/prisma_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pool/CMakeFiles/prisma_pool.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/prisma_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/prisma_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/prisma_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

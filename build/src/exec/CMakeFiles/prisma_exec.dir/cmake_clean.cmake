@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prisma_exec.dir/executor.cc.o"
+  "CMakeFiles/prisma_exec.dir/executor.cc.o.d"
+  "CMakeFiles/prisma_exec.dir/expr_compiler.cc.o"
+  "CMakeFiles/prisma_exec.dir/expr_compiler.cc.o.d"
+  "CMakeFiles/prisma_exec.dir/expr_eval.cc.o"
+  "CMakeFiles/prisma_exec.dir/expr_eval.cc.o.d"
+  "CMakeFiles/prisma_exec.dir/join.cc.o"
+  "CMakeFiles/prisma_exec.dir/join.cc.o.d"
+  "CMakeFiles/prisma_exec.dir/ofm.cc.o"
+  "CMakeFiles/prisma_exec.dir/ofm.cc.o.d"
+  "CMakeFiles/prisma_exec.dir/transitive_closure.cc.o"
+  "CMakeFiles/prisma_exec.dir/transitive_closure.cc.o.d"
+  "libprisma_exec.a"
+  "libprisma_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prisma_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

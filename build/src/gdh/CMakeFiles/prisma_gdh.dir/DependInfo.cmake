@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gdh/data_dictionary.cc" "src/gdh/CMakeFiles/prisma_gdh.dir/data_dictionary.cc.o" "gcc" "src/gdh/CMakeFiles/prisma_gdh.dir/data_dictionary.cc.o.d"
+  "/root/repo/src/gdh/distributed_plan.cc" "src/gdh/CMakeFiles/prisma_gdh.dir/distributed_plan.cc.o" "gcc" "src/gdh/CMakeFiles/prisma_gdh.dir/distributed_plan.cc.o.d"
+  "/root/repo/src/gdh/fragmentation.cc" "src/gdh/CMakeFiles/prisma_gdh.dir/fragmentation.cc.o" "gcc" "src/gdh/CMakeFiles/prisma_gdh.dir/fragmentation.cc.o.d"
+  "/root/repo/src/gdh/gdh_process.cc" "src/gdh/CMakeFiles/prisma_gdh.dir/gdh_process.cc.o" "gcc" "src/gdh/CMakeFiles/prisma_gdh.dir/gdh_process.cc.o.d"
+  "/root/repo/src/gdh/lock_manager.cc" "src/gdh/CMakeFiles/prisma_gdh.dir/lock_manager.cc.o" "gcc" "src/gdh/CMakeFiles/prisma_gdh.dir/lock_manager.cc.o.d"
+  "/root/repo/src/gdh/messages.cc" "src/gdh/CMakeFiles/prisma_gdh.dir/messages.cc.o" "gcc" "src/gdh/CMakeFiles/prisma_gdh.dir/messages.cc.o.d"
+  "/root/repo/src/gdh/ofm_process.cc" "src/gdh/CMakeFiles/prisma_gdh.dir/ofm_process.cc.o" "gcc" "src/gdh/CMakeFiles/prisma_gdh.dir/ofm_process.cc.o.d"
+  "/root/repo/src/gdh/optimizer.cc" "src/gdh/CMakeFiles/prisma_gdh.dir/optimizer.cc.o" "gcc" "src/gdh/CMakeFiles/prisma_gdh.dir/optimizer.cc.o.d"
+  "/root/repo/src/gdh/query_process.cc" "src/gdh/CMakeFiles/prisma_gdh.dir/query_process.cc.o" "gcc" "src/gdh/CMakeFiles/prisma_gdh.dir/query_process.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algebra/CMakeFiles/prisma_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/prisma_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/prisma_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/prisma_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pool/CMakeFiles/prisma_pool.dir/DependInfo.cmake"
+  "/root/repo/build/src/prismalog/CMakeFiles/prisma_prismalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/prisma_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/prisma_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/prisma_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

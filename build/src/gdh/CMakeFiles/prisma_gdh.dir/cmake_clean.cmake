@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prisma_gdh.dir/data_dictionary.cc.o"
+  "CMakeFiles/prisma_gdh.dir/data_dictionary.cc.o.d"
+  "CMakeFiles/prisma_gdh.dir/distributed_plan.cc.o"
+  "CMakeFiles/prisma_gdh.dir/distributed_plan.cc.o.d"
+  "CMakeFiles/prisma_gdh.dir/fragmentation.cc.o"
+  "CMakeFiles/prisma_gdh.dir/fragmentation.cc.o.d"
+  "CMakeFiles/prisma_gdh.dir/gdh_process.cc.o"
+  "CMakeFiles/prisma_gdh.dir/gdh_process.cc.o.d"
+  "CMakeFiles/prisma_gdh.dir/lock_manager.cc.o"
+  "CMakeFiles/prisma_gdh.dir/lock_manager.cc.o.d"
+  "CMakeFiles/prisma_gdh.dir/messages.cc.o"
+  "CMakeFiles/prisma_gdh.dir/messages.cc.o.d"
+  "CMakeFiles/prisma_gdh.dir/ofm_process.cc.o"
+  "CMakeFiles/prisma_gdh.dir/ofm_process.cc.o.d"
+  "CMakeFiles/prisma_gdh.dir/optimizer.cc.o"
+  "CMakeFiles/prisma_gdh.dir/optimizer.cc.o.d"
+  "CMakeFiles/prisma_gdh.dir/query_process.cc.o"
+  "CMakeFiles/prisma_gdh.dir/query_process.cc.o.d"
+  "libprisma_gdh.a"
+  "libprisma_gdh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prisma_gdh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

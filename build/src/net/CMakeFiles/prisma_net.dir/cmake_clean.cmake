@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prisma_net.dir/network.cc.o"
+  "CMakeFiles/prisma_net.dir/network.cc.o.d"
+  "CMakeFiles/prisma_net.dir/topology.cc.o"
+  "CMakeFiles/prisma_net.dir/topology.cc.o.d"
+  "CMakeFiles/prisma_net.dir/traffic.cc.o"
+  "CMakeFiles/prisma_net.dir/traffic.cc.o.d"
+  "libprisma_net.a"
+  "libprisma_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prisma_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

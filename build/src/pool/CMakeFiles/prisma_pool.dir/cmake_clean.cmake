@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prisma_pool.dir/runtime.cc.o"
+  "CMakeFiles/prisma_pool.dir/runtime.cc.o.d"
+  "libprisma_pool.a"
+  "libprisma_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prisma_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prisma_prismalog.dir/ast.cc.o"
+  "CMakeFiles/prisma_prismalog.dir/ast.cc.o.d"
+  "CMakeFiles/prisma_prismalog.dir/engine.cc.o"
+  "CMakeFiles/prisma_prismalog.dir/engine.cc.o.d"
+  "CMakeFiles/prisma_prismalog.dir/parser.cc.o"
+  "CMakeFiles/prisma_prismalog.dir/parser.cc.o.d"
+  "libprisma_prismalog.a"
+  "libprisma_prismalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prisma_prismalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for prisma_prismalog.
+# This may be replaced when dependencies are built.

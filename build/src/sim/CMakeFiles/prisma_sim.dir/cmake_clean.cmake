@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prisma_sim.dir/simulator.cc.o"
+  "CMakeFiles/prisma_sim.dir/simulator.cc.o.d"
+  "libprisma_sim.a"
+  "libprisma_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prisma_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

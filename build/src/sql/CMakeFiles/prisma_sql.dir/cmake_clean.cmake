@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prisma_sql.dir/ast.cc.o"
+  "CMakeFiles/prisma_sql.dir/ast.cc.o.d"
+  "CMakeFiles/prisma_sql.dir/binder.cc.o"
+  "CMakeFiles/prisma_sql.dir/binder.cc.o.d"
+  "CMakeFiles/prisma_sql.dir/lexer.cc.o"
+  "CMakeFiles/prisma_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/prisma_sql.dir/parser.cc.o"
+  "CMakeFiles/prisma_sql.dir/parser.cc.o.d"
+  "libprisma_sql.a"
+  "libprisma_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prisma_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/btree_index.cc" "src/storage/CMakeFiles/prisma_storage.dir/btree_index.cc.o" "gcc" "src/storage/CMakeFiles/prisma_storage.dir/btree_index.cc.o.d"
+  "/root/repo/src/storage/hash_index.cc" "src/storage/CMakeFiles/prisma_storage.dir/hash_index.cc.o" "gcc" "src/storage/CMakeFiles/prisma_storage.dir/hash_index.cc.o.d"
+  "/root/repo/src/storage/memory_tracker.cc" "src/storage/CMakeFiles/prisma_storage.dir/memory_tracker.cc.o" "gcc" "src/storage/CMakeFiles/prisma_storage.dir/memory_tracker.cc.o.d"
+  "/root/repo/src/storage/relation.cc" "src/storage/CMakeFiles/prisma_storage.dir/relation.cc.o" "gcc" "src/storage/CMakeFiles/prisma_storage.dir/relation.cc.o.d"
+  "/root/repo/src/storage/stable_store.cc" "src/storage/CMakeFiles/prisma_storage.dir/stable_store.cc.o" "gcc" "src/storage/CMakeFiles/prisma_storage.dir/stable_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prisma_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/prisma_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prisma_storage.dir/btree_index.cc.o"
+  "CMakeFiles/prisma_storage.dir/btree_index.cc.o.d"
+  "CMakeFiles/prisma_storage.dir/hash_index.cc.o"
+  "CMakeFiles/prisma_storage.dir/hash_index.cc.o.d"
+  "CMakeFiles/prisma_storage.dir/memory_tracker.cc.o"
+  "CMakeFiles/prisma_storage.dir/memory_tracker.cc.o.d"
+  "CMakeFiles/prisma_storage.dir/relation.cc.o"
+  "CMakeFiles/prisma_storage.dir/relation.cc.o.d"
+  "CMakeFiles/prisma_storage.dir/stable_store.cc.o"
+  "CMakeFiles/prisma_storage.dir/stable_store.cc.o.d"
+  "libprisma_storage.a"
+  "libprisma_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prisma_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

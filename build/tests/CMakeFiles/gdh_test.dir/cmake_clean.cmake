@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdh_test.dir/gdh_test.cc.o"
+  "CMakeFiles/gdh_test.dir/gdh_test.cc.o.d"
+  "gdh_test"
+  "gdh_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofm_test.dir/ofm_test.cc.o"
+  "CMakeFiles/ofm_test.dir/ofm_test.cc.o.d"
+  "ofm_test"
+  "ofm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prismalog_test.dir/prismalog_test.cc.o"
+  "CMakeFiles/prismalog_test.dir/prismalog_test.cc.o.d"
+  "prismalog_test"
+  "prismalog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prismalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

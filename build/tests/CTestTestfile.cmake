@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;7;prisma_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sim_test "/root/repo/build/tests/sim_test")
+set_tests_properties(sim_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;8;prisma_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(net_test "/root/repo/build/tests/net_test")
+set_tests_properties(net_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;9;prisma_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(pool_test "/root/repo/build/tests/pool_test")
+set_tests_properties(pool_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;10;prisma_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(storage_test "/root/repo/build/tests/storage_test")
+set_tests_properties(storage_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;11;prisma_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(expr_test "/root/repo/build/tests/expr_test")
+set_tests_properties(expr_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;12;prisma_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(exec_test "/root/repo/build/tests/exec_test")
+set_tests_properties(exec_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;13;prisma_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ofm_test "/root/repo/build/tests/ofm_test")
+set_tests_properties(ofm_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;14;prisma_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sql_test "/root/repo/build/tests/sql_test")
+set_tests_properties(sql_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;15;prisma_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(prismalog_test "/root/repo/build/tests/prismalog_test")
+set_tests_properties(prismalog_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;16;prisma_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_test "/root/repo/build/tests/core_test")
+set_tests_properties(core_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;17;prisma_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(gdh_test "/root/repo/build/tests/gdh_test")
+set_tests_properties(gdh_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;18;prisma_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(algebra_test "/root/repo/build/tests/algebra_test")
+set_tests_properties(algebra_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;19;prisma_test;/root/repo/tests/CMakeLists.txt;0;")
