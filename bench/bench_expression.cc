@@ -13,10 +13,12 @@
 #include <memory>
 
 #include "algebra/expr.h"
+#include "bench_util.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "exec/expr_compiler.h"
 #include "exec/expr_eval.h"
+#include "obs/metrics.h"
 
 using namespace prisma;           // NOLINT: bench convenience.
 using namespace prisma::algebra;  // NOLINT
@@ -162,6 +164,44 @@ void BM_CompileExpr(benchmark::State& state) {
 }
 BENCHMARK(BM_CompileExpr);
 
+/// Smoke mode: skip google-benchmark's timing loops and instead check that
+/// the interpreter and the compiled VM agree on every tuple, streaming the
+/// evaluation counts through a metrics registry.
+int RunSmoke() {
+  prisma::obs::MetricsRegistry registry;
+  const auto tuples = BenchTuples(256);
+  for (int complexity = 0; complexity < 3; ++complexity) {
+    auto expr = MakePredicate(complexity);
+    auto compiled = exec::CompileExpr(*expr);
+    PRISMA_CHECK(compiled.ok());
+    const prisma::obs::Labels labels = {
+        {"complexity", std::to_string(complexity)}};
+    prisma::obs::Counter* evals = registry.GetCounter("e4.evals", labels);
+    prisma::obs::Counter* matches = registry.GetCounter("e4.matches", labels);
+    for (const Tuple& t : tuples) {
+      const auto interpreted = exec::EvalPredicate(*expr, t);
+      const auto vm = compiled->EvalPredicate(t);
+      PRISMA_CHECK(interpreted.ok() && vm.ok());
+      PRISMA_CHECK(*interpreted == *vm)
+          << "interpreter/VM divergence at complexity " << complexity;
+      evals->Increment();
+      if (*vm) matches->Increment();
+    }
+  }
+  std::printf("E4 (smoke): interpreter and compiled VM agree on %zu tuples "
+              "x 3 predicates\n",
+              tuples.size());
+  prisma::bench::PrintCounterSeries(registry, {"e4.evals", "e4.matches"});
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (prisma::bench::SmokeMode(argc, argv)) return RunSmoke();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

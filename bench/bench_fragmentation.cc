@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_util.h"
 #include "common/logging.h"
 #include "common/str_util.h"
 #include "core/prisma_db.h"
@@ -23,8 +24,8 @@ using prisma::core::PrismaDb;
 
 namespace {
 
-constexpr int kRows = 20'000;
-constexpr int kLookups = 30;
+int kRows = 20'000;
+int kLookups = 30;
 
 struct Outcome {
   double lookup_ms_avg = 0;
@@ -54,7 +55,9 @@ Outcome RunStrategy(const char* clause) {
   }
 
   Outcome out;
-  const int64_t bits_before = db.network().stats().link_bits;
+  // Link traffic from the registry series the network maintains.
+  const int64_t bits_before =
+      static_cast<int64_t>(db.metrics().CounterValue("net.link_bits"));
   double lookup_ns = 0;
   for (int i = 0; i < kLookups; ++i) {
     const int id = ((i * 997) % kRows) * 50;
@@ -63,7 +66,10 @@ Outcome RunStrategy(const char* clause) {
             .response_time_ns);
   }
   out.lookup_mbits =
-      static_cast<double>(db.network().stats().link_bits - bits_before) / 1e6;
+      static_cast<double>(
+          static_cast<int64_t>(db.metrics().CounterValue("net.link_bits")) -
+          bits_before) /
+      1e6;
   out.lookup_ms_avg = lookup_ns / kLookups / 1e6;
 
   double update_ns = 0;
@@ -123,11 +129,14 @@ void JoinPlacementExperiment() {
     }
     must(db.Execute(dim_sql));
 
-    const int64_t bits_before = db.network().stats().link_bits;
+    const int64_t bits_before =
+        static_cast<int64_t>(db.metrics().CounterValue("net.link_bits"));
     auto joined = must(db.Execute(
         "SELECT f.v, d.label FROM fact f JOIN dim d ON f.k = d.k"));
     const double traffic_mb =
-        static_cast<double>(db.network().stats().link_bits - bits_before) /
+        static_cast<double>(
+            static_cast<int64_t>(db.metrics().CounterValue("net.link_bits")) -
+            bits_before) /
         1e6;
     std::printf("%-36s %14.2f %18.2f\n",
                 colocated ? "co-located (join inside the PEs)"
@@ -139,8 +148,14 @@ void JoinPlacementExperiment() {
 
 }  // namespace
 
-int main() {
-  std::printf("E9: fragmentation strategy vs statement footprint\n");
+int main(int argc, char** argv) {
+  const bool smoke = prisma::bench::SmokeMode(argc, argv);
+  if (smoke) {
+    kRows = 2'000;
+    kLookups = 5;
+  }
+  std::printf("E9: fragmentation strategy vs statement footprint%s\n",
+              smoke ? " (smoke)" : "");
   std::printf("relation: %d rows, 16 fragments, 64-PE machine; %d point "
               "lookups + %d point updates\n\n",
               kRows, kLookups, kLookups);

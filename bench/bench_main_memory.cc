@@ -13,12 +13,15 @@
 // only.
 
 #include <cstdio>
+#include <vector>
 
 #include "algebra/expr.h"
 #include "algebra/plan.h"
+#include "bench_util.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "exec/executor.h"
+#include "obs/metrics.h"
 #include "storage/relation.h"
 #include "storage/stable_store.h"
 
@@ -53,8 +56,10 @@ struct Workload {
 
 }  // namespace
 
-int main() {
-  std::printf("E3: main-memory vs disk-resident processing (simulated)\n");
+int main(int argc, char** argv) {
+  const bool smoke = prisma::bench::SmokeMode(argc, argv);
+  std::printf("E3: main-memory vs disk-resident processing (simulated)%s\n",
+              smoke ? " (smoke)" : "");
   std::printf("disk model: %.0f ms access, %.1f MB/s transfer\n",
               storage::DiskModel().access_ns / 1e6,
               storage::DiskModel().bandwidth_bytes_per_sec / 1e6);
@@ -62,7 +67,11 @@ int main() {
               "disk ms", "ratio");
 
   const storage::DiskModel disk;
-  for (const int rows : {1'000, 10'000, 100'000}) {
+  prisma::obs::MetricsRegistry registry;
+  const std::vector<int> row_sweep =
+      smoke ? std::vector<int>{1'000} : std::vector<int>{1'000, 10'000,
+                                                         100'000};
+  for (const int rows : row_sweep) {
     auto sales = MakeSales(rows);
     exec::MapTableResolver resolver;
     resolver.Register("sales", sales.get());
@@ -124,10 +133,17 @@ int main() {
       const double io_ms = static_cast<double>(disk.IoNs(sales->byte_size())) /
                            1e6 * w.disk_sweeps;
       const double disk_ms = memory_ms + io_ms;
+      const prisma::obs::Labels labels = {
+          {"rows", std::to_string(rows)}, {"workload", w.name}};
+      registry.GetGauge("e3.memory_ns", labels)
+          ->Set(executor.stats().charged_ns);
+      registry.GetCounter("e3.tuples_scanned", labels)
+          ->Increment(executor.stats().tuples_scanned);
       std::printf("%-8d %-12s %14.3f %14.3f %8.1fx\n", rows, w.name,
                   memory_ms, disk_ms, disk_ms / memory_ms);
     }
   }
+  prisma::bench::PrintCounterSeries(registry, {"e3.tuples_scanned"});
   std::printf(
       "\nreading: main-memory evaluation wins by the I/O-to-CPU gap — an "
       "order of\nmagnitude and more at small sizes where positioning time "

@@ -15,7 +15,9 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "bench_util.h"
 #include "common/logging.h"
 #include "common/str_util.h"
 #include "core/prisma_db.h"
@@ -26,7 +28,8 @@ using prisma::core::PrismaDb;
 
 namespace {
 
-constexpr int kRows = 10'000;
+int kRows = 10'000;
+bool g_smoke = false;
 
 std::unique_ptr<PrismaDb> MakeLoadedDb() {
   auto db = std::make_unique<PrismaDb>(MachineConfig{});
@@ -51,7 +54,9 @@ void ReadThroughput() {
   std::printf("--- (a) concurrent read-only queries ---\n");
   std::printf("%-8s %14s %16s %14s\n", "clients", "makespan ms",
               "queries/sim-sec", "avg resp ms");
-  for (const int clients : {1, 2, 4, 8, 16, 32}) {
+  const std::vector<int> client_sweep =
+      g_smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8, 16, 32};
+  for (const int clients : client_sweep) {
     auto db = MakeLoadedDb();
     const prisma::sim::SimTime begin = db->simulator().now();
     int done = 0;
@@ -77,13 +82,16 @@ void ReadThroughput() {
 }
 
 void ConflictSweep() {
-  std::printf("\n--- (b) 32 concurrent updates: conflicting vs spread ---\n");
-  std::printf("%-22s %14s %14s\n", "target", "makespan ms", "throughput/s");
+  const int kClients = g_smoke ? 8 : 32;
+  std::printf("\n--- (b) %d concurrent updates: conflicting vs spread ---\n",
+              kClients);
+  std::printf("%-22s %14s %14s %10s %10s\n", "target", "makespan ms",
+              "throughput/s", "waits", "commits");
   for (const bool spread : {false, true}) {
     auto db = MakeLoadedDb();
     const prisma::sim::SimTime begin = db->simulator().now();
     int done = 0;
-    for (int c = 0; c < 32; ++c) {
+    for (int c = 0; c < kClients; ++c) {
       // Same id -> same fragment -> X-lock conflicts; spread ids cover
       // all 16 fragments.
       const int id = spread ? c * 313 % kRows : 7;
@@ -96,12 +104,17 @@ void ConflictSweep() {
           });
     }
     db->Run();
-    PRISMA_CHECK(done == 32);
+    PRISMA_CHECK(done == kClients);
     const double makespan_ms =
         static_cast<double>(db->simulator().now() - begin) / 1e6;
-    std::printf("%-22s %14.2f %14.1f\n",
+    db->DumpMetrics();  // Sync derived gauges (lock.waits).
+    std::printf("%-22s %14.2f %14.1f %10lld %10llu\n",
                 spread ? "spread (16 fragments)" : "one hot fragment",
-                makespan_ms, 32 / (makespan_ms / 1000.0));
+                makespan_ms, kClients / (makespan_ms / 1000.0),
+                static_cast<long long>(
+                    db->metrics().GaugeValue("lock.waits")),
+                static_cast<unsigned long long>(
+                    db->metrics().CounterValue("gdh.txns_committed")));
   }
 }
 
@@ -113,7 +126,7 @@ void DeadlockSweep() {
   // updates them in opposite orders inside explicit transactions.
   int committed = 0;
   int aborted = 0;
-  const int pairs = 8;
+  const int pairs = g_smoke ? 2 : 8;
   for (int p = 0; p < pairs; ++p) {
     for (const bool forward : {true, false}) {
       const int first = forward ? 0 : 1;
@@ -122,9 +135,14 @@ void DeadlockSweep() {
       // chained callbacks.
       auto on_reply = std::make_shared<
           std::function<void(int, prisma::exec::TxnId)>>();
-      *on_reply = [&, first, second, on_reply](int step,
-                                               prisma::exec::TxnId txn) {
-        const auto next = [&, on_reply, step, txn](
+      // The stored closure holds itself only weakly (a strong capture
+      // would cycle and leak); each pending Submit callback holds the
+      // strong reference that keeps the chain alive.
+      std::weak_ptr<std::function<void(int, prisma::exec::TxnId)>> weak_reply =
+          on_reply;
+      *on_reply = [&, first, second, weak_reply](int step,
+                                                 prisma::exec::TxnId txn) {
+        const auto next = [&, on_reply = weak_reply.lock(), step, txn](
                               const prisma::gdh::ClientReply& reply,
                               prisma::sim::SimTime) {
           if (!reply.status.ok()) {
@@ -159,11 +177,12 @@ void DeadlockSweep() {
     }
   }
   db->Run();
-  const auto& stats = db->gdh().stats();
+  // Deadlock count from the registry series the GDH maintains.
   std::printf("transactions: %d committed, %d aborted "
               "(GDH saw %llu deadlock aborts)\n",
               committed, aborted,
-              static_cast<unsigned long long>(stats.deadlock_aborts));
+              static_cast<unsigned long long>(
+                  db->metrics().CounterValue("gdh.deadlock_aborts")));
   PRISMA_CHECK(committed + aborted == 2 * pairs);
   // Conservation check: every committed transaction applied exactly 2
   // increments.
@@ -175,8 +194,12 @@ void DeadlockSweep() {
 
 }  // namespace
 
-int main() {
-  std::printf("E8: multi-query parallelism under two-phase locking, 64 PEs\n\n");
+int main(int argc, char** argv) {
+  g_smoke = prisma::bench::SmokeMode(argc, argv);
+  if (g_smoke) kRows = 2'000;
+  std::printf("E8: multi-query parallelism under two-phase locking, "
+              "64 PEs%s\n\n",
+              g_smoke ? " (smoke)" : "");
   ReadThroughput();
   ConflictSweep();
   DeadlockSweep();

@@ -11,9 +11,12 @@
 // fixed load.
 
 #include <cstdio>
+#include <vector>
 
+#include "bench_util.h"
 #include "net/topology.h"
 #include "net/traffic.h"
+#include "obs/metrics.h"
 
 using prisma::net::LinkParams;
 using prisma::net::RunSyntheticTraffic;
@@ -24,19 +27,29 @@ using prisma::net::TrafficResult;
 
 namespace {
 
+/// Shared registry: every traffic run streams its packet/latency series
+/// here, and the bench reports from it at the end.
+prisma::obs::MetricsRegistry& Registry() {
+  static prisma::obs::MetricsRegistry registry;
+  return registry;
+}
+
 void PrintHeader(const char* title) {
   std::printf("\n--- %s ---\n", title);
   std::printf("%-14s %14s %14s %12s %10s\n", "topology", "offered/PE/s",
               "delivered/PE/s", "avg lat us", "peak util");
 }
 
-void RunPoint(const Topology& topology, TrafficPattern pattern,
-              double offered) {
+void RunPoint(const Topology& topology, TrafficPattern pattern, double offered,
+              bool smoke) {
   TrafficConfig config;
   config.pattern = pattern;
   config.offered_packets_per_sec_per_pe = offered;
-  config.warmup_ns = 10 * prisma::sim::kNanosPerMilli;
-  config.measure_ns = 50 * prisma::sim::kNanosPerMilli;
+  config.warmup_ns =
+      (smoke ? 1 : 10) * prisma::sim::kNanosPerMilli;
+  config.measure_ns =
+      (smoke ? 5 : 50) * prisma::sim::kNanosPerMilli;
+  config.metrics = &Registry();
   const TrafficResult r = RunSyntheticTraffic(topology, LinkParams(), config);
   std::printf("%-14s %14.0f %14.0f %12.1f %9.0f%%\n",
               topology.name().c_str(), r.offered_packets_per_sec_per_pe,
@@ -46,34 +59,42 @@ void RunPoint(const Topology& topology, TrafficPattern pattern,
 
 }  // namespace
 
-int main() {
-  std::printf("E1: network throughput of the 64-PE machine\n");
+int main(int argc, char** argv) {
+  const bool smoke = prisma::bench::SmokeMode(argc, argv);
+  std::printf("E1: network throughput of the 64-PE machine%s\n",
+              smoke ? " (smoke)" : "");
   std::printf("paper claim: up to 20,000 delivered packets (256 bit) per "
               "second per PE\n");
   std::printf("links: 4 per PE, 10 Mbit/s each; store-and-forward\n");
 
-  const Topology mesh = Topology::Mesh(8, 8);
-  const Topology chordal = Topology::ChordalRing(64, 8);
+  const Topology mesh = smoke ? Topology::Mesh(4, 4) : Topology::Mesh(8, 8);
+  const Topology chordal = smoke ? Topology::ChordalRing(16, 4)
+                                 : Topology::ChordalRing(64, 8);
   std::printf("\ntopology properties: mesh diameter=%d avg=%.2f | "
               "chordal diameter=%d avg=%.2f\n",
               mesh.Diameter(), mesh.AverageDistance(), chordal.Diameter(),
               chordal.AverageDistance());
 
+  const std::vector<double> uniform_sweep =
+      smoke ? std::vector<double>{5'000.0, 15'000.0}
+            : std::vector<double>{2'000.0,  5'000.0,  10'000.0, 15'000.0,
+                                  20'000.0, 30'000.0, 50'000.0};
   PrintHeader("offered-load sweep, uniform random traffic");
-  for (const double offered :
-       {2'000.0, 5'000.0, 10'000.0, 15'000.0, 20'000.0, 30'000.0, 50'000.0}) {
-    RunPoint(mesh, TrafficPattern::kUniform, offered);
+  for (const double offered : uniform_sweep) {
+    RunPoint(mesh, TrafficPattern::kUniform, offered, smoke);
   }
   std::printf("\n");
-  for (const double offered :
-       {2'000.0, 5'000.0, 10'000.0, 15'000.0, 20'000.0, 30'000.0, 50'000.0}) {
-    RunPoint(chordal, TrafficPattern::kUniform, offered);
+  for (const double offered : uniform_sweep) {
+    RunPoint(chordal, TrafficPattern::kUniform, offered, smoke);
   }
 
   PrintHeader("nearest-neighbour traffic (short paths) sweep");
-  for (const double offered :
-       {10'000.0, 20'000.0, 40'000.0, 60'000.0, 80'000.0}) {
-    RunPoint(mesh, TrafficPattern::kNeighbor, offered);
+  const std::vector<double> neighbor_sweep =
+      smoke ? std::vector<double>{20'000.0}
+            : std::vector<double>{10'000.0, 20'000.0, 40'000.0, 60'000.0,
+                                  80'000.0};
+  for (const double offered : neighbor_sweep) {
+    RunPoint(mesh, TrafficPattern::kNeighbor, offered, smoke);
   }
 
   PrintHeader("pattern sensitivity at 15,000 packets/s/PE offered");
@@ -83,8 +104,9 @@ int main() {
     TrafficConfig config;
     config.pattern = pattern;
     config.offered_packets_per_sec_per_pe = 15'000;
-    config.warmup_ns = 10 * prisma::sim::kNanosPerMilli;
-    config.measure_ns = 50 * prisma::sim::kNanosPerMilli;
+    config.warmup_ns = (smoke ? 1 : 10) * prisma::sim::kNanosPerMilli;
+    config.measure_ns = (smoke ? 5 : 50) * prisma::sim::kNanosPerMilli;
+    config.metrics = &Registry();
     const TrafficResult r =
         RunSyntheticTraffic(mesh, LinkParams(), config);
     std::printf("%-14s %14.0f %14.0f %12.1f %9.0f%%\n",
@@ -92,6 +114,18 @@ int main() {
                 r.offered_packets_per_sec_per_pe,
                 r.delivered_packets_per_sec_per_pe, r.average_latency_us,
                 r.peak_link_utilization * 100);
+  }
+
+  prisma::bench::PrintCounterSeries(
+      Registry(), {"net.packets_sent", "net.messages_sent",
+                   "net.messages_delivered", "net.link_bits"});
+  const prisma::obs::Histogram* latency =
+      Registry().FindHistogram("net.latency_ns");
+  if (latency != nullptr) {
+    std::printf("net.latency_ns p50=%lld p99=%lld max=%lld (all runs)\n",
+                static_cast<long long>(latency->ApproxQuantile(0.5)),
+                static_cast<long long>(latency->ApproxQuantile(0.99)),
+                static_cast<long long>(latency->max()));
   }
 
   std::printf(

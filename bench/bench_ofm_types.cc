@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
 #include "common/logging.h"
 #include "common/str_util.h"
 #include "core/prisma_db.h"
@@ -21,14 +22,16 @@ using prisma::core::PrismaDb;
 
 namespace {
 
-constexpr int kInserts = 2'000;
-constexpr int kUpdates = 200;
+int kInserts = 2'000;
+int kUpdates = 200;
 
 struct Outcome {
   double insert_ms_avg;
   double update_ms_avg;
   double total_ms;
   size_t wal_bytes;
+  /// WAL records, from the per-fragment ofm.wal_records registry series.
+  uint64_t wal_records;
 };
 
 Outcome RunWorkload(prisma::exec::OfmType type) {
@@ -43,7 +46,7 @@ Outcome RunWorkload(prisma::exec::OfmType type) {
   must(db.Execute("CREATE TABLE log (id INT, payload STRING, hits INT) "
                   "FRAGMENTED BY HASH(id) INTO 8 FRAGMENTS"));
 
-  Outcome out{0, 0, 0, 0};
+  Outcome out{0, 0, 0, 0, 0};
   const prisma::sim::SimTime begin = db.simulator().now();
   double insert_ns = 0;
   for (int base = 0; base < kInserts; base += 100) {
@@ -70,25 +73,36 @@ Outcome RunWorkload(prisma::exec::OfmType type) {
   for (int pe = 0; pe < config.pes; ++pe) {
     out.wal_bytes += db.stable_store(pe).total_bytes();
   }
+  out.wal_records = db.metrics().CounterTotal("ofm.wal_records");
   return out;
 }
 
 }  // namespace
 
-int main() {
-  std::printf("E7: full vs query-only One-Fragment Managers\n");
+int main(int argc, char** argv) {
+  const bool smoke = prisma::bench::SmokeMode(argc, argv);
+  if (smoke) {
+    kInserts = 200;
+    kUpdates = 20;
+  }
+  std::printf("E7: full vs query-only One-Fragment Managers%s\n",
+              smoke ? " (smoke)" : "");
   std::printf("workload: %d inserts (batches of 100) + %d point updates, "
               "8 fragments\n\n",
               kInserts, kUpdates);
-  std::printf("%-14s %16s %16s %12s %12s\n", "OFM type", "insert ms/stmt",
-              "update ms/stmt", "total ms", "WAL bytes");
+  std::printf("%-14s %16s %16s %12s %12s %12s\n", "OFM type",
+              "insert ms/stmt", "update ms/stmt", "total ms", "WAL bytes",
+              "WAL records");
   const Outcome full = RunWorkload(prisma::exec::OfmType::kFull);
   const Outcome query_only = RunWorkload(prisma::exec::OfmType::kQueryOnly);
-  std::printf("%-14s %16.2f %16.2f %12.1f %12zu\n", "full", full.insert_ms_avg,
-              full.update_ms_avg, full.total_ms, full.wal_bytes);
-  std::printf("%-14s %16.2f %16.2f %12.1f %12zu\n", "query_only",
+  std::printf("%-14s %16.2f %16.2f %12.1f %12zu %12llu\n", "full",
+              full.insert_ms_avg, full.update_ms_avg, full.total_ms,
+              full.wal_bytes,
+              static_cast<unsigned long long>(full.wal_records));
+  std::printf("%-14s %16.2f %16.2f %12.1f %12zu %12llu\n", "query_only",
               query_only.insert_ms_avg, query_only.update_ms_avg,
-              query_only.total_ms, query_only.wal_bytes);
+              query_only.total_ms, query_only.wal_bytes,
+              static_cast<unsigned long long>(query_only.wal_records));
   std::printf("%-14s %15.1fx %15.1fx %11.1fx\n", "ratio",
               full.insert_ms_avg / query_only.insert_ms_avg,
               full.update_ms_avg / query_only.update_ms_avg,

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
 #include "common/logging.h"
 #include "common/str_util.h"
 #include "core/prisma_db.h"
@@ -22,11 +23,12 @@ using prisma::gdh::OptimizerRules;
 
 namespace {
 
-constexpr int kOrders = 10'000;
-constexpr int kCustomers = 400;
+int kOrders = 10'000;
+int kCustomers = 400;
 constexpr int kRegions = 8;
 
-double RunQueries(const OptimizerRules& rules, double* cse_ms) {
+double RunQueries(const OptimizerRules& rules, double* cse_ms,
+                  uint64_t* tuples_scanned) {
   MachineConfig config;
   config.rules = rules;
   PrismaDb db(config);
@@ -65,6 +67,8 @@ double RunQueries(const OptimizerRules& rules, double* cse_ms) {
 
   // Chain join with a selective order predicate: pushdown + ordering by
   // size matter. FROM lists big-to-small so reordering has work to do.
+  const uint64_t scanned_before =
+      db.metrics().CounterTotal("ofm.tuples_scanned");
   auto joined = must(db.Execute(
       "SELECT r.rname, o.amount FROM orders o "
       "JOIN customer c ON o.cid = c.cid "
@@ -78,17 +82,25 @@ double RunQueries(const OptimizerRules& rules, double* cse_ms) {
       "JOIN customer b ON a.cid = b.cid "
       "WHERE a.active = 1 AND b.active = 1"));
   *cse_ms = static_cast<double>(cse.response_time_ns) / 1e6;
+  *tuples_scanned =
+      db.metrics().CounterTotal("ofm.tuples_scanned") - scanned_before;
   return join_ms;
 }
 
 }  // namespace
 
-int main() {
-  std::printf("E6: knowledge-based optimizer rule ablation\n");
+int main(int argc, char** argv) {
+  const bool smoke = prisma::bench::SmokeMode(argc, argv);
+  if (smoke) {
+    kOrders = 1'000;
+    kCustomers = 100;
+  }
+  std::printf("E6: knowledge-based optimizer rule ablation%s\n",
+              smoke ? " (smoke)" : "");
   std::printf("workload: orders(%d) x customer(%d) x region(%d), 64 PEs\n\n",
               kOrders, kCustomers, kRegions);
-  std::printf("%-28s %14s %14s\n", "rule configuration", "3-way join ms",
-              "self-join ms");
+  std::printf("%-28s %14s %14s %14s\n", "rule configuration", "3-way join ms",
+              "self-join ms", "scanned");
 
   struct Config {
     const char* name;
@@ -117,10 +129,16 @@ int main() {
       {"- parallel scheduling", sequential},
       {"no rules at all", none},
   };
-  for (const Config& c : configs) {
+  const size_t num_configs = sizeof(configs) / sizeof(configs[0]);
+  for (size_t i = 0; i < num_configs; ++i) {
+    // Smoke: only the two extremes (all rules vs none).
+    if (smoke && i != 0 && i != num_configs - 1) continue;
+    const Config& c = configs[i];
     double cse_ms = 0;
-    const double join_ms = RunQueries(c.rules, &cse_ms);
-    std::printf("%-28s %14.2f %14.2f\n", c.name, join_ms, cse_ms);
+    uint64_t scanned = 0;
+    const double join_ms = RunQueries(c.rules, &cse_ms, &scanned);
+    std::printf("%-28s %14.2f %14.2f %14llu\n", c.name, join_ms, cse_ms,
+                static_cast<unsigned long long>(scanned));
   }
   std::printf(
       "\nreading: each rule group pays for itself on the workload that "

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/logging.h"
 #include "common/str_util.h"
 #include "core/prisma_db.h"
@@ -22,16 +23,21 @@ using prisma::core::PrismaDb;
 
 namespace {
 
-constexpr int kRows = 50'000;
 constexpr int kBatch = 500;
+int g_rows = 50'000;
 
 struct Timings {
   double select_ms;
   double aggregate_ms;
   double join_ms;
+  /// Registry series for the three queries: tuples the OFMs scanned and
+  /// messages the interconnect delivered (deltas over the query phase).
+  uint64_t tuples_scanned;
+  uint64_t messages;
 };
 
 Timings RunWithFragments(int fragments) {
+  const int kRows = g_rows;
   PrismaDb db{MachineConfig()};  // 64 PEs.
   auto must = [](auto&& r) {
     PRISMA_CHECK(r.ok()) << r.status().ToString();
@@ -58,6 +64,9 @@ Timings RunWithFragments(int fragments) {
   }
 
   Timings t;
+  const uint64_t scanned_before = db.metrics().CounterTotal("ofm.tuples_scanned");
+  const uint64_t messages_before =
+      db.metrics().CounterValue("net.messages_delivered");
   t.select_ms = static_cast<double>(
                     must(db.Execute("SELECT id FROM sales WHERE amount < 20"))
                         .response_time_ns) /
@@ -75,25 +84,37 @@ Timings RunWithFragments(int fragments) {
                           "WHERE s.amount >= 990"))
                       .response_time_ns) /
               1e6;
+  t.tuples_scanned =
+      db.metrics().CounterTotal("ofm.tuples_scanned") - scanned_before;
+  t.messages =
+      db.metrics().CounterValue("net.messages_delivered") - messages_before;
   return t;
 }
 
 }  // namespace
 
-int main() {
-  std::printf("E2: fragment-parallel query processing, %d rows, 64 PEs\n",
-              kRows);
-  std::printf("%-10s | %12s %8s | %12s %8s | %12s %8s\n", "fragments",
-              "select ms", "speedup", "aggregate ms", "speedup", "join ms",
-              "speedup");
-  Timings base{0, 0, 0};
-  for (const int fragments : {1, 2, 4, 8, 16, 32, 48}) {
+int main(int argc, char** argv) {
+  const bool smoke = prisma::bench::SmokeMode(argc, argv);
+  if (smoke) g_rows = 2'000;
+  std::printf("E2: fragment-parallel query processing, %d rows, 64 PEs%s\n",
+              g_rows, smoke ? " (smoke)" : "");
+  std::printf("%-10s | %12s %8s | %12s %8s | %12s %8s | %10s %8s\n",
+              "fragments", "select ms", "speedup", "aggregate ms", "speedup",
+              "join ms", "speedup", "scanned", "msgs");
+  Timings base{0, 0, 0, 0, 0};
+  const std::vector<int> fragment_sweep =
+      smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8, 16, 32, 48};
+  for (const int fragments : fragment_sweep) {
     const Timings t = RunWithFragments(fragments);
     if (base.select_ms == 0) base = t;
-    std::printf("%-10d | %12.2f %7.1fx | %12.2f %7.1fx | %12.2f %7.1fx\n",
-                fragments, t.select_ms, base.select_ms / t.select_ms,
-                t.aggregate_ms, base.aggregate_ms / t.aggregate_ms, t.join_ms,
-                base.join_ms / t.join_ms);
+    std::printf(
+        "%-10d | %12.2f %7.1fx | %12.2f %7.1fx | %12.2f %7.1fx | %10llu "
+        "%8llu\n",
+        fragments, t.select_ms, base.select_ms / t.select_ms, t.aggregate_ms,
+        base.aggregate_ms / t.aggregate_ms, t.join_ms,
+        base.join_ms / t.join_ms,
+        static_cast<unsigned long long>(t.tuples_scanned),
+        static_cast<unsigned long long>(t.messages));
   }
   std::printf(
       "\nreading: near-linear speedup while per-fragment work dominates; "

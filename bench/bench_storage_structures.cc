@@ -11,12 +11,16 @@
 
 #include <chrono>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "algebra/expr.h"
 #include "algebra/plan.h"
+#include "bench_util.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "exec/executor.h"
+#include "obs/metrics.h"
 #include "storage/btree_index.h"
 #include "storage/hash_index.h"
 #include "storage/relation.h"
@@ -70,11 +74,17 @@ Sample Measure(const exec::TableResolver& resolver, const Plan& plan,
 
 }  // namespace
 
-int main() {
-  std::printf("ablation: OFM storage structures (scan vs hash vs B+-tree)\n");
+int main(int argc, char** argv) {
+  const bool smoke = prisma::bench::SmokeMode(argc, argv);
+  prisma::obs::MetricsRegistry registry;
+  std::printf("ablation: OFM storage structures (scan vs hash vs B+-tree)%s\n",
+              smoke ? " (smoke)" : "");
   std::printf("%-8s %-12s | %12s | %12s | %12s   (simulated us/query)\n",
               "rows", "query", "scan", "hash index", "btree index");
-  for (const int rows : {1'000, 10'000, 100'000}) {
+  const std::vector<int> row_sweep =
+      smoke ? std::vector<int>{1'000} : std::vector<int>{1'000, 10'000,
+                                                         100'000};
+  for (const int rows : row_sweep) {
     storage::Relation rel("item", ItemSchema());
     Rng rng(5);
     for (int i = 0; i < rows; ++i) {
@@ -95,7 +105,7 @@ int main() {
     with_btree.Register("item", &rel);
     with_btree.RegisterBTreeIndex("item", &btree);
 
-    const int repeats = 20;
+    const int repeats = smoke ? 3 : 20;
     auto point = PointQuery(rows / 2);
     const Sample p_scan = Measure(scan_only, *point, repeats);
     const Sample p_hash = Measure(with_hash, *point, repeats);
@@ -108,7 +118,20 @@ int main() {
     const Sample r_btree = Measure(with_btree, *range, repeats);
     std::printf("%-8d %-12s | %12.1f | %12s | %12.1f\n", rows, "range(1%)",
                 r_scan.sim_us, "-", r_btree.sim_us);
+
+    const std::string rows_label = std::to_string(rows);
+    registry.GetGauge("ablation.point_ns", {{"rows", rows_label},
+                                            {"structure", "scan"}})
+        ->Set(static_cast<int64_t>(p_scan.sim_us * 1e3));
+    registry.GetGauge("ablation.point_ns", {{"rows", rows_label},
+                                            {"structure", "hash"}})
+        ->Set(static_cast<int64_t>(p_hash.sim_us * 1e3));
+    registry.GetGauge("ablation.point_ns", {{"rows", rows_label},
+                                            {"structure", "btree"}})
+        ->Set(static_cast<int64_t>(p_btree.sim_us * 1e3));
   }
+  std::printf("\n-- measured series (metrics registry) --\n%s",
+              registry.DumpText().c_str());
   std::printf(
       "\nreading: a point probe is O(1) and a bounded B+-tree scan touches "
       "only the\nmatching keys, while the scan pays per resident tuple — "

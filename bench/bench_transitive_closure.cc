@@ -15,11 +15,13 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/str_util.h"
 #include "core/prisma_db.h"
 #include "exec/transitive_closure.h"
+#include "obs/metrics.h"
 
 using namespace prisma;  // NOLINT: bench convenience.
 using exec::TcAlgorithm;
@@ -60,7 +62,8 @@ std::vector<Tuple> Cycle(int n) {
   return edges;
 }
 
-void RunFamily(const char* name, const std::vector<Tuple>& edges) {
+void RunFamily(const char* name, const std::vector<Tuple>& edges,
+               prisma::obs::MetricsRegistry* registry) {
   std::printf("\n%s (%zu edges):\n", name, edges.size());
   std::printf("  %-10s %12s %12s %12s %12s\n", "algorithm", "result", "iters",
               "derived", "wall us");
@@ -73,6 +76,12 @@ void RunFamily(const char* name, const std::vector<Tuple>& edges) {
     PRISMA_CHECK(closure.ok());
     const double us =
         std::chrono::duration<double, std::micro>(end - start).count();
+    const prisma::obs::Labels labels = {
+        {"family", name}, {"algorithm", TcAlgorithmName(algorithm)}};
+    registry->GetCounter("e5.pairs_derived", labels)
+        ->Increment(stats.pairs_derived);
+    registry->GetGauge("e5.iterations", labels)
+        ->Set(static_cast<int64_t>(stats.iterations));
     std::printf("  %-10s %12llu %12llu %12llu %12.0f\n",
                 TcAlgorithmName(algorithm),
                 static_cast<unsigned long long>(stats.result_size),
@@ -81,7 +90,7 @@ void RunFamily(const char* name, const std::vector<Tuple>& edges) {
   }
 }
 
-double AncestorQueryMs(bool use_tc_operator) {
+double AncestorQueryMs(bool use_tc_operator, int forest_nodes) {
   core::MachineConfig config;
   config.pes = 16;
   // The TC shortcut is an optimizer behaviour of the PRISMAlog engine;
@@ -94,10 +103,10 @@ double AncestorQueryMs(bool use_tc_operator) {
   };
   must(db.Execute("CREATE TABLE parent (p INT, c INT) "
                   "FRAGMENTED BY HASH(p) INTO 8 FRAGMENTS"));
-  // A 200-node random forest.
+  // A random forest.
   Rng rng(11);
   std::string sql = "INSERT INTO parent VALUES ";
-  for (int i = 1; i < 200; ++i) {
+  for (int i = 1; i < forest_nodes; ++i) {
     if (i > 1) sql += ", ";
     sql += StrFormat("(%d, %d)", static_cast<int>(rng.Uniform(i)), i);
   }
@@ -121,17 +130,28 @@ double AncestorQueryMs(bool use_tc_operator) {
 
 }  // namespace
 
-int main() {
-  std::printf("E5: transitive-closure operator strategies\n");
-  RunFamily("chain n=128", Chain(128));
-  RunFamily("chain n=512", Chain(512));
-  RunFamily("binary tree depth=10", BinaryTree(10));
-  RunFamily("random n=300 e=600", RandomGraph(300, 600, 3));
-  RunFamily("cycle n=128", Cycle(128));
+int main(int argc, char** argv) {
+  const bool smoke = prisma::bench::SmokeMode(argc, argv);
+  prisma::obs::MetricsRegistry registry;
+  std::printf("E5: transitive-closure operator strategies%s\n",
+              smoke ? " (smoke)" : "");
+  if (smoke) {
+    RunFamily("chain n=32", Chain(32), &registry);
+    RunFamily("binary tree depth=6", BinaryTree(6), &registry);
+    RunFamily("cycle n=32", Cycle(32), &registry);
+  } else {
+    RunFamily("chain n=128", Chain(128), &registry);
+    RunFamily("chain n=512", Chain(512), &registry);
+    RunFamily("binary tree depth=10", BinaryTree(10), &registry);
+    RunFamily("random n=300 e=600", RandomGraph(300, 600, 3), &registry);
+    RunFamily("cycle n=128", Cycle(128), &registry);
+  }
+  prisma::bench::PrintCounterSeries(registry, {"e5.pairs_derived"});
 
+  const int forest = smoke ? 60 : 200;
   std::printf("\nend-to-end PRISMAlog ancestor query on the machine:\n");
-  const double with_tc = AncestorQueryMs(true);
-  const double without_tc = AncestorQueryMs(false);
+  const double with_tc = AncestorQueryMs(true, forest);
+  const double without_tc = AncestorQueryMs(false, forest);
   std::printf("  %-34s %10.2f simulated ms\n",
               "TC operator (linear recursion)", with_tc);
   std::printf("  %-34s %10.2f simulated ms\n",

@@ -1,0 +1,36 @@
+#ifndef PRISMA_BENCH_BENCH_UTIL_H_
+#define PRISMA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstring>
+#include <initializer_list>
+
+#include "obs/metrics.h"
+
+namespace prisma::bench {
+
+/// True when the binary was invoked with --smoke: run a tiny, seconds-fast
+/// version of the experiment (registered as a ctest case) instead of the
+/// full sweep.
+inline bool SmokeMode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return true;
+  }
+  return false;
+}
+
+/// Prints the named counter series (summed across label sets) from a
+/// registry — the bench's measured output sourced from the metrics layer
+/// rather than ad-hoc bookkeeping.
+inline void PrintCounterSeries(const obs::MetricsRegistry& registry,
+                               std::initializer_list<const char*> names) {
+  std::printf("\n-- measured series (metrics registry) --\n");
+  for (const char* name : names) {
+    std::printf("%-26s %llu\n", name,
+                static_cast<unsigned long long>(registry.CounterTotal(name)));
+  }
+}
+
+}  // namespace prisma::bench
+
+#endif  // PRISMA_BENCH_BENCH_UTIL_H_

@@ -77,10 +77,13 @@ net::Topology PrismaDb::MakeTopology(const MachineConfig& config) {
 
 PrismaDb::PrismaDb(MachineConfig config) : config_(std::move(config)) {
   PRISMA_CHECK(config_.pes >= 1);
+  tracer_.set_enabled(config_.enable_tracing);
   network_ = std::make_unique<net::Network>(&sim_, MakeTopology(config_),
                                             config_.link);
+  network_->AttachObservability(&metrics_, &tracer_);
   runtime_ =
       std::make_unique<pool::Runtime>(&sim_, network_.get(), config_.costs);
+  runtime_->AttachObservability(&metrics_, &tracer_);
 
   const int n = network_->topology().num_nodes();
   for (int pe = 0; pe < n; ++pe) {
@@ -108,6 +111,8 @@ PrismaDb::PrismaDb(MachineConfig config) : config_(std::move(config)) {
   gdh_config.registry = &registry_;
   gdh_config.op_timeout_ns = config_.op_timeout_ns;
   gdh_config.query_timeout_ns = config_.query_timeout_ns;
+  gdh_config.metrics = &metrics_;
+  gdh_config.tracer = &tracer_;
 
   auto gdh = std::make_unique<gdh::GdhProcess>(std::move(gdh_config));
   gdh_ = gdh.get();
@@ -121,11 +126,34 @@ PrismaDb::PrismaDb(MachineConfig config) : config_(std::move(config)) {
 
 PrismaDb::~PrismaDb() = default;
 
+std::string PrismaDb::DumpMetrics() {
+  // Derived levels are pulled into gauges at dump time rather than being
+  // pushed on every change; counters owned by components are already live.
+  const int n = network_->topology().num_nodes();
+  for (int pe = 0; pe < n; ++pe) {
+    metrics_.GetGauge("pe.busy_ns", {{"pe", std::to_string(pe)}})
+        ->Set(runtime_->pe_busy_ns(pe));
+  }
+  metrics_.GetGauge("sim.now_ns")->Set(sim_.now());
+  metrics_.GetGauge("sim.events_scheduled")
+      ->Set(static_cast<int64_t>(sim_.events_scheduled()));
+  metrics_.GetGauge("sim.events_cancelled")
+      ->Set(static_cast<int64_t>(sim_.events_cancelled()));
+  metrics_.GetGauge("sim.tombstones_pending")
+      ->Set(static_cast<int64_t>(sim_.tombstones_pending()));
+  const gdh::LockManager& locks = gdh_->locks();
+  metrics_.GetGauge("lock.granted")
+      ->Set(static_cast<int64_t>(locks.locks_granted()));
+  metrics_.GetGauge("lock.waits")->Set(static_cast<int64_t>(locks.waits()));
+  metrics_.GetGauge("lock.deadlocks_detected")
+      ->Set(static_cast<int64_t>(locks.deadlocks_detected()));
+  return metrics_.DumpText();
+}
+
 uint64_t PrismaDb::Submit(const std::string& text, bool prismalog,
                           exec::TxnId txn, ReplyCallback callback,
                           sim::SimTime delay) {
-  static uint64_t next_id = 1;
-  const uint64_t id = next_id++;
+  const uint64_t id = next_request_id_++;
   auto statement = std::make_shared<gdh::ClientStatement>();
   statement->request_id = id;
   statement->text = text;

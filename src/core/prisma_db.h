@@ -16,6 +16,8 @@
 #include "gdh/gdh_process.h"
 #include "net/network.h"
 #include "net/topology.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pool/runtime.h"
 #include "sim/simulator.h"
 #include "storage/memory_tracker.h"
@@ -50,6 +52,9 @@ struct MachineConfig {
   size_t pe_memory_bytes = storage::kDefaultPeMemoryBytes;
   sim::SimTime op_timeout_ns = 10 * sim::kNanosPerSecond;
   sim::SimTime query_timeout_ns = 30 * sim::kNanosPerSecond;
+  /// Record virtual-time spans/events for DumpTrace. Off by default:
+  /// long soaks would otherwise accumulate unbounded event buffers.
+  bool enable_tracing = false;
 };
 
 /// Result of one statement.
@@ -125,6 +130,20 @@ class PrismaDb {
   gdh::GdhProcess& gdh() { return *gdh_; }
   const MachineConfig& config() const { return config_; }
 
+  // -------------------------------------------------------- Observability
+
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  obs::Tracer& tracer() { return tracer_; }
+
+  /// Text dump of every metric, after syncing derived gauges (per-PE busy
+  /// time, simulator event counts, lock-manager counters). Byte-identical
+  /// across same-seed runs.
+  std::string DumpMetrics();
+
+  /// Chrome trace_event JSON of everything recorded so far (empty trace
+  /// unless MachineConfig::enable_tracing or tracer().set_enabled(true)).
+  std::string DumpTrace() const { return tracer_.DumpJson(); }
+
   /// Kills / restores one fragment's OFM (failure injection).
   Status CrashFragment(const std::string& table, int fragment) {
     return gdh_->CrashFragment(table, fragment);
@@ -156,6 +175,8 @@ class PrismaDb {
 
   MachineConfig config_;
   sim::Simulator sim_;
+  obs::MetricsRegistry metrics_;
+  obs::Tracer tracer_;
   // Declaration order matters: the runtime's processes (OFMs) release
   // memory into the trackers, touch stable stores and unregister from the
   // fragment registry on destruction, so all of these must outlive
@@ -169,6 +190,7 @@ class PrismaDb {
   ClientProcess* client_ = nullptr;  // Owned by the runtime.
   pool::ProcessId gdh_pid_ = pool::kNoProcess;
   pool::ProcessId client_pid_ = pool::kNoProcess;
+  uint64_t next_request_id_ = 1;
 };
 
 }  // namespace prisma::core

@@ -93,6 +93,7 @@ void Executor::Charge(sim::SimTime ns) {
 }
 
 StatusOr<std::vector<Tuple>> Executor::Execute(const Plan& plan) {
+  profile_root_.reset();
   ASSIGN_OR_RETURN(std::vector<Tuple> out, Run(plan));
   stats_.tuples_output = out.size();
   return out;
@@ -116,7 +117,48 @@ bool CacheableKind(PlanKind kind) {
 
 }  // namespace
 
+namespace {
+
+/// Display label of a plan node in profiles ("Scan(emp#3)", "Join", ...).
+std::string OperatorLabel(const Plan& plan) {
+  std::string label = PlanKindName(plan.kind());
+  if (plan.kind() == PlanKind::kScan) {
+    label += '(';
+    label += static_cast<const ScanPlan&>(plan).table();
+    label += ')';
+  }
+  return label;
+}
+
+}  // namespace
+
 StatusOr<std::vector<Tuple>> Executor::Run(const Plan& plan) {
+  if (!options_.profile) return RunCached(plan);
+  // Build this operator's profile node around the actual execution; the
+  // charged-ns delta is inclusive of children (renderers derive self time).
+  obs::OperatorProfile node;
+  node.op = OperatorLabel(plan);
+  obs::OperatorProfile* parent = current_profile_;
+  current_profile_ = &node;
+  const sim::SimTime before_ns = stats_.charged_ns;
+  auto result = RunCached(plan);
+  current_profile_ = parent;
+  node.total_ns = stats_.charged_ns - before_ns;
+  if (result.ok()) {
+    node.rows = result->size();
+    for (const Tuple& t : *result) {
+      node.bytes += static_cast<uint64_t>(t.ByteSize());
+    }
+  }
+  if (parent != nullptr) {
+    parent->children.push_back(std::move(node));
+  } else {
+    profile_root_ = std::move(node);
+  }
+  return result;
+}
+
+StatusOr<std::vector<Tuple>> Executor::RunCached(const Plan& plan) {
   if (options_.enable_subtree_cache && CacheableKind(plan.kind())) {
     const std::string key = plan.ToString();
     auto it = subtree_cache_.find(key);

@@ -14,6 +14,7 @@
 #include "common/status.h"
 #include "common/tuple.h"
 #include "exec/expr_compiler.h"
+#include "obs/query_profile.h"
 #include "pool/runtime.h"
 #include "sim/simulator.h"
 #include "storage/btree_index.h"
@@ -98,6 +99,9 @@ struct ExecOptions {
   /// aggregates, sorts, closures) within one Execute call — the execution
   /// side of the optimizer's common-subexpression detection (§2.4).
   bool enable_subtree_cache = false;
+  /// Build a per-operator profile tree (rows, bytes, charged ns) during
+  /// Execute; read it back via Executor::profile(). EXPLAIN ANALYZE mode.
+  bool profile = false;
 };
 
 struct ExecStats {
@@ -125,6 +129,11 @@ class Executor {
 
   const ExecStats& stats() const { return stats_; }
 
+  /// Per-operator profile of the last Execute (set when options.profile).
+  const std::optional<obs::OperatorProfile>& profile() const {
+    return profile_root_;
+  }
+
  private:
   /// Expression prepared for per-tuple evaluation in the selected mode,
   /// with its precomputed per-evaluation virtual cost.
@@ -145,6 +154,8 @@ class Executor {
   void Charge(sim::SimTime ns);
 
   StatusOr<std::vector<Tuple>> Run(const algebra::Plan& plan);
+  /// Run minus the profiling wrapper (subtree-cache lookup + dispatch).
+  StatusOr<std::vector<Tuple>> RunCached(const algebra::Plan& plan);
   StatusOr<std::vector<Tuple>> RunUncached(const algebra::Plan& plan);
   StatusOr<std::vector<Tuple>> RunScan(const algebra::ScanPlan& plan);
   StatusOr<std::vector<Tuple>> RunSelect(const algebra::SelectPlan& plan);
@@ -166,6 +177,10 @@ class Executor {
   ExecOptions options_;
   ExecStats stats_;
   std::map<std::string, std::vector<Tuple>> subtree_cache_;
+  // Profiling state (options_.profile): node currently being built and the
+  // finished root of the last Execute.
+  obs::OperatorProfile* current_profile_ = nullptr;
+  std::optional<obs::OperatorProfile> profile_root_;
 };
 
 }  // namespace prisma::exec

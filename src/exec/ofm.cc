@@ -392,13 +392,19 @@ class OfmResolver : public TableResolver {
 
 }  // namespace
 
-StatusOr<std::vector<Tuple>> Ofm::ExecutePlan(
-    const algebra::Plan& plan, const TableResolver* colocated) {
+StatusOr<std::vector<Tuple>> Ofm::ExecutePlan(const algebra::Plan& plan,
+                                              const TableResolver* colocated,
+                                              obs::OperatorProfile* profile) {
   OfmResolver resolver(fragment_name_, &relation_, &hash_indexes_,
                        &btree_indexes_, colocated);
-  Executor executor(&resolver, options_.exec);
+  ExecOptions exec_options = options_.exec;
+  exec_options.profile = profile != nullptr;
+  Executor executor(&resolver, exec_options);
   auto result = executor.Execute(plan);
   last_exec_stats_ = executor.stats();
+  if (profile != nullptr && executor.profile().has_value()) {
+    *profile = *executor.profile();
+  }
   return result;
 }
 
@@ -443,6 +449,7 @@ Status Ofm::Checkpoint() {
 }
 
 Status Ofm::ApplyWalData(uint8_t op, BinaryReader* r) {
+  ++redo_applied_;
   switch (op) {
     case kWalInsert: {
       ASSIGN_OR_RETURN(uint64_t row, r->GetU64());

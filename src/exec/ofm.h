@@ -124,10 +124,12 @@ class Ofm {
   /// resident relation. Index selection and expression compilation happen
   /// here — the OFM is a complete little query processor. Scans of other
   /// names fall back to `colocated` when provided (co-located join
-  /// execution; see gdh::PeLocalRegistry).
+  /// execution; see gdh::PeLocalRegistry). A non-null `profile` turns on
+  /// per-operator profiling and receives the plan's profile tree
+  /// (EXPLAIN ANALYZE).
   StatusOr<std::vector<Tuple>> ExecutePlan(
-      const algebra::Plan& plan,
-      const TableResolver* colocated = nullptr);
+      const algebra::Plan& plan, const TableResolver* colocated = nullptr,
+      obs::OperatorProfile* profile = nullptr);
 
   /// Stats of the most recent ExecutePlan.
   const ExecStats& last_exec_stats() const { return last_exec_stats_; }
@@ -180,6 +182,10 @@ class Ofm {
   /// Number of WAL records written over this OFM's lifetime.
   uint64_t wal_records() const { return wal_records_; }
 
+  /// Number of WAL data records redone (applied) by Recover and
+  /// ResolveRecovered over this OFM's lifetime.
+  uint64_t redo_records_applied() const { return redo_applied_; }
+
  private:
   struct UndoRecord {
     enum class Op : uint8_t { kInsert, kDelete, kUpdate } op;
@@ -218,6 +224,7 @@ class Ofm {
   std::vector<TxnId> undecided_order_;
   ExecStats last_exec_stats_;
   uint64_t wal_records_ = 0;
+  uint64_t redo_applied_ = 0;
 };
 
 }  // namespace prisma::exec

@@ -17,6 +17,17 @@ using sql::Statement;
 GdhProcess::GdhProcess(Config config) : config_(std::move(config)) {
   PRISMA_CHECK(!config_.fragment_pes.empty());
   PRISMA_CHECK(!config_.coordinator_pes.empty());
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *config_.metrics;
+    m_statements_ = m.GetCounter("gdh.statements");
+    m_selects_ = m.GetCounter("gdh.selects_spawned");
+    m_txns_begun_ = m.GetCounter("gdh.txns_begun");
+    m_txns_committed_ = m.GetCounter("gdh.txns_committed");
+    m_txns_aborted_ = m.GetCounter("gdh.txns_aborted");
+    m_deadlock_aborts_ = m.GetCounter("gdh.deadlock_aborts");
+    m_write_ops_ = m.GetCounter("gdh.write_ops_sent");
+    m_2pc_rounds_ = m.GetCounter("gdh.2pc_rounds");
+  }
 }
 
 // --------------------------------------------------------------- Plumbing
@@ -94,6 +105,7 @@ void GdhProcess::AcquireExclusive(exec::TxnId txn,
        then = std::move(then)](Status status) mutable {
         if (!status.ok()) {
           ++stats_.deadlock_aborts;
+          Inc(m_deadlock_aborts_);
           then(std::move(status));
           return;
         }
@@ -113,6 +125,7 @@ void GdhProcess::HandleLockBatch(const pool::Mail& mail) {
   auto respond = [this, requester, request_id, txn](Status status) {
     if (!status.ok()) {
       ++stats_.deadlock_aborts;
+      Inc(m_deadlock_aborts_);
       // A deadlock aborts the whole transaction (the SELECT's statement
       // txn, or the enclosing explicit transaction).
       AbortEverywhere(txn, [this, requester, request_id,
@@ -133,13 +146,18 @@ void GdhProcess::HandleLockBatch(const pool::Mail& mail) {
   auto resources = std::make_shared<std::vector<std::string>>(
       std::move(request->resources));
   auto step = std::make_shared<std::function<void(size_t)>>();
-  *step = [this, resources, txn, respond, step](size_t index) {
+  // The stored closure must hold itself only weakly: a strong `step`
+  // capture would make the shared_ptr own its own control block and leak.
+  // Each pending Acquire callback keeps a strong reference, so the chain
+  // stays alive exactly until the last lock resolves.
+  std::weak_ptr<std::function<void(size_t)>> weak_step = step;
+  *step = [this, resources, txn, respond, weak_step](size_t index) {
     if (index >= resources->size()) {
       respond(Status::OK());
       return;
     }
     locks_.Acquire(txn, (*resources)[index], LockMode::kShared,
-                   [respond, step, index](Status status) {
+                   [respond, step = weak_step.lock(), index](Status status) {
                      if (!status.ok()) {
                        respond(std::move(status));
                        return;
@@ -166,18 +184,28 @@ void GdhProcess::RunTwoPhaseCommit(exec::TxnId txn,
     locks_.ReleaseAll(txn);
     txns_.erase(txn);
     ++stats_.txns_committed;
+    Inc(m_txns_committed_);
     then(Status::OK());
     return;
   }
 
   // Phase 1: prepare.
+  Inc(m_2pc_rounds_);
+  const sim::SimTime phase1_start = runtime()->simulator()->now();
   const uint64_t batch_id = next_batch_id_++;
   Multicast& batch = batches_[batch_id];
   batch.expected = involved.size();
-  batch.done = [this, txn, involved, then = std::move(then)](Multicast& m) {
+  batch.done = [this, txn, involved, phase1_start,
+                then = std::move(then)](Multicast& m) {
     const bool commit = m.first_error.ok();
     decisions_[txn] = commit;
+    if (config_.tracer != nullptr && config_.tracer->enabled()) {
+      config_.tracer->Span("gdh", "2pc.prepare", phase1_start,
+                           runtime()->simulator()->now(), pe(), self(),
+                           "txn", std::to_string(txn));
+    }
     // Phase 2: decision.
+    const sim::SimTime phase2_start = runtime()->simulator()->now();
     const uint64_t batch2 = next_batch_id_++;
     Multicast& second = batches_[batch2];
     second.expected = involved.size();
@@ -186,13 +214,20 @@ void GdhProcess::RunTwoPhaseCommit(exec::TxnId txn,
                                            std::to_string(txn) +
                                            " aborted during prepare: " +
                                            m.first_error.message());
-    second.done = [this, txn, outcome, then](Multicast&) {
+    second.done = [this, txn, outcome, phase2_start, then](Multicast&) {
       locks_.ReleaseAll(txn);
       txns_.erase(txn);
       if (outcome.ok()) {
         ++stats_.txns_committed;
+        Inc(m_txns_committed_);
       } else {
         ++stats_.txns_aborted;
+        Inc(m_txns_aborted_);
+      }
+      if (config_.tracer != nullptr && config_.tracer->enabled()) {
+        config_.tracer->Span("gdh", "2pc.decision", phase2_start,
+                             runtime()->simulator()->now(), pe(), self(),
+                             "txn", std::to_string(txn));
       }
       then(outcome);
     };
@@ -251,6 +286,7 @@ void GdhProcess::AbortEverywhere(exec::TxnId txn,
     locks_.ReleaseAll(txn);
     txns_.erase(txn);
     ++stats_.txns_aborted;
+    Inc(m_txns_aborted_);
     then(Status::OK());
   };
   for (const std::string& fragment : involved) {
@@ -306,6 +342,7 @@ void GdhProcess::ExecuteDdl(const BoundStatement& bound,
         ofm_config.ofm.exec.costs = config_.costs;
         ofm_config.gdh = self();
         ofm_config.registry = config_.registry;
+        ofm_config.metrics = config_.metrics;
         info->fragments[i].pe = pe;
         info->fragments[i].ofm =
             runtime()->Spawn(pe, std::make_unique<OfmProcess>(
@@ -525,6 +562,7 @@ void GdhProcess::ExecuteWrite(std::shared_ptr<BoundStatement> bound,
           request_batch_[op.request->request_id] = batch_id;
           auto ofm = OfmOf(op.fragment);
           ++stats_.write_ops_sent;
+          Inc(m_write_ops_);
           if (ofm.ok()) {
             SendMail(*ofm, kMailWrite, op.request, op.request->WireBits());
           }
@@ -544,6 +582,7 @@ void GdhProcess::ExecuteTxnControl(const BoundStatement& bound,
     case sql::TxnControl::kBegin: {
       const exec::TxnId txn = NewTxn(true);
       ++stats_.txns_begun;
+      Inc(m_txns_begun_);
       ReplyToClient(client, stmt->request_id, Status::OK(), 0, txn);
       return;
     }
@@ -589,10 +628,13 @@ void GdhProcess::SpawnCoordinator(const std::shared_ptr<ClientStatement>& stmt,
   config.statement = stmt;
   config.lock_txn = lock_txn;
   config.timeout_ns = config_.query_timeout_ns;
+  config.metrics = config_.metrics;
+  config.tracer = config_.tracer;
   const net::NodeId pe = config_.coordinator_pes[coordinator_cursor_++ %
                                                  config_.coordinator_pes.size()];
   runtime()->Spawn(pe, std::make_unique<QueryProcess>(std::move(config)));
   ++stats_.selects_spawned;
+  Inc(m_selects_);
 }
 
 void GdhProcess::HandleStatementDone(const pool::Mail& mail) {
@@ -674,6 +716,7 @@ void GdhProcess::HandleClientStatement(const pool::Mail& mail) {
   auto stmt = std::any_cast<std::shared_ptr<ClientStatement>>(mail.body);
   const pool::ProcessId client = mail.from;
   ++stats_.statements;
+  Inc(m_statements_);
   // Routing parse is cheap; full parse/optimize happens per-query in the
   // coordinator instances.
   ChargeCpu(config_.costs.optimize_ns / 10);
@@ -795,6 +838,7 @@ Status GdhProcess::RecoverFragment(const std::string& table, int fragment) {
   config.gdh = self();
   config.registry = config_.registry;
   config.indexes = info->indexes;
+  config.metrics = config_.metrics;
   frag.ofm =
       runtime()->Spawn(frag.pe, std::make_unique<OfmProcess>(std::move(config)));
   // The recovered fragment's statistics are rebuilt lazily; reset to keep

@@ -13,6 +13,8 @@
 #include "gdh/messages.h"
 #include "gdh/optimizer.h"
 #include "gdh/pe_registry.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pool/runtime.h"
 #include "sql/binder.h"
 #include "storage/memory_tracker.h"
@@ -59,6 +61,10 @@ class GdhProcess : public pool::Process {
     PeLocalRegistry* registry = nullptr;
     sim::SimTime op_timeout_ns = 10 * sim::kNanosPerSecond;
     sim::SimTime query_timeout_ns = 30 * sim::kNanosPerSecond;
+    /// Observability sinks (both may be null: no instrumentation). They
+    /// are forwarded to every OFM process and query coordinator spawned.
+    obs::MetricsRegistry* metrics = nullptr;
+    obs::Tracer* tracer = nullptr;
   };
 
   explicit GdhProcess(Config config);
@@ -162,10 +168,25 @@ class GdhProcess : public pool::Process {
   exec::TxnId NewTxn(bool explicit_txn);
   void FinishMulticast(uint64_t batch_id, Multicast& batch);
 
+  /// Null-safe counter bump (registry may be absent).
+  static void Inc(obs::Counter* c, uint64_t delta = 1) {
+    if (c != nullptr) c->Increment(delta);
+  }
+
   Config config_;
   DataDictionary dictionary_;
   LockManager locks_;
   Stats stats_;
+
+  // Cached registry counters mirroring Stats (null without a registry).
+  obs::Counter* m_statements_ = nullptr;
+  obs::Counter* m_selects_ = nullptr;
+  obs::Counter* m_txns_begun_ = nullptr;
+  obs::Counter* m_txns_committed_ = nullptr;
+  obs::Counter* m_txns_aborted_ = nullptr;
+  obs::Counter* m_deadlock_aborts_ = nullptr;
+  obs::Counter* m_write_ops_ = nullptr;
+  obs::Counter* m_2pc_rounds_ = nullptr;
 
   exec::TxnId next_txn_ = 1;
   std::map<exec::TxnId, TxnState> txns_;

@@ -8,4 +8,12 @@ int64_t TuplesBits(const std::vector<Tuple>& tuples) {
   return bytes * 8;
 }
 
+int64_t ProfileBits(const obs::OperatorProfile& profile) {
+  int64_t bits = kControlBits + static_cast<int64_t>(profile.op.size()) * 8;
+  for (const obs::OperatorProfile& child : profile.children) {
+    bits += ProfileBits(child);
+  }
+  return bits;
+}
+
 }  // namespace prisma::gdh

@@ -13,6 +13,7 @@
 #include "common/status.h"
 #include "common/tuple.h"
 #include "exec/ofm.h"
+#include "obs/query_profile.h"
 #include "pool/runtime.h"
 
 namespace prisma::gdh {
@@ -48,6 +49,9 @@ constexpr int64_t kControlBits = 256;
 
 int64_t TuplesBits(const std::vector<Tuple>& tuples);
 
+/// Modelled wire size of a serialized operator-profile tree.
+int64_t ProfileBits(const obs::OperatorProfile& profile);
+
 /// A SQL or PRISMAlog statement submitted by a client session.
 struct ClientStatement {
   uint64_t request_id = 0;
@@ -76,6 +80,8 @@ struct ClientReply {
 struct ExecPlanRequest {
   uint64_t request_id = 0;
   std::shared_ptr<const algebra::Plan> plan;
+  /// EXPLAIN ANALYZE: return a per-operator profile with the tuples.
+  bool profile = false;
 
   int64_t WireBits() const {
     return kControlBits +
@@ -88,9 +94,12 @@ struct ExecPlanReply {
   Status status;
   std::string fragment;
   std::shared_ptr<std::vector<Tuple>> tuples;
+  /// Set when the request asked for profiling.
+  std::shared_ptr<obs::OperatorProfile> profile;
 
   int64_t WireBits() const {
-    return kControlBits + (tuples ? TuplesBits(*tuples) : 0);
+    return kControlBits + (tuples ? TuplesBits(*tuples) : 0) +
+           (profile ? ProfileBits(*profile) : 0);
   }
 };
 

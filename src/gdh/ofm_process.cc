@@ -21,8 +21,24 @@ void OfmProcess::OnStart() {
   config_.ofm.exec.charge = [this](sim::SimTime ns) { ChargeCpu(ns); };
   ofm_ = std::make_unique<exec::Ofm>(config_.fragment_name, config_.schema,
                                      config_.ofm);
+  if (config_.metrics != nullptr) {
+    const obs::Labels labels = {{"fragment", config_.fragment_name}};
+    m_tuples_scanned_ = config_.metrics->GetCounter("ofm.tuples_scanned", labels);
+    m_index_selections_ =
+        config_.metrics->GetCounter("ofm.index_selections", labels);
+    m_full_scans_ = config_.metrics->GetCounter("ofm.full_scans", labels);
+    m_plans_executed_ = config_.metrics->GetCounter("ofm.plans_executed", labels);
+    m_writes_ = config_.metrics->GetCounter("ofm.write_ops", labels);
+    m_commits_ = config_.metrics->GetCounter("ofm.txn_commits", labels);
+    m_aborts_ = config_.metrics->GetCounter("ofm.txn_aborts", labels);
+    m_wal_records_ = config_.metrics->GetCounter("ofm.wal_records", labels);
+    m_redo_applied_ = config_.metrics->GetCounter("ofm.redo_applied", labels);
+    m_recoveries_ = config_.metrics->GetCounter("ofm.recoveries", labels);
+  }
   if (config_.recover) {
     PRISMA_CHECK_OK(ofm_->Recover());
+    if (m_recoveries_ != nullptr) m_recoveries_->Increment();
+    SyncDurabilityMetrics();
     if (!ofm_->recovered_undecided().empty() &&
         config_.gdh != pool::kNoProcess) {
       auto request = std::make_shared<DecisionRequest>();
@@ -84,11 +100,30 @@ void OfmProcess::HandleExecPlan(const pool::Mail& mail) {
   if (config_.registry != nullptr) {
     colocated.emplace(config_.registry, pe());
   }
-  auto result = ofm_->ExecutePlan(
-      *request->plan, colocated.has_value() ? &*colocated : nullptr);
+  std::optional<obs::OperatorProfile> profile;
+  if (request->profile) profile.emplace();
+  auto result =
+      ofm_->ExecutePlan(*request->plan,
+                        colocated.has_value() ? &*colocated : nullptr,
+                        profile.has_value() ? &*profile : nullptr);
+  if (m_plans_executed_ != nullptr) {
+    const exec::ExecStats& stats = ofm_->last_exec_stats();
+    m_plans_executed_->Increment();
+    m_tuples_scanned_->Increment(stats.tuples_scanned);
+    m_index_selections_->Increment(stats.index_selections);
+    // Plan-level classification: tuples were scanned but no selection went
+    // through an index, so at least one full fragment scan happened.
+    if (stats.tuples_scanned > 0 && stats.index_selections == 0) {
+      m_full_scans_->Increment();
+    }
+  }
   if (result.ok()) {
     reply->tuples =
         std::make_shared<std::vector<Tuple>>(std::move(result).value());
+    if (profile.has_value()) {
+      reply->profile =
+          std::make_shared<obs::OperatorProfile>(std::move(*profile));
+    }
   } else {
     reply->status = result.status();
   }
@@ -137,6 +172,8 @@ void OfmProcess::HandleWrite(const pool::Mail& mail) {
       break;
     }
   }
+  if (m_writes_ != nullptr && reply->status.ok()) m_writes_->Increment();
+  SyncDurabilityMetrics();
   SendMail(mail.from, kMailWriteReply, reply, kControlBits);
 }
 
@@ -156,6 +193,11 @@ void OfmProcess::HandleTxnControl(const pool::Mail& mail) {
       reply->status = ofm_->Abort(request->txn);
       break;
   }
+  if (reply->status.ok() && m_commits_ != nullptr) {
+    if (request->op == TxnControlRequest::Op::kCommit) m_commits_->Increment();
+    if (request->op == TxnControlRequest::Op::kAbort) m_aborts_->Increment();
+  }
+  SyncDurabilityMetrics();
   SendMail(mail.from, kMailTxnControlReply, reply, kControlBits);
 }
 
@@ -167,6 +209,17 @@ void OfmProcess::HandleDecisionReply(const pool::Mail& mail) {
   for (size_t i = 0; i < undecided.size(); ++i) {
     PRISMA_CHECK_OK(ofm_->ResolveRecovered(undecided[i], reply->commit[i]));
   }
+  SyncDurabilityMetrics();
+}
+
+void OfmProcess::SyncDurabilityMetrics() {
+  if (m_wal_records_ == nullptr) return;
+  const uint64_t wal = ofm_->wal_records();
+  const uint64_t redo = ofm_->redo_records_applied();
+  m_wal_records_->Increment(wal - wal_synced_);
+  m_redo_applied_->Increment(redo - redo_synced_);
+  wal_synced_ = wal;
+  redo_synced_ = redo;
 }
 
 }  // namespace prisma::gdh

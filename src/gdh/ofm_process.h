@@ -8,6 +8,7 @@
 #include "gdh/data_dictionary.h"
 #include "gdh/messages.h"
 #include "gdh/pe_registry.h"
+#include "obs/metrics.h"
 #include "pool/runtime.h"
 
 namespace prisma::gdh {
@@ -34,6 +35,8 @@ class OfmProcess : public pool::Process {
     PeLocalRegistry* registry = nullptr;
     /// Secondary indexes to create at start: (name, columns, ordered).
     std::vector<IndexInfo> indexes;
+    /// Per-fragment counters land here when set (ofm.* metric family).
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   explicit OfmProcess(Config config);
@@ -50,8 +53,26 @@ class OfmProcess : public pool::Process {
   void HandleTxnControl(const pool::Mail& mail);
   void HandleDecisionReply(const pool::Mail& mail);
 
+  /// Pushes the WAL / redo deltas accumulated since the last sync into the
+  /// registry counters. Cheap; called at the end of mutating handlers.
+  void SyncDurabilityMetrics();
+
   Config config_;
   std::unique_ptr<exec::Ofm> ofm_;
+
+  // Cached registry counters (null when no registry was configured).
+  obs::Counter* m_tuples_scanned_ = nullptr;
+  obs::Counter* m_index_selections_ = nullptr;
+  obs::Counter* m_full_scans_ = nullptr;
+  obs::Counter* m_plans_executed_ = nullptr;
+  obs::Counter* m_writes_ = nullptr;
+  obs::Counter* m_commits_ = nullptr;
+  obs::Counter* m_aborts_ = nullptr;
+  obs::Counter* m_wal_records_ = nullptr;
+  obs::Counter* m_redo_applied_ = nullptr;
+  obs::Counter* m_recoveries_ = nullptr;
+  uint64_t wal_synced_ = 0;
+  uint64_t redo_synced_ = 0;
 };
 
 }  // namespace prisma::gdh

@@ -58,6 +58,7 @@ std::string PartShapeKey(const algebra::Plan& plan) {
 QueryProcess::QueryProcess(Config config) : config_(std::move(config)) {}
 
 void QueryProcess::OnStart() {
+  start_time_ = runtime()->simulator()->now();
   // Guard against lost fragments / crashed OFMs.
   timeout_event_ = SendSelfAfter(config_.timeout_ns, kMailQueryTimeout);
   if (config_.statement->is_prismalog) {
@@ -72,6 +73,22 @@ void QueryProcess::Reply(Status status, Schema schema,
   if (finished_) return;
   finished_ = true;
   runtime()->simulator()->Cancel(timeout_event_);
+  const sim::SimTime now = runtime()->simulator()->now();
+  if (config_.metrics != nullptr) {
+    const obs::Labels q = {
+        {"query", std::to_string(config_.statement->request_id)}};
+    config_.metrics->GetCounter("query.tuples_gathered", q)
+        ->Increment(tuples_gathered_);
+    config_.metrics->GetCounter("query.fragments_contacted", q)
+        ->Increment(completed_);
+    config_.metrics->GetGauge("query.response_ns", q)->Set(now - start_time_);
+  }
+  if (config_.tracer != nullptr && config_.tracer->enabled()) {
+    config_.tracer->Span(
+        "gdh", config_.statement->is_prismalog ? "prismalog" : "query",
+        start_time_, now, pe(), self(), "request",
+        std::to_string(config_.statement->request_id));
+  }
   auto reply = std::make_shared<ClientReply>();
   reply->request_id = config_.statement->request_id;
   reply->status = std::move(status);
@@ -95,6 +112,7 @@ void QueryProcess::StartSql() {
     return;
   }
   explain_ = parsed->explain;
+  analyze_ = parsed->analyze;
   auto bound = sql::BindStatement(*parsed, *config_.dictionary);
   if (!bound.ok()) {
     Reply(bound.status(), Schema(), nullptr);
@@ -123,7 +141,7 @@ void QueryProcess::StartSql() {
   }
   split_ = std::move(split).value();
 
-  if (explain_) {
+  if (explain_ && !analyze_) {
     ReplyExplain();
     return;
   }
@@ -172,6 +190,7 @@ void QueryProcess::Scatter() {
   gathered_.assign(
       is_prismalog_phase_ ? plog_tables_.size() : split_.parts.size(), {});
   duplicate_of_.assign(gathered_.size(), SIZE_MAX);
+  part_profiles_.assign(gathered_.size(), std::nullopt);
   work_.clear();
   if (is_prismalog_phase_) {
     for (size_t i = 0; i < plog_tables_.size(); ++i) {
@@ -245,6 +264,7 @@ void QueryProcess::SendNextFragmentPlan() {
   auto request = std::make_shared<ExecPlanRequest>();
   request->request_id = next_request_id_++;
   request->plan = w.plan;
+  request->profile = analyze_;
   request_part_[request->request_id] = w.part;
   ++outstanding_;
   SendMail(w.ofm, kMailExecPlan, request, request->WireBits());
@@ -267,8 +287,16 @@ void QueryProcess::HandlePlanReply(const pool::Mail& mail) {
     // Merging gathered tuples costs coordinator CPU.
     ChargeCpu(static_cast<sim::SimTime>(reply->tuples->size()) *
               config_.costs.tuple_ns);
+    tuples_gathered_ += reply->tuples->size();
     auto& sink = gathered_[part];
     sink.insert(sink.end(), reply->tuples->begin(), reply->tuples->end());
+  }
+  if (reply->profile != nullptr && part < part_profiles_.size()) {
+    if (part_profiles_[part].has_value()) {
+      obs::MergeProfile(&*part_profiles_[part], *reply->profile);
+    } else {
+      part_profiles_[part] = *reply->profile;
+    }
   }
   if (completed_ == work_.size()) {
     FinishGather();
@@ -316,10 +344,15 @@ void QueryProcess::RunGlobalPhase() {
   exec_opts.costs = config_.costs;
   exec_opts.charge = [this](sim::SimTime ns) { ChargeCpu(ns); };
   exec_opts.enable_subtree_cache = optimizer_report_.enable_subtree_cache;
+  exec_opts.profile = analyze_;
   exec::Executor executor(&resolver, exec_opts);
   auto result = executor.Execute(*split_.global);
   if (!result.ok()) {
     Reply(result.status(), Schema(), nullptr);
+    return;
+  }
+  if (analyze_ && executor.profile().has_value()) {
+    ReplyAnalyze(*executor.profile());
     return;
   }
   Reply(Status::OK(), split_.global->schema(),
@@ -362,6 +395,56 @@ void QueryProcess::ReplyExplain() {
     }
     for (const std::string& line : Split(part.plan->ToString(), '\n')) {
       if (!line.empty()) emit("  " + line);
+    }
+  }
+  Schema schema;
+  schema.AddColumn("plan", DataType::kString);
+  Reply(Status::OK(), std::move(schema), std::move(lines));
+}
+
+void QueryProcess::ReplyAnalyze(const obs::OperatorProfile& global) {
+  // Same single-column shape as EXPLAIN, but with measured figures: the
+  // executed global plan plus each part's fragment profiles merged
+  // node-wise (invocations = fragments that ran the plan).
+  auto lines = std::make_shared<std::vector<Tuple>>();
+  auto emit = [&](const std::string& text) {
+    lines->push_back(Tuple({Value::String(text)}));
+  };
+  emit(StrFormat("optimizer: %d selection(s) pushed, %d join reorder(s), "
+                 "%d common subtree(s), aggregate pushdown: %s, "
+                 "co-located joins: %d",
+                 optimizer_report_.selections_pushed,
+                 optimizer_report_.joins_reordered,
+                 optimizer_report_.common_subtrees,
+                 split_.pushed_aggregate ? "yes" : "no",
+                 split_.colocated_joins));
+  emit("global plan (ran at the query coordinator):");
+  std::vector<std::string> rendered;
+  obs::RenderProfile(global, 1, &rendered);
+  for (const std::string& line : rendered) emit(line);
+  for (size_t i = 0; i < split_.parts.size(); ++i) {
+    const LocalPart& part = split_.parts[i];
+    if (duplicate_of_[i] != SIZE_MAX) {
+      emit(StrFormat("part %zu (table %s): reuses part %zu "
+                     "(common subexpression)",
+                     i, part.table.c_str(), duplicate_of_[i]));
+      continue;
+    }
+    if (part.second_table.empty()) {
+      emit(StrFormat("part %zu (table %s, %zu fragment(s)):", i,
+                     part.table.c_str(), part_fragments_[i].size()));
+    } else {
+      emit(StrFormat("part %zu (co-located join %s x %s, %zu fragment "
+                     "pair(s)):",
+                     i, part.table.c_str(), part.second_table.c_str(),
+                     part_fragments_[i].size()));
+    }
+    if (part_profiles_[i].has_value()) {
+      rendered.clear();
+      obs::RenderProfile(*part_profiles_[i], 1, &rendered);
+      for (const std::string& line : rendered) emit(line);
+    } else {
+      emit("  (no fragments executed)");
     }
   }
   Schema schema;

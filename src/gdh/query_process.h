@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,9 @@
 #include "gdh/distributed_plan.h"
 #include "gdh/messages.h"
 #include "gdh/optimizer.h"
+#include "obs/metrics.h"
+#include "obs/query_profile.h"
+#include "obs/trace.h"
 #include "pool/runtime.h"
 #include "storage/relation.h"
 
@@ -40,6 +44,10 @@ class QueryProcess : public pool::Process {
     /// a GDH-assigned statement txn released at stmt_done).
     exec::TxnId lock_txn = exec::kAutoCommit;
     sim::SimTime timeout_ns = 30 * sim::kNanosPerSecond;
+    /// Observability sinks (may be null). Per-query scoped metrics are
+    /// recorded under the {query=<request_id>} label.
+    obs::MetricsRegistry* metrics = nullptr;
+    obs::Tracer* tracer = nullptr;
   };
 
   explicit QueryProcess(Config config);
@@ -58,6 +66,9 @@ class QueryProcess : public pool::Process {
  private:
   void StartSql();
   void ReplyExplain();
+  /// EXPLAIN ANALYZE: renders the measured per-operator profiles (global
+  /// plan + merged fragment profiles per part) as the result rows.
+  void ReplyAnalyze(const obs::OperatorProfile& global);
   void StartPrismalog();
   void RequestLocks(std::vector<std::string> resources);
   void Scatter();
@@ -72,12 +83,14 @@ class QueryProcess : public pool::Process {
   Config config_;
   bool finished_ = false;
   sim::EventId timeout_event_ = 0;
+  sim::SimTime start_time_ = 0;
 
   // SELECT state.
   DistributedPlan split_;
   OptimizerReport optimizer_report_;
   bool is_prismalog_phase_ = false;
   bool explain_ = false;
+  bool analyze_ = false;
 
   // Scatter/gather bookkeeping.
   struct FragmentWork {
@@ -92,6 +105,9 @@ class QueryProcess : public pool::Process {
   uint64_t next_request_id_ = 1;
   std::map<uint64_t, size_t> request_part_;  // request id -> part index.
   std::vector<std::vector<Tuple>> gathered_;  // Per part.
+  uint64_t tuples_gathered_ = 0;
+  // EXPLAIN ANALYZE: per-part profile, fragment replies merged in.
+  std::vector<std::optional<obs::OperatorProfile>> part_profiles_;
   // Pruned fragment indexes per SQL part (see PruneFragmentsForPart).
   std::vector<std::vector<int>> part_fragments_;
   // Common-subexpression elimination across parts: duplicate_of_[i] names

@@ -20,12 +20,30 @@ void Network::SetReceiver(NodeId node, Receiver receiver) {
   receivers_[node] = std::move(receiver);
 }
 
+void Network::AttachObservability(obs::MetricsRegistry* metrics,
+                                  obs::Tracer* tracer) {
+  if (metrics != nullptr) {
+    m_sent_ = metrics->GetCounter("net.messages_sent");
+    m_delivered_ = metrics->GetCounter("net.messages_delivered");
+    m_link_bits_ = metrics->GetCounter("net.link_bits");
+    m_packets_ = metrics->GetCounter("net.packets_sent");
+    m_latency_ = metrics->GetHistogram("net.latency_ns");
+  }
+  tracer_ = tracer;
+}
+
 void Network::Send(NodeId src, NodeId dst, int64_t size_bits,
                    std::any payload) {
   PRISMA_CHECK(src >= 0 && src < topology_.num_nodes());
   PRISMA_CHECK(dst >= 0 && dst < topology_.num_nodes());
   PRISMA_CHECK(size_bits > 0);
   ++stats_.messages_sent;
+  if (m_sent_ != nullptr) {
+    m_sent_->Increment();
+    // The hardware moves 256-bit packets; a larger message is a burst.
+    m_packets_->Increment(
+        static_cast<uint64_t>((size_bits + kPacketBits - 1) / kPacketBits));
+  }
   Message message;
   message.src = src;
   message.dst = dst;
@@ -59,6 +77,9 @@ void Network::Arrive(NodeId node, Message message) {
   ++l.backlog;
   stats_.max_link_backlog = std::max(stats_.max_link_backlog, l.backlog);
   stats_.link_bits += message.size_bits;
+  if (m_link_bits_ != nullptr) {
+    m_link_bits_->Increment(static_cast<uint64_t>(message.size_bits));
+  }
   sim_->ScheduleAt(arrival,
                    [this, node, hop, message = std::move(message)]() mutable {
                      --link(node, hop).backlog;
@@ -71,6 +92,15 @@ void Network::Deliver(NodeId node, Message message) {
   const sim::SimTime latency = sim_->now() - message.sent_at;
   stats_.total_latency_ns += latency;
   stats_.max_latency_ns = std::max(stats_.max_latency_ns, latency);
+  if (m_delivered_ != nullptr) {
+    m_delivered_->Increment();
+    m_latency_->Record(latency);
+  }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    // pid = destination PE, tid -1 = the network lane of that PE.
+    tracer_->Span("net", "msg", message.sent_at, sim_->now(), node, -1, "src",
+                  std::to_string(message.src));
+  }
   if (record_deliveries_) delivery_times_[node].push_back(sim_->now());
   if (receivers_[node]) receivers_[node](message);
 }

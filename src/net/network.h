@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "net/topology.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 
 namespace prisma::net {
@@ -101,6 +103,13 @@ class Network {
   /// Busy-time fraction of the most loaded directed link over [0, now].
   double PeakLinkUtilization() const;
 
+  /// Mirrors transport statistics into the machine-wide registry
+  /// (net.messages_sent, net.messages_delivered, net.link_bits,
+  /// net.latency_ns histogram) and, when the tracer is enabled, records a
+  /// send->deliver span per message. Either pointer may be null.
+  void AttachObservability(obs::MetricsRegistry* metrics,
+                           obs::Tracer* tracer);
+
  private:
   struct LinkState {
     sim::SimTime free_at = 0;   // Earliest instant the link can start sending.
@@ -127,6 +136,14 @@ class Network {
   std::vector<std::vector<sim::SimTime>> delivery_times_;
   bool record_deliveries_ = false;
   Stats stats_;
+
+  // Cached registry entries (null until AttachObservability).
+  obs::Counter* m_sent_ = nullptr;
+  obs::Counter* m_delivered_ = nullptr;
+  obs::Counter* m_link_bits_ = nullptr;
+  obs::Counter* m_packets_ = nullptr;
+  obs::Histogram* m_latency_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace prisma::net

@@ -67,6 +67,9 @@ TrafficResult RunSyntheticTraffic(const Topology& topology,
   PRISMA_CHECK(config.offered_packets_per_sec_per_pe > 0);
   sim::Simulator sim;
   Network network(&sim, topology, params);
+  if (config.metrics != nullptr) {
+    network.AttachObservability(config.metrics, nullptr);
+  }
   const int n = topology.num_nodes();
 
   RunState state;

@@ -6,6 +6,7 @@
 
 #include "net/network.h"
 #include "net/topology.h"
+#include "obs/metrics.h"
 
 namespace prisma::net {
 
@@ -33,6 +34,9 @@ struct TrafficConfig {
   sim::SimTime warmup_ns = 20 * sim::kNanosPerMilli;
   sim::SimTime measure_ns = 100 * sim::kNanosPerMilli;
   uint64_t seed = 17;
+  /// Optional: attach the run's Network to this registry so callers can
+  /// read the measured series (net.packets_sent, net.latency_ns, ...).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Results of one synthetic-traffic run.

@@ -1,0 +1,58 @@
+#include "obs/query_profile.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace prisma::obs {
+
+void MergeProfile(OperatorProfile* into, const OperatorProfile& from) {
+  into->rows += from.rows;
+  into->bytes += from.bytes;
+  into->total_ns += from.total_ns;
+  into->invocations += from.invocations;
+  const size_t common = std::min(into->children.size(), from.children.size());
+  for (size_t i = 0; i < common; ++i) {
+    MergeProfile(&into->children[i], from.children[i]);
+  }
+}
+
+std::string FormatNs(sim::SimTime ns) {
+  const long long v = static_cast<long long>(ns);
+  if (v < 1'000) return StrFormat("%lldns", v);
+  if (v < 1'000'000) {
+    return StrFormat("%lld.%03lldus", v / 1'000, v % 1'000);
+  }
+  if (v < 1'000'000'000) {
+    return StrFormat("%lld.%03lldms", v / 1'000'000, (v / 1'000) % 1'000);
+  }
+  return StrFormat("%lld.%03llds", v / 1'000'000'000,
+                   (v / 1'000'000) % 1'000);
+}
+
+void RenderProfile(const OperatorProfile& profile, int indent,
+                   std::vector<std::string>* lines) {
+  sim::SimTime children_ns = 0;
+  for (const OperatorProfile& child : profile.children) {
+    children_ns += child.total_ns;
+  }
+  const sim::SimTime self_ns = std::max<sim::SimTime>(
+      0, profile.total_ns - children_ns);
+  std::string line(static_cast<size_t>(indent) * 2, ' ');
+  line += StrFormat("%s rows=%llu bytes=%llu total=%s self=%s",
+                    profile.op.c_str(),
+                    static_cast<unsigned long long>(profile.rows),
+                    static_cast<unsigned long long>(profile.bytes),
+                    FormatNs(profile.total_ns).c_str(),
+                    FormatNs(self_ns).c_str());
+  if (profile.invocations > 1) {
+    line += StrFormat(" x%llu",
+                      static_cast<unsigned long long>(profile.invocations));
+  }
+  lines->push_back(std::move(line));
+  for (const OperatorProfile& child : profile.children) {
+    RenderProfile(child, indent + 1, lines);
+  }
+}
+
+}  // namespace prisma::obs

@@ -1,0 +1,102 @@
+#include "obs/trace.h"
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace prisma::obs {
+
+namespace {
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  *out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StrFormat("\\u%04x", c);
+        } else {
+          *out += c;
+        }
+    }
+  }
+  *out += '"';
+}
+
+/// Chrome's ts/dur unit is microseconds; emit ns as fixed-point micros
+/// ("1234.567") with integer math only, so output never depends on
+/// floating-point formatting.
+void AppendMicros(std::string* out, sim::SimTime ns) {
+  *out += StrFormat("%lld.%03lld", static_cast<long long>(ns / 1000),
+                    static_cast<long long>(ns % 1000));
+}
+
+}  // namespace
+
+void Tracer::Span(std::string_view category, std::string_view name,
+                  sim::SimTime start_ns, sim::SimTime end_ns, int64_t pid,
+                  int64_t tid, std::string_view arg_key,
+                  std::string_view arg_value) {
+  if (!enabled_) return;
+  PRISMA_CHECK(end_ns >= start_ns);
+  events_.push_back(Event{'X', std::string(category), std::string(name),
+                          start_ns, end_ns - start_ns, pid, tid,
+                          std::string(arg_key), std::string(arg_value)});
+}
+
+void Tracer::Instant(std::string_view category, std::string_view name,
+                     sim::SimTime at_ns, int64_t pid, int64_t tid,
+                     std::string_view arg_key, std::string_view arg_value) {
+  if (!enabled_) return;
+  events_.push_back(Event{'i', std::string(category), std::string(name), at_ns,
+                          0, pid, tid, std::string(arg_key),
+                          std::string(arg_value)});
+}
+
+std::string Tracer::DumpJson() const {
+  std::string out = "{\"traceEvents\":[";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    if (i > 0) out += ',';
+    out += "{\"ph\":\"";
+    out += e.ph;
+    out += "\",\"cat\":";
+    AppendJsonString(&out, e.category);
+    out += ",\"name\":";
+    AppendJsonString(&out, e.name);
+    out += ",\"ts\":";
+    AppendMicros(&out, e.ts_ns);
+    if (e.ph == 'X') {
+      out += ",\"dur\":";
+      AppendMicros(&out, e.dur_ns);
+    } else {
+      out += ",\"s\":\"t\"";
+    }
+    out += StrFormat(",\"pid\":%lld,\"tid\":%lld",
+                     static_cast<long long>(e.pid),
+                     static_cast<long long>(e.tid));
+    if (!e.arg_key.empty()) {
+      out += ",\"args\":{";
+      AppendJsonString(&out, e.arg_key);
+      out += ':';
+      AppendJsonString(&out, e.arg_value);
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace prisma::obs

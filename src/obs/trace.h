@@ -1,0 +1,72 @@
+#ifndef PRISMA_OBS_TRACE_H_
+#define PRISMA_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace prisma::obs {
+
+/// Virtual-time tracer: records spans and instant events on the
+/// deterministic simulation clock and exports Chrome trace_event JSON
+/// (load the dump in chrome://tracing or Perfetto).
+///
+/// pid maps to the PE and tid to the POOL-X process id, so the trace UI
+/// groups work exactly like the machine does. All timestamps are virtual
+/// nanoseconds from the simulator; the export uses pure integer formatting,
+/// so two runs with the same seed serialize byte-identically on any host.
+///
+/// Tracing is off by default (recording every handler and message of a
+/// large bench costs real memory); components must check enabled() before
+/// doing work to assemble an event.
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  /// Complete span (ph "X"): work on (pid, tid) over [start_ns, end_ns].
+  /// An optional single argument shows up under "args" in the viewer.
+  void Span(std::string_view category, std::string_view name,
+            sim::SimTime start_ns, sim::SimTime end_ns, int64_t pid,
+            int64_t tid, std::string_view arg_key = {},
+            std::string_view arg_value = {});
+
+  /// Instant event (ph "i", thread scope).
+  void Instant(std::string_view category, std::string_view name,
+               sim::SimTime at_ns, int64_t pid, int64_t tid,
+               std::string_view arg_key = {}, std::string_view arg_value = {});
+
+  size_t num_events() const { return events_.size(); }
+  void Clear() { events_.clear(); }
+
+  /// Chrome trace_event JSON ({"traceEvents":[...]}), events in record
+  /// order (which is itself deterministic under the virtual clock).
+  std::string DumpJson() const;
+
+ private:
+  struct Event {
+    char ph;  // 'X' or 'i'.
+    std::string category;
+    std::string name;
+    sim::SimTime ts_ns;
+    sim::SimTime dur_ns;  // Spans only.
+    int64_t pid;
+    int64_t tid;
+    std::string arg_key;
+    std::string arg_value;
+  };
+
+  bool enabled_ = false;
+  std::vector<Event> events_;
+};
+
+}  // namespace prisma::obs
+
+#endif  // PRISMA_OBS_TRACE_H_

@@ -57,6 +57,22 @@ Runtime::Runtime(sim::Simulator* sim, net::Network* network, CostModel costs)
   }
 }
 
+void Runtime::AttachObservability(obs::MetricsRegistry* metrics,
+                                  obs::Tracer* tracer) {
+  metrics_ = metrics;
+  tracer_ = tracer;
+  if (metrics != nullptr) {
+    m_handlers_ = metrics->GetCounter("pool.handlers_executed");
+    m_dropped_ = metrics->GetCounter("pool.mail_dropped");
+    m_pe_cpu_.clear();
+    const int n = network_->topology().num_nodes();
+    for (net::NodeId pe = 0; pe < n; ++pe) {
+      m_pe_cpu_.push_back(
+          metrics->GetCounter("pe.cpu_ns", {{"pe", std::to_string(pe)}}));
+    }
+  }
+}
+
 ProcessId Runtime::Spawn(net::NodeId pe, std::unique_ptr<Process> process) {
   PRISMA_CHECK(pe >= 0 && pe < network_->topology().num_nodes());
   const ProcessId id = next_id_++;
@@ -68,7 +84,7 @@ ProcessId Runtime::Spawn(net::NodeId pe, std::unique_ptr<Process> process) {
   // OnStart runs behind the PE's CPU like any handler and pays spawn cost.
   sim_->Schedule(0, [this, pe, id, raw]() {
     if (!IsAlive(id)) return;
-    ExecuteHandler(pe, [this, raw]() {
+    ExecuteHandler(pe, "spawn", id, [this, raw]() {
       handler_charged_ns_ += costs_.spawn_ns;
       raw->OnStart();
     });
@@ -85,6 +101,14 @@ net::NodeId Runtime::PeOf(ProcessId id) const {
 }
 
 void Runtime::Send(Mail mail) {
+  if (metrics_ != nullptr) {
+    auto [it, inserted] = m_mail_kind_.try_emplace(mail.kind, nullptr);
+    if (inserted) {
+      it->second =
+          metrics_->GetCounter("pool.mail_sent", {{"kind", mail.kind}});
+    }
+    it->second->Increment();
+  }
   if (in_handler_) {
     // Released when the running handler's charged CPU completes.
     deferred_sends_.push_back(std::move(mail));
@@ -97,6 +121,7 @@ void Runtime::DispatchMail(const std::shared_ptr<Mail>& mail) {
   auto it = processes_.find(mail->to);
   if (it == processes_.end()) {
     ++dropped_mail_;
+    if (m_dropped_ != nullptr) m_dropped_->Increment();
     return;
   }
   const net::NodeId dst_pe = it->second->pe_;
@@ -110,13 +135,15 @@ void Runtime::MailArrived(std::shared_ptr<Mail> mail) {
   auto it = processes_.find(mail->to);
   if (it == processes_.end()) {
     ++dropped_mail_;
+    if (m_dropped_ != nullptr) m_dropped_->Increment();
     return;
   }
   const net::NodeId pe = it->second->pe_;
-  ExecuteHandler(pe, [this, mail]() {
+  ExecuteHandler(pe, mail->kind, mail->to, [this, mail]() {
     auto it2 = processes_.find(mail->to);
     if (it2 == processes_.end()) {
       ++dropped_mail_;
+      if (m_dropped_ != nullptr) m_dropped_->Increment();
       return;
     }
     handler_charged_ns_ += costs_.message_handling_ns;
@@ -124,12 +151,15 @@ void Runtime::MailArrived(std::shared_ptr<Mail> mail) {
   });
 }
 
-void Runtime::ExecuteHandler(net::NodeId pe, const std::function<void()>& body) {
+void Runtime::ExecuteHandler(net::NodeId pe, std::string name, ProcessId tid,
+                             const std::function<void()>& body) {
   const sim::SimTime now = sim_->now();
   if (pe_cpu_free_at_[pe] > now) {
     // The PE is busy with an earlier handler; retry when it frees up.
     sim_->ScheduleAt(pe_cpu_free_at_[pe],
-                     [this, pe, body]() { ExecuteHandler(pe, body); });
+                     [this, pe, name = std::move(name), tid, body]() {
+                       ExecuteHandler(pe, std::move(name), tid, body);
+                     });
     return;
   }
   PRISMA_CHECK(!in_handler_) << "nested handler execution";
@@ -145,6 +175,13 @@ void Runtime::ExecuteHandler(net::NodeId pe, const std::function<void()>& body) 
 
   pe_cpu_free_at_[pe] = now + charged;
   pe_busy_ns_[pe] += charged;
+  if (m_handlers_ != nullptr) {
+    m_handlers_->Increment();
+    m_pe_cpu_[pe]->Increment(static_cast<uint64_t>(charged));
+  }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Span("pool", name, now, now + charged, pe, tid);
+  }
   if (sends.empty()) return;
   auto release = std::make_shared<std::vector<Mail>>(std::move(sends));
   sim_->Schedule(charged, [this, release]() {

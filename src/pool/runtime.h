@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 
 namespace prisma::pool {
@@ -129,6 +131,13 @@ class Runtime {
   /// Total messages dropped because the target process was dead.
   uint64_t dropped_mail() const { return dropped_mail_; }
 
+  /// Mirrors runtime activity into the registry (pool.handlers_executed,
+  /// pool.mail_sent{kind}, pool.mail_dropped, pe.cpu_ns{pe}) and, when the
+  /// tracer is enabled, records one span per executed handler (pid = PE,
+  /// tid = process id, name = mail kind). Either pointer may be null.
+  void AttachObservability(obs::MetricsRegistry* metrics,
+                           obs::Tracer* tracer);
+
   /// Accumulated CPU busy time of a PE (for utilization reporting).
   sim::SimTime pe_busy_ns(net::NodeId pe) const { return pe_busy_ns_[pe]; }
 
@@ -143,8 +152,10 @@ class Runtime {
   void MailArrived(std::shared_ptr<Mail> mail);
 
   /// Runs one handler at the current instant, accounting charged CPU and
-  /// releasing deferred sends at handler completion.
-  void ExecuteHandler(net::NodeId pe, const std::function<void()>& body);
+  /// releasing deferred sends at handler completion. `name` and `tid`
+  /// label the handler's trace span (mail kind / destination process).
+  void ExecuteHandler(net::NodeId pe, std::string name, ProcessId tid,
+                      const std::function<void()>& body);
 
   void DispatchMail(const std::shared_ptr<Mail>& mail);
 
@@ -164,6 +175,14 @@ class Runtime {
   std::vector<Mail> deferred_sends_;
 
   uint64_t dropped_mail_ = 0;
+
+  // Cached registry entries (null until AttachObservability).
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* m_handlers_ = nullptr;
+  obs::Counter* m_dropped_ = nullptr;
+  std::vector<obs::Counter*> m_pe_cpu_;  // pe.cpu_ns{pe}, indexed by PE.
+  std::unordered_map<std::string, obs::Counter*> m_mail_kind_;
 };
 
 }  // namespace prisma::pool

@@ -29,6 +29,7 @@ bool Simulator::Step() {
     if (it != cancelled_.end()) {
       // Skipped without advancing the clock.
       cancelled_.erase(it);
+      ++events_cancelled_;
       continue;
     }
     now_ = ev.time;
@@ -50,6 +51,7 @@ void Simulator::PurgeCancelledFront() {
     auto it = cancelled_.find(queue_.front().seq);
     if (it == cancelled_.end()) return;
     cancelled_.erase(it);
+    ++events_cancelled_;
     PopNext();
   }
 }

@@ -49,7 +49,10 @@ class Simulator {
   /// existed). Cancelled events are skipped without advancing the clock
   /// to their instant when later events exist; an all-cancelled queue
   /// simply drains.
-  void Cancel(EventId id) { cancelled_.insert(id); }
+  void Cancel(EventId id) {
+    ++cancel_requests_;
+    if (id < next_seq_) cancelled_.insert(id);
+  }
 
   /// Executes the next pending event; returns false if none remain.
   bool Step();
@@ -65,7 +68,19 @@ class Simulator {
   /// Total events executed since construction.
   uint64_t events_executed() const { return events_executed_; }
 
-  /// Number of pending events.
+  /// Total events ever scheduled (executed + pending + cancelled).
+  uint64_t events_scheduled() const { return next_seq_; }
+
+  /// Cancel calls made (including no-op cancels of already-run events).
+  uint64_t cancel_requests() const { return cancel_requests_; }
+
+  /// Events skipped because they were cancelled before their instant.
+  uint64_t events_cancelled() const { return events_cancelled_; }
+
+  /// Cancelled events still sitting in the queue as tombstones.
+  size_t tombstones_pending() const { return cancelled_.size(); }
+
+  /// Number of pending events (cancelled-but-unpurged ones included).
   size_t pending() const { return queue_.size(); }
 
  private:
@@ -91,6 +106,8 @@ class Simulator {
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_executed_ = 0;
+  uint64_t cancel_requests_ = 0;
+  uint64_t events_cancelled_ = 0;
   std::vector<Event> queue_;  // Heap ordered by EventLater.
   std::unordered_set<EventId> cancelled_;
 };

@@ -148,6 +148,9 @@ struct Statement {
   /// EXPLAIN SELECT ...: plan the query and return the distributed plan
   /// instead of executing it.
   bool explain = false;
+  /// EXPLAIN ANALYZE SELECT ...: execute the query and return the
+  /// per-operator profile (rows, simulated ns, bytes) instead of its rows.
+  bool analyze = false;
   std::unique_ptr<SelectStmt> select;
   std::unique_ptr<CreateTableStmt> create_table;
   std::unique_ptr<DropTableStmt> drop_table;

@@ -96,8 +96,11 @@ class Parser {
 StatusOr<Statement> Parser::ParseStatement() {
   Statement stmt;
   if (TryKeyword("EXPLAIN")) {
+    stmt.analyze = TryKeyword("ANALYZE");
     if (!Peek().IsKeyword("SELECT")) {
-      return InvalidArgumentError("EXPLAIN supports SELECT only");
+      return InvalidArgumentError(stmt.analyze
+                                      ? "EXPLAIN ANALYZE supports SELECT only"
+                                      : "EXPLAIN supports SELECT only");
     }
     stmt.explain = true;
   }

@@ -1,0 +1,322 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/str_util.h"
+#include "core/prisma_db.h"
+#include "obs/metrics.h"
+#include "obs/query_profile.h"
+#include "obs/trace.h"
+
+namespace prisma {
+namespace {
+
+// ----------------------------------------------------------------- Metrics
+
+TEST(MetricsTest, CounterGaugeBasics) {
+  obs::MetricsRegistry registry;
+  obs::Counter* c = registry.GetCounter("test.counter");
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->value(), 42u);
+  EXPECT_EQ(registry.CounterValue("test.counter"), 42u);
+  EXPECT_EQ(registry.CounterValue("missing"), 0u);
+
+  obs::Gauge* g = registry.GetGauge("test.gauge");
+  g->Set(7);
+  g->Add(-3);
+  EXPECT_EQ(g->value(), 4);
+  EXPECT_EQ(registry.GaugeValue("test.gauge"), 4);
+}
+
+TEST(MetricsTest, GetIsIdempotentWithStablePointers) {
+  obs::MetricsRegistry registry;
+  obs::Counter* a = registry.GetCounter("c", {{"pe", "3"}});
+  // Force map growth, then re-fetch: same instance.
+  for (int i = 0; i < 100; ++i) {
+    registry.GetCounter("filler", {{"i", std::to_string(i)}});
+  }
+  EXPECT_EQ(registry.GetCounter("c", {{"pe", "3"}}), a);
+}
+
+TEST(MetricsTest, CanonicalKeySortsLabels) {
+  const obs::Labels ab = {{"a", "1"}, {"b", "2"}};
+  const obs::Labels ba = {{"b", "2"}, {"a", "1"}};
+  EXPECT_EQ(obs::MetricsRegistry::Key("m", ab),
+            obs::MetricsRegistry::Key("m", ba));
+  EXPECT_EQ(obs::MetricsRegistry::Key("m", ab), "m{a=1,b=2}");
+  EXPECT_EQ(obs::MetricsRegistry::Key("m", {}), "m");
+}
+
+TEST(MetricsTest, CounterTotalSumsAcrossLabelSets) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("ofm.scans", {{"fragment", "emp#0"}})->Increment(10);
+  registry.GetCounter("ofm.scans", {{"fragment", "emp#1"}})->Increment(5);
+  registry.GetCounter("ofm.scansuffix")->Increment(99);  // Different name.
+  EXPECT_EQ(registry.CounterTotal("ofm.scans"), 15u);
+}
+
+TEST(MetricsTest, HistogramBucketsAndQuantiles) {
+  obs::Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Record(i);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.sum(), 5050);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 100);
+  EXPECT_EQ(h.mean(), 50);
+  // Quantiles are bucket upper bounds: deterministic, monotone.
+  EXPECT_LE(h.ApproxQuantile(0.5), h.ApproxQuantile(0.99));
+  EXPECT_GE(h.ApproxQuantile(0.99), 100);
+}
+
+TEST(MetricsTest, DumpTextIsSortedAndDeterministic) {
+  auto fill = [](obs::MetricsRegistry* r) {
+    r->GetCounter("z.last")->Increment(3);
+    r->GetGauge("a.first")->Set(-5);
+    r->GetHistogram("m.middle")->Record(1000);
+    r->GetCounter("m.counter", {{"pe", "1"}})->Increment();
+  };
+  obs::MetricsRegistry r1, r2;
+  fill(&r2);  // Insertion order differs from dump order.
+  fill(&r1);
+  const std::string text = r1.DumpText();
+  EXPECT_EQ(text, r2.DumpText());
+  EXPECT_EQ(r1.DumpJson(), r2.DumpJson());
+  // Sorted by canonical key: gauge a.first before m.*, counter z.last last.
+  EXPECT_LT(text.find("a.first"), text.find("m.counter"));
+  EXPECT_LT(text.find("m.counter"), text.find("z.last"));
+  EXPECT_NE(text.find("counter z.last 3"), std::string::npos);
+  EXPECT_NE(text.find("gauge a.first -5"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ Tracer
+
+TEST(TracerTest, DisabledRecordsNothing) {
+  obs::Tracer tracer;
+  tracer.Span("cat", "work", 0, 100, 1, 2);
+  tracer.Instant("cat", "tick", 50, 1, 2);
+  EXPECT_EQ(tracer.num_events(), 0u);
+  EXPECT_EQ(tracer.DumpJson(), "{\"traceEvents\":[]}");
+}
+
+TEST(TracerTest, SpanAndInstantSerializeAsTraceEvents) {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.Span("pool", "handler", 1500, 3500, 2, 7, "kind", "exec_plan");
+  tracer.Instant("net", "drop", 4000, 0, -1);
+  ASSERT_EQ(tracer.num_events(), 2u);
+  const std::string json = tracer.DumpJson();
+  // Fixed-point microseconds from integer math: 1500ns -> 1.500us.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1.500"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":2.000"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":2,\"tid\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"kind\":\"exec_plan\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":-1"), std::string::npos);
+}
+
+TEST(TracerTest, EscapesJsonStrings) {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.Instant("c", "quote\"back\\slash\nnewline", 0, 0, 0);
+  const std::string json = tracer.DumpJson();
+  EXPECT_NE(json.find("quote\\\"back\\\\slash\\nnewline"),
+            std::string::npos);
+}
+
+// ----------------------------------------------------------- Query profile
+
+TEST(QueryProfileTest, FormatNsIsCompactIntegerMath) {
+  EXPECT_EQ(obs::FormatNs(875), "875ns");
+  EXPECT_EQ(obs::FormatNs(12345), "12.345us");
+  EXPECT_EQ(obs::FormatNs(3210000), "3.210ms");
+  EXPECT_EQ(obs::FormatNs(1500000000), "1.500s");
+}
+
+TEST(QueryProfileTest, MergeSumsNodeWiseAndCountsInvocations) {
+  obs::OperatorProfile a;
+  a.op = "Select";
+  a.rows = 10;
+  a.bytes = 100;
+  a.total_ns = 1000;
+  a.children.push_back({"Scan(emp#0)", 50, 500, 900, 1, {}});
+
+  obs::OperatorProfile b = a;
+  b.rows = 4;
+  b.children[0].rows = 20;
+
+  obs::MergeProfile(&a, b);
+  EXPECT_EQ(a.rows, 14u);
+  EXPECT_EQ(a.invocations, 2u);
+  EXPECT_EQ(a.children[0].rows, 70u);
+  EXPECT_EQ(a.children[0].total_ns, 1800);
+}
+
+TEST(QueryProfileTest, RenderShowsRowsAndTimes) {
+  obs::OperatorProfile root;
+  root.op = "Join";
+  root.rows = 12;
+  root.bytes = 480;
+  root.total_ns = 5000;
+  root.children.push_back({"Scan(a)", 6, 120, 2000, 1, {}});
+  root.children.push_back({"Scan(b)", 6, 120, 1000, 1, {}});
+  std::vector<std::string> lines;
+  obs::RenderProfile(root, 0, &lines);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("Join rows=12 bytes=480"), std::string::npos);
+  // Self time = 5000 - 2000 - 1000.
+  EXPECT_NE(lines[0].find("self=2.000us"), std::string::npos);
+  EXPECT_NE(lines[1].find("  Scan(a)"), std::string::npos);
+}
+
+// ------------------------------------------- End-to-end through the machine
+
+core::MachineConfig SmallMachine(bool tracing = false) {
+  core::MachineConfig config;
+  config.pes = 8;
+  config.enable_tracing = tracing;
+  return config;
+}
+
+void LoadEmp(core::PrismaDb* db, int rows = 24) {
+  ASSERT_TRUE(db->Execute("CREATE TABLE emp (id INT, dept STRING, salary "
+                          "INT) FRAGMENTED BY HASH(id) INTO 4 FRAGMENTS")
+                  .ok());
+  const char* depts[] = {"sales", "eng", "hr"};
+  for (int i = 0; i < rows; ++i) {
+    ASSERT_TRUE(db->Execute(StrFormat("INSERT INTO emp VALUES (%d, '%s', %d)",
+                                      i, depts[i % 3], 1000 + i))
+                    .ok());
+  }
+}
+
+TEST(ObservabilityEndToEnd, ExplainAnalyzeReturnsPerOperatorProfile) {
+  core::PrismaDb db(SmallMachine());
+  LoadEmp(&db);
+  auto result =
+      db.Execute("EXPLAIN ANALYZE SELECT dept, COUNT(*) FROM emp "
+                 "WHERE salary >= 1005 GROUP BY dept");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->schema.num_columns(), 1u);
+  EXPECT_EQ(result->schema.column(0).name, "plan");
+  std::string all;
+  for (const Tuple& t : result->tuples) {
+    all += t.at(0).string_value();
+    all += '\n';
+  }
+  // Measured figures, not estimates: row counts and simulated ns.
+  EXPECT_NE(all.find("global plan"), std::string::npos);
+  EXPECT_NE(all.find("rows="), std::string::npos);
+  EXPECT_NE(all.find("total="), std::string::npos);
+  EXPECT_NE(all.find("part 0"), std::string::npos);
+  // The fragment profiles were merged over 4 fragments.
+  EXPECT_NE(all.find("x4"), std::string::npos);
+
+  // Plain EXPLAIN still returns the unexecuted plan (no measurements).
+  auto plain = db.Execute("EXPLAIN SELECT * FROM emp");
+  ASSERT_TRUE(plain.ok());
+  std::string plain_text;
+  for (const Tuple& t : plain->tuples) plain_text += t.at(0).string_value();
+  EXPECT_EQ(plain_text.find("rows="), std::string::npos);
+}
+
+TEST(ObservabilityEndToEnd, MetricsCoverEveryLayer) {
+  core::PrismaDb db(SmallMachine());
+  LoadEmp(&db);
+  ASSERT_TRUE(db.Execute("SELECT * FROM emp WHERE salary > 1010").ok());
+  obs::MetricsRegistry& m = db.metrics();
+  // net: messages crossed links and were delivered.
+  EXPECT_GT(m.CounterValue("net.messages_sent"), 0u);
+  EXPECT_GT(m.CounterValue("net.messages_delivered"), 0u);
+  const obs::Histogram* latency = m.FindHistogram("net.latency_ns");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_GT(latency->count(), 0u);
+  // pool: handlers ran, PEs were charged.
+  EXPECT_GT(m.CounterValue("pool.handlers_executed"), 0u);
+  EXPECT_GT(m.CounterTotal("pe.cpu_ns"), 0u);
+  EXPECT_GT(m.CounterValue("pool.mail_sent", {{"kind", "exec_plan"}}), 0u);
+  // gdh: statements routed, coordinators spawned, 2PC ran for inserts.
+  EXPECT_GT(m.CounterValue("gdh.statements"), 0u);
+  EXPECT_GT(m.CounterValue("gdh.selects_spawned"), 0u);
+  EXPECT_GT(m.CounterValue("gdh.txns_committed"), 0u);
+  // ofm: fragments scanned tuples and wrote WAL records.
+  EXPECT_GT(m.CounterTotal("ofm.tuples_scanned"), 0u);
+  EXPECT_GT(m.CounterTotal("ofm.wal_records"), 0u);
+  // Dump includes synced gauges and is non-trivial.
+  const std::string text = db.DumpMetrics();
+  EXPECT_NE(text.find("gauge sim.now_ns"), std::string::npos);
+  EXPECT_NE(text.find("pe.busy_ns"), std::string::npos);
+  EXPECT_NE(text.find("counter net.messages_sent"), std::string::npos);
+}
+
+TEST(ObservabilityEndToEnd, PerQueryScopedMetrics) {
+  core::PrismaDb db(SmallMachine());
+  LoadEmp(&db);
+  uint64_t id = 0;
+  bool replied = false;
+  id = db.Submit("SELECT * FROM emp", /*prismalog=*/false, exec::kAutoCommit,
+                 [&](const gdh::ClientReply&, sim::SimTime) {
+                   replied = true;
+                 });
+  db.Run();
+  ASSERT_TRUE(replied);
+  const obs::Labels q = {{"query", std::to_string(id)}};
+  EXPECT_EQ(db.metrics().CounterValue("query.tuples_gathered", q), 24u);
+  EXPECT_GT(db.metrics().CounterValue("query.fragments_contacted", q), 0u);
+  EXPECT_GT(db.metrics().GaugeValue("query.response_ns", q), 0);
+}
+
+std::vector<std::string> GoldenStatements() {
+  return {
+      "CREATE TABLE emp (id INT, dept STRING, salary INT) "
+      "FRAGMENTED BY HASH(id) INTO 4 FRAGMENTS",
+      "INSERT INTO emp VALUES (1, 'eng', 1000), (2, 'hr', 1200)",
+      "INSERT INTO emp VALUES (3, 'eng', 1400)",
+      "SELECT dept, SUM(salary) FROM emp GROUP BY dept",
+      "SELECT * FROM emp WHERE id = 2",
+  };
+}
+
+TEST(ObservabilityEndToEnd, TraceIsByteIdenticalAcrossSameSeedRuns) {
+  auto run = [] {
+    core::PrismaDb db(SmallMachine(/*tracing=*/true));
+    for (const std::string& sql : GoldenStatements()) {
+      auto r = db.Execute(sql);
+      EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    }
+    return std::make_pair(db.DumpTrace(), db.DumpMetrics());
+  };
+  const auto [trace1, metrics1] = run();
+  const auto [trace2, metrics2] = run();
+  EXPECT_GT(trace1.size(), 2000u);  // Real content, not an empty shell.
+  EXPECT_EQ(trace1, trace2);
+  EXPECT_EQ(metrics1, metrics2);
+  // It is a trace_event document with the layers' categories present.
+  EXPECT_EQ(trace1.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(trace1.find("\"cat\":\"net\""), std::string::npos);
+  EXPECT_NE(trace1.find("\"cat\":\"pool\""), std::string::npos);
+  EXPECT_NE(trace1.find("\"cat\":\"gdh\""), std::string::npos);
+  EXPECT_NE(trace1.find("\"name\":\"2pc.prepare\""), std::string::npos);
+}
+
+TEST(ObservabilityEndToEnd, SameQueryTwiceYieldsIdenticalTraceSegments) {
+  // The golden-query check: run one query, snapshot the trace, clear,
+  // run the identical query again — the two segments must describe the
+  // same work (same event count and structure; timestamps differ only by
+  // the virtual start offset, so compare counts and names).
+  core::PrismaDb db(SmallMachine(/*tracing=*/true));
+  LoadEmp(&db, 12);
+  db.tracer().Clear();
+  ASSERT_TRUE(db.Execute("SELECT COUNT(*) FROM emp").ok());
+  const size_t events_first = db.tracer().num_events();
+  db.tracer().Clear();
+  ASSERT_TRUE(db.Execute("SELECT COUNT(*) FROM emp").ok());
+  EXPECT_EQ(db.tracer().num_events(), events_first);
+  EXPECT_GT(events_first, 0u);
+}
+
+}  // namespace
+}  // namespace prisma

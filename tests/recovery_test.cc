@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "core/prisma_db.h"
+
+namespace prisma::core {
+namespace {
+
+MachineConfig SoakMachine() {
+  MachineConfig config;
+  config.pes = 8;
+  return config;
+}
+
+constexpr int kFragments = 4;
+
+QueryResult MustExecute(PrismaDb* db, const std::string& sql) {
+  auto result = db->Execute(sql);
+  PRISMA_CHECK(result.ok()) << sql << " -> " << result.status().ToString();
+  return std::move(result).value();
+}
+
+std::set<int64_t> SelectIds(PrismaDb* db) {
+  QueryResult r = MustExecute(db, "SELECT id FROM t");
+  std::set<int64_t> ids;
+  for (const Tuple& tuple : r.tuples) ids.insert(tuple.at(0).int_value());
+  return ids;
+}
+
+void CrashAndRecoverAll(PrismaDb* db) {
+  for (int f = 0; f < kFragments; ++f) {
+    ASSERT_TRUE(db->CrashFragment("t", f).ok());
+    ASSERT_TRUE(db->RecoverFragment("t", f).ok());
+    db->Run();  // Let the respawned OFM's restart/redo pass settle.
+  }
+}
+
+TEST(RecoveryTest, CommittedEffectsSurviveAbortedOnesDont) {
+  PrismaDb db(SoakMachine());
+  MustExecute(&db, StrFormat("CREATE TABLE t (id INT, v INT) FRAGMENTED BY "
+                             "HASH(id) INTO %d FRAGMENTS",
+                             kFragments));
+  for (int i = 0; i < 20; ++i) {
+    MustExecute(&db, StrFormat("INSERT INTO t VALUES (%d, %d)", i, i * 10));
+  }
+
+  // An explicit transaction that writes and then aborts: its tuples must
+  // vanish now and must not resurrect through the WAL after a crash.
+  auto session = db.OpenSession();
+  ASSERT_TRUE(session.Execute("BEGIN").ok());
+  ASSERT_TRUE(session.Execute("INSERT INTO t VALUES (100, 0)").ok());
+  ASSERT_TRUE(session.Execute("INSERT INTO t VALUES (101, 0)").ok());
+  ASSERT_TRUE(session.Execute("ABORT").ok());
+  EXPECT_EQ(db.metrics().CounterValue("gdh.txns_aborted"), 1u);
+
+  CrashAndRecoverAll(&db);
+
+  const std::set<int64_t> ids = SelectIds(&db);
+  EXPECT_EQ(ids.size(), 20u);
+  EXPECT_EQ(ids.count(100), 0u);
+  EXPECT_EQ(ids.count(101), 0u);
+
+  // Metrics account for the restart work: every fragment recovered, and
+  // the 20 committed inserts (one redo record each) were replayed.
+  EXPECT_EQ(db.metrics().CounterTotal("ofm.recoveries"),
+            static_cast<uint64_t>(kFragments));
+  EXPECT_EQ(db.metrics().CounterTotal("ofm.redo_applied"), 20u);
+}
+
+TEST(RecoveryTest, CheckpointBoundsRedoWork) {
+  PrismaDb db(SoakMachine());
+  MustExecute(&db, StrFormat("CREATE TABLE t (id INT, v INT) FRAGMENTED BY "
+                             "HASH(id) INTO %d FRAGMENTS",
+                             kFragments));
+  for (int i = 0; i < 10; ++i) {
+    MustExecute(&db, StrFormat("INSERT INTO t VALUES (%d, 0)", i));
+  }
+  MustExecute(&db, "CHECKPOINT");
+  for (int i = 10; i < 14; ++i) {
+    MustExecute(&db, StrFormat("INSERT INTO t VALUES (%d, 0)", i));
+  }
+
+  CrashAndRecoverAll(&db);
+
+  // Only the post-checkpoint suffix replays; the first 10 rows come from
+  // the snapshot.
+  EXPECT_EQ(db.metrics().CounterTotal("ofm.redo_applied"), 4u);
+  EXPECT_EQ(SelectIds(&db).size(), 14u);
+}
+
+/// Seeded random soak: interleaves reads, writes, explicit transactions
+/// (committed and aborted), checkpoints and fragment crash/recover cycles,
+/// tracking a model of the committed row set. Returns the final metrics
+/// dump so callers can compare runs.
+std::string RunSoak(uint64_t seed, std::set<int64_t>* final_ids,
+                    uint64_t* expected_aborts, uint64_t* expected_crashes) {
+  PrismaDb db(SoakMachine());
+  MustExecute(&db, StrFormat("CREATE TABLE t (id INT, v INT) FRAGMENTED BY "
+                             "HASH(id) INTO %d FRAGMENTS",
+                             kFragments));
+  Rng rng(seed);
+  std::set<int64_t> model;
+  int64_t next_id = 0;
+  uint64_t aborts = 0;
+  uint64_t crashes = 0;
+
+  for (int op = 0; op < 60; ++op) {
+    const int64_t dice = rng.UniformInt(0, 9);
+    if (dice < 4) {
+      // Auto-commit insert.
+      const int64_t id = next_id++;
+      MustExecute(&db, StrFormat("INSERT INTO t VALUES (%lld, %lld)",
+                                 static_cast<long long>(id),
+                                 static_cast<long long>(id * 7)));
+      model.insert(id);
+    } else if (dice == 4 && !model.empty()) {
+      // Delete one existing row by key.
+      auto it = model.begin();
+      std::advance(it,
+                   rng.UniformInt(0, static_cast<int64_t>(model.size()) - 1));
+      MustExecute(&db, StrFormat("DELETE FROM t WHERE id = %lld",
+                                 static_cast<long long>(*it)));
+      model.erase(it);
+    } else if (dice == 5) {
+      // Explicit transaction with a few inserts; commit or abort.
+      auto session = db.OpenSession();
+      PRISMA_CHECK(session.Execute("BEGIN").ok());
+      const int64_t count = rng.UniformInt(1, 3);
+      std::vector<int64_t> staged;
+      for (int64_t i = 0; i < count; ++i) {
+        const int64_t id = next_id++;
+        PRISMA_CHECK(
+            session.Execute(StrFormat("INSERT INTO t VALUES (%lld, 1)",
+                                      static_cast<long long>(id)))
+                .ok());
+        staged.push_back(id);
+      }
+      if (rng.NextBool(0.5)) {
+        PRISMA_CHECK(session.Execute("COMMIT").ok());
+        model.insert(staged.begin(), staged.end());
+      } else {
+        PRISMA_CHECK(session.Execute("ABORT").ok());
+        ++aborts;
+      }
+    } else if (dice == 6) {
+      MustExecute(&db, "CHECKPOINT");
+    } else if (dice == 7) {
+      // Crash one fragment and bring it back before the next statement.
+      const int f = static_cast<int>(rng.UniformInt(0, kFragments - 1));
+      PRISMA_CHECK(db.CrashFragment("t", f).ok());
+      PRISMA_CHECK(db.RecoverFragment("t", f).ok());
+      db.Run();
+      ++crashes;
+    } else {
+      // Read back and verify against the model mid-soak.
+      const std::set<int64_t> ids = SelectIds(&db);
+      PRISMA_CHECK(ids == model)
+          << "soak divergence at op " << op << ": db has " << ids.size()
+          << " rows, model has " << model.size();
+    }
+  }
+
+  *final_ids = SelectIds(&db);
+  PRISMA_CHECK(*final_ids == model);
+  *expected_aborts = aborts;
+  *expected_crashes = crashes;
+  return db.DumpMetrics();
+}
+
+TEST(RecoveryTest, RandomizedSoakKeepsCommittedStateAndMetricsHonest) {
+  std::set<int64_t> ids;
+  uint64_t aborts = 0;
+  uint64_t crashes = 0;
+  const std::string metrics = RunSoak(1234, &ids, &aborts, &crashes);
+
+  // The seed produced a non-trivial mix (update the seed if this fails
+  // after changing the op distribution).
+  EXPECT_GT(ids.size(), 5u);
+  EXPECT_GT(aborts, 0u);
+  EXPECT_GT(crashes, 0u);
+
+  // The registry agrees with the ground truth the soak tracked.
+  EXPECT_NE(metrics.find(StrFormat("counter gdh.txns_aborted %llu",
+                                   static_cast<unsigned long long>(aborts))),
+            std::string::npos)
+      << metrics;
+
+  std::set<int64_t> ids2;
+  uint64_t aborts2 = 0;
+  uint64_t crashes2 = 0;
+  const std::string metrics2 = RunSoak(1234, &ids2, &aborts2, &crashes2);
+
+  // Same seed, same machine: byte-identical metrics and identical state —
+  // the crash/recovery path is deterministic too.
+  EXPECT_EQ(ids, ids2);
+  EXPECT_EQ(aborts, aborts2);
+  EXPECT_EQ(crashes, crashes2);
+  EXPECT_EQ(metrics, metrics2);
+}
+
+TEST(RecoveryTest, SoakMetricsCountRecoveries) {
+  PrismaDb db(SoakMachine());
+  MustExecute(&db, StrFormat("CREATE TABLE t (id INT, v INT) FRAGMENTED BY "
+                             "HASH(id) INTO %d FRAGMENTS",
+                             kFragments));
+  MustExecute(&db, "INSERT INTO t VALUES (1, 1), (2, 2), (3, 3)");
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(db.CrashFragment("t", 0).ok());
+    ASSERT_TRUE(db.RecoverFragment("t", 0).ok());
+    db.Run();
+  }
+  EXPECT_EQ(db.metrics().CounterTotal("ofm.recoveries"), 3u);
+  EXPECT_EQ(SelectIds(&db).size(), 3u);
+}
+
+}  // namespace
+}  // namespace prisma::core

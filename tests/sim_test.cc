@@ -124,6 +124,80 @@ TEST(SimulatorTest, RunUntilSkipsCancelledFront) {
   EXPECT_EQ(sim.now(), 60);
 }
 
+TEST(SimulatorTest, TiesBreakBySequenceAcrossInterleavedSchedules) {
+  // Same-time events fire in scheduling order even when they are created
+  // from inside other events — the (time, seq) key, not heap luck.
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(10, [&] {
+    order.push_back(0);
+    sim.Schedule(10, [&] { order.push_back(3); });  // t=20, seq later.
+  });
+  sim.Schedule(20, [&] { order.push_back(1); });
+  sim.Schedule(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(SimulatorTest, EventAccountingTracksSchedulesAndCancels) {
+  Simulator sim;
+  EXPECT_EQ(sim.events_scheduled(), 0u);
+  const EventId a = sim.Schedule(10, [] {});
+  sim.Schedule(20, [] {});
+  EXPECT_EQ(sim.events_scheduled(), 2u);
+  sim.Cancel(a);
+  EXPECT_EQ(sim.cancel_requests(), 1u);
+  EXPECT_EQ(sim.tombstones_pending(), 1u);
+  EXPECT_EQ(sim.events_cancelled(), 0u);  // Tombstone not yet consumed.
+  sim.Run();
+  EXPECT_EQ(sim.events_cancelled(), 1u);
+  EXPECT_EQ(sim.tombstones_pending(), 0u);
+  EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+TEST(SimulatorTest, CancelOfUnissuedIdIsRejected) {
+  // Ids the simulator never handed out must not poison future events.
+  Simulator sim;
+  sim.Cancel(9999);
+  int fired = 0;
+  for (int i = 0; i < 3; ++i) sim.Schedule(i + 1, [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.events_cancelled(), 0u);
+}
+
+TEST(SimulatorTest, DoubleCancelConsumesOneTombstone) {
+  Simulator sim;
+  int fired = 0;
+  const EventId id = sim.Schedule(10, [&] { ++fired; });
+  sim.Cancel(id);
+  sim.Cancel(id);  // Idempotent: the set holds one entry.
+  EXPECT_EQ(sim.cancel_requests(), 2u);
+  EXPECT_EQ(sim.tombstones_pending(), 1u);
+  sim.Run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.events_cancelled(), 1u);
+  EXPECT_EQ(sim.tombstones_pending(), 0u);
+}
+
+TEST(SimulatorTest, IdenticalRunsProduceIdenticalSchedules) {
+  // The determinism bedrock: two simulators fed the same event program
+  // agree on every firing time.
+  auto run = [] {
+    Simulator sim;
+    std::vector<SimTime> times;
+    for (int i = 0; i < 20; ++i) {
+      sim.Schedule((i * 7) % 13, [&times, &sim] {
+        times.push_back(sim.now());
+        sim.Schedule(3, [&times, &sim] { times.push_back(sim.now()); });
+      });
+    }
+    sim.Run();
+    return times;
+  };
+  EXPECT_EQ(run(), run());
+}
+
 TEST(SimulatorTest, ZeroDelayRunsAtCurrentTime) {
   Simulator sim;
   SimTime seen = -1;
