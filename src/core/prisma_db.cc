@@ -81,6 +81,11 @@ PrismaDb::PrismaDb(MachineConfig config) : config_(std::move(config)) {
   network_ = std::make_unique<net::Network>(&sim_, MakeTopology(config_),
                                             config_.link);
   network_->AttachObservability(&metrics_, &tracer_);
+  const bool faults = config_.fault_plan.active() ||
+                      !config_.fault_plan.pe_crashes.empty();
+  if (faults) {
+    network_->SetFaultPlan(config_.fault_plan);
+  }
   runtime_ =
       std::make_unique<pool::Runtime>(&sim_, network_.get(), config_.costs);
   runtime_->AttachObservability(&metrics_, &tracer_);
@@ -109,8 +114,26 @@ PrismaDb::PrismaDb(MachineConfig config) : config_(std::move(config)) {
   gdh_config.base_ofm_type = config_.base_ofm_type;
   gdh_config.placement = config_.placement;
   gdh_config.registry = &registry_;
-  gdh_config.op_timeout_ns = config_.op_timeout_ns;
+  // Auto timeouts (see MachineConfig): effectively silent when fault-free,
+  // snappy when messages can actually be lost.
+  gdh_config.rpc_timeout_ns =
+      config_.rpc_timeout_ns > 0
+          ? config_.rpc_timeout_ns
+          : (faults ? 250 * sim::kNanosPerMilli : 10 * sim::kNanosPerSecond);
+  gdh_config.rpc_backoff_cap_ns =
+      config_.rpc_backoff_cap_ns > 0
+          ? config_.rpc_backoff_cap_ns
+          : (faults ? 2 * sim::kNanosPerSecond : 10 * sim::kNanosPerSecond);
+  gdh_config.rpc_attempts = config_.rpc_attempts;
   gdh_config.query_timeout_ns = config_.query_timeout_ns;
+  if (faults) {
+    // Under a faulty interconnect the stmt_done report and the
+    // coordinator itself can be lost; the resend and supervision timers
+    // guarantee statements terminate anyway. They stay off in fault-free
+    // runs so behaviour and metrics are unchanged.
+    gdh_config.stmt_done_resend_ns = 200 * sim::kNanosPerMilli;
+    gdh_config.coord_check_ns = sim::kNanosPerSecond;
+  }
   gdh_config.metrics = &metrics_;
   gdh_config.tracer = &tracer_;
 
@@ -121,7 +144,36 @@ PrismaDb::PrismaDb(MachineConfig config) : config_(std::move(config)) {
   auto client = std::make_unique<ClientProcess>(&gdh_pid_);
   client_ = client.get();
   client_pid_ = runtime_->Spawn(0, std::move(client));
+  if (faults) {
+    // The client link models the host interface, not the interconnect:
+    // statements and their replies are never faulted (the DBMS-internal
+    // traffic they trigger is).
+    const pool::ProcessId client_pid = client_pid_;
+    network_->SetFaultExempt([client_pid](const net::Message& message) {
+      const auto* mail =
+          std::any_cast<std::shared_ptr<pool::Mail>>(&message.payload);
+      if (mail == nullptr) return false;
+      return (*mail)->from == client_pid || (*mail)->to == client_pid;
+    });
+  }
   sim_.Run();  // Let OnStart handlers settle.
+  // Scheduled PE crash/restart events from the fault plan.
+  for (const net::PeCrashEvent& event : config_.fault_plan.pe_crashes) {
+    PRISMA_CHECK(event.pe != 0);  // PE 0 hosts the GDH and the client.
+    PRISMA_CHECK(event.pe < network_->topology().num_nodes());
+    sim_.ScheduleAt(event.at_ns, [this, pe = event.pe] { CrashPe(pe); });
+    if (event.restart_at_ns >= 0) {
+      PRISMA_CHECK(event.restart_at_ns >= event.at_ns);
+      sim_.ScheduleAt(event.restart_at_ns, [this, pe = event.pe] {
+        PRISMA_CHECK_OK(gdh_->RecoverPe(pe));
+      });
+    }
+  }
+}
+
+size_t PrismaDb::CrashPe(net::NodeId pe) {
+  PRISMA_CHECK(pe != 0);  // PE 0 hosts the GDH and the client endpoint.
+  return runtime_->CrashPe(pe);
 }
 
 PrismaDb::~PrismaDb() = default;

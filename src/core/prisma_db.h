@@ -50,8 +50,24 @@ struct MachineConfig {
   gdh::PlacementPolicy placement = gdh::PlacementPolicy::kAligned;
   storage::DiskModel disk;
   size_t pe_memory_bytes = storage::kDefaultPeMemoryBytes;
-  sim::SimTime op_timeout_ns = 10 * sim::kNanosPerSecond;
+  /// GDH<->OFM request retransmission: first resend delay, backoff cap
+  /// and total attempts before an operation degrades to kUnavailable.
+  /// 0 = auto: a fault-free machine uses 10 s (WAL and checkpoint flushes
+  /// cost tens of virtual milliseconds, so an aggressive timer would
+  /// retransmit spuriously; 10 s never fires in practice and preserves
+  /// pre-retransmission behaviour), while a machine with an active fault
+  /// plan uses 250 ms / 2 s so lost messages are recovered promptly.
+  sim::SimTime rpc_timeout_ns = 0;
+  sim::SimTime rpc_backoff_cap_ns = 0;
+  int rpc_attempts = 6;
   sim::SimTime query_timeout_ns = 30 * sim::kNanosPerSecond;
+  /// Deterministic fault injection (message drops/duplicates/jitter, link
+  /// outages, PE crash/restart schedule). An inert (default) plan leaves
+  /// the machine's behaviour and metrics byte-identical to a build without
+  /// fault injection. When the plan is active, the statement-done and
+  /// coordinator supervision timers are enabled automatically so every
+  /// statement still terminates under message loss.
+  net::FaultPlan fault_plan;
   /// Record virtual-time spans/events for DumpTrace. Off by default:
   /// long soaks would otherwise accumulate unbounded event buffers.
   bool enable_tracing = false;
@@ -151,6 +167,15 @@ class PrismaDb {
   Status RecoverFragment(const std::string& table, int fragment) {
     return gdh_->RecoverFragment(table, fragment);
   }
+
+  /// Kills every process on `pe` (fragment managers AND query
+  /// coordinators) — a whole-PE crash. PE 0 hosts the GDH and the client
+  /// endpoint and must not be crashed. Returns the victim count.
+  size_t CrashPe(net::NodeId pe);
+  /// Restarts `pe`: respawns its dead fragment managers, which recover
+  /// from the PE's stable store and resolve in-doubt transactions with
+  /// the GDH.
+  Status RecoverPe(net::NodeId pe) { return gdh_->RecoverPe(pe); }
 
   /// Per-PE CPU busy time and stable stores, for reporting.
   sim::SimTime PeBusyNs(net::NodeId pe) const {

@@ -1,6 +1,7 @@
 #include "gdh/gdh_process.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <utility>
 
 #include "common/logging.h"
@@ -13,6 +14,15 @@ namespace prisma::gdh {
 
 using sql::BoundStatement;
 using sql::Statement;
+
+namespace {
+
+/// Stable-store stream holding the presumed-abort decision log: "C <txn>"
+/// when a commit decision is forced, "E <txn>" once every participant
+/// acknowledged it. Aborts are never logged.
+constexpr char kDecisionStream[] = "gdh.2pc";
+
+}  // namespace
 
 GdhProcess::GdhProcess(Config config) : config_(std::move(config)) {
   PRISMA_CHECK(!config_.fragment_pes.empty());
@@ -30,7 +40,20 @@ GdhProcess::GdhProcess(Config config) : config_(std::move(config)) {
   }
 }
 
+void GdhProcess::OnStart() {
+  // A restarted GDH re-learns its unforgotten commit decisions so it can
+  // answer in-doubt inquiries; everything absent is presumed aborted.
+  ReplayDecisionLog();
+}
+
 // --------------------------------------------------------------- Plumbing
+
+obs::Counter* GdhProcess::LazyCounter(obs::Counter** slot, const char* name) {
+  if (*slot == nullptr && config_.metrics != nullptr) {
+    *slot = config_.metrics->GetCounter(name);
+  }
+  return *slot;
+}
 
 void GdhProcess::ReplyToClient(pool::ProcessId client, uint64_t request_id,
                                Status status, uint64_t affected,
@@ -81,11 +104,135 @@ exec::TxnId GdhProcess::NewTxn(bool explicit_txn) {
 void GdhProcess::FinishMulticast(uint64_t batch_id, Multicast& batch) {
   if (batch.done_called) return;
   batch.done_called = true;
-  runtime()->simulator()->Cancel(batch.timeout_event);
   auto done = std::move(batch.done);
   Multicast snapshot = std::move(batch);
   batches_.erase(batch_id);
   done(snapshot);
+}
+
+// ----------------------------------------------------------- Hardened RPC
+
+void GdhProcess::SendRpc(uint64_t request_id, uint64_t batch_id,
+                         std::string fragment, const char* kind,
+                         std::any body, int64_t size_bits,
+                         int max_attempts) {
+  request_batch_[request_id] = batch_id;
+  PendingRpc rpc;
+  rpc.fragment = std::move(fragment);
+  rpc.kind = kind;
+  rpc.body = std::move(body);
+  rpc.size_bits = size_bits;
+  rpc.max_attempts = max_attempts;
+  rpc.delay = config_.rpc_timeout_ns;
+  auto ofm = OfmOf(rpc.fragment);
+  if (ofm.ok() && *ofm != pool::kNoProcess) {
+    SendMail(*ofm, rpc.kind, rpc.body, rpc.size_bits);
+  }
+  // An unresolvable target (crashed fragment) is treated like a lost
+  // message: the timer keeps retrying, chasing a later respawn.
+  rpc.timer = SendSelfAfter(rpc.delay, kMailRpcTimeout,
+                            std::make_shared<uint64_t>(request_id));
+  rpcs_[request_id] = std::move(rpc);
+}
+
+bool GdhProcess::SettleRpc(uint64_t request_id) {
+  auto it = rpcs_.find(request_id);
+  if (it == rpcs_.end()) return false;
+  runtime()->simulator()->Cancel(it->second.timer);
+  rpcs_.erase(it);
+  return true;
+}
+
+void GdhProcess::AccountBatchMember(uint64_t request_id, const Status& status,
+                                    uint64_t affected) {
+  auto it = request_batch_.find(request_id);
+  if (it == request_batch_.end()) return;
+  const uint64_t batch_id = it->second;
+  request_batch_.erase(it);
+  auto batch_it = batches_.find(batch_id);
+  if (batch_it == batches_.end()) return;
+  Multicast& batch = batch_it->second;
+  ++batch.received;
+  if (!status.ok() && batch.first_error.ok()) batch.first_error = status;
+  batch.affected += affected;
+  if (batch.received == batch.expected) FinishMulticast(batch_id, batch);
+}
+
+void GdhProcess::HandleRpcTimeout(const pool::Mail& mail) {
+  const uint64_t request_id =
+      *std::any_cast<std::shared_ptr<uint64_t>>(mail.body);
+  auto it = rpcs_.find(request_id);
+  if (it == rpcs_.end()) return;  // Answered in the meantime.
+  PendingRpc& rpc = it->second;
+  if (rpc.attempts >= rpc.max_attempts) {
+    // Budget exhausted: degrade to a typed kUnavailable so the statement
+    // completes instead of hanging.
+    ++stats_.rpc_failures;
+    Inc(LazyCounter(&m_rpc_failures_, "gdh.rpc_failures"));
+    Status failure = UnavailableError(
+        rpc.fragment + " did not answer " + rpc.kind + " after " +
+        std::to_string(rpc.attempts) + " attempts (crashed PE?)");
+    rpcs_.erase(it);
+    AccountBatchMember(request_id, failure, 0);
+    return;
+  }
+  ++rpc.attempts;
+  ++stats_.rpc_retries;
+  Inc(LazyCounter(&m_rpc_retries_, "gdh.rpc_retries"));
+  // Re-resolve the target: the fragment may have respawned under a new
+  // pid since the last attempt.
+  auto ofm = OfmOf(rpc.fragment);
+  if (ofm.ok() && *ofm != pool::kNoProcess) {
+    SendMail(*ofm, rpc.kind, rpc.body, rpc.size_bits);
+  }
+  rpc.delay = std::min(rpc.delay * 2, config_.rpc_backoff_cap_ns);
+  rpc.timer = SendSelfAfter(rpc.delay, kMailRpcTimeout,
+                            std::make_shared<uint64_t>(request_id));
+}
+
+void GdhProcess::DoomTxnsInvolving(const std::string& fragment) {
+  for (auto& [txn, state] : txns_) {
+    if (state.doomed || state.involved.count(fragment) == 0) continue;
+    state.doomed = true;
+    ++stats_.txns_doomed;
+    Inc(LazyCounter(&m_txns_doomed_, "gdh.txns_doomed"));
+  }
+}
+
+// ------------------------------------------------- Presumed-abort journal
+
+storage::StableStore* GdhProcess::DecisionStore() const {
+  auto it = config_.resources.find(pe());
+  return it == config_.resources.end() ? nullptr : it->second.stable;
+}
+
+void GdhProcess::LogCommitDecision(exec::TxnId txn) {
+  committed_.insert(txn);
+  if (storage::StableStore* store = DecisionStore()) {
+    ChargeCpu(store->Append(kDecisionStream, "C " + std::to_string(txn)));
+  }
+}
+
+void GdhProcess::LogCommitEnd(exec::TxnId txn) {
+  committed_.erase(txn);
+  if (storage::StableStore* store = DecisionStore()) {
+    ChargeCpu(store->Append(kDecisionStream, "E " + std::to_string(txn)));
+  }
+}
+
+void GdhProcess::ReplayDecisionLog() {
+  storage::StableStore* store = DecisionStore();
+  if (store == nullptr) return;
+  for (const std::string& record : store->ReadStream(kDecisionStream)) {
+    if (record.size() < 3 || record[1] != ' ') continue;
+    const exec::TxnId txn = std::strtoll(record.c_str() + 2, nullptr, 10);
+    if (record[0] == 'C') {
+      committed_.insert(txn);
+    } else if (record[0] == 'E') {
+      committed_.erase(txn);
+    }
+    if (txn >= next_txn_) next_txn_ = txn + 1;
+  }
 }
 
 // ----------------------------------------------------------------- Locks
@@ -117,28 +264,46 @@ void GdhProcess::AcquireExclusive(exec::TxnId txn,
 void GdhProcess::HandleLockBatch(const pool::Mail& mail) {
   auto request = std::any_cast<std::shared_ptr<LockBatchRequest>>(mail.body);
   ChargeCpu(config_.costs.message_handling_ns);
-  std::sort(request->resources.begin(), request->resources.end());
   const pool::ProcessId requester = mail.from;
-  const exec::TxnId txn = request->txn;
   const uint64_t request_id = request->request_id;
+  const auto key = std::make_pair(requester, request_id);
+  // Dedup: a retransmitted batch must not acquire the locks twice. While
+  // the original acquisition is still in flight the duplicate is simply
+  // dropped — the requester retransmits again and eventually finds the
+  // cached reply.
+  auto [cache_it, inserted] = lock_replies_.try_emplace(key, nullptr);
+  if (!inserted) {
+    if (cache_it->second != nullptr) {
+      ++stats_.dup_replies;
+      Inc(LazyCounter(&m_dup_replies_, "gdh.dup_replies"));
+      SendMail(requester, kMailLockBatchReply, cache_it->second, kControlBits);
+    }
+    return;
+  }
+  std::sort(request->resources.begin(), request->resources.end());
+  const exec::TxnId txn = request->txn;
   // Sequentially acquire shared locks; callback-chained like the X path.
-  auto respond = [this, requester, request_id, txn](Status status) {
+  auto respond = [this, requester, request_id, txn, key](Status status) {
     if (!status.ok()) {
       ++stats_.deadlock_aborts;
       Inc(m_deadlock_aborts_);
       // A deadlock aborts the whole transaction (the SELECT's statement
       // txn, or the enclosing explicit transaction).
-      AbortEverywhere(txn, [this, requester, request_id,
+      AbortEverywhere(txn, [this, requester, request_id, key,
                             status](Status) mutable {
         auto reply = std::make_shared<LockBatchReply>();
         reply->request_id = request_id;
         reply->status = std::move(status);
+        auto it = lock_replies_.find(key);
+        if (it != lock_replies_.end()) it->second = reply;
         SendMail(requester, kMailLockBatchReply, reply, kControlBits);
       });
       return;
     }
     auto reply = std::make_shared<LockBatchReply>();
     reply->request_id = request_id;
+    auto it = lock_replies_.find(key);
+    if (it != lock_replies_.end()) it->second = reply;
     SendMail(requester, kMailLockBatchReply, reply, kControlBits);
   };
 
@@ -177,10 +342,22 @@ void GdhProcess::RunTwoPhaseCommit(exec::TxnId txn,
     then(NotFoundError("unknown transaction " + std::to_string(txn)));
     return;
   }
+  if (it->second.doomed) {
+    // A participant respawned after a crash and lost this transaction's
+    // unprepared writes; committing would lose updates, so force abort.
+    Status doomed = AbortedError("transaction " + std::to_string(txn) +
+                                 " aborted: a participant crashed and lost "
+                                 "its writes");
+    AbortEverywhere(txn, [then = std::move(then), doomed](Status) {
+      then(doomed);
+    });
+    return;
+  }
   std::vector<std::string> involved(it->second.involved.begin(),
                                     it->second.involved.end());
   if (involved.empty()) {
-    decisions_[txn] = true;
+    // Read-only: nothing was written anywhere, so no participant will
+    // ever inquire — no decision record needed (presumed abort is moot).
     locks_.ReleaseAll(txn);
     txns_.erase(txn);
     ++stats_.txns_committed;
@@ -198,7 +375,13 @@ void GdhProcess::RunTwoPhaseCommit(exec::TxnId txn,
   batch.done = [this, txn, involved, phase1_start,
                 then = std::move(then)](Multicast& m) {
     const bool commit = m.first_error.ok();
-    decisions_[txn] = commit;
+    if (commit) {
+      // Presumed abort: the commit decision is forced to stable storage
+      // BEFORE any participant learns it, so a recovering OFM asking
+      // about this transaction always gets the decided answer. Aborts
+      // are never logged — "unknown" means abort.
+      LogCommitDecision(txn);
+    }
     if (config_.tracer != nullptr && config_.tracer->enabled()) {
       config_.tracer->Span("gdh", "2pc.prepare", phase1_start,
                            runtime()->simulator()->now(), pe(), self(),
@@ -209,12 +392,26 @@ void GdhProcess::RunTwoPhaseCommit(exec::TxnId txn,
     const uint64_t batch2 = next_batch_id_++;
     Multicast& second = batches_[batch2];
     second.expected = involved.size();
-    Status outcome = commit ? Status::OK()
-                            : AbortedError("transaction " +
-                                           std::to_string(txn) +
-                                           " aborted during prepare: " +
-                                           m.first_error.message());
-    second.done = [this, txn, outcome, phase2_start, then](Multicast&) {
+    Status outcome;
+    if (commit) {
+      outcome = Status::OK();
+    } else if (m.first_error.code() == StatusCode::kUnavailable) {
+      // Surface the typed unavailability: the transaction aborted because
+      // a participant was unreachable, not because of a data conflict.
+      outcome = m.first_error;
+    } else {
+      outcome = AbortedError("transaction " + std::to_string(txn) +
+                             " aborted during prepare: " +
+                             m.first_error.message());
+    }
+    second.done = [this, txn, commit, outcome, phase2_start,
+                   then](Multicast& m2) {
+      if (commit && m2.first_error.ok()) {
+        // Every participant acknowledged the commit: the decision can be
+        // forgotten. If any ack is missing the record stays, so a later
+        // inquiry still learns "commit".
+        LogCommitEnd(txn);
+      }
       locks_.ReleaseAll(txn);
       txns_.erase(txn);
       if (outcome.ok()) {
@@ -232,35 +429,25 @@ void GdhProcess::RunTwoPhaseCommit(exec::TxnId txn,
       then(outcome);
     };
     for (const std::string& fragment : involved) {
-      auto ofm = OfmOf(fragment);
       auto request = std::make_shared<TxnControlRequest>();
       request->request_id = next_request_id_++;
       request->op = commit ? TxnControlRequest::Op::kCommit
                            : TxnControlRequest::Op::kAbort;
       request->txn = txn;
-      request_batch_[request->request_id] = batch2;
-      if (ofm.ok()) {
-        SendMail(*ofm, kMailTxnControl, request, kControlBits);
-      }
+      // Decision delivery gets extra retry headroom: participants must
+      // learn the outcome or stay in doubt until they inquire.
+      SendRpc(request->request_id, batch2, fragment, kMailTxnControl,
+              request, kControlBits, config_.rpc_attempts + 4);
     }
-    batches_[batch2].timeout_event = SendSelfAfter(
-        config_.op_timeout_ns, kMailOpTimeout,
-        std::make_shared<uint64_t>(batch2));
   };
   for (const std::string& fragment : involved) {
-    auto ofm = OfmOf(fragment);
     auto request = std::make_shared<TxnControlRequest>();
     request->request_id = next_request_id_++;
     request->op = TxnControlRequest::Op::kPrepare;
     request->txn = txn;
-    request_batch_[request->request_id] = batch_id;
-    if (ofm.ok()) {
-      SendMail(*ofm, kMailTxnControl, request, kControlBits);
-    }
+    SendRpc(request->request_id, batch_id, fragment, kMailTxnControl,
+            request, kControlBits, config_.rpc_attempts);
   }
-  batches_[batch_id].timeout_event = SendSelfAfter(
-      config_.op_timeout_ns, kMailOpTimeout,
-      std::make_shared<uint64_t>(batch_id));
 }
 
 void GdhProcess::AbortEverywhere(exec::TxnId txn,
@@ -272,7 +459,8 @@ void GdhProcess::AbortEverywhere(exec::TxnId txn,
   }
   std::vector<std::string> involved(it->second.involved.begin(),
                                     it->second.involved.end());
-  decisions_[txn] = false;
+  // Presumed abort: no decision record — participants that never learn
+  // the outcome resolve it by inquiry, and "unknown" means abort.
   if (involved.empty()) {
     locks_.ReleaseAll(txn);
     txns_.erase(txn);
@@ -290,19 +478,13 @@ void GdhProcess::AbortEverywhere(exec::TxnId txn,
     then(Status::OK());
   };
   for (const std::string& fragment : involved) {
-    auto ofm = OfmOf(fragment);
     auto request = std::make_shared<TxnControlRequest>();
     request->request_id = next_request_id_++;
     request->op = TxnControlRequest::Op::kAbort;
     request->txn = txn;
-    request_batch_[request->request_id] = batch_id;
-    if (ofm.ok()) {
-      SendMail(*ofm, kMailTxnControl, request, kControlBits);
-    }
+    SendRpc(request->request_id, batch_id, fragment, kMailTxnControl,
+            request, kControlBits, config_.rpc_attempts + 4);
   }
-  batches_[batch_id].timeout_event = SendSelfAfter(
-      config_.op_timeout_ns, kMailOpTimeout,
-      std::make_shared<uint64_t>(batch_id));
 }
 
 // ------------------------------------------------------------------- DDL
@@ -389,12 +571,9 @@ void GdhProcess::ExecuteDdl(const BoundStatement& bound,
         request->index_name = index.name;
         request->columns = index.columns;
         request->ordered = index.ordered;
-        request_batch_[request->request_id] = batch_id;
-        SendMail(frag.ofm, kMailCreateIndex, request, kControlBits);
+        SendRpc(request->request_id, batch_id, frag.name, kMailCreateIndex,
+                request, kControlBits, config_.rpc_attempts);
       }
-      batches_[batch_id].timeout_event = SendSelfAfter(
-          config_.op_timeout_ns, kMailOpTimeout,
-          std::make_shared<uint64_t>(batch_id));
       return;
     }
     default:
@@ -559,17 +738,11 @@ void GdhProcess::ExecuteWrite(std::shared_ptr<BoundStatement> bound,
           txn_state.involved.insert(op.fragment);
           op.request->request_id = next_request_id_++;
           op.request->txn = txn;
-          request_batch_[op.request->request_id] = batch_id;
-          auto ofm = OfmOf(op.fragment);
           ++stats_.write_ops_sent;
           Inc(m_write_ops_);
-          if (ofm.ok()) {
-            SendMail(*ofm, kMailWrite, op.request, op.request->WireBits());
-          }
+          SendRpc(op.request->request_id, batch_id, op.fragment, kMailWrite,
+                  op.request, op.request->WireBits(), config_.rpc_attempts);
         }
-        batches_[batch_id].timeout_event = SendSelfAfter(
-            config_.op_timeout_ns, kMailOpTimeout,
-            std::make_shared<uint64_t>(batch_id));
       });
 }
 
@@ -628,13 +801,75 @@ void GdhProcess::SpawnCoordinator(const std::shared_ptr<ClientStatement>& stmt,
   config.statement = stmt;
   config.lock_txn = lock_txn;
   config.timeout_ns = config_.query_timeout_ns;
+  config.rpc_timeout_ns = config_.rpc_timeout_ns;
+  config.rpc_backoff_cap_ns = config_.rpc_backoff_cap_ns;
+  config.rpc_attempts = config_.rpc_attempts;
+  config.stmt_done_resend_ns = config_.stmt_done_resend_ns;
   config.metrics = config_.metrics;
   config.tracer = config_.tracer;
   const net::NodeId pe = config_.coordinator_pes[coordinator_cursor_++ %
                                                  config_.coordinator_pes.size()];
-  runtime()->Spawn(pe, std::make_unique<QueryProcess>(std::move(config)));
+  const pool::ProcessId coordinator =
+      runtime()->Spawn(pe, std::make_unique<QueryProcess>(std::move(config)));
+  txns_[lock_txn].coordinator = coordinator;
+  if (config_.coord_check_ns > 0) {
+    // Supervise: if the coordinator's PE crashes, the statement must
+    // still terminate (locks released, client answered).
+    CoordWatch watch;
+    watch.client = client;
+    watch.request_id = stmt->request_id;
+    watch.lock_txn = lock_txn;
+    watch.timer =
+        SendSelfAfter(config_.coord_check_ns, kMailCoordCheck,
+                      std::make_shared<pool::ProcessId>(coordinator));
+    coords_[coordinator] = watch;
+  }
   ++stats_.selects_spawned;
   Inc(m_selects_);
+}
+
+void GdhProcess::ForgetCoordinator(pool::ProcessId coordinator) {
+  auto it = coords_.find(coordinator);
+  if (it != coords_.end()) {
+    runtime()->simulator()->Cancel(it->second.timer);
+    coords_.erase(it);
+  }
+  for (auto lit = lock_replies_.begin(); lit != lock_replies_.end();) {
+    if (lit->first.first == coordinator) {
+      lit = lock_replies_.erase(lit);
+    } else {
+      ++lit;
+    }
+  }
+}
+
+void GdhProcess::HandleCoordCheck(const pool::Mail& mail) {
+  const pool::ProcessId coordinator =
+      *std::any_cast<std::shared_ptr<pool::ProcessId>>(mail.body);
+  auto it = coords_.find(coordinator);
+  if (it == coords_.end()) return;  // Already finished normally.
+  if (runtime()->IsAlive(coordinator)) {
+    it->second.timer =
+        SendSelfAfter(config_.coord_check_ns, kMailCoordCheck,
+                      std::make_shared<pool::ProcessId>(coordinator));
+    return;
+  }
+  // The coordinator died without reporting (PE crash): release its
+  // statement locks and fail the statement so the client is not left
+  // hanging. A reply the coordinator managed to send before dying wins —
+  // the client drops this duplicate.
+  const CoordWatch watch = it->second;
+  ForgetCoordinator(coordinator);
+  ++stats_.coords_reaped;
+  Inc(LazyCounter(&m_coords_reaped_, "gdh.coords_reaped"));
+  auto txn_it = txns_.find(watch.lock_txn);
+  if (txn_it != txns_.end() && !txn_it->second.explicit_txn &&
+      txn_it->second.involved.empty()) {
+    locks_.ReleaseAll(watch.lock_txn);
+    txns_.erase(txn_it);
+  }
+  ReplyToClient(watch.client, watch.request_id,
+                UnavailableError("query coordinator died (PE crash)"), 0, 0);
 }
 
 void GdhProcess::HandleStatementDone(const pool::Mail& mail) {
@@ -646,6 +881,7 @@ void GdhProcess::HandleStatementDone(const pool::Mail& mail) {
     locks_.ReleaseAll(done->txn);
     txns_.erase(it);
   }
+  ForgetCoordinator(mail.from);
   // The per-query coordinator instance has served its purpose (§2.2).
   runtime()->Kill(mail.from);
 }
@@ -654,60 +890,43 @@ void GdhProcess::HandleStatementDone(const pool::Mail& mail) {
 
 void GdhProcess::HandleWriteReply(const pool::Mail& mail) {
   auto reply = std::any_cast<std::shared_ptr<WriteReply>>(mail.body);
-  auto it = request_batch_.find(reply->request_id);
-  if (it == request_batch_.end()) return;
-  const uint64_t batch_id = it->second;
-  request_batch_.erase(it);
-  auto batch_it = batches_.find(batch_id);
-  if (batch_it == batches_.end()) return;
-  Multicast& batch = batch_it->second;
-  ++batch.received;
-  if (!reply->status.ok() && batch.first_error.ok()) {
-    batch.first_error = reply->status;
+  SettleRpc(reply->request_id);
+  if (request_batch_.count(reply->request_id) == 0) {
+    // The request was already settled (duplicate or post-degradation
+    // reply).
+    ++stats_.dup_replies;
+    Inc(LazyCounter(&m_dup_replies_, "gdh.dup_replies"));
+    return;
   }
-  batch.affected += reply->affected_rows;
   if (reply->row_delta != 0) UpdateRowCount(reply->fragment, reply->row_delta);
-  if (batch.received == batch.expected) FinishMulticast(batch_id, batch);
+  AccountBatchMember(reply->request_id, reply->status, reply->affected_rows);
 }
 
 void GdhProcess::HandleTxnControlReply(const pool::Mail& mail) {
   auto reply = std::any_cast<std::shared_ptr<TxnControlReply>>(mail.body);
-  auto it = request_batch_.find(reply->request_id);
-  if (it == request_batch_.end()) return;
-  const uint64_t batch_id = it->second;
-  request_batch_.erase(it);
-  auto batch_it = batches_.find(batch_id);
-  if (batch_it == batches_.end()) return;
-  Multicast& batch = batch_it->second;
-  ++batch.received;
-  if (!reply->status.ok() && batch.first_error.ok()) {
-    batch.first_error = reply->status;
+  SettleRpc(reply->request_id);
+  if (request_batch_.count(reply->request_id) == 0) {
+    ++stats_.dup_replies;
+    Inc(LazyCounter(&m_dup_replies_, "gdh.dup_replies"));
+    return;
   }
-  if (batch.received == batch.expected) FinishMulticast(batch_id, batch);
+  AccountBatchMember(reply->request_id, reply->status, 0);
 }
 
 void GdhProcess::HandleDecisionRequest(const pool::Mail& mail) {
   auto request = std::any_cast<std::shared_ptr<DecisionRequest>>(mail.body);
   auto reply = std::make_shared<DecisionReply>();
   reply->request_id = request->request_id;
+  reply->transactions = request->transactions;
   for (const exec::TxnId txn : request->transactions) {
-    auto it = decisions_.find(txn);
-    // Presumed abort for unknown transactions.
-    reply->commit.push_back(it != decisions_.end() && it->second);
+    // Presumed abort: only logged (unforgotten) commit decisions answer
+    // "commit"; everything else — including transactions still being
+    // decided — aborts. That is consistent: resolving an undecided
+    // transaction as aborted removes its state at the participant, so a
+    // later prepare retransmission finds nothing and votes no.
+    reply->commit.push_back(committed_.count(txn) > 0);
   }
   SendMail(mail.from, kMailDecisionReply, reply, kControlBits);
-}
-
-void GdhProcess::HandleOpTimeout(const pool::Mail& mail) {
-  auto batch_id = std::any_cast<std::shared_ptr<uint64_t>>(mail.body);
-  auto it = batches_.find(*batch_id);
-  if (it == batches_.end()) return;
-  Multicast& batch = it->second;
-  if (batch.first_error.ok()) {
-    batch.first_error =
-        UnavailableError("fragment did not respond (crashed PE?)");
-  }
-  FinishMulticast(*batch_id, batch);
 }
 
 // ------------------------------------------------------------ Statements
@@ -772,34 +991,31 @@ void GdhProcess::HandleClientStatement(const pool::Mail& mail) {
 
 void GdhProcess::ExecuteCheckpoint(
     const std::shared_ptr<ClientStatement>& stmt, pool::ProcessId client) {
-  std::vector<pool::ProcessId> ofms;
+  std::vector<std::string> fragments;
   for (const std::string& table : dictionary_.TableNames()) {
     auto info = dictionary_.GetTable(table);
     PRISMA_CHECK(info.ok());
     for (const FragmentInfo& frag : (*info)->fragments) {
-      if (frag.ofm != pool::kNoProcess) ofms.push_back(frag.ofm);
+      if (frag.ofm != pool::kNoProcess) fragments.push_back(frag.name);
     }
   }
-  if (ofms.empty()) {
+  if (fragments.empty()) {
     ReplyToClient(client, stmt->request_id, Status::OK(), 0, 0);
     return;
   }
   const uint64_t batch_id = next_batch_id_++;
   Multicast& batch = batches_[batch_id];
-  batch.expected = ofms.size();
+  batch.expected = fragments.size();
   const uint64_t request_id = stmt->request_id;
   batch.done = [this, client, request_id](Multicast& m) {
     ReplyToClient(client, request_id, m.first_error, m.affected, 0);
   };
-  for (const pool::ProcessId ofm : ofms) {
+  for (const std::string& fragment : fragments) {
     auto request = std::make_shared<CheckpointRequest>();
     request->request_id = next_request_id_++;
-    request_batch_[request->request_id] = batch_id;
-    SendMail(ofm, kMailCheckpoint, request, kControlBits);
+    SendRpc(request->request_id, batch_id, fragment, kMailCheckpoint,
+            request, kControlBits, config_.rpc_attempts);
   }
-  batches_[batch_id].timeout_event = SendSelfAfter(
-      config_.op_timeout_ns, kMailOpTimeout,
-      std::make_shared<uint64_t>(batch_id));
 }
 
 // -------------------------------------------------------- Crash / recover
@@ -841,8 +1057,26 @@ Status GdhProcess::RecoverFragment(const std::string& table, int fragment) {
   config.metrics = config_.metrics;
   frag.ofm =
       runtime()->Spawn(frag.pe, std::make_unique<OfmProcess>(std::move(config)));
-  // The recovered fragment's statistics are rebuilt lazily; reset to keep
-  // the estimator sane.
+  // Any active transaction that wrote to this fragment lost those writes
+  // with the old process: it must not commit.
+  DoomTxnsInvolving(frag.name);
+  return Status::OK();
+}
+
+Status GdhProcess::RecoverPe(net::NodeId pe) {
+  for (const std::string& table : dictionary_.TableNames()) {
+    auto info = dictionary_.GetTable(table);
+    if (!info.ok()) continue;
+    const size_t count = (*info)->fragments.size();
+    for (size_t i = 0; i < count; ++i) {
+      const FragmentInfo& frag = (*info)->fragments[i];
+      if (frag.pe != pe) continue;
+      if (frag.ofm != pool::kNoProcess && runtime()->IsAlive(frag.ofm)) {
+        continue;
+      }
+      RETURN_IF_ERROR(RecoverFragment(table, static_cast<int>(i)));
+    }
+  }
   return Status::OK();
 }
 
@@ -861,8 +1095,10 @@ void GdhProcess::OnMail(const pool::Mail& mail) {
     HandleTxnControlReply(mail);
   } else if (mail.kind == kMailDecisionRequest) {
     HandleDecisionRequest(mail);
-  } else if (mail.kind == kMailOpTimeout) {
-    HandleOpTimeout(mail);
+  } else if (mail.kind == kMailRpcTimeout) {
+    HandleRpcTimeout(mail);
+  } else if (mail.kind == kMailCoordCheck) {
+    HandleCoordCheck(mail);
   }
 }
 

@@ -1,11 +1,13 @@
 #ifndef PRISMA_GDH_GDH_PROCESS_H_
 #define PRISMA_GDH_GDH_PROCESS_H_
 
+#include <any>
 #include <functional>
 #include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "gdh/data_dictionary.h"
@@ -38,6 +40,14 @@ enum class PlacementPolicy : uint8_t {
 /// (conventionally on PE 0). SELECTs are delegated to per-query
 /// coordinator processes; DDL, DML and transaction control are handled
 /// here.
+///
+/// GDH<->OFM messaging tolerates a faulty interconnect: every request is
+/// retransmitted with capped exponential backoff until it is answered or
+/// its retry budget runs out, at which point the operation degrades to a
+/// typed kUnavailable instead of hanging. Commits follow presumed-abort
+/// 2PC: only commit decisions are forced to the GDH's stable store, so a
+/// restarted GDH (or an inquiring OFM) resolves in-doubt participants
+/// correctly while aborts need no log record at all.
 class GdhProcess : public pool::Process {
  public:
   struct PeResources {
@@ -59,8 +69,20 @@ class GdhProcess : public pool::Process {
     /// Directory of co-located fragments for distributed joins (owned by
     /// the machine; may be null to disable co-located execution).
     PeLocalRegistry* registry = nullptr;
-    sim::SimTime op_timeout_ns = 10 * sim::kNanosPerSecond;
+    /// First retransmission delay of an unanswered OFM request; doubles
+    /// per attempt up to rpc_backoff_cap_ns.
+    sim::SimTime rpc_timeout_ns = 10 * sim::kNanosPerSecond;
+    sim::SimTime rpc_backoff_cap_ns = 10 * sim::kNanosPerSecond;
+    /// Send attempts (first send included) before an RPC degrades to
+    /// kUnavailable. Decision-phase RPCs get extra headroom on top.
+    int rpc_attempts = 6;
     sim::SimTime query_timeout_ns = 30 * sim::kNanosPerSecond;
+    /// Coordinators retransmit stmt_done at this period until reaped
+    /// (0 disables — the fault-free configuration).
+    sim::SimTime stmt_done_resend_ns = 0;
+    /// The GDH probes spawned coordinators at this period and fails their
+    /// statement with kUnavailable if the process died (0 disables).
+    sim::SimTime coord_check_ns = 0;
     /// Observability sinks (both may be null: no instrumentation). They
     /// are forwarded to every OFM process and query coordinator spawned.
     obs::MetricsRegistry* metrics = nullptr;
@@ -69,6 +91,7 @@ class GdhProcess : public pool::Process {
 
   explicit GdhProcess(Config config);
 
+  void OnStart() override;
   void OnMail(const pool::Mail& mail) override;
 
   // --- Control plane, used by core::PrismaDb and tests between events ---
@@ -79,8 +102,17 @@ class GdhProcess : public pool::Process {
   /// Kills the OFM process of one fragment (simulated PE crash).
   Status CrashFragment(const std::string& table, int fragment);
   /// Spawns a replacement OFM that recovers from stable storage and
-  /// resolves in-doubt transactions with this coordinator.
+  /// resolves in-doubt transactions with this coordinator. Active
+  /// transactions that had written to the fragment are doomed: their
+  /// unprepared writes died with the old process, so they must abort.
   Status RecoverFragment(const std::string& table, int fragment);
+  /// Recovers every dead fragment placed on `pe` (PE restart).
+  Status RecoverPe(net::NodeId pe);
+
+  /// Logged commit decisions not yet fully acknowledged (tests).
+  const std::set<exec::TxnId>& committed_decisions() const {
+    return committed_;
+  }
 
   struct Stats {
     uint64_t statements = 0;
@@ -90,6 +122,12 @@ class GdhProcess : public pool::Process {
     uint64_t txns_aborted = 0;
     uint64_t deadlock_aborts = 0;
     uint64_t write_ops_sent = 0;
+    /// Hardened-RPC outcomes.
+    uint64_t rpc_retries = 0;    // Retransmissions sent.
+    uint64_t rpc_failures = 0;   // Requests degraded to kUnavailable.
+    uint64_t dup_replies = 0;    // Replies for already-settled requests.
+    uint64_t txns_doomed = 0;    // Doomed by a participant's crash.
+    uint64_t coords_reaped = 0;  // Dead coordinators detected.
   };
   const Stats& stats() const { return stats_; }
 
@@ -99,17 +137,43 @@ class GdhProcess : public pool::Process {
     bool explicit_txn = false;  // Created by BEGIN (vs statement/implicit).
     std::set<std::string> involved;  // Fragments with writes.
     pool::ProcessId coordinator = pool::kNoProcess;  // Statement-scoped.
+    /// A fragment this transaction wrote to was respawned: the writes are
+    /// gone, so commit must be refused.
+    bool doomed = false;
   };
 
-  /// One scatter/await-all interaction with a set of OFMs.
+  /// One scatter/await-all interaction with a set of OFMs. Completion is
+  /// guaranteed: every member request either gets a reply or exhausts its
+  /// retry budget and is settled as kUnavailable.
   struct Multicast {
     size_t expected = 0;
     size_t received = 0;
     Status first_error;
     uint64_t affected = 0;
     bool done_called = false;
-    sim::EventId timeout_event = 0;
     std::function<void(Multicast&)> done;
+  };
+
+  /// An unanswered request to an OFM, retransmitted on a timer.
+  struct PendingRpc {
+    /// Fragment whose OFM is the target; the pid is re-resolved on every
+    /// retry so retransmissions chase a respawned process.
+    std::string fragment;
+    std::string kind;
+    std::any body;
+    int64_t size_bits = kControlBits;
+    int attempts = 1;
+    int max_attempts = 1;
+    sim::SimTime delay = 0;  // Next retransmission delay.
+    sim::EventId timer = 0;
+  };
+
+  /// A spawned query coordinator being supervised.
+  struct CoordWatch {
+    pool::ProcessId client = pool::kNoProcess;
+    uint64_t request_id = 0;
+    exec::TxnId lock_txn = exec::kAutoCommit;
+    sim::EventId timer = 0;
   };
 
   void HandleClientStatement(const pool::Mail& mail);
@@ -118,7 +182,8 @@ class GdhProcess : public pool::Process {
   void HandleWriteReply(const pool::Mail& mail);
   void HandleTxnControlReply(const pool::Mail& mail);
   void HandleDecisionRequest(const pool::Mail& mail);
-  void HandleOpTimeout(const pool::Mail& mail);
+  void HandleRpcTimeout(const pool::Mail& mail);
+  void HandleCoordCheck(const pool::Mail& mail);
 
   void SpawnCoordinator(const std::shared_ptr<ClientStatement>& stmt,
                         pool::ProcessId client);
@@ -140,8 +205,8 @@ class GdhProcess : public pool::Process {
   void AcquireExclusive(exec::TxnId txn, std::vector<std::string> resources,
                         size_t index, std::function<void(Status)> then);
 
-  /// Two-phase commit over `txn`'s involved fragments, then release +
-  /// `then(decision_status)`.
+  /// Presumed-abort two-phase commit over `txn`'s involved fragments,
+  /// then release + `then(decision_status)`.
   void RunTwoPhaseCommit(exec::TxnId txn, std::function<void(Status)> then);
   /// Aborts `txn` everywhere, releases locks, then `then`.
   void AbortEverywhere(exec::TxnId txn, std::function<void(Status)> then);
@@ -149,14 +214,34 @@ class GdhProcess : public pool::Process {
   void ReplyToClient(pool::ProcessId client, uint64_t request_id,
                      Status status, uint64_t affected, exec::TxnId txn);
 
-  /// Sends `kind` to the OFMs of `fragments` and runs `done` when all
-  /// replied (or the op times out with kUnavailable).
-  template <typename Request>
-  void MulticastToFragments(const std::vector<std::string>& fragments,
-                            const char* kind,
-                            std::function<std::shared_ptr<Request>(uint64_t)>
-                                make_request,
-                            std::function<void(Multicast&)> done);
+  // ----------------------------------------------------- Hardened RPCs
+
+  /// Registers the request under `batch_id`, sends it to `fragment`'s OFM
+  /// and arms the retransmission timer. A currently unresolvable target
+  /// (crashed fragment) is retried like a lost message.
+  void SendRpc(uint64_t request_id, uint64_t batch_id, std::string fragment,
+               const char* kind, std::any body, int64_t size_bits,
+               int max_attempts);
+  /// Cancels the retransmission state of an answered request; false if
+  /// the request was already settled (duplicate reply).
+  bool SettleRpc(uint64_t request_id);
+  /// Feeds one settled member (reply or failure) into its batch.
+  void AccountBatchMember(uint64_t request_id, const Status& status,
+                          uint64_t affected);
+
+  /// Marks active transactions that wrote to `fragment` as doomed.
+  void DoomTxnsInvolving(const std::string& fragment);
+
+  // ------------------------------------------- Presumed-abort decisions
+
+  storage::StableStore* DecisionStore() const;
+  /// Forces "C <txn>" to the decision log before phase 2 of a commit.
+  void LogCommitDecision(exec::TxnId txn);
+  /// Forces "E <txn>" once every participant acknowledged the commit; the
+  /// decision can then be forgotten.
+  void LogCommitEnd(exec::TxnId txn);
+  /// Rebuilds committed_ (and next_txn_) from the decision log.
+  void ReplayDecisionLog();
 
   StatusOr<pool::ProcessId> OfmOf(const std::string& fragment) const;
   /// Fragments of `table` possibly matching `where` (pruned via the
@@ -168,10 +253,16 @@ class GdhProcess : public pool::Process {
   exec::TxnId NewTxn(bool explicit_txn);
   void FinishMulticast(uint64_t batch_id, Multicast& batch);
 
+  /// Drops supervision and cached lock replies of a finished coordinator.
+  void ForgetCoordinator(pool::ProcessId coordinator);
+
   /// Null-safe counter bump (registry may be absent).
   static void Inc(obs::Counter* c, uint64_t delta = 1) {
     if (c != nullptr) c->Increment(delta);
   }
+  /// Registers fault-path counters on first use so fault-free metric
+  /// dumps are unchanged.
+  obs::Counter* LazyCounter(obs::Counter** slot, const char* name);
 
   Config config_;
   DataDictionary dictionary_;
@@ -187,15 +278,32 @@ class GdhProcess : public pool::Process {
   obs::Counter* m_deadlock_aborts_ = nullptr;
   obs::Counter* m_write_ops_ = nullptr;
   obs::Counter* m_2pc_rounds_ = nullptr;
+  // Fault-path counters, registered lazily on first event.
+  obs::Counter* m_rpc_retries_ = nullptr;
+  obs::Counter* m_rpc_failures_ = nullptr;
+  obs::Counter* m_dup_replies_ = nullptr;
+  obs::Counter* m_txns_doomed_ = nullptr;
+  obs::Counter* m_coords_reaped_ = nullptr;
 
   exec::TxnId next_txn_ = 1;
   std::map<exec::TxnId, TxnState> txns_;
-  std::map<exec::TxnId, bool> decisions_;  // 2PC outcomes, for recovery.
+  /// Commit decisions whose end record has not been logged yet. Aborts
+  /// are never recorded (presumed abort).
+  std::set<exec::TxnId> committed_;
 
   uint64_t next_request_id_ = 1;
   uint64_t next_batch_id_ = 1;
   std::map<uint64_t, Multicast> batches_;
   std::map<uint64_t, uint64_t> request_batch_;  // request id -> batch id.
+  std::map<uint64_t, PendingRpc> rpcs_;         // request id -> retry state.
+
+  /// Spawned coordinators under supervision (coord_check_ns > 0).
+  std::map<pool::ProcessId, CoordWatch> coords_;
+  /// Lock-batch dedup: (requester, request_id) -> reply once computed
+  /// (null while acquisition is in flight).
+  std::map<std::pair<pool::ProcessId, uint64_t>,
+           std::shared_ptr<LockBatchReply>>
+      lock_replies_;
 
   size_t coordinator_cursor_ = 0;
   size_t placement_cursor_ = 0;

@@ -39,7 +39,14 @@ inline constexpr char kMailCheckpoint[] = "checkpoint";
 inline constexpr char kMailDecisionRequest[] = "decision_request";
 inline constexpr char kMailDecisionReply[] = "decision_reply";
 inline constexpr char kMailQueryTimeout[] = "query_timeout";
-inline constexpr char kMailOpTimeout[] = "op_timeout";
+// Self-mail timers of the hardened RPC layer: per-request retransmission
+// (GDH and query coordinators), coordinator liveness supervision (GDH),
+// stmt_done retransmission (coordinators) and decision-inquiry retry
+// (recovering OFMs).
+inline constexpr char kMailRpcTimeout[] = "rpc_timeout";
+inline constexpr char kMailCoordCheck[] = "coord_check";
+inline constexpr char kMailStmtDoneResend[] = "stmt_done_resend";
+inline constexpr char kMailDecisionRetry[] = "decision_retry";
 
 /// Serialized-size model: tuples count their byte size, plans a fixed
 /// budget per node, expressions per tree node.
@@ -181,15 +188,19 @@ struct StatementDone {
 };
 
 /// Recovering OFM -> GDH: what happened to these in-doubt transactions?
+/// Retransmitted on a timer until every transaction is resolved.
 struct DecisionRequest {
   uint64_t request_id = 0;
   std::vector<exec::TxnId> transactions;
 };
 
-/// GDH -> OFM: commit flags matching DecisionRequest::transactions
-/// (unknown transactions are presumed aborted).
+/// GDH -> OFM: commit flags for the echoed transaction ids (presumed
+/// abort: the coordinator only remembers logged commit decisions, so any
+/// transaction it does not recognise aborts). The echo lets the OFM apply
+/// a late or duplicated reply to exactly the transactions it asked about.
 struct DecisionReply {
   uint64_t request_id = 0;
+  std::vector<exec::TxnId> transactions;
   std::vector<bool> commit;
 };
 

@@ -1,5 +1,6 @@
 #include "gdh/ofm_process.h"
 
+#include <algorithm>
 #include <optional>
 #include <utility>
 
@@ -39,11 +40,9 @@ void OfmProcess::OnStart() {
     PRISMA_CHECK_OK(ofm_->Recover());
     if (m_recoveries_ != nullptr) m_recoveries_->Increment();
     SyncDurabilityMetrics();
-    if (!ofm_->recovered_undecided().empty() &&
-        config_.gdh != pool::kNoProcess) {
-      auto request = std::make_shared<DecisionRequest>();
-      request->transactions = ofm_->recovered_undecided();
-      SendMail(config_.gdh, kMailDecisionRequest, request, kControlBits);
+    if (Stalled() && config_.gdh != pool::kNoProcess) {
+      SendDecisionRequest();
+      SendSelfAfter(config_.decision_retry_ns, kMailDecisionRetry);
     }
   }
   for (const IndexInfo& index : config_.indexes) {
@@ -58,37 +57,153 @@ void OfmProcess::OnStart() {
   }
 }
 
+bool OfmProcess::InDoubt(exec::TxnId txn) const {
+  const std::vector<exec::TxnId>& undecided = ofm_->recovered_undecided();
+  return std::find(undecided.begin(), undecided.end(), txn) !=
+         undecided.end();
+}
+
+void OfmProcess::NoteFinished(exec::TxnId txn) {
+  if (txn == exec::kAutoCommit) return;
+  if (!finished_.insert(txn).second) return;
+  finished_order_.push_back(txn);
+  if (finished_order_.size() > kFinishedCap) {
+    finished_.erase(finished_order_.front());
+    finished_order_.pop_front();
+  }
+}
+
+void OfmProcess::SendDecisionRequest() {
+  auto request = std::make_shared<DecisionRequest>();
+  request->request_id = next_request_id_++;
+  request->transactions = ofm_->recovered_undecided();
+  SendMail(config_.gdh, kMailDecisionRequest, request, kControlBits);
+}
+
+bool OfmProcess::ReplayCached(pool::ProcessId from, uint64_t request_id) {
+  auto it = replies_.find({from, request_id});
+  if (it == replies_.end()) return false;
+  ++dup_requests_;
+  if (m_dup_requests_ == nullptr && config_.metrics != nullptr) {
+    // Registered on first duplicate so fault-free metric dumps are
+    // unchanged.
+    m_dup_requests_ = config_.metrics->GetCounter(
+        "ofm.dup_requests", {{"fragment", config_.fragment_name}});
+  }
+  if (m_dup_requests_ != nullptr) m_dup_requests_->Increment();
+  SendMail(from, it->second.kind, it->second.body, it->second.size_bits);
+  return true;
+}
+
+void OfmProcess::Respond(pool::ProcessId to, uint64_t request_id,
+                         const char* kind, std::any body,
+                         int64_t size_bits) {
+  const auto key = std::make_pair(to, request_id);
+  auto [it, inserted] =
+      replies_.try_emplace(key, CachedReply{kind, body, size_bits});
+  if (inserted) {
+    reply_order_.push_back(key);
+    if (reply_order_.size() > kReplyCacheCap) {
+      replies_.erase(reply_order_.front());
+      reply_order_.pop_front();
+    }
+  }
+  SendMail(to, kind, std::move(body), size_bits);
+}
+
+void OfmProcess::MaybeReplayStalled() {
+  if (Stalled() || stalled_.empty()) return;
+  std::vector<pool::Mail> replay = std::move(stalled_);
+  stalled_.clear();
+  for (pool::Mail& mail : replay) OnMail(mail);
+}
+
 void OfmProcess::OnMail(const pool::Mail& mail) {
+  if (mail.kind == kMailDecisionReply) {
+    HandleDecisionReply(mail);
+    return;
+  }
+  if (mail.kind == kMailDecisionRetry) {
+    if (Stalled()) {
+      SendDecisionRequest();
+      SendSelfAfter(config_.decision_retry_ns, kMailDecisionRetry);
+    }
+    return;
+  }
+  // Everything else is a request carrying a request_id: answer duplicates
+  // from the reply cache without re-executing.
+  uint64_t request_id = 0;
+  if (mail.kind == kMailExecPlan) {
+    request_id =
+        std::any_cast<std::shared_ptr<ExecPlanRequest>>(mail.body)->request_id;
+  } else if (mail.kind == kMailWrite) {
+    request_id =
+        std::any_cast<std::shared_ptr<WriteRequest>>(mail.body)->request_id;
+  } else if (mail.kind == kMailTxnControl) {
+    request_id = std::any_cast<std::shared_ptr<TxnControlRequest>>(mail.body)
+                     ->request_id;
+  } else if (mail.kind == kMailCheckpoint) {
+    request_id = std::any_cast<std::shared_ptr<CheckpointRequest>>(mail.body)
+                     ->request_id;
+  } else if (mail.kind == kMailCreateIndex) {
+    request_id = std::any_cast<std::shared_ptr<CreateIndexRequest>>(mail.body)
+                     ->request_id;
+  } else {
+    // Unknown kinds are ignored (forward compatibility).
+    return;
+  }
+  if (ReplayCached(mail.from, request_id)) return;
+  if (Stalled()) {
+    // In-doubt transactions are unresolved: only 2PC control addressed to
+    // them proceeds (the decision may arrive as a direct commit/abort);
+    // all other work waits so it cannot observe withheld effects or
+    // interleave with the pending decisions.
+    bool defer = true;
+    if (mail.kind == kMailTxnControl) {
+      auto request =
+          std::any_cast<std::shared_ptr<TxnControlRequest>>(mail.body);
+      defer = !InDoubt(request->txn);
+    }
+    if (defer) {
+      stalled_.push_back(mail);
+      return;
+    }
+  }
   if (mail.kind == kMailExecPlan) {
     HandleExecPlan(mail);
   } else if (mail.kind == kMailWrite) {
     HandleWrite(mail);
   } else if (mail.kind == kMailTxnControl) {
     HandleTxnControl(mail);
-  } else if (mail.kind == kMailDecisionReply) {
-    HandleDecisionReply(mail);
   } else if (mail.kind == kMailCheckpoint) {
-    auto request =
-        std::any_cast<std::shared_ptr<CheckpointRequest>>(mail.body);
-    auto reply = std::make_shared<WriteReply>();
-    reply->request_id = request->request_id;
-    reply->fragment = config_.fragment_name;
-    reply->status = ofm_->Checkpoint();
-    SendMail(mail.from, kMailWriteReply, reply, kControlBits);
+    HandleCheckpoint(mail);
   } else if (mail.kind == kMailCreateIndex) {
-    auto request =
-        std::any_cast<std::shared_ptr<CreateIndexRequest>>(mail.body);
-    auto reply = std::make_shared<WriteReply>();
-    reply->request_id = request->request_id;
-    reply->fragment = config_.fragment_name;
-    reply->status = request->ordered
-                        ? ofm_->CreateBTreeIndex(request->index_name,
-                                                 request->columns)
-                        : ofm_->CreateHashIndex(request->index_name,
-                                                request->columns);
-    SendMail(mail.from, kMailWriteReply, reply, kControlBits);
+    HandleCreateIndex(mail);
   }
-  // Unknown kinds are ignored (forward compatibility).
+}
+
+void OfmProcess::HandleCheckpoint(const pool::Mail& mail) {
+  auto request = std::any_cast<std::shared_ptr<CheckpointRequest>>(mail.body);
+  auto reply = std::make_shared<WriteReply>();
+  reply->request_id = request->request_id;
+  reply->fragment = config_.fragment_name;
+  reply->status = ofm_->Checkpoint();
+  Respond(mail.from, request->request_id, kMailWriteReply, reply,
+          kControlBits);
+}
+
+void OfmProcess::HandleCreateIndex(const pool::Mail& mail) {
+  auto request = std::any_cast<std::shared_ptr<CreateIndexRequest>>(mail.body);
+  auto reply = std::make_shared<WriteReply>();
+  reply->request_id = request->request_id;
+  reply->fragment = config_.fragment_name;
+  reply->status = request->ordered
+                      ? ofm_->CreateBTreeIndex(request->index_name,
+                                               request->columns)
+                      : ofm_->CreateHashIndex(request->index_name,
+                                              request->columns);
+  Respond(mail.from, request->request_id, kMailWriteReply, reply,
+          kControlBits);
 }
 
 void OfmProcess::HandleExecPlan(const pool::Mail& mail) {
@@ -127,7 +242,8 @@ void OfmProcess::HandleExecPlan(const pool::Mail& mail) {
   } else {
     reply->status = result.status();
   }
-  SendMail(mail.from, kMailExecPlanReply, reply, reply->WireBits());
+  Respond(mail.from, request->request_id, kMailExecPlanReply, reply,
+          reply->WireBits());
 }
 
 void OfmProcess::HandleWrite(const pool::Mail& mail) {
@@ -135,6 +251,19 @@ void OfmProcess::HandleWrite(const pool::Mail& mail) {
   auto reply = std::make_shared<WriteReply>();
   reply->request_id = request->request_id;
   reply->fragment = config_.fragment_name;
+  if (Finished(request->txn)) {
+    // A delayed or reordered write arriving after its transaction already
+    // terminated here: applying it would re-open the transaction and leak
+    // uncommitted effects, so refuse it.
+    reply->status = AbortedError("transaction " +
+                                 std::to_string(request->txn) +
+                                 " already terminated on fragment " +
+                                 config_.fragment_name);
+    Respond(mail.from, request->request_id, kMailWriteReply, reply,
+            kControlBits);
+    return;
+  }
+  if (request->txn != exec::kAutoCommit) seen_txns_.insert(request->txn);
   switch (request->op) {
     case WriteRequest::Op::kInsert: {
       auto row = ofm_->Insert(request->txn, request->tuple);
@@ -174,7 +303,8 @@ void OfmProcess::HandleWrite(const pool::Mail& mail) {
   }
   if (m_writes_ != nullptr && reply->status.ok()) m_writes_->Increment();
   SyncDurabilityMetrics();
-  SendMail(mail.from, kMailWriteReply, reply, kControlBits);
+  Respond(mail.from, request->request_id, kMailWriteReply, reply,
+          kControlBits);
 }
 
 void OfmProcess::HandleTxnControl(const pool::Mail& mail) {
@@ -184,13 +314,39 @@ void OfmProcess::HandleTxnControl(const pool::Mail& mail) {
   reply->fragment = config_.fragment_name;
   switch (request->op) {
     case TxnControlRequest::Op::kPrepare:
-      reply->status = ofm_->Prepare(request->txn);
+      if (InDoubt(request->txn)) {
+        // Prepared before the crash; the vote stands.
+        reply->status = Status::OK();
+      } else if (seen_txns_.count(request->txn) == 0) {
+        // This incarnation never received a write of the transaction: a
+        // crash replacement lost the writes (the coordinator only sends
+        // prepare after every write was acknowledged). Voting yes could
+        // commit a partial transaction, so vote no.
+        reply->status =
+            AbortedError("fragment " + config_.fragment_name +
+                         " lost state of transaction " +
+                         std::to_string(request->txn) + " (crash?)");
+      } else {
+        // A transaction whose writes all matched zero rows has no Ofm
+        // state; Prepare treats it as a trivial yes.
+        reply->status = ofm_->Prepare(request->txn);
+      }
       break;
     case TxnControlRequest::Op::kCommit:
-      reply->status = ofm_->Commit(request->txn);
+      reply->status = InDoubt(request->txn)
+                          ? ofm_->ResolveRecovered(request->txn, true)
+                          : ofm_->Commit(request->txn);
+      // Recorded even when this OFM never saw the transaction: a delayed
+      // write of it may still arrive and must find it terminated.
+      NoteFinished(request->txn);
+      seen_txns_.erase(request->txn);
       break;
     case TxnControlRequest::Op::kAbort:
-      reply->status = ofm_->Abort(request->txn);
+      reply->status = InDoubt(request->txn)
+                          ? ofm_->ResolveRecovered(request->txn, false)
+                          : ofm_->Abort(request->txn);
+      NoteFinished(request->txn);
+      seen_txns_.erase(request->txn);
       break;
   }
   if (reply->status.ok() && m_commits_ != nullptr) {
@@ -198,18 +354,24 @@ void OfmProcess::HandleTxnControl(const pool::Mail& mail) {
     if (request->op == TxnControlRequest::Op::kAbort) m_aborts_->Increment();
   }
   SyncDurabilityMetrics();
-  SendMail(mail.from, kMailTxnControlReply, reply, kControlBits);
+  Respond(mail.from, request->request_id, kMailTxnControlReply, reply,
+          kControlBits);
+  MaybeReplayStalled();
 }
 
 void OfmProcess::HandleDecisionReply(const pool::Mail& mail) {
   auto reply = std::any_cast<std::shared_ptr<DecisionReply>>(mail.body);
-  // The ids were sent in recovered_undecided() order; resolve each.
-  const std::vector<exec::TxnId> undecided = ofm_->recovered_undecided();
-  PRISMA_CHECK(reply->commit.size() == undecided.size());
-  for (size_t i = 0; i < undecided.size(); ++i) {
-    PRISMA_CHECK_OK(ofm_->ResolveRecovered(undecided[i], reply->commit[i]));
+  PRISMA_CHECK(reply->transactions.size() == reply->commit.size());
+  // Late and duplicated replies are fine: only transactions still in
+  // doubt are resolved, matched through the echoed ids.
+  for (size_t i = 0; i < reply->transactions.size(); ++i) {
+    if (!InDoubt(reply->transactions[i])) continue;
+    PRISMA_CHECK_OK(
+        ofm_->ResolveRecovered(reply->transactions[i], reply->commit[i]));
+    NoteFinished(reply->transactions[i]);
   }
   SyncDurabilityMetrics();
+  MaybeReplayStalled();
 }
 
 void OfmProcess::SyncDurabilityMetrics() {

@@ -1,8 +1,14 @@
 #ifndef PRISMA_GDH_OFM_PROCESS_H_
 #define PRISMA_GDH_OFM_PROCESS_H_
 
+#include <any>
+#include <deque>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "exec/ofm.h"
 #include "gdh/data_dictionary.h"
@@ -17,9 +23,16 @@ namespace prisma::gdh {
 /// plan execution, write, 2PC and index requests from the GDH and query
 /// coordinators, charging all work to its PE.
 ///
+/// The interconnect may drop or duplicate messages (see net::FaultPlan),
+/// so every request is identified by (sender, request_id): a repeated
+/// request replays the cached reply instead of re-executing, making
+/// retransmission-based senders safe against duplicates.
+///
 /// On start it recovers from its PE's stable store when `recover` is set
 /// (crash replacement) and asks the GDH to decide any in-doubt prepared
-/// transactions.
+/// transactions, retrying the inquiry on a timer. Until the last in-doubt
+/// transaction is resolved, data-plane requests are stalled and replayed
+/// afterwards, so no statement observes withheld effects.
 class OfmProcess : public pool::Process {
  public:
   struct Config {
@@ -30,6 +43,8 @@ class OfmProcess : public pool::Process {
     bool recover = false;
     /// Coordinator to consult for in-doubt transactions.
     pool::ProcessId gdh = pool::kNoProcess;
+    /// Retry period of the in-doubt decision inquiry.
+    sim::SimTime decision_retry_ns = 100 * sim::kNanosPerMilli;
     /// Directory of co-located fragments (may be null); this OFM
     /// registers itself and resolves co-located scans through it.
     PeLocalRegistry* registry = nullptr;
@@ -47,11 +62,44 @@ class OfmProcess : public pool::Process {
 
   exec::Ofm& ofm() { return *ofm_; }
 
+  /// Requests answered from the reply cache (duplicate deliveries).
+  uint64_t dup_requests() const { return dup_requests_; }
+
  private:
   void HandleExecPlan(const pool::Mail& mail);
   void HandleWrite(const pool::Mail& mail);
   void HandleTxnControl(const pool::Mail& mail);
   void HandleDecisionReply(const pool::Mail& mail);
+  void HandleCheckpoint(const pool::Mail& mail);
+  void HandleCreateIndex(const pool::Mail& mail);
+
+  /// True while recovered in-doubt transactions await the coordinator's
+  /// decision; data-plane mail is queued until then.
+  bool Stalled() const {
+    return ofm_ != nullptr && !ofm_->recovered_undecided().empty();
+  }
+  bool InDoubt(exec::TxnId txn) const;
+  void SendDecisionRequest();
+
+  /// Records a transaction this OFM has terminated (commit or abort,
+  /// including control for transactions it never saw). A faulty network
+  /// can reorder an abort before a delayed write of the same transaction;
+  /// without this record the late write would silently re-open the
+  /// transaction and leak uncommitted effects.
+  void NoteFinished(exec::TxnId txn);
+  bool Finished(exec::TxnId txn) const { return finished_.count(txn) > 0; }
+
+  /// Caches the reply under (to, request_id) and sends it. Duplicate
+  /// requests replay the cached reply through ReplayCached.
+  void Respond(pool::ProcessId to, uint64_t request_id, const char* kind,
+               std::any body, int64_t size_bits);
+  /// Replays the cached reply for a duplicate request; false if the
+  /// request was never answered (i.e. it is not a duplicate).
+  bool ReplayCached(pool::ProcessId from, uint64_t request_id);
+
+  /// Re-dispatches deferred data-plane mail once the last in-doubt
+  /// transaction is resolved.
+  void MaybeReplayStalled();
 
   /// Pushes the WAL / redo deltas accumulated since the last sync into the
   /// registry counters. Cheap; called at the end of mutating handlers.
@@ -59,6 +107,33 @@ class OfmProcess : public pool::Process {
 
   Config config_;
   std::unique_ptr<exec::Ofm> ofm_;
+
+  // Receiver-side dedup: replies already sent, keyed by (sender,
+  // request_id) and evicted FIFO past kReplyCacheCap.
+  struct CachedReply {
+    std::string kind;
+    std::any body;
+    int64_t size_bits = 0;
+  };
+  static constexpr size_t kReplyCacheCap = 256;
+  std::map<std::pair<pool::ProcessId, uint64_t>, CachedReply> replies_;
+  std::deque<std::pair<pool::ProcessId, uint64_t>> reply_order_;
+  uint64_t dup_requests_ = 0;
+
+  // Data-plane mail held back while in-doubt transactions are unresolved.
+  std::vector<pool::Mail> stalled_;
+  uint64_t next_request_id_ = 1;
+
+  // Terminated transactions (FIFO-capped): late writes for these are
+  // refused instead of re-opening the transaction.
+  static constexpr size_t kFinishedCap = 512;
+  std::set<exec::TxnId> finished_;
+  std::deque<exec::TxnId> finished_order_;
+  // Transactions this process incarnation received writes for (erased at
+  // commit/abort). A prepare for a transaction absent from this set AND
+  // not in doubt means a crash replacement lost its writes: vote no. A
+  // no-op write (zero rows matched) still registers here, so it votes yes.
+  std::set<exec::TxnId> seen_txns_;
 
   // Cached registry counters (null when no registry was configured).
   obs::Counter* m_tuples_scanned_ = nullptr;
@@ -71,6 +146,7 @@ class OfmProcess : public pool::Process {
   obs::Counter* m_wal_records_ = nullptr;
   obs::Counter* m_redo_applied_ = nullptr;
   obs::Counter* m_recoveries_ = nullptr;
+  obs::Counter* m_dup_requests_ = nullptr;
   uint64_t wal_synced_ = 0;
   uint64_t redo_synced_ = 0;
 };

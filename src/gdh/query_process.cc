@@ -1,5 +1,6 @@
 #include "gdh/query_process.h"
 
+#include <algorithm>
 #include <set>
 #include <utility>
 
@@ -68,11 +69,86 @@ void QueryProcess::OnStart() {
   }
 }
 
+// ----------------------------------------------------------- Hardened RPC
+
+void QueryProcess::SendRpc(uint64_t request_id, const char* kind,
+                           std::any body, int64_t size_bits,
+                           size_t work_index) {
+  PendingRpc rpc;
+  rpc.kind = kind;
+  rpc.body = std::move(body);
+  rpc.size_bits = size_bits;
+  rpc.work_index = work_index;
+  rpc.max_attempts = config_.rpc_attempts;
+  rpc.delay = config_.rpc_timeout_ns;
+  const pool::ProcessId target = ResolveTarget(work_index);
+  if (target != pool::kNoProcess) {
+    SendMail(target, rpc.kind, rpc.body, rpc.size_bits);
+  }
+  rpc.timer = SendSelfAfter(rpc.delay, kMailRpcTimeout,
+                            std::make_shared<uint64_t>(request_id));
+  rpcs_[request_id] = std::move(rpc);
+}
+
+bool QueryProcess::SettleRpc(uint64_t request_id) {
+  auto it = rpcs_.find(request_id);
+  if (it == rpcs_.end()) return false;
+  runtime()->simulator()->Cancel(it->second.timer);
+  rpcs_.erase(it);
+  return true;
+}
+
+pool::ProcessId QueryProcess::ResolveTarget(size_t work_index) const {
+  if (work_index == SIZE_MAX) return config_.gdh;
+  const FragmentWork& w = work_[work_index];
+  // Fragment names are stable across respawns, pids are not: resolve
+  // through the dictionary so retransmissions chase a replacement OFM.
+  auto info = config_.dictionary->GetTable(w.table);
+  if (!info.ok()) return w.ofm;
+  for (const FragmentInfo& frag : (*info)->fragments) {
+    if (frag.name == w.fragment) return frag.ofm;
+  }
+  return w.ofm;
+}
+
+void QueryProcess::HandleRpcTimeout(const pool::Mail& mail) {
+  if (finished_) return;
+  const uint64_t request_id =
+      *std::any_cast<std::shared_ptr<uint64_t>>(mail.body);
+  auto it = rpcs_.find(request_id);
+  if (it == rpcs_.end()) return;  // Answered in the meantime.
+  PendingRpc& rpc = it->second;
+  if (rpc.attempts >= rpc.max_attempts) {
+    const std::string target = rpc.work_index == SIZE_MAX
+                                   ? std::string("the GDH")
+                                   : work_[rpc.work_index].fragment;
+    rpcs_.erase(it);
+    Reply(UnavailableError(target + " did not answer after repeated "
+                           "retransmissions (crashed PE?)"),
+          Schema(), nullptr);
+    return;
+  }
+  ++rpc.attempts;
+  const pool::ProcessId target = ResolveTarget(rpc.work_index);
+  if (target != pool::kNoProcess) {
+    SendMail(target, rpc.kind, rpc.body, rpc.size_bits);
+  }
+  rpc.delay = std::min(rpc.delay * 2, config_.rpc_backoff_cap_ns);
+  rpc.timer = SendSelfAfter(rpc.delay, kMailRpcTimeout,
+                            std::make_shared<uint64_t>(request_id));
+}
+
+// ------------------------------------------------------------------ Reply
+
 void QueryProcess::Reply(Status status, Schema schema,
                          std::shared_ptr<std::vector<Tuple>> tuples) {
   if (finished_) return;
   finished_ = true;
   runtime()->simulator()->Cancel(timeout_event_);
+  for (auto& [id, rpc] : rpcs_) {
+    runtime()->simulator()->Cancel(rpc.timer);
+  }
+  rpcs_.clear();
   const sim::SimTime now = runtime()->simulator()->now();
   if (config_.metrics != nullptr) {
     const obs::Labels q = {
@@ -98,6 +174,13 @@ void QueryProcess::Reply(Status status, Schema schema,
   auto done = std::make_shared<StatementDone>();
   done->txn = config_.lock_txn;
   SendMail(config_.gdh, kMailStatementDone, done, kControlBits);
+  if (config_.stmt_done_resend_ns > 0) {
+    // The stmt_done may be dropped by a faulty interconnect, leaving the
+    // GDH holding this statement's locks forever. Retransmit until the
+    // GDH reaps this process (the timer dies with it).
+    done_msg_ = done;
+    SendSelfAfter(config_.stmt_done_resend_ns, kMailStmtDoneResend);
+  }
 }
 
 // ------------------------------------------------------------------- SQL
@@ -182,7 +265,8 @@ void QueryProcess::RequestLocks(std::vector<std::string> resources) {
   request->txn = config_.lock_txn;
   request->resources = std::move(resources);
   request->exclusive = false;
-  SendMail(config_.gdh, kMailLockBatch, request, kControlBits);
+  SendRpc(request->request_id, kMailLockBatch, request, kControlBits,
+          SIZE_MAX);
 }
 
 void QueryProcess::Scatter() {
@@ -203,7 +287,7 @@ void QueryProcess::Scatter() {
             frag.ofm,
             std::shared_ptr<const algebra::Plan>(CloneWithScanRenamed(
                 *scan, plog_tables_[i], frag.name)),
-            i});
+            i, plog_tables_[i], frag.name});
       }
     }
   } else {
@@ -239,7 +323,7 @@ void QueryProcess::Scatter() {
         }
         work_.push_back(FragmentWork{
             frag.ofm, std::shared_ptr<const algebra::Plan>(std::move(local)),
-            i});
+            i, part.table, frag.name});
       }
     }
   }
@@ -260,21 +344,24 @@ void QueryProcess::Scatter() {
 }
 
 void QueryProcess::SendNextFragmentPlan() {
-  const FragmentWork& w = work_[next_work_++];
+  const size_t index = next_work_++;
+  const FragmentWork& w = work_[index];
   auto request = std::make_shared<ExecPlanRequest>();
   request->request_id = next_request_id_++;
   request->plan = w.plan;
   request->profile = analyze_;
   request_part_[request->request_id] = w.part;
   ++outstanding_;
-  SendMail(w.ofm, kMailExecPlan, request, request->WireBits());
+  SendRpc(request->request_id, kMailExecPlan, request, request->WireBits(),
+          index);
 }
 
 void QueryProcess::HandlePlanReply(const pool::Mail& mail) {
   if (finished_) return;
   auto reply = std::any_cast<std::shared_ptr<ExecPlanReply>>(mail.body);
+  SettleRpc(reply->request_id);
   auto it = request_part_.find(reply->request_id);
-  if (it == request_part_.end()) return;  // Stale.
+  if (it == request_part_.end()) return;  // Stale or duplicate.
   const size_t part = it->second;
   request_part_.erase(it);
   --outstanding_;
@@ -536,6 +623,7 @@ void QueryProcess::RunPrismalogPhase() {
 void QueryProcess::OnMail(const pool::Mail& mail) {
   if (mail.kind == kMailLockBatchReply) {
     auto reply = std::any_cast<std::shared_ptr<LockBatchReply>>(mail.body);
+    if (!SettleRpc(reply->request_id)) return;  // Duplicate.
     if (!reply->status.ok()) {
       Reply(reply->status, Schema(), nullptr);
       return;
@@ -543,6 +631,13 @@ void QueryProcess::OnMail(const pool::Mail& mail) {
     Scatter();
   } else if (mail.kind == kMailExecPlanReply) {
     HandlePlanReply(mail);
+  } else if (mail.kind == kMailRpcTimeout) {
+    HandleRpcTimeout(mail);
+  } else if (mail.kind == kMailStmtDoneResend) {
+    if (done_msg_ != nullptr) {
+      SendMail(config_.gdh, kMailStatementDone, done_msg_, kControlBits);
+      SendSelfAfter(config_.stmt_done_resend_ns, kMailStmtDoneResend);
+    }
   } else if (mail.kind == kMailQueryTimeout) {
     Reply(UnavailableError("query timed out (fragment unreachable?)"),
           Schema(), nullptr);

@@ -1,6 +1,7 @@
 #ifndef PRISMA_GDH_QUERY_PROCESS_H_
 #define PRISMA_GDH_QUERY_PROCESS_H_
 
+#include <any>
 #include <map>
 #include <memory>
 #include <optional>
@@ -44,6 +45,15 @@ class QueryProcess : public pool::Process {
     /// a GDH-assigned statement txn released at stmt_done).
     exec::TxnId lock_txn = exec::kAutoCommit;
     sim::SimTime timeout_ns = 30 * sim::kNanosPerSecond;
+    /// Retransmission knobs mirroring GdhProcess::Config: first resend
+    /// delay, backoff cap and total attempts before a request degrades to
+    /// kUnavailable.
+    sim::SimTime rpc_timeout_ns = 10 * sim::kNanosPerSecond;
+    sim::SimTime rpc_backoff_cap_ns = 10 * sim::kNanosPerSecond;
+    int rpc_attempts = 6;
+    /// Retransmit stmt_done to the GDH at this period until this process
+    /// is reaped (0 disables — the fault-free configuration).
+    sim::SimTime stmt_done_resend_ns = 0;
     /// Observability sinks (may be null). Per-query scoped metrics are
     /// recorded under the {query=<request_id>} label.
     obs::MetricsRegistry* metrics = nullptr;
@@ -74,6 +84,17 @@ class QueryProcess : public pool::Process {
   void Scatter();
   void SendNextFragmentPlan();
   void HandlePlanReply(const pool::Mail& mail);
+
+  /// Registers an outgoing request for retransmission. `work_index` names
+  /// the work_ entry whose OFM is the target, or SIZE_MAX for the GDH
+  /// (lock batches).
+  void SendRpc(uint64_t request_id, const char* kind, std::any body,
+               int64_t size_bits, size_t work_index);
+  /// Cancels retransmission of an answered request; false if it was
+  /// already settled (duplicate reply).
+  bool SettleRpc(uint64_t request_id);
+  pool::ProcessId ResolveTarget(size_t work_index) const;
+  void HandleRpcTimeout(const pool::Mail& mail);
   void FinishGather();
   void RunGlobalPhase();
   void RunPrismalogPhase();
@@ -97,6 +118,9 @@ class QueryProcess : public pool::Process {
     pool::ProcessId ofm;
     std::shared_ptr<const algebra::Plan> plan;
     size_t part;
+    /// Names for pid re-resolution on retransmit (the OFM may respawn).
+    std::string table;
+    std::string fragment;
   };
   std::vector<FragmentWork> work_;
   size_t next_work_ = 0;      // Sequential mode cursor.
@@ -104,6 +128,22 @@ class QueryProcess : public pool::Process {
   size_t completed_ = 0;
   uint64_t next_request_id_ = 1;
   std::map<uint64_t, size_t> request_part_;  // request id -> part index.
+
+  /// Unanswered requests, retransmitted with capped exponential backoff
+  /// (mirrors GdhProcess::PendingRpc).
+  struct PendingRpc {
+    const char* kind = nullptr;
+    std::any body;
+    int64_t size_bits = kControlBits;
+    size_t work_index = SIZE_MAX;  // SIZE_MAX targets the GDH.
+    int attempts = 1;
+    int max_attempts = 1;
+    sim::SimTime delay = 0;
+    sim::EventId timer = 0;
+  };
+  std::map<uint64_t, PendingRpc> rpcs_;
+  /// stmt_done retransmission (armed in Reply when configured).
+  std::shared_ptr<StatementDone> done_msg_;
   std::vector<std::vector<Tuple>> gathered_;  // Per part.
   uint64_t tuples_gathered_ = 0;
   // EXPLAIN ANALYZE: per-part profile, fragment replies merged in.

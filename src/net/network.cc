@@ -20,8 +20,36 @@ void Network::SetReceiver(NodeId node, Receiver receiver) {
   receivers_[node] = std::move(receiver);
 }
 
+void Network::SetFaultPlan(FaultPlan plan) {
+  fault_plan_ = std::move(plan);
+  faults_active_ = fault_plan_.active();
+  fault_rng_ = Rng(fault_plan_.seed);
+}
+
+const LinkFault& Network::FaultFor(NodeId from, NodeId to) const {
+  auto it = fault_plan_.per_link.find({from, to});
+  return it != fault_plan_.per_link.end() ? it->second : fault_plan_.link;
+}
+
+bool Network::LinkDown(NodeId from, NodeId to, sim::SimTime now) const {
+  for (const LinkDownWindow& w : fault_plan_.down_windows) {
+    const bool on_link = (w.a == from && w.b == to) ||
+                         (w.a == to && w.b == from);
+    if (on_link && now >= w.from_ns && now < w.until_ns) return true;
+  }
+  return false;
+}
+
+obs::Counter* Network::LazyCounter(obs::Counter** slot, const char* name) {
+  if (*slot == nullptr && metrics_ != nullptr) {
+    *slot = metrics_->GetCounter(name);
+  }
+  return *slot;
+}
+
 void Network::AttachObservability(obs::MetricsRegistry* metrics,
                                   obs::Tracer* tracer) {
+  metrics_ = metrics;
   if (metrics != nullptr) {
     m_sent_ = metrics->GetCounter("net.messages_sent");
     m_delivered_ = metrics->GetCounter("net.messages_delivered");
@@ -68,10 +96,64 @@ void Network::Arrive(NodeId node, Message message) {
   const NodeId hop = topology_.NextHop(node, message.dst);
   LinkState& l = link(node, hop);
   const sim::SimTime now = sim_->now();
+
+  // Backpressure watermark: the DBMS layers retry on loss, so a saturated
+  // link may shed load instead of queueing without bound.
+  if (params_.max_link_backlog > 0 && l.backlog >= params_.max_link_backlog) {
+    ++stats_.backpressure;
+    if (obs::Counter* c = LazyCounter(&m_backpressure_, "net.backpressure")) {
+      c->Increment();
+    }
+    if (params_.drop_on_backlog) {
+      ++stats_.dropped;
+      if (obs::Counter* c = LazyCounter(&m_dropped_, "net.dropped")) {
+        c->Increment();
+      }
+      return;
+    }
+  }
+
+  // Fault injection happens at link entry: a dropped message never
+  // occupies the link; a duplicate re-enters this hop as a fresh arrival
+  // (and redraws its own fate); jitter stretches the hop's latency.
+  sim::SimTime jitter = 0;
+  if (faults_active_ && !(fault_exempt_ && fault_exempt_(message))) {
+    const LinkFault& fault = FaultFor(node, hop);
+    if (LinkDown(node, hop, now) ||
+        (fault.drop_probability > 0 &&
+         fault_rng_.NextBool(fault.drop_probability))) {
+      ++stats_.dropped;
+      if (obs::Counter* c = LazyCounter(&m_dropped_, "net.dropped")) {
+        c->Increment();
+      }
+      return;
+    }
+    if (fault.duplicate_probability > 0 &&
+        fault_rng_.NextBool(fault.duplicate_probability)) {
+      ++stats_.duplicated;
+      if (obs::Counter* c = LazyCounter(&m_duplicated_, "net.duplicated")) {
+        c->Increment();
+      }
+      Message copy = message;
+      sim_->Schedule(0, [this, node, copy = std::move(copy)]() mutable {
+        Arrive(node, std::move(copy));
+      });
+    }
+    if (fault.max_extra_delay_ns > 0) {
+      jitter = static_cast<sim::SimTime>(fault_rng_.Uniform(
+          static_cast<uint64_t>(fault.max_extra_delay_ns) + 1));
+      stats_.delayed_ns += jitter;
+      if (obs::Counter* c = LazyCounter(&m_delayed_ns_, "net.delayed_ns")) {
+        c->Increment(static_cast<uint64_t>(jitter));
+      }
+    }
+  }
+
   const sim::SimTime serialization =
       message.size_bits * sim::kNanosPerSecond / params_.bandwidth_bps;
   const sim::SimTime depart = std::max(now, l.free_at);
-  const sim::SimTime arrival = depart + serialization + params_.propagation_ns;
+  const sim::SimTime arrival =
+      depart + serialization + params_.propagation_ns + jitter;
   l.free_at = depart + serialization;
   l.busy_ns += serialization;
   ++l.backlog;
@@ -88,6 +170,15 @@ void Network::Arrive(NodeId node, Message message) {
 }
 
 void Network::Deliver(NodeId node, Message message) {
+  if (!receivers_[node]) {
+    // The addressee has no endpoint (crashed or never installed): account
+    // for it instead of silently discarding.
+    ++stats_.no_receiver;
+    if (obs::Counter* c = LazyCounter(&m_no_receiver_, "net.no_receiver")) {
+      c->Increment();
+    }
+    return;
+  }
   ++stats_.messages_delivered;
   const sim::SimTime latency = sim_->now() - message.sent_at;
   stats_.total_latency_ns += latency;
@@ -102,7 +193,7 @@ void Network::Deliver(NodeId node, Message message) {
                   std::to_string(message.src));
   }
   if (record_deliveries_) delivery_times_[node].push_back(sim_->now());
-  if (receivers_[node]) receivers_[node](message);
+  receivers_[node](message);
 }
 
 double Network::PeakLinkUtilization() const {

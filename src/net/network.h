@@ -4,8 +4,11 @@
 #include <any>
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <utility>
 #include <vector>
 
+#include "common/rng.h"
 #include "net/topology.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -22,6 +25,70 @@ struct LinkParams {
   sim::SimTime propagation_ns = 1'000;
   /// Latency of a loop-back (same-PE) delivery, nanoseconds.
   sim::SimTime local_delivery_ns = 500;
+  /// Backlog watermark of one directed link: a message entering a link
+  /// whose queue already holds this many increments net.backpressure (and
+  /// is dropped when drop_on_backlog is set). 0 = unbounded, no watermark.
+  int max_link_backlog = 0;
+  /// Drop (instead of only counting) messages past the watermark.
+  bool drop_on_backlog = false;
+};
+
+/// Failure behaviour of one directed link under a FaultPlan.
+struct LinkFault {
+  /// Per-hop probability the message vanishes on the wire.
+  double drop_probability = 0;
+  /// Per-hop probability an extra copy of the message is injected.
+  double duplicate_probability = 0;
+  /// Extra per-hop delay, uniform in [0, max_extra_delay_ns].
+  sim::SimTime max_extra_delay_ns = 0;
+
+  bool active() const {
+    return drop_probability > 0 || duplicate_probability > 0 ||
+           max_extra_delay_ns > 0;
+  }
+};
+
+/// A scheduled bidirectional outage of the link between `a` and `b`:
+/// every message entering either direction in [from_ns, until_ns) is lost.
+struct LinkDownWindow {
+  NodeId a = 0;
+  NodeId b = 0;
+  sim::SimTime from_ns = 0;
+  sim::SimTime until_ns = 0;
+};
+
+/// A scheduled crash (and optional restart) of one PE. The network layer
+/// carries these for the machine facade (core::PrismaDb), which kills the
+/// PE's processes and later respawns its fragment managers; they are part
+/// of the FaultPlan so one seed describes the whole failure schedule.
+struct PeCrashEvent {
+  NodeId pe = 0;
+  sim::SimTime at_ns = 0;
+  /// Restart instant; < 0 means the PE never comes back.
+  sim::SimTime restart_at_ns = -1;
+};
+
+/// Deterministic seeded fault-injection plan. All randomness (drops,
+/// duplicates, jitter) comes from one Rng(seed), so two runs of the same
+/// workload under the same plan are byte-identical. An all-default plan
+/// is inert: the network makes zero random draws and behaves exactly as
+/// without a plan.
+struct FaultPlan {
+  uint64_t seed = 1;
+  /// Fault behaviour applied to every directed link...
+  LinkFault link;
+  /// ...unless overridden for a specific directed (from, to) pair.
+  std::map<std::pair<NodeId, NodeId>, LinkFault> per_link;
+  std::vector<LinkDownWindow> down_windows;
+  std::vector<PeCrashEvent> pe_crashes;
+
+  bool active() const {
+    if (link.active() || !down_windows.empty()) return true;
+    for (const auto& [_, fault] : per_link) {
+      if (fault.active()) return true;
+    }
+    return false;
+  }
 };
 
 /// Hardware packet size used by the paper's network simulations.
@@ -66,6 +133,21 @@ class Network {
   /// hop and handed to dst's receiver (if any) on arrival.
   void Send(NodeId src, NodeId dst, int64_t size_bits, std::any payload);
 
+  /// Installs a seeded fault plan; per-hop drops, duplicates and jitter
+  /// apply to every subsequent non-loopback message (loopback deliveries
+  /// model a PE's internal bus and never fail). Call before any traffic
+  /// for reproducibility.
+  void SetFaultPlan(FaultPlan plan);
+  const FaultPlan& fault_plan() const { return fault_plan_; }
+
+  /// Exempts messages matched by `predicate` from fault injection (e.g.
+  /// the client's connection, which models the host interface rather than
+  /// the interconnect). Null clears the exemption.
+  using FaultExempt = std::function<bool(const Message&)>;
+  void SetFaultExempt(FaultExempt predicate) {
+    fault_exempt_ = std::move(predicate);
+  }
+
   /// Convenience for single-packet sends (machine-level experiments).
   void SendPacket(NodeId src, NodeId dst) {
     Send(src, dst, kPacketBits, std::any());
@@ -82,6 +164,14 @@ class Network {
     sim::SimTime max_latency_ns = 0;
     /// Largest number of messages simultaneously queued on one link.
     int max_link_backlog = 0;
+    /// Fault-injection outcomes (zero without an active FaultPlan).
+    uint64_t dropped = 0;      // Lost to drop draws or down windows.
+    uint64_t duplicated = 0;   // Extra copies injected.
+    sim::SimTime delayed_ns = 0;  // Total jitter added across hops.
+    /// Messages that hit the max_link_backlog watermark.
+    uint64_t backpressure = 0;
+    /// Messages reaching a node with no installed receiver.
+    uint64_t no_receiver = 0;
 
     double AverageLatencyUs() const {
       if (messages_delivered == 0) return 0;
@@ -128,6 +218,13 @@ class Network {
   void Arrive(NodeId node, Message message);
   void Deliver(NodeId node, Message message);
 
+  const LinkFault& FaultFor(NodeId from, NodeId to) const;
+  bool LinkDown(NodeId from, NodeId to, sim::SimTime now) const;
+
+  /// Registers the named fault counter on first use so inert runs keep
+  /// their metric dumps unchanged.
+  obs::Counter* LazyCounter(obs::Counter** slot, const char* name);
+
   sim::Simulator* sim_;
   Topology topology_;
   LinkParams params_;
@@ -137,12 +234,24 @@ class Network {
   bool record_deliveries_ = false;
   Stats stats_;
 
+  FaultPlan fault_plan_;
+  bool faults_active_ = false;
+  Rng fault_rng_{1};
+  FaultExempt fault_exempt_;
+
   // Cached registry entries (null until AttachObservability).
+  obs::MetricsRegistry* metrics_ = nullptr;
   obs::Counter* m_sent_ = nullptr;
   obs::Counter* m_delivered_ = nullptr;
   obs::Counter* m_link_bits_ = nullptr;
   obs::Counter* m_packets_ = nullptr;
   obs::Histogram* m_latency_ = nullptr;
+  // Fault/backpressure counters, registered lazily on first event.
+  obs::Counter* m_dropped_ = nullptr;
+  obs::Counter* m_duplicated_ = nullptr;
+  obs::Counter* m_delayed_ns_ = nullptr;
+  obs::Counter* m_backpressure_ = nullptr;
+  obs::Counter* m_no_receiver_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
 };
 

@@ -94,6 +94,20 @@ ProcessId Runtime::Spawn(net::NodeId pe, std::unique_ptr<Process> process) {
 
 void Runtime::Kill(ProcessId id) { processes_.erase(id); }
 
+size_t Runtime::CrashPe(net::NodeId pe) {
+  std::vector<ProcessId> victims;
+  for (const auto& [id, process] : processes_) {
+    if (process->pe_ == pe) victims.push_back(id);
+  }
+  for (const ProcessId id : victims) Kill(id);
+  ++pe_crashes_;
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("pe.crashes", {{"pe", std::to_string(pe)}})
+        ->Increment();
+  }
+  return victims.size();
+}
+
 net::NodeId Runtime::PeOf(ProcessId id) const {
   auto it = processes_.find(id);
   PRISMA_CHECK(it != processes_.end()) << "PeOf on dead process " << id;

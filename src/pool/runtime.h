@@ -121,6 +121,14 @@ class Runtime {
   /// arrival. Used by failure-injection tests to crash a component.
   void Kill(ProcessId id);
 
+  /// Crashes a whole PE: every process hosted there dies instantly (its
+  /// volatile state is lost; stable storage survives). Counts the crash
+  /// under pe.crashes{pe}. Returns the number of processes killed.
+  size_t CrashPe(net::NodeId pe);
+
+  /// Total PE crashes injected via CrashPe.
+  uint64_t pe_crashes() const { return pe_crashes_; }
+
   bool IsAlive(ProcessId id) const { return processes_.count(id) > 0; }
   net::NodeId PeOf(ProcessId id) const;
 
@@ -175,6 +183,7 @@ class Runtime {
   std::vector<Mail> deferred_sends_;
 
   uint64_t dropped_mail_ = 0;
+  uint64_t pe_crashes_ = 0;
 
   // Cached registry entries (null until AttachObservability).
   obs::MetricsRegistry* metrics_ = nullptr;

@@ -1,0 +1,375 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "core/prisma_db.h"
+
+namespace prisma::core {
+namespace {
+
+constexpr int kFragments = 4;
+
+/// Virtual-time watchdog: no statement may take longer than this, even
+/// through the worst retransmission backoff + coordinator-reap path.
+constexpr sim::SimTime kWatchdogNs = 10 * sim::kNanosPerSecond;
+
+/// Builds a machine whose fault plan — loss/duplication rates, jitter and
+/// one scheduled PE crash/restart — derives deterministically from `seed`.
+MachineConfig ChaosMachine(uint64_t seed) {
+  MachineConfig config;
+  config.pes = 4;
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  net::FaultPlan& plan = config.fault_plan;
+  plan.seed = seed;
+  plan.link.drop_probability = 0.01 + 0.04 * rng.NextDouble();  // <= 5%.
+  plan.link.duplicate_probability = 0.03 * rng.NextDouble();
+  plan.link.max_extra_delay_ns = rng.UniformInt(0, 200'000);
+  net::PeCrashEvent crash;
+  crash.pe = static_cast<net::NodeId>(rng.UniformInt(1, config.pes - 1));
+  crash.at_ns = rng.UniformInt(10, 30) * sim::kNanosPerMilli;
+  crash.restart_at_ns =
+      crash.at_ns + rng.UniformInt(10, 60) * sim::kNanosPerMilli;
+  plan.pe_crashes.push_back(crash);
+  return config;
+}
+
+/// Chained asynchronous workload: each reply schedules the next statement,
+/// so virtual time flows through the fault plan's crash window while
+/// statements are in flight. (A synchronous Execute drains the whole event
+/// queue, which would fire the scheduled crash before any data existed.)
+///
+/// The driver tracks a model of the committed row set: a statement's
+/// effects enter the model iff its reply is OK, which is exactly the
+/// guarantee the presumed-abort protocol owes the client.
+class ChaosDriver {
+ public:
+  ChaosDriver(PrismaDb* db, uint64_t seed, int ops)
+      : db_(db), rng_(seed ^ 0xda3e39cb94b95bdbULL), ops_left_(ops) {}
+
+  void Run() {
+    Submit(StrFormat("CREATE TABLE t (id INT, v INT) FRAGMENTED BY "
+                     "HASH(id) INTO %d FRAGMENTS",
+                     kFragments),
+           exec::kAutoCommit, [this](const gdh::ClientReply& reply) {
+             PRISMA_CHECK(reply.status.ok()) << reply.status.ToString();
+             NextOp();
+           });
+    db_->Run();
+    PRISMA_CHECK(done_) << "chaos workload stalled before finishing";
+  }
+
+  const std::set<int64_t>& model() const { return model_; }
+  uint64_t failed_statements() const { return failed_; }
+  uint64_t audits() const { return audits_; }
+
+ private:
+  using Handler = std::function<void(const gdh::ClientReply&)>;
+
+  struct TxnPlan {
+    exec::TxnId txn = exec::kAutoCommit;
+    bool commit = false;
+    int64_t remaining = 0;
+  };
+
+  void Submit(const std::string& sql, exec::TxnId txn, Handler handler) {
+    // A little think time spreads the workload across virtual time so the
+    // crash window overlaps in-flight statements.
+    const sim::SimTime think = rng_.UniformInt(0, 2 * sim::kNanosPerMilli);
+    db_->Submit(sql, /*prismalog=*/false, txn,
+                [this, handler = std::move(handler)](
+                    const gdh::ClientReply& reply, sim::SimTime response_ns) {
+                  PRISMA_CHECK(response_ns <= kWatchdogNs)
+                      << "statement exceeded the virtual-time watchdog ("
+                      << response_ns << " ns)";
+                  if (!reply.status.ok()) ++failed_;
+                  handler(reply);
+                },
+                think);
+  }
+
+  void NextOp() {
+    if (ops_left_-- <= 0) {
+      done_ = true;
+      return;
+    }
+    const int64_t dice = rng_.UniformInt(0, 9);
+    if (dice < 4 || model_.empty()) {
+      const int64_t id = next_id_++;
+      Submit(InsertSql(id), exec::kAutoCommit,
+             [this, id](const gdh::ClientReply& reply) {
+               if (reply.status.ok()) model_.insert(id);
+               NextOp();
+             });
+    } else if (dice < 6) {
+      auto it = model_.begin();
+      std::advance(
+          it, rng_.UniformInt(0, static_cast<int64_t>(model_.size()) - 1));
+      const int64_t id = *it;
+      Submit(StrFormat("DELETE FROM t WHERE id = %lld",
+                       static_cast<long long>(id)),
+             exec::kAutoCommit, [this, id](const gdh::ClientReply& reply) {
+               if (reply.status.ok()) model_.erase(id);
+               NextOp();
+             });
+    } else if (dice < 8) {
+      BeginTxn();
+    } else {
+      Audit();
+    }
+  }
+
+  void BeginTxn() {
+    Submit("BEGIN", exec::kAutoCommit, [this](const gdh::ClientReply& reply) {
+      if (!reply.status.ok()) {
+        NextOp();
+        return;
+      }
+      TxnPlan plan;
+      plan.txn = reply.txn;
+      plan.commit = rng_.NextBool(0.5);
+      plan.remaining = rng_.UniformInt(1, 3);
+      TxnStep(plan, {});
+    });
+  }
+
+  void TxnStep(TxnPlan plan, std::vector<int64_t> staged) {
+    if (plan.remaining == 0) {
+      const bool commit = plan.commit;
+      Submit(commit ? "COMMIT" : "ABORT", plan.txn,
+             [this, staged = std::move(staged),
+              commit](const gdh::ClientReply& reply) {
+               // Effects are committed iff COMMIT returned OK; an abort
+               // (explicit or forced by the machine) leaves no trace.
+               if (commit && reply.status.ok()) {
+                 model_.insert(staged.begin(), staged.end());
+               }
+               NextOp();
+             });
+      return;
+    }
+    const int64_t id = next_id_++;
+    --plan.remaining;
+    Submit(InsertSql(id), plan.txn,
+           [this, plan, staged = std::move(staged),
+            id](const gdh::ClientReply& reply) mutable {
+             if (!reply.status.ok()) {
+               // The GDH aborts the whole transaction when one of its
+               // statements fails; a best-effort ABORT cleans up in case
+               // it survived.
+               Submit("ABORT", plan.txn,
+                      [this](const gdh::ClientReply&) { NextOp(); });
+               return;
+             }
+             staged.push_back(id);
+             TxnStep(plan, std::move(staged));
+           });
+  }
+
+  /// Reads the table back and compares against the model mid-soak. A read
+  /// may legitimately fail while a PE is down (Unavailable); it must never
+  /// succeed with the wrong answer.
+  void Audit() {
+    Submit("SELECT id FROM t", exec::kAutoCommit,
+           [this](const gdh::ClientReply& reply) {
+             if (reply.status.ok()) {
+               ++audits_;
+               std::set<int64_t> ids;
+               if (reply.tuples != nullptr) {
+                 for (const Tuple& tuple : *reply.tuples) {
+                   ids.insert(tuple.at(0).int_value());
+                 }
+               }
+               PRISMA_CHECK(ids == model_)
+                   << "audit divergence: db has " << ids.size()
+                   << " rows, model has " << model_.size();
+             }
+             NextOp();
+           });
+  }
+
+  static std::string InsertSql(int64_t id) {
+    return StrFormat("INSERT INTO t VALUES (%lld, %lld)",
+                     static_cast<long long>(id),
+                     static_cast<long long>(id * 7));
+  }
+
+  PrismaDb* db_;
+  Rng rng_;
+  int ops_left_;
+  bool done_ = false;
+  std::set<int64_t> model_;
+  int64_t next_id_ = 0;
+  uint64_t failed_ = 0;
+  uint64_t audits_ = 0;
+};
+
+struct SoakOutcome {
+  std::set<int64_t> ids;
+  uint64_t failed = 0;
+  uint64_t audits = 0;
+  uint64_t dropped = 0;
+  uint64_t duplicated = 0;
+  uint64_t crashes = 0;
+  std::string metrics;
+};
+
+SoakOutcome RunChaosSoak(uint64_t seed) {
+  PrismaDb db(ChaosMachine(seed));
+  ChaosDriver driver(&db, seed, 40);
+  driver.Run();
+
+  // The event queue is drained: the scheduled crash and restart have both
+  // fired. The final read-back must now succeed and match the model.
+  auto result = db.Execute("SELECT id FROM t");
+  PRISMA_CHECK(result.ok()) << result.status().ToString();
+  SoakOutcome out;
+  for (const Tuple& tuple : result->tuples) {
+    out.ids.insert(tuple.at(0).int_value());
+  }
+  PRISMA_CHECK(out.ids == driver.model())
+      << "committed state diverged from the model: db has " << out.ids.size()
+      << " rows, model has " << driver.model().size();
+  out.failed = driver.failed_statements();
+  out.audits = driver.audits();
+  out.dropped = db.network().stats().dropped;
+  out.duplicated = db.network().stats().duplicated;
+  out.crashes = db.metrics().CounterTotal("pe.crashes");
+  out.metrics = db.DumpMetrics();
+  return out;
+}
+
+TEST(ChaosTest, SoakSurvives25Seeds) {
+  uint64_t total_dropped = 0;
+  uint64_t total_duplicated = 0;
+  uint64_t total_audits = 0;
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    SCOPED_TRACE(StrFormat("seed %llu",
+                           static_cast<unsigned long long>(seed)));
+    const SoakOutcome out = RunChaosSoak(seed);
+    // Every plan schedules exactly one PE crash, and it fired.
+    EXPECT_EQ(out.crashes, 1u);
+    total_dropped += out.dropped;
+    total_duplicated += out.duplicated;
+    total_audits += out.audits;
+  }
+  // The soak was not a fair-weather run: messages were actually lost and
+  // duplicated across the 25 plans, and mid-soak audits did land.
+  EXPECT_GT(total_dropped, 0u);
+  EXPECT_GT(total_duplicated, 0u);
+  EXPECT_GT(total_audits, 0u);
+}
+
+TEST(ChaosTest, SameSeedIsByteIdenticalDifferentSeedIsNot) {
+  const SoakOutcome a = RunChaosSoak(7);
+  const SoakOutcome b = RunChaosSoak(7);
+  EXPECT_EQ(a.ids, b.ids);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.metrics, b.metrics);  // Byte-identical dump.
+
+  const SoakOutcome c = RunChaosSoak(8);
+  EXPECT_NE(a.metrics, c.metrics);  // A different plan leaves a different trail.
+}
+
+// ------------------------------------------------- Presumed-abort details
+
+QueryResult MustExecute(PrismaDb* db, const std::string& sql) {
+  auto result = db->Execute(sql);
+  PRISMA_CHECK(result.ok()) << sql << " -> " << result.status().ToString();
+  return std::move(result).value();
+}
+
+TEST(ChaosTest, CommitDecisionIsPersistedBeforePhase2AndRetiredAfter) {
+  MachineConfig config;
+  config.pes = 4;
+  PrismaDb db(config);
+  MustExecute(&db, StrFormat("CREATE TABLE t (id INT, v INT) FRAGMENTED BY "
+                             "HASH(id) INTO %d FRAGMENTS",
+                             kFragments));
+
+  auto session = db.OpenSession();
+  ASSERT_TRUE(session.Execute("BEGIN").ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        session.Execute(StrFormat("INSERT INTO t VALUES (%d, %d)", i, i))
+            .ok());
+  }
+  ASSERT_TRUE(session.Execute("COMMIT").ok());
+
+  // Presumed abort: the commit decision hit the GDH's stable stream before
+  // phase 2, and the end record retired it once every participant acked —
+  // so the in-memory set is empty again and the log holds the C/E pair.
+  EXPECT_TRUE(db.gdh().committed_decisions().empty());
+  const auto& log = db.stable_store(0).ReadStream("gdh.2pc");
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0][0], 'C');
+  EXPECT_EQ(log[1][0], 'E');
+  EXPECT_EQ(log[0].substr(2), log[1].substr(2));  // Same transaction id.
+}
+
+TEST(ChaosTest, AbortsAreNeverLogged) {
+  MachineConfig config;
+  config.pes = 4;
+  PrismaDb db(config);
+  MustExecute(&db, StrFormat("CREATE TABLE t (id INT, v INT) FRAGMENTED BY "
+                             "HASH(id) INTO %d FRAGMENTS",
+                             kFragments));
+  auto session = db.OpenSession();
+  ASSERT_TRUE(session.Execute("BEGIN").ok());
+  ASSERT_TRUE(session.Execute("INSERT INTO t VALUES (1, 1)").ok());
+  ASSERT_TRUE(session.Execute("ABORT").ok());
+
+  // An aborted transaction writes no decision record: absence means abort.
+  EXPECT_TRUE(db.stable_store(0).ReadStream("gdh.2pc").empty());
+  EXPECT_TRUE(db.gdh().committed_decisions().empty());
+}
+
+TEST(ChaosTest, DuplicatedRequestsAreAnsweredFromTheReplyCache) {
+  MachineConfig config;
+  config.pes = 4;
+  config.fault_plan.seed = 3;
+  config.fault_plan.link.duplicate_probability = 0.3;  // No drops/jitter.
+  PrismaDb db(config);
+  MustExecute(&db, StrFormat("CREATE TABLE t (id INT, v INT) FRAGMENTED BY "
+                             "HASH(id) INTO %d FRAGMENTS",
+                             kFragments));
+  for (int i = 0; i < 30; ++i) {
+    MustExecute(&db, StrFormat("INSERT INTO t VALUES (%d, %d)", i, i));
+  }
+  EXPECT_EQ(MustExecute(&db, "SELECT id FROM t").tuples.size(), 30u);
+
+  // Duplicated requests were replayed from the OFM reply caches instead of
+  // re-executing (no row appeared twice above), and duplicated replies
+  // were swallowed by the GDH's request accounting.
+  EXPECT_GT(db.network().stats().duplicated, 0u);
+  EXPECT_GT(db.metrics().CounterTotal("ofm.dup_requests"), 0u);
+}
+
+TEST(ChaosTest, InertFaultPlanLeavesMetricsIdentical) {
+  auto run = [](const MachineConfig& config) {
+    PrismaDb db(config);
+    MustExecute(&db, "CREATE TABLE t (id INT) FRAGMENTED BY HASH(id) "
+                     "INTO 2 FRAGMENTS");
+    for (int i = 0; i < 10; ++i) {
+      MustExecute(&db, StrFormat("INSERT INTO t VALUES (%d)", i));
+    }
+    MustExecute(&db, "SELECT id FROM t");
+    return db.DumpMetrics();
+  };
+  MachineConfig plain;
+  plain.pes = 4;
+  MachineConfig inert = plain;
+  inert.fault_plan = net::FaultPlan();  // All defaults: no faults.
+  // A default-constructed plan is indistinguishable from no plan at all.
+  EXPECT_EQ(run(plain), run(inert));
+}
+
+}  // namespace
+}  // namespace prisma::core

@@ -256,5 +256,187 @@ TEST(TrafficTest, HotspotCongestsAroundTarget) {
             ru.delivered_packets_per_sec_per_pe);
 }
 
+// ---------------------------------------------------------------- Faults
+
+TEST(FaultTest, DropProbabilityOneLosesEveryMessage) {
+  sim::Simulator sim;
+  Network net(&sim, Topology::FullyConnected(2));
+  FaultPlan plan;
+  plan.link.drop_probability = 1.0;
+  net.SetFaultPlan(plan);
+  int delivered = 0;
+  net.SetReceiver(1, [&](const Message&) { ++delivered; });
+  for (int i = 0; i < 10; ++i) net.SendPacket(0, 1);
+  sim.Run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net.stats().dropped, 10u);
+  EXPECT_EQ(net.stats().messages_delivered, 0u);
+}
+
+TEST(FaultTest, LoopbackIsNeverFaulted) {
+  sim::Simulator sim;
+  Network net(&sim, Topology::FullyConnected(2));
+  FaultPlan plan;
+  plan.link.drop_probability = 1.0;
+  net.SetFaultPlan(plan);
+  int delivered = 0;
+  net.SetReceiver(0, [&](const Message&) { ++delivered; });
+  net.SendPacket(0, 0);  // A PE's internal bus cannot lose messages.
+  sim.Run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(net.stats().dropped, 0u);
+}
+
+TEST(FaultTest, DuplicatesInjectExtraDeliveries) {
+  sim::Simulator sim;
+  Network net(&sim, Topology::FullyConnected(2));
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.link.duplicate_probability = 0.5;
+  net.SetFaultPlan(plan);
+  int delivered = 0;
+  net.SetReceiver(1, [&](const Message&) { ++delivered; });
+  for (int i = 0; i < 100; ++i) net.SendPacket(0, 1);
+  sim.Run();
+  // On a single hop with no drops, every copy arrives: deliveries are the
+  // originals plus exactly the injected duplicates.
+  EXPECT_GT(net.stats().duplicated, 0u);
+  EXPECT_EQ(static_cast<uint64_t>(delivered), 100 + net.stats().duplicated);
+}
+
+TEST(FaultTest, JitterAddsExactlyTheDrawnDelay) {
+  auto total_latency = [](const FaultPlan* plan, sim::SimTime* delayed) {
+    sim::Simulator sim;
+    Network net(&sim, Topology::FullyConnected(2));
+    if (plan != nullptr) net.SetFaultPlan(*plan);
+    net.SetReceiver(1, [](const Message&) {});
+    for (int i = 0; i < 8; ++i) net.SendPacket(0, 1);
+    sim.Run();
+    *delayed = net.stats().delayed_ns;
+    return net.stats().total_latency_ns;
+  };
+  sim::SimTime baseline_jitter = 0;
+  const sim::SimTime baseline = total_latency(nullptr, &baseline_jitter);
+  EXPECT_EQ(baseline_jitter, 0);
+
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.link.max_extra_delay_ns = 40'000;
+  sim::SimTime jitter = 0;
+  const sim::SimTime jittered = total_latency(&plan, &jitter);
+  // Jitter stretches arrivals without occupying the link, so the latency
+  // sum grows by exactly the drawn extra delay.
+  EXPECT_GT(jitter, 0);
+  EXPECT_EQ(jittered, baseline + jitter);
+}
+
+TEST(FaultTest, DownWindowDropsEverythingInside) {
+  sim::Simulator sim;
+  Network net(&sim, Topology::FullyConnected(2));
+  FaultPlan plan;
+  LinkDownWindow window;
+  window.a = 0;
+  window.b = 1;
+  window.from_ns = 0;
+  window.until_ns = sim::kNanosPerMilli;
+  plan.down_windows.push_back(window);
+  net.SetFaultPlan(plan);
+  int delivered = 0;
+  net.SetReceiver(0, [&](const Message&) { ++delivered; });
+  net.SetReceiver(1, [&](const Message&) { ++delivered; });
+  net.SendPacket(0, 1);                  // Inside the outage.
+  net.SendPacket(1, 0);                  // Windows are bidirectional.
+  sim.Schedule(2 * sim::kNanosPerMilli, [&] { net.SendPacket(0, 1); });
+  sim.Run();
+  EXPECT_EQ(delivered, 1);  // Only the post-outage send arrives.
+  EXPECT_EQ(net.stats().dropped, 2u);
+}
+
+TEST(FaultTest, ExemptMessagesBypassFaultInjection) {
+  sim::Simulator sim;
+  Network net(&sim, Topology::FullyConnected(2));
+  FaultPlan plan;
+  plan.link.drop_probability = 1.0;
+  net.SetFaultPlan(plan);
+  net.SetFaultExempt([](const Message&) { return true; });
+  int delivered = 0;
+  net.SetReceiver(1, [&](const Message&) { ++delivered; });
+  net.SendPacket(0, 1);
+  sim.Run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(net.stats().dropped, 0u);
+}
+
+TEST(FaultTest, SameSeedSameOutcomeDifferentSeedDiverges) {
+  struct Outcome {
+    uint64_t delivered, dropped, duplicated;
+    sim::SimTime delayed_ns, total_latency_ns;
+    bool operator==(const Outcome& o) const {
+      return delivered == o.delivered && dropped == o.dropped &&
+             duplicated == o.duplicated && delayed_ns == o.delayed_ns &&
+             total_latency_ns == o.total_latency_ns;
+    }
+  };
+  auto run = [](uint64_t seed) {
+    sim::Simulator sim;
+    Network net(&sim, Topology::Mesh(2, 2));
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.link.drop_probability = 0.3;
+    plan.link.duplicate_probability = 0.2;
+    plan.link.max_extra_delay_ns = 20'000;
+    net.SetFaultPlan(plan);
+    for (int node = 0; node < 4; ++node) {
+      net.SetReceiver(node, [](const Message&) {});
+    }
+    for (int i = 0; i < 100; ++i) net.SendPacket(i % 4, (i + 3) % 4);
+    sim.Run();
+    const Network::Stats& s = net.stats();
+    return Outcome{s.messages_delivered, s.dropped, s.duplicated,
+                   s.delayed_ns, s.total_latency_ns};
+  };
+  EXPECT_TRUE(run(42) == run(42));
+  EXPECT_FALSE(run(42) == run(43));
+}
+
+TEST(NetworkTest, BacklogWatermarkCountsBackpressure) {
+  sim::Simulator sim;
+  LinkParams params;
+  params.max_link_backlog = 2;
+  Network net(&sim, Topology::FullyConnected(2), params);
+  int delivered = 0;
+  net.SetReceiver(1, [&](const Message&) { ++delivered; });
+  for (int i = 0; i < 10; ++i) net.SendPacket(0, 1);
+  sim.Run();
+  // The first two sends fit under the watermark; the other eight trip it
+  // but are still queued (shedding is opt-in).
+  EXPECT_EQ(net.stats().backpressure, 8u);
+  EXPECT_EQ(delivered, 10);
+}
+
+TEST(NetworkTest, BacklogWatermarkCanShedLoad) {
+  sim::Simulator sim;
+  LinkParams params;
+  params.max_link_backlog = 2;
+  params.drop_on_backlog = true;
+  Network net(&sim, Topology::FullyConnected(2), params);
+  int delivered = 0;
+  net.SetReceiver(1, [&](const Message&) { ++delivered; });
+  for (int i = 0; i < 10; ++i) net.SendPacket(0, 1);
+  sim.Run();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(net.stats().backpressure, 8u);
+  EXPECT_EQ(net.stats().dropped, 8u);
+}
+
+TEST(NetworkTest, MissingReceiverIsCountedNotSilent) {
+  sim::Simulator sim;
+  Network net(&sim, Topology::FullyConnected(2));
+  net.SendPacket(0, 1);  // Nobody installed a receiver at node 1.
+  sim.Run();
+  EXPECT_EQ(net.stats().no_receiver, 1u);
+  EXPECT_EQ(net.stats().messages_delivered, 0u);
+}
+
 }  // namespace
 }  // namespace prisma::net

@@ -219,5 +219,27 @@ TEST_F(PoolTest, BiggerMailTakesLongerOnTheWire) {
   EXPECT_GT(r2->times.at(0), small_arrival);
 }
 
+TEST_F(PoolTest, CrashPeKillsEveryProcessOnThatPeOnly) {
+  auto a = std::make_unique<Recorder>();
+  Recorder* survivor = a.get();
+  const ProcessId on_pe2 = runtime_.Spawn(2, std::move(a));
+  const ProcessId victim1 = runtime_.Spawn(1, std::make_unique<Recorder>());
+  const ProcessId victim2 = runtime_.Spawn(1, std::make_unique<Recorder>());
+  sim_.Run();
+
+  EXPECT_EQ(runtime_.CrashPe(1), 2u);
+  EXPECT_FALSE(runtime_.IsAlive(victim1));
+  EXPECT_FALSE(runtime_.IsAlive(victim2));
+  EXPECT_TRUE(runtime_.IsAlive(on_pe2));
+  EXPECT_EQ(runtime_.pe_crashes(), 1u);
+
+  // Mail addressed to the wreckage is dropped, not delivered; the
+  // survivor still receives.
+  runtime_.Spawn(0, std::make_unique<Greeter>(victim1));
+  runtime_.Spawn(0, std::make_unique<Greeter>(on_pe2));
+  sim_.Run();
+  EXPECT_EQ(survivor->kinds.size(), 1u);
+}
+
 }  // namespace
 }  // namespace prisma::pool
