@@ -22,6 +22,14 @@ namespace {
 /// acknowledged it. Aborts are never logged.
 constexpr char kDecisionStream[] = "gdh.2pc";
 
+/// Stable-store stream of transaction-id reservations: each record is a
+/// high-water mark below which every id may already have been handed out.
+/// Aborted and read-only transactions leave no trace in the decision log,
+/// so without this a restarted GDH could reuse their ids and trip the
+/// OFMs' terminated-transaction dedup ("already terminated").
+constexpr char kTxnIdStream[] = "gdh.txnids";
+constexpr exec::TxnId kTxnIdChunk = 64;
+
 }  // namespace
 
 GdhProcess::GdhProcess(Config config) : config_(std::move(config)) {
@@ -96,6 +104,13 @@ void GdhProcess::UpdateRowCount(const std::string& fragment, int64_t delta) {
 }
 
 exec::TxnId GdhProcess::NewTxn(bool explicit_txn) {
+  if (next_txn_ >= txn_id_hwm_) {
+    // Reserve a chunk of ids before handing any of them out.
+    txn_id_hwm_ = next_txn_ + kTxnIdChunk;
+    if (storage::StableStore* store = DecisionStore()) {
+      ChargeCpu(store->Append(kTxnIdStream, std::to_string(txn_id_hwm_)));
+    }
+  }
   const exec::TxnId txn = next_txn_++;
   txns_[txn].explicit_txn = explicit_txn;
   return txn;
@@ -172,6 +187,9 @@ void GdhProcess::HandleRpcTimeout(const pool::Mail& mail) {
     Status failure = UnavailableError(
         rpc.fragment + " did not answer " + rpc.kind + " after " +
         std::to_string(rpc.attempts) + " attempts (crashed PE?)");
+    // The OFM may have executed the write and only its reply was lost: a
+    // late reply must still feed the row-count statistics.
+    if (rpc.kind == kMailWrite) NoteDegradedWrite(request_id);
     rpcs_.erase(it);
     AccountBatchMember(request_id, failure, 0);
     return;
@@ -188,6 +206,27 @@ void GdhProcess::HandleRpcTimeout(const pool::Mail& mail) {
   rpc.delay = std::min(rpc.delay * 2, config_.rpc_backoff_cap_ns);
   rpc.timer = SendSelfAfter(rpc.delay, kMailRpcTimeout,
                             std::make_shared<uint64_t>(request_id));
+}
+
+void GdhProcess::NoteDegradedWrite(uint64_t request_id) {
+  degraded_writes_.insert(request_id);
+  degraded_writes_order_.push_back(request_id);
+  if (degraded_writes_order_.size() > kDegradedWriteCap) {
+    // Entries whose late reply already arrived were erased from the set;
+    // the stale deque slot is simply skipped.
+    degraded_writes_.erase(degraded_writes_order_.front());
+    degraded_writes_order_.pop_front();
+  }
+}
+
+sim::SimTime GdhProcess::DedupRetentionNs() const {
+  // Worst-case sender retransmission window: decision-phase RPCs make up
+  // to rpc_attempts + 4 sends, each gap bounded by the larger of the
+  // initial timeout and the backoff cap; doubled for delivery jitter and
+  // duplicates the network may hold back.
+  const sim::SimTime gap =
+      std::max(config_.rpc_timeout_ns, config_.rpc_backoff_cap_ns);
+  return 2 * static_cast<sim::SimTime>(config_.rpc_attempts + 5) * gap;
 }
 
 void GdhProcess::DoomTxnsInvolving(const std::string& fragment) {
@@ -233,6 +272,12 @@ void GdhProcess::ReplayDecisionLog() {
     }
     if (txn >= next_txn_) next_txn_ = txn + 1;
   }
+  for (const std::string& record : store->ReadStream(kTxnIdStream)) {
+    const exec::TxnId hwm = std::strtoll(record.c_str(), nullptr, 10);
+    if (hwm > next_txn_) next_txn_ = hwm;
+  }
+  // The first NewTxn after a restart forces a fresh reservation.
+  txn_id_hwm_ = next_txn_;
 }
 
 // ----------------------------------------------------------------- Locks
@@ -374,7 +419,14 @@ void GdhProcess::RunTwoPhaseCommit(exec::TxnId txn,
   batch.expected = involved.size();
   batch.done = [this, txn, involved, phase1_start,
                 then = std::move(then)](Multicast& m) {
-    const bool commit = m.first_error.ok();
+    // Re-check the doom flag: a participant may have crashed and respawned
+    // WHILE phase 1 was in flight (RecoverFragment mid-2PC). Its yes-vote
+    // — sent by the old incarnation, or a "vote stands" answer from the
+    // recovering one — no longer covers the writes the crash destroyed,
+    // so a unanimous-yes round must still abort.
+    auto state_it = txns_.find(txn);
+    const bool doomed = state_it == txns_.end() || state_it->second.doomed;
+    const bool commit = m.first_error.ok() && !doomed;
     if (commit) {
       // Presumed abort: the commit decision is forced to stable storage
       // BEFORE any participant learns it, so a recovering OFM asking
@@ -395,6 +447,11 @@ void GdhProcess::RunTwoPhaseCommit(exec::TxnId txn,
     Status outcome;
     if (commit) {
       outcome = Status::OK();
+    } else if (m.first_error.ok()) {
+      // Unanimous yes, but doomed: a participant's crash lost its writes.
+      outcome = AbortedError("transaction " + std::to_string(txn) +
+                             " aborted: a participant crashed and lost "
+                             "its writes");
     } else if (m.first_error.code() == StatusCode::kUnavailable) {
       // Surface the typed unavailability: the transaction aborted because
       // a participant was unreachable, not because of a data conflict.
@@ -522,6 +579,7 @@ void GdhProcess::ExecuteDdl(const BoundStatement& bound,
         }
         ofm_config.ofm.exec.expr_mode = config_.expr_mode;
         ofm_config.ofm.exec.costs = config_.costs;
+        ofm_config.dedup_retention_ns = DedupRetentionNs();
         ofm_config.gdh = self();
         ofm_config.registry = config_.registry;
         ofm_config.metrics = config_.metrics;
@@ -893,7 +951,13 @@ void GdhProcess::HandleWriteReply(const pool::Mail& mail) {
   SettleRpc(reply->request_id);
   if (request_batch_.count(reply->request_id) == 0) {
     // The request was already settled (duplicate or post-degradation
-    // reply).
+    // reply). If it was settled by exhausting the retry budget, the OFM
+    // did execute the write after all: fold its row delta into the
+    // dictionary statistics exactly once before dropping the reply.
+    if (degraded_writes_.erase(reply->request_id) > 0 &&
+        reply->row_delta != 0) {
+      UpdateRowCount(reply->fragment, reply->row_delta);
+    }
     ++stats_.dup_replies;
     Inc(LazyCounter(&m_dup_replies_, "gdh.dup_replies"));
     return;
@@ -917,16 +981,30 @@ void GdhProcess::HandleDecisionRequest(const pool::Mail& mail) {
   auto request = std::any_cast<std::shared_ptr<DecisionRequest>>(mail.body);
   auto reply = std::make_shared<DecisionReply>();
   reply->request_id = request->request_id;
-  reply->transactions = request->transactions;
   for (const exec::TxnId txn : request->transactions) {
-    // Presumed abort: only logged (unforgotten) commit decisions answer
-    // "commit"; everything else — including transactions still being
-    // decided — aborts. That is consistent: resolving an undecided
-    // transaction as aborted removes its state at the participant, so a
-    // later prepare retransmission finds nothing and votes no.
-    reply->commit.push_back(committed_.count(txn) > 0);
+    if (committed_.count(txn) > 0) {
+      // A logged (unforgotten) commit decision answers "commit".
+      reply->transactions.push_back(txn);
+      reply->commit.push_back(true);
+    } else if (txns_.count(txn) > 0) {
+      // Still being decided: a yes-vote (or a "vote stands" answer to a
+      // retransmitted prepare) may be in flight, so a commit decision can
+      // still be logged after an "abort" answer sent now — the inquirer
+      // would roll back its prepared state and lose a committed write.
+      // Withhold the answer; the inquirer retries on a timer and finds
+      // the transaction decided (committed_ or gone) soon: 2PC always
+      // terminates, every member RPC settles by reply or retry budget.
+      ++stats_.decisions_deferred;
+      Inc(LazyCounter(&m_decisions_deferred_, "gdh.decisions_deferred"));
+    } else {
+      // Presumed abort: no decision record and not active means abort.
+      reply->transactions.push_back(txn);
+      reply->commit.push_back(false);
+    }
   }
-  SendMail(mail.from, kMailDecisionReply, reply, kControlBits);
+  if (!reply->transactions.empty()) {
+    SendMail(mail.from, kMailDecisionReply, reply, kControlBits);
+  }
 }
 
 // ------------------------------------------------------------ Statements
@@ -1050,6 +1128,7 @@ Status GdhProcess::RecoverFragment(const std::string& table, int fragment) {
   }
   config.ofm.exec.expr_mode = config_.expr_mode;
   config.ofm.exec.costs = config_.costs;
+  config.dedup_retention_ns = DedupRetentionNs();
   config.recover = true;
   config.gdh = self();
   config.registry = config_.registry;

@@ -2,6 +2,7 @@
 #define PRISMA_GDH_GDH_PROCESS_H_
 
 #include <any>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -114,6 +115,9 @@ class GdhProcess : public pool::Process {
     return committed_;
   }
 
+  /// Next transaction id to hand out (tests: id-reuse after restart).
+  exec::TxnId next_txn() const { return next_txn_; }
+
   struct Stats {
     uint64_t statements = 0;
     uint64_t selects_spawned = 0;
@@ -128,6 +132,9 @@ class GdhProcess : public pool::Process {
     uint64_t dup_replies = 0;    // Replies for already-settled requests.
     uint64_t txns_doomed = 0;    // Doomed by a participant's crash.
     uint64_t coords_reaped = 0;  // Dead coordinators detected.
+    /// Decision inquiries withheld because the transaction was still being
+    /// decided (answered on the inquirer's next retry).
+    uint64_t decisions_deferred = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -232,6 +239,15 @@ class GdhProcess : public pool::Process {
   /// Marks active transactions that wrote to `fragment` as doomed.
   void DoomTxnsInvolving(const std::string& fragment);
 
+  /// Remembers a write RPC that degraded to kUnavailable, so a late reply
+  /// (the OFM did execute it) still feeds the row-count statistics.
+  void NoteDegradedWrite(uint64_t request_id);
+
+  /// How long OFMs must keep dedup state (cached replies, terminated-txn
+  /// records): past the worst-case sender retransmission window, so no
+  /// entry is dropped while a duplicate can still arrive.
+  sim::SimTime DedupRetentionNs() const;
+
   // ------------------------------------------- Presumed-abort decisions
 
   storage::StableStore* DecisionStore() const;
@@ -284,8 +300,13 @@ class GdhProcess : public pool::Process {
   obs::Counter* m_dup_replies_ = nullptr;
   obs::Counter* m_txns_doomed_ = nullptr;
   obs::Counter* m_coords_reaped_ = nullptr;
+  obs::Counter* m_decisions_deferred_ = nullptr;
 
   exec::TxnId next_txn_ = 1;
+  /// Ids below this are covered by a persisted reservation record, so a
+  /// restarted GDH never re-hands out an id this incarnation allocated
+  /// (aborted and read-only transactions leave no decision record).
+  exec::TxnId txn_id_hwm_ = 1;
   std::map<exec::TxnId, TxnState> txns_;
   /// Commit decisions whose end record has not been logged yet. Aborts
   /// are never recorded (presumed abort).
@@ -296,6 +317,11 @@ class GdhProcess : public pool::Process {
   std::map<uint64_t, Multicast> batches_;
   std::map<uint64_t, uint64_t> request_batch_;  // request id -> batch id.
   std::map<uint64_t, PendingRpc> rpcs_;         // request id -> retry state.
+  /// Write requests settled as kUnavailable whose late reply has not
+  /// arrived (FIFO-capped; only row-count statistics depend on it).
+  static constexpr size_t kDegradedWriteCap = 1024;
+  std::set<uint64_t> degraded_writes_;
+  std::deque<uint64_t> degraded_writes_order_;
 
   /// Spawned coordinators under supervision (coord_check_ns > 0).
   std::map<pool::ProcessId, CoordWatch> coords_;

@@ -65,10 +65,23 @@ bool OfmProcess::InDoubt(exec::TxnId txn) const {
 
 void OfmProcess::NoteFinished(exec::TxnId txn) {
   if (txn == exec::kAutoCommit) return;
+  EvictExpiredDedupState();
   if (!finished_.insert(txn).second) return;
-  finished_order_.push_back(txn);
-  if (finished_order_.size() > kFinishedCap) {
-    finished_.erase(finished_order_.front());
+  finished_order_.push_back({runtime()->simulator()->now(), txn});
+}
+
+void OfmProcess::EvictExpiredDedupState() {
+  // Time-based, not count-based: an entry may only be dropped once every
+  // sender's retry window (and any delayed duplicate) has lapsed, or a
+  // retransmission would re-execute a non-idempotent write.
+  const sim::SimTime cutoff =
+      runtime()->simulator()->now() - config_.dedup_retention_ns;
+  while (!reply_order_.empty() && reply_order_.front().first <= cutoff) {
+    replies_.erase(reply_order_.front().second);
+    reply_order_.pop_front();
+  }
+  while (!finished_order_.empty() && finished_order_.front().first <= cutoff) {
+    finished_.erase(finished_order_.front().second);
     finished_order_.pop_front();
   }
 }
@@ -98,15 +111,12 @@ bool OfmProcess::ReplayCached(pool::ProcessId from, uint64_t request_id) {
 void OfmProcess::Respond(pool::ProcessId to, uint64_t request_id,
                          const char* kind, std::any body,
                          int64_t size_bits) {
+  EvictExpiredDedupState();
   const auto key = std::make_pair(to, request_id);
   auto [it, inserted] =
       replies_.try_emplace(key, CachedReply{kind, body, size_bits});
   if (inserted) {
-    reply_order_.push_back(key);
-    if (reply_order_.size() > kReplyCacheCap) {
-      replies_.erase(reply_order_.front());
-      reply_order_.pop_front();
-    }
+    reply_order_.push_back({runtime()->simulator()->now(), key});
   }
   SendMail(to, kind, std::move(body), size_bits);
 }
@@ -242,8 +252,11 @@ void OfmProcess::HandleExecPlan(const pool::Mail& mail) {
   } else {
     reply->status = result.status();
   }
-  Respond(mail.from, request->request_id, kMailExecPlanReply, reply,
-          reply->WireBits());
+  // Not cached: plan execution is an idempotent read, and its reply
+  // carries result tuples — caching it for the full dedup retention
+  // window would pin every result set in memory. A duplicated request
+  // simply re-executes; the coordinator drops the surplus reply.
+  SendMail(mail.from, kMailExecPlanReply, reply, reply->WireBits());
 }
 
 void OfmProcess::HandleWrite(const pool::Mail& mail) {

@@ -25,8 +25,10 @@ namespace prisma::gdh {
 ///
 /// The interconnect may drop or duplicate messages (see net::FaultPlan),
 /// so every request is identified by (sender, request_id): a repeated
-/// request replays the cached reply instead of re-executing, making
-/// retransmission-based senders safe against duplicates.
+/// non-idempotent request (write, 2PC control, checkpoint, index build)
+/// replays the cached reply instead of re-executing, making
+/// retransmission-based senders safe against duplicates. Plan executions
+/// are idempotent reads and simply run again when duplicated.
 ///
 /// On start it recovers from its PE's stable store when `recover` is set
 /// (crash replacement) and asks the GDH to decide any in-doubt prepared
@@ -45,6 +47,12 @@ class OfmProcess : public pool::Process {
     pool::ProcessId gdh = pool::kNoProcess;
     /// Retry period of the in-doubt decision inquiry.
     sim::SimTime decision_retry_ns = 100 * sim::kNanosPerMilli;
+    /// Dedup horizon: cached replies and terminated-transaction records
+    /// are kept at least this long (virtual time). The spawner sizes it
+    /// past the senders' worst-case retransmission window
+    /// (GdhProcess::DedupRetentionNs), so no entry is evicted while a
+    /// duplicate request or a delayed write can still arrive.
+    sim::SimTime dedup_retention_ns = 120 * sim::kNanosPerSecond;
     /// Directory of co-located fragments (may be null); this OFM
     /// registers itself and resolves co-located scans through it.
     PeLocalRegistry* registry = nullptr;
@@ -101,6 +109,10 @@ class OfmProcess : public pool::Process {
   /// transaction is resolved.
   void MaybeReplayStalled();
 
+  /// Drops cached replies and terminated-transaction records older than
+  /// the dedup retention horizon (no sender retransmits that long).
+  void EvictExpiredDedupState();
+
   /// Pushes the WAL / redo deltas accumulated since the last sync into the
   /// registry counters. Cheap; called at the end of mutating handlers.
   void SyncDurabilityMetrics();
@@ -109,26 +121,31 @@ class OfmProcess : public pool::Process {
   std::unique_ptr<exec::Ofm> ofm_;
 
   // Receiver-side dedup: replies already sent, keyed by (sender,
-  // request_id) and evicted FIFO past kReplyCacheCap.
+  // request_id). Entries are evicted only once they age past the dedup
+  // retention horizon — an eviction inside the sender's retry window
+  // would let a retransmission re-execute a non-idempotent write. Plan
+  // executions are idempotent reads and are NOT cached (their replies
+  // carry result tuples; a duplicate simply re-executes), so every cached
+  // entry is control-sized and the time-based retention stays cheap.
   struct CachedReply {
     std::string kind;
     std::any body;
     int64_t size_bits = 0;
   };
-  static constexpr size_t kReplyCacheCap = 256;
   std::map<std::pair<pool::ProcessId, uint64_t>, CachedReply> replies_;
-  std::deque<std::pair<pool::ProcessId, uint64_t>> reply_order_;
+  std::deque<std::pair<sim::SimTime, std::pair<pool::ProcessId, uint64_t>>>
+      reply_order_;
   uint64_t dup_requests_ = 0;
 
   // Data-plane mail held back while in-doubt transactions are unresolved.
   std::vector<pool::Mail> stalled_;
   uint64_t next_request_id_ = 1;
 
-  // Terminated transactions (FIFO-capped): late writes for these are
-  // refused instead of re-opening the transaction.
-  static constexpr size_t kFinishedCap = 512;
+  // Terminated transactions (evicted past the same retention horizon):
+  // late writes for these are refused instead of re-opening the
+  // transaction.
   std::set<exec::TxnId> finished_;
-  std::deque<exec::TxnId> finished_order_;
+  std::deque<std::pair<sim::SimTime, exec::TxnId>> finished_order_;
   // Transactions this process incarnation received writes for (erased at
   // commit/abort). A prepare for a transaction absent from this set AND
   // not in doubt means a crash replacement lost its writes: vote no. A

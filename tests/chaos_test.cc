@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <set>
@@ -329,6 +330,105 @@ TEST(ChaosTest, AbortsAreNeverLogged) {
   // An aborted transaction writes no decision record: absence means abort.
   EXPECT_TRUE(db.stable_store(0).ReadStream("gdh.2pc").empty());
   EXPECT_TRUE(db.gdh().committed_decisions().empty());
+}
+
+TEST(ChaosTest, CrashAfterPrepareWithVoteInFlightAbortsInsteadOfLosingWrites) {
+  MachineConfig config;
+  config.pes = 4;
+  PrismaDb db(config);
+  MustExecute(&db, StrFormat("CREATE TABLE t (id INT, v INT) FRAGMENTED BY "
+                             "HASH(id) INTO %d FRAGMENTS",
+                             kFragments));
+  auto session = db.OpenSession();
+  ASSERT_TRUE(session.Execute("BEGIN").ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        session.Execute(StrFormat("INSERT INTO t VALUES (%d, %d)", i, i))
+            .ok());
+  }
+
+  // Submit COMMIT asynchronously and stop the simulation the instant the
+  // first participant's prepare (redo records + marker) reaches its WAL.
+  // Its yes-vote is then committed to delivery, but the coordinator has
+  // not decided yet.
+  const std::vector<gdh::FragmentInfo> frags =
+      db.gdh().dictionary().GetTable("t").value()->fragments;
+  std::vector<size_t> wal_before;
+  for (const gdh::FragmentInfo& frag : frags) {
+    wal_before.push_back(
+        db.stable_store(frag.pe).ReadStream(frag.name + ".wal").size());
+  }
+  bool replied = false;
+  Status outcome;
+  db.Submit("COMMIT", /*prismalog=*/false, session.txn(),
+            [&](const gdh::ClientReply& reply, sim::SimTime) {
+              replied = true;
+              outcome = reply.status;
+            });
+  int prepared = -1;
+  while (prepared < 0) {
+    ASSERT_TRUE(db.simulator().Step()) << "drained before any prepare";
+    for (size_t i = 0; i < frags.size(); ++i) {
+      if (db.stable_store(frags[i].pe)
+              .ReadStream(frags[i].name + ".wal")
+              .size() > wal_before[i]) {
+        prepared = static_cast<int>(i);
+        break;
+      }
+    }
+  }
+  ASSERT_FALSE(replied);
+
+  // Crash the prepared participant and respawn it mid-2PC. The replacement
+  // recovers in doubt and inquires; the coordinator must neither answer
+  // "abort" while phase 1 could still decide commit, nor log a commit
+  // decision for the now-doomed transaction — either would let the client
+  // see "committed" while the fragment's updates are gone.
+  ASSERT_TRUE(db.CrashFragment("t", prepared).ok());
+  ASSERT_TRUE(db.RecoverFragment("t", prepared).ok());
+  db.Run();
+
+  ASSERT_TRUE(replied);
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(db.gdh().stats().txns_doomed, 1u);
+  // No commit decision was ever logged, and no fragment kept any insert.
+  EXPECT_TRUE(db.stable_store(0).ReadStream("gdh.2pc").empty());
+  EXPECT_TRUE(db.gdh().committed_decisions().empty());
+  EXPECT_EQ(MustExecute(&db, "SELECT id FROM t").tuples.size(), 0u);
+}
+
+TEST(ChaosTest, TxnIdsAreNotReusedAfterCoordinatorRestart) {
+  MachineConfig config;
+  config.pes = 4;
+  PrismaDb db(config);
+  MustExecute(&db, StrFormat("CREATE TABLE t (id INT, v INT) FRAGMENTED BY "
+                             "HASH(id) INTO %d FRAGMENTS",
+                             kFragments));
+  exec::TxnId max_txn = 0;
+  for (int i = 0; i < 3; ++i) {
+    auto session = db.OpenSession();
+    ASSERT_TRUE(session.Execute("BEGIN").ok());
+    ASSERT_TRUE(session.Execute("INSERT INTO t VALUES (1, 1)").ok());
+    max_txn = std::max(max_txn, session.txn());
+    ASSERT_TRUE(session.Execute("ABORT").ok());
+  }
+  ASSERT_GT(max_txn, 0);
+  // Aborts leave no decision record; only the id-reservation stream
+  // remembers that these ids were handed out.
+  ASSERT_TRUE(db.stable_store(0).ReadStream("gdh.2pc").empty());
+
+  // A restarted coordinator replaying the same stable store must not hand
+  // out ids again: participants' terminated-transaction records would
+  // refuse the fresh transaction's writes as duplicates.
+  gdh::GdhProcess::Config gdh_config;
+  gdh_config.fragment_pes = {1, 2, 3};
+  gdh_config.coordinator_pes = {1, 2, 3};
+  gdh_config.resources[0] = {nullptr, &db.stable_store(0)};
+  auto restarted = std::make_unique<gdh::GdhProcess>(std::move(gdh_config));
+  gdh::GdhProcess* raw = restarted.get();
+  db.runtime().Spawn(0, std::move(restarted));
+  db.Run();  // OnStart replays the decision log and the id reservations.
+  EXPECT_GT(raw->next_txn(), max_txn);
 }
 
 TEST(ChaosTest, DuplicatedRequestsAreAnsweredFromTheReplyCache) {
