@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Checks that every C++ source under src/, tools/, tests/, bench/ and
+# examples/ is clang-format clean (.clang-format at the repo root).
+#
+# Skips with a notice when clang-format is not installed — the container
+# used for local development ships only gcc; CI installs the tool in the
+# lint job and enforces the check there.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check_format: clang-format not found; skipping (CI enforces this)"
+  exit 0
+fi
+
+echo "check_format: using $(clang-format --version)"
+
+status=0
+for file in $(find src tools tests bench examples \
+    \( -name '*.h' -o -name '*.cc' -o -name '*.cpp' \) | sort); do
+  if ! clang-format --dry-run -Werror "$file" 2>/dev/null; then
+    echo "check_format: needs formatting: $file"
+    clang-format --dry-run -Werror "$file" 2>&1 | head -20 || true
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "check_format: all files clean"
+fi
+exit "$status"

@@ -35,7 +35,11 @@ const char* StatusCodeName(StatusCode code);
 ///
 /// An OK status carries no message and is cheap to copy. Statuses are
 /// value types; they are copyable and movable.
-class Status {
+///
+/// [[nodiscard]]: a dropped Status is a swallowed failure. Call sites must
+/// propagate, check, or discard explicitly with a reasoned
+/// `(void)Op();  // why` (prisma_lint rule D4 checks the reason).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -85,7 +89,7 @@ Status UnimplementedError(std::string message);
 /// exceptions to throw); callers must check ok() first or use the
 /// ASSIGN_OR_RETURN macro.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Intentionally implicit so `return value;` and `return status;` both
   /// work in functions returning StatusOr<T>.

@@ -16,22 +16,25 @@ class PrismaDb::ClientProcess : public pool::Process {
  public:
   explicit ClientProcess(pool::ProcessId* gdh_pid) : gdh_pid_(gdh_pid) {}
 
+  std::string debug_name() const override { return "client"; }
+
   void OnMail(const pool::Mail& mail) override {
     if (mail.kind != gdh::kMailClientReply) return;
     auto reply = std::any_cast<std::shared_ptr<gdh::ClientReply>>(mail.body);
-    auto it = pending_.find(reply->request_id);
-    if (it == pending_.end()) return;
+    auto it = pending_->find(reply->request_id);
+    if (it == pending_->end()) return;
     Pending pending = std::move(it->second);
-    pending_.erase(it);
+    pending_->erase(it);
     pending.callback(*reply,
                      runtime()->simulator()->now() - pending.submitted_at);
   }
 
   /// Called from outside the simulation: registers the request and sends
-  /// the statement to the GDH at the current instant.
+  /// the statement to the GDH at the current instant. This runs on the
+  /// control plane (no handler active), so the ownership check passes.
   void SubmitNow(uint64_t id, std::shared_ptr<gdh::ClientStatement> statement,
                  ReplyCallback callback) {
-    pending_[id] =
+    (*pending_)[id] =
         Pending{runtime()->simulator()->now(), std::move(callback)};
     pool::Mail mail;
     mail.from = self();
@@ -49,7 +52,8 @@ class PrismaDb::ClientProcess : public pool::Process {
     ReplyCallback callback;
   };
   pool::ProcessId* gdh_pid_;
-  std::map<uint64_t, Pending> pending_;
+  // Process-local state wrapped in the ownership checker (pool/owned.h).
+  pool::Owned<std::map<uint64_t, Pending>> pending_;
 };
 
 net::Topology PrismaDb::MakeTopology(const MachineConfig& config) {

@@ -462,7 +462,7 @@ StatusOr<std::vector<Tuple>> Executor::RunDifference(const Plan& plan) {
          options_.costs.hash_ns);
   std::vector<Tuple> out;
   for (Tuple& t : left) {
-    if (reject.count(t) == 0) out.push_back(std::move(t));
+    if (!reject.contains(t)) out.push_back(std::move(t));
   }
   return out;
 }

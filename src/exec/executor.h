@@ -38,16 +38,14 @@ class TableResolver {
 
   /// Hash index of `table` on exactly `columns`, or null.
   virtual const storage::HashIndex* FindHashIndex(
-      const std::string& table, const std::vector<size_t>& columns) const {
-    (void)table;
-    (void)columns;
+      const std::string& /*table*/,
+      const std::vector<size_t>& /*columns*/) const {
     return nullptr;
   }
   /// Ordered index of `table` on exactly `columns`, or null.
   virtual const storage::BTreeIndex* FindBTreeIndex(
-      const std::string& table, const std::vector<size_t>& columns) const {
-    (void)table;
-    (void)columns;
+      const std::string& /*table*/,
+      const std::vector<size_t>& /*columns*/) const {
     return nullptr;
   }
 };

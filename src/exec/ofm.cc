@@ -260,7 +260,7 @@ StatusOr<size_t> Ofm::UpdateWhere(
 // ------------------------------------------------------- Transaction control
 
 bool Ofm::HasTransaction(TxnId txn) const {
-  return open_txns_.count(txn) > 0;
+  return open_txns_.contains(txn);
 }
 
 Status Ofm::Prepare(TxnId txn) {
@@ -554,7 +554,7 @@ Status Ofm::Recover() {
   undecided_records_.clear();
   undecided_order_.clear();
   for (const TxnId txn : prepared) {
-    if (committed.count(txn) == 0 && aborted.count(txn) == 0) {
+    if (!committed.contains(txn) && !aborted.contains(txn)) {
       undecided_records_[txn] = {};
       undecided_order_.push_back(txn);
     }
@@ -571,7 +571,7 @@ Status Ofm::Recover() {
       in_doubt->second.push_back(record);
       continue;
     }
-    if (committed.count(txn) == 0) continue;
+    if (!committed.contains(txn)) continue;
     RETURN_IF_ERROR(ApplyWalData(op, &r));
   }
 

@@ -11,7 +11,7 @@ StatusOr<Schema> DataDictionary::GetTableSchema(
 StatusOr<TableInfo*> DataDictionary::CreateTable(
     const std::string& table, Schema schema,
     FragmentationSpec fragmentation) {
-  if (tables_.count(table) > 0) {
+  if (tables_.contains(table)) {
     return AlreadyExistsError("table " + table + " already exists");
   }
   if (schema.num_columns() == 0) {

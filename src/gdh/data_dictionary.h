@@ -69,7 +69,7 @@ class DataDictionary : public sql::CatalogReader {
   Status DropTable(const std::string& table);
 
   bool HasTable(const std::string& table) const {
-    return tables_.count(table) > 0;
+    return tables_.contains(table);
   }
 
   StatusOr<TableInfo*> GetTable(const std::string& table);

@@ -177,7 +177,6 @@ std::unique_ptr<Plan> TryColocatedJoin(std::unique_ptr<Plan>& plan,
     return nullptr;
   }
   // The join key must be the fragmentation key on both sides.
-  const size_t left_width = plan->child(0)->schema().num_columns();
   bool keyed = false;
   for (const auto& [l, r] : join.EquiKeys()) {
     if (l == a.fragmentation.column && r == b.fragmentation.column) {
@@ -185,7 +184,6 @@ std::unique_ptr<Plan> TryColocatedJoin(std::unique_ptr<Plan>& plan,
       break;
     }
   }
-  (void)left_width;
   if (!keyed) return nullptr;
   // Aligned placement: fragment i of both tables on one PE.
   for (size_t i = 0; i < a.fragments.size(); ++i) {

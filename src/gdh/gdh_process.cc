@@ -80,7 +80,7 @@ StatusOr<pool::ProcessId> GdhProcess::OfmOf(const std::string& fragment) const {
     return InvalidArgumentError("malformed fragment name " + fragment);
   }
   const std::string table = fragment.substr(0, hash_pos);
-  ASSIGN_OR_RETURN(const TableInfo* info, dictionary_.GetTable(table));
+  ASSIGN_OR_RETURN(const TableInfo* info, dictionary_->GetTable(table));
   for (const FragmentInfo& frag : info->fragments) {
     if (frag.name == fragment) return frag.ofm;
   }
@@ -90,7 +90,7 @@ StatusOr<pool::ProcessId> GdhProcess::OfmOf(const std::string& fragment) const {
 void GdhProcess::UpdateRowCount(const std::string& fragment, int64_t delta) {
   const size_t hash_pos = fragment.rfind('#');
   if (hash_pos == std::string::npos) return;
-  auto info = dictionary_.GetTable(fragment.substr(0, hash_pos));
+  auto info = dictionary_->GetTable(fragment.substr(0, hash_pos));
   if (!info.ok()) return;
   for (FragmentInfo& frag : (*info)->fragments) {
     if (frag.name != fragment) continue;
@@ -112,7 +112,7 @@ exec::TxnId GdhProcess::NewTxn(bool explicit_txn) {
     }
   }
   const exec::TxnId txn = next_txn_++;
-  txns_[txn].explicit_txn = explicit_txn;
+  (*txns_)[txn].explicit_txn = explicit_txn;
   return txn;
 }
 
@@ -230,8 +230,8 @@ sim::SimTime GdhProcess::DedupRetentionNs() const {
 }
 
 void GdhProcess::DoomTxnsInvolving(const std::string& fragment) {
-  for (auto& [txn, state] : txns_) {
-    if (state.doomed || state.involved.count(fragment) == 0) continue;
+  for (auto& [txn, state] : *txns_) {
+    if (state.doomed || !state.involved.contains(fragment)) continue;
     state.doomed = true;
     ++stats_.txns_doomed;
     Inc(LazyCounter(&m_txns_doomed_, "gdh.txns_doomed"));
@@ -246,14 +246,14 @@ storage::StableStore* GdhProcess::DecisionStore() const {
 }
 
 void GdhProcess::LogCommitDecision(exec::TxnId txn) {
-  committed_.insert(txn);
+  committed_->insert(txn);
   if (storage::StableStore* store = DecisionStore()) {
     ChargeCpu(store->Append(kDecisionStream, "C " + std::to_string(txn)));
   }
 }
 
 void GdhProcess::LogCommitEnd(exec::TxnId txn) {
-  committed_.erase(txn);
+  committed_->erase(txn);
   if (storage::StableStore* store = DecisionStore()) {
     ChargeCpu(store->Append(kDecisionStream, "E " + std::to_string(txn)));
   }
@@ -266,9 +266,9 @@ void GdhProcess::ReplayDecisionLog() {
     if (record.size() < 3 || record[1] != ' ') continue;
     const exec::TxnId txn = std::strtoll(record.c_str() + 2, nullptr, 10);
     if (record[0] == 'C') {
-      committed_.insert(txn);
+      committed_->insert(txn);
     } else if (record[0] == 'E') {
-      committed_.erase(txn);
+      committed_->erase(txn);
     }
     if (txn >= next_txn_) next_txn_ = txn + 1;
   }
@@ -291,7 +291,7 @@ void GdhProcess::AcquireExclusive(exec::TxnId txn,
     return;
   }
   const std::string resource = resources[index];
-  locks_.Acquire(
+  locks_->Acquire(
       txn, resource, LockMode::kExclusive,
       [this, txn, resources = std::move(resources), index,
        then = std::move(then)](Status status) mutable {
@@ -366,7 +366,7 @@ void GdhProcess::HandleLockBatch(const pool::Mail& mail) {
       respond(Status::OK());
       return;
     }
-    locks_.Acquire(txn, (*resources)[index], LockMode::kShared,
+    locks_->Acquire(txn, (*resources)[index], LockMode::kShared,
                    [respond, step = weak_step.lock(), index](Status status) {
                      if (!status.ok()) {
                        respond(std::move(status));
@@ -382,8 +382,8 @@ void GdhProcess::HandleLockBatch(const pool::Mail& mail) {
 
 void GdhProcess::RunTwoPhaseCommit(exec::TxnId txn,
                                    std::function<void(Status)> then) {
-  auto it = txns_.find(txn);
-  if (it == txns_.end()) {
+  auto it = txns_->find(txn);
+  if (it == txns_->end()) {
     then(NotFoundError("unknown transaction " + std::to_string(txn)));
     return;
   }
@@ -403,8 +403,8 @@ void GdhProcess::RunTwoPhaseCommit(exec::TxnId txn,
   if (involved.empty()) {
     // Read-only: nothing was written anywhere, so no participant will
     // ever inquire — no decision record needed (presumed abort is moot).
-    locks_.ReleaseAll(txn);
-    txns_.erase(txn);
+    locks_->ReleaseAll(txn);
+    txns_->erase(txn);
     ++stats_.txns_committed;
     Inc(m_txns_committed_);
     then(Status::OK());
@@ -424,8 +424,8 @@ void GdhProcess::RunTwoPhaseCommit(exec::TxnId txn,
     // — sent by the old incarnation, or a "vote stands" answer from the
     // recovering one — no longer covers the writes the crash destroyed,
     // so a unanimous-yes round must still abort.
-    auto state_it = txns_.find(txn);
-    const bool doomed = state_it == txns_.end() || state_it->second.doomed;
+    auto state_it = txns_->find(txn);
+    const bool doomed = state_it == txns_->end() || state_it->second.doomed;
     const bool commit = m.first_error.ok() && !doomed;
     if (commit) {
       // Presumed abort: the commit decision is forced to stable storage
@@ -469,8 +469,8 @@ void GdhProcess::RunTwoPhaseCommit(exec::TxnId txn,
         // inquiry still learns "commit".
         LogCommitEnd(txn);
       }
-      locks_.ReleaseAll(txn);
-      txns_.erase(txn);
+      locks_->ReleaseAll(txn);
+      txns_->erase(txn);
       if (outcome.ok()) {
         ++stats_.txns_committed;
         Inc(m_txns_committed_);
@@ -509,8 +509,8 @@ void GdhProcess::RunTwoPhaseCommit(exec::TxnId txn,
 
 void GdhProcess::AbortEverywhere(exec::TxnId txn,
                                  std::function<void(Status)> then) {
-  auto it = txns_.find(txn);
-  if (it == txns_.end()) {
+  auto it = txns_->find(txn);
+  if (it == txns_->end()) {
     then(Status::OK());
     return;
   }
@@ -519,8 +519,8 @@ void GdhProcess::AbortEverywhere(exec::TxnId txn,
   // Presumed abort: no decision record — participants that never learn
   // the outcome resolve it by inquiry, and "unknown" means abort.
   if (involved.empty()) {
-    locks_.ReleaseAll(txn);
-    txns_.erase(txn);
+    locks_->ReleaseAll(txn);
+    txns_->erase(txn);
     then(Status::OK());
     return;
   }
@@ -528,8 +528,8 @@ void GdhProcess::AbortEverywhere(exec::TxnId txn,
   Multicast& batch = batches_[batch_id];
   batch.expected = involved.size();
   batch.done = [this, txn, then = std::move(then)](Multicast&) {
-    locks_.ReleaseAll(txn);
-    txns_.erase(txn);
+    locks_->ReleaseAll(txn);
+    txns_->erase(txn);
     ++stats_.txns_aborted;
     Inc(m_txns_aborted_);
     then(Status::OK());
@@ -556,7 +556,7 @@ void GdhProcess::ExecuteDdl(const BoundStatement& bound,
       spec.column = bound.fragment_column;
       spec.num_fragments = bound.fragmentation.num_fragments;
       auto info_or =
-          dictionary_.CreateTable(bound.table, bound.create_schema, spec);
+          dictionary_->CreateTable(bound.table, bound.create_schema, spec);
       if (!info_or.ok()) {
         ReplyToClient(client, stmt->request_id, info_or.status(), 0, 0);
         return;
@@ -592,7 +592,7 @@ void GdhProcess::ExecuteDdl(const BoundStatement& bound,
       return;
     }
     case Statement::Kind::kDropTable: {
-      auto info = dictionary_.GetTable(bound.table);
+      auto info = dictionary_->GetTable(bound.table);
       if (!info.ok()) {
         ReplyToClient(client, stmt->request_id, info.status(), 0, 0);
         return;
@@ -600,7 +600,7 @@ void GdhProcess::ExecuteDdl(const BoundStatement& bound,
       for (const FragmentInfo& frag : (*info)->fragments) {
         runtime()->Kill(frag.ofm);
       }
-      PRISMA_CHECK_OK(dictionary_.DropTable(bound.table));
+      PRISMA_CHECK_OK(dictionary_->DropTable(bound.table));
       ReplyToClient(client, stmt->request_id, Status::OK(), 0, 0);
       return;
     }
@@ -609,12 +609,12 @@ void GdhProcess::ExecuteDdl(const BoundStatement& bound,
       index.name = bound.index_name;
       index.columns = bound.index_columns;
       index.ordered = bound.index_ordered;
-      Status added = dictionary_.AddIndex(bound.table, index);
+      Status added = dictionary_->AddIndex(bound.table, index);
       if (!added.ok()) {
         ReplyToClient(client, stmt->request_id, added, 0, 0);
         return;
       }
-      auto info = dictionary_.GetTable(bound.table);
+      auto info = dictionary_->GetTable(bound.table);
       PRISMA_CHECK(info.ok());
       const uint64_t batch_id = next_batch_id_++;
       Multicast& batch = batches_[batch_id];
@@ -644,7 +644,7 @@ void GdhProcess::ExecuteDdl(const BoundStatement& bound,
 
 StatusOr<std::vector<std::string>> GdhProcess::TargetFragments(
     const std::string& table, const algebra::Expr* where) const {
-  ASSIGN_OR_RETURN(const TableInfo* info, dictionary_.GetTable(table));
+  ASSIGN_OR_RETURN(const TableInfo* info, dictionary_->GetTable(table));
   // Prune to one fragment when the predicate pins the fragmentation key.
   if (where != nullptr &&
       (info->fragmentation.strategy == sql::FragmentStrategy::kHash ||
@@ -677,7 +677,7 @@ StatusOr<std::vector<std::string>> GdhProcess::TargetFragments(
 void GdhProcess::ExecuteWrite(std::shared_ptr<BoundStatement> bound,
                               const std::shared_ptr<ClientStatement>& stmt,
                               pool::ProcessId client) {
-  auto info_or = dictionary_.GetTable(bound->table);
+  auto info_or = dictionary_->GetTable(bound->table);
   if (!info_or.ok()) {
     ReplyToClient(client, stmt->request_id, info_or.status(), 0, 0);
     return;
@@ -742,7 +742,7 @@ void GdhProcess::ExecuteWrite(std::shared_ptr<BoundStatement> bound,
   if (txn == exec::kAutoCommit) {
     txn = NewTxn(false);
     implicit = true;
-  } else if (txns_.count(txn) == 0) {
+  } else if (!txns_->contains(txn)) {
     ReplyToClient(client, stmt->request_id,
                   NotFoundError("unknown transaction " + std::to_string(txn)),
                   0, 0);
@@ -768,7 +768,7 @@ void GdhProcess::ExecuteWrite(std::shared_ptr<BoundStatement> bound,
           return;
         }
         // Locks held: scatter the writes.
-        auto& txn_state = txns_[txn];
+        auto& txn_state = (*txns_)[txn];
         const uint64_t batch_id = next_batch_id_++;
         Multicast& batch = batches_[batch_id];
         batch.expected = ops->size();
@@ -842,7 +842,7 @@ void GdhProcess::SpawnCoordinator(const std::shared_ptr<ClientStatement>& stmt,
   exec::TxnId lock_txn = stmt->txn;
   if (lock_txn == exec::kAutoCommit) {
     lock_txn = NewTxn(false);
-  } else if (txns_.count(lock_txn) == 0) {
+  } else if (!txns_->contains(lock_txn)) {
     ReplyToClient(client, stmt->request_id,
                   NotFoundError("unknown transaction " +
                                 std::to_string(lock_txn)),
@@ -850,7 +850,7 @@ void GdhProcess::SpawnCoordinator(const std::shared_ptr<ClientStatement>& stmt,
     return;
   }
   QueryProcess::Config config;
-  config.dictionary = &dictionary_;
+  config.dictionary = &*dictionary_;
   config.rules = config_.rules;
   config.costs = config_.costs;
   config.expr_mode = config_.expr_mode;
@@ -869,7 +869,7 @@ void GdhProcess::SpawnCoordinator(const std::shared_ptr<ClientStatement>& stmt,
                                                  config_.coordinator_pes.size()];
   const pool::ProcessId coordinator =
       runtime()->Spawn(pe, std::make_unique<QueryProcess>(std::move(config)));
-  txns_[lock_txn].coordinator = coordinator;
+  (*txns_)[lock_txn].coordinator = coordinator;
   if (config_.coord_check_ns > 0) {
     // Supervise: if the coordinator's PE crashes, the statement must
     // still terminate (locks released, client answered).
@@ -920,11 +920,11 @@ void GdhProcess::HandleCoordCheck(const pool::Mail& mail) {
   ForgetCoordinator(coordinator);
   ++stats_.coords_reaped;
   Inc(LazyCounter(&m_coords_reaped_, "gdh.coords_reaped"));
-  auto txn_it = txns_.find(watch.lock_txn);
-  if (txn_it != txns_.end() && !txn_it->second.explicit_txn &&
+  auto txn_it = txns_->find(watch.lock_txn);
+  if (txn_it != txns_->end() && !txn_it->second.explicit_txn &&
       txn_it->second.involved.empty()) {
-    locks_.ReleaseAll(watch.lock_txn);
-    txns_.erase(txn_it);
+    locks_->ReleaseAll(watch.lock_txn);
+    txns_->erase(txn_it);
   }
   ReplyToClient(watch.client, watch.request_id,
                 UnavailableError("query coordinator died (PE crash)"), 0, 0);
@@ -932,12 +932,12 @@ void GdhProcess::HandleCoordCheck(const pool::Mail& mail) {
 
 void GdhProcess::HandleStatementDone(const pool::Mail& mail) {
   auto done = std::any_cast<std::shared_ptr<StatementDone>>(mail.body);
-  auto it = txns_.find(done->txn);
-  if (it != txns_.end() && !it->second.explicit_txn &&
+  auto it = txns_->find(done->txn);
+  if (it != txns_->end() && !it->second.explicit_txn &&
       it->second.involved.empty()) {
     // Statement-scoped read locks.
-    locks_.ReleaseAll(done->txn);
-    txns_.erase(it);
+    locks_->ReleaseAll(done->txn);
+    txns_->erase(it);
   }
   ForgetCoordinator(mail.from);
   // The per-query coordinator instance has served its purpose (§2.2).
@@ -949,7 +949,7 @@ void GdhProcess::HandleStatementDone(const pool::Mail& mail) {
 void GdhProcess::HandleWriteReply(const pool::Mail& mail) {
   auto reply = std::any_cast<std::shared_ptr<WriteReply>>(mail.body);
   SettleRpc(reply->request_id);
-  if (request_batch_.count(reply->request_id) == 0) {
+  if (!request_batch_.contains(reply->request_id)) {
     // The request was already settled (duplicate or post-degradation
     // reply). If it was settled by exhausting the retry budget, the OFM
     // did execute the write after all: fold its row delta into the
@@ -969,7 +969,7 @@ void GdhProcess::HandleWriteReply(const pool::Mail& mail) {
 void GdhProcess::HandleTxnControlReply(const pool::Mail& mail) {
   auto reply = std::any_cast<std::shared_ptr<TxnControlReply>>(mail.body);
   SettleRpc(reply->request_id);
-  if (request_batch_.count(reply->request_id) == 0) {
+  if (!request_batch_.contains(reply->request_id)) {
     ++stats_.dup_replies;
     Inc(LazyCounter(&m_dup_replies_, "gdh.dup_replies"));
     return;
@@ -982,11 +982,11 @@ void GdhProcess::HandleDecisionRequest(const pool::Mail& mail) {
   auto reply = std::make_shared<DecisionReply>();
   reply->request_id = request->request_id;
   for (const exec::TxnId txn : request->transactions) {
-    if (committed_.count(txn) > 0) {
+    if (committed_->contains(txn)) {
       // A logged (unforgotten) commit decision answers "commit".
       reply->transactions.push_back(txn);
       reply->commit.push_back(true);
-    } else if (txns_.count(txn) > 0) {
+    } else if (txns_->contains(txn)) {
       // Still being decided: a yes-vote (or a "vote stands" answer to a
       // retransmitted prepare) may be in flight, so a commit decision can
       // still be logged after an "abort" answer sent now — the inquirer
@@ -1032,7 +1032,7 @@ void GdhProcess::HandleClientStatement(const pool::Mail& mail) {
       SpawnCoordinator(stmt, client);
       return;
     case Statement::Kind::kTxnControl: {
-      auto bound = sql::BindStatement(*parsed, dictionary_);
+      auto bound = sql::BindStatement(*parsed, *dictionary_);
       PRISMA_CHECK(bound.ok());
       ExecuteTxnControl(*bound, stmt, client);
       return;
@@ -1040,7 +1040,7 @@ void GdhProcess::HandleClientStatement(const pool::Mail& mail) {
     case Statement::Kind::kCreateTable:
     case Statement::Kind::kDropTable:
     case Statement::Kind::kCreateIndex: {
-      auto bound = sql::BindStatement(*parsed, dictionary_);
+      auto bound = sql::BindStatement(*parsed, *dictionary_);
       if (!bound.ok()) {
         ReplyToClient(client, stmt->request_id, bound.status(), 0, 0);
         return;
@@ -1055,7 +1055,7 @@ void GdhProcess::HandleClientStatement(const pool::Mail& mail) {
     case Statement::Kind::kInsert:
     case Statement::Kind::kDelete:
     case Statement::Kind::kUpdate: {
-      auto bound = sql::BindStatement(*parsed, dictionary_);
+      auto bound = sql::BindStatement(*parsed, *dictionary_);
       if (!bound.ok()) {
         ReplyToClient(client, stmt->request_id, bound.status(), 0, 0);
         return;
@@ -1070,8 +1070,8 @@ void GdhProcess::HandleClientStatement(const pool::Mail& mail) {
 void GdhProcess::ExecuteCheckpoint(
     const std::shared_ptr<ClientStatement>& stmt, pool::ProcessId client) {
   std::vector<std::string> fragments;
-  for (const std::string& table : dictionary_.TableNames()) {
-    auto info = dictionary_.GetTable(table);
+  for (const std::string& table : dictionary_->TableNames()) {
+    auto info = dictionary_->GetTable(table);
     PRISMA_CHECK(info.ok());
     for (const FragmentInfo& frag : (*info)->fragments) {
       if (frag.ofm != pool::kNoProcess) fragments.push_back(frag.name);
@@ -1099,7 +1099,7 @@ void GdhProcess::ExecuteCheckpoint(
 // -------------------------------------------------------- Crash / recover
 
 Status GdhProcess::CrashFragment(const std::string& table, int fragment) {
-  ASSIGN_OR_RETURN(TableInfo * info, dictionary_.GetTable(table));
+  ASSIGN_OR_RETURN(TableInfo * info, dictionary_->GetTable(table));
   if (fragment < 0 || fragment >= static_cast<int>(info->fragments.size())) {
     return OutOfRangeError("no such fragment");
   }
@@ -1109,7 +1109,7 @@ Status GdhProcess::CrashFragment(const std::string& table, int fragment) {
 }
 
 Status GdhProcess::RecoverFragment(const std::string& table, int fragment) {
-  ASSIGN_OR_RETURN(TableInfo * info, dictionary_.GetTable(table));
+  ASSIGN_OR_RETURN(TableInfo * info, dictionary_->GetTable(table));
   if (fragment < 0 || fragment >= static_cast<int>(info->fragments.size())) {
     return OutOfRangeError("no such fragment");
   }
@@ -1143,8 +1143,8 @@ Status GdhProcess::RecoverFragment(const std::string& table, int fragment) {
 }
 
 Status GdhProcess::RecoverPe(net::NodeId pe) {
-  for (const std::string& table : dictionary_.TableNames()) {
-    auto info = dictionary_.GetTable(table);
+  for (const std::string& table : dictionary_->TableNames()) {
+    auto info = dictionary_->GetTable(table);
     if (!info.ok()) continue;
     const size_t count = (*info)->fragments.size();
     for (size_t i = 0; i < count; ++i) {

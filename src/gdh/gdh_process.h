@@ -18,6 +18,7 @@
 #include "gdh/pe_registry.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "pool/owned.h"
 #include "pool/runtime.h"
 #include "sql/binder.h"
 #include "storage/memory_tracker.h"
@@ -95,10 +96,12 @@ class GdhProcess : public pool::Process {
   void OnStart() override;
   void OnMail(const pool::Mail& mail) override;
 
+  std::string debug_name() const override { return "gdh"; }
+
   // --- Control plane, used by core::PrismaDb and tests between events ---
 
-  DataDictionary& dictionary() { return dictionary_; }
-  const LockManager& locks() const { return locks_; }
+  DataDictionary& dictionary() { return *dictionary_; }
+  const LockManager& locks() const { return *locks_; }
 
   /// Kills the OFM process of one fragment (simulated PE crash).
   Status CrashFragment(const std::string& table, int fragment);
@@ -112,7 +115,7 @@ class GdhProcess : public pool::Process {
 
   /// Logged commit decisions not yet fully acknowledged (tests).
   const std::set<exec::TxnId>& committed_decisions() const {
-    return committed_;
+    return *committed_;
   }
 
   /// Next transaction id to hand out (tests: id-reuse after restart).
@@ -281,8 +284,11 @@ class GdhProcess : public pool::Process {
   obs::Counter* LazyCounter(obs::Counter** slot, const char* name);
 
   Config config_;
-  DataDictionary dictionary_;
-  LockManager locks_;
+  // Process-local state below is wrapped in the ownership checker: only
+  // this process's handlers (or control-plane code between events) may
+  // touch it; see pool/owned.h.
+  pool::Owned<DataDictionary> dictionary_;
+  pool::Owned<LockManager> locks_;
   Stats stats_;
 
   // Cached registry counters mirroring Stats (null without a registry).
@@ -307,10 +313,10 @@ class GdhProcess : public pool::Process {
   /// restarted GDH never re-hands out an id this incarnation allocated
   /// (aborted and read-only transactions leave no decision record).
   exec::TxnId txn_id_hwm_ = 1;
-  std::map<exec::TxnId, TxnState> txns_;
+  pool::Owned<std::map<exec::TxnId, TxnState>> txns_;
   /// Commit decisions whose end record has not been logged yet. Aborts
   /// are never recorded (presumed abort).
-  std::set<exec::TxnId> committed_;
+  pool::Owned<std::set<exec::TxnId>> committed_;
 
   uint64_t next_request_id_ = 1;
   uint64_t next_batch_id_ = 1;

@@ -146,7 +146,7 @@ void LockManager::ReleaseAll(TxnId txn) {
 
 bool LockManager::Holds(TxnId txn, const std::string& resource) const {
   auto it = resources_.find(resource);
-  return it != resources_.end() && it->second.holders.count(txn) > 0;
+  return it != resources_.end() && it->second.holders.contains(txn);
 }
 
 size_t LockManager::num_locked_resources() const { return resources_.size(); }

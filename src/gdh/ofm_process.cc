@@ -11,7 +11,7 @@ namespace prisma::gdh {
 OfmProcess::OfmProcess(Config config) : config_(std::move(config)) {}
 
 OfmProcess::~OfmProcess() {
-  if (config_.registry != nullptr && ofm_ != nullptr) {
+  if (config_.registry != nullptr && !ofm_.null()) {
     config_.registry->Unregister(pe(), config_.fragment_name);
   }
 }
@@ -66,7 +66,7 @@ bool OfmProcess::InDoubt(exec::TxnId txn) const {
 void OfmProcess::NoteFinished(exec::TxnId txn) {
   if (txn == exec::kAutoCommit) return;
   EvictExpiredDedupState();
-  if (!finished_.insert(txn).second) return;
+  if (!finished_->insert(txn).second) return;
   finished_order_.push_back({runtime()->simulator()->now(), txn});
 }
 
@@ -77,11 +77,11 @@ void OfmProcess::EvictExpiredDedupState() {
   const sim::SimTime cutoff =
       runtime()->simulator()->now() - config_.dedup_retention_ns;
   while (!reply_order_.empty() && reply_order_.front().first <= cutoff) {
-    replies_.erase(reply_order_.front().second);
+    replies_->erase(reply_order_.front().second);
     reply_order_.pop_front();
   }
   while (!finished_order_.empty() && finished_order_.front().first <= cutoff) {
-    finished_.erase(finished_order_.front().second);
+    finished_->erase(finished_order_.front().second);
     finished_order_.pop_front();
   }
 }
@@ -94,8 +94,8 @@ void OfmProcess::SendDecisionRequest() {
 }
 
 bool OfmProcess::ReplayCached(pool::ProcessId from, uint64_t request_id) {
-  auto it = replies_.find({from, request_id});
-  if (it == replies_.end()) return false;
+  auto it = replies_->find({from, request_id});
+  if (it == replies_->end()) return false;
   ++dup_requests_;
   if (m_dup_requests_ == nullptr && config_.metrics != nullptr) {
     // Registered on first duplicate so fault-free metric dumps are
@@ -114,7 +114,7 @@ void OfmProcess::Respond(pool::ProcessId to, uint64_t request_id,
   EvictExpiredDedupState();
   const auto key = std::make_pair(to, request_id);
   auto [it, inserted] =
-      replies_.try_emplace(key, CachedReply{kind, body, size_bits});
+      replies_->try_emplace(key, CachedReply{kind, body, size_bits});
   if (inserted) {
     reply_order_.push_back({runtime()->simulator()->now(), key});
   }
@@ -122,9 +122,9 @@ void OfmProcess::Respond(pool::ProcessId to, uint64_t request_id,
 }
 
 void OfmProcess::MaybeReplayStalled() {
-  if (Stalled() || stalled_.empty()) return;
-  std::vector<pool::Mail> replay = std::move(stalled_);
-  stalled_.clear();
+  if (Stalled() || stalled_->empty()) return;
+  std::vector<pool::Mail> replay = std::move(*stalled_);
+  stalled_->clear();
   for (pool::Mail& mail : replay) OnMail(mail);
 }
 
@@ -175,7 +175,7 @@ void OfmProcess::OnMail(const pool::Mail& mail) {
       defer = !InDoubt(request->txn);
     }
     if (defer) {
-      stalled_.push_back(mail);
+      stalled_->push_back(mail);
       return;
     }
   }
@@ -276,7 +276,7 @@ void OfmProcess::HandleWrite(const pool::Mail& mail) {
             kControlBits);
     return;
   }
-  if (request->txn != exec::kAutoCommit) seen_txns_.insert(request->txn);
+  if (request->txn != exec::kAutoCommit) seen_txns_->insert(request->txn);
   switch (request->op) {
     case WriteRequest::Op::kInsert: {
       auto row = ofm_->Insert(request->txn, request->tuple);
@@ -330,7 +330,7 @@ void OfmProcess::HandleTxnControl(const pool::Mail& mail) {
       if (InDoubt(request->txn)) {
         // Prepared before the crash; the vote stands.
         reply->status = Status::OK();
-      } else if (seen_txns_.count(request->txn) == 0) {
+      } else if (!seen_txns_->contains(request->txn)) {
         // This incarnation never received a write of the transaction: a
         // crash replacement lost the writes (the coordinator only sends
         // prepare after every write was acknowledged). Voting yes could
@@ -352,14 +352,14 @@ void OfmProcess::HandleTxnControl(const pool::Mail& mail) {
       // Recorded even when this OFM never saw the transaction: a delayed
       // write of it may still arrive and must find it terminated.
       NoteFinished(request->txn);
-      seen_txns_.erase(request->txn);
+      seen_txns_->erase(request->txn);
       break;
     case TxnControlRequest::Op::kAbort:
       reply->status = InDoubt(request->txn)
                           ? ofm_->ResolveRecovered(request->txn, false)
                           : ofm_->Abort(request->txn);
       NoteFinished(request->txn);
-      seen_txns_.erase(request->txn);
+      seen_txns_->erase(request->txn);
       break;
   }
   if (reply->status.ok() && m_commits_ != nullptr) {

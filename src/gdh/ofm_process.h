@@ -15,6 +15,7 @@
 #include "gdh/messages.h"
 #include "gdh/pe_registry.h"
 #include "obs/metrics.h"
+#include "pool/owned.h"
 #include "pool/runtime.h"
 
 namespace prisma::gdh {
@@ -68,6 +69,12 @@ class OfmProcess : public pool::Process {
   void OnStart() override;
   void OnMail(const pool::Mail& mail) override;
 
+  std::string debug_name() const override {
+    return "ofm:" + config_.fragment_name;
+  }
+
+  /// Control-plane view for tests; fine between simulation events, checked
+  /// by the ownership guard when called from another process's handler.
   exec::Ofm& ofm() { return *ofm_; }
 
   /// Requests answered from the reply cache (duplicate deliveries).
@@ -84,7 +91,7 @@ class OfmProcess : public pool::Process {
   /// True while recovered in-doubt transactions await the coordinator's
   /// decision; data-plane mail is queued until then.
   bool Stalled() const {
-    return ofm_ != nullptr && !ofm_->recovered_undecided().empty();
+    return !ofm_.null() && !ofm_->recovered_undecided().empty();
   }
   bool InDoubt(exec::TxnId txn) const;
   void SendDecisionRequest();
@@ -95,7 +102,7 @@ class OfmProcess : public pool::Process {
   /// without this record the late write would silently re-open the
   /// transaction and leak uncommitted effects.
   void NoteFinished(exec::TxnId txn);
-  bool Finished(exec::TxnId txn) const { return finished_.count(txn) > 0; }
+  bool Finished(exec::TxnId txn) const { return finished_->contains(txn); }
 
   /// Caches the reply under (to, request_id) and sends it. Duplicate
   /// requests replay the cached reply through ReplayCached.
@@ -118,7 +125,10 @@ class OfmProcess : public pool::Process {
   void SyncDurabilityMetrics();
 
   Config config_;
-  std::unique_ptr<exec::Ofm> ofm_;
+  // Process-local state below is wrapped in the ownership checker: only
+  // this process's handlers (or control-plane code between events) may
+  // touch it; see pool/owned.h.
+  pool::OwnedPtr<exec::Ofm> ofm_;
 
   // Receiver-side dedup: replies already sent, keyed by (sender,
   // request_id). Entries are evicted only once they age past the dedup
@@ -132,25 +142,26 @@ class OfmProcess : public pool::Process {
     std::any body;
     int64_t size_bits = 0;
   };
-  std::map<std::pair<pool::ProcessId, uint64_t>, CachedReply> replies_;
+  pool::Owned<std::map<std::pair<pool::ProcessId, uint64_t>, CachedReply>>
+      replies_;
   std::deque<std::pair<sim::SimTime, std::pair<pool::ProcessId, uint64_t>>>
       reply_order_;
   uint64_t dup_requests_ = 0;
 
   // Data-plane mail held back while in-doubt transactions are unresolved.
-  std::vector<pool::Mail> stalled_;
+  pool::Owned<std::vector<pool::Mail>> stalled_;
   uint64_t next_request_id_ = 1;
 
   // Terminated transactions (evicted past the same retention horizon):
   // late writes for these are refused instead of re-opening the
   // transaction.
-  std::set<exec::TxnId> finished_;
+  pool::Owned<std::set<exec::TxnId>> finished_;
   std::deque<std::pair<sim::SimTime, exec::TxnId>> finished_order_;
   // Transactions this process incarnation received writes for (erased at
   // commit/abort). A prepare for a transaction absent from this set AND
   // not in doubt means a crash replacement lost its writes: vote no. A
   // no-op write (zero rows matched) still registers here, so it votes yes.
-  std::set<exec::TxnId> seen_txns_;
+  pool::Owned<std::set<exec::TxnId>> seen_txns_;
 
   // Cached registry counters (null when no registry was configured).
   obs::Counter* m_tuples_scanned_ = nullptr;

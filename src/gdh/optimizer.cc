@@ -350,7 +350,7 @@ std::unique_ptr<Plan> Optimizer::ReorderJoins(std::unique_ptr<Plan> plan,
       if (chosen[cand]) continue;
       bool connected = false;
       for (const ConjunctInfo& c : conjuncts) {
-        if (c.leaves.count(cand) == 0) continue;
+        if (!c.leaves.contains(cand)) continue;
         bool others_chosen = true;
         for (const size_t l : c.leaves) {
           if (l != cand && !chosen[l]) {
@@ -397,7 +397,7 @@ std::unique_ptr<Plan> Optimizer::ReorderJoins(std::unique_ptr<Plan> plan,
       if (c.attached) continue;
       bool ready = true;
       for (const size_t l : c.leaves) {
-        if (placed.count(l) == 0) {
+        if (!placed.contains(l)) {
           ready = false;
           break;
         }

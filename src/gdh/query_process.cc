@@ -87,20 +87,20 @@ void QueryProcess::SendRpc(uint64_t request_id, const char* kind,
   }
   rpc.timer = SendSelfAfter(rpc.delay, kMailRpcTimeout,
                             std::make_shared<uint64_t>(request_id));
-  rpcs_[request_id] = std::move(rpc);
+  (*rpcs_)[request_id] = std::move(rpc);
 }
 
 bool QueryProcess::SettleRpc(uint64_t request_id) {
-  auto it = rpcs_.find(request_id);
-  if (it == rpcs_.end()) return false;
+  auto it = rpcs_->find(request_id);
+  if (it == rpcs_->end()) return false;
   runtime()->simulator()->Cancel(it->second.timer);
-  rpcs_.erase(it);
+  rpcs_->erase(it);
   return true;
 }
 
 pool::ProcessId QueryProcess::ResolveTarget(size_t work_index) const {
   if (work_index == SIZE_MAX) return config_.gdh;
-  const FragmentWork& w = work_[work_index];
+  const FragmentWork& w = (*work_)[work_index];
   // Fragment names are stable across respawns, pids are not: resolve
   // through the dictionary so retransmissions chase a replacement OFM.
   auto info = config_.dictionary->GetTable(w.table);
@@ -115,14 +115,14 @@ void QueryProcess::HandleRpcTimeout(const pool::Mail& mail) {
   if (finished_) return;
   const uint64_t request_id =
       *std::any_cast<std::shared_ptr<uint64_t>>(mail.body);
-  auto it = rpcs_.find(request_id);
-  if (it == rpcs_.end()) return;  // Answered in the meantime.
+  auto it = rpcs_->find(request_id);
+  if (it == rpcs_->end()) return;  // Answered in the meantime.
   PendingRpc& rpc = it->second;
   if (rpc.attempts >= rpc.max_attempts) {
     const std::string target = rpc.work_index == SIZE_MAX
                                    ? std::string("the GDH")
-                                   : work_[rpc.work_index].fragment;
-    rpcs_.erase(it);
+                                   : (*work_)[rpc.work_index].fragment;
+    rpcs_->erase(it);
     Reply(UnavailableError(target + " did not answer after repeated "
                            "retransmissions (crashed PE?)"),
           Schema(), nullptr);
@@ -145,10 +145,10 @@ void QueryProcess::Reply(Status status, Schema schema,
   if (finished_) return;
   finished_ = true;
   runtime()->simulator()->Cancel(timeout_event_);
-  for (auto& [id, rpc] : rpcs_) {
+  for (auto& [id, rpc] : *rpcs_) {
     runtime()->simulator()->Cancel(rpc.timer);
   }
-  rpcs_.clear();
+  rpcs_->clear();
   const sim::SimTime now = runtime()->simulator()->now();
   if (config_.metrics != nullptr) {
     const obs::Labels q = {
@@ -271,11 +271,11 @@ void QueryProcess::RequestLocks(std::vector<std::string> resources) {
 
 void QueryProcess::Scatter() {
   // Build the per-fragment work list.
-  gathered_.assign(
+  gathered_->assign(
       is_prismalog_phase_ ? plog_tables_.size() : split_.parts.size(), {});
-  duplicate_of_.assign(gathered_.size(), SIZE_MAX);
-  part_profiles_.assign(gathered_.size(), std::nullopt);
-  work_.clear();
+  duplicate_of_.assign(gathered_->size(), SIZE_MAX);
+  part_profiles_.assign(gathered_->size(), std::nullopt);
+  work_->clear();
   if (is_prismalog_phase_) {
     for (size_t i = 0; i < plog_tables_.size(); ++i) {
       auto info = config_.dictionary->GetTable(plog_tables_[i]);
@@ -283,7 +283,7 @@ void QueryProcess::Scatter() {
       std::shared_ptr<const algebra::Plan> scan =
           algebra::ScanPlan::Create(plog_tables_[i], (*info)->schema);
       for (const FragmentInfo& frag : (*info)->fragments) {
-        work_.push_back(FragmentWork{
+        work_->push_back(FragmentWork{
             frag.ofm,
             std::shared_ptr<const algebra::Plan>(CloneWithScanRenamed(
                 *scan, plog_tables_[i], frag.name)),
@@ -321,7 +321,7 @@ void QueryProcess::Scatter() {
           local = CloneWithScanRenamed(*local, part.second_table,
                                        second->fragments[f].name);
         }
-        work_.push_back(FragmentWork{
+        work_->push_back(FragmentWork{
             frag.ofm, std::shared_ptr<const algebra::Plan>(std::move(local)),
             i, part.table, frag.name});
       }
@@ -330,13 +330,13 @@ void QueryProcess::Scatter() {
   next_work_ = 0;
   outstanding_ = 0;
   completed_ = 0;
-  if (work_.empty()) {
+  if (work_->empty()) {
     FinishGather();
     return;
   }
   if (config_.rules.parallel_fragments) {
     // Scatter everything at once — fragment parallelism (§2.2).
-    while (next_work_ < work_.size()) SendNextFragmentPlan();
+    while (next_work_ < work_->size()) SendNextFragmentPlan();
   } else {
     // Ablation: one fragment at a time.
     SendNextFragmentPlan();
@@ -345,7 +345,7 @@ void QueryProcess::Scatter() {
 
 void QueryProcess::SendNextFragmentPlan() {
   const size_t index = next_work_++;
-  const FragmentWork& w = work_[index];
+  const FragmentWork& w = (*work_)[index];
   auto request = std::make_shared<ExecPlanRequest>();
   request->request_id = next_request_id_++;
   request->plan = w.plan;
@@ -375,7 +375,7 @@ void QueryProcess::HandlePlanReply(const pool::Mail& mail) {
     ChargeCpu(static_cast<sim::SimTime>(reply->tuples->size()) *
               config_.costs.tuple_ns);
     tuples_gathered_ += reply->tuples->size();
-    auto& sink = gathered_[part];
+    auto& sink = (*gathered_)[part];
     sink.insert(sink.end(), reply->tuples->begin(), reply->tuples->end());
   }
   if (reply->profile != nullptr && part < part_profiles_.size()) {
@@ -385,11 +385,11 @@ void QueryProcess::HandlePlanReply(const pool::Mail& mail) {
       part_profiles_[part] = *reply->profile;
     }
   }
-  if (completed_ == work_.size()) {
+  if (completed_ == work_->size()) {
     FinishGather();
     return;
   }
-  if (!config_.rules.parallel_fragments && next_work_ < work_.size()) {
+  if (!config_.rules.parallel_fragments && next_work_ < work_->size()) {
     SendNextFragmentPlan();
   }
 }
@@ -398,7 +398,7 @@ void QueryProcess::FinishGather() {
   // Materialize shared results for deduplicated parts.
   for (size_t i = 0; i < duplicate_of_.size(); ++i) {
     if (duplicate_of_[i] != SIZE_MAX) {
-      gathered_[i] = gathered_[duplicate_of_[i]];
+      (*gathered_)[i] = (*gathered_)[duplicate_of_[i]];
     }
   }
   if (is_prismalog_phase_) {
@@ -416,7 +416,7 @@ void QueryProcess::RunGlobalPhase() {
   for (size_t i = 0; i < split_.parts.size(); ++i) {
     auto rel = std::make_unique<storage::Relation>(
         PartName(i), split_.parts[i].plan->schema());
-    for (Tuple& t : gathered_[i]) {
+    for (Tuple& t : (*gathered_)[i]) {
       auto row = rel->Insert(std::move(t));
       if (!row.ok()) {
         Reply(row.status(), Schema(), nullptr);
@@ -593,7 +593,7 @@ void QueryProcess::RunPrismalogPhase() {
     PRISMA_CHECK(info.ok());
     auto rel = std::make_unique<storage::Relation>(plog_tables_[i],
                                                    (*info)->schema);
-    for (Tuple& t : gathered_[i]) {
+    for (Tuple& t : (*gathered_)[i]) {
       auto row = rel->Insert(std::move(t));
       if (!row.ok()) {
         Reply(row.status(), Schema(), nullptr);

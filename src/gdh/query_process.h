@@ -16,6 +16,7 @@
 #include "obs/metrics.h"
 #include "obs/query_profile.h"
 #include "obs/trace.h"
+#include "pool/owned.h"
 #include "pool/runtime.h"
 #include "storage/relation.h"
 
@@ -64,6 +65,8 @@ class QueryProcess : public pool::Process {
 
   void OnStart() override;
   void OnMail(const pool::Mail& mail) override;
+
+  std::string debug_name() const override { return "coordinator"; }
 
   /// Filled as the query runs; read by benches after completion.
   struct QueryStats {
@@ -122,7 +125,10 @@ class QueryProcess : public pool::Process {
     std::string table;
     std::string fragment;
   };
-  std::vector<FragmentWork> work_;
+  // Process-local state below is wrapped in the ownership checker: only
+  // this process's handlers (or control-plane code between events) may
+  // touch it; see pool/owned.h.
+  pool::Owned<std::vector<FragmentWork>> work_;
   size_t next_work_ = 0;      // Sequential mode cursor.
   size_t outstanding_ = 0;
   size_t completed_ = 0;
@@ -141,10 +147,10 @@ class QueryProcess : public pool::Process {
     sim::SimTime delay = 0;
     sim::EventId timer = 0;
   };
-  std::map<uint64_t, PendingRpc> rpcs_;
+  pool::Owned<std::map<uint64_t, PendingRpc>> rpcs_;
   /// stmt_done retransmission (armed in Reply when configured).
   std::shared_ptr<StatementDone> done_msg_;
-  std::vector<std::vector<Tuple>> gathered_;  // Per part.
+  pool::Owned<std::vector<std::vector<Tuple>>> gathered_;  // Per part.
   uint64_t tuples_gathered_ = 0;
   // EXPLAIN ANALYZE: per-part profile, fragment replies merged in.
   std::vector<std::optional<obs::OperatorProfile>> part_profiles_;

@@ -180,7 +180,15 @@ void Runtime::ExecuteHandler(net::NodeId pe, std::string name, ProcessId tid,
   in_handler_ = true;
   handler_charged_ns_ = 0;
   deferred_sends_.clear();
-  body();
+  {
+    // Ownership checker: while the handler runs, Owned<> accesses are
+    // attributed to (and checked against) this process.
+    auto owner = processes_.find(tid);
+    CurrentProcess::Scope scope(
+        tid, owner != processes_.end() ? owner->second->debug_name()
+                                       : "dead-process");
+    body();
+  }
   const sim::SimTime charged = handler_charged_ns_;
   std::vector<Mail> sends = std::move(deferred_sends_);
   in_handler_ = false;

@@ -3,6 +3,7 @@
 
 #include <any>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -11,13 +12,10 @@
 #include "net/network.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "pool/owned.h"
 #include "sim/simulator.h"
 
 namespace prisma::pool {
-
-/// Identifier of a POOL-X process; unique within a Runtime for its lifetime.
-using ProcessId = int64_t;
-constexpr ProcessId kNoProcess = -1;
 
 /// A message between POOL-X processes. `kind` selects the handler logic,
 /// `body` carries an arbitrary payload (std::shared_ptr for anything
@@ -74,6 +72,12 @@ class Process {
   /// Invoked for each arriving message.
   virtual void OnMail(const Mail& mail) = 0;
 
+  /// Human-readable name used by the ownership checker's diagnostics
+  /// ("gdh", "ofm:emp#2", ...). Purely informational.
+  virtual std::string debug_name() const {
+    return "process-" + std::to_string(id_);
+  }
+
   ProcessId self() const { return id_; }
   net::NodeId pe() const { return pe_; }
   Runtime* runtime() const { return runtime_; }
@@ -129,7 +133,7 @@ class Runtime {
   /// Total PE crashes injected via CrashPe.
   uint64_t pe_crashes() const { return pe_crashes_; }
 
-  bool IsAlive(ProcessId id) const { return processes_.count(id) > 0; }
+  bool IsAlive(ProcessId id) const { return processes_.contains(id); }
   net::NodeId PeOf(ProcessId id) const;
 
   /// Sends mail on behalf of `mail.from`; queues behind the sender's
@@ -172,7 +176,9 @@ class Runtime {
   CostModel costs_;
 
   ProcessId next_id_ = 1;
-  std::unordered_map<ProcessId, std::unique_ptr<Process>> processes_;
+  /// Ordered by id so whole-PE sweeps (CrashPe) visit processes in a
+  /// deterministic order.
+  std::map<ProcessId, std::unique_ptr<Process>> processes_;
 
   std::vector<sim::SimTime> pe_cpu_free_at_;
   std::vector<sim::SimTime> pe_busy_ns_;

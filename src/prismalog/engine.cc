@@ -21,8 +21,10 @@ using algebra::SelectPlan;
 
 namespace {
 
-constexpr char kIdbPrefix[] = "\x01idb:";
-constexpr char kDeltaPrefix[] = "\x01delta:";
+// The \x01 byte is spliced as its own literal: a hex escape greedily
+// consumes following hex digits, so "\x01delta:" would parse as \x01de.
+constexpr char kIdbPrefix[] = "\x01" "idb:";
+constexpr char kDeltaPrefix[] = "\x01" "delta:";
 
 Schema WildcardSchema(size_t arity, const std::string& tag) {
   Schema s;
@@ -84,7 +86,7 @@ Status Engine::CheckRangeRestriction(const Rule& rule) const {
     }
   }
   auto check = [&](const Term& t, const char* where) -> Status {
-    if (t.is_variable() && positive_vars.count(t.variable) == 0) {
+    if (t.is_variable() && !positive_vars.contains(t.variable)) {
       return InvalidArgumentError(
           StrFormat("rule %s is not range-restricted: variable %s in %s "
                     "does not occur in a positive body atom",
@@ -144,7 +146,7 @@ Status Engine::Analyze(const Program& program) {
   // Classify predicates: rule heads are IDB; everything else must be a
   // base table in the catalog.
   for (auto& [name, info] : predicates_) {
-    if (idb_names.count(name) > 0) {
+    if (idb_names.contains(name)) {
       auto schema_or = catalog_->GetTableSchema(name);
       if (schema_or.ok()) {
         return InvalidArgumentError("predicate " + name +
@@ -496,7 +498,7 @@ StatusOr<std::vector<Tuple>> Engine::EvaluateRule(const RuleInfo& rule,
         key.push_back(t.at(offset + k));
       }
       offset += atom.args.size();
-      if (neg.neg_cache.count(Tuple(std::move(key))) > 0) {
+      if (neg.neg_cache.contains(Tuple(std::move(key)))) {
         rejected = true;
         break;
       }
@@ -608,10 +610,10 @@ Status Engine::EvaluateStratum(const std::vector<std::string>& stratum) {
   std::vector<const RuleInfo*> non_recursive;
   std::vector<const RuleInfo*> recursive;
   for (const RuleInfo& rule : rules_) {
-    if (in_stratum.count(rule.head_pred) == 0) continue;
+    if (!in_stratum.contains(rule.head_pred)) continue;
     bool is_recursive = false;
     for (const int pi : rule.positive) {
-      if (in_stratum.count(rule.rule->body[pi].atom.predicate) > 0) {
+      if (in_stratum.contains(rule.rule->body[pi].atom.predicate)) {
         is_recursive = true;
         break;
       }
@@ -650,7 +652,7 @@ Status Engine::EvaluateStratum(const std::vector<std::string>& stratum) {
       for (size_t occ = 0; occ < rule->positive.size(); ++occ) {
         const std::string& body_pred =
             rule->rule->body[rule->positive[occ]].atom.predicate;
-        if (in_stratum.count(body_pred) == 0) continue;
+        if (!in_stratum.contains(body_pred)) continue;
         ASSIGN_OR_RETURN(std::vector<Tuple> derived,
                          EvaluateRule(*rule, static_cast<int>(occ)));
         RETURN_IF_ERROR(Absorb(rule->head_pred, std::move(derived)).status());

@@ -220,10 +220,13 @@ struct SoakOutcome {
   uint64_t duplicated = 0;
   uint64_t crashes = 0;
   std::string metrics;
+  std::string trace;  // Chrome-trace JSON (empty unless tracing was on).
 };
 
-SoakOutcome RunChaosSoak(uint64_t seed) {
-  PrismaDb db(ChaosMachine(seed));
+SoakOutcome RunChaosSoak(uint64_t seed, bool trace = false) {
+  MachineConfig config = ChaosMachine(seed);
+  config.enable_tracing = trace;
+  PrismaDb db(config);
   ChaosDriver driver(&db, seed, 40);
   driver.Run();
 
@@ -244,6 +247,7 @@ SoakOutcome RunChaosSoak(uint64_t seed) {
   out.duplicated = db.network().stats().duplicated;
   out.crashes = db.metrics().CounterTotal("pe.crashes");
   out.metrics = db.DumpMetrics();
+  if (trace) out.trace = db.DumpTrace();
   return out;
 }
 
@@ -277,6 +281,27 @@ TEST(ChaosTest, SameSeedIsByteIdenticalDifferentSeedIsNot) {
 
   const SoakOutcome c = RunChaosSoak(8);
   EXPECT_NE(a.metrics, c.metrics);  // A different plan leaves a different trail.
+}
+
+/// The determinism regression gate: the full observable trail — every
+/// metric line AND every Chrome-trace span, including handler order and
+/// virtual-time stamps — must replay byte-for-byte for the same seed in
+/// the same binary. Any nondeterminism source (wall clock, unordered
+/// iteration reaching a send, address-dependent ordering) shifts a span
+/// or a counter and fails this diff; prisma_lint guards the same
+/// invariants statically.
+TEST(ChaosTest, SameSeedReplayIsByteIdenticalIncludingTraces) {
+  const SoakOutcome a = RunChaosSoak(11, /*trace=*/true);
+  const SoakOutcome b = RunChaosSoak(11, /*trace=*/true);
+  EXPECT_EQ(a.metrics, b.metrics);
+  ASSERT_FALSE(a.trace.empty());
+  // Compare sizes first for a readable failure; the full diff follows.
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  EXPECT_EQ(a.trace, b.trace);
+
+  // The trace is not vacuous: the crash/recovery window left spans.
+  EXPECT_EQ(a.crashes, 1u);
+  EXPECT_NE(a.trace.find("\"ph\""), std::string::npos);
 }
 
 // ------------------------------------------------- Presumed-abort details

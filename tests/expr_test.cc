@@ -333,7 +333,9 @@ TEST_P(ExprAgreementTest, CompiledMatchesInterpreted) {
       auto ip = EvalPredicate(*expr, t);
       auto cp = compiled->EvalPredicate(t);
       ASSERT_EQ(ip.ok(), cp.ok());
-      if (ip.ok()) EXPECT_EQ(*ip, *cp);
+      if (ip.ok()) {
+        EXPECT_EQ(*ip, *cp);
+      }
     }
   }
 }

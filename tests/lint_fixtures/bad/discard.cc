@@ -1,0 +1,15 @@
+// Fixture: a (void) discard with no trailing reason comment must produce
+// a D4 diagnostic.
+namespace fixture {
+
+struct Status {
+  bool ok() const { return true; }
+};
+
+Status DoWork();
+
+void Caller() {
+  (void)DoWork();
+}
+
+}  // namespace fixture

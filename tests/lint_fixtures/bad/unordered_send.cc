@@ -1,0 +1,27 @@
+// Fixture: iteration over an unordered container in a file on the
+// observable surface (it includes pool/runtime.h). Both loop forms must
+// produce a D2 diagnostic.
+#include <string>
+#include <unordered_map>
+
+#include "pool/runtime.h"
+
+namespace fixture {
+
+class Broadcaster {
+ public:
+  void Flush() {
+    for (const auto& [key, value] : peers_) {
+      Send(key, value);
+    }
+    for (auto it = peers_.begin(); it != peers_.end(); ++it) {
+      Send(it->first, it->second);
+    }
+  }
+
+ private:
+  void Send(const std::string& key, int value);
+  std::unordered_map<std::string, int> peers_;
+};
+
+}  // namespace fixture

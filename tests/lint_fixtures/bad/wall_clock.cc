@@ -1,0 +1,26 @@
+// Fixture: nondeterminism sources outside src/sim. Every marked line must
+// produce exactly one D1 diagnostic.
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <random>
+
+namespace fixture {
+
+long Now() {
+  auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}
+
+int Roll() { return rand() % 6; }
+
+int Entropy() {
+  std::random_device device;
+  return static_cast<int>(device());
+}
+
+std::mutex guard;
+
+std::map<const char*, int> by_address;
+
+}  // namespace fixture

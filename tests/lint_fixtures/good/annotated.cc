@@ -1,0 +1,41 @@
+// Fixture: every would-be finding below is silenced the sanctioned way.
+// The analyzer must report nothing for this file.
+#include <string>
+#include <unordered_map>
+
+#include "pool/runtime.h"
+
+namespace fixture {
+
+struct Status {
+  bool ok() const { return true; }
+};
+
+Status DoWork();
+
+class Quiet {
+ public:
+  void Drain() {
+    // prisma-lint: ordered - values are summed; the result is independent
+    for (const auto& [key, value] : peers_) {
+      total_ += value;
+    }
+  }
+
+  long Stamp() {
+    // prisma-lint: nondet - fixture demonstrating the approved escape hatch
+    return time(nullptr);
+  }
+
+  void Fire() {
+    (void)DoWork();  // Best-effort; failure is handled by the retry timer.
+    // prisma-lint: unused-status - fixture for the annotation form
+    (void)DoWork();
+  }
+
+ private:
+  std::unordered_map<std::string, int> peers_;
+  long total_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: holding a pointer to another file's process class. Both the
+// constructor parameter and the member must produce a D3 diagnostic.
+#include "procs/widget.h"
+
+namespace fixture {
+
+class Intruder {
+ public:
+  explicit Intruder(Widget* victim) : victim_(victim) {}
+
+ private:
+  Widget* victim_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+#ifndef FIXTURE_PROCS_WIDGET_H_
+#define FIXTURE_PROCS_WIDGET_H_
+
+// Fixture: a POOL-X process class. Its own header/cc pair may name it;
+// any other file taking a Widget pointer or reference trips D3.
+namespace pool {
+class Process {};
+}  // namespace pool
+
+namespace fixture {
+
+class Widget : public pool::Process {
+ public:
+  int state() const { return state_; }
+
+ private:
+  int state_ = 0;
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_PROCS_WIDGET_H_

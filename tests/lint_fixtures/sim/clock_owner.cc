@@ -1,0 +1,11 @@
+// Fixture: files under sim/ own the simulation's clock and PRNG; D1 does
+// not apply to them. The analyzer must report nothing for this file.
+#include <chrono>
+
+namespace fixture {
+
+long RealNow() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture

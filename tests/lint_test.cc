@@ -1,0 +1,183 @@
+#include "lint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace prisma::lint {
+namespace {
+
+/// Loads the checked-in fixture corpus (tests/lint_fixtures), a miniature
+/// source tree with one known-bad file per rule plus files proving the
+/// sanctioned silencing forms stay silent.
+std::vector<SourceFile> LoadFixtures() {
+  std::vector<SourceFile> files;
+  std::string error;
+  EXPECT_TRUE(LoadTree(LINT_FIXTURES_DIR, &files, &error)) << error;
+  EXPECT_FALSE(files.empty());
+  return files;
+}
+
+TEST(LintTest, GoldenDiagnosticsOverFixtureCorpus) {
+  std::vector<Diagnostic> diagnostics = AnalyzeSources(LoadFixtures());
+
+  std::vector<std::string> got;
+  for (const Diagnostic& d : diagnostics) {
+    got.push_back(d.path + ":" + std::to_string(d.line) + " " + d.rule);
+  }
+  // The full golden expectation: every known-bad site, nothing from the
+  // annotated / sim fixtures, sorted by (path, line, rule).
+  const std::vector<std::string> want = {
+      "bad/discard.cc:12 D4",
+      "bad/unordered_send.cc:14 D2",
+      "bad/unordered_send.cc:17 D2",
+      "bad/wall_clock.cc:11 D1",
+      "bad/wall_clock.cc:15 D1",
+      "bad/wall_clock.cc:18 D1",
+      "bad/wall_clock.cc:22 D1",
+      "bad/wall_clock.cc:24 D1",
+      "procs/intruder.cc:9 D3",
+      "procs/intruder.cc:12 D3",
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(LintTest, DiagnosticCarriesSnippetAndFormat) {
+  std::vector<Diagnostic> diagnostics = AnalyzeSources(LoadFixtures());
+  ASSERT_FALSE(diagnostics.empty());
+  const Diagnostic& d = diagnostics[0];  // bad/discard.cc:12 [D4].
+  EXPECT_EQ(d.snippet, "(void)DoWork();");
+  EXPECT_EQ(d.Format().substr(0, 24), "bad/discard.cc:12: [D4] ");
+}
+
+TEST(LintTest, CrossProcessDiagnosticNamesTheOwningFile) {
+  std::vector<Diagnostic> diagnostics = AnalyzeSources(LoadFixtures());
+  bool found = false;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.rule != "D3") continue;
+    found = true;
+    EXPECT_NE(d.message.find("'Widget'"), std::string::npos) << d.message;
+    EXPECT_NE(d.message.find("procs/widget.h"), std::string::npos)
+        << d.message;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LintTest, AllowlistSilencesMatchedFindingAndFlagsStaleEntries) {
+  std::vector<AllowlistEntry> allowlist;
+  // Matches the two D3 findings in procs/intruder.cc (content-based, so it
+  // survives line drift).
+  allowlist.push_back({"D3", "procs/intruder.cc", "Widget* victim",
+                       "fixture justification", 1});
+  // Matches nothing: stale entries are themselves findings.
+  allowlist.push_back({"D1", "bad/wall_clock.cc", "no_such_token",
+                       "rotted entry", 2});
+
+  LintReport report =
+      ApplyAllowlist(AnalyzeSources(LoadFixtures()), allowlist);
+  EXPECT_EQ(report.violations, 8u);  // 10 findings - 2 allowlisted.
+  ASSERT_EQ(report.unused_allowlist.size(), 1u);
+  EXPECT_EQ(report.unused_allowlist[0].needle, "no_such_token");
+  EXPECT_FALSE(report.clean());
+
+  size_t allowlisted = 0;
+  for (const Diagnostic& d : report.diagnostics) {
+    if (!d.allowlisted) continue;
+    ++allowlisted;
+    EXPECT_EQ(d.rule, "D3");
+    EXPECT_EQ(d.justification, "fixture justification");
+  }
+  EXPECT_EQ(allowlisted, 2u);
+}
+
+TEST(LintTest, EmptyAllowlistReportsEveryFindingAsViolation) {
+  LintReport report = ApplyAllowlist(AnalyzeSources(LoadFixtures()), {});
+  EXPECT_EQ(report.violations, 10u);
+  EXPECT_TRUE(report.unused_allowlist.empty());
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(LintTest, ParseAllowlistAcceptsEntriesAndRejectsMalformedLines) {
+  const std::string content =
+      "# comment line\n"
+      "\n"
+      "D3 | core/prisma_db.h | GdhProcess* gdh_ | harness owns the gdh\n"
+      "D1 | missing_fields\n"
+      "D2 | a.cc | needle |\n";
+  std::vector<std::string> errors;
+  std::vector<AllowlistEntry> entries = ParseAllowlist(content, &errors);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].rule, "D3");
+  EXPECT_EQ(entries[0].path_suffix, "core/prisma_db.h");
+  EXPECT_EQ(entries[0].needle, "GdhProcess* gdh_");
+  EXPECT_EQ(entries[0].justification, "harness owns the gdh");
+  EXPECT_EQ(entries[0].source_line, 3);
+  EXPECT_EQ(errors.size(), 2u);  // Missing fields + empty justification.
+}
+
+TEST(LintTest, AnnotationSilencesSameAndNextLineOnly) {
+  // The annotation covers the iteration on the next line but not the
+  // second iteration two lines below it.
+  std::vector<SourceFile> files;
+  files.push_back(
+      {"net/hot.cc",
+       "#include \"pool/runtime.h\"\n"
+       "#include <unordered_map>\n"
+       "std::unordered_map<int, int> m_;\n"
+       "void F() {\n"
+       "  // prisma-lint: ordered - first loop only\n"
+       "  for (const auto& [k, v] : m_) {}\n"
+       "  for (const auto& [k, v] : m_) {}\n"
+       "}\n"});
+  std::vector<Diagnostic> diagnostics = AnalyzeSources(files);
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].line, 7);
+  EXPECT_EQ(diagnostics[0].rule, "D2");
+}
+
+TEST(LintTest, UnorderedIterationOutsideObservableSurfaceIsAllowed) {
+  // Same iteration, but the file touches no message/metrics/trace header:
+  // internal iteration order cannot escape, so D2 stays quiet.
+  std::vector<SourceFile> files;
+  files.push_back(
+      {"quiet/cold.cc",
+       "#include <unordered_map>\n"
+       "std::unordered_map<int, int> m_;\n"
+       "void F() {\n"
+       "  for (const auto& [k, v] : m_) {}\n"
+       "}\n"});
+  EXPECT_TRUE(AnalyzeSources(files).empty());
+}
+
+TEST(LintTest, ObservableSurfaceIsTransitiveThroughIncludes) {
+  // cold.cc includes a local header which includes obs/metrics.h: the
+  // closure makes cold.cc observable.
+  std::vector<SourceFile> files;
+  files.push_back({"quiet/wrap.h", "#include \"obs/metrics.h\"\n"});
+  files.push_back(
+      {"quiet/cold.cc",
+       "#include \"quiet/wrap.h\"\n"
+       "#include <unordered_map>\n"
+       "std::unordered_map<int, int> m_;\n"
+       "void F() {\n"
+       "  for (const auto& [k, v] : m_) {}\n"
+       "}\n"});
+  std::vector<Diagnostic> diagnostics = AnalyzeSources(files);
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].path, "quiet/cold.cc");
+  EXPECT_EQ(diagnostics[0].rule, "D2");
+}
+
+TEST(LintTest, CommentsAndLiteralsDoNotTriggerRules) {
+  std::vector<SourceFile> files;
+  files.push_back(
+      {"quiet/strings.cc",
+       "// std::chrono in a comment is fine; rand() too.\n"
+       "/* std::mutex guard; */\n"
+       "const char* kHelp = \"uses std::random_device internally\";\n"});
+  EXPECT_TRUE(AnalyzeSources(files).empty());
+}
+
+}  // namespace
+}  // namespace prisma::lint

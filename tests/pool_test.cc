@@ -241,5 +241,99 @@ TEST_F(PoolTest, CrashPeKillsEveryProcessOnThatPeOnly) {
   EXPECT_EQ(survivor->kinds.size(), 1u);
 }
 
+// ------------------------------------------------- Ownership checker
+
+/// Captures ownership violations instead of aborting, restoring the
+/// previous handler on destruction.
+class ViolationCapture {
+ public:
+  ViolationCapture() {
+    prev_ = internal_owned::SetOwnershipViolationHandler(&Record);
+    messages().clear();
+  }
+  ~ViolationCapture() { internal_owned::SetOwnershipViolationHandler(prev_); }
+
+  static std::vector<std::string>& messages() {
+    static std::vector<std::string> m;
+    return m;
+  }
+
+ private:
+  static void Record(const std::string& message) {
+    messages().push_back(message);
+  }
+  internal_owned::ViolationHandler prev_;
+};
+
+/// Holds an Owned counter and bumps it from its own handlers.
+class StatefulProcess : public Process {
+ public:
+  std::string debug_name() const override { return "stateful"; }
+  void OnStart() override { ++*counter_; }
+  void OnMail(const Mail&) override { ++*counter_; }
+  int value() const { return *counter_; }  // Control-plane read.
+  Owned<int>& counter() { return counter_; }
+
+ private:
+  Owned<int> counter_;
+};
+
+/// Reaches into another process's Owned state from its own handler — the
+/// POOL-X shared-memory violation the checker exists to catch.
+class Intruder : public Process {
+ public:
+  explicit Intruder(StatefulProcess* victim) : victim_(victim) {}
+  std::string debug_name() const override { return "intruder"; }
+  void OnStart() override { touched_value_ = *victim_->counter(); }
+  void OnMail(const Mail&) override {}
+
+ private:
+  StatefulProcess* victim_;
+  int touched_value_ = 0;
+};
+
+TEST_F(PoolTest, OwnedStateAllowsOwnerAndControlPlane) {
+  ViolationCapture capture;
+  auto process = std::make_unique<StatefulProcess>();
+  StatefulProcess* raw = process.get();
+  const ProcessId pid = runtime_.Spawn(0, std::move(process));
+  runtime_.Spawn(1, std::make_unique<Greeter>(pid));
+  sim_.Run();
+  // OnStart + one mail, each from the owner's handler; the read below is
+  // control-plane (no handler running) — all allowed.
+  EXPECT_EQ(raw->value(), 2);
+  EXPECT_TRUE(ViolationCapture::messages().empty());
+  EXPECT_EQ(raw->counter().owner(), pid);
+}
+
+TEST_F(PoolTest, CrossProcessAccessIsCaught) {
+  ViolationCapture capture;
+  auto victim = std::make_unique<StatefulProcess>();
+  StatefulProcess* raw = victim.get();
+  runtime_.Spawn(0, std::move(victim));
+  sim_.Run();  // Victim's OnStart binds the counter to it.
+  runtime_.Spawn(1, std::make_unique<Intruder>(raw));
+  sim_.Run();  // Intruder's OnStart reads the victim's counter.
+  ASSERT_EQ(ViolationCapture::messages().size(), 1u);
+  const std::string& message = ViolationCapture::messages()[0];
+  // The diagnostic names both processes.
+  EXPECT_NE(message.find("stateful"), std::string::npos) << message;
+  EXPECT_NE(message.find("intruder"), std::string::npos) << message;
+}
+
+TEST_F(PoolTest, OwnedBindsToFirstHandlerThatTouchesIt) {
+  ViolationCapture capture;
+  auto victim = std::make_unique<StatefulProcess>();
+  StatefulProcess* raw = victim.get();
+  // The intruder's OnStart runs before any victim handler ever touched
+  // the counter, so the intruder (wrongly but silently) becomes the
+  // owner — and the victim's own OnStart then trips the check. Spawn
+  // order decides because handlers run in spawn order at t=0.
+  runtime_.Spawn(1, std::make_unique<Intruder>(raw));
+  runtime_.Spawn(0, std::move(victim));
+  sim_.Run();
+  EXPECT_EQ(ViolationCapture::messages().size(), 1u);
+}
+
 }  // namespace
 }  // namespace prisma::pool

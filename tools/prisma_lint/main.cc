@@ -1,0 +1,98 @@
+// CLI driver: `prisma_lint --root src [--allowlist tools/prisma_lint/
+// allowlist.txt] [--verbose]`. Exit 0 when the tree is clean (allowlisted
+// findings are fine), 1 on violations or stale allowlist entries, 2 on
+// usage/IO errors.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: prisma_lint --root <dir> [--allowlist <file>] "
+               "[--verbose]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::string allowlist_path;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+    } else if (std::strcmp(argv[i], "--allowlist") == 0 && i + 1 < argc) {
+      allowlist_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      verbose = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (root.empty()) return Usage();
+
+  std::vector<prisma::lint::SourceFile> files;
+  std::string error;
+  if (!prisma::lint::LoadTree(root, &files, &error)) {
+    std::fprintf(stderr, "prisma_lint: %s\n", error.c_str());
+    return 2;
+  }
+
+  std::vector<prisma::lint::AllowlistEntry> allowlist;
+  if (!allowlist_path.empty()) {
+    std::ifstream in(allowlist_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "prisma_lint: cannot read allowlist %s\n",
+                   allowlist_path.c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::vector<std::string> parse_errors;
+    allowlist = prisma::lint::ParseAllowlist(buffer.str(), &parse_errors);
+    for (const std::string& e : parse_errors) {
+      std::fprintf(stderr, "prisma_lint: %s: %s\n", allowlist_path.c_str(),
+                   e.c_str());
+    }
+    if (!parse_errors.empty()) return 2;
+  }
+
+  prisma::lint::LintReport report =
+      prisma::lint::ApplyAllowlist(prisma::lint::AnalyzeSources(files),
+                                   allowlist);
+
+  size_t allowlisted = 0;
+  for (const prisma::lint::Diagnostic& d : report.diagnostics) {
+    if (d.allowlisted) {
+      ++allowlisted;
+      if (verbose) {
+        std::printf("%s\n    allowlisted: %s\n", d.Format().c_str(),
+                    d.justification.c_str());
+      }
+      continue;
+    }
+    std::printf("%s\n    > %s\n", d.Format().c_str(), d.snippet.c_str());
+  }
+  for (const prisma::lint::AllowlistEntry& entry : report.unused_allowlist) {
+    std::printf(
+        "%s:%d: stale allowlist entry (matched nothing): %s | %s | %s\n",
+        allowlist_path.c_str(), entry.source_line, entry.rule.c_str(),
+        entry.path_suffix.c_str(), entry.needle.c_str());
+  }
+  std::printf(
+      "prisma_lint: %zu file(s), %zu violation(s), %zu allowlisted, "
+      "%zu stale allowlist entrie(s)\n",
+      files.size(), report.violations, allowlisted,
+      report.unused_allowlist.size());
+  return report.clean() ? 0 : 1;
+}
