@@ -94,15 +94,28 @@ Outcome RunStrategy(const char* clause) {
 
 namespace {
 
-/// Co-located join: two tables co-partitioned on the join key, joined
-/// either inside the PEs (aligned placement + co-located scheduling) or
-/// by gathering both inputs at the coordinator.
+/// Join of two co-partitioned tables under the three physical executions:
+/// inside the PEs (aligned placement + co-located scheduling), via the
+/// streaming exchange layer (colocation off, so the join must repartition
+/// at query time), or by gathering both inputs at the coordinator.
 void JoinPlacementExperiment() {
+  struct Mode {
+    const char* name;
+    bool colocated;
+    bool exchanges;
+  };
+  const Mode modes[] = {
+      {"co-located (join inside the PEs)", true, true},
+      {"shuffled (exchange streams)", false, true},
+      {"gathered (join at the coordinator)", false, false},
+  };
   std::printf("\n-- join of co-partitioned tables: fact(20000) x dim(50) --\n");
-  std::printf("%-36s %14s %18s\n", "execution", "join ms", "join traffic Mb");
-  for (const bool colocated : {true, false}) {
+  std::printf("%-36s %14s %18s %16s\n", "execution", "join ms",
+              "join traffic Mb", "shuffle batches");
+  for (const Mode& mode : modes) {
     MachineConfig config;
-    config.rules.colocated_joins = colocated;
+    config.rules.colocated_joins = mode.colocated;
+    config.rules.exchange_joins = mode.exchanges;
     PrismaDb db(config);
     auto must = [](auto&& r) {
       PRISMA_CHECK(r.ok()) << r.status().ToString();
@@ -131,6 +144,8 @@ void JoinPlacementExperiment() {
 
     const int64_t bits_before =
         static_cast<int64_t>(db.metrics().CounterValue("net.link_bits"));
+    const uint64_t batches_before =
+        db.metrics().CounterTotal("exchange.batches_sent");
     auto joined = must(db.Execute(
         "SELECT f.v, d.label FROM fact f JOIN dim d ON f.k = d.k"));
     const double traffic_mb =
@@ -138,11 +153,11 @@ void JoinPlacementExperiment() {
             static_cast<int64_t>(db.metrics().CounterValue("net.link_bits")) -
             bits_before) /
         1e6;
-    std::printf("%-36s %14.2f %18.2f\n",
-                colocated ? "co-located (join inside the PEs)"
-                          : "gathered (join at the coordinator)",
+    const uint64_t batches =
+        db.metrics().CounterTotal("exchange.batches_sent") - batches_before;
+    std::printf("%-36s %14.2f %18.2f %16llu\n", mode.name,
                 static_cast<double>(joined.response_time_ns) / 1e6,
-                traffic_mb);
+                traffic_mb, static_cast<unsigned long long>(batches));
   }
 }
 
@@ -186,6 +201,8 @@ int main(int argc, char** argv) {
       "PRISMA gives it to the data allocation manager (§2.2). A join of\n"
       "co-partitioned tables runs inside the PEs that host both fragments, "
       "shipping\nonly matches — the payoff of the allocation manager's "
-      "aligned placement.\n");
+      "aligned placement.\nWhen co-location is off the streaming exchange "
+      "repartitions one side between\nthe PEs, still far cheaper than "
+      "gathering both inputs at the coordinator.\n");
   return 0;
 }

@@ -9,14 +9,19 @@
 
 namespace prisma::bench {
 
+/// True when the binary was invoked with `flag` (exact match).
+inline bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
 /// True when the binary was invoked with --smoke: run a tiny, seconds-fast
 /// version of the experiment (registered as a ctest case) instead of the
 /// full sweep.
 inline bool SmokeMode(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) return true;
-  }
-  return false;
+  return HasFlag(argc, argv, "--smoke");
 }
 
 /// Prints the named counter series (summed across label sets) from a

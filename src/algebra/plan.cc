@@ -33,6 +33,8 @@ const char* PlanKindName(PlanKind kind) {
       return "Limit";
     case PlanKind::kTransitiveClosure:
       return "TransitiveClosure";
+    case PlanKind::kExchange:
+      return "Exchange";
   }
   return "?";
 }
@@ -517,6 +519,39 @@ std::unique_ptr<Plan> TransitiveClosurePlan::Clone() const {
 
 std::string TransitiveClosurePlan::SelfString() const {
   return "TransitiveClosure";
+}
+
+// --------------------------------------------------------------- Exchange
+
+ExchangePlan::ExchangePlan(std::unique_ptr<Plan> child, Mode mode,
+                           std::vector<size_t> keys)
+    : Plan(PlanKind::kExchange, child->schema()),
+      mode_(mode),
+      keys_(std::move(keys)) {
+  children_.push_back(std::move(child));
+}
+
+std::unique_ptr<ExchangePlan> ExchangePlan::Create(std::unique_ptr<Plan> child,
+                                                   Mode mode,
+                                                   std::vector<size_t> keys) {
+  return std::unique_ptr<ExchangePlan>(
+      new ExchangePlan(std::move(child), mode, std::move(keys)));
+}
+
+std::unique_ptr<Plan> ExchangePlan::Clone() const {
+  return std::unique_ptr<ExchangePlan>(
+      new ExchangePlan(children_[0]->Clone(), mode_, keys_));
+}
+
+std::string ExchangePlan::SelfString() const {
+  if (mode_ == Mode::kBroadcast) return "Exchange broadcast";
+  std::string out = "Exchange hash(";
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema_.column(keys_[i]).name;
+  }
+  out += ")";
+  return out;
 }
 
 }  // namespace prisma::algebra

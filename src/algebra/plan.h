@@ -30,6 +30,7 @@ enum class PlanKind : uint8_t {
   kSort,
   kLimit,
   kTransitiveClosure,
+  kExchange,
 };
 
 const char* PlanKindName(PlanKind kind);
@@ -310,6 +311,37 @@ class TransitiveClosurePlan : public Plan {
 
  private:
   explicit TransitiveClosurePlan(std::unique_ptr<Plan> child);
+};
+
+/// Exchange: the dataflow repartitioning operator of the streaming
+/// exchange layer (DESIGN.md §10). Marks the point in a distributed plan
+/// where the child's tuple stream leaves its producing PE: either hash-
+/// partitioned on key columns across the consumer fragments, or broadcast
+/// to all of them. The schema is unchanged — Exchange moves tuples, it
+/// never transforms them — so local executors treat it as a pass-through;
+/// the actual batching/flow control happens in the mail layer.
+class ExchangePlan : public Plan {
+ public:
+  enum class Mode : uint8_t { kHashPartition, kBroadcast };
+
+  /// `keys` are columns of the child schema (hash mode; empty for
+  /// broadcast).
+  static std::unique_ptr<ExchangePlan> Create(std::unique_ptr<Plan> child,
+                                              Mode mode,
+                                              std::vector<size_t> keys);
+
+  Mode mode() const { return mode_; }
+  const std::vector<size_t>& keys() const { return keys_; }
+  std::unique_ptr<Plan> Clone() const override;
+
+ protected:
+  std::string SelfString() const override;
+
+ private:
+  ExchangePlan(std::unique_ptr<Plan> child, Mode mode,
+               std::vector<size_t> keys);
+  Mode mode_;
+  std::vector<size_t> keys_;
 };
 
 }  // namespace prisma::algebra

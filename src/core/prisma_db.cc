@@ -130,6 +130,8 @@ PrismaDb::PrismaDb(MachineConfig config) : config_(std::move(config)) {
           : (faults ? 2 * sim::kNanosPerSecond : 10 * sim::kNanosPerSecond);
   gdh_config.rpc_attempts = config_.rpc_attempts;
   gdh_config.query_timeout_ns = config_.query_timeout_ns;
+  gdh_config.exchange_batch_rows = config_.exchange_batch_rows;
+  gdh_config.exchange_credit_window = config_.exchange_credit_window;
   if (faults) {
     // Under a faulty interconnect the stmt_done report and the
     // coordinator itself can be lost; the resend and supervision timers

@@ -61,6 +61,11 @@ struct MachineConfig {
   sim::SimTime rpc_backoff_cap_ns = 0;
   int rpc_attempts = 6;
   sim::SimTime query_timeout_ns = 30 * sim::kNanosPerSecond;
+  /// Streaming exchange framing (DESIGN.md §10): max tuples per batch of
+  /// a shuffle channel, and batches in flight per channel before the
+  /// producer stalls on acks.
+  uint64_t exchange_batch_rows = 64;
+  uint64_t exchange_credit_window = 4;
   /// Deterministic fault injection (message drops/duplicates/jitter, link
   /// outages, PE crash/restart schedule). An inert (default) plan leaves
   /// the machine's behaviour and metrics byte-identical to a build without

@@ -199,6 +199,10 @@ StatusOr<std::vector<Tuple>> Executor::RunUncached(const Plan& plan) {
       return RunLimit(static_cast<const LimitPlan&>(plan));
     case PlanKind::kTransitiveClosure:
       return RunTransitiveClosure(plan);
+    case PlanKind::kExchange:
+      // Repartitioning is a mail-layer affair (DESIGN.md §10); within one
+      // local executor an Exchange moves nothing and is a pass-through.
+      return RunCached(*plan.child());
   }
   return InternalError("corrupt plan kind");
 }

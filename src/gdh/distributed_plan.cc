@@ -21,6 +21,36 @@ std::string PartName(size_t index) {
   return StrFormat("\x02part:%zu", index);
 }
 
+const char* ExchangeStrategyName(ExchangeStrategy strategy) {
+  switch (strategy) {
+    case ExchangeStrategy::kShuffleBoth:
+      return "shuffle-both";
+    case ExchangeStrategy::kShuffleLeft:
+      return "shuffle-left";
+    case ExchangeStrategy::kShuffleRight:
+      return "shuffle-right";
+    case ExchangeStrategy::kBroadcastLeft:
+      return "broadcast-left";
+    case ExchangeStrategy::kBroadcastRight:
+      return "broadcast-right";
+  }
+  return "?";
+}
+
+bool ExchangeSideMoves(ExchangeStrategy strategy, int side) {
+  switch (strategy) {
+    case ExchangeStrategy::kShuffleBoth:
+      return true;
+    case ExchangeStrategy::kShuffleLeft:
+    case ExchangeStrategy::kBroadcastLeft:
+      return side == 0;
+    case ExchangeStrategy::kShuffleRight:
+    case ExchangeStrategy::kBroadcastRight:
+      return side == 1;
+  }
+  return false;
+}
+
 std::unique_ptr<Plan> CloneWithScanRenamed(const Plan& plan,
                                            const std::string& from,
                                            const std::string& to) {
@@ -193,6 +223,162 @@ std::unique_ptr<Plan> TryColocatedJoin(std::unique_ptr<Plan>& plan,
   return MakePart(std::move(plan), table_a, false, out, table_b);
 }
 
+/// Lowers Join(candidateA, candidateB) — any equi-join of two distinct
+/// dictionary tables — to a streaming exchange part (DESIGN.md §10). The
+/// strategy is chosen by modeled shipped tuples from dictionary
+/// cardinalities:
+///   shuffle-one   moves only the non-aligned side (|moving| tuples);
+///                 eligible when the stationary side keeps its base scan
+///                 schema and is hash-fragmented on its join-key column,
+///                 so hash routing lands movers exactly on their partners;
+///   broadcast     replicates one side to every fragment of the other
+///                 (|moving| x fragments tuples), eligible always;
+///   shuffle-both  hash-co-partitions both sides (|left| + |right|),
+///                 eligible always.
+/// Returns the replacement part scan, or null when not applicable.
+StatusOr<std::unique_ptr<Plan>> TryExchangeJoin(std::unique_ptr<Plan>& plan,
+                                                const DataDictionary& dictionary,
+                                                DistributedPlan* out) {
+  auto& join = static_cast<algebra::JoinPlan&>(*plan);
+  std::string table_l;
+  std::string table_r;
+  bool distinct_l = false;
+  bool distinct_r = false;
+  if (!IsLocalCandidate(*plan->child(0), dictionary, &table_l, &distinct_l) ||
+      !IsLocalCandidate(*plan->child(1), dictionary, &table_r, &distinct_r) ||
+      table_l == table_r || distinct_l || distinct_r) {
+    return std::unique_ptr<Plan>();
+  }
+  const std::vector<std::pair<size_t, size_t>> keys = join.EquiKeys();
+  if (keys.empty()) return std::unique_ptr<Plan>();
+  auto info_l = dictionary.GetTable(table_l);
+  auto info_r = dictionary.GetTable(table_r);
+  if (!info_l.ok() || !info_r.ok()) return std::unique_ptr<Plan>();
+  const TableInfo& l = **info_l;
+  const TableInfo& r = **info_r;
+  if (l.fragments.empty() || r.fragments.empty()) {
+    return std::unique_ptr<Plan>();
+  }
+
+  // Shuffle-one alignment check: see doc comment above.
+  std::vector<const algebra::SelectPlan*> ignored;
+  const bool base_l = CollectBasePredicates(*plan->child(0), &ignored);
+  const bool base_r = CollectBasePredicates(*plan->child(1), &ignored);
+  auto hash_keyed = [&keys](const TableInfo& t, bool left_side,
+                            size_t* route) {
+    if (t.fragmentation.strategy != sql::FragmentStrategy::kHash) {
+      return false;
+    }
+    for (size_t k = 0; k < keys.size(); ++k) {
+      const size_t col = left_side ? keys[k].first : keys[k].second;
+      if (col == t.fragmentation.column) {
+        *route = k;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  const double rows_l = l.TotalRows();
+  const double rows_r = r.TotalRows();
+  struct Candidate {
+    ExchangeStrategy strategy;
+    double cost;
+    size_t route;
+  };
+  // Listed in tie-break preference order; the scan below keeps the first
+  // of equal cost.
+  std::vector<Candidate> candidates;
+  size_t route = 0;
+  if (base_l && hash_keyed(l, /*left_side=*/true, &route)) {
+    candidates.push_back({ExchangeStrategy::kShuffleRight, rows_r, route});
+  }
+  if (base_r && hash_keyed(r, /*left_side=*/false, &route)) {
+    candidates.push_back({ExchangeStrategy::kShuffleLeft, rows_l, route});
+  }
+  candidates.push_back({ExchangeStrategy::kBroadcastLeft,
+                        rows_l * static_cast<double>(r.fragments.size()), 0});
+  candidates.push_back({ExchangeStrategy::kBroadcastRight,
+                        rows_r * static_cast<double>(l.fragments.size()), 0});
+  candidates.push_back({ExchangeStrategy::kShuffleBoth, rows_l + rows_r, 0});
+  const Candidate* best = &candidates[0];
+  for (const Candidate& c : candidates) {
+    if (c.cost < best->cost) best = &c;
+  }
+
+  auto spec = std::make_shared<ExchangeJoinSpec>();
+  spec->strategy = best->strategy;
+  spec->left_table = table_l;
+  spec->right_table = table_r;
+  spec->keys = keys;
+  spec->route_key = best->route;
+  spec->schema = join.schema();
+  spec->moved_rows = best->cost;
+  if (join.predicate() != nullptr) {
+    spec->predicate =
+        std::shared_ptr<const Expr>(join.predicate()->Clone());
+  }
+  switch (best->strategy) {
+    case ExchangeStrategy::kShuffleRight:
+    case ExchangeStrategy::kBroadcastRight:
+      spec->anchor_table = table_l;
+      spec->build_side = 1;
+      break;
+    case ExchangeStrategy::kShuffleLeft:
+    case ExchangeStrategy::kBroadcastLeft:
+      spec->anchor_table = table_r;
+      spec->build_side = 0;
+      break;
+    case ExchangeStrategy::kShuffleBoth:
+      // Anchor where there is the most parallelism; build the smaller side.
+      spec->anchor_table =
+          l.fragments.size() >= r.fragments.size() ? table_l : table_r;
+      spec->build_side = rows_l <= rows_r ? 0 : 1;
+      break;
+  }
+  spec->left_plan = std::shared_ptr<const Plan>(plan->child(0)->Clone());
+  spec->right_plan = std::shared_ptr<const Plan>(plan->child(1)->Clone());
+
+  // EXPLAIN rendering: the join with Exchange nodes marking moving sides.
+  const bool broadcast =
+      best->strategy == ExchangeStrategy::kBroadcastLeft ||
+      best->strategy == ExchangeStrategy::kBroadcastRight;
+  std::unique_ptr<Plan> shown_l = plan->TakeChild(0);
+  std::unique_ptr<Plan> shown_r = plan->TakeChild(1);
+  if (ExchangeSideMoves(best->strategy, 0)) {
+    shown_l = algebra::ExchangePlan::Create(
+        std::move(shown_l),
+        broadcast ? algebra::ExchangePlan::Mode::kBroadcast
+                  : algebra::ExchangePlan::Mode::kHashPartition,
+        broadcast ? std::vector<size_t>{}
+                  : std::vector<size_t>{keys[best->route].first});
+  }
+  if (ExchangeSideMoves(best->strategy, 1)) {
+    shown_r = algebra::ExchangePlan::Create(
+        std::move(shown_r),
+        broadcast ? algebra::ExchangePlan::Mode::kBroadcast
+                  : algebra::ExchangePlan::Mode::kHashPartition,
+        broadcast ? std::vector<size_t>{}
+                  : std::vector<size_t>{keys[best->route].second});
+  }
+  ASSIGN_OR_RETURN(
+      std::unique_ptr<algebra::JoinPlan> shown,
+      algebra::JoinPlan::Create(std::move(shown_l), std::move(shown_r),
+                                join.predicate() != nullptr
+                                    ? join.predicate()->Clone()
+                                    : nullptr));
+
+  const size_t index = out->parts.size();
+  const Schema schema = shown->schema();
+  LocalPart part;
+  part.table = spec->anchor_table;
+  part.plan = std::shared_ptr<const Plan>(std::move(shown));
+  part.exchange = std::move(spec);
+  out->parts.push_back(std::move(part));
+  ++out->exchange_joins;
+  return std::unique_ptr<Plan>(ScanPlan::Create(PartName(index), schema));
+}
+
 /// Decomposes Aggregate(local-candidate) into per-fragment partials plus
 /// a global combine + final projection. Returns null when the shape does
 /// not apply (caller falls back to gathering raw rows).
@@ -336,15 +522,24 @@ StatusOr<std::unique_ptr<Plan>> TryAggregatePushdown(
 StatusOr<std::unique_ptr<Plan>> SplitNode(std::unique_ptr<Plan> plan,
                                           const DataDictionary& dictionary,
                                           bool colocated_joins,
+                                          bool exchange_joins,
                                           DistributedPlan* out) {
   if (plan->kind() == PlanKind::kAggregate) {
     ASSIGN_OR_RETURN(std::unique_ptr<Plan> pushed,
                      TryAggregatePushdown(plan, dictionary, out));
     if (pushed != nullptr) return pushed;
   }
-  if (colocated_joins && plan->kind() == PlanKind::kJoin) {
-    std::unique_ptr<Plan> part = TryColocatedJoin(plan, dictionary, out);
-    if (part != nullptr) return part;
+  if (plan->kind() == PlanKind::kJoin) {
+    // Co-located beats exchange: it decomposes with zero shipped tuples.
+    if (colocated_joins) {
+      std::unique_ptr<Plan> part = TryColocatedJoin(plan, dictionary, out);
+      if (part != nullptr) return part;
+    }
+    if (exchange_joins) {
+      ASSIGN_OR_RETURN(std::unique_ptr<Plan> part,
+                       TryExchangeJoin(plan, dictionary, out));
+      if (part != nullptr) return part;
+    }
   }
   std::string table;
   bool has_distinct = false;
@@ -352,8 +547,9 @@ StatusOr<std::unique_ptr<Plan>> SplitNode(std::unique_ptr<Plan> plan,
     return MakePart(std::move(plan), table, has_distinct, out);
   }
   for (size_t i = 0; i < plan->num_children(); ++i) {
-    ASSIGN_OR_RETURN(auto child, SplitNode(plan->TakeChild(i), dictionary,
-                                           colocated_joins, out));
+    ASSIGN_OR_RETURN(auto child,
+                     SplitNode(plan->TakeChild(i), dictionary,
+                               colocated_joins, exchange_joins, out));
     plan->SetChild(i, std::move(child));
   }
   return plan;
@@ -363,10 +559,11 @@ StatusOr<std::unique_ptr<Plan>> SplitNode(std::unique_ptr<Plan> plan,
 
 StatusOr<DistributedPlan> SplitPlanForFragments(
     std::unique_ptr<Plan> plan, const DataDictionary& dictionary,
-    bool colocated_joins) {
+    bool colocated_joins, bool exchange_joins) {
   DistributedPlan out;
   ASSIGN_OR_RETURN(out.global, SplitNode(std::move(plan), dictionary,
-                                         colocated_joins, &out));
+                                         colocated_joins, exchange_joins,
+                                         &out));
   return out;
 }
 

@@ -15,6 +15,47 @@ namespace prisma::gdh {
 /// local part `i`.
 std::string PartName(size_t index);
 
+/// How the streaming exchange layer (DESIGN.md §10) executes one
+/// non-colocated equi-join: which side(s) leave their producing PEs, and
+/// how their tuples are routed onto the consumer fragments.
+enum class ExchangeStrategy : uint8_t {
+  kShuffleBoth,      // Hash-repartition both inputs on the join key.
+  kShuffleLeft,      // Ship the left input to the right table's fragments.
+  kShuffleRight,     // Ship the right input to the left table's fragments.
+  kBroadcastLeft,    // Replicate the left input to every right fragment.
+  kBroadcastRight,   // Replicate the right input to every left fragment.
+};
+
+const char* ExchangeStrategyName(ExchangeStrategy strategy);
+
+/// True if the given join input moves (is produced into exchange
+/// channels) under `strategy`; side 0 = left, 1 = right.
+bool ExchangeSideMoves(ExchangeStrategy strategy, int side);
+
+/// Everything the coordinator needs to run one exchange-lowered join:
+/// the per-table producer plans (Scan nodes name the base table and are
+/// retargeted per fragment), the consumer anchor, and the join shape.
+struct ExchangeJoinSpec {
+  ExchangeStrategy strategy = ExchangeStrategy::kShuffleBoth;
+  std::string left_table;
+  std::string right_table;
+  std::shared_ptr<const algebra::Plan> left_plan;
+  std::shared_ptr<const algebra::Plan> right_plan;
+  /// Consumers run co-located with this table's fragments, one each: the
+  /// stationary side, or the more-fragmented side for shuffle-both.
+  std::string anchor_table;
+  int build_side = 0;  // 0 = left input builds the hash table.
+  /// Equi-key pairs (left input column, right input column).
+  std::vector<std::pair<size_t, size_t>> keys;
+  /// Index into `keys` of the pair used for hash routing (shuffles).
+  size_t route_key = 0;
+  /// Full join predicate, bound over concat(left, right).
+  std::shared_ptr<const algebra::Expr> predicate;
+  Schema schema;  // Join output schema.
+  /// Modeled tuples shipped by the chosen strategy (cost/EXPLAIN).
+  double moved_rows = 0;
+};
+
 /// One fragment-parallel unit of a distributed query: a plan to run at
 /// every fragment of `table`, with its Scan node naming the *table* — the
 /// coordinator clones it per fragment and renames the scan.
@@ -22,10 +63,16 @@ std::string PartName(size_t index);
 /// When `second_table` is set the part is a *co-located join*: the plan
 /// scans both tables and runs at the PE hosting fragment i of each
 /// (tables are co-partitioned on the join key and placement-aligned).
+///
+/// When `exchange` is set the part is an *exchange join*: `plan` is only
+/// the EXPLAIN rendering (Join over Exchange-marked inputs); execution is
+/// driven by the spec — producers at each moving fragment, pipelined
+/// consumers at the anchor fragments.
 struct LocalPart {
   std::string table;
   std::string second_table;  // Empty for single-table parts.
   std::shared_ptr<const algebra::Plan> plan;
+  std::shared_ptr<const ExchangeJoinSpec> exchange;
 };
 
 /// A SELECT plan split for fragment-parallel execution (§2.2): the local
@@ -39,6 +86,8 @@ struct DistributedPlan {
   bool pushed_aggregate = false;
   /// Number of joins distributed to co-located fragment pairs.
   int colocated_joins = 0;
+  /// Number of joins lowered to streaming exchanges.
+  int exchange_joins = 0;
 };
 
 /// Splits a logical plan. Maximal subtrees of the form
@@ -48,7 +97,7 @@ struct DistributedPlan {
 /// the global plan (COUNT/SUM/MIN/MAX/AVG). Everything else stays global.
 StatusOr<DistributedPlan> SplitPlanForFragments(
     std::unique_ptr<algebra::Plan> plan, const DataDictionary& dictionary,
-    bool colocated_joins = true);
+    bool colocated_joins = true, bool exchange_joins = true);
 
 /// Deep-copies `plan`, renaming every Scan of `from` to `to` (used to
 /// retarget a local part at one fragment).

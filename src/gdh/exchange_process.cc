@@ -1,0 +1,241 @@
+#include "gdh/exchange_process.h"
+
+#include <any>
+
+#include "common/logging.h"
+#include "exec/expr_eval.h"
+
+namespace prisma::gdh {
+
+ExchangeConsumerProcess::ExchangeConsumerProcess(Config config)
+    : config_(std::move(config)) {
+  PRISMA_CHECK(config_.build_side == 0 || config_.build_side == 1);
+  // The build side is fully received before probing starts, so it must be
+  // a moving side; a stationary input can always stream into the probe.
+  PRISMA_CHECK(Side(config_.build_side).moving);
+  const SideSpec& probe = Side(1 - config_.build_side);
+  PRISMA_CHECK(probe.moving || probe.local_plan != nullptr);
+  PRISMA_CHECK(!config_.keys.empty());
+}
+
+void ExchangeConsumerProcess::OnStart() {
+  exec::PipelinedHashJoin::Options options;
+  const bool build_left = config_.build_side == 0;
+  options.build_is_left = build_left;
+  for (const auto& [l, r] : config_.keys) {
+    options.build_cols.push_back(build_left ? l : r);
+    options.probe_cols.push_back(build_left ? r : l);
+  }
+  if (config_.predicate != nullptr) {
+    if (config_.expr_mode == exec::ExprMode::kCompiled) {
+      auto compiled = exec::CompileExpr(*config_.predicate);
+      if (compiled.ok()) {
+        compiled_predicate_ = std::make_shared<exec::CompiledExpr>(
+            std::move(compiled).value());
+        predicate_cost_ns_ =
+            static_cast<sim::SimTime>(
+                compiled_predicate_->num_instructions()) *
+            config_.costs.compiled_instr_ns;
+      }
+    }
+    if (compiled_predicate_ == nullptr) {
+      predicate_cost_ns_ =
+          static_cast<sim::SimTime>(config_.predicate->TreeSize()) *
+          config_.costs.interpreted_node_ns;
+    }
+    options.filter = [this](const Tuple& tuple) -> StatusOr<bool> {
+      ChargeCpu(predicate_cost_ns_);
+      return compiled_predicate_ != nullptr
+                 ? compiled_predicate_->EvalPredicate(tuple)
+                 : exec::EvalPredicate(*config_.predicate, tuple);
+    };
+  }
+  join_ = std::make_unique<exec::PipelinedHashJoin>(std::move(options));
+  build_channels_->resize(Side(config_.build_side).producers);
+  const SideSpec& probe = Side(1 - config_.build_side);
+  if (probe.moving) probe_channels_->resize(probe.producers);
+  if (config_.metrics != nullptr) {
+    m_batches_received_ = config_.metrics->GetCounter(
+        "exchange.batches_received", {{"fragment", config_.fragment}});
+  }
+}
+
+void ExchangeConsumerProcess::OnMail(const pool::Mail& mail) {
+  if (mail.kind == kMailTupleBatch) {
+    HandleBatch(mail);
+    return;
+  }
+  if (mail.kind == kMailExchangeReplyResend) {
+    if (!replied_ || reply_resends_left_ <= 0) return;
+    --reply_resends_left_;
+    SendMail(config_.coordinator, kMailExecPlanReply, *reply_,
+             (*reply_)->WireBits());
+    if (reply_resends_left_ > 0) {
+      SendSelfAfter(config_.reply_resend_ns, kMailExchangeReplyResend);
+    }
+    return;
+  }
+  // Unknown kinds are ignored (forward compatibility).
+}
+
+void ExchangeConsumerProcess::HandleBatch(const pool::Mail& mail) {
+  auto msg = std::any_cast<std::shared_ptr<TupleBatchMsg>>(mail.body);
+  if (msg->exchange_id != config_.exchange_id) return;
+  const bool is_build = msg->side == config_.build_side;
+  auto& channels = is_build ? build_channels_ : probe_channels_;
+  if (msg->producer >= channels->size()) return;
+  exec::InboundChannel& channel = (*channels)[msg->producer];
+
+  exec::TupleBatch batch;
+  batch.seq = msg->seq;
+  batch.eos = msg->eos;
+  if (msg->tuples != nullptr) batch.tuples = *msg->tuples;
+  const size_t rows = batch.tuples.size();
+  if (channel.Offer(std::move(batch))) {
+    // Unmarshalling cost of a fresh batch, as for gathered reply tuples.
+    ChargeCpu(static_cast<sim::SimTime>(rows) * config_.costs.tuple_ns);
+    if (m_batches_received_ != nullptr) m_batches_received_->Increment();
+  } else if (config_.metrics != nullptr) {
+    if (m_dup_batches_ == nullptr) {
+      m_dup_batches_ = config_.metrics->GetCounter(
+          "exchange.dup_batches", {{"fragment", config_.fragment}});
+    }
+    m_dup_batches_->Increment();
+  }
+
+  // Advance the pipeline first: TakeReady inside Pump is what moves the
+  // channel's cumulative ack point, so acking afterwards covers this very
+  // batch (acking before it would leave the stream's last batch
+  // permanently unacknowledged, stalling the producer into its
+  // retransmission timer).
+  Pump();
+
+  // Always (re-)acknowledge, even duplicates: a lost ack would otherwise
+  // stall the producer's credit window forever.
+  auto ack = std::make_shared<BatchAckMsg>();
+  ack->shuffle_token = msg->shuffle_token;
+  ack->consumer = config_.index;
+  ack->ack = channel.ack();
+  ack->credit = config_.credit_window;
+  SendMail(mail.from, kMailBatchAck, std::move(ack), kControlBits);
+}
+
+void ExchangeConsumerProcess::Pump() {
+  if (replied_) return;
+
+  // Build phase: insert in-order build batches into the hash table.
+  bool build_channels_done = true;
+  for (exec::InboundChannel& channel : *build_channels_) {
+    for (exec::TupleBatch& batch : channel.TakeReady()) {
+      if (failed_) continue;
+      for (Tuple& tuple : batch.tuples) join_->AddBuild(std::move(tuple));
+    }
+    if (!channel.done()) build_channels_done = false;
+  }
+  if (!build_done_ && build_channels_done) {
+    build_done_ = true;
+    join_->FinishBuild();
+    ChargeJoinDelta();
+  }
+
+  // Probe phase. Moving probe tuples arriving before the build is sealed
+  // are buffered; everything after streams straight through the join.
+  const SideSpec& probe = Side(1 - config_.build_side);
+  if (probe.moving) {
+    bool probe_channels_done = true;
+    for (exec::InboundChannel& channel : *probe_channels_) {
+      for (exec::TupleBatch& batch : channel.TakeReady()) {
+        if (failed_) continue;
+        if (!build_done_) {
+          for (Tuple& tuple : batch.tuples) {
+            probe_buffer_->push_back(std::move(tuple));
+          }
+        } else {
+          const Status status = ProbeTuples(batch.tuples);
+          if (!status.ok()) SendReply(status);
+        }
+      }
+      if (!channel.done()) probe_channels_done = false;
+    }
+    if (build_done_ && !failed_) {
+      if (!probe_buffer_->empty()) {
+        std::vector<Tuple> buffered = std::move(*probe_buffer_);
+        probe_buffer_->clear();
+        const Status status = ProbeTuples(buffered);
+        if (!status.ok()) SendReply(status);
+      }
+      if (probe_channels_done && !replied_) SendReply(Status::OK());
+    }
+  } else if (build_done_ && !probe_drained_ && !failed_) {
+    probe_drained_ = true;
+    RunLocalProbe();
+  }
+}
+
+Status ExchangeConsumerProcess::ProbeTuples(const std::vector<Tuple>& tuples) {
+  for (const Tuple& tuple : tuples) {
+    RETURN_IF_ERROR(join_->Probe(tuple, &results_.get()));
+  }
+  ChargeJoinDelta();
+  return Status::OK();
+}
+
+void ExchangeConsumerProcess::RunLocalProbe() {
+  const SideSpec& probe = Side(1 - config_.build_side);
+  exec::ExecOptions options;
+  options.expr_mode = config_.expr_mode;
+  options.costs = config_.costs;
+  options.charge = [this](sim::SimTime ns) { ChargeCpu(ns); };
+  PeLocalResolver resolver(config_.registry, pe());
+  exec::Executor executor(&resolver, std::move(options));
+  StatusOr<std::vector<Tuple>> rows = executor.Execute(*probe.local_plan);
+  if (!rows.ok()) {
+    SendReply(rows.status());
+    return;
+  }
+  const Status status = ProbeTuples(*rows);
+  if (!status.ok()) {
+    SendReply(status);
+    return;
+  }
+  SendReply(Status::OK());
+}
+
+void ExchangeConsumerProcess::SendReply(Status status) {
+  if (replied_) return;
+  replied_ = true;
+  failed_ = !status.ok();
+  auto reply = std::make_shared<ExecPlanReply>();
+  reply->request_id = config_.reply_request_id;
+  reply->status = std::move(status);
+  reply->fragment = config_.fragment;
+  if (!failed_) {
+    reply->tuples =
+        std::make_shared<std::vector<Tuple>>(std::move(*results_));
+  }
+  *reply_ = reply;
+  SendMail(config_.coordinator, kMailExecPlanReply, reply,
+           reply->WireBits());
+  // Retransmit until the coordinator kills us at statement completion: the
+  // reply may be lost, and the coordinator's reply-side dedup (SettleRpc)
+  // makes duplicates harmless.
+  if (config_.reply_resend_ns > 0 && config_.reply_resend_attempts > 0) {
+    reply_resends_left_ = config_.reply_resend_attempts;
+    SendSelfAfter(config_.reply_resend_ns, kMailExchangeReplyResend);
+  }
+}
+
+void ExchangeConsumerProcess::ChargeJoinDelta() {
+  const exec::JoinCounters& counters = join_->counters();
+  ChargeCpu(static_cast<sim::SimTime>(counters.hash_ops - charged_.hash_ops) *
+                config_.costs.hash_ns +
+            static_cast<sim::SimTime>(counters.compare_ops -
+                                      charged_.compare_ops) *
+                config_.costs.compare_ns +
+            static_cast<sim::SimTime>(counters.pairs_examined -
+                                      charged_.pairs_examined) *
+                config_.costs.tuple_ns);
+  charged_ = counters;
+}
+
+}  // namespace prisma::gdh

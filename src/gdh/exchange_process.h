@@ -1,0 +1,125 @@
+#ifndef PRISMA_GDH_EXCHANGE_PROCESS_H_
+#define PRISMA_GDH_EXCHANGE_PROCESS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/exchange.h"
+#include "exec/executor.h"
+#include "gdh/messages.h"
+#include "gdh/pe_registry.h"
+#include "obs/metrics.h"
+#include "pool/owned.h"
+#include "pool/runtime.h"
+
+namespace prisma::gdh {
+
+/// Consumer endpoint of one streaming exchange (DESIGN.md §10): a
+/// short-lived POOL-X process spawned by the query coordinator on the PE
+/// of one anchor fragment. It receives flow-controlled tuple batches from
+/// the moving side(s) of an exchange-lowered join, pipelines them into the
+/// build and probe phases of a hash join (no full-input materialization),
+/// and answers the coordinator with a normal ExecPlanReply carrying its
+/// share of the join result.
+///
+/// Fault tolerance composes from three pieces: inbound batches are
+/// seq-deduplicated per channel (duplicated or re-executed producers are
+/// harmless), every batch is cumulatively acknowledged (lost acks are
+/// repaired by the producer's retransmission), and the final reply is
+/// retransmitted on a timer until the coordinator kills this process at
+/// statement completion.
+class ExchangeConsumerProcess : public pool::Process {
+ public:
+  /// One join input as seen by a consumer. A *moving* side arrives as
+  /// `producers` batch channels; a stationary side is executed locally
+  /// (`local_plan`, its Scan already retargeted at this PE's fragment)
+  /// against co-located fragments once the build side is complete.
+  struct SideSpec {
+    bool moving = false;
+    size_t producers = 0;
+    std::shared_ptr<const algebra::Plan> local_plan;
+  };
+
+  struct Config {
+    uint64_t exchange_id = 0;
+    size_t index = 0;        // Consumer index within the exchange.
+    std::string fragment;    // Anchor fragment (labels, reply attribution).
+    pool::ProcessId coordinator = pool::kNoProcess;
+    /// The coordinator registered this id for our ExecPlanReply.
+    uint64_t reply_request_id = 0;
+    SideSpec left;
+    SideSpec right;
+    /// Which input builds the hash table (0 = left). The build side is
+    /// always a moving side; a stationary side is always probed.
+    int build_side = 0;
+    std::vector<std::pair<size_t, size_t>> keys;
+    std::shared_ptr<const algebra::Expr> predicate;
+    exec::ExprMode expr_mode = exec::ExprMode::kCompiled;
+    pool::CostModel costs;
+    const PeLocalRegistry* registry = nullptr;  // Stationary-side scans.
+    uint64_t credit_window = 4;
+    /// Reply retransmission period; 0 disables (fault-free runs).
+    sim::SimTime reply_resend_ns = 0;
+    /// Retransmission budget: normally the coordinator kills this process
+    /// long before it runs out; the cap only stops an orphaned consumer
+    /// (crashed coordinator) from ticking forever.
+    int reply_resend_attempts = 240;
+    obs::MetricsRegistry* metrics = nullptr;
+  };
+
+  explicit ExchangeConsumerProcess(Config config);
+
+  void OnStart() override;
+  void OnMail(const pool::Mail& mail) override;
+
+  std::string debug_name() const override {
+    return "exch:" + config_.fragment;
+  }
+
+ private:
+  void HandleBatch(const pool::Mail& mail);
+  /// Advances the pipeline: drains in-order build batches into the hash
+  /// table, seals the build on EOS, then probes (buffered + streaming
+  /// moving batches, or the local stationary input).
+  void Pump();
+  Status ProbeTuples(const std::vector<Tuple>& tuples);
+  void RunLocalProbe();
+  void SendReply(Status status);
+  /// Charges this PE for the join work performed since the last call
+  /// (same cost formula as Executor::RunJoin).
+  void ChargeJoinDelta();
+
+  const SideSpec& Side(int side) const {
+    return side == 0 ? config_.left : config_.right;
+  }
+
+  Config config_;
+  // Process-local state below is wrapped in the ownership checker.
+  pool::OwnedPtr<exec::PipelinedHashJoin> join_;
+  pool::Owned<std::vector<exec::InboundChannel>> build_channels_;
+  pool::Owned<std::vector<exec::InboundChannel>> probe_channels_;
+  pool::Owned<std::vector<Tuple>> probe_buffer_;  // Pre-build-EOS arrivals.
+  pool::Owned<std::vector<Tuple>> results_;
+  pool::Owned<std::shared_ptr<ExecPlanReply>> reply_;
+
+  int reply_resends_left_ = 0;
+  bool build_done_ = false;
+  bool probe_drained_ = false;  // Stationary probe executed (if any).
+  bool replied_ = false;
+  bool failed_ = false;
+  exec::JoinCounters charged_;  // Counter snapshot of the last charge.
+
+  // Prepared residual predicate (full join predicate re-checked per pair,
+  // as in Executor::RunJoin).
+  std::shared_ptr<exec::CompiledExpr> compiled_predicate_;
+  sim::SimTime predicate_cost_ns_ = 0;
+
+  obs::Counter* m_batches_received_ = nullptr;
+  obs::Counter* m_dup_batches_ = nullptr;  // Lazy: fault paths only.
+};
+
+}  // namespace prisma::gdh
+
+#endif  // PRISMA_GDH_EXCHANGE_PROCESS_H_

@@ -582,6 +582,11 @@ void GdhProcess::ExecuteDdl(const BoundStatement& bound,
         ofm_config.dedup_retention_ns = DedupRetentionNs();
         ofm_config.gdh = self();
         ofm_config.registry = config_.registry;
+        // Shuffle-producer retransmission mirrors the RPC knobs: tight
+        // under fault injection, effectively off when the net is reliable.
+        ofm_config.batch_retry_ns = config_.rpc_timeout_ns;
+        ofm_config.batch_backoff_cap_ns = config_.rpc_backoff_cap_ns;
+        ofm_config.batch_attempts = config_.rpc_attempts;
         ofm_config.metrics = config_.metrics;
         info->fragments[i].pe = pe;
         info->fragments[i].ofm =
@@ -863,6 +868,9 @@ void GdhProcess::SpawnCoordinator(const std::shared_ptr<ClientStatement>& stmt,
   config.rpc_backoff_cap_ns = config_.rpc_backoff_cap_ns;
   config.rpc_attempts = config_.rpc_attempts;
   config.stmt_done_resend_ns = config_.stmt_done_resend_ns;
+  config.registry = config_.registry;
+  config.exchange_batch_rows = config_.exchange_batch_rows;
+  config.exchange_credit_window = config_.exchange_credit_window;
   config.metrics = config_.metrics;
   config.tracer = config_.tracer;
   const net::NodeId pe = config_.coordinator_pes[coordinator_cursor_++ %
@@ -1132,6 +1140,9 @@ Status GdhProcess::RecoverFragment(const std::string& table, int fragment) {
   config.recover = true;
   config.gdh = self();
   config.registry = config_.registry;
+  config.batch_retry_ns = config_.rpc_timeout_ns;
+  config.batch_backoff_cap_ns = config_.rpc_backoff_cap_ns;
+  config.batch_attempts = config_.rpc_attempts;
   config.indexes = info->indexes;
   config.metrics = config_.metrics;
   frag.ofm =

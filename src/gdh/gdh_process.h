@@ -71,6 +71,10 @@ class GdhProcess : public pool::Process {
     /// Directory of co-located fragments for distributed joins (owned by
     /// the machine; may be null to disable co-located execution).
     PeLocalRegistry* registry = nullptr;
+    /// Streaming exchange framing, handed to every query coordinator:
+    /// max tuples per batch and batches in flight per channel.
+    uint64_t exchange_batch_rows = 64;
+    uint64_t exchange_credit_window = 4;
     /// First retransmission delay of an unanswered OFM request; doubles
     /// per attempt up to rpc_backoff_cap_ns.
     sim::SimTime rpc_timeout_ns = 10 * sim::kNanosPerSecond;

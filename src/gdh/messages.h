@@ -47,6 +47,17 @@ inline constexpr char kMailRpcTimeout[] = "rpc_timeout";
 inline constexpr char kMailCoordCheck[] = "coord_check";
 inline constexpr char kMailStmtDoneResend[] = "stmt_done_resend";
 inline constexpr char kMailDecisionRetry[] = "decision_retry";
+// Streaming exchange layer (DESIGN.md §10). A shuffle plan turns an OFM
+// into a batch *producer* for one side of a distributed join; tuple
+// batches flow producer -> consumer under credit-based flow control, acks
+// flow back. The two trailing kinds are self-mail timers: per-shuffle
+// batch retransmission (producers) and final-reply retransmission
+// (consumers).
+inline constexpr char kMailShufflePlan[] = "shuffle_plan";
+inline constexpr char kMailTupleBatch[] = "tuple_batch";
+inline constexpr char kMailBatchAck[] = "batch_ack";
+inline constexpr char kMailBatchResend[] = "batch_resend";
+inline constexpr char kMailExchangeReplyResend[] = "exchange_reply_resend";
 
 /// Serialized-size model: tuples count their byte size, plans a fixed
 /// budget per node, expressions per tree node.
@@ -140,6 +151,64 @@ struct WriteReply {
   /// Row-count delta of the fragment (insert: +1; delete: -n).
   int64_t row_delta = 0;
   std::string fragment;
+};
+
+/// Coordinator -> OFM: run `plan` against the local fragment and stream
+/// the result — hash-partitioned on `keys[0]` of the output schema, or
+/// replicated (kBroadcast) — to the exchange consumers as flow-controlled
+/// tuple batches. The OFM answers the coordinator with an (empty, control-
+/// sized) ExecPlanReply once every consumer has acknowledged its stream,
+/// so the coordinator's hardened-RPC machinery (retransmit, dedup,
+/// degrade-to-Unavailable) covers shuffles exactly like plain plans.
+struct ShufflePlanRequest {
+  enum class Mode : uint8_t { kHash, kBroadcast };
+  uint64_t request_id = 0;
+  /// Identifies the exchange (one per lowered join part) and this
+  /// producer's role in it; consumers use these to route batches onto the
+  /// right channel.
+  uint64_t exchange_id = 0;
+  int side = 0;            // 0 = left input of the join, 1 = right.
+  size_t producer = 0;     // Index of this producer within its side.
+  std::shared_ptr<const algebra::Plan> plan;
+  Mode mode = Mode::kHash;
+  /// Hash mode: column of the plan's output schema to partition on.
+  size_t partition_column = 0;
+  std::vector<pool::ProcessId> consumers;
+  uint64_t batch_rows = 64;     // Max tuples per batch.
+  uint64_t credit_window = 4;   // Batches in flight per channel.
+
+  int64_t WireBits() const {
+    return kControlBits +
+           static_cast<int64_t>(plan->TreeSize()) * kPlanNodeBits;
+  }
+};
+
+/// Producer -> consumer: one framed batch of an exchange channel. The
+/// channel is identified by (exchange_id, side, producer); `shuffle_token`
+/// names the producer-side shuffle instance so acks for a superseded
+/// execution of the same shuffle are ignored.
+struct TupleBatchMsg {
+  uint64_t exchange_id = 0;
+  int side = 0;
+  size_t producer = 0;
+  uint64_t shuffle_token = 0;
+  uint64_t seq = 0;   // 1-based per-channel sequence number.
+  bool eos = false;   // Final batch of this channel.
+  std::shared_ptr<std::vector<Tuple>> tuples;
+
+  int64_t WireBits() const {
+    return kControlBits + (tuples ? TuplesBits(*tuples) : 0);
+  }
+};
+
+/// Consumer -> producer: cumulative acknowledgement for one channel.
+/// `ack` is the highest sequence number delivered in order; the producer
+/// may have batches up to `ack + credit` in flight.
+struct BatchAckMsg {
+  uint64_t shuffle_token = 0;
+  size_t consumer = 0;  // Consumer index within the exchange.
+  uint64_t ack = 0;
+  uint64_t credit = 0;
 };
 
 /// GDH -> OFM two-phase-commit control; OFM replies with the same id.

@@ -140,6 +140,17 @@ void OfmProcess::OnMail(const pool::Mail& mail) {
     }
     return;
   }
+  // Exchange data-plane mail is not a request: acks carry no request_id
+  // (a late ack of a finished shuffle is simply ignored) and the resend
+  // kind is a local timer.
+  if (mail.kind == kMailBatchAck) {
+    HandleBatchAck(mail);
+    return;
+  }
+  if (mail.kind == kMailBatchResend) {
+    HandleBatchResend(mail);
+    return;
+  }
   // Everything else is a request carrying a request_id: answer duplicates
   // from the reply cache without re-executing.
   uint64_t request_id = 0;
@@ -157,6 +168,9 @@ void OfmProcess::OnMail(const pool::Mail& mail) {
                      ->request_id;
   } else if (mail.kind == kMailCreateIndex) {
     request_id = std::any_cast<std::shared_ptr<CreateIndexRequest>>(mail.body)
+                     ->request_id;
+  } else if (mail.kind == kMailShufflePlan) {
+    request_id = std::any_cast<std::shared_ptr<ShufflePlanRequest>>(mail.body)
                      ->request_id;
   } else {
     // Unknown kinds are ignored (forward compatibility).
@@ -189,6 +203,8 @@ void OfmProcess::OnMail(const pool::Mail& mail) {
     HandleCheckpoint(mail);
   } else if (mail.kind == kMailCreateIndex) {
     HandleCreateIndex(mail);
+  } else if (mail.kind == kMailShufflePlan) {
+    HandleShufflePlan(mail);
   }
 }
 
@@ -257,6 +273,219 @@ void OfmProcess::HandleExecPlan(const pool::Mail& mail) {
   // window would pin every result set in memory. A duplicated request
   // simply re-executes; the coordinator drops the surplus reply.
   SendMail(mail.from, kMailExecPlanReply, reply, reply->WireBits());
+}
+
+void OfmProcess::RegisterExchangeMetrics() {
+  if (config_.metrics == nullptr || m_batches_sent_ != nullptr) return;
+  const obs::Labels labels = {{"fragment", config_.fragment_name}};
+  m_batches_sent_ =
+      config_.metrics->GetCounter("exchange.batches_sent", labels);
+  m_exchange_bytes_ = config_.metrics->GetCounter("exchange.bytes", labels);
+  m_exchange_stalls_ = config_.metrics->GetCounter("exchange.stalls", labels);
+}
+
+void OfmProcess::HandleShufflePlan(const pool::Mail& mail) {
+  auto request = std::any_cast<std::shared_ptr<ShufflePlanRequest>>(mail.body);
+  // A retransmitted plan racing its own in-flight execution: the running
+  // shuffle will answer the coordinator, so a second stream would only
+  // duplicate every batch.
+  if (active_shuffles_->contains({mail.from, request->request_id})) return;
+
+  std::optional<PeLocalResolver> colocated;
+  if (config_.registry != nullptr) colocated.emplace(config_.registry, pe());
+  auto result = ofm_->ExecutePlan(
+      *request->plan, colocated.has_value() ? &*colocated : nullptr, nullptr);
+  if (m_plans_executed_ != nullptr) {
+    const exec::ExecStats& stats = ofm_->last_exec_stats();
+    m_plans_executed_->Increment();
+    m_tuples_scanned_->Increment(stats.tuples_scanned);
+    m_index_selections_->Increment(stats.index_selections);
+    if (stats.tuples_scanned > 0 && stats.index_selections == 0) {
+      m_full_scans_->Increment();
+    }
+  }
+  if (!result.ok()) {
+    auto reply = std::make_shared<ExecPlanReply>();
+    reply->request_id = request->request_id;
+    reply->fragment = config_.fragment_name;
+    reply->status = result.status();
+    Respond(mail.from, request->request_id, kMailExecPlanReply, reply,
+            kControlBits);
+    return;
+  }
+
+  std::vector<Tuple> rows = std::move(result).value();
+  const size_t consumers = request->consumers.size();
+  PRISMA_CHECK(consumers > 0);
+  const pool::CostModel& costs = config_.ofm.exec.costs;
+  std::vector<std::vector<Tuple>> partitions(consumers);
+  if (request->mode == ShufflePlanRequest::Mode::kBroadcast) {
+    for (size_t c = 0; c + 1 < consumers; ++c) partitions[c] = rows;
+    partitions[consumers - 1] = std::move(rows);
+  } else {
+    // Same routing function as the stationary hash fragmenter
+    // (Fragmenter::HashFragment), so a shuffled side lands on the
+    // fragments that already hold the anchor table's matching keys.
+    // NULL keys are dropped: they can never satisfy an equi-join.
+    ChargeCpu(static_cast<sim::SimTime>(rows.size()) * costs.hash_ns);
+    for (Tuple& tuple : rows) {
+      const Value& key = tuple.at(request->partition_column);
+      if (key.is_null()) continue;
+      partitions[key.Hash() % consumers].push_back(std::move(tuple));
+    }
+  }
+
+  RegisterExchangeMetrics();
+  const uint64_t token = next_shuffle_token_++;
+  ShuffleState state;
+  state.coordinator = mail.from;
+  state.request_id = request->request_id;
+  state.token = token;
+  state.exchange_id = request->exchange_id;
+  state.side = request->side;
+  state.producer = request->producer;
+  state.retry_delay = config_.batch_retry_ns;
+  state.channels.reserve(consumers);
+  for (size_t c = 0; c < consumers; ++c) {
+    obs::Gauge* gauge = nullptr;
+    if (config_.metrics != nullptr) {
+      gauge = config_.metrics->GetGauge(
+          "exchange.credit", {{"fragment", config_.fragment_name},
+                              {"channel", std::to_string(c)}});
+    }
+    state.channels.push_back(
+        {exec::OutboundChannel(std::move(partitions[c]), request->batch_rows,
+                               request->credit_window),
+         request->consumers[c], gauge});
+  }
+  (*active_shuffles_)[{mail.from, request->request_id}] = token;
+  auto [it, inserted] = shuffles_->emplace(token, std::move(state));
+  PRISMA_CHECK(inserted);
+  PumpShuffle(it->second);
+  SendSelfAfter(it->second.retry_delay, kMailBatchResend,
+                std::make_shared<uint64_t>(token));
+}
+
+void OfmProcess::PumpShuffle(ShuffleState& state) {
+  for (ShuffleChannel& sc : state.channels) {
+    bool sent = false;
+    while (const exec::TupleBatch* batch = sc.channel.TakeNextToSend()) {
+      SendBatch(state, sc, *batch);
+      sent = true;
+    }
+    // A drain that halted at the window edge (rather than running out of
+    // batches) is one stall event: the pipeline is now waiting on acks.
+    if (sent && sc.channel.Stalled() && m_exchange_stalls_ != nullptr) {
+      m_exchange_stalls_->Increment();
+    }
+    if (sc.credit_gauge != nullptr) {
+      sc.credit_gauge->Set(static_cast<int64_t>(sc.channel.credit()));
+    }
+  }
+}
+
+void OfmProcess::SendBatch(const ShuffleState& state,
+                           const ShuffleChannel& channel,
+                           const exec::TupleBatch& batch) {
+  auto msg = std::make_shared<TupleBatchMsg>();
+  msg->exchange_id = state.exchange_id;
+  msg->side = state.side;
+  msg->producer = state.producer;
+  msg->shuffle_token = state.token;
+  msg->seq = batch.seq;
+  msg->eos = batch.eos;
+  msg->tuples = std::make_shared<std::vector<Tuple>>(batch.tuples);
+  const int64_t bits = msg->WireBits();
+  // Marshalling cost, mirroring the consumer's per-tuple unmarshal charge.
+  ChargeCpu(static_cast<sim::SimTime>(batch.tuples.size()) *
+            config_.ofm.exec.costs.tuple_ns);
+  if (m_batches_sent_ != nullptr) {
+    m_batches_sent_->Increment();
+    m_exchange_bytes_->Increment(TuplesBits(batch.tuples) / 8);
+  }
+  SendMail(channel.consumer, kMailTupleBatch, std::move(msg), bits);
+}
+
+void OfmProcess::HandleBatchAck(const pool::Mail& mail) {
+  auto msg = std::any_cast<std::shared_ptr<BatchAckMsg>>(mail.body);
+  auto it = shuffles_->find(msg->shuffle_token);
+  if (it == shuffles_->end()) return;  // Finished or superseded shuffle.
+  ShuffleState& state = it->second;
+  if (msg->consumer >= state.channels.size()) return;
+  ShuffleChannel& channel = state.channels[msg->consumer];
+  channel.channel.set_window(msg->credit);
+  if (channel.channel.OnAck(msg->ack)) {
+    // Window progress: the consumer is alive, so the retransmission
+    // budget and backoff start over.
+    state.attempts = 0;
+    state.retry_delay = config_.batch_retry_ns;
+  }
+  PumpShuffle(state);
+  for (const ShuffleChannel& sc : state.channels) {
+    if (!sc.channel.done()) return;
+  }
+  FinishShuffle(state.token, Status::OK());
+}
+
+void OfmProcess::HandleBatchResend(const pool::Mail& mail) {
+  const uint64_t token = *std::any_cast<std::shared_ptr<uint64_t>>(mail.body);
+  auto it = shuffles_->find(token);
+  if (it == shuffles_->end()) return;  // Shuffle finished; timer is moot.
+  ShuffleState& state = it->second;
+  if (++state.attempts > config_.batch_attempts) {
+    FinishShuffle(token,
+                  UnavailableError("shuffle from fragment " +
+                                   config_.fragment_name +
+                                   " made no progress after " +
+                                   std::to_string(config_.batch_attempts) +
+                                   " retransmission windows"));
+    return;
+  }
+  // Retransmit the lowest unacknowledged already-sent batch of every
+  // unfinished channel (repairs both a lost batch and a lost ack — the
+  // consumer re-acks duplicates), then pump in case credit is free.
+  for (ShuffleChannel& sc : state.channels) {
+    if (sc.channel.done()) continue;
+    const uint64_t seq = sc.channel.acked() + 1;
+    if (!sc.channel.Sent(seq)) continue;  // First transmission: Pump's job.
+    const exec::TupleBatch* batch = sc.channel.BatchAt(seq);
+    if (batch == nullptr) continue;
+    if (config_.metrics != nullptr) {
+      if (m_batch_retransmits_ == nullptr) {
+        // Registered on first retransmission so fault-free metric dumps
+        // are unchanged.
+        m_batch_retransmits_ = config_.metrics->GetCounter(
+            "exchange.retransmits", {{"fragment", config_.fragment_name}});
+      }
+      m_batch_retransmits_->Increment();
+    }
+    SendBatch(state, sc, *batch);
+  }
+  PumpShuffle(state);
+  state.retry_delay =
+      std::min(state.retry_delay * 2, config_.batch_backoff_cap_ns);
+  SendSelfAfter(state.retry_delay, kMailBatchResend,
+                std::make_shared<uint64_t>(token));
+}
+
+void OfmProcess::FinishShuffle(uint64_t token, Status status) {
+  auto it = shuffles_->find(token);
+  if (it == shuffles_->end()) return;
+  ShuffleState& state = it->second;
+  for (ShuffleChannel& sc : state.channels) {
+    if (sc.credit_gauge != nullptr) sc.credit_gauge->Set(0);
+  }
+  auto reply = std::make_shared<ExecPlanReply>();
+  reply->request_id = state.request_id;
+  reply->fragment = config_.fragment_name;
+  reply->status = std::move(status);
+  // Cached, unlike plain plan replies: a shuffle completion is control-
+  // sized, and re-running the shuffle for a duplicated request would
+  // re-stream every batch at the consumers.
+  Respond(state.coordinator, state.request_id, kMailExecPlanReply, reply,
+          kControlBits);
+  active_shuffles_->erase({state.coordinator, state.request_id});
+  shuffles_->erase(it);
 }
 
 void OfmProcess::HandleWrite(const pool::Mail& mail) {

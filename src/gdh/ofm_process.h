@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "exec/exchange.h"
 #include "exec/ofm.h"
 #include "gdh/data_dictionary.h"
 #include "gdh/messages.h"
@@ -59,6 +60,13 @@ class OfmProcess : public pool::Process {
     PeLocalRegistry* registry = nullptr;
     /// Secondary indexes to create at start: (name, columns, ordered).
     std::vector<IndexInfo> indexes;
+    /// Shuffle-producer retransmission: period of the per-shuffle resend
+    /// timer, its exponential-backoff cap, and the attempts budget (an
+    /// attempt is a timer firing with no window progress since the last
+    /// one; exhaustion fails the shuffle with Unavailable).
+    sim::SimTime batch_retry_ns = 250 * sim::kNanosPerMilli;
+    sim::SimTime batch_backoff_cap_ns = 2 * sim::kNanosPerSecond;
+    int batch_attempts = 10;
     /// Per-fragment counters land here when set (ofm.* metric family).
     obs::MetricsRegistry* metrics = nullptr;
   };
@@ -82,6 +90,9 @@ class OfmProcess : public pool::Process {
 
  private:
   void HandleExecPlan(const pool::Mail& mail);
+  void HandleShufflePlan(const pool::Mail& mail);
+  void HandleBatchAck(const pool::Mail& mail);
+  void HandleBatchResend(const pool::Mail& mail);
   void HandleWrite(const pool::Mail& mail);
   void HandleTxnControl(const pool::Mail& mail);
   void HandleDecisionReply(const pool::Mail& mail);
@@ -124,6 +135,40 @@ class OfmProcess : public pool::Process {
   /// registry counters. Cheap; called at the end of mutating handlers.
   void SyncDurabilityMetrics();
 
+  /// One outbound channel of an active shuffle: the framed partition for
+  /// one consumer, plus its credit gauge.
+  struct ShuffleChannel {
+    exec::OutboundChannel channel;
+    pool::ProcessId consumer = pool::kNoProcess;
+    obs::Gauge* credit_gauge = nullptr;
+  };
+
+  /// One in-flight shuffle this OFM is producing (keyed by token). The
+  /// coordinator sees a shuffle as a plain hardened RPC: the producer
+  /// answers (via Respond, so the reply is cached) once every channel is
+  /// fully acknowledged, or with Unavailable when the attempts budget runs
+  /// out without window progress.
+  struct ShuffleState {
+    pool::ProcessId coordinator = pool::kNoProcess;
+    uint64_t request_id = 0;
+    uint64_t token = 0;
+    uint64_t exchange_id = 0;
+    int side = 0;
+    size_t producer = 0;
+    std::vector<ShuffleChannel> channels;
+    int attempts = 0;           // Timer firings without window progress.
+    sim::SimTime retry_delay = 0;
+  };
+
+  /// Transmits every sendable batch on every channel of `state`, counting
+  /// stalls when a channel runs out of credit mid-drain.
+  void PumpShuffle(ShuffleState& state);
+  void SendBatch(const ShuffleState& state, const ShuffleChannel& channel,
+                 const exec::TupleBatch& batch);
+  /// Answers the coordinator (cached) and discards the shuffle state.
+  void FinishShuffle(uint64_t token, Status status);
+  void RegisterExchangeMetrics();
+
   Config config_;
   // Process-local state below is wrapped in the ownership checker: only
   // this process's handlers (or control-plane code between events) may
@@ -163,6 +208,15 @@ class OfmProcess : public pool::Process {
   // no-op write (zero rows matched) still registers here, so it votes yes.
   pool::Owned<std::set<exec::TxnId>> seen_txns_;
 
+  // Producer-side shuffle state. `active_shuffles_` maps the coordinator's
+  // (sender, request_id) onto the running shuffle's token so a
+  // retransmitted shuffle plan that races its own in-flight execution is
+  // ignored instead of double-streaming.
+  pool::Owned<std::map<uint64_t, ShuffleState>> shuffles_;
+  pool::Owned<std::map<std::pair<pool::ProcessId, uint64_t>, uint64_t>>
+      active_shuffles_;
+  uint64_t next_shuffle_token_ = 1;
+
   // Cached registry counters (null when no registry was configured).
   obs::Counter* m_tuples_scanned_ = nullptr;
   obs::Counter* m_index_selections_ = nullptr;
@@ -175,6 +229,12 @@ class OfmProcess : public pool::Process {
   obs::Counter* m_redo_applied_ = nullptr;
   obs::Counter* m_recoveries_ = nullptr;
   obs::Counter* m_dup_requests_ = nullptr;
+  // Exchange-producer metrics, registered lazily on the first shuffle so
+  // fragments that never shuffle keep their metric dumps unchanged.
+  obs::Counter* m_batches_sent_ = nullptr;
+  obs::Counter* m_exchange_bytes_ = nullptr;
+  obs::Counter* m_exchange_stalls_ = nullptr;
+  obs::Counter* m_batch_retransmits_ = nullptr;  // Lazy: fault paths only.
   uint64_t wal_synced_ = 0;
   uint64_t redo_synced_ = 0;
 };

@@ -30,6 +30,11 @@ struct OptimizerRules {
   /// that host both fragments, shipping only join results (consumed by
   /// the plan splitter).
   bool colocated_joins = true;
+  /// Lower the remaining (non-colocated) equi-joins to streaming
+  /// exchanges — pipelined, flow-controlled tuple-batch shuffles between
+  /// the fragments (DESIGN.md §10) — instead of shipping whole inputs to
+  /// the coordinator (consumed by the plan splitter).
+  bool exchange_joins = true;
 };
 
 struct OptimizerReport {

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "gdh/exchange_process.h"
 #include "prismalog/engine.h"
 #include "prismalog/parser.h"
 #include "sql/binder.h"
@@ -149,6 +150,12 @@ void QueryProcess::Reply(Status status, Schema schema,
     runtime()->simulator()->Cancel(rpc.timer);
   }
   rpcs_->clear();
+  // Exchange consumers live exactly as long as their statement: killing
+  // them here also stops their reply-retransmission timers.
+  for (const pool::ProcessId pid : consumer_pids_) {
+    runtime()->Kill(pid);
+  }
+  consumer_pids_.clear();
   const sim::SimTime now = runtime()->simulator()->now();
   if (config_.metrics != nullptr) {
     const obs::Labels q = {
@@ -217,7 +224,8 @@ void QueryProcess::StartSql() {
 
   auto split =
       SplitPlanForFragments(std::move(optimized).value(), *config_.dictionary,
-                            config_.rules.colocated_joins);
+                            config_.rules.colocated_joins,
+                            config_.rules.exchange_joins);
   if (!split.ok()) {
     Reply(split.status(), Schema(), nullptr);
     return;
@@ -234,6 +242,32 @@ void QueryProcess::StartSql() {
   std::set<std::string> resources;
   part_fragments_.clear();
   for (const LocalPart& part : split_.parts) {
+    if (part.exchange != nullptr) {
+      // Exchange join: every fragment of both inputs is read on its own
+      // PE, so lock all of them; the part's fragment list is the anchor
+      // table's (one consumer per anchor fragment).
+      const TableInfo* anchor = nullptr;
+      for (const std::string& table :
+           {part.exchange->left_table, part.exchange->right_table}) {
+        auto info = config_.dictionary->GetTable(table);
+        if (!info.ok()) {
+          Reply(info.status(), Schema(), nullptr);
+          return;
+        }
+        for (const FragmentInfo& frag : (*info)->fragments) {
+          resources.insert(frag.name);
+        }
+        if (table == part.exchange->anchor_table) anchor = *info;
+      }
+      PRISMA_CHECK(anchor != nullptr);
+      std::vector<int> all;
+      all.reserve(anchor->fragments.size());
+      for (size_t f = 0; f < anchor->fragments.size(); ++f) {
+        all.push_back(static_cast<int>(f));
+      }
+      part_fragments_.push_back(std::move(all));
+      continue;
+    }
     auto info = config_.dictionary->GetTable(part.table);
     if (!info.ok()) {
       Reply(info.status(), Schema(), nullptr);
@@ -276,6 +310,7 @@ void QueryProcess::Scatter() {
   duplicate_of_.assign(gathered_->size(), SIZE_MAX);
   part_profiles_.assign(gathered_->size(), std::nullopt);
   work_->clear();
+  size_t consumer_replies = 0;
   if (is_prismalog_phase_) {
     for (size_t i = 0; i < plog_tables_.size(); ++i) {
       auto info = config_.dictionary->GetTable(plog_tables_[i]);
@@ -297,6 +332,13 @@ void QueryProcess::Scatter() {
     duplicate_of_.assign(split_.parts.size(), SIZE_MAX);
     for (size_t i = 0; i < split_.parts.size(); ++i) {
       const LocalPart& part = split_.parts[i];
+      if (part.exchange != nullptr) {
+        // Exchange parts bypass CSE: their rendered plan is not the
+        // executed artifact, and their gather is fed by dedicated
+        // consumers rather than a shareable per-fragment scan.
+        consumer_replies += ScatterExchangePart(i);
+        continue;
+      }
       if (config_.rules.detect_common_subexpressions) {
         const std::string key = part.table + "\n" + PartShapeKey(*part.plan);
         auto [it, inserted] = part_shapes.try_emplace(key, i);
@@ -330,22 +372,119 @@ void QueryProcess::Scatter() {
   next_work_ = 0;
   outstanding_ = 0;
   completed_ = 0;
-  if (work_->empty()) {
+  expected_replies_ = work_->size() + consumer_replies;
+  if (expected_replies_ == 0) {
     FinishGather();
     return;
   }
   if (config_.rules.parallel_fragments) {
     // Scatter everything at once — fragment parallelism (§2.2).
     while (next_work_ < work_->size()) SendNextFragmentPlan();
-  } else {
+  } else if (!work_->empty()) {
     // Ablation: one fragment at a time.
     SendNextFragmentPlan();
   }
 }
 
+size_t QueryProcess::ScatterExchangePart(size_t part_index) {
+  const LocalPart& part = split_.parts[part_index];
+  const ExchangeJoinSpec& ex = *part.exchange;
+  auto anchor_or = config_.dictionary->GetTable(ex.anchor_table);
+  auto left_or = config_.dictionary->GetTable(ex.left_table);
+  auto right_or = config_.dictionary->GetTable(ex.right_table);
+  PRISMA_CHECK(anchor_or.ok() && left_or.ok() && right_or.ok());
+  const TableInfo* anchor = *anchor_or;
+  const TableInfo* sides[2] = {*left_or, *right_or};
+  const std::string side_tables[2] = {ex.left_table, ex.right_table};
+  const std::shared_ptr<const algebra::Plan> side_plans[2] = {ex.left_plan,
+                                                              ex.right_plan};
+
+  // Statement-unique exchange id: batches of another statement's exchange
+  // can never be mistaken for this one's.
+  const uint64_t exchange_id = (config_.statement->request_id << 16) |
+                               static_cast<uint64_t>(part_index);
+  const bool broadcast = ex.strategy == ExchangeStrategy::kBroadcastLeft ||
+                         ex.strategy == ExchangeStrategy::kBroadcastRight;
+
+  // One consumer per anchor fragment, co-located with it. Consumers are
+  // not RPC targets (nothing is retransmitted *to* them); their replies
+  // are counted into the gather via request_part_, and a lost reply is
+  // repaired by the consumer's own resend timer.
+  std::vector<pool::ProcessId> consumers;
+  consumers.reserve(anchor->fragments.size());
+  for (size_t c = 0; c < anchor->fragments.size(); ++c) {
+    const FragmentInfo& frag = anchor->fragments[c];
+    ExchangeConsumerProcess::Config cc;
+    cc.exchange_id = exchange_id;
+    cc.index = c;
+    cc.fragment = frag.name;
+    cc.coordinator = self();
+    cc.reply_request_id = next_request_id_++;
+    for (int s = 0; s < 2; ++s) {
+      ExchangeConsumerProcess::SideSpec& spec = s == 0 ? cc.left : cc.right;
+      spec.moving = ExchangeSideMoves(ex.strategy, s);
+      if (spec.moving) {
+        spec.producers = sides[s]->fragments.size();
+      } else {
+        // The stationary side is the anchor table: this consumer rescans
+        // its own co-located fragment.
+        spec.local_plan = std::shared_ptr<const algebra::Plan>(
+            CloneWithScanRenamed(*side_plans[s], side_tables[s], frag.name));
+      }
+    }
+    cc.build_side = ex.build_side;
+    cc.keys = ex.keys;
+    cc.predicate = ex.predicate;
+    cc.expr_mode = config_.expr_mode;
+    cc.costs = config_.costs;
+    cc.registry = config_.registry;
+    cc.credit_window = config_.exchange_credit_window;
+    cc.reply_resend_ns = config_.stmt_done_resend_ns;
+    cc.metrics = config_.metrics;
+    request_part_[cc.reply_request_id] = part_index;
+    const pool::ProcessId pid = runtime()->Spawn(
+        frag.pe, std::make_unique<ExchangeConsumerProcess>(std::move(cc)));
+    consumer_pids_.push_back(pid);
+    consumers.push_back(pid);
+  }
+
+  // One producer work entry per fragment of each moving side; these go
+  // through the hardened-RPC path like plain fragment plans.
+  for (int s = 0; s < 2; ++s) {
+    if (!ExchangeSideMoves(ex.strategy, s)) continue;
+    for (size_t f = 0; f < sides[s]->fragments.size(); ++f) {
+      const FragmentInfo& frag = sides[s]->fragments[f];
+      auto request = std::make_shared<ShufflePlanRequest>();
+      request->request_id = next_request_id_++;
+      request->exchange_id = exchange_id;
+      request->side = s;
+      request->producer = f;
+      request->plan = std::shared_ptr<const algebra::Plan>(
+          CloneWithScanRenamed(*side_plans[s], side_tables[s], frag.name));
+      request->mode = broadcast ? ShufflePlanRequest::Mode::kBroadcast
+                                : ShufflePlanRequest::Mode::kHash;
+      request->partition_column =
+          s == 0 ? ex.keys[ex.route_key].first : ex.keys[ex.route_key].second;
+      request->consumers = consumers;
+      request->batch_rows = config_.exchange_batch_rows;
+      request->credit_window = config_.exchange_credit_window;
+      work_->push_back(FragmentWork{frag.ofm, request->plan, part_index,
+                                    side_tables[s], frag.name, request});
+    }
+  }
+  return consumers.size();
+}
+
 void QueryProcess::SendNextFragmentPlan() {
   const size_t index = next_work_++;
   const FragmentWork& w = (*work_)[index];
+  if (w.shuffle != nullptr) {
+    request_part_[w.shuffle->request_id] = w.part;
+    ++outstanding_;
+    SendRpc(w.shuffle->request_id, kMailShufflePlan, w.shuffle,
+            w.shuffle->WireBits(), index);
+    return;
+  }
   auto request = std::make_shared<ExecPlanRequest>();
   request->request_id = next_request_id_++;
   request->plan = w.plan;
@@ -385,7 +524,7 @@ void QueryProcess::HandlePlanReply(const pool::Mail& mail) {
       part_profiles_[part] = *reply->profile;
     }
   }
-  if (completed_ == work_->size()) {
+  if (completed_ == expected_replies_) {
     FinishGather();
     return;
   }
@@ -455,12 +594,12 @@ void QueryProcess::ReplyExplain() {
   };
   emit(StrFormat("optimizer: %d selection(s) pushed, %d join reorder(s), "
                  "%d common subtree(s), aggregate pushdown: %s, "
-                 "co-located joins: %d",
+                 "co-located joins: %d, exchange joins: %d",
                  optimizer_report_.selections_pushed,
                  optimizer_report_.joins_reordered,
                  optimizer_report_.common_subtrees,
                  split_.pushed_aggregate ? "yes" : "no",
-                 split_.colocated_joins));
+                 split_.colocated_joins, split_.exchange_joins));
   emit("global plan (runs at the query coordinator):");
   for (const std::string& line :
        Split(split_.global->ToString(), '\n')) {
@@ -468,6 +607,20 @@ void QueryProcess::ReplyExplain() {
   }
   for (size_t i = 0; i < split_.parts.size(); ++i) {
     const LocalPart& part = split_.parts[i];
+    if (part.exchange != nullptr) {
+      const ExchangeJoinSpec& ex = *part.exchange;
+      auto anchor = config_.dictionary->GetTable(ex.anchor_table);
+      emit(StrFormat("part %zu (exchange join %s x %s, %s, %zu "
+                     "consumer(s), ~%.0f row(s) on the wire):",
+                     i, ex.left_table.c_str(), ex.right_table.c_str(),
+                     ExchangeStrategyName(ex.strategy),
+                     anchor.ok() ? (*anchor)->fragments.size() : 0,
+                     ex.moved_rows));
+      for (const std::string& line : Split(part.plan->ToString(), '\n')) {
+        if (!line.empty()) emit("  " + line);
+      }
+      continue;
+    }
     auto info = config_.dictionary->GetTable(part.table);
     const size_t fan_out =
         info.ok() ? PruneFragmentsForPart(**info, *part.plan).size() : 0;
@@ -499,12 +652,12 @@ void QueryProcess::ReplyAnalyze(const obs::OperatorProfile& global) {
   };
   emit(StrFormat("optimizer: %d selection(s) pushed, %d join reorder(s), "
                  "%d common subtree(s), aggregate pushdown: %s, "
-                 "co-located joins: %d",
+                 "co-located joins: %d, exchange joins: %d",
                  optimizer_report_.selections_pushed,
                  optimizer_report_.joins_reordered,
                  optimizer_report_.common_subtrees,
                  split_.pushed_aggregate ? "yes" : "no",
-                 split_.colocated_joins));
+                 split_.colocated_joins, split_.exchange_joins));
   emit("global plan (ran at the query coordinator):");
   std::vector<std::string> rendered;
   obs::RenderProfile(global, 1, &rendered);
@@ -515,6 +668,15 @@ void QueryProcess::ReplyAnalyze(const obs::OperatorProfile& global) {
       emit(StrFormat("part %zu (table %s): reuses part %zu "
                      "(common subexpression)",
                      i, part.table.c_str(), duplicate_of_[i]));
+      continue;
+    }
+    if (part.exchange != nullptr) {
+      const ExchangeJoinSpec& ex = *part.exchange;
+      emit(StrFormat("part %zu (exchange join %s x %s, %s, %zu "
+                     "consumer(s)): streamed, no fragment profile",
+                     i, ex.left_table.c_str(), ex.right_table.c_str(),
+                     ExchangeStrategyName(ex.strategy),
+                     part_fragments_[i].size()));
       continue;
     }
     if (part.second_table.empty()) {

@@ -13,6 +13,7 @@
 #include "gdh/distributed_plan.h"
 #include "gdh/messages.h"
 #include "gdh/optimizer.h"
+#include "gdh/pe_registry.h"
 #include "obs/metrics.h"
 #include "obs/query_profile.h"
 #include "obs/trace.h"
@@ -55,6 +56,13 @@ class QueryProcess : public pool::Process {
     /// Retransmit stmt_done to the GDH at this period until this process
     /// is reaped (0 disables — the fault-free configuration).
     sim::SimTime stmt_done_resend_ns = 0;
+    /// Directory of co-located fragments (may be null): exchange consumers
+    /// resolve their stationary-side scans through it.
+    const PeLocalRegistry* registry = nullptr;
+    /// Streaming exchange framing: max tuples per batch and batches in
+    /// flight per channel (DESIGN.md §10).
+    uint64_t exchange_batch_rows = 64;
+    uint64_t exchange_credit_window = 4;
     /// Observability sinks (may be null). Per-query scoped metrics are
     /// recorded under the {query=<request_id>} label.
     obs::MetricsRegistry* metrics = nullptr;
@@ -124,7 +132,14 @@ class QueryProcess : public pool::Process {
     /// Names for pid re-resolution on retransmit (the OFM may respawn).
     std::string table;
     std::string fragment;
+    /// Set for exchange-join producers: the prebuilt shuffle plan (with a
+    /// pre-assigned request_id) sent instead of a plain ExecPlanRequest.
+    std::shared_ptr<ShufflePlanRequest> shuffle;
   };
+  /// Builds the consumer processes and producer work entries of one
+  /// exchange-lowered join part; returns the number of consumer replies
+  /// the gather now additionally waits for.
+  size_t ScatterExchangePart(size_t part_index);
   // Process-local state below is wrapped in the ownership checker: only
   // this process's handlers (or control-plane code between events) may
   // touch it; see pool/owned.h.
@@ -132,6 +147,11 @@ class QueryProcess : public pool::Process {
   size_t next_work_ = 0;      // Sequential mode cursor.
   size_t outstanding_ = 0;
   size_t completed_ = 0;
+  /// Replies the gather waits for: every work_ entry plus one per spawned
+  /// exchange consumer.
+  size_t expected_replies_ = 0;
+  /// Exchange consumers spawned for this statement, killed in Reply().
+  std::vector<pool::ProcessId> consumer_pids_;
   uint64_t next_request_id_ = 1;
   std::map<uint64_t, size_t> request_part_;  // request id -> part index.
 

@@ -122,6 +122,14 @@ void Runtime::Send(Mail mail) {
           metrics_->GetCounter("pool.mail_sent", {{"kind", mail.kind}});
     }
     it->second->Increment();
+    auto [bits_it, bits_inserted] =
+        m_mail_bits_.try_emplace(mail.kind, nullptr);
+    if (bits_inserted) {
+      bits_it->second =
+          metrics_->GetCounter("pool.mail_bits", {{"kind", mail.kind}});
+    }
+    bits_it->second->Increment(
+        static_cast<uint64_t>(std::max<int64_t>(mail.size_bits, 1)));
   }
   if (in_handler_) {
     // Released when the running handler's charged CPU completes.

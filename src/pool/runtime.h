@@ -198,6 +198,10 @@ class Runtime {
   obs::Counter* m_dropped_ = nullptr;
   std::vector<obs::Counter*> m_pe_cpu_;  // pe.cpu_ns{pe}, indexed by PE.
   std::unordered_map<std::string, obs::Counter*> m_mail_kind_;
+  /// pool.mail_bits{kind}: modelled wire bits per mail kind. This is what
+  /// makes reply payloads (e.g. exec_plan_reply tuples) attributable in
+  /// traffic accounting — net.link_bits is a single per-hop total.
+  std::unordered_map<std::string, obs::Counter*> m_mail_bits_;
 };
 
 }  // namespace prisma::pool

@@ -304,13 +304,148 @@ TEST(ChaosTest, SameSeedReplayIsByteIdenticalIncludingTraces) {
   EXPECT_NE(a.trace.find("\"ph\""), std::string::npos);
 }
 
-// ------------------------------------------------- Presumed-abort details
-
 QueryResult MustExecute(PrismaDb* db, const std::string& sql) {
   auto result = db->Execute(sql);
   PRISMA_CHECK(result.ok()) << sql << " -> " << result.status().ToString();
   return std::move(result).value();
 }
+
+// ------------------------------------------- Exchange shuffles under chaos
+
+/// Two tables whose equi-join is NOT colocated: fact is fragmented on a
+/// non-key column, so the planner must lower the join to a streaming
+/// exchange whose tuple batches and acks cross the faulty interconnect.
+void CreateExchangeTables(PrismaDb* db) {
+  MustExecute(db, "CREATE TABLE fact (k INT, v INT) FRAGMENTED BY "
+                  "HASH(v) INTO 4 FRAGMENTS");
+  MustExecute(db, "CREATE TABLE dim (k INT, label STRING) FRAGMENTED BY "
+                  "HASH(k) INTO 2 FRAGMENTS");
+  for (int i = 0; i < 30; ++i) {
+    MustExecute(db, StrFormat("INSERT INTO fact VALUES (%d, %d)", i % 10, i));
+  }
+  for (int i = 0; i < 10; ++i) {
+    MustExecute(db, StrFormat("INSERT INTO dim VALUES (%d, 'd%d')", i, i));
+  }
+}
+
+constexpr char kExchangeJoinSql[] =
+    "SELECT f.v, d.label FROM fact f JOIN dim d ON f.k = d.k";
+
+struct ExchangeSoakOutcome {
+  uint64_t dropped = 0;
+  uint64_t duplicated = 0;
+  uint64_t retransmits = 0;
+  uint64_t dup_batches = 0;
+  uint64_t batches_sent = 0;
+  std::string metrics;
+};
+
+/// One non-colocated join under a seeded lossy/duplicating/jittery
+/// interconnect. Small batches and a tight credit window turn the 30-row
+/// shuffle into many batch/ack round trips, each a chance for the fault
+/// plan to misbehave.
+ExchangeSoakOutcome RunExchangeChaos(uint64_t seed) {
+  MachineConfig config;
+  config.pes = 4;
+  config.exchange_batch_rows = 4;
+  config.exchange_credit_window = 2;
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 7);
+  config.fault_plan.seed = seed;
+  config.fault_plan.link.drop_probability = 0.01 + 0.04 * rng.NextDouble();
+  config.fault_plan.link.duplicate_probability = 0.05 * rng.NextDouble();
+  config.fault_plan.link.max_extra_delay_ns = rng.UniformInt(0, 200'000);
+
+  PrismaDb db(config);
+  CreateExchangeTables(&db);
+  QueryResult joined = MustExecute(&db, kExchangeJoinSql);
+  // Every fact key (i % 10) matches exactly one dim row: losses and
+  // duplicates may slow the shuffle down but never change the answer.
+  PRISMA_CHECK(joined.tuples.size() == 30)
+      << joined.tuples.size() << " rows under seed " << seed;
+
+  ExchangeSoakOutcome out;
+  out.dropped = db.network().stats().dropped;
+  out.duplicated = db.network().stats().duplicated;
+  out.retransmits = db.metrics().CounterTotal("exchange.retransmits");
+  out.dup_batches = db.metrics().CounterTotal("exchange.dup_batches");
+  out.batches_sent = db.metrics().CounterTotal("exchange.batches_sent");
+  out.metrics = db.DumpMetrics();
+  return out;
+}
+
+TEST(ChaosTest, ExchangeSoakSurvives25Seeds) {
+  uint64_t dropped = 0;
+  uint64_t duplicated = 0;
+  uint64_t recovered = 0;
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    SCOPED_TRACE(StrFormat("seed %llu",
+                           static_cast<unsigned long long>(seed)));
+    const ExchangeSoakOutcome out = RunExchangeChaos(seed);
+    EXPECT_GT(out.batches_sent, 0u);  // The join really used the exchange.
+    dropped += out.dropped;
+    duplicated += out.duplicated;
+    recovered += out.retransmits + out.dup_batches;
+  }
+  EXPECT_GT(dropped, 0u);
+  EXPECT_GT(duplicated, 0u);
+  // The faults hit the shuffle itself, not just the RPC plane: lost
+  // batches/acks forced producer retransmissions, and duplicated ones
+  // landed in the consumers' sequence-number dedup.
+  EXPECT_GT(recovered, 0u);
+}
+
+TEST(ChaosTest, ExchangeSameSeedReplayIsByteIdentical) {
+  const ExchangeSoakOutcome a = RunExchangeChaos(13);
+  const ExchangeSoakOutcome b = RunExchangeChaos(13);
+  EXPECT_EQ(a.metrics, b.metrics);  // Byte-identical, exchanges included.
+  EXPECT_NE(a.metrics.find("exchange.batches_sent"), std::string::npos);
+}
+
+TEST(ChaosTest, LinkDownMidShuffleDegradesToUnavailableNotAHang) {
+  MachineConfig config;
+  config.pes = 4;
+  // Direct links between all PEs: the down windows below cut exactly the
+  // inter-fragment pairs, with no detour route around them.
+  config.topology = TopologyKind::kFullyConnected;
+  config.exchange_batch_rows = 4;
+  // Tight retry knobs so the attempt budgets exhaust within seconds of
+  // virtual time instead of the fault-free 10-second windows.
+  config.rpc_timeout_ns = 50 * sim::kNanosPerMilli;
+  config.rpc_backoff_cap_ns = 400 * sim::kNanosPerMilli;
+  // A zero-length placeholder window turns fault mode on from the start
+  // (the snappy fault-mode timers are chosen at construction); the real
+  // outage is installed mid-run, once the tables exist.
+  config.fault_plan.down_windows.push_back({1, 2, 0, 0});
+
+  PrismaDb db(config);
+  CreateExchangeTables(&db);
+
+  // Cut every link among PEs 1-3 (which host all fragments, producers and
+  // consumers) for longer than any retransmission budget survives; PE 0
+  // keeps the client and the GDH reachable so the failure can be reported.
+  const sim::SimTime from = db.simulator().now();
+  const sim::SimTime until = from + 60 * sim::kNanosPerSecond;
+  net::FaultPlan outage;
+  outage.down_windows = {
+      {1, 2, from, until}, {1, 3, from, until}, {2, 3, from, until}};
+  db.network().SetFaultPlan(outage);
+
+  // The shuffle cannot complete: batches and acks between fragments are
+  // all lost. The statement must come back as a typed Unavailable — not
+  // hang — once a producer's batch-attempt budget (or the coordinator's
+  // RPC budget, whichever path dies first) runs out.
+  auto severed = db.Execute(kExchangeJoinSql);
+  ASSERT_FALSE(severed.ok());
+  EXPECT_EQ(severed.status().code(), StatusCode::kUnavailable)
+      << severed.status().ToString();
+
+  // Once the window passes the machine is whole again: the same join
+  // completes normally with the full answer.
+  db.simulator().RunUntil(until);
+  EXPECT_EQ(MustExecute(&db, kExchangeJoinSql).tuples.size(), 30u);
+}
+
+// ------------------------------------------------- Presumed-abort details
 
 TEST(ChaosTest, CommitDecisionIsPersistedBeforePhase2AndRetiredAfter) {
   MachineConfig config;

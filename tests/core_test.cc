@@ -162,6 +162,7 @@ TEST_F(PrismaDbTest, ColocatedJoinMatchesGatheredJoinWithLessTraffic) {
 
   MachineConfig off = SmallMachine();
   off.rules.colocated_joins = false;
+  off.rules.exchange_joins = false;  // Ship-to-coordinator baseline.
   PrismaDb db_off(off);
   load(db_off);
   const int64_t bits_before_off = db_off.network().stats().link_bits;

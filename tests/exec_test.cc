@@ -5,8 +5,11 @@
 
 #include "algebra/expr.h"
 #include "algebra/plan.h"
+#include "common/logging.h"
 #include "common/rng.h"
+#include "core/prisma_db.h"
 #include "exec/executor.h"
+#include "exec/exchange.h"
 #include "exec/join.h"
 #include "exec/transitive_closure.h"
 #include "storage/relation.h"
@@ -652,6 +655,363 @@ TEST_F(ExecutorTest, SelectionPushdownEquivalence) {
   };
   EXPECT_EQ(canon(*a), canon(*b));
   EXPECT_FALSE(a->empty());
+}
+
+// ------------------------------------------------- Exchange channels (§10)
+
+TEST(InboundChannelTest, InOrderDeliveryAdvancesAckOnTake) {
+  InboundChannel channel;
+  TupleBatch b1{1, false, Pairs({{1, 10}})};
+  TupleBatch b2{2, true, Pairs({{2, 20}})};
+  EXPECT_TRUE(channel.Offer(b1));
+  // Offering alone must NOT move the ack point: only TakeReady delivers.
+  EXPECT_EQ(channel.ack(), 0u);
+  auto ready = channel.TakeReady();
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(channel.ack(), 1u);
+  EXPECT_FALSE(channel.done());
+  EXPECT_TRUE(channel.Offer(b2));
+  ready = channel.TakeReady();
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_TRUE(ready[0].eos);
+  EXPECT_EQ(channel.ack(), 2u);
+  EXPECT_TRUE(channel.done());
+}
+
+TEST(InboundChannelTest, OutOfOrderBatchesAreReordered) {
+  InboundChannel channel;
+  EXPECT_TRUE(channel.Offer({3, true, Pairs({{3, 30}})}));
+  EXPECT_TRUE(channel.Offer({2, false, Pairs({{2, 20}})}));
+  // Seq 1 still missing: nothing deliverable, nothing acked.
+  EXPECT_TRUE(channel.TakeReady().empty());
+  EXPECT_EQ(channel.ack(), 0u);
+  EXPECT_TRUE(channel.Offer({1, false, Pairs({{1, 10}})}));
+  auto ready = channel.TakeReady();
+  ASSERT_EQ(ready.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(ready[i].seq, i + 1);
+  }
+  EXPECT_EQ(channel.ack(), 3u);
+  EXPECT_TRUE(channel.done());
+}
+
+TEST(InboundChannelTest, DuplicatesAreDiscardedOnce) {
+  InboundChannel channel;
+  EXPECT_TRUE(channel.Offer({1, false, Pairs({{1, 10}})}));
+  // Duplicate of a still-buffered batch.
+  EXPECT_FALSE(channel.Offer({1, false, Pairs({{1, 10}})}));
+  auto ready = channel.TakeReady();
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0].tuples.size(), 1u);
+  // Duplicate of an already-delivered batch.
+  EXPECT_FALSE(channel.Offer({1, false, Pairs({{1, 10}})}));
+  EXPECT_EQ(channel.duplicates(), 2u);
+  EXPECT_TRUE(channel.TakeReady().empty());  // Delivered exactly once.
+}
+
+TEST(OutboundChannelTest, FramesIntoBoundedBatchesWithEos) {
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 10; ++i) tuples.push_back(Pair(i, i));
+  OutboundChannel channel(std::move(tuples), /*batch_rows=*/4,
+                          /*window=*/100);
+  EXPECT_EQ(channel.last_seq(), 3u);  // 4 + 4 + 2.
+  const TupleBatch* b;
+  size_t total = 0;
+  std::vector<size_t> sizes;
+  while ((b = channel.TakeNextToSend()) != nullptr) {
+    sizes.push_back(b->tuples.size());
+    total += b->tuples.size();
+    EXPECT_EQ(b->eos, sizes.size() == 3);
+  }
+  EXPECT_EQ(sizes, (std::vector<size_t>{4, 4, 2}));
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(OutboundChannelTest, EmptyStreamIsOneEmptyEosBatch) {
+  OutboundChannel channel({}, 4, 1);
+  EXPECT_EQ(channel.last_seq(), 1u);
+  const TupleBatch* b = channel.TakeNextToSend();
+  ASSERT_NE(b, nullptr);
+  EXPECT_TRUE(b->eos);
+  EXPECT_TRUE(b->tuples.empty());
+  EXPECT_FALSE(channel.done());  // Not done until the consumer acks.
+  EXPECT_TRUE(channel.OnAck(1));
+  EXPECT_TRUE(channel.done());
+}
+
+TEST(OutboundChannelTest, CreditWindowStallsAndAcksReopenIt) {
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 10; ++i) tuples.push_back(Pair(i, i));
+  OutboundChannel channel(std::move(tuples), /*batch_rows=*/2,
+                          /*window=*/2);  // 5 batches, 2 in flight.
+  EXPECT_EQ(channel.credit(), 2u);
+  EXPECT_NE(channel.TakeNextToSend(), nullptr);  // seq 1.
+  EXPECT_NE(channel.TakeNextToSend(), nullptr);  // seq 2.
+  EXPECT_EQ(channel.TakeNextToSend(), nullptr);  // Window exhausted.
+  EXPECT_TRUE(channel.Stalled());
+  EXPECT_EQ(channel.credit(), 0u);
+
+  EXPECT_TRUE(channel.OnAck(1));
+  EXPECT_FALSE(channel.Stalled());
+  const TupleBatch* b = channel.TakeNextToSend();
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->seq, 3u);
+  // Stale/duplicate acks never move the window backwards.
+  EXPECT_FALSE(channel.OnAck(1));
+  EXPECT_FALSE(channel.OnAck(0));
+  EXPECT_TRUE(channel.OnAck(5));
+  EXPECT_TRUE(channel.done());
+}
+
+TEST(OutboundChannelTest, RetransmissionHelpers) {
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 4; ++i) tuples.push_back(Pair(i, i));
+  OutboundChannel channel(std::move(tuples), 2, 1);  // 2 batches, window 1.
+  EXPECT_FALSE(channel.Sent(1));
+  EXPECT_NE(channel.TakeNextToSend(), nullptr);
+  EXPECT_TRUE(channel.Sent(1));
+  EXPECT_FALSE(channel.Sent(2));  // Stalled, not yet handed out.
+  ASSERT_NE(channel.BatchAt(1), nullptr);
+  EXPECT_EQ(channel.BatchAt(1)->seq, 1u);
+  EXPECT_EQ(channel.BatchAt(3), nullptr);  // Out of range.
+  // A consumer-granted window enlargement opens credit immediately.
+  channel.set_window(2);
+  EXPECT_EQ(channel.credit(), 1u);
+  channel.set_window(0);  // Malformed grant: ignored.
+  EXPECT_EQ(channel.credit(), 1u);
+}
+
+// ------------------------------------------------- Pipelined hash join
+
+TEST(PipelinedHashJoinTest, MatchesMaterializedHashJoin) {
+  auto left = Pairs({{1, 10}, {2, 20}, {3, 30}, {3, 31}, {5, 50}});
+  auto right = Pairs({{2, 200}, {3, 300}, {3, 301}, {4, 400}});
+  auto expected = HashJoin(left, right, {{0, 0}});
+  ASSERT_TRUE(expected.ok());
+
+  PipelinedHashJoin::Options options;
+  options.build_cols = {0};
+  options.probe_cols = {0};
+  options.build_is_left = true;
+  PipelinedHashJoin join(options);
+  for (Tuple& t : left) join.AddBuild(std::move(t));
+  join.FinishBuild();
+  std::vector<Tuple> out;
+  for (const Tuple& t : right) {
+    ASSERT_TRUE(join.Probe(t, &out).ok());
+  }
+  auto canon = [](std::vector<Tuple> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(canon(out), canon(*expected));
+  EXPECT_EQ(out.size(), 5u);  // Key 2: 1x1, key 3: 2x2.
+}
+
+TEST(PipelinedHashJoinTest, BuildRightKeepsConcatOrder) {
+  // Build the RIGHT side: output must still be Concat(left, right).
+  auto left = Pairs({{1, 10}, {2, 20}});
+  auto right = Pairs({{2, 200}, {2, 201}});
+  PipelinedHashJoin::Options options;
+  options.build_cols = {0};
+  options.probe_cols = {0};
+  options.build_is_left = false;  // Probe tuples are the left input.
+  PipelinedHashJoin join(options);
+  for (Tuple& t : right) join.AddBuild(std::move(t));
+  join.FinishBuild();
+  std::vector<Tuple> out;
+  ASSERT_TRUE(join.Probe(Pair(2, 20), &out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  for (const Tuple& t : out) {
+    EXPECT_EQ(t.at(0), Value::Int(2));    // left.k
+    EXPECT_EQ(t.at(1), Value::Int(20));   // left.v
+    EXPECT_EQ(t.at(2), Value::Int(2));    // right.k
+  }
+}
+
+TEST(PipelinedHashJoinTest, NullKeysNeverJoinAndFilterApplies) {
+  PipelinedHashJoin::Options options;
+  options.build_cols = {0};
+  options.probe_cols = {0};
+  options.filter = [](const Tuple& joined) -> StatusOr<bool> {
+    return joined.at(3).int_value() < 300;  // Keep small right values only.
+  };
+  PipelinedHashJoin join(options);
+  join.AddBuild(Pair(3, 30));
+  join.AddBuild(Tuple({Value::Null(), Value::Int(99)}));
+  join.FinishBuild();
+  EXPECT_EQ(join.build_rows(), 1u);  // NULL build key dropped.
+  std::vector<Tuple> out;
+  ASSERT_TRUE(
+      join.Probe(Tuple({Value::Null(), Value::Int(1)}), &out)
+          .ok());
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(join.Probe(Pair(3, 299), &out).ok());
+  EXPECT_EQ(out.size(), 1u);
+  ASSERT_TRUE(join.Probe(Pair(3, 301), &out).ok());
+  EXPECT_EQ(out.size(), 1u);  // Filter rejected the second match.
+}
+
+TEST(PipelinedHashJoinTest, OutOfOrderAndDuplicateBatchesViaChannels) {
+  // End-to-end over the channel primitives: batches of the build stream
+  // arrive out of order and duplicated; the joined output must equal the
+  // materialized join regardless.
+  auto build_rows = Pairs({{1, 10}, {2, 20}, {3, 30}, {4, 40}});
+  auto probe_rows = Pairs({{2, 200}, {4, 400}, {5, 500}});
+  auto expected = HashJoin(build_rows, probe_rows, {{0, 0}});
+  ASSERT_TRUE(expected.ok());
+
+  OutboundChannel out_channel(build_rows, /*batch_rows=*/1, /*window=*/4);
+  std::vector<TupleBatch> wire;
+  while (const TupleBatch* b = out_channel.TakeNextToSend()) {
+    wire.push_back(*b);
+  }
+  ASSERT_EQ(wire.size(), 4u);
+  // Deliver 2, 1, 2(dup), 4, 3, 4(dup).
+  InboundChannel in_channel;
+  PipelinedHashJoin::Options options;
+  options.build_cols = {0};
+  options.probe_cols = {0};
+  PipelinedHashJoin join(options);
+  std::vector<Tuple> joined;
+  const size_t order[] = {1, 0, 1, 3, 2, 3};
+  for (const size_t i : order) {
+    in_channel.Offer(wire[i]);
+    for (TupleBatch& ready : in_channel.TakeReady()) {
+      for (Tuple& t : ready.tuples) join.AddBuild(std::move(t));
+    }
+  }
+  ASSERT_TRUE(in_channel.done());
+  EXPECT_EQ(in_channel.duplicates(), 2u);
+  join.FinishBuild();
+  for (const Tuple& t : probe_rows) {
+    ASSERT_TRUE(join.Probe(t, &joined).ok());
+  }
+  auto canon = [](std::vector<Tuple> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(canon(joined), canon(*expected));
+}
+
+// ----------------------------------------- Exchange joins, machine level
+
+/// End-to-end acceptance for the streaming exchange layer: a non-colocated
+/// equi-join over two hash-fragmented tables must execute through batch
+/// channels (exchange.* metrics move) without the coordinator gathering
+/// either full input — it only ever sees the joined result.
+class ExchangeMachineTest : public ::testing::Test {
+ protected:
+  explicit ExchangeMachineTest() {
+    core::MachineConfig config;
+    config.pes = 16;
+    db_ = std::make_unique<core::PrismaDb>(config);
+  }
+
+  core::QueryResult MustExecute(const std::string& sql) {
+    ++statements_;
+    auto result = db_->Execute(sql);
+    PRISMA_CHECK(result.ok()) << sql << " -> " << result.status().ToString();
+    return std::move(result).value();
+  }
+
+  uint64_t SumOverLabel(const std::string& counter, const std::string& label,
+                        const std::string& table, size_t fragments) {
+    uint64_t total = 0;
+    for (size_t f = 0; f < fragments; ++f) {
+      total += db_->metrics()
+                   .GetCounter(counter,
+                               {{label, table + "#" + std::to_string(f)}})
+                   ->value();
+    }
+    return total;
+  }
+
+  std::unique_ptr<core::PrismaDb> db_;
+  uint64_t statements_ = 0;  // Next statement's request id - 1.
+};
+
+TEST_F(ExchangeMachineTest, NonColocatedJoinStreamsThroughExchange) {
+  // fact is fragmented on v, NOT the join key, so the join cannot run
+  // co-located; dim is fragmented on its key.
+  MustExecute("CREATE TABLE fact (k INT, v INT) "
+              "FRAGMENTED BY HASH(v) INTO 4 FRAGMENTS");
+  MustExecute("CREATE TABLE dim (k INT, label STRING) "
+              "FRAGMENTED BY HASH(k) INTO 2 FRAGMENTS");
+  for (int i = 0; i < 60; ++i) {
+    MustExecute("INSERT INTO fact VALUES (" + std::to_string(i % 20) + ", " +
+                std::to_string(i) + ")");
+  }
+  for (int i = 0; i < 10; ++i) {
+    MustExecute("INSERT INTO dim VALUES (" + std::to_string(i) + ", 'd" +
+                std::to_string(i) + "')");
+  }
+
+  const uint64_t query_id = statements_ + 1;
+  core::QueryResult result = MustExecute(
+      "SELECT f.v, d.label FROM fact f JOIN dim d ON f.k = d.k ORDER BY f.v");
+  // fact keys are i % 20; only 0..9 exist in dim -> 3 fact rows per key.
+  ASSERT_EQ(result.tuples.size(), 30u);
+  EXPECT_EQ(result.tuples.front().at(0), Value::Int(0));
+  EXPECT_EQ(result.tuples.front().at(1), Value::String("d0"));
+
+  // The join streamed through exchange channels...
+  const uint64_t sent =
+      SumOverLabel("exchange.batches_sent", "fragment", "fact", 4) +
+      SumOverLabel("exchange.batches_sent", "fragment", "dim", 2);
+  const uint64_t received =
+      SumOverLabel("exchange.batches_received", "fragment", "fact", 4) +
+      SumOverLabel("exchange.batches_received", "fragment", "dim", 2);
+  EXPECT_GT(sent, 0u);
+  EXPECT_EQ(received, sent);
+  EXPECT_GT(
+      SumOverLabel("exchange.bytes", "fragment", "fact", 4) +
+          SumOverLabel("exchange.bytes", "fragment", "dim", 2),
+      0u);
+
+  // ...and the coordinator only gathered the joined result, never a full
+  // input (ship-to-coordinator would gather 60 fact + 10 dim rows).
+  const uint64_t gathered =
+      db_->metrics()
+          .GetCounter("query.tuples_gathered",
+                      {{"query", std::to_string(query_id)}})
+          ->value();
+  EXPECT_EQ(gathered, 30u);
+  EXPECT_LT(gathered, 60u);
+}
+
+TEST_F(ExchangeMachineTest, ShuffleBothRepartitionsBothSides) {
+  // Neither side is fragmented on the join key and both have the same
+  // fragment count, so broadcasting is costlier than hash-repartitioning
+  // both inputs: the optimizer must pick shuffle-both.
+  MustExecute("CREATE TABLE lhs (k INT, v INT) "
+              "FRAGMENTED BY HASH(v) INTO 4 FRAGMENTS");
+  MustExecute("CREATE TABLE rhs (k INT, w INT) "
+              "FRAGMENTED BY HASH(w) INTO 4 FRAGMENTS");
+  for (int i = 0; i < 40; ++i) {
+    MustExecute("INSERT INTO lhs VALUES (" + std::to_string(i % 8) + ", " +
+                std::to_string(i) + ")");
+    MustExecute("INSERT INTO rhs VALUES (" + std::to_string(i % 10) + ", " +
+                std::to_string(1000 + i) + ")");
+  }
+
+  core::QueryResult explain = MustExecute(
+      "EXPLAIN SELECT l.v, r.w FROM lhs l JOIN rhs r ON l.k = r.k");
+  bool saw_shuffle_both = false;
+  for (const Tuple& line : explain.tuples) {
+    if (line.at(0).string_value().find("shuffle-both") != std::string::npos) {
+      saw_shuffle_both = true;
+    }
+  }
+  EXPECT_TRUE(saw_shuffle_both);
+
+  core::QueryResult result =
+      MustExecute("SELECT l.v, r.w FROM lhs l JOIN rhs r ON l.k = r.k");
+  // Keys 0..7 exist on both sides: lhs has 5 rows per key, rhs has 4.
+  ASSERT_EQ(result.tuples.size(), 8u * 5u * 4u);
+  // Both sides produced into channels.
+  EXPECT_GT(SumOverLabel("exchange.batches_sent", "fragment", "lhs", 4), 0u);
+  EXPECT_GT(SumOverLabel("exchange.batches_sent", "fragment", "rhs", 4), 0u);
 }
 
 }  // namespace

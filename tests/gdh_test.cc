@@ -629,16 +629,30 @@ TEST_F(ColocatedSplitTest, KeyJoinBecomesColocatedPart) {
   EXPECT_EQ(split->global->kind(), PlanKind::kScan);
 }
 
-TEST_F(ColocatedSplitTest, DisabledFlagFallsBackToGather) {
-  auto split = SplitPlanForFragments(KeyJoin(), dict_, false);
+TEST_F(ColocatedSplitTest, DisabledFlagsFallBackToGather) {
+  auto split = SplitPlanForFragments(KeyJoin(), dict_, false, false);
   ASSERT_TRUE(split.ok());
   EXPECT_EQ(split->colocated_joins, 0);
+  EXPECT_EQ(split->exchange_joins, 0);
   EXPECT_EQ(split->parts.size(), 2u);
   EXPECT_EQ(split->global->kind(), PlanKind::kJoin);
 }
 
-TEST_F(ColocatedSplitTest, NonKeyJoinStaysGlobal) {
-  // Join on salary (column 2), not the fragmentation key.
+TEST_F(ColocatedSplitTest, ColocationDisabledLowersToExchange) {
+  // With co-location off but exchanges on, the key join still avoids a
+  // coordinator gather: it becomes a streamed exchange part.
+  auto split = SplitPlanForFragments(KeyJoin(), dict_, false, true);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->colocated_joins, 0);
+  EXPECT_EQ(split->exchange_joins, 1);
+  ASSERT_EQ(split->parts.size(), 1u);
+  ASSERT_NE(split->parts[0].exchange, nullptr);
+}
+
+TEST_F(ColocatedSplitTest, NonKeyJoinLowersToExchange) {
+  // Join on salary (column 2), not the fragmentation key: neither side is
+  // fragmented on its join key, so co-location is impossible — but the
+  // exchange layer can still repartition both sides on salary.
   auto join = JoinPlan::Create(
       ScanPlan::Create("a", EmpSchema()), ScanPlan::Create("b", EmpSchema()),
       Expr::Binary(BinaryOp::kEq, Expr::ColumnIndex(2, DataType::kInt64),
@@ -647,6 +661,23 @@ TEST_F(ColocatedSplitTest, NonKeyJoinStaysGlobal) {
   auto split = SplitPlanForFragments(std::move(*join), dict_);
   ASSERT_TRUE(split.ok());
   EXPECT_EQ(split->colocated_joins, 0);
+  EXPECT_EQ(split->exchange_joins, 1);
+  ASSERT_EQ(split->parts.size(), 1u);
+  ASSERT_NE(split->parts[0].exchange, nullptr);
+}
+
+TEST_F(ColocatedSplitTest, NonKeyJoinStaysGlobalWithExchangesDisabled) {
+  auto join = JoinPlan::Create(
+      ScanPlan::Create("a", EmpSchema()), ScanPlan::Create("b", EmpSchema()),
+      Expr::Binary(BinaryOp::kEq, Expr::ColumnIndex(2, DataType::kInt64),
+                   Expr::ColumnIndex(5, DataType::kInt64)));
+  ASSERT_TRUE(join.ok());
+  auto split = SplitPlanForFragments(std::move(*join), dict_,
+                                     /*colocated_joins=*/true,
+                                     /*exchange_joins=*/false);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->colocated_joins, 0);
+  EXPECT_EQ(split->exchange_joins, 0);
   EXPECT_EQ(split->parts.size(), 2u);
 }
 

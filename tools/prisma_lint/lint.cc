@@ -253,6 +253,7 @@ void CheckNondeterminism(const PreparedFile& file,
 const char* const kObservableSurfaces[] = {
     "pool/runtime.h", "net/network.h",  "net/traffic.h",
     "obs/metrics.h",  "obs/trace.h",    "gdh/messages.h",
+    "exec/exchange.h", "gdh/exchange_process.h",
 };
 
 /// Collects names declared with an unordered container type, e.g.
