@@ -132,6 +132,8 @@ PrismaDb::PrismaDb(MachineConfig config) : config_(std::move(config)) {
   gdh_config.query_timeout_ns = config_.query_timeout_ns;
   gdh_config.exchange_batch_rows = config_.exchange_batch_rows;
   gdh_config.exchange_credit_window = config_.exchange_credit_window;
+  gdh_config.distributed_fixpoint = config_.distributed_fixpoint;
+  gdh_config.fixpoint_algorithm = config_.fixpoint_algorithm;
   if (faults) {
     // Under a faulty interconnect the stmt_done report and the
     // coordinator itself can be lost; the resend and supervision timers

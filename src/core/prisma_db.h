@@ -13,6 +13,7 @@
 #include "common/tuple.h"
 #include "exec/executor.h"
 #include "exec/ofm.h"
+#include "exec/transitive_closure.h"
 #include "gdh/gdh_process.h"
 #include "net/network.h"
 #include "net/topology.h"
@@ -66,6 +67,12 @@ struct MachineConfig {
   /// producer stalls on acks.
   uint64_t exchange_batch_rows = 64;
   uint64_t exchange_credit_window = 4;
+  /// Evaluate PRISMAlog linear recursion over a fragmented edge relation
+  /// as a distributed semi-naive fixpoint (DESIGN.md §11) instead of
+  /// gathering the edges to the coordinator. `fixpoint_algorithm` picks
+  /// the per-round join strategy of the partitions.
+  bool distributed_fixpoint = true;
+  exec::TcAlgorithm fixpoint_algorithm = exec::TcAlgorithm::kSeminaive;
   /// Deterministic fault injection (message drops/duplicates/jitter, link
   /// outages, PE crash/restart schedule). An inert (default) plan leaves
   /// the machine's behaviour and metrics byte-identical to a build without

@@ -203,6 +203,11 @@ StatusOr<std::vector<Tuple>> Executor::RunUncached(const Plan& plan) {
       // Repartitioning is a mail-layer affair (DESIGN.md §10); within one
       // local executor an Exchange moves nothing and is a pass-through.
       return RunCached(*plan.child());
+    case PlanKind::kFixpoint:
+      // Degenerate single-node form of the distributed fixpoint
+      // (DESIGN.md §11): with every partition local, the rounds collapse
+      // to the in-memory closure operator.
+      return RunTransitiveClosure(plan);
   }
   return InternalError("corrupt plan kind");
 }

@@ -152,9 +152,18 @@ StatusOr<std::vector<Tuple>> TransitiveClosure(const std::vector<Tuple>& edges,
       return InvalidArgumentError(
           "transitive closure input must be a binary relation");
     }
-    if (t.at(0).is_null() || t.at(1).is_null()) continue;
+    if (t.at(0).is_null() || t.at(1).is_null()) {
+      ++s.null_edges_ignored;
+      continue;
+    }
     e.push_back({domain.Intern(t.at(0)), domain.Intern(t.at(1))});
   }
+  // Deduplicate so stats are a function of the distinct edge set. Smart
+  // rebuilds its adjacency from the (set-valued) closure each round and
+  // so never saw duplicates; naive/seminaive joined against the raw edge
+  // list and silently inflated pairs_derived per duplicate.
+  std::sort(e.begin(), e.end());
+  e.erase(std::unique(e.begin(), e.end()), e.end());
 
   Adjacency succ(domain.nodes.size());
   for (const auto& [a, b] : e) succ[a].push_back(b);

@@ -26,12 +26,20 @@ enum class TcAlgorithm {
 const char* TcAlgorithmName(TcAlgorithm algorithm);
 
 /// Work statistics of one transitive-closure evaluation.
+///
+/// Stats are a function of the *distinct, non-NULL* edge set: duplicate
+/// input edges and NULL-endpoint tuples are removed before the fixpoint
+/// runs, so all three algorithms report identical stats for inputs that
+/// differ only in duplicates or NULLs (the NULLs are accounted
+/// separately in `null_edges_ignored`).
 struct TcStats {
   uint64_t iterations = 0;
   /// Pairs produced by joins before duplicate elimination — the dominant
   /// cost term; naive re-derives massively, seminaive does not.
   uint64_t pairs_derived = 0;
   uint64_t result_size = 0;
+  /// Input tuples dropped because an endpoint was NULL (cannot join).
+  uint64_t null_edges_ignored = 0;
 };
 
 /// Computes the (irreflexive) transitive closure of the binary relation

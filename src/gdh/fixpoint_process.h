@@ -1,0 +1,164 @@
+#ifndef PRISMA_GDH_FIXPOINT_PROCESS_H_
+#define PRISMA_GDH_FIXPOINT_PROCESS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "exec/exchange.h"
+#include "exec/fixpoint.h"
+#include "exec/ofm.h"
+#include "gdh/messages.h"
+#include "obs/metrics.h"
+#include "pool/owned.h"
+#include "pool/runtime.h"
+
+namespace prisma::gdh {
+
+/// One partition of a distributed transitive-closure fixpoint
+/// (DESIGN.md §11): a short-lived POOL-X process spawned by the query
+/// coordinator on the PE of one edge fragment. It ingests its slice of
+/// the hash-partitioned edge relation from the OFM shuffle producers,
+/// then alternates coordinator-driven join rounds with all-to-all delta
+/// shuffles over the streaming exchange channels until every partition's
+/// delta is empty, and finally ships its owned closure slice back as an
+/// ExecPlanReply.
+///
+/// The known set additionally lives in a recovery-free kQueryOnly
+/// exec::Ofm (§2.5: "OFMs needed for query processing only do not
+/// require extensive crash recovery facilities") — intermediate fixpoint
+/// state is rebuilt by re-running the query, never recovered.
+///
+/// Fault tolerance composes from the exchange layer's guarantees plus
+/// idempotent control handling: inbound delta batches are seq-
+/// deduplicated per round-scoped channel, outbound streams retransmit
+/// under the producer backoff discipline, duplicated round directives
+/// are dropped by the round counter, votes are retransmitted on a timer
+/// until the coordinator advances, and the final reply retransmits until
+/// the coordinator kills this process at statement completion.
+class FixpointPeProcess : public pool::Process {
+ public:
+  struct Config {
+    /// Exchange id shared by every channel of this fixpoint (edge
+    /// shuffle and inter-PE rounds alike).
+    uint64_t fixpoint_id = 0;
+    size_t index = 0;    // This partition's index.
+    size_t num_pes = 1;  // Total fixpoint partitions.
+    exec::TcAlgorithm algorithm = exec::TcAlgorithm::kSeminaive;
+    /// Edge-relation producers (one shuffle channel per edge fragment).
+    size_t edge_producers = 0;
+    Schema edge_schema;
+    pool::ProcessId coordinator = pool::kNoProcess;
+    /// The coordinator registered this id for our ExecPlanReply.
+    uint64_t reply_request_id = 0;
+    uint64_t batch_rows = 64;
+    uint64_t credit_window = 4;
+    /// Outbound-stream retransmission discipline (mirrors the OFM
+    /// producer's knobs).
+    sim::SimTime batch_retry_ns = 250'000'000;
+    sim::SimTime batch_backoff_cap_ns = 2'000'000'000;
+    int batch_attempts = 10;
+    /// Vote/reply retransmission period; 0 disables (fault-free runs).
+    sim::SimTime vote_resend_ns = 0;
+    sim::SimTime reply_resend_ns = 0;
+    /// Budget that stops an orphaned process (dead coordinator) from
+    /// ticking forever.
+    int resend_attempts = 240;
+    pool::CostModel costs;
+    obs::MetricsRegistry* metrics = nullptr;
+  };
+
+  explicit FixpointPeProcess(Config config);
+
+  void OnStart() override;
+  void OnMail(const pool::Mail& mail) override;
+
+  std::string debug_name() const override {
+    return "fixpoint:" + std::to_string(config_.index);
+  }
+
+ private:
+  /// One outbound round stream to one peer, keyed by its token so acks
+  /// and resend timers for superseded or finished streams fall through.
+  struct OutStream {
+    exec::OutboundChannel channel;
+    pool::ProcessId peer = pool::kNoProcess;
+    int side = 0;
+    uint64_t round = 0;
+    int attempts = 0;
+    sim::SimTime retry_delay = 0;
+  };
+
+  /// Channel side for round `round`'s owner (copy 0) or smart-index
+  /// (copy 1) streams; side 0 is reserved for the edge shuffle.
+  static int SideFor(uint64_t round, int copy) {
+    return 1 + static_cast<int>(round) * 2 + copy;
+  }
+
+  void HandleStart(const pool::Mail& mail);
+  void HandleRound(const pool::Mail& mail);
+  void HandleBatch(const pool::Mail& mail);
+  void HandleAck(const pool::Mail& mail);
+  void HandleBatchResend(const pool::Mail& mail);
+  void HandleHarvest();
+
+  /// Drains whatever became ready (edge channels, current-round delta
+  /// channels), seeds once the edge relation is complete, and votes once
+  /// the current round is fully absorbed and fully first-transmitted.
+  void Advance();
+  void DrainEdges();
+  void DrainRounds();
+  void Seed();
+  void SendRoundStreams(uint64_t round, exec::RoutedPairs owner,
+                        exec::RoutedPairs index);
+  void PumpOut(uint64_t token, OutStream& out);
+  void SendBatchMsg(uint64_t token, OutStream& out,
+                    const exec::TupleBatch& batch, bool first);
+  bool InboundComplete(uint64_t round);
+  bool OutboundSentComplete(uint64_t round) const;
+  void MaybeVote();
+  void SendReply(Status status);
+  void Fail(Status status);
+
+  Config config_;
+  // Process-local state below is wrapped in the ownership checker.
+  pool::OwnedPtr<exec::FixpointPartition> kernel_;
+  /// Recovery-free intermediate-result store mirroring the owned set.
+  pool::OwnedPtr<exec::Ofm> known_ofm_;
+  pool::Owned<std::vector<pool::ProcessId>> peers_;
+  pool::Owned<std::vector<exec::InboundChannel>> edge_channels_;
+  /// Inter-PE round channels keyed by side, one channel per peer.
+  pool::Owned<std::map<int, std::vector<exec::InboundChannel>>> inbound_;
+  pool::Owned<std::map<uint64_t, OutStream>> outbound_;
+  /// First-transmission bits per round (retransmissions excluded), the
+  /// shipping-cost axis reported on each vote.
+  pool::Owned<std::map<uint64_t, uint64_t>> wire_bits_by_round_;
+  pool::Owned<std::shared_ptr<FixpointVoteMsg>> last_vote_;
+  pool::Owned<std::shared_ptr<ExecPlanReply>> reply_;
+
+  bool started_ = false;
+  bool edges_done_ = false;
+  bool seeded_ = false;
+  bool replied_ = false;
+  bool failed_ = false;
+  uint64_t current_round_ = 0;  // Valid once seeded_ (round 0 = seed).
+  int64_t voted_round_ = -1;
+  uint64_t absorbed_new_current_ = 0;  // New owned pairs this round.
+  uint64_t round_products_ = 0;        // Join products this round.
+  uint64_t next_token_ = 1;
+  bool vote_timer_armed_ = false;
+  int vote_resends_left_ = 0;
+  int reply_resends_left_ = 0;
+
+  obs::Counter* m_batches_received_ = nullptr;
+  obs::Counter* m_batches_sent_ = nullptr;
+  obs::Counter* m_dup_batches_ = nullptr;     // Lazy: fault paths only.
+  obs::Counter* m_retransmits_ = nullptr;     // Lazy: fault paths only.
+};
+
+}  // namespace prisma::gdh
+
+#endif  // PRISMA_GDH_FIXPOINT_PROCESS_H_

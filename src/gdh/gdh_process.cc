@@ -871,6 +871,8 @@ void GdhProcess::SpawnCoordinator(const std::shared_ptr<ClientStatement>& stmt,
   config.registry = config_.registry;
   config.exchange_batch_rows = config_.exchange_batch_rows;
   config.exchange_credit_window = config_.exchange_credit_window;
+  config.distributed_fixpoint = config_.distributed_fixpoint;
+  config.tc_algorithm = config_.fixpoint_algorithm;
   config.metrics = config_.metrics;
   config.tracer = config_.tracer;
   const net::NodeId pe = config_.coordinator_pes[coordinator_cursor_++ %

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "exec/transitive_closure.h"
 #include "gdh/data_dictionary.h"
 #include "gdh/lock_manager.h"
 #include "gdh/messages.h"
@@ -75,6 +76,10 @@ class GdhProcess : public pool::Process {
     /// max tuples per batch and batches in flight per channel.
     uint64_t exchange_batch_rows = 64;
     uint64_t exchange_credit_window = 4;
+    /// Route PRISMAlog linear recursion over fragmented relations to the
+    /// distributed fixpoint (DESIGN.md §11), with this join strategy.
+    bool distributed_fixpoint = true;
+    exec::TcAlgorithm fixpoint_algorithm = exec::TcAlgorithm::kSeminaive;
     /// First retransmission delay of an unanswered OFM request; doubles
     /// per attempt up to rpc_backoff_cap_ns.
     sim::SimTime rpc_timeout_ns = 10 * sim::kNanosPerSecond;

@@ -58,6 +58,20 @@ inline constexpr char kMailTupleBatch[] = "tuple_batch";
 inline constexpr char kMailBatchAck[] = "batch_ack";
 inline constexpr char kMailBatchResend[] = "batch_resend";
 inline constexpr char kMailExchangeReplyResend[] = "exchange_reply_resend";
+// Distributed fixpoint (DESIGN.md §11). The coordinator starts one
+// fixpoint PE process per edge fragment, then drives lock-step join
+// rounds: round directives fan out, per-PE "delta empty" votes flow
+// back, and a harvest directive collects the partitioned closure. Delta
+// shuffles between fixpoint PEs reuse kMailTupleBatch/kMailBatchAck with
+// round-scoped channel ids. The trailing kinds are self-mail timers:
+// per-round-stream batch retransmission, vote retransmission, and the
+// coordinator's control-plane rebroadcast (fault configurations only).
+inline constexpr char kMailFixpointStart[] = "fixpoint_start";
+inline constexpr char kMailFixpointRound[] = "fixpoint_round";
+inline constexpr char kMailFixpointVote[] = "fixpoint_vote";
+inline constexpr char kMailFixpointBatchResend[] = "fixpoint_batch_resend";
+inline constexpr char kMailFixpointVoteResend[] = "fixpoint_vote_resend";
+inline constexpr char kMailFixpointCtrlResend[] = "fixpoint_ctrl_resend";
 
 /// Serialized-size model: tuples count their byte size, plans a fixed
 /// budget per node, expressions per tree node.
@@ -209,6 +223,38 @@ struct BatchAckMsg {
   size_t consumer = 0;  // Consumer index within the exchange.
   uint64_t ack = 0;
   uint64_t credit = 0;
+};
+
+/// Coordinator -> fixpoint PE: peer roster for one distributed fixpoint.
+/// Sent once after all PEs are spawned (pids are unknown until then) and
+/// rebroadcast by the control-plane timer under faults; idempotent.
+struct FixpointStartMsg {
+  uint64_t fixpoint_id = 0;
+  std::vector<pool::ProcessId> peers;  // All fixpoint PEs, by index.
+};
+
+/// Coordinator -> fixpoint PE: run join round `round` (1-based), or — with
+/// `harvest` set — ship the owned closure slice back as an ExecPlanReply.
+/// PEs deduplicate by round counter / replied flag, so retransmitted or
+/// duplicated directives are harmless.
+struct FixpointRoundMsg {
+  uint64_t fixpoint_id = 0;
+  uint64_t round = 0;
+  bool harvest = false;
+};
+
+/// Fixpoint PE -> coordinator: "I sent my round-`round` delta streams and
+/// absorbed all inbound round-`round` streams". The coordinator's barrier
+/// admits each (round, pe) vote once; duplicates from retransmission are
+/// dropped, so the aggregated stats stay exact.
+struct FixpointVoteMsg {
+  uint64_t fixpoint_id = 0;
+  uint64_t round = 0;
+  size_t pe = 0;            // Voter's partition index.
+  bool delta_empty = false; // No new owned pairs absorbed this round.
+  uint64_t absorbed_new = 0;   // New owned pairs deduplicated in.
+  uint64_t pairs_derived = 0;  // Join products of this round's JoinRound.
+  uint64_t wire_bits = 0;      // First-transmission bits of round streams.
 };
 
 /// GDH -> OFM two-phase-commit control; OFM replies with the same id.

@@ -1,11 +1,14 @@
 #include "gdh/query_process.h"
 
 #include <algorithm>
+#include <cctype>
 #include <set>
+#include <string_view>
 #include <utility>
 
 #include "common/logging.h"
 #include "gdh/exchange_process.h"
+#include "gdh/fixpoint_process.h"
 #include "prismalog/engine.h"
 #include "prismalog/parser.h"
 #include "sql/binder.h"
@@ -540,7 +543,9 @@ void QueryProcess::FinishGather() {
       (*gathered_)[i] = (*gathered_)[duplicate_of_[i]];
     }
   }
-  if (is_prismalog_phase_) {
+  if (is_fixpoint_) {
+    RunFixpointPhase();
+  } else if (is_prismalog_phase_) {
     RunPrismalogPhase();
   } else {
     RunGlobalPhase();
@@ -705,9 +710,67 @@ void QueryProcess::ReplyAnalyze(const obs::OperatorProfile& global) {
 
 void QueryProcess::StartPrismalog() {
   ChargeCpu(config_.costs.optimize_ns);
-  auto program = prismalog::ParsePrismalog(config_.statement->text);
+  // A leading EXPLAIN keyword asks for the evaluation strategy instead of
+  // the answers (mirroring the SQL front end).
+  plog_text_ = config_.statement->text;
+  {
+    size_t i = 0;
+    while (i < plog_text_.size() &&
+           isspace(static_cast<unsigned char>(plog_text_[i]))) {
+      ++i;
+    }
+    constexpr std::string_view kExplain = "explain";
+    if (plog_text_.size() > i + kExplain.size() &&
+        EqualsIgnoreCase(plog_text_.substr(i, kExplain.size()), kExplain) &&
+        isspace(static_cast<unsigned char>(plog_text_[i + kExplain.size()]))) {
+      explain_ = true;
+      plog_text_ = plog_text_.substr(i + kExplain.size());
+    }
+  }
+  auto program = prismalog::ParsePrismalog(plog_text_);
   if (!program.ok()) {
     Reply(program.status(), Schema(), nullptr);
+    return;
+  }
+
+  // Linear-recursion programs whose goal is the full closure of one
+  // fragmented, dictionary-resident edge relation run as a distributed
+  // semi-naive fixpoint (DESIGN.md §11) instead of gathering the edges
+  // here: the recursion executes where the data lives.
+  if (config_.distributed_fixpoint && program->query.has_value()) {
+    auto tc = prismalog::DetectLinearTc(*program);
+    if (tc.has_value() && program->query->predicate == tc->closure_pred &&
+        program->query->args.size() == 2 &&
+        config_.dictionary->HasTable(tc->edge_pred) &&
+        !config_.dictionary->HasTable(tc->closure_pred)) {
+      auto info = config_.dictionary->GetTable(tc->edge_pred);
+      if (info.ok() && (*info)->schema.columns().size() == 2) {
+        is_fixpoint_ = true;
+        fx_edge_table_ = tc->edge_pred;
+        fx_num_pes_ = (*info)->fragments.size();
+        if (explain_) {
+          ReplyFixpointExplain();
+          return;
+        }
+        std::set<std::string> resources;
+        for (const FragmentInfo& frag : (*info)->fragments) {
+          resources.insert(frag.name);
+        }
+        RequestLocks({resources.begin(), resources.end()});
+        return;
+      }
+    }
+  }
+  if (explain_) {
+    // Non-recursive (or non-fixpoint) programs: the stratified engine at
+    // the coordinator is the only strategy; say so.
+    auto lines = std::make_shared<std::vector<Tuple>>();
+    lines->push_back(Tuple({Value::String(
+        "prismalog: stratified semi-naive evaluation at the coordinator "
+        "(no distributed fixpoint pattern detected)")}));
+    Schema schema;
+    schema.AddColumn("plan", DataType::kString);
+    Reply(Status::OK(), std::move(schema), std::move(lines));
     return;
   }
   // Base tables = every predicate present in the dictionary.
@@ -768,8 +831,9 @@ void QueryProcess::RunPrismalogPhase() {
   prismalog::EngineOptions options;
   options.costs = config_.costs;
   options.charge = [this](sim::SimTime ns) { ChargeCpu(ns); };
+  options.tc_algorithm = config_.tc_algorithm;
   prismalog::Engine engine(&resolver, config_.dictionary, options);
-  auto program = prismalog::ParsePrismalog(config_.statement->text);
+  auto program = prismalog::ParsePrismalog(plog_text_);
   PRISMA_CHECK(program.ok());
   auto result = engine.Run(*program);
   if (!result.ok()) {
@@ -778,6 +842,219 @@ void QueryProcess::RunPrismalogPhase() {
   }
   Reply(Status::OK(), result->schema,
         std::make_shared<std::vector<Tuple>>(std::move(result->tuples)));
+}
+
+// ---------------------------------------------------- Distributed fixpoint
+
+void QueryProcess::ScatterFixpoint() {
+  auto info_or = config_.dictionary->GetTable(fx_edge_table_);
+  PRISMA_CHECK(info_or.ok());
+  const TableInfo& table = **info_or;
+  fx_num_pes_ = table.fragments.size();
+  gathered_->assign(1, {});
+  duplicate_of_.assign(1, SIZE_MAX);
+  part_profiles_.assign(1, std::nullopt);
+  work_->clear();
+  if (fx_num_pes_ == 0) {
+    // Nothing to recurse over; answer from an empty extension.
+    RunFixpointPhase();
+    return;
+  }
+  // The low request-id bits distinguish exchange parts; a fixpoint query
+  // has exactly one "part", so the id space cannot collide.
+  fixpoint_id_ = config_.statement->request_id << 16;
+
+  // One fixpoint partition per edge fragment, co-located with it: its
+  // slice of E (hash-partitioned on the first column) stays local, and
+  // so does the delta ⋈ E join (pairs are owned by their second
+  // endpoint's hash).
+  std::vector<pool::ProcessId> pids;
+  pids.reserve(fx_num_pes_);
+  for (size_t i = 0; i < fx_num_pes_; ++i) {
+    FixpointPeProcess::Config fc;
+    fc.fixpoint_id = fixpoint_id_;
+    fc.index = i;
+    fc.num_pes = fx_num_pes_;
+    fc.algorithm = config_.tc_algorithm;
+    fc.edge_producers = fx_num_pes_;
+    fc.edge_schema = table.schema;
+    fc.coordinator = self();
+    fc.reply_request_id = next_request_id_++;
+    fc.batch_rows = config_.exchange_batch_rows;
+    fc.credit_window = config_.exchange_credit_window;
+    fc.vote_resend_ns = config_.stmt_done_resend_ns;
+    fc.reply_resend_ns = config_.stmt_done_resend_ns;
+    fc.costs = config_.costs;
+    fc.metrics = config_.metrics;
+    request_part_[fc.reply_request_id] = 0;
+    const pool::ProcessId pid = runtime()->Spawn(
+        table.fragments[i].pe,
+        std::make_unique<FixpointPeProcess>(std::move(fc)));
+    consumer_pids_.push_back(pid);  // Reaped in Reply(), like consumers.
+    pids.push_back(pid);
+  }
+  fx_pids_ = pids;
+  fx_round_ = 0;
+  fx_votes_.clear();
+  fx_any_new_ = false;
+  fx_start_msg_ = std::make_shared<FixpointStartMsg>();
+  fx_start_msg_->fixpoint_id = fixpoint_id_;
+  fx_start_msg_->peers = pids;
+  for (const pool::ProcessId pid : pids) {
+    SendMail(pid, kMailFixpointStart, fx_start_msg_, kControlBits);
+  }
+
+  // Edge shuffle (side 0): every fragment OFM streams its slice to every
+  // partition through the ordinary shuffle-producer path, hardened-RPC
+  // and all.
+  std::shared_ptr<const algebra::Plan> scan =
+      algebra::ScanPlan::Create(fx_edge_table_, table.schema);
+  for (size_t f = 0; f < fx_num_pes_; ++f) {
+    const FragmentInfo& frag = table.fragments[f];
+    auto request = std::make_shared<ShufflePlanRequest>();
+    request->request_id = next_request_id_++;
+    request->exchange_id = fixpoint_id_;
+    request->side = 0;
+    request->producer = f;
+    request->plan = std::shared_ptr<const algebra::Plan>(
+        CloneWithScanRenamed(*scan, fx_edge_table_, frag.name));
+    request->mode = ShufflePlanRequest::Mode::kHash;
+    request->partition_column = 0;
+    request->consumers = pids;
+    request->batch_rows = config_.exchange_batch_rows;
+    request->credit_window = config_.exchange_credit_window;
+    work_->push_back(FragmentWork{frag.ofm, request->plan, 0, fx_edge_table_,
+                                  frag.name, request});
+  }
+  next_work_ = 0;
+  outstanding_ = 0;
+  completed_ = 0;
+  // The gather waits for every shuffle producer plus every partition's
+  // harvest reply.
+  expected_replies_ = work_->size() + fx_num_pes_;
+  if (config_.rules.parallel_fragments) {
+    while (next_work_ < work_->size()) SendNextFragmentPlan();
+  } else {
+    SendNextFragmentPlan();
+  }
+  if (config_.stmt_done_resend_ns > 0) {
+    // Faulty interconnect: start/round/harvest directives can be lost,
+    // so rebroadcast the current ones until the query finishes (every
+    // handler at the PEs is idempotent).
+    SendSelfAfter(config_.stmt_done_resend_ns, kMailFixpointCtrlResend);
+  }
+}
+
+void QueryProcess::HandleFixpointVote(const pool::Mail& mail) {
+  if (finished_ || !is_fixpoint_) return;
+  auto msg = std::any_cast<std::shared_ptr<FixpointVoteMsg>>(mail.body);
+  if (msg->fixpoint_id != fixpoint_id_) return;
+  if (msg->round != fx_round_) return;  // Late vote of a finished round.
+  if (msg->pe >= fx_num_pes_) return;
+  if (!fx_votes_.insert(msg->pe).second) return;  // Retransmitted vote.
+  if (msg->absorbed_new > 0) fx_any_new_ = true;
+  fx_delta_total_ += msg->absorbed_new;
+  fx_pairs_total_ += msg->pairs_derived;
+  fx_wire_total_ += msg->wire_bits;
+  if (config_.metrics != nullptr) {
+    const obs::Labels q = {
+        {"query", std::to_string(config_.statement->request_id)}};
+    config_.metrics->GetCounter("fixpoint.delta_tuples", q)
+        ->Increment(msg->absorbed_new);
+    config_.metrics->GetCounter("fixpoint.wire_bits", q)
+        ->Increment(msg->wire_bits);
+  }
+  if (fx_votes_.size() < fx_num_pes_) return;
+
+  // Termination barrier: every partition finished round fx_round_. If any
+  // of them absorbed a new pair the global delta is non-empty — run
+  // another round; otherwise the fixpoint is reached — harvest.
+  fx_votes_.clear();
+  const bool advance = fx_any_new_;
+  fx_any_new_ = false;
+  fx_round_msg_ = std::make_shared<FixpointRoundMsg>();
+  fx_round_msg_->fixpoint_id = fixpoint_id_;
+  if (advance) {
+    ++fx_round_;
+    fx_round_msg_->round = fx_round_;
+  } else {
+    fx_round_msg_->harvest = true;
+    if (config_.metrics != nullptr) {
+      const obs::Labels q = {
+          {"query", std::to_string(config_.statement->request_id)}};
+      config_.metrics->GetGauge("fixpoint.rounds", q)->Set(fx_round_);
+      // Unlabeled "last query" figures for benches and tests.
+      config_.metrics->GetGauge("fixpoint.last_rounds")->Set(fx_round_);
+      config_.metrics->GetGauge("fixpoint.last_delta_tuples")
+          ->Set(fx_delta_total_);
+      config_.metrics->GetGauge("fixpoint.last_pairs_derived")
+          ->Set(fx_pairs_total_);
+      config_.metrics->GetGauge("fixpoint.last_wire_bits")
+          ->Set(fx_wire_total_);
+    }
+  }
+  for (const pool::ProcessId pid : fx_pids_) {
+    SendMail(pid, kMailFixpointRound, fx_round_msg_, kControlBits);
+  }
+}
+
+void QueryProcess::BroadcastFixpointCtrl() {
+  if (finished_ || !is_fixpoint_ || config_.stmt_done_resend_ns <= 0) return;
+  for (const pool::ProcessId pid : fx_pids_) {
+    if (fx_start_msg_ != nullptr) {
+      SendMail(pid, kMailFixpointStart, fx_start_msg_, kControlBits);
+    }
+    if (fx_round_msg_ != nullptr) {
+      SendMail(pid, kMailFixpointRound, fx_round_msg_, kControlBits);
+    }
+  }
+  SendSelfAfter(config_.stmt_done_resend_ns, kMailFixpointCtrlResend);
+}
+
+void QueryProcess::RunFixpointPhase() {
+  // Partitions own disjoint slices, each already in Tuple order; merging
+  // and sorting reproduces the single-node operator's output exactly.
+  std::vector<Tuple> merged = std::move((*gathered_)[0]);
+  std::sort(merged.begin(), merged.end());
+  ChargeCpu(static_cast<sim::SimTime>(merged.size()) *
+            config_.costs.compare_ns);
+  auto program = prismalog::ParsePrismalog(plog_text_);
+  PRISMA_CHECK(program.ok() && program->query.has_value());
+  prismalog::QueryResult result =
+      prismalog::AnswerGoal(*program->query, merged);
+  Reply(Status::OK(), std::move(result.schema),
+        std::make_shared<std::vector<Tuple>>(std::move(result.tuples)));
+}
+
+void QueryProcess::ReplyFixpointExplain() {
+  auto info_or = config_.dictionary->GetTable(fx_edge_table_);
+  PRISMA_CHECK(info_or.ok());
+  const TableInfo& table = **info_or;
+  auto lines = std::make_shared<std::vector<Tuple>>();
+  auto emit = [&](const std::string& text) {
+    lines->push_back(Tuple({Value::String(text)}));
+  };
+  emit(StrFormat("prismalog: linear recursion over %s detected, evaluated "
+                 "as a distributed fixpoint",
+                 fx_edge_table_.c_str()));
+  std::unique_ptr<algebra::Plan> scan =
+      algebra::ScanPlan::Create(fx_edge_table_, table.schema);
+  auto plan = algebra::FixpointPlan::Create(
+      std::move(scan), TcAlgorithmName(config_.tc_algorithm),
+      std::max<size_t>(table.fragments.size(), 1));
+  PRISMA_CHECK(plan.ok());
+  for (const std::string& line : Split((*plan)->ToString(), '\n')) {
+    if (!line.empty()) emit("  " + line);
+  }
+  emit(StrFormat("  edge relation: %zu fragment(s), shuffled by "
+                 "hash(column 0); pairs owned by hash(second endpoint); "
+                 "per-round all-to-all delta streams over exchange "
+                 "channels; coordinator barrier ends when all deltas are "
+                 "empty",
+                 table.fragments.size()));
+  Schema schema;
+  schema.AddColumn("plan", DataType::kString);
+  Reply(Status::OK(), std::move(schema), std::move(lines));
 }
 
 // ------------------------------------------------------------------ Mail
@@ -790,9 +1067,17 @@ void QueryProcess::OnMail(const pool::Mail& mail) {
       Reply(reply->status, Schema(), nullptr);
       return;
     }
-    Scatter();
+    if (is_fixpoint_) {
+      ScatterFixpoint();
+    } else {
+      Scatter();
+    }
   } else if (mail.kind == kMailExecPlanReply) {
     HandlePlanReply(mail);
+  } else if (mail.kind == kMailFixpointVote) {
+    HandleFixpointVote(mail);
+  } else if (mail.kind == kMailFixpointCtrlResend) {
+    BroadcastFixpointCtrl();
   } else if (mail.kind == kMailRpcTimeout) {
     HandleRpcTimeout(mail);
   } else if (mail.kind == kMailStmtDoneResend) {

@@ -5,10 +5,12 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "exec/executor.h"
+#include "exec/transitive_closure.h"
 #include "gdh/data_dictionary.h"
 #include "gdh/distributed_plan.h"
 #include "gdh/messages.h"
@@ -63,6 +65,12 @@ class QueryProcess : public pool::Process {
     /// flight per channel (DESIGN.md §10).
     uint64_t exchange_batch_rows = 64;
     uint64_t exchange_credit_window = 4;
+    /// Route PRISMAlog linear-recursion programs over a fragmented edge
+    /// relation to the distributed fixpoint (DESIGN.md §11) instead of
+    /// gathering the base table to the coordinator.
+    bool distributed_fixpoint = true;
+    /// Join strategy for the distributed fixpoint partitions.
+    exec::TcAlgorithm tc_algorithm = exec::TcAlgorithm::kSeminaive;
     /// Observability sinks (may be null). Per-query scoped metrics are
     /// recorded under the {query=<request_id>} label.
     obs::MetricsRegistry* metrics = nullptr;
@@ -109,6 +117,12 @@ class QueryProcess : public pool::Process {
   void FinishGather();
   void RunGlobalPhase();
   void RunPrismalogPhase();
+  // Distributed fixpoint (DESIGN.md §11).
+  void ScatterFixpoint();
+  void HandleFixpointVote(const pool::Mail& mail);
+  void BroadcastFixpointCtrl();
+  void RunFixpointPhase();
+  void ReplyFixpointExplain();
   void Reply(Status status, Schema schema,
              std::shared_ptr<std::vector<Tuple>> tuples);
 
@@ -184,6 +198,28 @@ class QueryProcess : public pool::Process {
   // PRISMAlog state: gathered base tables by name.
   std::vector<std::string> plog_tables_;
   std::map<std::string, size_t> plog_part_of_table_;
+  /// Program text with any leading EXPLAIN keyword stripped (what the
+  /// parser actually sees, re-parsed at reply time).
+  std::string plog_text_;
+
+  // Distributed fixpoint state (the coordinator's termination barrier).
+  bool is_fixpoint_ = false;
+  std::string fx_edge_table_;
+  uint64_t fixpoint_id_ = 0;
+  size_t fx_num_pes_ = 0;
+  std::vector<pool::ProcessId> fx_pids_;
+  /// Round the barrier is collecting votes for (0 = seed round).
+  uint64_t fx_round_ = 0;
+  /// PEs whose round-`fx_round_` vote was admitted (dedups retransmits).
+  std::set<size_t> fx_votes_;
+  bool fx_any_new_ = false;  // Any vote this round absorbed new pairs.
+  uint64_t fx_delta_total_ = 0;
+  uint64_t fx_pairs_total_ = 0;
+  uint64_t fx_wire_total_ = 0;
+  /// Rebroadcast on the ctrl-resend timer when the interconnect can drop
+  /// control mail (both handlers are idempotent at the PEs).
+  std::shared_ptr<FixpointStartMsg> fx_start_msg_;
+  std::shared_ptr<FixpointRoundMsg> fx_round_msg_;
 };
 
 }  // namespace prisma::gdh

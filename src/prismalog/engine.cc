@@ -692,7 +692,95 @@ StatusOr<QueryResult> Engine::Run(const Program& program) {
 
   const Atom& goal = *program.query;
   ASSIGN_OR_RETURN(std::vector<Tuple> extension, ExtensionOf(goal.predicate));
+  return AnswerGoal(goal, extension);
+}
 
+StatusOr<std::vector<Tuple>> Engine::EvaluatePredicate(
+    const Program& program, const std::string& predicate) {
+  RETURN_IF_ERROR(Analyze(program));
+  for (const auto& stratum : strata_) {
+    RETURN_IF_ERROR(EvaluateStratum(stratum));
+  }
+  return ExtensionOf(predicate);
+}
+
+// ------------------------------------------------------- Shared helpers
+
+namespace {
+
+/// The two distinct variables of a binary all-variable atom, or nullopt.
+std::optional<std::pair<std::string, std::string>> VarsOf(const Atom& a) {
+  if (a.args.size() != 2 || !a.args[0].is_variable() ||
+      !a.args[1].is_variable() ||
+      a.args[0].variable == a.args[1].variable) {
+    return std::nullopt;
+  }
+  return std::make_pair(a.args[0].variable, a.args[1].variable);
+}
+
+/// `rule` as a plain positive-conjunction body, or nullopt if it uses
+/// negation or comparisons (which disqualify the TC pattern).
+std::optional<std::vector<const Atom*>> PositiveBody(const Rule& rule) {
+  std::vector<const Atom*> atoms;
+  for (const BodyElem& elem : rule.body) {
+    if (elem.kind != BodyElem::Kind::kAtom || elem.negated) {
+      return std::nullopt;
+    }
+    atoms.push_back(&elem.atom);
+  }
+  return atoms;
+}
+
+}  // namespace
+
+std::optional<LinearTcPattern> DetectLinearTc(const Program& program) {
+  // Exactly the two-rule shape: any extra rule or in-program fact could
+  // change p's extension, so the conservative match refuses it.
+  if (program.rules.size() != 2) return std::nullopt;
+
+  const Rule* base = nullptr;
+  const Rule* step = nullptr;
+  for (const Rule& rule : program.rules) {
+    if (rule.IsFact()) return std::nullopt;
+    auto body = PositiveBody(rule);
+    if (!body) return std::nullopt;
+    if (body->size() == 1 && base == nullptr) {
+      base = &rule;
+    } else if (body->size() == 2 && step == nullptr) {
+      step = &rule;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (base == nullptr || step == nullptr) return std::nullopt;
+  if (base->head.predicate != step->head.predicate) return std::nullopt;
+  const std::string& p = base->head.predicate;
+
+  // Base rule: p(X, Y) :- e(X, Y), e distinct from p.
+  const Atom& base_body = base->body[0].atom;
+  if (base_body.predicate == p) return std::nullopt;
+  auto hb = VarsOf(base->head);
+  auto bb = VarsOf(base_body);
+  if (!hb || !bb || *hb != *bb) return std::nullopt;
+  const std::string& e = base_body.predicate;
+
+  // Step rule: p(X, Z) :- e(X, Y), p(Y, Z)  or  p(X, Y), e(Y, Z).
+  const Atom& s0 = step->body[0].atom;
+  const Atom& s1 = step->body[1].atom;
+  auto hs = VarsOf(step->head);
+  auto v0 = VarsOf(s0);
+  auto v1 = VarsOf(s1);
+  if (!hs || !v0 || !v1) return std::nullopt;
+  const bool chained = v0->second == v1->first && hs->first == v0->first &&
+                       hs->second == v1->second;
+  const bool left_form = s0.predicate == e && s1.predicate == p && chained;
+  const bool right_form = s0.predicate == p && s1.predicate == e && chained;
+  if (!left_form && !right_form) return std::nullopt;
+
+  return LinearTcPattern{p, e};
+}
+
+QueryResult AnswerGoal(const Atom& goal, const std::vector<Tuple>& extension) {
   // Filter by constant/repeated-variable arguments, project variables.
   std::vector<std::string> var_names;
   std::map<std::string, size_t> first_pos;
@@ -736,15 +824,6 @@ StatusOr<QueryResult> Engine::Run(const Program& program) {
   }
   result.tuples.assign(distinct.begin(), distinct.end());
   return result;
-}
-
-StatusOr<std::vector<Tuple>> Engine::EvaluatePredicate(
-    const Program& program, const std::string& predicate) {
-  RETURN_IF_ERROR(Analyze(program));
-  for (const auto& stratum : strata_) {
-    RETURN_IF_ERROR(EvaluateStratum(stratum));
-  }
-  return ExtensionOf(predicate);
 }
 
 }  // namespace prisma::prismalog

@@ -5,6 +5,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,28 @@ struct QueryResult {
   Schema schema;
   std::vector<Tuple> tuples;  // Distinct, sorted.
 };
+
+/// The classic linear-recursion pair: p is exactly the transitive closure
+/// of the base relation e. Detected on the AST so callers that never run
+/// the engine (the distributed fixpoint route in gdh::QueryProcess) apply
+/// the same conservative match as Engine's internal TC shortcut.
+struct LinearTcPattern {
+  std::string closure_pred;  // p: the recursively defined predicate.
+  std::string edge_pred;     // e: the base (EDB) relation.
+};
+
+/// Matches a program of exactly two rules — p(X,Y) :- e(X,Y) and a
+/// left- or right-linear step rule — with no facts, negation or
+/// comparisons, and a query. Returns nullopt for anything else.
+std::optional<LinearTcPattern> DetectLinearTc(const Program& program);
+
+/// Answers `goal` against the full extension of its predicate: filters by
+/// constant and repeated-variable arguments, projects the distinct
+/// variables in first-appearance order, deduplicates and sorts. Shared by
+/// Engine::Run and the distributed fixpoint path so both produce
+/// byte-identical results. Extension tuples must be at least as wide as
+/// the goal.
+QueryResult AnswerGoal(const Atom& goal, const std::vector<Tuple>& extension);
 
 /// PRISMAlog evaluator (§2.3): set-oriented, bottom-up evaluation of
 /// definite function-free Horn clauses with stratified negation and

@@ -181,6 +181,40 @@ TEST(TransitiveClosureTest, WorksOnStrings) {
   EXPECT_EQ(out->size(), 3u);
 }
 
+TEST(TransitiveClosureTest, StatsAreAFunctionOfTheDistinctNonNullEdgeSet) {
+  // Regression: naive/seminaive used to join against the raw edge list,
+  // so duplicate input edges inflated pairs_derived (smart, which
+  // rebuilds its adjacency from the deduplicated closure, never did) —
+  // and NULL-endpoint tuples were dropped without any record. The three
+  // algorithms must now report identical stats for the dirty and the
+  // clean form of the same relation, plus the NULL drop count.
+  const std::vector<Tuple> clean =
+      Pairs({{1, 2}, {2, 3}, {3, 4}, {2, 4}});
+  std::vector<Tuple> dirty = clean;
+  dirty.push_back(Pair(1, 2));  // Duplicates...
+  dirty.push_back(Pair(2, 3));
+  dirty.push_back(Pair(1, 2));
+  dirty.push_back(Tuple({Value::Null(), Value::Int(7)}));  // ...and NULLs.
+  dirty.push_back(Tuple({Value::Int(7), Value::Null()}));
+  dirty.push_back(Tuple({Value::Null(), Value::Null()}));
+  for (auto alg : {TcAlgorithm::kNaive, TcAlgorithm::kSeminaive,
+                   TcAlgorithm::kSmart}) {
+    TcStats clean_stats, dirty_stats;
+    auto clean_out = TransitiveClosure(clean, alg, &clean_stats);
+    auto dirty_out = TransitiveClosure(dirty, alg, &dirty_stats);
+    ASSERT_TRUE(clean_out.ok() && dirty_out.ok());
+    EXPECT_EQ(*clean_out, *dirty_out) << TcAlgorithmName(alg);
+    EXPECT_EQ(dirty_stats.pairs_derived, clean_stats.pairs_derived)
+        << TcAlgorithmName(alg);
+    EXPECT_EQ(dirty_stats.iterations, clean_stats.iterations)
+        << TcAlgorithmName(alg);
+    EXPECT_EQ(dirty_stats.result_size, clean_stats.result_size)
+        << TcAlgorithmName(alg);
+    EXPECT_EQ(clean_stats.null_edges_ignored, 0u);
+    EXPECT_EQ(dirty_stats.null_edges_ignored, 3u) << TcAlgorithmName(alg);
+  }
+}
+
 TEST(TransitiveClosureTest, SeminaiveDerivesFewerPairsThanNaive) {
   // A long chain maximizes naive's re-derivation waste.
   std::vector<Tuple> edges;

@@ -1,0 +1,284 @@
+// Differential harness for the distributed semi-naive fixpoint
+// (DESIGN.md §11): random graphs run both through the single-node
+// exec::TransitiveClosure() oracle and through the full machine
+// (PRISMAlog front end -> fixpoint coordinator -> partitioned rounds over
+// exchange channels), and the two answers must be byte-identical — for
+// every seed, fragment count and join strategy.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "core/prisma_db.h"
+#include "exec/transitive_closure.h"
+
+namespace prisma::core {
+namespace {
+
+constexpr const char* kTcProgram =
+    "p(X, Y) :- edge(X, Y).\n"
+    "p(X, Z) :- edge(X, Y), p(Y, Z).\n"
+    "? p(X, Y).";
+
+/// One edge; null endpoints are modelled with sentinel < 0.
+struct Edge {
+  int from;
+  int to;
+};
+constexpr int kNullEndpoint = -1;
+
+/// Seeded generator covering the shapes the closure operator must get
+/// right: chains, cycles, cliques, disconnected components, self-loops,
+/// and NULL endpoints (plus duplicate edges from overlapping motifs).
+std::vector<Edge> RandomGraph(uint64_t seed) {
+  Rng rng(seed * 2654435761u + 1);
+  std::vector<Edge> edges;
+  const int nodes = static_cast<int>(rng.UniformInt(2, 12));
+  auto node = [&]() { return static_cast<int>(rng.Uniform(nodes)); };
+  const int motifs = static_cast<int>(rng.UniformInt(1, 4));
+  for (int m = 0; m < motifs; ++m) {
+    switch (rng.Uniform(5)) {
+      case 0: {  // Chain (a disconnected component when nodes differ).
+        const int len = static_cast<int>(rng.UniformInt(1, 5));
+        int at = node();
+        for (int i = 0; i < len; ++i) {
+          const int next = node();
+          edges.push_back({at, next});
+          at = next;
+        }
+        break;
+      }
+      case 1: {  // Cycle: the closure saturates within it.
+        const int len = static_cast<int>(rng.UniformInt(2, 5));
+        std::vector<int> ring;
+        for (int i = 0; i < len; ++i) ring.push_back(node());
+        for (int i = 0; i < len; ++i) {
+          edges.push_back({ring[i], ring[(i + 1) % len]});
+        }
+        break;
+      }
+      case 2: {  // Small clique (dense duplicates across motifs).
+        const int size = static_cast<int>(rng.UniformInt(2, 4));
+        std::vector<int> members;
+        for (int i = 0; i < size; ++i) members.push_back(node());
+        for (const int a : members) {
+          for (const int b : members) {
+            if (a != b) edges.push_back({a, b});
+          }
+        }
+        break;
+      }
+      case 3:  // Self-loop.
+        edges.push_back({node(), node()});
+        edges.back().to = edges.back().from;
+        break;
+      default: {  // Random sprinkle, sometimes with NULL endpoints.
+        const int count = static_cast<int>(rng.UniformInt(1, 4));
+        for (int i = 0; i < count; ++i) {
+          Edge e{node(), node()};
+          if (rng.Uniform(6) == 0) e.from = kNullEndpoint;
+          if (rng.Uniform(6) == 0) e.to = kNullEndpoint;
+          edges.push_back(e);
+        }
+        break;
+      }
+    }
+  }
+  return edges;
+}
+
+std::vector<Tuple> AsTuples(const std::vector<Edge>& edges) {
+  std::vector<Tuple> tuples;
+  tuples.reserve(edges.size());
+  for (const Edge& e : edges) {
+    tuples.push_back(
+        Tuple({e.from == kNullEndpoint ? Value::Null() : Value::Int(e.from),
+               e.to == kNullEndpoint ? Value::Null() : Value::Int(e.to)}));
+  }
+  return tuples;
+}
+
+std::string InsertSql(const std::vector<Edge>& edges) {
+  std::string sql = "INSERT INTO edge VALUES ";
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (i > 0) sql += ", ";
+    sql += '(';
+    sql += edges[i].from == kNullEndpoint ? std::string("NULL")
+                                          : std::to_string(edges[i].from);
+    sql += ", ";
+    sql += edges[i].to == kNullEndpoint ? std::string("NULL")
+                                        : std::to_string(edges[i].to);
+    sql += ')';
+  }
+  return sql;
+}
+
+struct DistributedRun {
+  QueryResult result;
+  int64_t rounds = 0;
+  int64_t delta_tuples = 0;
+  int64_t pairs_derived = 0;
+};
+
+DistributedRun RunDistributed(const std::vector<Edge>& edges, int fragments,
+                              exec::TcAlgorithm algorithm,
+                              net::FaultPlan faults = {}) {
+  MachineConfig config;
+  config.pes = 8;
+  config.fixpoint_algorithm = algorithm;
+  config.fault_plan = faults;
+  PrismaDb db(config);
+  auto created = db.Execute(
+      StrFormat("CREATE TABLE edge (src INT, dst INT) "
+                "FRAGMENTED BY HASH(src) INTO %d FRAGMENTS",
+                fragments));
+  PRISMA_CHECK(created.ok()) << created.status().ToString();
+  if (!edges.empty()) {
+    auto inserted = db.Execute(InsertSql(edges));
+    PRISMA_CHECK(inserted.ok()) << inserted.status().ToString();
+  }
+  auto answered = db.ExecutePrismalog(kTcProgram);
+  PRISMA_CHECK(answered.ok()) << answered.status().ToString();
+  DistributedRun run;
+  run.result = std::move(answered).value();
+  run.rounds = db.metrics().GaugeValue("fixpoint.last_rounds");
+  run.delta_tuples = db.metrics().GaugeValue("fixpoint.last_delta_tuples");
+  run.pairs_derived = db.metrics().GaugeValue("fixpoint.last_pairs_derived");
+  return run;
+}
+
+std::string Render(const std::vector<Tuple>& tuples) {
+  std::string out;
+  for (const Tuple& t : tuples) {
+    out += t.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+/// Core differential check: distributed answer and round/stat figures
+/// must reproduce the single-node operator exactly.
+void CheckSeed(uint64_t seed, int fragments, exec::TcAlgorithm algorithm) {
+  SCOPED_TRACE(StrFormat("seed=%llu fragments=%d algorithm=%s",
+                         static_cast<unsigned long long>(seed), fragments,
+                         exec::TcAlgorithmName(algorithm)));
+  const std::vector<Edge> edges = RandomGraph(seed);
+  exec::TcStats oracle_stats;
+  auto oracle =
+      exec::TransitiveClosure(AsTuples(edges), algorithm, &oracle_stats);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+
+  const DistributedRun run = RunDistributed(edges, fragments, algorithm);
+  // Byte-identical answers, including order (both sides are sorted by
+  // Tuple::Compare after duplicate elimination).
+  ASSERT_EQ(Render(run.result.tuples), Render(*oracle));
+  EXPECT_EQ(run.result.schema.num_columns(), 2u);
+  // The aggregated per-round figures match the single-node run: total
+  // absorbed delta tuples = |closure|, join products identical, and — on
+  // non-empty inputs — the distributed round count equals the single-node
+  // iteration count for every strategy. (On an all-NULL input the
+  // distributed fixpoint does 0 rounds for every strategy while the
+  // single-node naive/smart loops run one no-growth pass; only seminaive
+  // agrees there.)
+  EXPECT_EQ(static_cast<uint64_t>(run.delta_tuples), oracle_stats.result_size);
+  EXPECT_EQ(static_cast<uint64_t>(run.pairs_derived),
+            oracle_stats.pairs_derived);
+  if (oracle_stats.result_size > 0) {
+    EXPECT_EQ(static_cast<uint64_t>(run.rounds), oracle_stats.iterations);
+  } else if (algorithm == exec::TcAlgorithm::kSeminaive) {
+    EXPECT_EQ(run.rounds, 0);
+    EXPECT_EQ(oracle_stats.iterations, 0u);
+  }
+}
+
+constexpr int kFragmentCounts[] = {1, 3, 7};
+constexpr exec::TcAlgorithm kAlgorithms[] = {exec::TcAlgorithm::kNaive,
+                                             exec::TcAlgorithm::kSeminaive,
+                                             exec::TcAlgorithm::kSmart};
+
+TEST(FixpointDiffTest, SeminaiveMatchesOracleAcrossSeeds) {
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    for (const int fragments : kFragmentCounts) {
+      CheckSeed(seed, fragments, exec::TcAlgorithm::kSeminaive);
+    }
+  }
+}
+
+TEST(FixpointDiffTest, NaiveMatchesOracleAcrossSeeds) {
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    for (const int fragments : kFragmentCounts) {
+      CheckSeed(seed, fragments, exec::TcAlgorithm::kNaive);
+    }
+  }
+}
+
+TEST(FixpointDiffTest, SmartMatchesOracleAcrossSeeds) {
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    for (const int fragments : kFragmentCounts) {
+      CheckSeed(seed, fragments, exec::TcAlgorithm::kSmart);
+    }
+  }
+}
+
+// ------------------------------------------------- Termination edge cases
+
+TEST(FixpointTerminationTest, EmptyEdgeRelationStopsAfterSeedRound) {
+  for (const exec::TcAlgorithm algorithm : kAlgorithms) {
+    const DistributedRun run = RunDistributed({}, 3, algorithm);
+    EXPECT_TRUE(run.result.tuples.empty());
+    // Seed round absorbs nothing anywhere -> harvest immediately.
+    EXPECT_EQ(run.rounds, 0);
+    EXPECT_EQ(run.delta_tuples, 0);
+    EXPECT_EQ(run.pairs_derived, 0);
+  }
+}
+
+TEST(FixpointTerminationTest, SingleFragmentStillRunsTheBarrier) {
+  // One partition: the all-to-all degenerates to self-sends, but the
+  // vote/round protocol is identical. Chain 0->1->2: two rounds.
+  const std::vector<Edge> chain = {{0, 1}, {1, 2}};
+  for (const exec::TcAlgorithm algorithm : kAlgorithms) {
+    const DistributedRun run = RunDistributed(chain, 1, algorithm);
+    EXPECT_EQ(run.result.tuples.size(), 3u);
+    EXPECT_EQ(run.rounds, 2);
+  }
+}
+
+TEST(FixpointTerminationTest, DeltaEmptyOnRoundOne) {
+  // A single edge derives nothing in round 1: exactly one join round.
+  const std::vector<Edge> single = {{0, 1}};
+  for (const exec::TcAlgorithm algorithm : kAlgorithms) {
+    const DistributedRun run = RunDistributed(single, 3, algorithm);
+    EXPECT_EQ(run.result.tuples.size(), 1u);
+    EXPECT_EQ(run.rounds, 1);
+  }
+}
+
+TEST(FixpointTerminationTest, DuplicatedVotesDoNotSkewTheBarrier) {
+  // A duplicating interconnect retransmits votes and round directives;
+  // the barrier must admit each (round, pe) vote once, so the round
+  // count and the aggregated stats stay exact.
+  net::FaultPlan faults;
+  faults.seed = 77;
+  faults.link.duplicate_probability = 0.35;
+  const std::vector<Edge> chain = {{0, 1}, {1, 2}, {2, 3}};
+  exec::TcStats oracle_stats;
+  auto oracle = exec::TransitiveClosure(
+      AsTuples(chain), exec::TcAlgorithm::kSeminaive, &oracle_stats);
+  ASSERT_TRUE(oracle.ok());
+  const DistributedRun run =
+      RunDistributed(chain, 3, exec::TcAlgorithm::kSeminaive, faults);
+  EXPECT_EQ(Render(run.result.tuples), Render(*oracle));
+  EXPECT_EQ(static_cast<uint64_t>(run.rounds), oracle_stats.iterations);
+  EXPECT_EQ(static_cast<uint64_t>(run.delta_tuples),
+            oracle_stats.result_size);
+  EXPECT_EQ(static_cast<uint64_t>(run.pairs_derived),
+            oracle_stats.pairs_derived);
+}
+
+}  // namespace
+}  // namespace prisma::core

@@ -254,6 +254,7 @@ const char* const kObservableSurfaces[] = {
     "pool/runtime.h", "net/network.h",  "net/traffic.h",
     "obs/metrics.h",  "obs/trace.h",    "gdh/messages.h",
     "exec/exchange.h", "gdh/exchange_process.h",
+    "exec/fixpoint.h", "gdh/fixpoint_process.h",
 };
 
 /// Collects names declared with an unordered container type, e.g.
