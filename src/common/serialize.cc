@@ -11,6 +11,19 @@ constexpr uint8_t kTagInt = 2;
 constexpr uint8_t kTagDouble = 3;
 constexpr uint8_t kTagString = 4;
 
+// Column encodings inside a serialized ColumnBatch.
+constexpr uint8_t kColTyped = 0;
+constexpr uint8_t kColBoxed = 1;
+
+/// Minimal delta width (bytes) that represents every value in [0, range].
+uint8_t IntDeltaWidth(uint64_t range) {
+  if (range == 0) return 0;
+  if (range <= 0xFFu) return 1;
+  if (range <= 0xFFFFu) return 2;
+  if (range <= 0xFFFFFFFFu) return 4;
+  return 8;
+}
+
 }  // namespace
 
 void BinaryWriter::PutU32(uint32_t v) {
@@ -70,6 +83,87 @@ void BinaryWriter::PutSchema(const Schema& schema) {
   for (const Column& c : schema.columns()) {
     PutString(c.name);
     PutU8(static_cast<uint8_t>(c.type));
+  }
+}
+
+void BinaryWriter::PutColumnBatch(const ColumnBatch& batch) {
+  const size_t rows = batch.num_rows();
+  PutU32(static_cast<uint32_t>(rows));
+  PutU32(static_cast<uint32_t>(batch.num_columns()));
+  for (size_t c = 0; c < batch.num_columns(); ++c) {
+    const ColumnBatch::Column& col = batch.column(c);
+    if (col.boxed) {
+      PutU8(kColBoxed);
+      for (size_t r = 0; r < rows; ++r) PutValue(col.values[r]);
+      continue;
+    }
+    PutU8(kColTyped);
+    PutU8(static_cast<uint8_t>(col.type));
+    // Null bitmap, LSB-first; bit set = row is NULL.
+    for (size_t at = 0; at < rows; at += 8) {
+      uint8_t byte = 0;
+      for (size_t b = 0; b < 8 && at + b < rows; ++b) {
+        if (col.nulls[at + b] != 0) byte |= static_cast<uint8_t>(1u << b);
+      }
+      PutU8(byte);
+    }
+    // Packed payload over the non-null rows only, in row order.
+    switch (col.type) {
+      case DataType::kNull:
+        break;  // All rows NULL: the bitmap is the whole column.
+      case DataType::kBool: {
+        uint8_t byte = 0;
+        size_t bit = 0;
+        for (size_t r = 0; r < rows; ++r) {
+          if (col.nulls[r] != 0) continue;
+          if (col.bools[r] != 0) byte |= static_cast<uint8_t>(1u << bit);
+          if (++bit == 8) {
+            PutU8(byte);
+            byte = 0;
+            bit = 0;
+          }
+        }
+        if (bit > 0) PutU8(byte);
+        break;
+      }
+      case DataType::kInt64: {
+        // Frame of reference: base = min, then minimal-width deltas.
+        bool any = false;
+        int64_t lo = 0;
+        int64_t hi = 0;
+        for (size_t r = 0; r < rows; ++r) {
+          if (col.nulls[r] != 0) continue;
+          if (!any || col.ints[r] < lo) lo = col.ints[r];
+          if (!any || col.ints[r] > hi) hi = col.ints[r];
+          any = true;
+        }
+        if (!any) break;
+        const uint64_t range =
+            static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+        const uint8_t width = IntDeltaWidth(range);
+        PutI64(lo);
+        PutU8(width);
+        for (size_t r = 0; r < rows; ++r) {
+          if (col.nulls[r] != 0) continue;
+          const uint64_t delta = static_cast<uint64_t>(col.ints[r]) -
+                                 static_cast<uint64_t>(lo);
+          for (uint8_t b = 0; b < width; ++b) {
+            PutU8(static_cast<uint8_t>(delta >> (8 * b)));
+          }
+        }
+        break;
+      }
+      case DataType::kDouble:
+        for (size_t r = 0; r < rows; ++r) {
+          if (col.nulls[r] == 0) PutDouble(col.doubles[r]);
+        }
+        break;
+      case DataType::kString:
+        for (size_t r = 0; r < rows; ++r) {
+          if (col.nulls[r] == 0) PutString(col.strings[r]);
+        }
+        break;
+    }
   }
 }
 
@@ -174,6 +268,131 @@ StatusOr<Schema> BinaryReader::GetSchema() {
   return Schema(std::move(cols));
 }
 
+StatusOr<ColumnBatch> BinaryReader::GetColumnBatch() {
+  ASSIGN_OR_RETURN(uint32_t rows, GetU32());
+  ASSIGN_OR_RETURN(uint32_t cols, GetU32());
+  // Every column costs at least one byte on the wire; reject frames whose
+  // claimed shape cannot fit before allocating anything.
+  RETURN_IF_ERROR(Need(cols));
+  std::vector<ColumnBatch::Column> columns;
+  columns.reserve(cols);
+  for (uint32_t c = 0; c < cols; ++c) {
+    ColumnBatch::Column col;
+    ASSIGN_OR_RETURN(uint8_t enc, GetU8());
+    if (enc == kColBoxed) {
+      col.boxed = true;
+      for (uint32_t r = 0; r < rows; ++r) {
+        ASSIGN_OR_RETURN(Value v, GetValue());
+        col.values.push_back(std::move(v));
+      }
+      columns.push_back(std::move(col));
+      continue;
+    }
+    if (enc != kColTyped) {
+      return InvalidArgumentError("corrupt column encoding tag " +
+                                  std::to_string(enc));
+    }
+    ASSIGN_OR_RETURN(uint8_t type, GetU8());
+    if (type > static_cast<uint8_t>(DataType::kString)) {
+      return InvalidArgumentError("corrupt column type tag " +
+                                  std::to_string(type));
+    }
+    col.type = static_cast<DataType>(type);
+    const size_t bitmap_bytes = (static_cast<size_t>(rows) + 7) / 8;
+    RETURN_IF_ERROR(Need(bitmap_bytes));
+    col.nulls.reserve(rows);
+    size_t non_null = 0;
+    for (uint32_t r = 0; r < rows; ++r) {
+      const uint8_t byte = static_cast<uint8_t>(data_[pos_ + r / 8]);
+      const uint8_t null = (byte >> (r % 8)) & 1u;
+      col.nulls.push_back(null);
+      if (null == 0) ++non_null;
+    }
+    pos_ += bitmap_bytes;
+    if (col.type == DataType::kNull && non_null > 0) {
+      return InvalidArgumentError(
+          "corrupt column: non-null rows in NULL-typed column");
+    }
+    switch (col.type) {
+      case DataType::kNull:
+        break;
+      case DataType::kBool: {
+        const size_t packed = (non_null + 7) / 8;
+        RETURN_IF_ERROR(Need(packed));
+        col.bools.reserve(rows);
+        size_t bit = 0;
+        for (uint32_t r = 0; r < rows; ++r) {
+          if (col.nulls[r] != 0) {
+            col.bools.push_back(0);
+            continue;
+          }
+          const uint8_t byte = static_cast<uint8_t>(data_[pos_ + bit / 8]);
+          col.bools.push_back((byte >> (bit % 8)) & 1u);
+          ++bit;
+        }
+        pos_ += packed;
+        break;
+      }
+      case DataType::kInt64: {
+        int64_t base = 0;
+        uint8_t width = 0;
+        if (non_null > 0) {
+          ASSIGN_OR_RETURN(base, GetI64());
+          ASSIGN_OR_RETURN(width, GetU8());
+          if (width != 0 && width != 1 && width != 2 && width != 4 &&
+              width != 8) {
+            return InvalidArgumentError("corrupt int column width " +
+                                        std::to_string(width));
+          }
+          RETURN_IF_ERROR(Need(non_null * width));
+        }
+        col.ints.reserve(rows);
+        for (uint32_t r = 0; r < rows; ++r) {
+          if (col.nulls[r] != 0) {
+            col.ints.push_back(0);
+            continue;
+          }
+          uint64_t delta = 0;
+          for (uint8_t b = 0; b < width; ++b) {
+            delta |= static_cast<uint64_t>(
+                         static_cast<uint8_t>(data_[pos_ + b]))
+                     << (8 * b);
+          }
+          pos_ += width;
+          col.ints.push_back(
+              static_cast<int64_t>(static_cast<uint64_t>(base) + delta));
+        }
+        break;
+      }
+      case DataType::kDouble:
+        RETURN_IF_ERROR(Need(non_null * 8));
+        col.doubles.reserve(rows);
+        for (uint32_t r = 0; r < rows; ++r) {
+          if (col.nulls[r] != 0) {
+            col.doubles.push_back(0.0);
+            continue;
+          }
+          ASSIGN_OR_RETURN(double v, GetDouble());
+          col.doubles.push_back(v);
+        }
+        break;
+      case DataType::kString:
+        col.strings.reserve(rows);
+        for (uint32_t r = 0; r < rows; ++r) {
+          if (col.nulls[r] != 0) {
+            col.strings.push_back(std::string());
+            continue;
+          }
+          ASSIGN_OR_RETURN(std::string s, GetString());
+          col.strings.push_back(std::move(s));
+        }
+        break;
+    }
+    columns.push_back(std::move(col));
+  }
+  return ColumnBatch::FromColumns(std::move(columns), rows);
+}
+
 std::string SerializeTuple(const Tuple& tuple) {
   BinaryWriter w;
   w.PutTuple(tuple);
@@ -183,6 +402,17 @@ std::string SerializeTuple(const Tuple& tuple) {
 StatusOr<Tuple> DeserializeTuple(std::string_view data) {
   BinaryReader r(data);
   return r.GetTuple();
+}
+
+std::string SerializeColumnBatch(const ColumnBatch& batch) {
+  BinaryWriter w;
+  w.PutColumnBatch(batch);
+  return w.Take();
+}
+
+StatusOr<ColumnBatch> DeserializeColumnBatch(std::string_view data) {
+  BinaryReader r(data);
+  return r.GetColumnBatch();
 }
 
 }  // namespace prisma

@@ -5,6 +5,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/column_batch.h"
 #include "common/schema.h"
 #include "common/status.h"
 #include "common/tuple.h"
@@ -27,6 +28,13 @@ class BinaryWriter {
   void PutValue(const Value& value);
   void PutTuple(const Tuple& tuple);
   void PutSchema(const Schema& schema);
+  /// Column-encoded tuple batch (DESIGN.md §12): per column a null bitmap
+  /// plus a packed payload for the non-null rows only — bit-packed bools,
+  /// frame-of-reference ints (minimal delta width), raw doubles,
+  /// length-prefixed strings; mixed-type columns fall back to tagged
+  /// per-row Values. Deterministic: encode -> decode -> encode is
+  /// byte-stable.
+  void PutColumnBatch(const ColumnBatch& batch);
 
   const std::string& data() const { return out_; }
   std::string Take() { return std::move(out_); }
@@ -50,6 +58,7 @@ class BinaryReader {
   StatusOr<Value> GetValue();
   StatusOr<Tuple> GetTuple();
   StatusOr<Schema> GetSchema();
+  StatusOr<ColumnBatch> GetColumnBatch();
 
   bool AtEnd() const { return pos_ == data_.size(); }
   size_t remaining() const { return data_.size() - pos_; }
@@ -64,6 +73,8 @@ class BinaryReader {
 /// One-shot helpers.
 std::string SerializeTuple(const Tuple& tuple);
 StatusOr<Tuple> DeserializeTuple(std::string_view data);
+std::string SerializeColumnBatch(const ColumnBatch& batch);
+StatusOr<ColumnBatch> DeserializeColumnBatch(std::string_view data);
 
 }  // namespace prisma
 

@@ -1,11 +1,16 @@
 #include "common/tuple.h"
 
 namespace prisma {
+
+uint64_t CombineTupleHash(uint64_t seed, uint64_t h) {
+  // boost::hash_combine layout with 64-bit golden ratio.
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
 namespace {
 
 uint64_t CombineHashes(uint64_t seed, uint64_t h) {
-  // boost::hash_combine layout with 64-bit golden ratio.
-  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+  return CombineTupleHash(seed, h);
 }
 
 }  // namespace

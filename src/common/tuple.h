@@ -48,6 +48,14 @@ class Tuple {
 /// fragmentation and hash joins.
 uint64_t HashTupleColumns(const Tuple& tuple, const std::vector<size_t>& columns);
 
+/// The hash combiner behind Tuple::Hash and HashTupleColumns, exposed so
+/// columnar kernels can fold per-column Value hashes incrementally and
+/// land on the same result as the tuple forms.
+uint64_t CombineTupleHash(uint64_t seed, uint64_t h);
+
+/// Seed of HashTupleColumns; start here when combining incrementally.
+inline constexpr uint64_t kHashTupleColumnsSeed = 0x4f464dULL;  // "OFM"
+
 }  // namespace prisma
 
 #endif  // PRISMA_COMMON_TUPLE_H_

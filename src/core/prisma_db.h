@@ -5,6 +5,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,10 @@ struct MachineConfig {
   pool::CostModel costs;
   gdh::OptimizerRules rules;
   exec::ExprMode expr_mode = exec::ExprMode::kCompiled;
+  /// Machine-default execution mode. kVectorized runs plans over
+  /// ColumnBatches and column-encodes exchange frames (DESIGN.md §12);
+  /// results are equivalent to kRow (tests/vectorized_diff_test.cc).
+  exec::ExecMode exec_mode = exec::ExecMode::kRow;
   exec::OfmType base_ofm_type = exec::OfmType::kFull;
   gdh::PlacementPolicy placement = gdh::PlacementPolicy::kAligned;
   storage::DiskModel disk;
@@ -118,8 +123,16 @@ class PrismaDb {
   /// Executes one auto-commit SQL statement.
   StatusOr<QueryResult> Execute(const std::string& sql);
 
+  /// Executes one auto-commit SQL statement under an explicit execution
+  /// mode, overriding MachineConfig::exec_mode for this statement only.
+  StatusOr<QueryResult> Execute(const std::string& sql, exec::ExecMode mode);
+
   /// Evaluates a PRISMAlog program ending in a query.
   StatusOr<QueryResult> ExecutePrismalog(const std::string& program);
+
+  /// PRISMAlog with an explicit per-statement execution mode.
+  StatusOr<QueryResult> ExecutePrismalog(const std::string& program,
+                                         exec::ExecMode mode);
 
   /// A session carries an explicit transaction across statements:
   /// BEGIN binds it, COMMIT/ABORT clears it.
@@ -143,9 +156,11 @@ class PrismaDb {
                                            sim::SimTime response_ns)>;
 
   /// Schedules a statement submission `delay` virtual ns from now; the
-  /// callback fires when the reply reaches the client process.
+  /// callback fires when the reply reaches the client process. `mode`
+  /// overrides the machine's execution mode for this statement.
   uint64_t Submit(const std::string& text, bool prismalog, exec::TxnId txn,
-                  ReplyCallback callback, sim::SimTime delay = 0);
+                  ReplyCallback callback, sim::SimTime delay = 0,
+                  std::optional<exec::ExecMode> mode = std::nullopt);
 
   /// Runs the simulation until the event queue drains.
   void Run() { sim_.Run(); }
@@ -207,8 +222,9 @@ class PrismaDb {
 
   /// Blocks (runs the simulation) until request `id` completes.
   StatusOr<QueryResult> Await(uint64_t id);
-  StatusOr<QueryResult> ExecuteInternal(const std::string& text,
-                                        bool prismalog, exec::TxnId txn);
+  StatusOr<QueryResult> ExecuteInternal(
+      const std::string& text, bool prismalog, exec::TxnId txn,
+      std::optional<exec::ExecMode> mode = std::nullopt);
 
   MachineConfig config_;
   sim::Simulator sim_;

@@ -25,6 +25,16 @@ using algebra::SelectPlan;
 using algebra::SortPlan;
 using algebra::ValuesPlan;
 
+const char* ExecModeName(ExecMode mode) {
+  switch (mode) {
+    case ExecMode::kRow:
+      return "row";
+    case ExecMode::kVectorized:
+      return "vectorized";
+  }
+  return "?";
+}
+
 StatusOr<const storage::Relation*> MapTableResolver::Resolve(
     const std::string& table) const {
   auto it = tables_.find(table);
@@ -64,6 +74,12 @@ StatusOr<Executor::PreparedExpr> Executor::PreparedExpr::Make(
     p.compiled_ = std::make_shared<CompiledExpr>(std::move(compiled));
     p.cost_ns_ = static_cast<sim::SimTime>(p.compiled_->num_instructions()) *
                  options.costs.compiled_instr_ns;
+    p.vrow_cost_ns_ =
+        static_cast<sim::SimTime>(p.compiled_->num_instructions()) *
+        options.costs.vector_instr_ns;
+    p.vbatch_cost_ns_ =
+        static_cast<sim::SimTime>(p.compiled_->num_instructions()) *
+        options.costs.vector_batch_ns;
   } else {
     p.interpreted_ = &expr;
     p.cost_ns_ = static_cast<sim::SimTime>(expr.TreeSize()) *
@@ -82,19 +98,59 @@ StatusOr<bool> Executor::PreparedExpr::EvalPredicate(const Tuple& tuple) const {
   return exec::EvalPredicate(*interpreted_, tuple);
 }
 
+StatusOr<ColumnBatch::Column> Executor::PreparedExpr::EvalBatch(
+    const ColumnBatch& batch) const {
+  if (compiled_ == nullptr) {
+    return InternalError("vectorized evaluation requires compiled mode");
+  }
+  return compiled_->EvalBatch(batch);
+}
+
+Status Executor::PreparedExpr::EvalPredicateBatch(
+    const ColumnBatch& batch, std::vector<uint8_t>* keep) const {
+  if (compiled_ == nullptr) {
+    return InternalError("vectorized evaluation requires compiled mode");
+  }
+  return compiled_->EvalPredicateBatch(batch, keep);
+}
+
 // ---------------------------------------------------------------- Executor
 
 Executor::Executor(const TableResolver* resolver, ExecOptions options)
-    : resolver_(resolver), options_(std::move(options)) {}
+    : resolver_(resolver), options_(std::move(options)) {
+  vectorized_ = options_.exec_mode == ExecMode::kVectorized &&
+                options_.expr_mode == ExprMode::kCompiled;
+}
 
 void Executor::Charge(sim::SimTime ns) {
   stats_.charged_ns += ns;
   if (options_.charge) options_.charge(ns);
 }
 
+namespace {
+
+std::vector<Tuple> FlattenBatches(const std::vector<ColumnBatch>& batches) {
+  size_t total = 0;
+  for (const ColumnBatch& b : batches) total += b.num_rows();
+  std::vector<Tuple> out;
+  out.reserve(total);
+  for (const ColumnBatch& b : batches) {
+    for (size_t r = 0; r < b.num_rows(); ++r) out.push_back(b.RowAt(r));
+  }
+  return out;
+}
+
+}  // namespace
+
 StatusOr<std::vector<Tuple>> Executor::Execute(const Plan& plan) {
   profile_root_.reset();
-  ASSIGN_OR_RETURN(std::vector<Tuple> out, Run(plan));
+  std::vector<Tuple> out;
+  if (vectorized_) {
+    ASSIGN_OR_RETURN(std::vector<ColumnBatch> batches, RunBatches(plan));
+    out = FlattenBatches(batches);
+  } else {
+    ASSIGN_OR_RETURN(out, Run(plan));
+  }
   stats_.tuples_output = out.size();
   return out;
 }
@@ -381,7 +437,7 @@ StatusOr<std::vector<Tuple>> Executor::RunSelect(const SelectPlan& plan) {
                    TryIndexSelect(plan));
   if (via_index.has_value()) return std::move(*via_index);
 
-  ASSIGN_OR_RETURN(std::vector<Tuple> in, Run(*plan.child()));
+  ASSIGN_OR_RETURN(std::vector<Tuple> in, RunChildRows(*plan.child()));
   ASSIGN_OR_RETURN(PreparedExpr pred,
                    PreparedExpr::Make(plan.predicate(), options_));
   std::vector<Tuple> out;
@@ -396,7 +452,7 @@ StatusOr<std::vector<Tuple>> Executor::RunSelect(const SelectPlan& plan) {
 }
 
 StatusOr<std::vector<Tuple>> Executor::RunProject(const ProjectPlan& plan) {
-  ASSIGN_OR_RETURN(std::vector<Tuple> in, Run(*plan.child()));
+  ASSIGN_OR_RETURN(std::vector<Tuple> in, RunChildRows(*plan.child()));
   std::vector<PreparedExpr> exprs;
   sim::SimTime per_tuple = options_.costs.tuple_ns;
   for (const auto& e : plan.exprs()) {
@@ -421,8 +477,8 @@ StatusOr<std::vector<Tuple>> Executor::RunProject(const ProjectPlan& plan) {
 }
 
 StatusOr<std::vector<Tuple>> Executor::RunJoin(const JoinPlan& plan) {
-  ASSIGN_OR_RETURN(std::vector<Tuple> left, Run(*plan.child(0)));
-  ASSIGN_OR_RETURN(std::vector<Tuple> right, Run(*plan.child(1)));
+  ASSIGN_OR_RETURN(std::vector<Tuple> left, RunChildRows(*plan.child(0)));
+  ASSIGN_OR_RETURN(std::vector<Tuple> right, RunChildRows(*plan.child(1)));
 
   JoinFilter filter;
   sim::SimTime filter_cost = 0;
@@ -455,16 +511,16 @@ StatusOr<std::vector<Tuple>> Executor::RunJoin(const JoinPlan& plan) {
 }
 
 StatusOr<std::vector<Tuple>> Executor::RunUnion(const Plan& plan) {
-  ASSIGN_OR_RETURN(std::vector<Tuple> left, Run(*plan.child(0)));
-  ASSIGN_OR_RETURN(std::vector<Tuple> right, Run(*plan.child(1)));
+  ASSIGN_OR_RETURN(std::vector<Tuple> left, RunChildRows(*plan.child(0)));
+  ASSIGN_OR_RETURN(std::vector<Tuple> right, RunChildRows(*plan.child(1)));
   Charge(static_cast<sim::SimTime>(right.size()) * options_.costs.tuple_ns);
   for (Tuple& t : right) left.push_back(std::move(t));
   return left;
 }
 
 StatusOr<std::vector<Tuple>> Executor::RunDifference(const Plan& plan) {
-  ASSIGN_OR_RETURN(std::vector<Tuple> left, Run(*plan.child(0)));
-  ASSIGN_OR_RETURN(std::vector<Tuple> right, Run(*plan.child(1)));
+  ASSIGN_OR_RETURN(std::vector<Tuple> left, RunChildRows(*plan.child(0)));
+  ASSIGN_OR_RETURN(std::vector<Tuple> right, RunChildRows(*plan.child(1)));
   // Anti-semi by whole-tuple equality; left duplicates surviving together.
   std::set<Tuple> reject(right.begin(), right.end());
   Charge(static_cast<sim::SimTime>(left.size() + right.size()) *
@@ -477,7 +533,7 @@ StatusOr<std::vector<Tuple>> Executor::RunDifference(const Plan& plan) {
 }
 
 StatusOr<std::vector<Tuple>> Executor::RunDistinct(const Plan& plan) {
-  ASSIGN_OR_RETURN(std::vector<Tuple> in, Run(*plan.child()));
+  ASSIGN_OR_RETURN(std::vector<Tuple> in, RunChildRows(*plan.child()));
   Charge(static_cast<sim::SimTime>(in.size()) * options_.costs.hash_ns);
   std::set<Tuple> seen;
   std::vector<Tuple> out;
@@ -552,7 +608,7 @@ struct AggState {
 }  // namespace
 
 StatusOr<std::vector<Tuple>> Executor::RunAggregate(const AggregatePlan& plan) {
-  ASSIGN_OR_RETURN(std::vector<Tuple> in, Run(*plan.child()));
+  ASSIGN_OR_RETURN(std::vector<Tuple> in, RunChildRows(*plan.child()));
 
   std::vector<PreparedExpr> group_exprs;
   sim::SimTime per_tuple = options_.costs.hash_ns;
@@ -616,7 +672,7 @@ StatusOr<std::vector<Tuple>> Executor::RunAggregate(const AggregatePlan& plan) {
 }
 
 StatusOr<std::vector<Tuple>> Executor::RunSort(const SortPlan& plan) {
-  ASSIGN_OR_RETURN(std::vector<Tuple> in, Run(*plan.child()));
+  ASSIGN_OR_RETURN(std::vector<Tuple> in, RunChildRows(*plan.child()));
 
   std::vector<PreparedExpr> keys;
   sim::SimTime key_cost = 0;
@@ -661,13 +717,13 @@ StatusOr<std::vector<Tuple>> Executor::RunSort(const SortPlan& plan) {
 }
 
 StatusOr<std::vector<Tuple>> Executor::RunLimit(const LimitPlan& plan) {
-  ASSIGN_OR_RETURN(std::vector<Tuple> in, Run(*plan.child()));
+  ASSIGN_OR_RETURN(std::vector<Tuple> in, RunChildRows(*plan.child()));
   if (in.size() > plan.limit()) in.resize(plan.limit());
   return in;
 }
 
 StatusOr<std::vector<Tuple>> Executor::RunTransitiveClosure(const Plan& plan) {
-  ASSIGN_OR_RETURN(std::vector<Tuple> edges, Run(*plan.child()));
+  ASSIGN_OR_RETURN(std::vector<Tuple> edges, RunChildRows(*plan.child()));
   TcStats tc_stats;
   ASSIGN_OR_RETURN(
       std::vector<Tuple> out,
@@ -675,6 +731,306 @@ StatusOr<std::vector<Tuple>> Executor::RunTransitiveClosure(const Plan& plan) {
   Charge(static_cast<sim::SimTime>(tc_stats.pairs_derived) *
          options_.costs.hash_ns);
   return out;
+}
+
+// ---------------------------------------------------- vectorized spine
+
+StatusOr<std::vector<Tuple>> Executor::RunChildRows(const Plan& child) {
+  if (!vectorized_) return Run(child);
+  ASSIGN_OR_RETURN(std::vector<ColumnBatch> batches, RunBatches(child));
+  return FlattenBatches(batches);
+}
+
+StatusOr<std::vector<ColumnBatch>> Executor::RunBatches(const Plan& plan) {
+  if (!options_.profile) {
+    auto result = RunBatchesCached(plan);
+    if (result.ok()) stats_.batches += result->size();
+    return result;
+  }
+  obs::OperatorProfile node;
+  node.op = OperatorLabel(plan);
+  obs::OperatorProfile* parent = current_profile_;
+  current_profile_ = &node;
+  const sim::SimTime before_ns = stats_.charged_ns;
+  auto result = RunBatchesCached(plan);
+  current_profile_ = parent;
+  node.total_ns = stats_.charged_ns - before_ns;
+  if (result.ok()) {
+    stats_.batches += result->size();
+    node.batches = result->size();
+    for (const ColumnBatch& b : *result) {
+      node.rows += b.num_rows();
+      node.bytes += static_cast<uint64_t>(b.ByteSize());
+    }
+  }
+  if (parent != nullptr) {
+    parent->children.push_back(std::move(node));
+  } else {
+    profile_root_ = std::move(node);
+  }
+  return result;
+}
+
+StatusOr<std::vector<ColumnBatch>> Executor::RunBatchesCached(
+    const Plan& plan) {
+  if (options_.enable_subtree_cache && CacheableKind(plan.kind())) {
+    const std::string key = plan.ToString();
+    auto it = subtree_cache_.find(key);
+    if (it != subtree_cache_.end()) {
+      ++stats_.subtree_cache_hits;
+      return ColumnBatch::Chunk(it->second, options_.batch_rows);
+    }
+    ASSIGN_OR_RETURN(std::vector<ColumnBatch> out, RunBatchesUncached(plan));
+    subtree_cache_[key] = FlattenBatches(out);
+    return out;
+  }
+  return RunBatchesUncached(plan);
+}
+
+StatusOr<std::vector<ColumnBatch>> Executor::RunBatchesUncached(
+    const Plan& plan) {
+  switch (plan.kind()) {
+    case PlanKind::kScan:
+      return RunScanBatches(static_cast<const ScanPlan&>(plan));
+    case PlanKind::kSelect:
+      return RunSelectBatches(static_cast<const SelectPlan&>(plan));
+    case PlanKind::kProject:
+      return RunProjectBatches(static_cast<const ProjectPlan&>(plan));
+    case PlanKind::kJoin:
+      return RunJoinBatches(static_cast<const JoinPlan&>(plan));
+    case PlanKind::kAggregate:
+      return RunAggregateBatches(static_cast<const AggregatePlan&>(plan));
+    case PlanKind::kExchange:
+      // Pass-through locally, exactly like the row path.
+      return RunBatchesCached(*plan.child());
+    default: {
+      // Operators without a batch kernel run their row logic (over batched
+      // children, via RunChildRows) and re-chunk the output.
+      ASSIGN_OR_RETURN(std::vector<Tuple> rows, RunUncached(plan));
+      return ColumnBatch::Chunk(rows, options_.batch_rows);
+    }
+  }
+}
+
+StatusOr<std::vector<ColumnBatch>> Executor::RunScanBatches(
+    const ScanPlan& plan) {
+  ASSIGN_OR_RETURN(const storage::Relation* rel,
+                   resolver_->Resolve(plan.table()));
+  std::vector<ColumnBatch> out = rel->ScanBatches(options_.batch_rows);
+  size_t rows = 0;
+  for (const ColumnBatch& b : out) rows += b.num_rows();
+  stats_.tuples_scanned += rows;
+  Charge(static_cast<sim::SimTime>(rows) * options_.costs.batch_row_ns +
+         static_cast<sim::SimTime>(out.size()) *
+             options_.costs.vector_batch_ns);
+  return out;
+}
+
+StatusOr<std::vector<ColumnBatch>> Executor::RunSelectBatches(
+    const SelectPlan& plan) {
+  // Index access paths return rows; re-chunk them.
+  ASSIGN_OR_RETURN(std::optional<std::vector<Tuple>> via_index,
+                   TryIndexSelect(plan));
+  if (via_index.has_value()) {
+    return ColumnBatch::Chunk(*via_index, options_.batch_rows);
+  }
+
+  ASSIGN_OR_RETURN(std::vector<ColumnBatch> in, RunBatches(*plan.child()));
+  ASSIGN_OR_RETURN(PreparedExpr pred,
+                   PreparedExpr::Make(plan.predicate(), options_));
+  std::vector<ColumnBatch> out;
+  std::vector<uint8_t> keep;
+  std::vector<uint32_t> idx;
+  for (const ColumnBatch& b : in) {
+    RETURN_IF_ERROR(pred.EvalPredicateBatch(b, &keep));
+    stats_.expr_evaluations += b.num_rows();
+    Charge(static_cast<sim::SimTime>(b.num_rows()) *
+               (options_.costs.batch_row_ns + pred.vrow_cost_ns()) +
+           pred.vbatch_cost_ns());
+    idx.clear();
+    for (size_t r = 0; r < b.num_rows(); ++r) {
+      if (keep[r]) idx.push_back(static_cast<uint32_t>(r));
+    }
+    if (idx.empty()) continue;
+    out.push_back(b.TakeRows(idx));
+  }
+  return out;
+}
+
+StatusOr<std::vector<ColumnBatch>> Executor::RunProjectBatches(
+    const ProjectPlan& plan) {
+  ASSIGN_OR_RETURN(std::vector<ColumnBatch> in, RunBatches(*plan.child()));
+  std::vector<PreparedExpr> exprs;
+  sim::SimTime per_row = options_.costs.batch_row_ns;
+  sim::SimTime per_batch = 0;
+  for (const auto& e : plan.exprs()) {
+    ASSIGN_OR_RETURN(PreparedExpr p, PreparedExpr::Make(*e, options_));
+    per_row += p.vrow_cost_ns();
+    per_batch += p.vbatch_cost_ns();
+    exprs.push_back(std::move(p));
+  }
+  std::vector<ColumnBatch> out;
+  out.reserve(in.size());
+  for (const ColumnBatch& b : in) {
+    std::vector<ColumnBatch::Column> cols;
+    cols.reserve(exprs.size());
+    for (const PreparedExpr& e : exprs) {
+      StatusOr<ColumnBatch::Column> col = e.EvalBatch(b);
+      if (!col.ok()) {
+        // Surface the same first error as the row path: re-evaluate this
+        // batch row-major (row-then-expression order).
+        for (size_t r = 0; r < b.num_rows(); ++r) {
+          const Tuple row = b.RowAt(r);
+          for (const PreparedExpr& re : exprs) {
+            RETURN_IF_ERROR(re.Eval(row).status());
+          }
+        }
+        return col.status();
+      }
+      cols.push_back(std::move(*col));
+    }
+    stats_.expr_evaluations += b.num_rows() * exprs.size();
+    Charge(static_cast<sim::SimTime>(b.num_rows()) * per_row + per_batch);
+    out.push_back(ColumnBatch::FromColumns(std::move(cols), b.num_rows()));
+  }
+  return out;
+}
+
+StatusOr<std::vector<ColumnBatch>> Executor::RunJoinBatches(
+    const JoinPlan& plan) {
+  ASSIGN_OR_RETURN(std::vector<ColumnBatch> left, RunBatches(*plan.child(0)));
+  ASSIGN_OR_RETURN(std::vector<ColumnBatch> right, RunBatches(*plan.child(1)));
+
+  JoinFilter filter;
+  sim::SimTime filter_cost = 0;
+  std::optional<PreparedExpr> pred;
+  if (plan.predicate() != nullptr) {
+    ASSIGN_OR_RETURN(PreparedExpr p,
+                     PreparedExpr::Make(*plan.predicate(), options_));
+    filter_cost = p.cost_ns();
+    pred = std::move(p);
+    filter = [this, &pred](const Tuple& t) {
+      ++stats_.expr_evaluations;
+      return pred->EvalPredicate(t);
+    };
+  }
+
+  const auto keys = plan.EquiKeys();
+  JoinCounters counters;
+  StatusOr<std::vector<ColumnBatch>> out =
+      keys.empty() ? VectorizedNestedLoopJoin(left, right, options_.batch_rows,
+                                              filter, &counters)
+                   : VectorizedHashJoin(left, right, keys, options_.batch_rows,
+                                        filter, &counters);
+  RETURN_IF_ERROR(out.status());
+  Charge(static_cast<sim::SimTime>(counters.hash_ops) *
+             options_.costs.hash_ns +
+         static_cast<sim::SimTime>(counters.compare_ops) *
+             options_.costs.compare_ns +
+         static_cast<sim::SimTime>(counters.pairs_examined) *
+             (options_.costs.batch_row_ns + filter_cost));
+  return out;
+}
+
+StatusOr<std::vector<ColumnBatch>> Executor::RunAggregateBatches(
+    const AggregatePlan& plan) {
+  ASSIGN_OR_RETURN(std::vector<ColumnBatch> in, RunBatches(*plan.child()));
+
+  std::vector<PreparedExpr> group_exprs;
+  sim::SimTime per_row = options_.costs.hash_ns;
+  sim::SimTime per_batch = 0;
+  for (const auto& g : plan.group_by()) {
+    ASSIGN_OR_RETURN(PreparedExpr p, PreparedExpr::Make(*g, options_));
+    per_row += p.vrow_cost_ns();
+    per_batch += p.vbatch_cost_ns();
+    group_exprs.push_back(std::move(p));
+  }
+  std::vector<PreparedExpr> agg_args(plan.aggs().size());
+  std::vector<bool> has_arg(plan.aggs().size(), false);
+  for (size_t i = 0; i < plan.aggs().size(); ++i) {
+    if (plan.aggs()[i].arg != nullptr) {
+      ASSIGN_OR_RETURN(PreparedExpr p,
+                       PreparedExpr::Make(*plan.aggs()[i].arg, options_));
+      per_row += p.vrow_cost_ns();
+      per_batch += p.vbatch_cost_ns();
+      agg_args[i] = std::move(p);
+      has_arg[i] = true;
+    }
+  }
+
+  std::map<Tuple, std::vector<AggState>> groups;
+  for (const ColumnBatch& b : in) {
+    // Evaluate all key and argument expressions column-wise; on any error,
+    // re-run this batch row-major to surface the row path's first error.
+    auto row_major_error = [&]() -> Status {
+      for (size_t r = 0; r < b.num_rows(); ++r) {
+        const Tuple row = b.RowAt(r);
+        for (const PreparedExpr& g : group_exprs) {
+          RETURN_IF_ERROR(g.Eval(row).status());
+        }
+        for (size_t i = 0; i < plan.aggs().size(); ++i) {
+          if (has_arg[i]) RETURN_IF_ERROR(agg_args[i].Eval(row).status());
+        }
+      }
+      return Status::OK();
+    };
+    std::vector<ColumnBatch::Column> key_cols;
+    key_cols.reserve(group_exprs.size());
+    for (const PreparedExpr& g : group_exprs) {
+      StatusOr<ColumnBatch::Column> col = g.EvalBatch(b);
+      if (!col.ok()) {
+        RETURN_IF_ERROR(row_major_error());
+        return col.status();
+      }
+      key_cols.push_back(std::move(*col));
+    }
+    std::vector<ColumnBatch::Column> arg_cols(plan.aggs().size());
+    for (size_t i = 0; i < plan.aggs().size(); ++i) {
+      if (!has_arg[i]) continue;
+      StatusOr<ColumnBatch::Column> col = agg_args[i].EvalBatch(b);
+      if (!col.ok()) {
+        RETURN_IF_ERROR(row_major_error());
+        return col.status();
+      }
+      arg_cols[i] = std::move(*col);
+    }
+    for (size_t r = 0; r < b.num_rows(); ++r) {
+      std::vector<Value> key_vals;
+      key_vals.reserve(key_cols.size());
+      for (const ColumnBatch::Column& c : key_cols) {
+        key_vals.push_back(c.ValueAt(r));
+      }
+      auto [it, inserted] =
+          groups.try_emplace(Tuple(std::move(key_vals)),
+                             std::vector<AggState>(plan.aggs().size()));
+      for (size_t i = 0; i < plan.aggs().size(); ++i) {
+        Value v;
+        if (has_arg[i]) v = arg_cols[i].ValueAt(r);
+        it->second[i].Add(v, plan.aggs()[i].func, !has_arg[i]);
+      }
+    }
+    stats_.expr_evaluations +=
+        b.num_rows() * (group_exprs.size() +
+                        static_cast<size_t>(std::count(
+                            has_arg.begin(), has_arg.end(), true)));
+    Charge(static_cast<sim::SimTime>(b.num_rows()) * per_row + per_batch);
+  }
+  if (groups.empty() && plan.group_by().empty()) {
+    groups.try_emplace(Tuple(), std::vector<AggState>(plan.aggs().size()));
+  }
+
+  std::vector<Tuple> rows;
+  rows.reserve(groups.size());
+  const size_t num_groups = plan.group_by().size();
+  for (const auto& [key, states] : groups) {
+    std::vector<Value> row = key.values();
+    for (size_t i = 0; i < states.size(); ++i) {
+      row.push_back(states[i].Result(
+          plan.aggs()[i].func, plan.schema().column(num_groups + i).type));
+    }
+    rows.push_back(Tuple(std::move(row)));
+  }
+  return ColumnBatch::Chunk(rows, options_.batch_rows);
 }
 
 }  // namespace prisma::exec

@@ -86,8 +86,24 @@ enum class ExprMode : uint8_t {
   kCompiled,     // CompiledExpr bytecode (the OFM's generative approach).
 };
 
+/// How operators move tuples — the row/vectorized ablation switch
+/// (DESIGN.md §12). Both modes produce byte-identical answers; the
+/// differential harness in tests/vectorized_diff_test.cc enforces it.
+enum class ExecMode : uint8_t {
+  kRow,         // Tuple-at-a-time over boxed Values (the baseline).
+  kVectorized,  // ColumnBatch-at-a-time kernels.
+};
+
+const char* ExecModeName(ExecMode mode);
+
 struct ExecOptions {
   ExprMode expr_mode = ExprMode::kCompiled;
+  /// Vectorized execution needs the compiled expression path; with
+  /// expr_mode == kInterpreted the executor silently stays on the row
+  /// path (there is no batch form of the tree-walking evaluator).
+  ExecMode exec_mode = ExecMode::kRow;
+  /// Rows per ColumnBatch on the local vectorized path.
+  size_t batch_rows = ColumnBatch::kDefaultBatchRows;
   /// Virtual-time unit costs; see pool::CostModel.
   pool::CostModel costs;
   /// Invoked with virtual nanoseconds as work is performed; may be null.
@@ -108,6 +124,8 @@ struct ExecStats {
   uint64_t index_selections = 0;
   uint64_t tuples_output = 0;
   uint64_t expr_evaluations = 0;
+  /// ColumnBatches produced by operators (vectorized mode only).
+  uint64_t batches = 0;
   /// Subtree-cache hits (common subexpressions evaluated once).
   uint64_t subtree_cache_hits = 0;
   /// Total virtual CPU time charged for the last Execute call tree.
@@ -141,12 +159,21 @@ class Executor {
                                        const ExecOptions& options);
     StatusOr<Value> Eval(const Tuple& tuple) const;
     StatusOr<bool> EvalPredicate(const Tuple& tuple) const;
+    StatusOr<ColumnBatch::Column> EvalBatch(const ColumnBatch& batch) const;
+    Status EvalPredicateBatch(const ColumnBatch& batch,
+                              std::vector<uint8_t>* keep) const;
     sim::SimTime cost_ns() const { return cost_ns_; }
+    /// Vectorized costs: per-row tight-loop work and the per-batch kernel
+    /// dispatch (compiled path only).
+    sim::SimTime vrow_cost_ns() const { return vrow_cost_ns_; }
+    sim::SimTime vbatch_cost_ns() const { return vbatch_cost_ns_; }
 
    private:
     const algebra::Expr* interpreted_ = nullptr;  // Borrowed from the plan.
     std::shared_ptr<CompiledExpr> compiled_;
     sim::SimTime cost_ns_ = 0;
+    sim::SimTime vrow_cost_ns_ = 0;
+    sim::SimTime vbatch_cost_ns_ = 0;
   };
 
   void Charge(sim::SimTime ns);
@@ -171,8 +198,35 @@ class Executor {
   StatusOr<std::vector<Tuple>> RunLimit(const algebra::LimitPlan& plan);
   StatusOr<std::vector<Tuple>> RunTransitiveClosure(const algebra::Plan& plan);
 
+  /// Child input for the row-logic operators: Run(child) on the row path,
+  /// flattened RunBatches(child) in vectorized mode (so e.g. a Sort over a
+  /// Scan still scans in batches).
+  StatusOr<std::vector<Tuple>> RunChildRows(const algebra::Plan& child);
+
+  // Vectorized twin of the Run/RunCached/RunUncached spine; only the
+  // batch-kernel operators have dedicated entries, everything else runs
+  // the row logic over batched children and re-chunks its output.
+  StatusOr<std::vector<ColumnBatch>> RunBatches(const algebra::Plan& plan);
+  StatusOr<std::vector<ColumnBatch>> RunBatchesCached(
+      const algebra::Plan& plan);
+  StatusOr<std::vector<ColumnBatch>> RunBatchesUncached(
+      const algebra::Plan& plan);
+  StatusOr<std::vector<ColumnBatch>> RunScanBatches(
+      const algebra::ScanPlan& plan);
+  StatusOr<std::vector<ColumnBatch>> RunSelectBatches(
+      const algebra::SelectPlan& plan);
+  StatusOr<std::vector<ColumnBatch>> RunProjectBatches(
+      const algebra::ProjectPlan& plan);
+  StatusOr<std::vector<ColumnBatch>> RunJoinBatches(
+      const algebra::JoinPlan& plan);
+  StatusOr<std::vector<ColumnBatch>> RunAggregateBatches(
+      const algebra::AggregatePlan& plan);
+
   const TableResolver* resolver_;
   ExecOptions options_;
+  /// True when this execution actually runs the batched path (vectorized
+  /// mode requested and compiled expressions available).
+  bool vectorized_ = false;
   ExecStats stats_;
   std::map<std::string, std::vector<Tuple>> subtree_cache_;
   // Profiling state (options_.profile): node currently being built and the

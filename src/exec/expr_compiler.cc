@@ -495,6 +495,382 @@ Status CompiledExpr::Run(const Tuple& tuple) const {
   return Status::OK();
 }
 
+Status CompiledExpr::RunBatch(const ColumnBatch& batch) const {
+  const size_t rows = batch.num_rows();
+  if (vregs_.size() != num_regs_) vregs_.resize(num_regs_);
+  if (vscratch_.size() != scratch_.size()) vscratch_.resize(scratch_.size());
+  // First failing row (and its message); mirrors the per-tuple path, whose
+  // outer loop is rows: the error surfaced is the one of the smallest
+  // failing row, and within that row the first failing instruction in
+  // program order — which is how instructions are visited here, so a
+  // same-row later failure never overwrites an earlier one.
+  size_t fail_row = SIZE_MAX;
+  const char* fail_msg = nullptr;
+  auto fail = [&](size_t row, const char* msg) {
+    if (row < fail_row) {
+      fail_row = row;
+      fail_msg = msg;
+    }
+  };
+  for (const Instruction& in : code_) {
+    VReg& d = vregs_[in.dst];
+    switch (in.op) {
+      case OpCode::kConst: {
+        const Value& v = constants_[in.aux];
+        d.null.assign(rows, v.is_null() ? 1 : 0);
+        if (!v.is_null()) {
+          switch (v.type()) {
+            case DataType::kBool:
+              d.b.assign(rows, v.bool_value() ? 1 : 0);
+              break;
+            case DataType::kInt64:
+              d.i.assign(rows, v.int_value());
+              break;
+            case DataType::kDouble:
+              d.d.assign(rows, v.double_value());
+              break;
+            case DataType::kString:
+              d.s.assign(rows, &v.string_value());
+              break;
+            default:
+              break;
+          }
+        }
+        break;
+      }
+      case OpCode::kLoadCol: {
+        if (in.aux >= batch.num_columns()) {
+          return InternalError("column index beyond batch width");
+        }
+        const ColumnBatch::Column& col = batch.column(in.aux);
+        d.null.resize(rows);
+        if (col.boxed) {
+          // Mixed-type column: unbox per row, as the per-tuple path does.
+          d.b.resize(rows);
+          d.i.resize(rows);
+          d.d.resize(rows);
+          d.s.assign(rows, nullptr);
+          for (size_t r = 0; r < rows; ++r) {
+            const Value& v = col.values[r];
+            d.null[r] = v.is_null() ? 1 : 0;
+            if (v.is_null()) continue;
+            switch (v.type()) {
+              case DataType::kBool:
+                d.b[r] = v.bool_value() ? 1 : 0;
+                break;
+              case DataType::kInt64:
+                d.i[r] = v.int_value();
+                break;
+              case DataType::kDouble:
+                d.d[r] = v.double_value();
+                break;
+              case DataType::kString:
+                d.s[r] = &v.string_value();
+                break;
+              default:
+                break;
+            }
+          }
+          break;
+        }
+        d.null = col.nulls;
+        switch (col.type) {
+          case DataType::kNull:
+            break;
+          case DataType::kBool:
+            d.b = col.bools;
+            break;
+          case DataType::kInt64:
+            d.i = col.ints;
+            break;
+          case DataType::kDouble:
+            d.d = col.doubles;
+            break;
+          case DataType::kString:
+            d.s.resize(rows);
+            for (size_t r = 0; r < rows; ++r) d.s[r] = &col.strings[r];
+            break;
+        }
+        break;
+      }
+      case OpCode::kI2D: {
+        const VReg& a = vregs_[in.a];
+        d.null = a.null;
+        d.d.resize(rows);
+        for (size_t r = 0; r < rows; ++r) {
+          if (a.null[r] == 0) d.d[r] = static_cast<double>(a.i[r]);
+        }
+        break;
+      }
+      case OpCode::kNegI: {
+        const VReg& a = vregs_[in.a];
+        d.null = a.null;
+        d.i.resize(rows);
+        for (size_t r = 0; r < rows; ++r) {
+          if (a.null[r] == 0) d.i[r] = -a.i[r];
+        }
+        break;
+      }
+      case OpCode::kNegD: {
+        const VReg& a = vregs_[in.a];
+        d.null = a.null;
+        d.d.resize(rows);
+        for (size_t r = 0; r < rows; ++r) {
+          if (a.null[r] == 0) d.d[r] = -a.d[r];
+        }
+        break;
+      }
+      case OpCode::kNot: {
+        const VReg& a = vregs_[in.a];
+        d.null = a.null;
+        d.b.resize(rows);
+        for (size_t r = 0; r < rows; ++r) {
+          if (a.null[r] == 0) d.b[r] = a.b[r] != 0 ? 0 : 1;
+        }
+        break;
+      }
+      case OpCode::kIsNull: {
+        const VReg& a = vregs_[in.a];
+        d.null.assign(rows, 0);
+        d.b = a.null;
+        break;
+      }
+#define PRISMA_VARITH(FIELD, EXPR_)                          \
+  {                                                          \
+    const VReg& a = vregs_[in.a];                            \
+    const VReg& b = vregs_[in.b];                            \
+    d.null.resize(rows);                                     \
+    d.FIELD.resize(rows);                                    \
+    for (size_t r = 0; r < rows; ++r) {                      \
+      const bool n = a.null[r] != 0 || b.null[r] != 0;       \
+      d.null[r] = n ? 1 : 0;                                 \
+      if (!n) d.FIELD[r] = (EXPR_);                          \
+    }                                                        \
+    break;                                                   \
+  }
+      case OpCode::kAddI:
+        PRISMA_VARITH(i, a.i[r] + b.i[r])
+      case OpCode::kSubI:
+        PRISMA_VARITH(i, a.i[r] - b.i[r])
+      case OpCode::kMulI:
+        PRISMA_VARITH(i, a.i[r] * b.i[r])
+      case OpCode::kDivI: {
+        const VReg& a = vregs_[in.a];
+        const VReg& b = vregs_[in.b];
+        d.null.resize(rows);
+        d.i.resize(rows);
+        for (size_t r = 0; r < rows; ++r) {
+          bool n = a.null[r] != 0 || b.null[r] != 0;
+          if (!n && b.i[r] == 0) {
+            // Poison the lane so downstream instructions skip it; the
+            // recorded error supersedes all of this row's output anyway.
+            fail(r, "division by zero");
+            n = true;
+          }
+          d.null[r] = n ? 1 : 0;
+          if (!n) d.i[r] = a.i[r] / b.i[r];
+        }
+        break;
+      }
+      case OpCode::kModI: {
+        const VReg& a = vregs_[in.a];
+        const VReg& b = vregs_[in.b];
+        d.null.resize(rows);
+        d.i.resize(rows);
+        for (size_t r = 0; r < rows; ++r) {
+          bool n = a.null[r] != 0 || b.null[r] != 0;
+          if (!n && b.i[r] == 0) {
+            fail(r, "modulo by zero");
+            n = true;
+          }
+          d.null[r] = n ? 1 : 0;
+          if (!n) d.i[r] = a.i[r] % b.i[r];
+        }
+        break;
+      }
+      case OpCode::kAddD:
+        PRISMA_VARITH(d, a.d[r] + b.d[r])
+      case OpCode::kSubD:
+        PRISMA_VARITH(d, a.d[r] - b.d[r])
+      case OpCode::kMulD:
+        PRISMA_VARITH(d, a.d[r] * b.d[r])
+      case OpCode::kDivD: {
+        const VReg& a = vregs_[in.a];
+        const VReg& b = vregs_[in.b];
+        d.null.resize(rows);
+        d.d.resize(rows);
+        for (size_t r = 0; r < rows; ++r) {
+          bool n = a.null[r] != 0 || b.null[r] != 0;
+          if (!n && b.d[r] == 0.0) {
+            fail(r, "division by zero");
+            n = true;
+          }
+          d.null[r] = n ? 1 : 0;
+          if (!n) d.d[r] = a.d[r] / b.d[r];
+        }
+        break;
+      }
+      case OpCode::kConcat: {
+        const VReg& a = vregs_[in.a];
+        const VReg& b = vregs_[in.b];
+        std::vector<std::string>& slot = vscratch_[in.aux];
+        slot.resize(rows);
+        d.null.resize(rows);
+        d.s.resize(rows);
+        for (size_t r = 0; r < rows; ++r) {
+          const bool n = a.null[r] != 0 || b.null[r] != 0;
+          d.null[r] = n ? 1 : 0;
+          if (!n) {
+            slot[r].assign(*a.s[r]);
+            slot[r].append(*b.s[r]);
+            d.s[r] = &slot[r];
+          }
+        }
+        break;
+      }
+      case OpCode::kEqI:
+        PRISMA_VARITH(b, a.i[r] == b.i[r])
+      case OpCode::kNeI:
+        PRISMA_VARITH(b, a.i[r] != b.i[r])
+      case OpCode::kLtI:
+        PRISMA_VARITH(b, a.i[r] < b.i[r])
+      case OpCode::kLeI:
+        PRISMA_VARITH(b, a.i[r] <= b.i[r])
+      case OpCode::kGtI:
+        PRISMA_VARITH(b, a.i[r] > b.i[r])
+      case OpCode::kGeI:
+        PRISMA_VARITH(b, a.i[r] >= b.i[r])
+      case OpCode::kEqD:
+        PRISMA_VARITH(b, a.d[r] == b.d[r])
+      case OpCode::kNeD:
+        PRISMA_VARITH(b, a.d[r] != b.d[r])
+      case OpCode::kLtD:
+        PRISMA_VARITH(b, a.d[r] < b.d[r])
+      case OpCode::kLeD:
+        PRISMA_VARITH(b, a.d[r] <= b.d[r])
+      case OpCode::kGtD:
+        PRISMA_VARITH(b, a.d[r] > b.d[r])
+      case OpCode::kGeD:
+        PRISMA_VARITH(b, a.d[r] >= b.d[r])
+      case OpCode::kEqS:
+        PRISMA_VARITH(b, *a.s[r] == *b.s[r])
+      case OpCode::kNeS:
+        PRISMA_VARITH(b, *a.s[r] != *b.s[r])
+      case OpCode::kLtS:
+        PRISMA_VARITH(b, *a.s[r] < *b.s[r])
+      case OpCode::kLeS:
+        PRISMA_VARITH(b, *a.s[r] <= *b.s[r])
+      case OpCode::kGtS:
+        PRISMA_VARITH(b, *a.s[r] > *b.s[r])
+      case OpCode::kGeS:
+        PRISMA_VARITH(b, *a.s[r] >= *b.s[r])
+      case OpCode::kEqB:
+        PRISMA_VARITH(b, a.b[r] == b.b[r])
+      case OpCode::kNeB:
+        PRISMA_VARITH(b, a.b[r] != b.b[r])
+#undef PRISMA_VARITH
+      case OpCode::kAnd: {
+        const VReg& a = vregs_[in.a];
+        const VReg& b = vregs_[in.b];
+        d.null.resize(rows);
+        d.b.resize(rows);
+        for (size_t r = 0; r < rows; ++r) {
+          // Kleene: false dominates NULL.
+          if ((a.null[r] == 0 && a.b[r] == 0) ||
+              (b.null[r] == 0 && b.b[r] == 0)) {
+            d.null[r] = 0;
+            d.b[r] = 0;
+          } else if (a.null[r] != 0 || b.null[r] != 0) {
+            d.null[r] = 1;
+          } else {
+            d.null[r] = 0;
+            d.b[r] = 1;
+          }
+        }
+        break;
+      }
+      case OpCode::kOr: {
+        const VReg& a = vregs_[in.a];
+        const VReg& b = vregs_[in.b];
+        d.null.resize(rows);
+        d.b.resize(rows);
+        for (size_t r = 0; r < rows; ++r) {
+          // Kleene: true dominates NULL.
+          if ((a.null[r] == 0 && a.b[r] != 0) ||
+              (b.null[r] == 0 && b.b[r] != 0)) {
+            d.null[r] = 0;
+            d.b[r] = 1;
+          } else if (a.null[r] != 0 || b.null[r] != 0) {
+            d.null[r] = 1;
+          } else {
+            d.null[r] = 0;
+            d.b[r] = 0;
+          }
+        }
+        break;
+      }
+    }
+  }
+  if (fail_row != SIZE_MAX) return InvalidArgumentError(fail_msg);
+  return Status::OK();
+}
+
+StatusOr<ColumnBatch::Column> CompiledExpr::EvalBatch(
+    const ColumnBatch& batch) const {
+  RETURN_IF_ERROR(RunBatch(batch));
+  const size_t rows = batch.num_rows();
+  const VReg& res = vregs_[result_reg_];
+  ColumnBatch::Column col;
+  col.type = result_type_;
+  if (result_type_ == DataType::kNull) {
+    col.nulls.assign(rows, 1);
+    return col;
+  }
+  col.nulls = res.null;
+  switch (result_type_) {
+    case DataType::kNull:
+      break;
+    case DataType::kBool:
+      col.bools.resize(rows);
+      for (size_t r = 0; r < rows; ++r) {
+        col.bools[r] = res.null[r] == 0 ? res.b[r] : 0;
+      }
+      break;
+    case DataType::kInt64:
+      col.ints.resize(rows);
+      for (size_t r = 0; r < rows; ++r) {
+        col.ints[r] = res.null[r] == 0 ? res.i[r] : 0;
+      }
+      break;
+    case DataType::kDouble:
+      col.doubles.resize(rows);
+      for (size_t r = 0; r < rows; ++r) {
+        col.doubles[r] = res.null[r] == 0 ? res.d[r] : 0.0;
+      }
+      break;
+    case DataType::kString:
+      col.strings.resize(rows);
+      for (size_t r = 0; r < rows; ++r) {
+        if (res.null[r] == 0) col.strings[r] = *res.s[r];
+      }
+      break;
+  }
+  return col;
+}
+
+Status CompiledExpr::EvalPredicateBatch(const ColumnBatch& batch,
+                                        std::vector<uint8_t>* keep) const {
+  RETURN_IF_ERROR(RunBatch(batch));
+  const size_t rows = batch.num_rows();
+  keep->assign(rows, 0);
+  if (result_type_ != DataType::kBool) return Status::OK();
+  const VReg& res = vregs_[result_reg_];
+  for (size_t r = 0; r < rows; ++r) {
+    (*keep)[r] = (res.null[r] == 0 && res.b[r] != 0) ? 1 : 0;
+  }
+  return Status::OK();
+}
+
 StatusOr<Value> CompiledExpr::Eval(const Tuple& tuple) const {
   RETURN_IF_ERROR(Run(tuple));
   const Reg& r = regs_[result_reg_];

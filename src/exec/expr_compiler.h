@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "algebra/expr.h"
+#include "common/column_batch.h"
 #include "common/status.h"
 #include "common/tuple.h"
 #include "common/value.h"
@@ -87,6 +88,18 @@ class CompiledExpr {
   /// type-checked predicate.)
   StatusOr<bool> EvalPredicate(const Tuple& tuple) const;
 
+  /// Vectorized evaluation (DESIGN.md §12): runs the same instruction
+  /// sequence column-major over all rows of `batch` at once, returning a
+  /// row-aligned result column. Errors (division by zero) reproduce the
+  /// per-tuple path exactly: the Status of the first failing row, and
+  /// within it the first failing instruction in program order.
+  StatusOr<ColumnBatch::Column> EvalBatch(const ColumnBatch& batch) const;
+
+  /// Vectorized predicate: fills `keep` (one byte per row; 1 = the
+  /// predicate is true) with exactly the rows EvalPredicate would accept.
+  Status EvalPredicateBatch(const ColumnBatch& batch,
+                            std::vector<uint8_t>* keep) const;
+
   size_t num_instructions() const { return code_.size(); }
   DataType result_type() const { return result_type_; }
 
@@ -106,7 +119,18 @@ class CompiledExpr {
     const std::string* s = nullptr;
   };
 
+  /// Vector register: one value lane per batch row. As with Reg, exactly
+  /// one of b/i/d/s is meaningful per register, fixed statically.
+  struct VReg {
+    std::vector<uint8_t> null;
+    std::vector<uint8_t> b;
+    std::vector<int64_t> i;
+    std::vector<double> d;
+    std::vector<const std::string*> s;
+  };
+
   Status Run(const Tuple& tuple) const;
+  Status RunBatch(const ColumnBatch& batch) const;
 
   std::vector<Instruction> code_;
   std::vector<Value> constants_;
@@ -116,6 +140,8 @@ class CompiledExpr {
   // Mutable execution state reused across Eval calls (single-threaded).
   mutable std::vector<Reg> regs_;
   mutable std::vector<std::string> scratch_;
+  mutable std::vector<VReg> vregs_;
+  mutable std::vector<std::vector<std::string>> vscratch_;
 };
 
 /// Compiles a bound expression. Fails only on internal inconsistencies

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/column_batch.h"
 #include "common/status.h"
 #include "common/tuple.h"
 
@@ -39,6 +40,26 @@ StatusOr<std::vector<Tuple>> NestedLoopJoin(
 StatusOr<std::vector<Tuple>> MergeJoin(
     const std::vector<Tuple>& left, const std::vector<Tuple>& right,
     const std::vector<std::pair<size_t, size_t>>& keys,
+    const JoinFilter& filter = nullptr, JoinCounters* counters = nullptr);
+
+/// Vectorized hash equi-join over ColumnBatch inputs (DESIGN.md §12): key
+/// hashes and null-key masks are computed column-wise per batch, then the
+/// build/probe protocol of HashJoin runs over the precomputed lanes.
+/// Output, counters and error behavior are identical to HashJoin on the
+/// flattened inputs — build on the smaller side, NULL keys never join,
+/// probe-order output with insertion-order match lists. `batch_rows`
+/// bounds output batch sizes.
+StatusOr<std::vector<ColumnBatch>> VectorizedHashJoin(
+    const std::vector<ColumnBatch>& left,
+    const std::vector<ColumnBatch>& right,
+    const std::vector<std::pair<size_t, size_t>>& keys, size_t batch_rows,
+    const JoinFilter& filter = nullptr, JoinCounters* counters = nullptr);
+
+/// Vectorized nested-loop join; equivalent to NestedLoopJoin on the
+/// flattened inputs.
+StatusOr<std::vector<ColumnBatch>> VectorizedNestedLoopJoin(
+    const std::vector<ColumnBatch>& left,
+    const std::vector<ColumnBatch>& right, size_t batch_rows,
     const JoinFilter& filter = nullptr, JoinCounters* counters = nullptr);
 
 }  // namespace prisma::exec

@@ -89,7 +89,14 @@ void ExchangeConsumerProcess::HandleBatch(const pool::Mail& mail) {
   exec::TupleBatch batch;
   batch.seq = msg->seq;
   batch.eos = msg->eos;
-  if (msg->tuples != nullptr) batch.tuples = *msg->tuples;
+  auto rows_or = TupleBatchRows(*msg);
+  if (!rows_or.ok()) {
+    // A frame that fails to decode can never become deliverable; fail the
+    // query instead of stalling the producer into its retry budget.
+    SendReply(rows_or.status());
+    return;
+  }
+  batch.tuples = std::move(rows_or).value();
   const size_t rows = batch.tuples.size();
   if (channel.Offer(std::move(batch))) {
     // Unmarshalling cost of a fresh batch, as for gathered reply tuples.
@@ -184,6 +191,7 @@ void ExchangeConsumerProcess::RunLocalProbe() {
   const SideSpec& probe = Side(1 - config_.build_side);
   exec::ExecOptions options;
   options.expr_mode = config_.expr_mode;
+  options.exec_mode = config_.exec_mode;
   options.costs = config_.costs;
   options.charge = [this](sim::SimTime ns) { ChargeCpu(ns); };
   PeLocalResolver resolver(config_.registry, pe());

@@ -57,6 +57,9 @@ class ExchangeConsumerProcess : public pool::Process {
     std::vector<std::pair<size_t, size_t>> keys;
     std::shared_ptr<const algebra::Expr> predicate;
     exec::ExprMode expr_mode = exec::ExprMode::kCompiled;
+    /// Execution mode for the stationary-side local probe plan; the
+    /// moving sides additionally arrive column-framed when vectorized.
+    exec::ExecMode exec_mode = exec::ExecMode::kRow;
     pool::CostModel costs;
     const PeLocalRegistry* registry = nullptr;  // Stationary-side scans.
     uint64_t credit_window = 4;

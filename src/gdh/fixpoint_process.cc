@@ -4,7 +4,9 @@
 #include <any>
 #include <utility>
 
+#include "common/column_batch.h"
 #include "common/logging.h"
+#include "common/serialize.h"
 
 namespace prisma::gdh {
 
@@ -125,7 +127,14 @@ void FixpointPeProcess::HandleBatch(const pool::Mail& mail) {
   exec::TupleBatch batch;
   batch.seq = msg->seq;
   batch.eos = msg->eos;
-  if (msg->tuples != nullptr) batch.tuples = *msg->tuples;
+  auto rows_or = TupleBatchRows(*msg);
+  if (!rows_or.ok()) {
+    // An undecodable frame can never become deliverable; degrade the
+    // whole fixpoint instead of stalling the peer's retry budget.
+    Fail(rows_or.status());
+    return;
+  }
+  batch.tuples = std::move(rows_or).value();
   const size_t rows = batch.tuples.size();
   if (channel->Offer(std::move(batch))) {
     ChargeCpu(static_cast<sim::SimTime>(rows) * config_.costs.tuple_ns);
@@ -281,7 +290,12 @@ void FixpointPeProcess::SendBatchMsg(uint64_t token, OutStream& out,
   msg->shuffle_token = token;
   msg->seq = batch.seq;
   msg->eos = batch.eos;
-  msg->tuples = std::make_shared<std::vector<Tuple>>(batch.tuples);
+  if (config_.columnar) {
+    msg->column_frame = std::make_shared<const std::string>(
+        SerializeColumnBatch(ColumnBatch::FromTuples(batch.tuples)));
+  } else {
+    msg->tuples = std::make_shared<std::vector<Tuple>>(batch.tuples);
+  }
   const int64_t bits = msg->WireBits();
   // Marshalling cost, mirroring the receiver's per-tuple unmarshal charge.
   ChargeCpu(static_cast<sim::SimTime>(batch.tuples.size()) *

@@ -859,6 +859,7 @@ void GdhProcess::SpawnCoordinator(const std::shared_ptr<ClientStatement>& stmt,
   config.rules = config_.rules;
   config.costs = config_.costs;
   config.expr_mode = config_.expr_mode;
+  config.exec_mode = stmt->exec_mode.value_or(config_.exec_mode);
   config.gdh = self();
   config.client = client;
   config.statement = stmt;

@@ -66,6 +66,9 @@ class GdhProcess : public pool::Process {
     pool::CostModel costs;
     OptimizerRules rules;
     exec::ExprMode expr_mode = exec::ExprMode::kCompiled;
+    /// Machine-default execution mode (row-at-a-time or vectorized);
+    /// statements may override it per query (ClientStatement::exec_mode).
+    exec::ExecMode exec_mode = exec::ExecMode::kRow;
     /// Base-fragment OFM flavour (kQueryOnly disables durability — E7).
     exec::OfmType base_ofm_type = exec::OfmType::kFull;
     PlacementPolicy placement = PlacementPolicy::kAligned;

@@ -1,6 +1,19 @@
 #include "gdh/messages.h"
 
+#include "common/column_batch.h"
+#include "common/serialize.h"
+
 namespace prisma::gdh {
+
+StatusOr<std::vector<Tuple>> TupleBatchRows(const TupleBatchMsg& msg) {
+  if (msg.column_frame != nullptr) {
+    ASSIGN_OR_RETURN(ColumnBatch batch,
+                     DeserializeColumnBatch(*msg.column_frame));
+    return batch.ToTuples();
+  }
+  if (msg.tuples != nullptr) return *msg.tuples;
+  return std::vector<Tuple>();
+}
 
 int64_t TuplesBits(const std::vector<Tuple>& tuples) {
   int64_t bytes = 16;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -91,6 +92,8 @@ struct ClientStatement {
   bool is_prismalog = false;
   /// Session transaction (kAutoCommit when outside BEGIN/COMMIT).
   exec::TxnId txn = exec::kAutoCommit;
+  /// Per-statement execution-mode override; unset = the machine default.
+  std::optional<exec::ExecMode> exec_mode;
 };
 
 /// Reply to a client statement: result rows for queries, affected count
@@ -114,6 +117,8 @@ struct ExecPlanRequest {
   std::shared_ptr<const algebra::Plan> plan;
   /// EXPLAIN ANALYZE: return a per-operator profile with the tuples.
   bool profile = false;
+  /// Fragment-local execution mode (row-at-a-time or vectorized).
+  exec::ExecMode exec_mode = exec::ExecMode::kRow;
 
   int64_t WireBits() const {
     return kControlBits +
@@ -190,6 +195,10 @@ struct ShufflePlanRequest {
   std::vector<pool::ProcessId> consumers;
   uint64_t batch_rows = 64;     // Max tuples per batch.
   uint64_t credit_window = 4;   // Batches in flight per channel.
+  /// Producer-side execution mode. kVectorized additionally switches the
+  /// tuple-batch frames of this shuffle to the column-encoded wire format
+  /// (DESIGN.md §12), shrinking the modelled wire bits.
+  exec::ExecMode exec_mode = exec::ExecMode::kRow;
 
   int64_t WireBits() const {
     return kControlBits +
@@ -208,12 +217,28 @@ struct TupleBatchMsg {
   uint64_t shuffle_token = 0;
   uint64_t seq = 0;   // 1-based per-channel sequence number.
   bool eos = false;   // Final batch of this channel.
+  /// Row-encoded payload (exactly one of tuples / column_frame is set on
+  /// a non-empty batch; empty batches may carry neither).
   std::shared_ptr<std::vector<Tuple>> tuples;
+  /// Column-encoded payload: a serialized ColumnBatch frame (DESIGN.md
+  /// §12). Its *actual byte length* is the modelled wire size, so the
+  /// exchange.wire_bits savings of the columnar format are measured, not
+  /// assumed.
+  std::shared_ptr<const std::string> column_frame;
 
   int64_t WireBits() const {
+    if (column_frame != nullptr) {
+      return kControlBits + static_cast<int64_t>(column_frame->size()) * 8;
+    }
     return kControlBits + (tuples ? TuplesBits(*tuples) : 0);
   }
 };
+
+/// Decodes the payload of a tuple-batch frame into rows, whichever
+/// encoding it carries. Both exchange decode sites (consumer processes
+/// and fixpoint partitions) funnel through this helper so the two wire
+/// formats stay interchangeable.
+StatusOr<std::vector<Tuple>> TupleBatchRows(const TupleBatchMsg& msg);
 
 /// Consumer -> producer: cumulative acknowledgement for one channel.
 /// `ack` is the highest sequence number delivered in order; the producer

@@ -155,6 +155,9 @@ class OfmProcess : public pool::Process {
     uint64_t exchange_id = 0;
     int side = 0;
     size_t producer = 0;
+    /// Frame batches in the column-encoded wire format (DESIGN.md §12)
+    /// instead of row-encoded tuples (vectorized statements).
+    bool columnar = false;
     std::vector<ShuffleChannel> channels;
     int attempts = 0;           // Timer firings without window progress.
     sim::SimTime retry_delay = 0;
@@ -234,6 +237,7 @@ class OfmProcess : public pool::Process {
   obs::Counter* m_batches_sent_ = nullptr;
   obs::Counter* m_exchange_bytes_ = nullptr;
   obs::Counter* m_exchange_stalls_ = nullptr;
+  obs::Counter* m_wire_bits_ = nullptr;  // Modelled bits put on the wire.
   obs::Counter* m_batch_retransmits_ = nullptr;  // Lazy: fault paths only.
   uint64_t wal_synced_ = 0;
   uint64_t redo_synced_ = 0;

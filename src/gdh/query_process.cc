@@ -439,6 +439,7 @@ size_t QueryProcess::ScatterExchangePart(size_t part_index) {
     cc.keys = ex.keys;
     cc.predicate = ex.predicate;
     cc.expr_mode = config_.expr_mode;
+    cc.exec_mode = config_.exec_mode;
     cc.costs = config_.costs;
     cc.registry = config_.registry;
     cc.credit_window = config_.exchange_credit_window;
@@ -471,6 +472,7 @@ size_t QueryProcess::ScatterExchangePart(size_t part_index) {
       request->consumers = consumers;
       request->batch_rows = config_.exchange_batch_rows;
       request->credit_window = config_.exchange_credit_window;
+      request->exec_mode = config_.exec_mode;
       work_->push_back(FragmentWork{frag.ofm, request->plan, part_index,
                                     side_tables[s], frag.name, request});
     }
@@ -492,6 +494,7 @@ void QueryProcess::SendNextFragmentPlan() {
   request->request_id = next_request_id_++;
   request->plan = w.plan;
   request->profile = analyze_;
+  request->exec_mode = config_.exec_mode;
   request_part_[request->request_id] = w.part;
   ++outstanding_;
   SendRpc(request->request_id, kMailExecPlan, request, request->WireBits(),
@@ -572,6 +575,7 @@ void QueryProcess::RunGlobalPhase() {
   }
   exec::ExecOptions exec_opts;
   exec_opts.expr_mode = config_.expr_mode;
+  exec_opts.exec_mode = config_.exec_mode;
   exec_opts.costs = config_.costs;
   exec_opts.charge = [this](sim::SimTime ns) { ChargeCpu(ns); };
   exec_opts.enable_subtree_cache = optimizer_report_.enable_subtree_cache;
@@ -882,6 +886,7 @@ void QueryProcess::ScatterFixpoint() {
     fc.reply_request_id = next_request_id_++;
     fc.batch_rows = config_.exchange_batch_rows;
     fc.credit_window = config_.exchange_credit_window;
+    fc.columnar = config_.exec_mode == exec::ExecMode::kVectorized;
     fc.vote_resend_ns = config_.stmt_done_resend_ns;
     fc.reply_resend_ns = config_.stmt_done_resend_ns;
     fc.costs = config_.costs;
@@ -923,6 +928,7 @@ void QueryProcess::ScatterFixpoint() {
     request->consumers = pids;
     request->batch_rows = config_.exchange_batch_rows;
     request->credit_window = config_.exchange_credit_window;
+    request->exec_mode = config_.exec_mode;
     work_->push_back(FragmentWork{frag.ofm, request->plan, 0, fx_edge_table_,
                                   frag.name, request});
   }

@@ -42,6 +42,10 @@ class QueryProcess : public pool::Process {
     OptimizerRules rules;
     pool::CostModel costs;
     exec::ExprMode expr_mode = exec::ExprMode::kCompiled;
+    /// Resolved execution mode of this statement (machine default or the
+    /// statement's override), threaded to every fragment plan, shuffle
+    /// producer, exchange consumer and fixpoint partition it spawns.
+    exec::ExecMode exec_mode = exec::ExecMode::kRow;
     pool::ProcessId gdh = pool::kNoProcess;
     pool::ProcessId client = pool::kNoProcess;
     std::shared_ptr<ClientStatement> statement;

@@ -9,6 +9,7 @@ namespace prisma::obs {
 void MergeProfile(OperatorProfile* into, const OperatorProfile& from) {
   into->rows += from.rows;
   into->bytes += from.bytes;
+  into->batches += from.batches;
   into->total_ns += from.total_ns;
   into->invocations += from.invocations;
   const size_t common = std::min(into->children.size(), from.children.size());
@@ -45,6 +46,10 @@ void RenderProfile(const OperatorProfile& profile, int indent,
                     static_cast<unsigned long long>(profile.bytes),
                     FormatNs(profile.total_ns).c_str(),
                     FormatNs(self_ns).c_str());
+  if (profile.batches > 0) {
+    line += StrFormat(" batches=%llu",
+                      static_cast<unsigned long long>(profile.batches));
+  }
   if (profile.invocations > 1) {
     line += StrFormat(" x%llu",
                       static_cast<unsigned long long>(profile.invocations));

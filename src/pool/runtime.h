@@ -50,6 +50,16 @@ struct CostModel {
   /// removes; experiment E4 measures the real-time ratio.
   sim::SimTime compiled_instr_ns = 25;
   sim::SimTime interpreted_node_ns = 250;
+  /// Vectorized execution (DESIGN.md §12). A batch kernel amortizes
+  /// per-tuple dispatch: each VM instruction costs vector_batch_ns once
+  /// per batch (kernel dispatch) plus vector_instr_ns per row (tight
+  /// column loop, no per-row unboxing), and moving a row through a
+  /// columnar operator costs batch_row_ns instead of tuple_ns. The ratios
+  /// follow the measured gap between tuple-at-a-time and vectorized
+  /// engines in the main-memory literature (PAPERS.md, Hespe et al.).
+  sim::SimTime vector_instr_ns = 6;
+  sim::SimTime vector_batch_ns = 400;
+  sim::SimTime batch_row_ns = 100;
   /// Cost of parsing + optimizing a query in the GDH, per query.
   sim::SimTime optimize_ns = 300'000;
 };

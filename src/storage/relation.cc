@@ -124,6 +124,22 @@ std::vector<Tuple> Relation::AllTuples() const {
   return out;
 }
 
+std::vector<ColumnBatch> Relation::ScanBatches(size_t batch_rows) const {
+  if (batch_rows == 0) batch_rows = ColumnBatch::kDefaultBatchRows;
+  std::vector<ColumnBatch> batches;
+  ColumnBatch batch(schema_.num_columns());
+  for (const auto& r : rows_) {
+    if (!r.has_value()) continue;
+    batch.AppendTuple(*r);
+    if (batch.num_rows() >= batch_rows) {
+      batches.push_back(std::move(batch));
+      batch = ColumnBatch(schema_.num_columns());
+    }
+  }
+  if (batch.num_rows() > 0) batches.push_back(std::move(batch));
+  return batches;
+}
+
 void Relation::Clear() {
   TrackRelease(byte_size_);
   rows_.clear();

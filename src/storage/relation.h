@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/column_batch.h"
 #include "common/schema.h"
 #include "common/status.h"
 #include "common/tuple.h"
@@ -65,6 +66,11 @@ class Relation {
 
   /// All live tuples in RowId order (convenience for small results).
   std::vector<Tuple> AllTuples() const;
+
+  /// All live tuples in RowId order, chunked into ColumnBatches of at most
+  /// `batch_rows` rows (the vectorized scan entry point; same tuples in
+  /// the same order as AllTuples).
+  std::vector<ColumnBatch> ScanBatches(size_t batch_rows) const;
 
   size_t num_tuples() const { return live_count_; }
   /// Approximate bytes held, including tombstoned slots until Compact.

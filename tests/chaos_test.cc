@@ -345,9 +345,11 @@ struct ExchangeSoakOutcome {
 /// interconnect. Small batches and a tight credit window turn the 30-row
 /// shuffle into many batch/ack round trips, each a chance for the fault
 /// plan to misbehave.
-ExchangeSoakOutcome RunExchangeChaos(uint64_t seed) {
+ExchangeSoakOutcome RunExchangeChaos(
+    uint64_t seed, exec::ExecMode mode = exec::ExecMode::kRow) {
   MachineConfig config;
   config.pes = 4;
+  config.exec_mode = mode;
   config.exchange_batch_rows = 4;
   config.exchange_credit_window = 2;
   Rng rng(seed * 0x9e3779b97f4a7c15ULL + 7);
@@ -400,6 +402,38 @@ TEST(ChaosTest, ExchangeSameSeedReplayIsByteIdentical) {
   const ExchangeSoakOutcome b = RunExchangeChaos(13);
   EXPECT_EQ(a.metrics, b.metrics);  // Byte-identical, exchanges included.
   EXPECT_NE(a.metrics.find("exchange.batches_sent"), std::string::npos);
+}
+
+/// The vectorized path (column-encoded wire frames, batch kernels) under
+/// the same lossy interconnect: the answer must survive every seed, and
+/// lost/duplicated column frames must flow through the same
+/// retransmission and dedup machinery as row batches.
+TEST(ChaosTest, VectorizedExchangeSoakSurvives25Seeds) {
+  uint64_t dropped = 0;
+  uint64_t duplicated = 0;
+  uint64_t recovered = 0;
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    SCOPED_TRACE(StrFormat("seed %llu",
+                           static_cast<unsigned long long>(seed)));
+    const ExchangeSoakOutcome out =
+        RunExchangeChaos(seed, exec::ExecMode::kVectorized);
+    EXPECT_GT(out.batches_sent, 0u);
+    dropped += out.dropped;
+    duplicated += out.duplicated;
+    recovered += out.retransmits + out.dup_batches;
+  }
+  EXPECT_GT(dropped, 0u);
+  EXPECT_GT(duplicated, 0u);
+  EXPECT_GT(recovered, 0u);
+}
+
+TEST(ChaosTest, VectorizedSameSeedReplayIsByteIdentical) {
+  const ExchangeSoakOutcome a =
+      RunExchangeChaos(17, exec::ExecMode::kVectorized);
+  const ExchangeSoakOutcome b =
+      RunExchangeChaos(17, exec::ExecMode::kVectorized);
+  EXPECT_EQ(a.metrics, b.metrics);
+  EXPECT_NE(a.metrics.find("exchange.wire_bits"), std::string::npos);
 }
 
 TEST(ChaosTest, LinkDownMidShuffleDegradesToUnavailableNotAHang) {

@@ -5,10 +5,12 @@
 
 #include "algebra/expr.h"
 #include "algebra/plan.h"
+#include "common/column_batch.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "core/prisma_db.h"
 #include "exec/executor.h"
+#include "exec/expr_compiler.h"
 #include "exec/exchange.h"
 #include "exec/join.h"
 #include "exec/transitive_closure.h"
@@ -1046,6 +1048,203 @@ TEST_F(ExchangeMachineTest, ShuffleBothRepartitionsBothSides) {
   // Both sides produced into channels.
   EXPECT_GT(SumOverLabel("exchange.batches_sent", "fragment", "lhs", 4), 0u);
   EXPECT_GT(SumOverLabel("exchange.batches_sent", "fragment", "rhs", 4), 0u);
+}
+
+// ----------------------------------- Vectorized kernels (DESIGN.md §12)
+//
+// Kernel-level checks against the per-tuple reference implementations:
+// the batch filter against CompiledExpr::EvalPredicate row by row, the
+// batch hash join against HashJoin on the flattened inputs, and the
+// vectorized aggregate path against the row path of the same plan.
+
+Schema XSchema() { return Schema({{"x", DataType::kInt64}}); }
+
+std::vector<Tuple> XTuples(int n) {
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < n; ++i) tuples.push_back(Tuple({Value::Int(i)}));
+  return tuples;
+}
+
+TEST(VectorizedKernelTest, FilterSelectivityEdgesMatchPerTupleReference) {
+  // 0%, 100% and boundary selectivities, with NULLs in the mix; ragged
+  // batches (100 rows chunked by 16 leaves a 4-row tail).
+  std::vector<Tuple> tuples = XTuples(100);
+  tuples[13] = Tuple({Value::Null()});
+  tuples[96] = Tuple({Value::Null()});
+  const std::vector<ColumnBatch> batches = ColumnBatch::Chunk(tuples, 16);
+  ASSERT_EQ(batches.size(), 7u);
+  const struct {
+    const char* name;
+    BinaryOp op;
+    int64_t literal;
+  } kPredicates[] = {
+      {"0% (x < 0)", BinaryOp::kLt, 0},
+      {"100% (x >= 0)", BinaryOp::kGe, 0},
+      {"boundary (x < 50)", BinaryOp::kLt, 50},
+      {"first row only (x <= 0)", BinaryOp::kLe, 0},
+      {"last row only (x >= 99)", BinaryOp::kGe, 99},
+  };
+  for (const auto& p : kPredicates) {
+    SCOPED_TRACE(p.name);
+    auto expr = Expr::Binary(p.op, Col("x"), Lit(p.literal));
+    ASSERT_TRUE(expr->Bind(XSchema()).ok());
+    auto compiled = CompileExpr(*expr);
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+    size_t row = 0;
+    for (const ColumnBatch& batch : batches) {
+      std::vector<uint8_t> keep;
+      ASSERT_TRUE(compiled->EvalPredicateBatch(batch, &keep).ok());
+      ASSERT_EQ(keep.size(), batch.num_rows());
+      for (size_t r = 0; r < batch.num_rows(); ++r, ++row) {
+        auto expect = compiled->EvalPredicate(tuples[row]);
+        ASSERT_TRUE(expect.ok());
+        EXPECT_EQ(keep[r] != 0, *expect) << "row " << row;
+      }
+    }
+    EXPECT_EQ(row, tuples.size());
+  }
+}
+
+TEST(VectorizedKernelTest, EvalBatchErrorMatchesFirstFailingRow) {
+  // Division by zero on row 5: the batch kernel must report the same
+  // Status the per-tuple path reports for the first failing row.
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 10; ++i) {
+    tuples.push_back(Tuple({Value::Int(i == 5 ? 0 : i + 1)}));
+  }
+  auto expr = Expr::Binary(BinaryOp::kDiv, Lit(int64_t{100}), Col("x"));
+  ASSERT_TRUE(expr->Bind(XSchema()).ok());
+  auto compiled = CompileExpr(*expr);
+  ASSERT_TRUE(compiled.ok());
+  auto batch_result =
+      compiled->EvalBatch(ColumnBatch::FromTuples(tuples));
+  ASSERT_FALSE(batch_result.ok());
+  auto row_result = compiled->Eval(tuples[5]);
+  ASSERT_FALSE(row_result.ok());
+  EXPECT_EQ(batch_result.status().ToString(),
+            row_result.status().ToString());
+}
+
+TEST(VectorizedKernelTest, HashJoinKeyRunsSpanningBatchBoundaries) {
+  // One key's matches straddle several input batches on both sides: 30
+  // left rows of key 5 (chunked by 8 alongside non-matching and NULL
+  // keys) against 9 right rows of key 5 chunked by 4.
+  std::vector<Tuple> left, right;
+  for (int i = 0; i < 30; ++i) left.push_back(Pair(5, i));
+  for (int i = 0; i < 4; ++i) left.push_back(Pair(100 + i, i));
+  left.push_back(Tuple({Value::Null(), Value::Int(-1)}));
+  for (int i = 0; i < 9; ++i) right.push_back(Pair(5, 1000 + i));
+  right.push_back(Tuple({Value::Null(), Value::Int(-2)}));
+  right.push_back(Pair(200, 0));
+
+  JoinCounters row_counters;
+  auto expected = HashJoin(left, right, {{0, 0}}, nullptr, &row_counters);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_EQ(expected->size(), 30u * 9u);
+
+  JoinCounters vec_counters;
+  auto batches = VectorizedHashJoin(
+      ColumnBatch::Chunk(left, 8), ColumnBatch::Chunk(right, 4), {{0, 0}},
+      /*batch_rows=*/16, nullptr, &vec_counters);
+  ASSERT_TRUE(batches.ok()) << batches.status().ToString();
+  std::vector<Tuple> flattened;
+  for (const ColumnBatch& b : *batches) {
+    for (Tuple& t : b.ToTuples()) flattened.push_back(std::move(t));
+  }
+  ASSERT_EQ(flattened.size(), expected->size());
+  // Identical output order (probe order, insertion-order match lists).
+  for (size_t i = 0; i < flattened.size(); ++i) {
+    EXPECT_EQ(flattened[i].Compare((*expected)[i]), 0) << "row " << i;
+  }
+  EXPECT_EQ(vec_counters.hash_ops, row_counters.hash_ops);
+  EXPECT_EQ(vec_counters.compare_ops, row_counters.compare_ops);
+  EXPECT_EQ(vec_counters.pairs_examined, row_counters.pairs_examined);
+  // Output respects the batch_rows bound.
+  for (const ColumnBatch& b : *batches) EXPECT_LE(b.num_rows(), 16u);
+}
+
+class VectorizedExecutorTest : public ExecutorTest {
+ protected:
+  StatusOr<std::vector<Tuple>> ExecuteVectorized(const algebra::Plan& plan,
+                                                 size_t batch_rows = 7) {
+    ExecOptions opts;
+    opts.exec_mode = ExecMode::kVectorized;
+    opts.batch_rows = batch_rows;  // Odd size: forces ragged batches.
+    Executor executor(&resolver_, opts);
+    auto result = executor.Execute(plan);
+    last_stats_ = executor.stats();
+    return result;
+  }
+};
+
+TEST_F(VectorizedExecutorTest, AggregateEdgesMatchRowPath) {
+  // Grouped aggregates whose groups span batch boundaries, plus the
+  // empty-input grand total, in both modes.
+  std::vector<std::unique_ptr<Expr>> groups;
+  groups.push_back(Col("dept"));
+  std::vector<algebra::AggSpec> aggs;
+  aggs.push_back({AggFunc::kCount, nullptr, "n"});
+  aggs.push_back({AggFunc::kSum, Col("salary"), "total"});
+  aggs.push_back({AggFunc::kMin, Col("salary"), "lo"});
+  aggs.push_back({AggFunc::kMax, Col("salary"), "hi"});
+  aggs.push_back({AggFunc::kAvg, Col("salary"), "avg"});
+  auto grouped = AggregatePlan::Create(EmpScan(), std::move(groups),
+                                       {"dept"}, std::move(aggs));
+  ASSERT_TRUE(grouped.ok());
+  auto row_out = Execute(**grouped);
+  ASSERT_TRUE(row_out.ok());
+  auto vec_out = ExecuteVectorized(**grouped);
+  ASSERT_TRUE(vec_out.ok()) << vec_out.status().ToString();
+  ASSERT_EQ(vec_out->size(), row_out->size());
+  for (size_t i = 0; i < row_out->size(); ++i) {
+    EXPECT_EQ((*vec_out)[i].Compare((*row_out)[i]), 0) << "group " << i;
+  }
+  EXPECT_GT(last_stats_.batches, 0u);
+
+  // Empty input: COUNT = 0, SUM of nothing = NULL, identically.
+  auto none = SelectPlan::Create(
+      EmpScan(), Expr::Binary(BinaryOp::kLt, Col("id"), Lit(int64_t{0})));
+  ASSERT_TRUE(none.ok());
+  std::vector<algebra::AggSpec> empty_aggs;
+  empty_aggs.push_back({AggFunc::kCount, nullptr, "n"});
+  empty_aggs.push_back({AggFunc::kSum, Col("salary"), "total"});
+  auto grand = AggregatePlan::Create(std::move(*none), {}, {},
+                                     std::move(empty_aggs));
+  ASSERT_TRUE(grand.ok());
+  auto row_empty = Execute(**grand);
+  auto vec_empty = ExecuteVectorized(**grand);
+  ASSERT_TRUE(row_empty.ok());
+  ASSERT_TRUE(vec_empty.ok());
+  ASSERT_EQ(vec_empty->size(), 1u);
+  EXPECT_EQ(vec_empty->front().Compare(row_empty->front()), 0);
+}
+
+TEST_F(VectorizedExecutorTest, FilterAndScanCountBatches) {
+  auto plan = SelectPlan::Create(
+      EmpScan(),
+      Expr::Binary(BinaryOp::kLt, Col("salary"), Lit(int64_t{2000})));
+  ASSERT_TRUE(plan.ok());
+  auto row_out = Execute(**plan);
+  ASSERT_TRUE(row_out.ok());
+  auto vec_out = ExecuteVectorized(**plan);
+  ASSERT_TRUE(vec_out.ok());
+  ASSERT_EQ(vec_out->size(), row_out->size());
+  for (size_t i = 0; i < row_out->size(); ++i) {
+    EXPECT_EQ((*vec_out)[i].Compare((*row_out)[i]), 0);
+  }
+  // 30 rows in batches of 7 -> 5 scan batches (the last ragged).
+  EXPECT_GT(last_stats_.batches, 0u);
+}
+
+TEST_F(VectorizedExecutorTest, InterpretedModeSilentlyStaysRow) {
+  ExecOptions opts;
+  opts.expr_mode = ExprMode::kInterpreted;
+  opts.exec_mode = ExecMode::kVectorized;
+  Executor executor(&resolver_, opts);
+  auto out = executor.Execute(*EmpScan());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 30u);
+  EXPECT_EQ(executor.stats().batches, 0u);  // Row path: no batches.
 }
 
 }  // namespace

@@ -1,0 +1,28 @@
+// Fixture: iteration over an unordered container in a file on the
+// columnar wire surface (it includes common/column_batch.h). The order
+// rows are appended to a batch becomes frame bytes on the interconnect,
+// so both loop forms must produce a D2 diagnostic.
+#include <string>
+#include <unordered_set>
+
+#include "common/column_batch.h"
+
+namespace fixture {
+
+class FrameBuilder {
+ public:
+  void AppendAll() {
+    for (const std::string& row : pending_) {
+      Append(row);
+    }
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      Append(*it);
+    }
+  }
+
+ private:
+  void Append(const std::string& row);
+  std::unordered_set<std::string> pending_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// Fixture: a file on the columnar wire surface (common/column_batch.h)
+// whose unordered iteration carries the sanctioned annotation. The
+// analyzer must report nothing for this file.
+#include <string>
+#include <unordered_map>
+
+#include "common/column_batch.h"
+
+namespace fixture {
+
+class QuietFrameBuilder {
+ public:
+  long DistinctBytes() {
+    // prisma-lint: ordered - sizes are summed; the total is order-free
+    for (const auto& [row, size] : sizes_) {
+      total_ += size;
+    }
+    return total_;
+  }
+
+ private:
+  std::unordered_map<std::string, long> sizes_;
+  long total_ = 0;
+};
+
+}  // namespace fixture

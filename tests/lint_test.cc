@@ -30,6 +30,8 @@ TEST(LintTest, GoldenDiagnosticsOverFixtureCorpus) {
   // annotated / sim fixtures, sorted by (path, line, rule).
   const std::vector<std::string> want = {
       "bad/discard.cc:12 D4",
+      "bad/unordered_frame.cc:15 D2",
+      "bad/unordered_frame.cc:18 D2",
       "bad/unordered_send.cc:14 D2",
       "bad/unordered_send.cc:17 D2",
       "bad/wall_clock.cc:11 D1",
@@ -76,7 +78,7 @@ TEST(LintTest, AllowlistSilencesMatchedFindingAndFlagsStaleEntries) {
 
   LintReport report =
       ApplyAllowlist(AnalyzeSources(LoadFixtures()), allowlist);
-  EXPECT_EQ(report.violations, 8u);  // 10 findings - 2 allowlisted.
+  EXPECT_EQ(report.violations, 10u);  // 12 findings - 2 allowlisted.
   ASSERT_EQ(report.unused_allowlist.size(), 1u);
   EXPECT_EQ(report.unused_allowlist[0].needle, "no_such_token");
   EXPECT_FALSE(report.clean());
@@ -93,7 +95,7 @@ TEST(LintTest, AllowlistSilencesMatchedFindingAndFlagsStaleEntries) {
 
 TEST(LintTest, EmptyAllowlistReportsEveryFindingAsViolation) {
   LintReport report = ApplyAllowlist(AnalyzeSources(LoadFixtures()), {});
-  EXPECT_EQ(report.violations, 10u);
+  EXPECT_EQ(report.violations, 12u);
   EXPECT_TRUE(report.unused_allowlist.empty());
   EXPECT_FALSE(report.clean());
 }

@@ -142,7 +142,7 @@ TEST(QueryProfileTest, MergeSumsNodeWiseAndCountsInvocations) {
   a.rows = 10;
   a.bytes = 100;
   a.total_ns = 1000;
-  a.children.push_back({"Scan(emp#0)", 50, 500, 900, 1, {}});
+  a.children.push_back({"Scan(emp#0)", 50, 500, 0, 900, 1, {}});
 
   obs::OperatorProfile b = a;
   b.rows = 4;
@@ -161,8 +161,8 @@ TEST(QueryProfileTest, RenderShowsRowsAndTimes) {
   root.rows = 12;
   root.bytes = 480;
   root.total_ns = 5000;
-  root.children.push_back({"Scan(a)", 6, 120, 2000, 1, {}});
-  root.children.push_back({"Scan(b)", 6, 120, 1000, 1, {}});
+  root.children.push_back({"Scan(a)", 6, 120, 0, 2000, 1, {}});
+  root.children.push_back({"Scan(b)", 6, 120, 0, 1000, 1, {}});
   std::vector<std::string> lines;
   obs::RenderProfile(root, 0, &lines);
   ASSERT_EQ(lines.size(), 3u);

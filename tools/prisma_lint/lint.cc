@@ -255,6 +255,10 @@ const char* const kObservableSurfaces[] = {
     "obs/metrics.h",  "obs/trace.h",    "gdh/messages.h",
     "exec/exchange.h", "gdh/exchange_process.h",
     "exec/fixpoint.h", "gdh/fixpoint_process.h",
+    // The columnar batch and its wire encoding (DESIGN.md §12): frame
+    // bytes are message payloads, so the order anything is appended to a
+    // batch or frame is externally visible timing-wise and byte-wise.
+    "common/column_batch.h", "common/serialize.h",
 };
 
 /// Collects names declared with an unordered container type, e.g.
