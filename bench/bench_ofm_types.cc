@@ -34,10 +34,11 @@ struct Outcome {
   uint64_t wal_records;
 };
 
-Outcome RunWorkload(prisma::exec::OfmType type) {
+Outcome RunWorkload(prisma::exec::OfmType type, bool replicated = false) {
   MachineConfig config;
   config.pes = 16;
   config.base_ofm_type = type;
+  config.replicate_fragments = replicated;
   PrismaDb db(config);
   auto must = [](auto&& r) {
     PRISMA_CHECK(r.ok()) << r.status().ToString();
@@ -79,11 +80,60 @@ Outcome RunWorkload(prisma::exec::OfmType type) {
 
 }  // namespace
 
+/// --replicated: write amplification of dual-replica 2PC (DESIGN.md §13)
+/// against the single-copy baseline, on the same full-OFM workload.
+int RunReplicatedComparison(bool smoke) {
+  std::printf("E7b: single-copy vs replicated (dual-replica 2PC) writes%s\n",
+              smoke ? " (smoke)" : "");
+  std::printf("workload: %d inserts (batches of 100) + %d point updates, "
+              "8 fragments, full OFMs\n\n",
+              kInserts, kUpdates);
+  std::printf("%-14s %16s %16s %12s %12s %12s\n", "placement",
+              "insert ms/stmt", "update ms/stmt", "total ms", "WAL bytes",
+              "WAL records");
+  const Outcome single = RunWorkload(prisma::exec::OfmType::kFull);
+  const Outcome dual =
+      RunWorkload(prisma::exec::OfmType::kFull, /*replicated=*/true);
+  std::printf("%-14s %16.2f %16.2f %12.1f %12zu %12llu\n", "single-copy",
+              single.insert_ms_avg, single.update_ms_avg, single.total_ms,
+              single.wal_bytes,
+              static_cast<unsigned long long>(single.wal_records));
+  std::printf("%-14s %16.2f %16.2f %12.1f %12zu %12llu\n", "replicated",
+              dual.insert_ms_avg, dual.update_ms_avg, dual.total_ms,
+              dual.wal_bytes,
+              static_cast<unsigned long long>(dual.wal_records));
+  std::printf("%-14s %15.1fx %15.1fx %11.1fx %11.1fx %11.1fx\n",
+              "amplification", dual.insert_ms_avg / single.insert_ms_avg,
+              dual.update_ms_avg / single.update_ms_avg,
+              dual.total_ms / single.total_ms,
+              static_cast<double>(dual.wal_bytes) /
+                  static_cast<double>(single.wal_bytes),
+              static_cast<double>(dual.wal_records) /
+                  static_cast<double>(single.wal_records));
+  // The contract the smoke enforces: every write lands on both replicas
+  // (2x WAL records), and latency overhead stays bounded — the backup is
+  // just one more 2PC participant, not a serial second round-trip.
+  PRISMA_CHECK(dual.wal_records == 2 * single.wal_records)
+      << "replicated workload must WAL every write twice, got "
+      << dual.wal_records << " vs single-copy " << single.wal_records;
+  PRISMA_CHECK(dual.total_ms < 3.0 * single.total_ms)
+      << "dual-replica 2PC should piggyback on the commit round, not "
+         "double-serialize it";
+  std::printf(
+      "\nreading: the backup replica is one more presumed-abort 2PC "
+      "participant, so the\nwrite path pays 2x WAL volume but only the "
+      "widest-participant latency (§13).\n");
+  return 0;
+}
+
 int main(int argc, char** argv) {
   const bool smoke = prisma::bench::SmokeMode(argc, argv);
   if (smoke) {
     kInserts = 200;
     kUpdates = 20;
+  }
+  if (prisma::bench::HasFlag(argc, argv, "--replicated")) {
+    return RunReplicatedComparison(smoke);
   }
   std::printf("E7: full vs query-only One-Fragment Managers%s\n",
               smoke ? " (smoke)" : "");

@@ -5,17 +5,30 @@
 #include <cstdlib>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "common/status.h"
 
 namespace prisma {
 namespace internal_logging {
 
+/// Process-wide context line printed by CheckFail (empty = none). Soak
+/// harnesses install the failing seed + a one-line repro command here so
+/// an abort deep inside the machine still tells the reader how to rerun
+/// exactly the failing iteration.
+inline std::string& FailureContext() {
+  static std::string context;
+  return context;
+}
+
 [[noreturn]] inline void CheckFail(const char* file, int line,
                                    const char* condition,
                                    const std::string& message) {
   std::fprintf(stderr, "PRISMA check failed at %s:%d: %s %s\n", file, line,
                condition, message.c_str());
+  if (!FailureContext().empty()) {
+    std::fprintf(stderr, "%s\n", FailureContext().c_str());
+  }
   std::abort();
 }
 
@@ -43,6 +56,26 @@ class CheckMessageBuilder {
 };
 
 }  // namespace internal_logging
+
+/// RAII: while alive, any PRISMA_CHECK failure additionally prints
+/// `context` (e.g. "failing seed: 7\nrepro: PRISMA_SEED=7 ctest -R ...").
+/// Scopes nest by replacement; the previous context is restored on exit.
+class ScopedFailureContext {
+ public:
+  explicit ScopedFailureContext(std::string context)
+      : previous_(internal_logging::FailureContext()) {
+    internal_logging::FailureContext() = std::move(context);
+  }
+  ~ScopedFailureContext() {
+    internal_logging::FailureContext() = std::move(previous_);
+  }
+  ScopedFailureContext(const ScopedFailureContext&) = delete;
+  ScopedFailureContext& operator=(const ScopedFailureContext&) = delete;
+
+ private:
+  std::string previous_;
+};
+
 }  // namespace prisma
 
 /// Aborts with a diagnostic when `condition` is false. Used for internal

@@ -107,11 +107,21 @@ PrismaDb::PrismaDb(MachineConfig config) : config_(std::move(config)) {
   for (int pe = (n > 1 ? 1 : 0); pe < n; ++pe) {
     gdh_config.fragment_pes.push_back(pe);
   }
+  if (config_.coordinator_pes.empty()) {
+    for (int pe = 0; pe < n; ++pe) gdh_config.coordinator_pes.push_back(pe);
+  } else {
+    for (int pe : config_.coordinator_pes) {
+      PRISMA_CHECK(pe >= 0 && pe < n);
+      gdh_config.coordinator_pes.push_back(pe);
+    }
+  }
   for (int pe = 0; pe < n; ++pe) {
-    gdh_config.coordinator_pes.push_back(pe);
     gdh_config.resources[pe] = gdh::GdhProcess::PeResources{
         memory_[pe].get(), stable_[pe].get()};
   }
+  gdh_config.replicate_fragments = config_.replicate_fragments;
+  PRISMA_CHECK(!config_.replicate_fragments ||
+               gdh_config.fragment_pes.size() >= 2);
   gdh_config.costs = config_.costs;
   gdh_config.rules = config_.rules;
   gdh_config.expr_mode = config_.expr_mode;

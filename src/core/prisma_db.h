@@ -54,6 +54,15 @@ struct MachineConfig {
   exec::ExecMode exec_mode = exec::ExecMode::kRow;
   exec::OfmType base_ofm_type = exec::OfmType::kFull;
   gdh::PlacementPolicy placement = gdh::PlacementPolicy::kAligned;
+  /// Place every permanent fragment on two distinct PEs (primary home +
+  /// backup), route writes to both through 2PC, and fail reads over to the
+  /// surviving replica when one PE is down (DESIGN.md §13). Requires at
+  /// least two fragment PEs; kFull base OFMs only.
+  bool replicate_fragments = false;
+  /// PEs eligible to host query coordinators. Empty = every PE. Pinning
+  /// coordinators to PE 0 (which never crashes) isolates replica-failover
+  /// behaviour from coordinator loss in availability experiments.
+  std::vector<int> coordinator_pes;
   storage::DiskModel disk;
   size_t pe_memory_bytes = storage::kDefaultPeMemoryBytes;
   /// GDH<->OFM request retransmission: first resend delay, backoff cap

@@ -436,15 +436,14 @@ Status Ofm::Checkpoint() {
   BinaryWriter w;
   w.PutSchema(relation_.schema());
   w.PutU64(relation_.num_slots());
-  for (storage::RowId row = 0; row < relation_.num_slots(); ++row) {
-    if (relation_.IsLive(row)) {
+  relation_.ScanSlots([&w](storage::RowId, const Tuple* t) {
+    if (t != nullptr) {
       w.PutU8(1);
-      ASSIGN_OR_RETURN(Tuple t, relation_.Get(row));
-      w.PutTuple(t);
+      w.PutTuple(*t);
     } else {
       w.PutU8(0);
     }
-  }
+  });
   ChargeCpu(options_.stable->WriteSnapshot(SnapshotName(), w.Take()));
   options_.stable->TruncateStream(WalStream());
   return Status::OK();
@@ -507,6 +506,121 @@ Status Ofm::ResolveRecovered(TxnId txn, bool commit) {
   undecided_order_.erase(
       std::find(undecided_order_.begin(), undecided_order_.end(), txn));
   return Status::OK();
+}
+
+// --------------------------------------------------------- Replica resync
+
+StatusOr<std::vector<std::string>> Ofm::CommittedWalSince(size_t* cursor) {
+  if (options_.type == OfmType::kQueryOnly) {
+    return FailedPreconditionError("query-only OFM has no WAL");
+  }
+  const auto& wal = options_.stable->ReadStream(WalStream());
+  ChargeCpu(options_.stable->StreamReadNs(WalStream()));
+  // Outcomes are scanned over the whole stream: a record flushed at
+  // prepare position p is decided by a marker at some position > p.
+  std::set<TxnId> committed;
+  std::set<TxnId> aborted;
+  committed.insert(kAutoCommit);
+  for (const std::string& record : wal) {
+    BinaryReader r(record);
+    ASSIGN_OR_RETURN(uint8_t op, r.GetU8());
+    ASSIGN_OR_RETURN(TxnId txn, r.GetI64());
+    if (op == kWalCommit) committed.insert(txn);
+    if (op == kWalAbort) aborted.insert(txn);
+  }
+  std::vector<std::string> out;
+  size_t i = *cursor;
+  for (; i < wal.size(); ++i) {
+    BinaryReader r(wal[i]);
+    ASSIGN_OR_RETURN(uint8_t op, r.GetU8());
+    ASSIGN_OR_RETURN(TxnId txn, r.GetI64());
+    if (op == kWalCommit || op == kWalAbort || op == kWalPrepare) continue;
+    if (!committed.contains(txn) && !aborted.contains(txn)) break;
+    if (committed.contains(txn)) out.push_back(wal[i]);
+  }
+  *cursor = i;
+  return out;
+}
+
+std::vector<std::pair<storage::RowId, Tuple>> Ofm::CommittedRows() {
+  // Undo overlay: walking the open transactions newest-first and each undo
+  // log last-to-first, plain assignment leaves every touched slot at its
+  // oldest before-image — the committed state. kInsert rows committed-away
+  // to "did not exist" map to an empty slot.
+  std::map<storage::RowId, std::optional<Tuple>> overlay;
+  for (auto txn = open_txns_.rbegin(); txn != open_txns_.rend(); ++txn) {
+    const std::vector<UndoRecord>& undo = txn->second.undo;
+    for (auto u = undo.rbegin(); u != undo.rend(); ++u) {
+      switch (u->op) {
+        case UndoRecord::Op::kInsert:
+          overlay[u->row] = std::nullopt;
+          break;
+        case UndoRecord::Op::kDelete:
+        case UndoRecord::Op::kUpdate:
+          overlay[u->row] = u->before;
+          break;
+      }
+    }
+  }
+  std::vector<std::pair<storage::RowId, Tuple>> rows;
+  relation_.ScanSlots([&](storage::RowId row, const Tuple* t) {
+    auto it = overlay.find(row);
+    if (it != overlay.end()) {
+      if (it->second.has_value()) rows.push_back({row, *it->second});
+      return;
+    }
+    if (t != nullptr) rows.push_back({row, *t});
+  });
+  ChargeCpu(static_cast<sim::SimTime>(rows.size()) *
+            options_.exec.costs.tuple_ns);
+  return rows;
+}
+
+void Ofm::ResyncReset() {
+  relation_.Clear();
+  open_txns_.clear();
+  undecided_records_.clear();
+  undecided_order_.clear();
+}
+
+Status Ofm::ResyncRestoreRow(storage::RowId row, Tuple tuple) {
+  if (relation_.num_slots() > row) {
+    return InternalError("resync bulk rows arrived out of order on " +
+                         fragment_name_);
+  }
+  while (relation_.num_slots() < row) {
+    RETURN_IF_ERROR(relation_.RestoreSlot(std::nullopt));
+  }
+  RETURN_IF_ERROR(relation_.RestoreSlot(std::move(tuple)));
+  ChargeCpu(options_.exec.costs.tuple_ns);
+  return Status::OK();
+}
+
+Status Ofm::ResyncApplyRecord(const std::string& record) {
+  BinaryReader r(record);
+  ASSIGN_OR_RETURN(uint8_t op, r.GetU8());
+  ASSIGN_OR_RETURN(TxnId txn, r.GetI64());
+  (void)txn;  // prisma-lint: reasoned - outcome was decided at the source.
+  return ApplyWalData(op, &r);
+}
+
+Status Ofm::FinishResync(uint64_t source_slots) {
+  if (relation_.num_slots() > source_slots) {
+    return InternalError("resync target of " + fragment_name_ + " has " +
+                         std::to_string(relation_.num_slots()) +
+                         " slots, more than the source's " +
+                         std::to_string(source_slots));
+  }
+  while (relation_.num_slots() < source_slots) {
+    RETURN_IF_ERROR(relation_.RestoreSlot(std::nullopt));
+  }
+  for (const auto& idx : hash_indexes_) idx->Rebuild(relation_);
+  for (const auto& idx : btree_indexes_) idx->Rebuild(relation_);
+  ChargeCpu(static_cast<sim::SimTime>(relation_.num_tuples()) *
+            options_.exec.costs.hash_ns *
+            static_cast<sim::SimTime>(hash_indexes_.size() +
+                                      btree_indexes_.size()));
+  return Checkpoint();
 }
 
 Status Ofm::Recover() {

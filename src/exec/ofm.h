@@ -182,6 +182,48 @@ class Ofm {
   /// logged effects and writes the outcome marker.
   Status ResolveRecovered(TxnId txn, bool commit);
 
+  // ---------------------------------------------- Replica resync hooks
+  //
+  // The replication layer (DESIGN.md §13) rebuilds a stale replica from a
+  // surviving one: the *source* streams a snapshot of its live rows (with
+  // RowIds, so the target mirrors the slot layout) followed by committed
+  // WAL-delta rounds; the *target* starts empty, absorbs both, then
+  // rebuilds indexes and checkpoints at the 2PC-consistent cutover.
+
+  /// Source: committed WAL data records at stream positions >= *cursor,
+  /// advancing *cursor past every record whose transaction outcome is
+  /// already decided. Markers are skipped; a record of a still-deciding
+  /// transaction stops the scan (a later round ships it once its
+  /// commit/abort marker lands, and the cutover's exclusive lock
+  /// guarantees the final round finds everything decided).
+  StatusOr<std::vector<std::string>> CommittedWalSince(size_t* cursor);
+
+  /// Source: the fragment's committed contents — live rows with the
+  /// effects of still-open (undecided) transactions undone from their
+  /// undo records, keyed by RowId so the target mirrors the slot layout.
+  /// Paired with a CommittedWalSince cursor taken in the same simulation
+  /// event this is an exact snapshot/delta boundary: fragment-level
+  /// exclusive locks admit at most one writer transaction at a time.
+  std::vector<std::pair<storage::RowId, Tuple>> CommittedRows();
+
+  /// Target: drops all contents so a superseding bulk stream can restart.
+  void ResyncReset();
+
+  /// Target: restores one snapshot row at `row`, padding tombstoned slots
+  /// in between (bulk rows arrive in increasing RowId order).
+  Status ResyncRestoreRow(storage::RowId row, Tuple tuple);
+
+  /// Target: applies one shipped committed WAL data record.
+  Status ResyncApplyRecord(const std::string& record);
+
+  /// Target: index rebuild + checkpoint after the final delta; the
+  /// replica's stable state is now self-sufficient for normal Recover().
+  /// Pads trailing tombstoned slots up to `source_slots` first — the bulk
+  /// snapshot ships live rows only, so rows deleted at the end of the
+  /// source's RowId space would otherwise be lost and later inserts would
+  /// diverge the replicas' RowId assignment (and checkpoint bytes).
+  Status FinishResync(uint64_t source_slots);
+
   /// Number of WAL records written over this OFM's lifetime.
   uint64_t wal_records() const { return wal_records_; }
 

@@ -2,6 +2,18 @@
 
 namespace prisma::gdh {
 
+const char* ReplicaStateName(ReplicaState state) {
+  switch (state) {
+    case ReplicaState::kInSync:
+      return "in_sync";
+    case ReplicaState::kStale:
+      return "stale";
+    case ReplicaState::kResyncing:
+      return "resyncing";
+  }
+  return "unknown";
+}
+
 StatusOr<Schema> DataDictionary::GetTableSchema(
     const std::string& table) const {
   ASSIGN_OR_RETURN(const TableInfo* info, GetTable(table));

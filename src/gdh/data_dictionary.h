@@ -9,6 +9,7 @@
 #include "common/schema.h"
 #include "common/status.h"
 #include "gdh/fragmentation.h"
+#include "gdh/replication.h"
 #include "net/topology.h"
 #include "pool/runtime.h"
 #include "sql/binder.h"
@@ -17,6 +18,13 @@ namespace prisma::gdh {
 
 /// Placement of one fragment: which PE hosts it and which POOL-X process
 /// is its One-Fragment Manager.
+///
+/// With replication on (DESIGN.md §13), the fragment has two replicas:
+/// replica 0 is the home copy named `name`, replica 1 the backup named
+/// BackupFragmentName(name) on a distinct PE (anti-affinity). Writes go to
+/// every in-sync replica through 2PC; reads are served by the replica in
+/// the primary role, failing over to the other in-sync replica when the
+/// primary's PE is down.
 struct FragmentInfo {
   std::string name;  // "emp#3".
   net::NodeId pe = 0;
@@ -24,6 +32,33 @@ struct FragmentInfo {
   /// Live tuple count, maintained by the GDH on writes; the optimizer's
   /// size estimator reads it.
   uint64_t row_count = 0;
+
+  bool replicated = false;
+  net::NodeId backup_pe = 0;
+  pool::ProcessId backup_ofm = pool::kNoProcess;
+  ReplicaState state = ReplicaState::kInSync;         // Replica 0 (home).
+  ReplicaState backup_state = ReplicaState::kInSync;  // Replica 1 (backup).
+  /// Which replica serves reads and sources resyncs (0 home, 1 backup).
+  /// Flips to the survivor on failover; no automatic failback.
+  int primary_replica = 0;
+
+  int num_replicas() const { return replicated ? 2 : 1; }
+  std::string ReplicaName(int r) const {
+    return r == 0 ? name : BackupFragmentName(name);
+  }
+  net::NodeId ReplicaPe(int r) const { return r == 0 ? pe : backup_pe; }
+  pool::ProcessId ReplicaOfm(int r) const {
+    return r == 0 ? ofm : backup_ofm;
+  }
+  void SetReplicaOfm(int r, pool::ProcessId id) {
+    (r == 0 ? ofm : backup_ofm) = id;
+  }
+  ReplicaState replica_state(int r) const {
+    return r == 0 ? state : backup_state;
+  }
+  void set_replica_state(int r, ReplicaState s) {
+    (r == 0 ? state : backup_state) = s;
+  }
 };
 
 struct IndexInfo {

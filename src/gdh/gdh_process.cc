@@ -35,6 +35,11 @@ constexpr exec::TxnId kTxnIdChunk = 64;
 GdhProcess::GdhProcess(Config config) : config_(std::move(config)) {
   PRISMA_CHECK(!config_.fragment_pes.empty());
   PRISMA_CHECK(!config_.coordinator_pes.empty());
+  // Replication needs a distinct PE for the backup (anti-affinity) and a
+  // WAL to resync from.
+  PRISMA_CHECK(!config_.replicate_fragments ||
+               (config_.fragment_pes.size() >= 2 &&
+                config_.base_ofm_type == exec::OfmType::kFull));
   if (config_.metrics != nullptr) {
     obs::MetricsRegistry& m = *config_.metrics;
     m_statements_ = m.GetCounter("gdh.statements");
@@ -75,31 +80,45 @@ void GdhProcess::ReplyToClient(pool::ProcessId client, uint64_t request_id,
 }
 
 StatusOr<pool::ProcessId> GdhProcess::OfmOf(const std::string& fragment) const {
-  const size_t hash_pos = fragment.rfind('#');
-  if (hash_pos == std::string::npos) {
+  const std::string table = TableOfFragment(fragment);
+  if (table.empty()) {
     return InvalidArgumentError("malformed fragment name " + fragment);
   }
-  const std::string table = fragment.substr(0, hash_pos);
   ASSIGN_OR_RETURN(const TableInfo* info, dictionary_->GetTable(table));
   for (const FragmentInfo& frag : info->fragments) {
-    if (frag.name == fragment) return frag.ofm;
+    for (int r = 0; r < frag.num_replicas(); ++r) {
+      if (frag.ReplicaName(r) == fragment) return frag.ReplicaOfm(r);
+    }
   }
   return NotFoundError("no fragment " + fragment);
 }
 
-void GdhProcess::UpdateRowCount(const std::string& fragment, int64_t delta) {
-  const size_t hash_pos = fragment.rfind('#');
-  if (hash_pos == std::string::npos) return;
-  auto info = dictionary_->GetTable(fragment.substr(0, hash_pos));
-  if (!info.ok()) return;
+FragmentInfo* GdhProcess::FindFragment(const std::string& replica_name,
+                                       int* replica) {
+  const std::string table = TableOfFragment(replica_name);
+  if (table.empty()) return nullptr;
+  auto info = dictionary_->GetTable(table);
+  if (!info.ok()) return nullptr;
   for (FragmentInfo& frag : (*info)->fragments) {
-    if (frag.name != fragment) continue;
-    if (delta < 0 && frag.row_count < static_cast<uint64_t>(-delta)) {
-      frag.row_count = 0;
-    } else {
-      frag.row_count += delta;
+    for (int r = 0; r < frag.num_replicas(); ++r) {
+      if (frag.ReplicaName(r) == replica_name) {
+        if (replica != nullptr) *replica = r;
+        return &frag;
+      }
     }
-    return;
+  }
+  return nullptr;
+}
+
+void GdhProcess::UpdateRowCount(const std::string& fragment, int64_t delta) {
+  // Both replicas hold the same rows: the count lives once, on the base
+  // fragment, no matter which replica's reply carried the delta.
+  FragmentInfo* frag = FindFragment(fragment, nullptr);
+  if (frag == nullptr) return;
+  if (delta < 0 && frag->row_count < static_cast<uint64_t>(-delta)) {
+    frag->row_count = 0;
+  } else {
+    frag->row_count += delta;
   }
 }
 
@@ -180,13 +199,36 @@ void GdhProcess::HandleRpcTimeout(const pool::Mail& mail) {
   if (it == rpcs_.end()) return;  // Answered in the meantime.
   PendingRpc& rpc = it->second;
   if (rpc.attempts >= rpc.max_attempts) {
+    int replica = 0;
+    FragmentInfo* frag = FindFragment(rpc.fragment, &replica);
+    // A replicated fragment with a healthy peer sheds the unanswered
+    // replica instead of failing the operation: the replica is marked
+    // stale (rebuilt by resync before it serves anything again) and this
+    // member settles benignly — the surviving replica alone carries the
+    // write, the prepare vote or the decision.
+    if (frag != nullptr && frag->replicated && rpc.kind != kMailResync &&
+        TryFailover(*frag, replica)) {
+      // A fresh shed sweeps this RPC from inside TryFailover (it was
+      // addressed to the shed replica); an already-shed replica's RPC is
+      // settled here instead. `it` may dangle after the sweep.
+      if (SettleRpc(request_id)) {
+        dual_writes_.erase(request_id);
+        AccountBatchMember(request_id, Status::OK(), 0);
+      }
+      return;
+    }
     // Budget exhausted: degrade to a typed kUnavailable so the statement
-    // completes instead of hanging.
+    // completes instead of hanging. The message names the unreachable
+    // fragment and its PE (degradation reporting).
     ++stats_.rpc_failures;
     Inc(LazyCounter(&m_rpc_failures_, "gdh.rpc_failures"));
+    const net::NodeId target_pe =
+        frag != nullptr ? frag->ReplicaPe(replica) : 0;
     Status failure = UnavailableError(
-        rpc.fragment + " did not answer " + rpc.kind + " after " +
+        "fragment " + rpc.fragment + " on PE " + std::to_string(target_pe) +
+        " did not answer " + rpc.kind + " after " +
         std::to_string(rpc.attempts) + " attempts (crashed PE?)");
+    CountUnavailable(target_pe, TableOfFragment(rpc.fragment));
     // The OFM may have executed the write and only its reply was lost: a
     // late reply must still feed the row-count statistics.
     if (rpc.kind == kMailWrite) NoteDegradedWrite(request_id);
@@ -200,6 +242,24 @@ void GdhProcess::HandleRpcTimeout(const pool::Mail& mail) {
   // Re-resolve the target: the fragment may have respawned under a new
   // pid since the last attempt.
   auto ofm = OfmOf(rpc.fragment);
+  const bool target_dead =
+      !ofm.ok() || *ofm == pool::kNoProcess || !runtime()->IsAlive(*ofm);
+  if (target_dead && rpc.kind != kMailResync) {
+    // The host process is gone, not just slow: a replicated fragment with
+    // a healthy peer sheds the replica on the first retry that notices,
+    // mirroring the scatter-time shed in WriteTargets. Waiting out the
+    // budget would pin decision RPCs (extended budget) for seconds on a
+    // target that cannot answer before its PE restarts.
+    int replica = 0;
+    FragmentInfo* frag = FindFragment(rpc.fragment, &replica);
+    if (frag != nullptr && frag->replicated && TryFailover(*frag, replica)) {
+      if (SettleRpc(request_id)) {
+        dual_writes_.erase(request_id);
+        AccountBatchMember(request_id, Status::OK(), 0);
+      }
+      return;
+    }
+  }
   if (ofm.ok() && *ofm != pool::kNoProcess) {
     SendMail(*ofm, rpc.kind, rpc.body, rpc.size_bits);
   }
@@ -236,6 +296,112 @@ void GdhProcess::DoomTxnsInvolving(const std::string& fragment) {
     ++stats_.txns_doomed;
     Inc(LazyCounter(&m_txns_doomed_, "gdh.txns_doomed"));
   }
+}
+
+// ------------------------------------------ Replication (DESIGN.md §13)
+
+bool GdhProcess::TryFailover(FragmentInfo& frag, int dead) {
+  if (!frag.replicated) return false;
+  if (frag.replica_state(dead) != ReplicaState::kInSync) {
+    // Already shed (stale or mid-resync): nothing further to decide.
+    return true;
+  }
+  const int peer = 1 - dead;
+  const pool::ProcessId peer_ofm = frag.ReplicaOfm(peer);
+  // The failover decision rule: a replica may only be shed while its peer
+  // is in-sync and alive. With both replicas down (double failure) every
+  // operation keeps both as targets and degrades to typed kUnavailable —
+  // never a wrong answer served from a stale copy.
+  if (frag.replica_state(peer) != ReplicaState::kInSync ||
+      peer_ofm == pool::kNoProcess || !runtime()->IsAlive(peer_ofm)) {
+    return false;
+  }
+  frag.set_replica_state(dead, ReplicaState::kStale);
+  ++stats_.stale_marks;
+  Inc(LazyCounter(&m_stale_marks_, "replica.stale_marks"));
+  if (frag.primary_replica == dead) {
+    frag.primary_replica = peer;
+    ++stats_.failovers;
+    Inc(LazyCounter(&m_failovers_, "replica.failovers"));
+  }
+  // Settle every outstanding RPC addressed to the shed replica right
+  // away. Decision-phase RPCs carry an extended retry budget; left
+  // pending they would pin the transaction (and the locks it holds) on
+  // an answer the stale copy can never usefully give — resync rebuilds
+  // it from the survivor, so the survivor's ack alone completes each
+  // operation.
+  const std::string shed_name = frag.ReplicaName(dead);
+  std::vector<uint64_t> orphaned;
+  for (const auto& [id, rpc] : rpcs_) {
+    if (rpc.fragment == shed_name && rpc.kind != kMailResync) {
+      orphaned.push_back(id);
+    }
+  }
+  for (uint64_t id : orphaned) {
+    SettleRpc(id);
+    dual_writes_.erase(id);
+    AccountBatchMember(id, Status::OK(), 0);
+  }
+  // A shed whose victim process is still alive was a reply-path loss (or
+  // an exhaustion that outlived the PE's restart), not a crash: its host
+  // PE is up and no future recovery event will come for it, so rebuild
+  // the replica right away. Crash sheds leave a dead process; their
+  // resync waits for the PE's recovery event as usual.
+  const pool::ProcessId shed_ofm = frag.ReplicaOfm(dead);
+  if (shed_ofm != pool::kNoProcess && runtime()->IsAlive(shed_ofm)) {
+    const size_t hash = frag.name.rfind('#');
+    if (hash != std::string::npos) {
+      MaybeStartResync(frag.name.substr(0, hash),
+                       std::stoi(frag.name.substr(hash + 1)));
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> GdhProcess::WriteTargets(FragmentInfo& frag) {
+  if (!frag.replicated) return {frag.name};
+  std::vector<std::string> out;
+  for (int r = 0; r < frag.num_replicas(); ++r) {
+    if (frag.replica_state(r) != ReplicaState::kInSync) continue;
+    const pool::ProcessId ofm = frag.ReplicaOfm(r);
+    // Shed known-dead replicas at scatter time instead of burning a full
+    // retransmission budget discovering it per write.
+    if ((ofm == pool::kNoProcess || !runtime()->IsAlive(ofm)) &&
+        TryFailover(frag, r)) {
+      continue;
+    }
+    out.push_back(frag.ReplicaName(r));
+  }
+  if (out.empty()) {
+    // No in-sync replica at all (double failure): target the primary and
+    // let the RPC budget surface a typed kUnavailable.
+    out.push_back(frag.ReplicaName(frag.primary_replica));
+  }
+  return out;
+}
+
+std::vector<std::string> GdhProcess::ActiveInvolved(const TxnState& state) {
+  std::vector<std::string> out;
+  for (const std::string& name : state.involved) {
+    int replica = 0;
+    const FragmentInfo* frag = FindFragment(name, &replica);
+    if (frag != nullptr && frag->replicated &&
+        frag->replica_state(replica) != ReplicaState::kInSync) {
+      // Shed mid-transaction: the survivor alone decides the outcome; the
+      // stale copy is rebuilt by resync before serving again.
+      continue;
+    }
+    out.push_back(name);
+  }
+  return out;
+}
+
+void GdhProcess::CountUnavailable(net::NodeId pe, const std::string& table) {
+  if (config_.metrics == nullptr) return;
+  config_.metrics
+      ->GetCounter("query.unavailable", {{"pe", std::to_string(pe)},
+                                         {"table", table}})
+      ->Increment();
 }
 
 // ------------------------------------------------- Presumed-abort journal
@@ -398,8 +564,13 @@ void GdhProcess::RunTwoPhaseCommit(exec::TxnId txn,
     });
     return;
   }
-  std::vector<std::string> involved(it->second.involved.begin(),
-                                    it->second.involved.end());
+  // Shed (stale) replicas drop out of the participant set: the surviving
+  // replica's vote alone covers the fragment. If filtering somehow empties
+  // a non-empty set, keep the originals and let their RPCs settle.
+  std::vector<std::string> involved = ActiveInvolved(it->second);
+  if (involved.empty() && !it->second.involved.empty()) {
+    involved.assign(it->second.involved.begin(), it->second.involved.end());
+  }
   if (involved.empty()) {
     // Read-only: nothing was written anywhere, so no participant will
     // ever inquire — no decision record needed (presumed abort is moot).
@@ -439,11 +610,17 @@ void GdhProcess::RunTwoPhaseCommit(exec::TxnId txn,
                            runtime()->simulator()->now(), pe(), self(),
                            "txn", std::to_string(txn));
     }
-    // Phase 2: decision.
+    // Phase 2: decision. Re-filter the participant set: a replica shed
+    // WHILE phase 1 was in flight (benign settle of its prepare) does not
+    // need the decision — skipping it avoids burning a retransmission
+    // budget per decision RPC against a dead process.
+    std::vector<std::string> decide;
+    if (state_it != txns_->end()) decide = ActiveInvolved(state_it->second);
+    if (decide.empty()) decide = involved;
     const sim::SimTime phase2_start = runtime()->simulator()->now();
     const uint64_t batch2 = next_batch_id_++;
     Multicast& second = batches_[batch2];
-    second.expected = involved.size();
+    second.expected = decide.size();
     Status outcome;
     if (commit) {
       outcome = Status::OK();
@@ -485,7 +662,7 @@ void GdhProcess::RunTwoPhaseCommit(exec::TxnId txn,
       }
       then(outcome);
     };
-    for (const std::string& fragment : involved) {
+    for (const std::string& fragment : decide) {
       auto request = std::make_shared<TxnControlRequest>();
       request->request_id = next_request_id_++;
       request->op = commit ? TxnControlRequest::Op::kCommit
@@ -514,8 +691,10 @@ void GdhProcess::AbortEverywhere(exec::TxnId txn,
     then(Status::OK());
     return;
   }
-  std::vector<std::string> involved(it->second.involved.begin(),
-                                    it->second.involved.end());
+  std::vector<std::string> involved = ActiveInvolved(it->second);
+  if (involved.empty() && !it->second.involved.empty()) {
+    involved.assign(it->second.involved.begin(), it->second.involved.end());
+  }
   // Presumed abort: no decision record — participants that never learn
   // the outcome resolve it by inquiry, and "unknown" means abort.
   if (involved.empty()) {
@@ -546,6 +725,37 @@ void GdhProcess::AbortEverywhere(exec::TxnId txn,
 
 // ------------------------------------------------------------------- DDL
 
+pool::ProcessId GdhProcess::SpawnReplicaOfm(const TableInfo& info,
+                                            const std::string& replica_name,
+                                            net::NodeId pe, bool recover,
+                                            uint64_t resync_id) {
+  OfmProcess::Config ofm_config;
+  ofm_config.fragment_name = replica_name;
+  ofm_config.schema = info.schema;
+  ofm_config.ofm.type = config_.base_ofm_type;
+  auto res = config_.resources.find(pe);
+  if (res != config_.resources.end()) {
+    ofm_config.ofm.memory = res->second.memory;
+    ofm_config.ofm.stable = res->second.stable;
+  }
+  ofm_config.ofm.exec.expr_mode = config_.expr_mode;
+  ofm_config.ofm.exec.costs = config_.costs;
+  ofm_config.dedup_retention_ns = DedupRetentionNs();
+  ofm_config.recover = recover;
+  ofm_config.resync_id = resync_id;
+  ofm_config.gdh = self();
+  ofm_config.registry = config_.registry;
+  // Shuffle-producer retransmission mirrors the RPC knobs: tight under
+  // fault injection, effectively off when the net is reliable.
+  ofm_config.batch_retry_ns = config_.rpc_timeout_ns;
+  ofm_config.batch_backoff_cap_ns = config_.rpc_backoff_cap_ns;
+  ofm_config.batch_attempts = config_.rpc_attempts;
+  ofm_config.indexes = info.indexes;
+  ofm_config.metrics = config_.metrics;
+  return runtime()->Spawn(pe,
+                          std::make_unique<OfmProcess>(std::move(ofm_config)));
+}
+
 void GdhProcess::ExecuteDdl(const BoundStatement& bound,
                             const std::shared_ptr<ClientStatement>& stmt,
                             pool::ProcessId client) {
@@ -564,34 +774,24 @@ void GdhProcess::ExecuteDdl(const BoundStatement& bound,
       TableInfo* info = *info_or;
       const size_t pool = config_.fragment_pes.size();
       for (size_t i = 0; i < info->fragments.size(); ++i) {
-        const net::NodeId pe =
-            config_.placement == PlacementPolicy::kAligned
-                ? config_.fragment_pes[i % pool]
-                : config_.fragment_pes[placement_cursor_++ % pool];
-        OfmProcess::Config ofm_config;
-        ofm_config.fragment_name = info->fragments[i].name;
-        ofm_config.schema = info->schema;
-        ofm_config.ofm.type = config_.base_ofm_type;
-        auto res = config_.resources.find(pe);
-        if (res != config_.resources.end()) {
-          ofm_config.ofm.memory = res->second.memory;
-          ofm_config.ofm.stable = res->second.stable;
+        const size_t slot = config_.placement == PlacementPolicy::kAligned
+                                ? i
+                                : placement_cursor_++;
+        FragmentInfo& frag = info->fragments[i];
+        frag.pe = config_.fragment_pes[slot % pool];
+        frag.ofm = SpawnReplicaOfm(*info, frag.name, frag.pe,
+                                   /*recover=*/false, /*resync_id=*/0);
+        if (config_.replicate_fragments) {
+          // Data allocation with anti-affinity: the backup replica lands
+          // on the next fragment PE, so one PE crash never takes out both
+          // copies of a fragment.
+          frag.replicated = true;
+          frag.backup_pe = config_.fragment_pes[(slot + 1) % pool];
+          frag.backup_ofm =
+              SpawnReplicaOfm(*info, BackupFragmentName(frag.name),
+                              frag.backup_pe, /*recover=*/false,
+                              /*resync_id=*/0);
         }
-        ofm_config.ofm.exec.expr_mode = config_.expr_mode;
-        ofm_config.ofm.exec.costs = config_.costs;
-        ofm_config.dedup_retention_ns = DedupRetentionNs();
-        ofm_config.gdh = self();
-        ofm_config.registry = config_.registry;
-        // Shuffle-producer retransmission mirrors the RPC knobs: tight
-        // under fault injection, effectively off when the net is reliable.
-        ofm_config.batch_retry_ns = config_.rpc_timeout_ns;
-        ofm_config.batch_backoff_cap_ns = config_.rpc_backoff_cap_ns;
-        ofm_config.batch_attempts = config_.rpc_attempts;
-        ofm_config.metrics = config_.metrics;
-        info->fragments[i].pe = pe;
-        info->fragments[i].ofm =
-            runtime()->Spawn(pe, std::make_unique<OfmProcess>(
-                                     std::move(ofm_config)));
       }
       ReplyToClient(client, stmt->request_id, Status::OK(), 0, 0);
       return;
@@ -603,8 +803,17 @@ void GdhProcess::ExecuteDdl(const BoundStatement& bound,
         return;
       }
       for (const FragmentInfo& frag : (*info)->fragments) {
-        runtime()->Kill(frag.ofm);
+        for (int r = 0; r < frag.num_replicas(); ++r) {
+          runtime()->Kill(frag.ReplicaOfm(r));
+        }
       }
+      // Abort in-flight resyncs of the dropped table (their targets were
+      // just killed with the rest of the replicas).
+      std::vector<uint64_t> dropped;
+      for (const auto& [id, rs] : resyncs_) {
+        if (rs.table == bound.table) dropped.push_back(id);
+      }
+      for (const uint64_t id : dropped) AbortResync(id);
       PRISMA_CHECK_OK(dictionary_->DropTable(bound.table));
       ReplyToClient(client, stmt->request_id, Status::OK(), 0, 0);
       return;
@@ -621,20 +830,33 @@ void GdhProcess::ExecuteDdl(const BoundStatement& bound,
       }
       auto info = dictionary_->GetTable(bound.table);
       PRISMA_CHECK(info.ok());
+      // Every in-sync replica builds the index now; stale or resyncing
+      // replicas pick it up from the dictionary when they are respawned.
+      std::vector<std::string> targets;
+      for (const FragmentInfo& frag : (*info)->fragments) {
+        for (int r = 0; r < frag.num_replicas(); ++r) {
+          if (frag.replica_state(r) != ReplicaState::kInSync) continue;
+          targets.push_back(frag.ReplicaName(r));
+        }
+      }
+      if (targets.empty()) {
+        ReplyToClient(client, stmt->request_id, Status::OK(), 0, 0);
+        return;
+      }
       const uint64_t batch_id = next_batch_id_++;
       Multicast& batch = batches_[batch_id];
-      batch.expected = (*info)->fragments.size();
+      batch.expected = targets.size();
       const uint64_t request_id = stmt->request_id;
       batch.done = [this, client, request_id](Multicast& m) {
         ReplyToClient(client, request_id, m.first_error, 0, 0);
       };
-      for (const FragmentInfo& frag : (*info)->fragments) {
+      for (const std::string& target : targets) {
         auto request = std::make_shared<CreateIndexRequest>();
         request->request_id = next_request_id_++;
         request->index_name = index.name;
         request->columns = index.columns;
         request->ordered = index.ordered;
-        SendRpc(request->request_id, batch_id, frag.name, kMailCreateIndex,
+        SendRpc(request->request_id, batch_id, target, kMailCreateIndex,
                 request, kControlBits, config_.rpc_attempts);
       }
       return;
@@ -776,7 +998,6 @@ void GdhProcess::ExecuteWrite(std::shared_ptr<BoundStatement> bound,
         auto& txn_state = (*txns_)[txn];
         const uint64_t batch_id = next_batch_id_++;
         Multicast& batch = batches_[batch_id];
-        batch.expected = ops->size();
         batch.done = [this, txn, implicit, client,
                       client_request](Multicast& m) {
           if (!m.first_error.ok()) {
@@ -797,15 +1018,33 @@ void GdhProcess::ExecuteWrite(std::shared_ptr<BoundStatement> bound,
             ReplyToClient(client, client_request, Status::OK(), affected, 0);
           }
         };
+        size_t members = 0;
         for (Op& op : *ops) {
-          txn_state.involved.insert(op.fragment);
-          op.request->request_id = next_request_id_++;
-          op.request->txn = txn;
-          ++stats_.write_ops_sent;
-          Inc(m_write_ops_);
-          SendRpc(op.request->request_id, batch_id, op.fragment, kMailWrite,
-                  op.request, op.request->WireBits(), config_.rpc_attempts);
+          // Each logical op fans out to every in-sync replica of its
+          // fragment; a dual-replica op shares one DualWrite entry so the
+          // affected count and row delta are charged exactly once.
+          std::vector<std::string> targets{op.fragment};
+          int replica = 0;
+          if (FragmentInfo* frag = FindFragment(op.fragment, &replica);
+              frag != nullptr) {
+            targets = WriteTargets(*frag);
+          }
+          std::shared_ptr<DualWrite> dual;
+          if (targets.size() > 1) dual = std::make_shared<DualWrite>();
+          for (const std::string& target : targets) {
+            txn_state.involved.insert(target);
+            auto request = std::make_shared<WriteRequest>(*op.request);
+            request->request_id = next_request_id_++;
+            request->txn = txn;
+            if (dual != nullptr) dual_writes_[request->request_id] = dual;
+            ++stats_.write_ops_sent;
+            Inc(m_write_ops_);
+            ++members;
+            SendRpc(request->request_id, batch_id, target, kMailWrite,
+                    request, request->WireBits(), config_.rpc_attempts);
+          }
         }
+        batch.expected = members;
       });
 }
 
@@ -888,6 +1127,7 @@ void GdhProcess::SpawnCoordinator(const std::shared_ptr<ClientStatement>& stmt,
     watch.client = client;
     watch.request_id = stmt->request_id;
     watch.lock_txn = lock_txn;
+    watch.pe = pe;
     watch.timer =
         SendSelfAfter(config_.coord_check_ns, kMailCoordCheck,
                       std::make_shared<pool::ProcessId>(coordinator));
@@ -937,8 +1177,12 @@ void GdhProcess::HandleCoordCheck(const pool::Mail& mail) {
     locks_->ReleaseAll(watch.lock_txn);
     txns_->erase(txn_it);
   }
+  CountUnavailable(watch.pe, "(coordinator)");
   ReplyToClient(watch.client, watch.request_id,
-                UnavailableError("query coordinator died (PE crash)"), 0, 0);
+                UnavailableError("query coordinator on PE " +
+                                 std::to_string(watch.pe) +
+                                 " died (PE crash)"),
+                0, 0);
 }
 
 void GdhProcess::HandleStatementDone(const pool::Mail& mail) {
@@ -973,8 +1217,21 @@ void GdhProcess::HandleWriteReply(const pool::Mail& mail) {
     Inc(LazyCounter(&m_dup_replies_, "gdh.dup_replies"));
     return;
   }
+  uint64_t affected = reply->affected_rows;
+  auto dual = dual_writes_.find(reply->request_id);
+  if (dual != dual_writes_.end()) {
+    // Dual-replica op: whichever replica's OK reply lands first carries
+    // the affected count and the row delta; the mirror contributes zero.
+    const bool count = reply->status.ok() && !dual->second->counted;
+    if (count) dual->second->counted = true;
+    dual_writes_.erase(dual);
+    if (!count) {
+      AccountBatchMember(reply->request_id, reply->status, 0);
+      return;
+    }
+  }
   if (reply->row_delta != 0) UpdateRowCount(reply->fragment, reply->row_delta);
-  AccountBatchMember(reply->request_id, reply->status, reply->affected_rows);
+  AccountBatchMember(reply->request_id, reply->status, affected);
 }
 
 void GdhProcess::HandleTxnControlReply(const pool::Mail& mail) {
@@ -1085,7 +1342,13 @@ void GdhProcess::ExecuteCheckpoint(
     auto info = dictionary_->GetTable(table);
     PRISMA_CHECK(info.ok());
     for (const FragmentInfo& frag : (*info)->fragments) {
-      if (frag.ofm != pool::kNoProcess) fragments.push_back(frag.name);
+      for (int r = 0; r < frag.num_replicas(); ++r) {
+        // Stale/resyncing replicas skip the checkpoint: their WAL and
+        // snapshot are superseded by the resync rebuild anyway.
+        if (frag.replica_state(r) != ReplicaState::kInSync) continue;
+        if (frag.ReplicaOfm(r) == pool::kNoProcess) continue;
+        fragments.push_back(frag.ReplicaName(r));
+      }
     }
   }
   if (fragments.empty()) {
@@ -1119,40 +1382,58 @@ Status GdhProcess::CrashFragment(const std::string& table, int fragment) {
   return Status::OK();
 }
 
+Status GdhProcess::RecoverReplica(const std::string& table, TableInfo* info,
+                                  int fragment, int replica) {
+  FragmentInfo& frag = info->fragments[fragment];
+  const pool::ProcessId cur = frag.ReplicaOfm(replica);
+  if (cur != pool::kNoProcess && runtime()->IsAlive(cur)) {
+    return Status::OK();  // Nothing to do.
+  }
+  if (frag.replicated &&
+      frag.replica_state(replica) != ReplicaState::kInSync) {
+    // A stale replica's stable state is behind the survivor: its WAL
+    // cannot be trusted, so it rejoins via resync, not WAL recovery. A
+    // resync whose target just died is torn down first.
+    std::vector<uint64_t> aborted;
+    for (const auto& [id, rs] : resyncs_) {
+      if (rs.table == table && rs.fragment == fragment &&
+          rs.replica == replica) {
+        aborted.push_back(id);
+      }
+    }
+    for (const uint64_t id : aborted) AbortResync(id);
+    frag.SetReplicaOfm(replica, pool::kNoProcess);
+    MaybeStartResync(table, fragment);
+    return Status::OK();
+  }
+  // In-sync (or unreplicated) replica: respawn with WAL recovery. Any
+  // active transaction that wrote to this replica lost those writes with
+  // the old process: it must not commit.
+  frag.SetReplicaOfm(
+      replica, SpawnReplicaOfm(*info, frag.ReplicaName(replica),
+                               frag.ReplicaPe(replica), /*recover=*/true,
+                               /*resync_id=*/0));
+  DoomTxnsInvolving(frag.ReplicaName(replica));
+  // This replica may be the awaited resync source for its stale peer.
+  if (frag.replicated) MaybeStartResync(table, fragment);
+  return Status::OK();
+}
+
 Status GdhProcess::RecoverFragment(const std::string& table, int fragment) {
   ASSIGN_OR_RETURN(TableInfo * info, dictionary_->GetTable(table));
   if (fragment < 0 || fragment >= static_cast<int>(info->fragments.size())) {
     return OutOfRangeError("no such fragment");
   }
   FragmentInfo& frag = info->fragments[fragment];
-  if (frag.ofm != pool::kNoProcess && runtime()->IsAlive(frag.ofm)) {
-    return FailedPreconditionError(frag.name + " is alive");
+  bool any_dead = false;
+  for (int r = 0; r < frag.num_replicas(); ++r) {
+    const pool::ProcessId ofm = frag.ReplicaOfm(r);
+    if (ofm == pool::kNoProcess || !runtime()->IsAlive(ofm)) any_dead = true;
   }
-  OfmProcess::Config config;
-  config.fragment_name = frag.name;
-  config.schema = info->schema;
-  config.ofm.type = config_.base_ofm_type;
-  auto res = config_.resources.find(frag.pe);
-  if (res != config_.resources.end()) {
-    config.ofm.memory = res->second.memory;
-    config.ofm.stable = res->second.stable;
+  if (!any_dead) return FailedPreconditionError(frag.name + " is alive");
+  for (int r = 0; r < frag.num_replicas(); ++r) {
+    RETURN_IF_ERROR(RecoverReplica(table, info, fragment, r));
   }
-  config.ofm.exec.expr_mode = config_.expr_mode;
-  config.ofm.exec.costs = config_.costs;
-  config.dedup_retention_ns = DedupRetentionNs();
-  config.recover = true;
-  config.gdh = self();
-  config.registry = config_.registry;
-  config.batch_retry_ns = config_.rpc_timeout_ns;
-  config.batch_backoff_cap_ns = config_.rpc_backoff_cap_ns;
-  config.batch_attempts = config_.rpc_attempts;
-  config.indexes = info->indexes;
-  config.metrics = config_.metrics;
-  frag.ofm =
-      runtime()->Spawn(frag.pe, std::make_unique<OfmProcess>(std::move(config)));
-  // Any active transaction that wrote to this fragment lost those writes
-  // with the old process: it must not commit.
-  DoomTxnsInvolving(frag.name);
   return Status::OK();
 }
 
@@ -1162,15 +1443,203 @@ Status GdhProcess::RecoverPe(net::NodeId pe) {
     if (!info.ok()) continue;
     const size_t count = (*info)->fragments.size();
     for (size_t i = 0; i < count; ++i) {
-      const FragmentInfo& frag = (*info)->fragments[i];
-      if (frag.pe != pe) continue;
-      if (frag.ofm != pool::kNoProcess && runtime()->IsAlive(frag.ofm)) {
-        continue;
+      FragmentInfo& frag = (*info)->fragments[i];
+      for (int r = 0; r < frag.num_replicas(); ++r) {
+        // Only replicas homed on the restarted PE: recovering a fragment's
+        // other replica here would resurrect it on a still-crashed PE.
+        if (frag.ReplicaPe(r) != pe) continue;
+        const pool::ProcessId ofm = frag.ReplicaOfm(r);
+        if (ofm != pool::kNoProcess && runtime()->IsAlive(ofm)) continue;
+        RETURN_IF_ERROR(RecoverReplica(table, *info, static_cast<int>(i), r));
       }
-      RETURN_IF_ERROR(RecoverFragment(table, static_cast<int>(i)));
+      // A replica can go stale with its PE alive all along: under mesh
+      // store-and-forward its replies may have routed through the crashed
+      // PE, so it exhausted the write-retransmission budget and was shed.
+      // Its own PE never "recovers", so sweep every replicated fragment
+      // here — this restart is the recovery event that retries it.
+      MaybeStartResync(table, static_cast<int>(i));
     }
   }
   return Status::OK();
+}
+
+// ------------------------------------------------ Resync (DESIGN.md §13)
+
+void GdhProcess::MaybeStartResync(const std::string& table, int fragment) {
+  auto info = dictionary_->GetTable(table);
+  if (!info.ok()) return;
+  FragmentInfo& frag = (*info)->fragments[fragment];
+  if (!frag.replicated) return;
+  for (int r = 0; r < frag.num_replicas(); ++r) {
+    if (frag.replica_state(r) != ReplicaState::kStale) continue;
+    const int peer = 1 - r;
+    const pool::ProcessId source = frag.ReplicaOfm(peer);
+    // Resync needs a healthy source; if the peer is down too, the next
+    // recovery event retries. Bounding retries to recovery events keeps
+    // the simulation's event queue drainable.
+    if (frag.replica_state(peer) != ReplicaState::kInSync ||
+        source == pool::kNoProcess || !runtime()->IsAlive(source)) {
+      return;
+    }
+    StartResync(table, fragment, r);
+    return;  // At most one replica of a pair can be stale.
+  }
+}
+
+void GdhProcess::StartResync(const std::string& table, int fragment,
+                             int replica) {
+  auto info = dictionary_->GetTable(table);
+  PRISMA_CHECK(info.ok());
+  FragmentInfo& frag = (*info)->fragments[fragment];
+  const uint64_t resync_id = next_resync_id_++;
+  // A shed-but-alive target (stale via lost replies, not a crash) is
+  // discarded: its contents are untrusted and the fresh OFM below takes
+  // over its fragment name.
+  const pool::ProcessId old = frag.ReplicaOfm(replica);
+  if (old != pool::kNoProcess && runtime()->IsAlive(old)) {
+    runtime()->Kill(old);
+  }
+  // The target starts as a fresh, empty OFM in resync mode (no WAL
+  // recovery): it is refilled from the source's committed snapshot.
+  frag.SetReplicaOfm(
+      replica, SpawnReplicaOfm(**info, frag.ReplicaName(replica),
+                               frag.ReplicaPe(replica), /*recover=*/false,
+                               resync_id));
+  frag.set_replica_state(replica, ReplicaState::kResyncing);
+  ResyncState rs;
+  rs.table = table;
+  rs.fragment = fragment;
+  rs.replica = replica;
+  rs.resync_id = resync_id;
+  resyncs_[resync_id] = rs;
+  ++stats_.resyncs_started;
+  Inc(LazyCounter(&m_resyncs_started_, "replica.resyncs_started"));
+  SendResyncPhase(resync_id, /*cutover=*/false);
+}
+
+void GdhProcess::SendResyncPhase(uint64_t resync_id, bool cutover) {
+  auto it = resyncs_.find(resync_id);
+  PRISMA_CHECK(it != resyncs_.end());
+  ResyncState& rs = it->second;
+  auto info = dictionary_->GetTable(rs.table);
+  PRISMA_CHECK(info.ok());
+  FragmentInfo& frag = (*info)->fragments[rs.fragment];
+  const int source = 1 - rs.replica;
+  auto request = std::make_shared<ResyncRequest>();
+  request->request_id = next_request_id_++;
+  request->resync_id = resync_id;
+  request->target = frag.ReplicaOfm(rs.replica);
+  request->target_fragment = frag.ReplicaName(rs.replica);
+  request->batch_rows = config_.exchange_batch_rows;
+  request->credit_window = config_.exchange_credit_window;
+  request->cutover = cutover;
+  rs.request_id = request->request_id;
+  const uint64_t batch_id = next_batch_id_++;
+  Multicast& batch = batches_[batch_id];
+  batch.expected = 1;
+  batch.done = [this, resync_id, cutover](Multicast& m) {
+    OnResyncPhaseDone(resync_id, cutover, m.first_error);
+  };
+  // The whole phase (bulk stream + delta rounds) runs under one hardened
+  // RPC with decision-grade retry headroom.
+  SendRpc(request->request_id, batch_id, frag.ReplicaName(source),
+          kMailResync, request, kControlBits, config_.rpc_attempts + 4);
+}
+
+void GdhProcess::OnResyncPhaseDone(uint64_t resync_id, bool cutover,
+                                   const Status& status) {
+  auto it = resyncs_.find(resync_id);
+  if (it == resyncs_.end()) return;  // Aborted meanwhile.
+  if (!status.ok()) {
+    AbortResync(resync_id);
+    return;
+  }
+  if (!cutover) {
+    // Caught up (modulo writes still in flight): cut over under an
+    // exclusive lock on the base fragment. Writers hold their fragment
+    // locks until 2PC completes, so once this lock is granted nothing
+    // undecided can remain in the source's WAL — the final delta is
+    // exact, and the replica re-enters the write set atomically with
+    // respect to statements.
+    ResyncState& rs = it->second;
+    rs.cutover_txn = NewTxn(false);
+    auto info = dictionary_->GetTable(rs.table);
+    PRISMA_CHECK(info.ok());
+    // Writers lock the base fragment name (covering both replicas).
+    const std::string base = (*info)->fragments[rs.fragment].name;
+    AcquireExclusive(rs.cutover_txn, {base}, 0,
+                     [this, resync_id](Status lock_status) {
+                       auto it2 = resyncs_.find(resync_id);
+                       if (it2 == resyncs_.end()) return;
+                       if (!lock_status.ok()) {
+                         AbortResync(resync_id);
+                         return;
+                       }
+                       SendResyncPhase(resync_id, /*cutover=*/true);
+                     });
+    return;
+  }
+  // Cutover acknowledged: the target holds the source's exact committed
+  // contents, rebuilt its indexes and checkpointed. Back to dual-primary-
+  // eligible.
+  const ResyncState rs = it->second;
+  resyncs_.erase(it);
+  auto info = dictionary_->GetTable(rs.table);
+  if (info.ok()) {
+    (*info)->fragments[rs.fragment].set_replica_state(rs.replica,
+                                                      ReplicaState::kInSync);
+  }
+  if (rs.cutover_txn != exec::kAutoCommit) {
+    locks_->ReleaseAll(rs.cutover_txn);
+    txns_->erase(rs.cutover_txn);
+  }
+  ++stats_.resyncs_completed;
+  Inc(LazyCounter(&m_resyncs_completed_, "replica.resyncs_completed"));
+}
+
+void GdhProcess::AbortResync(uint64_t resync_id) {
+  auto it = resyncs_.find(resync_id);
+  if (it == resyncs_.end()) return;
+  const ResyncState rs = it->second;
+  resyncs_.erase(it);
+  auto info = dictionary_->GetTable(rs.table);
+  if (info.ok()) {
+    FragmentInfo& frag = (*info)->fragments[rs.fragment];
+    const pool::ProcessId target = frag.ReplicaOfm(rs.replica);
+    if (target != pool::kNoProcess) runtime()->Kill(target);
+    frag.SetReplicaOfm(rs.replica, pool::kNoProcess);
+    frag.set_replica_state(rs.replica, ReplicaState::kStale);
+  }
+  if (rs.cutover_txn != exec::kAutoCommit) {
+    locks_->ReleaseAll(rs.cutover_txn);
+    txns_->erase(rs.cutover_txn);
+  }
+  ++stats_.resyncs_aborted;
+  Inc(LazyCounter(&m_resyncs_aborted_, "replica.resyncs_aborted"));
+  // Retry right away if the source is still healthy (the failure was
+  // transient message loss); a dead source retries from its recovery.
+  if (info.ok()) MaybeStartResync(rs.table, rs.fragment);
+}
+
+void GdhProcess::HandleResyncReply(const pool::Mail& mail) {
+  auto reply = std::any_cast<std::shared_ptr<ResyncReply>>(mail.body);
+  SettleRpc(reply->request_id);
+  if (!request_batch_.contains(reply->request_id)) {
+    ++stats_.dup_replies;
+    Inc(LazyCounter(&m_dup_replies_, "gdh.dup_replies"));
+    return;
+  }
+  // Transfer accounting feeds the replica.* family exactly once per
+  // settled phase.
+  Inc(LazyCounter(&m_resync_bulk_tuples_, "replica.resync_bulk_tuples"),
+      reply->bulk_tuples);
+  Inc(LazyCounter(&m_resync_delta_records_, "replica.resync_delta_records"),
+      reply->delta_records);
+  Inc(LazyCounter(&m_resync_rounds_, "replica.resync_rounds"),
+      reply->delta_rounds);
+  Inc(LazyCounter(&m_resync_wire_bits_, "replica.resync_wire_bits"),
+      reply->wire_bits);
+  AccountBatchMember(reply->request_id, reply->status, 0);
 }
 
 // ------------------------------------------------------------------- Mail
@@ -1192,6 +1661,8 @@ void GdhProcess::OnMail(const pool::Mail& mail) {
     HandleRpcTimeout(mail);
   } else if (mail.kind == kMailCoordCheck) {
     HandleCoordCheck(mail);
+  } else if (mail.kind == kMailResyncReply) {
+    HandleResyncReply(mail);
   }
 }
 

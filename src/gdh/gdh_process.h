@@ -72,6 +72,12 @@ class GdhProcess : public pool::Process {
     /// Base-fragment OFM flavour (kQueryOnly disables durability — E7).
     exec::OfmType base_ofm_type = exec::OfmType::kFull;
     PlacementPolicy placement = PlacementPolicy::kAligned;
+    /// Place each permanent fragment on two distinct PEs (DESIGN.md §13):
+    /// the data-allocation manager pairs every fragment with a backup on
+    /// the next fragment PE, writes 2PC to both replicas, and reads fail
+    /// over to the surviving replica when one PE is down. Requires at
+    /// least two fragment PEs and kFull base OFMs.
+    bool replicate_fragments = false;
     /// Directory of co-located fragments for distributed joins (owned by
     /// the machine; may be null to disable co-located execution).
     PeLocalRegistry* registry = nullptr;
@@ -150,6 +156,12 @@ class GdhProcess : public pool::Process {
     /// Decision inquiries withheld because the transaction was still being
     /// decided (answered on the inquirer's next retry).
     uint64_t decisions_deferred = 0;
+    /// Replication (DESIGN.md §13).
+    uint64_t failovers = 0;          // Primary role moved to the peer.
+    uint64_t stale_marks = 0;        // Replicas shed from the write set.
+    uint64_t resyncs_started = 0;
+    uint64_t resyncs_completed = 0;
+    uint64_t resyncs_aborted = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -195,7 +207,31 @@ class GdhProcess : public pool::Process {
     pool::ProcessId client = pool::kNoProcess;
     uint64_t request_id = 0;
     exec::TxnId lock_txn = exec::kAutoCommit;
+    net::NodeId pe = 0;
     sim::EventId timer = 0;
+  };
+
+  /// Shared accounting of one logical write scattered to both replicas of
+  /// a fragment: exactly one of the two member replies contributes the
+  /// affected-row count and the dictionary row delta, whichever lands (or
+  /// benignly settles) first — so statistics stay single-copy no matter
+  /// which replica survives.
+  struct DualWrite {
+    bool counted = false;
+  };
+
+  /// One in-flight resync of a stale replica (DESIGN.md §13), coordinated
+  /// here: phase A asks the surviving replica to bulk-copy its committed
+  /// snapshot and stream WAL-delta rounds into a fresh resync-mode OFM;
+  /// phase B repeats under an exclusive lock on the fragment (a cutover
+  /// transaction), shipping the final delta 2PC-consistently.
+  struct ResyncState {
+    std::string table;
+    int fragment = 0;
+    int replica = 0;  // The replica being rebuilt.
+    uint64_t resync_id = 0;
+    uint64_t request_id = 0;  // Current phase's RPC.
+    exec::TxnId cutover_txn = exec::kAutoCommit;
   };
 
   void HandleClientStatement(const pool::Mail& mail);
@@ -206,6 +242,7 @@ class GdhProcess : public pool::Process {
   void HandleDecisionRequest(const pool::Mail& mail);
   void HandleRpcTimeout(const pool::Mail& mail);
   void HandleCoordCheck(const pool::Mail& mail);
+  void HandleResyncReply(const pool::Mail& mail);
 
   void SpawnCoordinator(const std::shared_ptr<ClientStatement>& stmt,
                         pool::ProcessId client);
@@ -281,6 +318,50 @@ class GdhProcess : public pool::Process {
       const std::string& table, const algebra::Expr* where) const;
   void UpdateRowCount(const std::string& fragment, int64_t delta);
 
+  // ------------------------------------------- Replication (DESIGN.md §13)
+
+  /// Resolves a replica name ("emp#3" or "emp#3~b") to its FragmentInfo
+  /// and replica index; null if unknown.
+  FragmentInfo* FindFragment(const std::string& replica_name, int* replica);
+  /// Replica names a write to `frag` must reach: every in-sync replica,
+  /// after shedding dead ones whose peer can carry on alone.
+  std::vector<std::string> WriteTargets(FragmentInfo& frag);
+  /// Sheds replica `dead` from the write set (marks it kStale and flips
+  /// the primary role to the peer if needed). Only succeeds when the peer
+  /// is in-sync and alive — the failover decision rule: never shed the
+  /// last healthy copy. Returns true if the replica is (now) shed.
+  bool TryFailover(FragmentInfo& frag, int dead);
+  /// `txn`'s involved replica names minus shed (non-in-sync) replicas:
+  /// what 2PC phases actually need to reach.
+  std::vector<std::string> ActiveInvolved(const TxnState& state);
+  /// Respawns one dead replica: WAL recovery for in-sync replicas (plus
+  /// dooming transactions that lost writes with the old process), a fresh
+  /// resync from the peer for stale ones (their WAL is behind the
+  /// survivor and cannot be trusted).
+  Status RecoverReplica(const std::string& table, TableInfo* info,
+                        int fragment, int replica);
+  /// Starts a resync for a stale replica of the fragment if its peer is
+  /// alive and in-sync; no-op otherwise (retried from recovery events).
+  void MaybeStartResync(const std::string& table, int fragment);
+  void StartResync(const std::string& table, int fragment, int replica);
+  /// Advances a resync after a phase RPC settles: phase A success leads
+  /// into the cutover lock + phase B; phase B success marks the replica
+  /// in-sync; any failure aborts the attempt.
+  void OnResyncPhaseDone(uint64_t resync_id, bool cutover,
+                         const Status& status);
+  void SendResyncPhase(uint64_t resync_id, bool cutover);
+  /// Kills the resync target, marks the replica stale again and releases
+  /// the cutover transaction, then retries if the source is healthy.
+  void AbortResync(uint64_t resync_id);
+  /// Spawns one replica OFM process.
+  pool::ProcessId SpawnReplicaOfm(const TableInfo& info,
+                                  const std::string& replica_name,
+                                  net::NodeId pe, bool recover,
+                                  uint64_t resync_id);
+  /// Typed-unavailability accounting (degradation reporting): bumps the
+  /// labeled query.unavailable{pe,table} counter.
+  void CountUnavailable(net::NodeId pe, const std::string& table);
+
   exec::TxnId NewTxn(bool explicit_txn);
   void FinishMulticast(uint64_t batch_id, Multicast& batch);
 
@@ -319,6 +400,17 @@ class GdhProcess : public pool::Process {
   obs::Counter* m_txns_doomed_ = nullptr;
   obs::Counter* m_coords_reaped_ = nullptr;
   obs::Counter* m_decisions_deferred_ = nullptr;
+  // Replication counters (replica.*), registered lazily so fault-free
+  // unreplicated dumps are unchanged.
+  obs::Counter* m_failovers_ = nullptr;
+  obs::Counter* m_stale_marks_ = nullptr;
+  obs::Counter* m_resyncs_started_ = nullptr;
+  obs::Counter* m_resyncs_completed_ = nullptr;
+  obs::Counter* m_resyncs_aborted_ = nullptr;
+  obs::Counter* m_resync_bulk_tuples_ = nullptr;
+  obs::Counter* m_resync_delta_records_ = nullptr;
+  obs::Counter* m_resync_rounds_ = nullptr;
+  obs::Counter* m_resync_wire_bits_ = nullptr;
 
   exec::TxnId next_txn_ = 1;
   /// Ids below this are covered by a persisted reservation record, so a
@@ -340,6 +432,13 @@ class GdhProcess : public pool::Process {
   static constexpr size_t kDegradedWriteCap = 1024;
   std::set<uint64_t> degraded_writes_;
   std::deque<uint64_t> degraded_writes_order_;
+
+  /// Dual-replica write accounting, keyed by each member's request id
+  /// (both ids of a logical op share one entry). Erased as members settle.
+  std::map<uint64_t, std::shared_ptr<DualWrite>> dual_writes_;
+  /// Active resyncs by resync id.
+  std::map<uint64_t, ResyncState> resyncs_;
+  uint64_t next_resync_id_ = 1;
 
   /// Spawned coordinators under supervision (coord_check_ns > 0).
   std::map<pool::ProcessId, CoordWatch> coords_;

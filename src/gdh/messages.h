@@ -73,6 +73,17 @@ inline constexpr char kMailFixpointVote[] = "fixpoint_vote";
 inline constexpr char kMailFixpointBatchResend[] = "fixpoint_batch_resend";
 inline constexpr char kMailFixpointVoteResend[] = "fixpoint_vote_resend";
 inline constexpr char kMailFixpointCtrlResend[] = "fixpoint_ctrl_resend";
+// Replica resync (DESIGN.md §13). The GDH asks the surviving replica (the
+// *source*) to refill a freshly spawned empty replica (the *target*): a
+// snapshot bulk-copy streamed as kMailTupleBatch frames, then committed
+// WAL-delta rounds (kMailResyncDelta / kMailResyncDeltaAck, stop-and-wait)
+// until caught up; a second request under the GDH's cutover lock ships the
+// final delta. kMailResyncPump is the source's retransmission self-timer.
+inline constexpr char kMailResync[] = "resync";
+inline constexpr char kMailResyncReply[] = "resync_reply";
+inline constexpr char kMailResyncDelta[] = "resync_delta";
+inline constexpr char kMailResyncDeltaAck[] = "resync_delta_ack";
+inline constexpr char kMailResyncPump[] = "resync_pump";
 
 /// Serialized-size model: tuples count their byte size, plans a fixed
 /// budget per node, expressions per tree node.
@@ -325,6 +336,72 @@ struct LockBatchReply {
 /// Coordinator -> GDH: statement finished (releases statement locks).
 struct StatementDone {
   exec::TxnId txn = exec::kAutoCommit;
+};
+
+/// GDH -> source OFM: refill `target` (the resync-mode OFM of the peer
+/// replica). Phase 1 (`cutover` false): snapshot bulk-copy + WAL-delta
+/// rounds until drained, then reply. Phase 2 (`cutover` true, sent while
+/// the GDH holds the fragment's exclusive lock, so every 2PC touching the
+/// fragment has completed): ship the final committed delta, wait for the
+/// target to finish (index rebuild + checkpoint), then reply. Both phases
+/// ride the hardened RPC layer (request ids, retransmission, reply cache).
+struct ResyncRequest {
+  uint64_t request_id = 0;
+  /// GDH-chosen id of this resync attempt; frames and deltas carry it so
+  /// the target ignores traffic from superseded attempts.
+  uint64_t resync_id = 0;
+  pool::ProcessId target = pool::kNoProcess;
+  std::string target_fragment;
+  uint64_t batch_rows = 64;
+  uint64_t credit_window = 4;
+  /// Column-encode the bulk frames (DESIGN.md §12).
+  bool columnar = true;
+  bool cutover = false;
+};
+
+/// Source OFM -> GDH: phase outcome plus transfer accounting (feeds the
+/// replica.* metric family).
+struct ResyncReply {
+  uint64_t request_id = 0;
+  Status status;
+  std::string fragment;       // Source replica name.
+  uint64_t bulk_tuples = 0;   // Snapshot rows shipped this phase.
+  uint64_t delta_records = 0; // WAL records shipped this phase.
+  uint64_t delta_rounds = 0;  // Catch-up rounds this phase.
+  uint64_t wire_bits = 0;     // Modelled bits of bulk frames + deltas.
+};
+
+/// Source -> target: one stop-and-wait round of committed WAL records
+/// (encoded in the OFM's WAL record format). `seq` is 1-based within the
+/// source session identified by `session_token`; `final` marks the cutover
+/// delta — applying it makes the target rebuild its indexes, checkpoint,
+/// and become a normal replica.
+struct ResyncDeltaMsg {
+  uint64_t resync_id = 0;
+  uint64_t session_token = 0;
+  uint64_t seq = 0;
+  bool final_delta = false;
+  /// Source relation's total slot count, trailing tombstones included.
+  /// The bulk snapshot ships live rows only, so on the final delta the
+  /// target pads to this count — checkpoints serialize the whole slot
+  /// array and must stay byte-identical across replicas.
+  uint64_t source_slots = 0;
+  std::vector<std::string> records;
+
+  int64_t WireBits() const {
+    int64_t bits = kControlBits;
+    for (const std::string& r : records) {
+      bits += static_cast<int64_t>(r.size()) * 8;
+    }
+    return bits;
+  }
+};
+
+/// Target -> source: cumulative delta acknowledgement.
+struct ResyncDeltaAck {
+  uint64_t resync_id = 0;
+  uint64_t session_token = 0;
+  uint64_t ack = 0;
 };
 
 /// Recovering OFM -> GDH: what happened to these in-doubt transactions?

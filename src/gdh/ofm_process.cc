@@ -38,7 +38,10 @@ void OfmProcess::OnStart() {
     m_redo_applied_ = config_.metrics->GetCounter("ofm.redo_applied", labels);
     m_recoveries_ = config_.metrics->GetCounter("ofm.recoveries", labels);
   }
-  if (config_.recover) {
+  // A resync target must start empty even if the PE's stable store holds
+  // stale state for this fragment: the surviving replica is ahead of it,
+  // and the bulk stream rebuilds the contents from there.
+  if (config_.recover && config_.resync_id == 0) {
     PRISMA_CHECK_OK(ofm_->Recover());
     if (m_recoveries_ != nullptr) m_recoveries_->Increment();
     SyncDurabilityMetrics();
@@ -153,6 +156,25 @@ void OfmProcess::OnMail(const pool::Mail& mail) {
     HandleBatchResend(mail);
     return;
   }
+  // Resync data plane (DESIGN.md §13): bulk frames reach an OFM only as a
+  // resync target (exchange consumers are separate processes), delta acks
+  // only as a resync source, and the pump kind is a local timer.
+  if (mail.kind == kMailTupleBatch) {
+    HandleResyncBatch(mail);
+    return;
+  }
+  if (mail.kind == kMailResyncDelta) {
+    HandleResyncDelta(mail);
+    return;
+  }
+  if (mail.kind == kMailResyncDeltaAck) {
+    HandleResyncDeltaAck(mail);
+    return;
+  }
+  if (mail.kind == kMailResyncPump) {
+    HandleResyncPump(mail);
+    return;
+  }
   // Everything else is a request carrying a request_id: answer duplicates
   // from the reply cache without re-executing.
   uint64_t request_id = 0;
@@ -174,6 +196,9 @@ void OfmProcess::OnMail(const pool::Mail& mail) {
   } else if (mail.kind == kMailShufflePlan) {
     request_id = std::any_cast<std::shared_ptr<ShufflePlanRequest>>(mail.body)
                      ->request_id;
+  } else if (mail.kind == kMailResync) {
+    request_id =
+        std::any_cast<std::shared_ptr<ResyncRequest>>(mail.body)->request_id;
   } else {
     // Unknown kinds are ignored (forward compatibility).
     return;
@@ -207,6 +232,8 @@ void OfmProcess::OnMail(const pool::Mail& mail) {
     HandleCreateIndex(mail);
   } else if (mail.kind == kMailShufflePlan) {
     HandleShufflePlan(mail);
+  } else if (mail.kind == kMailResync) {
+    HandleResync(mail);
   }
 }
 
@@ -215,7 +242,13 @@ void OfmProcess::HandleCheckpoint(const pool::Mail& mail) {
   auto reply = std::make_shared<WriteReply>();
   reply->request_id = request->request_id;
   reply->fragment = config_.fragment_name;
-  reply->status = ofm_->Checkpoint();
+  if (resync_sources_->empty() && resync_cursors_->empty()) {
+    reply->status = ofm_->Checkpoint();
+  }
+  // else: a resync is reading this fragment's WAL (active session, or a
+  // bulk-phase cursor awaiting its cutover). Checkpointing now would
+  // truncate the log out from under the delta cursor, so acknowledge but
+  // skip; the next checkpoint round picks it up.
   Respond(mail.from, request->request_id, kMailWriteReply, reply,
           kControlBits);
 }
@@ -424,7 +457,26 @@ void OfmProcess::SendBatch(const ShuffleState& state,
 void OfmProcess::HandleBatchAck(const pool::Mail& mail) {
   auto msg = std::any_cast<std::shared_ptr<BatchAckMsg>>(mail.body);
   auto it = shuffles_->find(msg->shuffle_token);
-  if (it == shuffles_->end()) return;  // Finished or superseded shuffle.
+  if (it == shuffles_->end()) {
+    // Not a shuffle: maybe the bulk stream of a resync this OFM sources
+    // (tokens are drawn from the same sequence, so no collision).
+    auto rs = resync_sources_->find(msg->shuffle_token);
+    if (rs == resync_sources_->end()) return;  // Finished; stale ack.
+    ResyncSource& source = rs->second;
+    if (source.bulk == nullptr) return;
+    source.bulk->set_window(msg->credit);
+    if (source.bulk->OnAck(msg->ack)) {
+      source.attempts = 0;
+      source.retry_delay = config_.batch_retry_ns;
+    }
+    PumpResyncBulk(source);
+    if (source.bulk->done() && !source.bulk_done) {
+      // Snapshot delivered; switch to WAL-delta catch-up rounds.
+      source.bulk_done = true;
+      SendNextResyncDelta(source);
+    }
+    return;
+  }
   ShuffleState& state = it->second;
   if (msg->consumer >= state.channels.size()) return;
   ShuffleChannel& channel = state.channels[msg->consumer];
@@ -501,6 +553,348 @@ void OfmProcess::FinishShuffle(uint64_t token, Status status) {
           kControlBits);
   active_shuffles_->erase({state.coordinator, state.request_id});
   shuffles_->erase(it);
+}
+
+// ------------------------------------------------------- Replica resync
+// (DESIGN.md §13.) Source side: the GDH asks this (surviving, in-sync)
+// replica to refill a freshly spawned empty peer. Phase 1 streams a
+// committed snapshot over an exchange channel, then ships committed
+// WAL-delta rounds stop-and-wait until the log is drained. Phase 2
+// (cutover, under the fragment's exclusive lock) ships one final round
+// and waits for the target to seal itself.
+
+namespace {
+// Catch-up rounds per bulk phase before the source stops chasing the
+// writers and reports "caught up enough": the cutover's exclusive lock
+// bounds whatever remains to one final round.
+constexpr uint64_t kMaxResyncCatchupRounds = 64;
+}  // namespace
+
+void OfmProcess::HandleResync(const pool::Mail& mail) {
+  auto request = std::any_cast<std::shared_ptr<ResyncRequest>>(mail.body);
+  // A retransmitted request racing its own in-flight session: the running
+  // session will answer the GDH.
+  if (active_resync_requests_->contains({mail.from, request->request_id})) {
+    return;
+  }
+  auto fail = [&](Status status) {
+    auto reply = std::make_shared<ResyncReply>();
+    reply->request_id = request->request_id;
+    reply->fragment = config_.fragment_name;
+    reply->status = std::move(status);
+    Respond(mail.from, request->request_id, kMailResyncReply, reply,
+            kControlBits);
+  };
+  if (request->cutover && !resync_cursors_->contains(request->resync_id)) {
+    // This incarnation never served the bulk phase (crash replacement
+    // between phases lost the WAL cursor), so the final delta cannot be
+    // bounded. The GDH aborts and restarts the resync from scratch.
+    fail(FailedPreconditionError("fragment " + config_.fragment_name +
+                                 " lost the WAL cursor of resync " +
+                                 std::to_string(request->resync_id) +
+                                 " (crash?)"));
+    return;
+  }
+  RegisterExchangeMetrics();
+  const uint64_t token = next_shuffle_token_++;
+  ResyncSource source;
+  source.gdh = mail.from;
+  source.target = request->target;
+  source.request_id = request->request_id;
+  source.resync_id = request->resync_id;
+  source.token = token;
+  source.credit_window = request->credit_window;
+  source.columnar = request->columnar;
+  source.cutover = request->cutover;
+  source.retry_delay = config_.batch_retry_ns;
+  if (!request->cutover) {
+    // A fresh bulk request supersedes the cursor of any earlier attempt
+    // on this fragment (the GDH runs at most one resync per fragment).
+    resync_cursors_->clear();
+    // Position the delta cursor and take the committed snapshot in the
+    // same event: records at positions >= cursor are replayed by the
+    // delta rounds, everything before is covered by the snapshot.
+    size_t cursor = 0;
+    auto boundary = ofm_->CommittedWalSince(&cursor);
+    if (!boundary.ok()) {
+      fail(boundary.status());
+      return;
+    }
+    (*resync_cursors_)[request->resync_id] = cursor;
+    std::vector<std::pair<storage::RowId, Tuple>> rows = ofm_->CommittedRows();
+    source.bulk_tuples = rows.size();
+    // Wire framing: the RowId rides as a prepended INT column so the
+    // target reproduces the source's slot layout exactly.
+    std::vector<Tuple> framed;
+    framed.reserve(rows.size());
+    for (auto& [row, tuple] : rows) {
+      std::vector<Value> values;
+      values.reserve(tuple.size() + 1);
+      values.push_back(Value::Int(static_cast<int64_t>(row)));
+      for (const Value& v : tuple.values()) values.push_back(v);
+      framed.push_back(Tuple(std::move(values)));
+    }
+    source.bulk = std::make_unique<exec::OutboundChannel>(
+        std::move(framed), request->batch_rows, request->credit_window);
+  } else {
+    source.bulk_done = true;  // Cutover: straight to the final delta.
+  }
+  (*active_resync_requests_)[{mail.from, request->request_id}] = token;
+  auto [it, inserted] = resync_sources_->emplace(token, std::move(source));
+  PRISMA_CHECK(inserted);
+  if (it->second.cutover) {
+    SendNextResyncDelta(it->second);
+  } else {
+    PumpResyncBulk(it->second);
+  }
+  // The session may already be gone (cutover finished in one round only
+  // after its ack, so not yet) — the pump timer tolerates that.
+  SendSelfAfter(config_.batch_retry_ns, kMailResyncPump,
+                std::make_shared<uint64_t>(token));
+}
+
+void OfmProcess::PumpResyncBulk(ResyncSource& source) {
+  if (source.bulk == nullptr) return;
+  bool sent = false;
+  while (const exec::TupleBatch* batch = source.bulk->TakeNextToSend()) {
+    SendResyncBatch(source, *batch);
+    sent = true;
+  }
+  if (sent && source.bulk->Stalled() && m_exchange_stalls_ != nullptr) {
+    m_exchange_stalls_->Increment();
+  }
+}
+
+void OfmProcess::SendResyncBatch(ResyncSource& source,
+                                 const exec::TupleBatch& batch) {
+  auto msg = std::make_shared<TupleBatchMsg>();
+  msg->exchange_id = source.resync_id;
+  msg->shuffle_token = source.token;
+  msg->seq = batch.seq;
+  msg->eos = batch.eos;
+  if (source.columnar) {
+    msg->column_frame = std::make_shared<const std::string>(
+        SerializeColumnBatch(ColumnBatch::FromTuples(batch.tuples)));
+  } else {
+    msg->tuples = std::make_shared<std::vector<Tuple>>(batch.tuples);
+  }
+  const int64_t bits = msg->WireBits();
+  source.wire_bits += static_cast<uint64_t>(bits);
+  ChargeCpu(static_cast<sim::SimTime>(batch.tuples.size()) *
+            config_.ofm.exec.costs.tuple_ns);
+  if (m_batches_sent_ != nullptr) {
+    m_batches_sent_->Increment();
+    m_exchange_bytes_->Increment((bits - kControlBits) / 8);
+    m_wire_bits_->Increment(bits);
+  }
+  SendMail(source.target, kMailTupleBatch, std::move(msg), bits);
+}
+
+void OfmProcess::SendNextResyncDelta(ResyncSource& source) {
+  // Round-cap check comes BEFORE the WAL read: reading first would advance
+  // the cursor past records this phase never ships, and the cutover round
+  // would silently miss them.
+  if (!source.cutover && source.delta_rounds >= kMaxResyncCatchupRounds) {
+    FinishResyncSource(source.token, Status::OK());
+    return;
+  }
+  auto cursor = resync_cursors_->find(source.resync_id);
+  PRISMA_CHECK(cursor != resync_cursors_->end());
+  auto records = ofm_->CommittedWalSince(&cursor->second);
+  if (!records.ok()) {
+    FinishResyncSource(source.token, records.status());
+    return;
+  }
+  if (!source.cutover && records->empty()) {
+    // Caught up: the phase is done. (The cutover phase instead always
+    // ships its round — possibly empty — so the target seals itself.)
+    FinishResyncSource(source.token, Status::OK());
+    return;
+  }
+  ++source.delta_rounds;
+  ++source.delta_seq;
+  auto msg = std::make_shared<ResyncDeltaMsg>();
+  msg->resync_id = source.resync_id;
+  msg->session_token = source.token;
+  msg->seq = source.delta_seq;
+  msg->final_delta = source.cutover;
+  msg->source_slots = ofm_->relation().num_slots();
+  msg->records = std::move(records).value();
+  source.delta_records += msg->records.size();
+  const int64_t bits = msg->WireBits();
+  source.wire_bits += static_cast<uint64_t>(bits);
+  if (m_wire_bits_ != nullptr) m_wire_bits_->Increment(bits);
+  source.pending_delta = msg;
+  SendMail(source.target, kMailResyncDelta, std::move(msg), bits);
+}
+
+void OfmProcess::HandleResyncDeltaAck(const pool::Mail& mail) {
+  auto msg = std::any_cast<std::shared_ptr<ResyncDeltaAck>>(mail.body);
+  auto it = resync_sources_->find(msg->session_token);
+  if (it == resync_sources_->end()) return;  // Finished; stale ack.
+  ResyncSource& source = it->second;
+  if (source.pending_delta == nullptr || msg->ack != source.delta_seq) return;
+  source.pending_delta = nullptr;
+  source.attempts = 0;
+  source.retry_delay = config_.batch_retry_ns;
+  if (source.cutover) {
+    // The target applied the final delta and sealed itself (index rebuild
+    // + checkpoint); the resync is complete.
+    FinishResyncSource(source.token, Status::OK());
+  } else {
+    SendNextResyncDelta(source);
+  }
+}
+
+void OfmProcess::HandleResyncPump(const pool::Mail& mail) {
+  const uint64_t token = *std::any_cast<std::shared_ptr<uint64_t>>(mail.body);
+  auto it = resync_sources_->find(token);
+  if (it == resync_sources_->end()) return;  // Session finished; timer moot.
+  ResyncSource& source = it->second;
+  if (++source.attempts > config_.batch_attempts) {
+    FinishResyncSource(
+        token, UnavailableError("resync from fragment " +
+                                config_.fragment_name +
+                                " made no progress after " +
+                                std::to_string(config_.batch_attempts) +
+                                " retransmission windows (crashed target?)"));
+    return;
+  }
+  if (source.bulk != nullptr && !source.bulk->done()) {
+    // Same repair rule as shuffles: retransmit the lowest unacknowledged
+    // already-sent batch, then pump in case credit freed up.
+    const uint64_t seq = source.bulk->acked() + 1;
+    if (source.bulk->Sent(seq)) {
+      if (const exec::TupleBatch* batch = source.bulk->BatchAt(seq)) {
+        if (config_.metrics != nullptr) {
+          if (m_batch_retransmits_ == nullptr) {
+            m_batch_retransmits_ = config_.metrics->GetCounter(
+                "exchange.retransmits", {{"fragment", config_.fragment_name}});
+          }
+          m_batch_retransmits_->Increment();
+        }
+        SendResyncBatch(source, *batch);
+      }
+    }
+    PumpResyncBulk(source);
+  } else if (source.pending_delta != nullptr) {
+    SendMail(source.target, kMailResyncDelta, source.pending_delta,
+             source.pending_delta->WireBits());
+  }
+  source.retry_delay =
+      std::min(source.retry_delay * 2, config_.batch_backoff_cap_ns);
+  SendSelfAfter(source.retry_delay, kMailResyncPump,
+                std::make_shared<uint64_t>(token));
+}
+
+void OfmProcess::FinishResyncSource(uint64_t token, Status status) {
+  auto it = resync_sources_->find(token);
+  if (it == resync_sources_->end()) return;
+  ResyncSource& source = it->second;
+  // The WAL cursor survives the session only on a successful bulk phase:
+  // the cutover resumes from it. Failures drop it (the GDH restarts the
+  // resync under a new id), and a successful cutover is done with it.
+  if (!(status.ok() && !source.cutover)) {
+    resync_cursors_->erase(source.resync_id);
+  }
+  auto reply = std::make_shared<ResyncReply>();
+  reply->request_id = source.request_id;
+  reply->fragment = config_.fragment_name;
+  reply->bulk_tuples = source.bulk_tuples;
+  reply->delta_records = source.delta_records;
+  reply->delta_rounds = source.delta_rounds;
+  reply->wire_bits = source.wire_bits;
+  reply->status = std::move(status);
+  Respond(source.gdh, source.request_id, kMailResyncReply, reply,
+          kControlBits);
+  active_resync_requests_->erase({source.gdh, source.request_id});
+  resync_sources_->erase(it);
+}
+
+// Target side: absorb the bulk stream (reordering / deduplicating through
+// an InboundChannel), then apply stop-and-wait delta rounds; the final
+// delta triggers FinishResync (index rebuild + checkpoint).
+
+void OfmProcess::HandleResyncBatch(const pool::Mail& mail) {
+  if (config_.resync_id == 0) return;  // Not a resync target.
+  auto msg = std::any_cast<std::shared_ptr<TupleBatchMsg>>(mail.body);
+  if (msg->exchange_id != config_.resync_id || resync_finished_) return;
+  if (msg->shuffle_token < resync_token_) return;  // Superseded session.
+  if (msg->shuffle_token > resync_token_) {
+    // A fresh source session (the source re-answered the GDH's bulk
+    // request): the old partial stream is void, restart from scratch.
+    resync_token_ = msg->shuffle_token;
+    resync_delta_applied_ = 0;
+    *resync_in_ = exec::InboundChannel();
+    ofm_->ResyncReset();
+  }
+  auto rows = TupleBatchRows(*msg);
+  PRISMA_CHECK_OK(rows.status());
+  ChargeCpu(static_cast<sim::SimTime>(rows->size()) *
+            config_.ofm.exec.costs.tuple_ns);
+  exec::TupleBatch batch;
+  batch.seq = msg->seq;
+  batch.eos = msg->eos;
+  batch.tuples = std::move(rows).value();
+  resync_in_->Offer(std::move(batch));
+  for (exec::TupleBatch& ready : resync_in_->TakeReady()) {
+    for (Tuple& t : ready.tuples) {
+      const auto row = static_cast<storage::RowId>(t.at(0).int_value());
+      std::vector<Value> values(t.values().begin() + 1, t.values().end());
+      PRISMA_CHECK_OK(ofm_->ResyncRestoreRow(row, Tuple(std::move(values))));
+    }
+  }
+  // Always (re-)acknowledge, even duplicates: a lost ack would stall the
+  // source's credit window forever. Credit 0 = keep the window the GDH
+  // granted the source (OutboundChannel::set_window ignores zero).
+  auto ack = std::make_shared<BatchAckMsg>();
+  ack->shuffle_token = resync_token_;
+  ack->consumer = 0;
+  ack->ack = resync_in_->ack();
+  ack->credit = 0;
+  SendMail(mail.from, kMailBatchAck, std::move(ack), kControlBits);
+}
+
+void OfmProcess::HandleResyncDelta(const pool::Mail& mail) {
+  if (config_.resync_id == 0) return;  // Not a resync target.
+  auto msg = std::any_cast<std::shared_ptr<ResyncDeltaMsg>>(mail.body);
+  if (msg->resync_id != config_.resync_id) return;
+  if (msg->session_token < resync_token_) return;  // Superseded session.
+  if (msg->session_token > resync_token_) {
+    // A new source session without a bulk stream: the cutover phase. It
+    // continues from the contents the bulk session left behind; only the
+    // stop-and-wait sequence restarts.
+    resync_token_ = msg->session_token;
+    resync_delta_applied_ = 0;
+  }
+  if (msg->seq == resync_delta_applied_ + 1) {
+    if (!resync_finished_) {
+      for (const std::string& record : msg->records) {
+        PRISMA_CHECK_OK(ofm_->ResyncApplyRecord(record));
+      }
+      if (msg->final_delta) {
+        // 2PC-consistent cutover: rebuild indexes and checkpoint, making
+        // this replica's stable state self-sufficient for normal
+        // recovery.
+        PRISMA_CHECK_OK(ofm_->FinishResync(msg->source_slots));
+        resync_finished_ = true;
+      }
+      SyncDurabilityMetrics();
+    }
+    resync_delta_applied_ = msg->seq;
+  } else if (msg->seq > resync_delta_applied_ + 1) {
+    // A gap: wait for the retransmission of the missing round. (Cannot
+    // happen stop-and-wait unless the network reordered heavily; the
+    // cumulative ack below repairs it either way.)
+    return;
+  }
+  // seq <= applied falls through: re-acknowledge so a lost ack cannot
+  // wedge the source.
+  auto ack = std::make_shared<ResyncDeltaAck>();
+  ack->resync_id = msg->resync_id;
+  ack->session_token = msg->session_token;
+  ack->ack = resync_delta_applied_;
+  SendMail(mail.from, kMailResyncDeltaAck, std::move(ack), kControlBits);
 }
 
 void OfmProcess::HandleWrite(const pool::Mail& mail) {

@@ -45,6 +45,12 @@ class OfmProcess : public pool::Process {
     exec::Ofm::Options ofm;
     /// Run restart recovery in OnStart (crash replacement).
     bool recover = false;
+    /// Nonzero marks a replica-resync target (DESIGN.md §13): the OFM
+    /// starts empty (no WAL recovery — the stale stable state is behind
+    /// the surviving replica) and is refilled by a snapshot bulk-copy
+    /// plus WAL-delta rounds; inbound resync traffic is matched on this
+    /// id so frames of superseded attempts are ignored.
+    uint64_t resync_id = 0;
     /// Coordinator to consult for in-doubt transactions.
     pool::ProcessId gdh = pool::kNoProcess;
     /// Retry period of the in-doubt decision inquiry.
@@ -98,6 +104,12 @@ class OfmProcess : public pool::Process {
   void HandleDecisionReply(const pool::Mail& mail);
   void HandleCheckpoint(const pool::Mail& mail);
   void HandleCreateIndex(const pool::Mail& mail);
+  // Resync source side (DESIGN.md §13).
+  void HandleResync(const pool::Mail& mail);
+  void HandleResyncDeltaAck(const pool::Mail& mail);
+  // Resync target side.
+  void HandleResyncBatch(const pool::Mail& mail);
+  void HandleResyncDelta(const pool::Mail& mail);
 
   /// True while recovered in-doubt transactions await the coordinator's
   /// decision; data-plane mail is queued until then.
@@ -172,6 +184,41 @@ class OfmProcess : public pool::Process {
   void FinishShuffle(uint64_t token, Status status);
   void RegisterExchangeMetrics();
 
+  /// One resync this OFM is sourcing (keyed by session token): the bulk
+  /// snapshot stream to the target plus the stop-and-wait WAL-delta
+  /// rounds, under the same retransmission discipline as a shuffle.
+  struct ResyncSource {
+    pool::ProcessId gdh = pool::kNoProcess;    // Requester (reply target).
+    pool::ProcessId target = pool::kNoProcess;
+    uint64_t request_id = 0;
+    uint64_t resync_id = 0;
+    uint64_t token = 0;
+    uint64_t credit_window = 4;
+    bool columnar = true;
+    bool cutover = false;
+    bool bulk_done = false;
+    std::unique_ptr<exec::OutboundChannel> bulk;  // Null in cutover phase.
+    uint64_t delta_seq = 0;
+    std::shared_ptr<ResyncDeltaMsg> pending_delta;  // Awaiting its ack.
+    // Transfer accounting for the ResyncReply.
+    uint64_t bulk_tuples = 0;
+    uint64_t delta_records = 0;
+    uint64_t delta_rounds = 0;
+    uint64_t wire_bits = 0;
+    int attempts = 0;
+    sim::SimTime retry_delay = 0;
+  };
+
+  void PumpResyncBulk(ResyncSource& source);
+  void SendResyncBatch(ResyncSource& source, const exec::TupleBatch& batch);
+  /// Ships the next committed-WAL round (or finishes the phase when the
+  /// log is drained); the cutover phase always ships exactly one final
+  /// round so the target completes even if nothing changed.
+  void SendNextResyncDelta(ResyncSource& source);
+  void HandleResyncPump(const pool::Mail& mail);
+  /// Answers the GDH (cached) and discards the source state.
+  void FinishResyncSource(uint64_t token, Status status);
+
   Config config_;
   // Process-local state below is wrapped in the ownership checker: only
   // this process's handlers (or control-plane code between events) may
@@ -219,6 +266,24 @@ class OfmProcess : public pool::Process {
   pool::Owned<std::map<std::pair<pool::ProcessId, uint64_t>, uint64_t>>
       active_shuffles_;
   uint64_t next_shuffle_token_ = 1;
+
+  // Resync source sessions by token, with the same racing-duplicate guard
+  // as shuffles. The committed-WAL cursor per resync id outlives the phase
+  // A session (the cutover request resumes from it); while any cursor is
+  // outstanding, checkpoints are acknowledged but deferred so the WAL is
+  // not truncated under the cursor.
+  pool::Owned<std::map<uint64_t, ResyncSource>> resync_sources_;
+  pool::Owned<std::map<std::pair<pool::ProcessId, uint64_t>, uint64_t>>
+      active_resync_requests_;
+  pool::Owned<std::map<uint64_t, size_t>> resync_cursors_;
+
+  // Resync target state (resync-mode processes only): the inbound bulk
+  // channel, the adopted source session token and the stop-and-wait delta
+  // cursor.
+  pool::Owned<exec::InboundChannel> resync_in_;
+  uint64_t resync_token_ = 0;
+  uint64_t resync_delta_applied_ = 0;
+  bool resync_finished_ = false;
 
   // Cached registry counters (null when no registry was configured).
   obs::Counter* m_tuples_scanned_ = nullptr;

@@ -110,9 +110,106 @@ pool::ProcessId QueryProcess::ResolveTarget(size_t work_index) const {
   auto info = config_.dictionary->GetTable(w.table);
   if (!info.ok()) return w.ofm;
   for (const FragmentInfo& frag : (*info)->fragments) {
-    if (frag.name == w.fragment) return frag.ofm;
+    if (frag.name == w.fragment) return frag.ReplicaOfm(w.replica);
   }
   return w.ofm;
+}
+
+int QueryProcess::ChooseReadReplica(const FragmentInfo& frag) const {
+  if (!frag.replicated) return 0;
+  const int primary = frag.primary_replica;
+  if (frag.replica_state(primary) == ReplicaState::kInSync &&
+      runtime()->IsAlive(frag.ReplicaOfm(primary))) {
+    return primary;
+  }
+  const int peer = 1 - primary;
+  if (frag.replica_state(peer) == ReplicaState::kInSync &&
+      runtime()->IsAlive(frag.ReplicaOfm(peer))) {
+    return peer;
+  }
+  // Both replicas down or stale: address the primary and let the RPC
+  // layer degrade to a typed Unavailable — never a wrong answer.
+  return primary;
+}
+
+std::string QueryProcess::DescribeWorkTarget(const FragmentWork& w,
+                                             net::NodeId* pe) const {
+  std::string name = w.fragment;
+  auto info = config_.dictionary->GetTable(w.table);
+  if (info.ok()) {
+    for (const FragmentInfo& frag : (*info)->fragments) {
+      if (frag.name != w.fragment) continue;
+      name = frag.ReplicaName(w.replica);
+      *pe = frag.ReplicaPe(w.replica);
+      break;
+    }
+  }
+  return "fragment " + name + " on PE " + std::to_string(*pe);
+}
+
+void QueryProcess::CountUnavailable(net::NodeId pe, const std::string& table) {
+  // Registered only when a query actually degrades, so fault-free metric
+  // dumps are unchanged.
+  if (config_.metrics == nullptr) return;
+  config_.metrics
+      ->GetCounter("query.unavailable",
+                   {{"pe", std::to_string(pe)}, {"table", table}})
+      ->Increment();
+}
+
+void QueryProcess::MaybeFailover(size_t work_index, PendingRpc& rpc) {
+  FragmentWork& w = (*work_)[work_index];
+  auto info = config_.dictionary->GetTable(w.table);
+  if (!info.ok()) return;
+  const FragmentInfo* frag = nullptr;
+  for (const FragmentInfo& f : (*info)->fragments) {
+    if (f.name == w.fragment) {
+      frag = &f;
+      break;
+    }
+  }
+  if (frag == nullptr || !frag->replicated) return;
+  const int choice = ChooseReadReplica(*frag);
+  if (choice == w.replica) return;
+  // Crash failover: rebuild the request around the surviving replica,
+  // renaming the plan's scans. The request id is kept — a late reply
+  // from the old target settles the same RPC, and both replicas answer
+  // identically (the statement's shared lock on the base fragment name
+  // blocks new commits machine-wide).
+  const std::string old_name = frag->ReplicaName(w.replica);
+  const std::string new_name = frag->ReplicaName(choice);
+  std::unique_ptr<algebra::Plan> plan =
+      CloneWithScanRenamed(*w.plan, old_name, new_name);
+  if (!w.second_fragment.empty()) {
+    auto second = config_.dictionary->GetTable(w.second_table);
+    if (second.ok()) {
+      for (const FragmentInfo& f : (*second)->fragments) {
+        if (f.name != w.second_fragment) continue;
+        // The co-located partner moves with the anchor: aligned
+        // placement puts equal replica slots on equal PEs.
+        plan = CloneWithScanRenamed(*plan, f.ReplicaName(w.replica),
+                                    f.ReplicaName(choice));
+        break;
+      }
+    }
+  }
+  w.plan = std::shared_ptr<const algebra::Plan>(std::move(plan));
+  if (std::string_view(rpc.kind) == kMailShufflePlan && w.shuffle != nullptr) {
+    auto request = std::make_shared<ShufflePlanRequest>(*w.shuffle);
+    request->plan = w.plan;
+    w.shuffle = request;
+    rpc.body = request;
+  } else if (std::string_view(rpc.kind) == kMailExecPlan) {
+    auto old_request =
+        std::any_cast<std::shared_ptr<ExecPlanRequest>>(rpc.body);
+    auto request = std::make_shared<ExecPlanRequest>(*old_request);
+    request->plan = w.plan;
+    rpc.body = request;
+  } else {
+    return;  // Not a fragment read; nothing to re-aim.
+  }
+  w.replica = choice;
+  w.ofm = frag->ReplicaOfm(choice);
 }
 
 void QueryProcess::HandleRpcTimeout(const pool::Mail& mail) {
@@ -122,17 +219,32 @@ void QueryProcess::HandleRpcTimeout(const pool::Mail& mail) {
   auto it = rpcs_->find(request_id);
   if (it == rpcs_->end()) return;  // Answered in the meantime.
   PendingRpc& rpc = it->second;
-  if (rpc.attempts >= rpc.max_attempts) {
-    const std::string target = rpc.work_index == SIZE_MAX
-                                   ? std::string("the GDH")
-                                   : (*work_)[rpc.work_index].fragment;
+  // GDH-bound RPCs are never abandoned: the GDH lives on PE 0, which no
+  // fault plan crashes, and it answers lock requests only once granted —
+  // so a quiet GDH means a queued lock behind a failover-stalled writer,
+  // not a crash. Keep retransmitting; the query watchdog bounds the wait.
+  if (rpc.attempts >= rpc.max_attempts && rpc.work_index != SIZE_MAX) {
+    // Degradation report (DESIGN.md §13): name the unreachable replica
+    // and its PE, and count the failure under query.unavailable{pe,table}.
+    std::string target = "the GDH";
+    net::NodeId target_pe = 0;
+    std::string table = "(gdh)";
+    if (rpc.work_index != SIZE_MAX) {
+      const FragmentWork& w = (*work_)[rpc.work_index];
+      table = w.table;
+      target = DescribeWorkTarget(w, &target_pe);
+    }
     rpcs_->erase(it);
+    CountUnavailable(target_pe, table);
     Reply(UnavailableError(target + " did not answer after repeated "
                            "retransmissions (crashed PE?)"),
           Schema(), nullptr);
     return;
   }
   ++rpc.attempts;
+  // Crash failover happens at retransmission time: if the addressed
+  // replica died after scatter, re-aim at the surviving one first.
+  if (rpc.work_index != SIZE_MAX) MaybeFailover(rpc.work_index, rpc);
   const pool::ProcessId target = ResolveTarget(rpc.work_index);
   if (target != pool::kNoProcess) {
     SendMail(target, rpc.kind, rpc.body, rpc.size_bits);
@@ -321,11 +433,16 @@ void QueryProcess::Scatter() {
       std::shared_ptr<const algebra::Plan> scan =
           algebra::ScanPlan::Create(plog_tables_[i], (*info)->schema);
       for (const FragmentInfo& frag : (*info)->fragments) {
-        work_->push_back(FragmentWork{
-            frag.ofm,
-            std::shared_ptr<const algebra::Plan>(CloneWithScanRenamed(
-                *scan, plog_tables_[i], frag.name)),
-            i, plog_tables_[i], frag.name});
+        const int replica = ChooseReadReplica(frag);
+        FragmentWork w;
+        w.ofm = frag.ReplicaOfm(replica);
+        w.plan = std::shared_ptr<const algebra::Plan>(CloneWithScanRenamed(
+            *scan, plog_tables_[i], frag.ReplicaName(replica)));
+        w.part = i;
+        w.table = plog_tables_[i];
+        w.fragment = frag.name;
+        w.replica = replica;
+        work_->push_back(std::move(w));
       }
     }
   } else {
@@ -360,15 +477,28 @@ void QueryProcess::Scatter() {
       }
       for (const int f : part_fragments_[i]) {
         const FragmentInfo& frag = (*info)->fragments[f];
-        std::unique_ptr<algebra::Plan> local =
-            CloneWithScanRenamed(*part.plan, part.table, frag.name);
+        // Read routing: address the fragment's primary replica, or the
+        // surviving backup when the primary's PE is down (DESIGN.md §13).
+        const int replica = ChooseReadReplica(frag);
+        std::unique_ptr<algebra::Plan> local = CloneWithScanRenamed(
+            *part.plan, part.table, frag.ReplicaName(replica));
+        FragmentWork w;
         if (second != nullptr) {
+          // The co-located partner reads the SAME replica slot: aligned
+          // placement keeps equal slots of aligned fragments on one PE.
+          const FragmentInfo& sfrag = second->fragments[f];
           local = CloneWithScanRenamed(*local, part.second_table,
-                                       second->fragments[f].name);
+                                       sfrag.ReplicaName(replica));
+          w.second_table = part.second_table;
+          w.second_fragment = sfrag.name;
         }
-        work_->push_back(FragmentWork{
-            frag.ofm, std::shared_ptr<const algebra::Plan>(std::move(local)),
-            i, part.table, frag.name});
+        w.ofm = frag.ReplicaOfm(replica);
+        w.plan = std::shared_ptr<const algebra::Plan>(std::move(local));
+        w.part = i;
+        w.table = part.table;
+        w.fragment = frag.name;
+        w.replica = replica;
+        work_->push_back(std::move(w));
       }
     }
   }
@@ -417,10 +547,14 @@ size_t QueryProcess::ScatterExchangePart(size_t part_index) {
   consumers.reserve(anchor->fragments.size());
   for (size_t c = 0; c < anchor->fragments.size(); ++c) {
     const FragmentInfo& frag = anchor->fragments[c];
+    // Read routing: the consumer co-locates with whichever anchor replica
+    // currently serves reads, and rescans that replica's fragment.
+    const int replica = ChooseReadReplica(frag);
+    const std::string anchor_name = frag.ReplicaName(replica);
     ExchangeConsumerProcess::Config cc;
     cc.exchange_id = exchange_id;
     cc.index = c;
-    cc.fragment = frag.name;
+    cc.fragment = anchor_name;
     cc.coordinator = self();
     cc.reply_request_id = next_request_id_++;
     for (int s = 0; s < 2; ++s) {
@@ -431,8 +565,9 @@ size_t QueryProcess::ScatterExchangePart(size_t part_index) {
       } else {
         // The stationary side is the anchor table: this consumer rescans
         // its own co-located fragment.
-        spec.local_plan = std::shared_ptr<const algebra::Plan>(
-            CloneWithScanRenamed(*side_plans[s], side_tables[s], frag.name));
+        spec.local_plan =
+            std::shared_ptr<const algebra::Plan>(CloneWithScanRenamed(
+                *side_plans[s], side_tables[s], anchor_name));
       }
     }
     cc.build_side = ex.build_side;
@@ -447,7 +582,8 @@ size_t QueryProcess::ScatterExchangePart(size_t part_index) {
     cc.metrics = config_.metrics;
     request_part_[cc.reply_request_id] = part_index;
     const pool::ProcessId pid = runtime()->Spawn(
-        frag.pe, std::make_unique<ExchangeConsumerProcess>(std::move(cc)));
+        frag.ReplicaPe(replica),
+        std::make_unique<ExchangeConsumerProcess>(std::move(cc)));
     consumer_pids_.push_back(pid);
     consumers.push_back(pid);
   }
@@ -458,13 +594,15 @@ size_t QueryProcess::ScatterExchangePart(size_t part_index) {
     if (!ExchangeSideMoves(ex.strategy, s)) continue;
     for (size_t f = 0; f < sides[s]->fragments.size(); ++f) {
       const FragmentInfo& frag = sides[s]->fragments[f];
+      const int replica = ChooseReadReplica(frag);
       auto request = std::make_shared<ShufflePlanRequest>();
       request->request_id = next_request_id_++;
       request->exchange_id = exchange_id;
       request->side = s;
       request->producer = f;
-      request->plan = std::shared_ptr<const algebra::Plan>(
-          CloneWithScanRenamed(*side_plans[s], side_tables[s], frag.name));
+      request->plan =
+          std::shared_ptr<const algebra::Plan>(CloneWithScanRenamed(
+              *side_plans[s], side_tables[s], frag.ReplicaName(replica)));
       request->mode = broadcast ? ShufflePlanRequest::Mode::kBroadcast
                                 : ShufflePlanRequest::Mode::kHash;
       request->partition_column =
@@ -473,8 +611,15 @@ size_t QueryProcess::ScatterExchangePart(size_t part_index) {
       request->batch_rows = config_.exchange_batch_rows;
       request->credit_window = config_.exchange_credit_window;
       request->exec_mode = config_.exec_mode;
-      work_->push_back(FragmentWork{frag.ofm, request->plan, part_index,
-                                    side_tables[s], frag.name, request});
+      FragmentWork w;
+      w.ofm = frag.ReplicaOfm(replica);
+      w.plan = request->plan;
+      w.part = part_index;
+      w.table = side_tables[s];
+      w.fragment = frag.name;
+      w.replica = replica;
+      w.shuffle = request;
+      work_->push_back(std::move(w));
     }
   }
   return consumers.size();
@@ -929,8 +1074,14 @@ void QueryProcess::ScatterFixpoint() {
     request->batch_rows = config_.exchange_batch_rows;
     request->credit_window = config_.exchange_credit_window;
     request->exec_mode = config_.exec_mode;
-    work_->push_back(FragmentWork{frag.ofm, request->plan, 0, fx_edge_table_,
-                                  frag.name, request});
+    FragmentWork w;
+    w.ofm = frag.ofm;
+    w.plan = request->plan;
+    w.part = 0;
+    w.table = fx_edge_table_;
+    w.fragment = frag.name;
+    w.shuffle = request;
+    work_->push_back(std::move(w));
   }
   next_work_ = 0;
   outstanding_ = 0;
@@ -1092,8 +1243,22 @@ void QueryProcess::OnMail(const pool::Mail& mail) {
       SendSelfAfter(config_.stmt_done_resend_ns, kMailStmtDoneResend);
     }
   } else if (mail.kind == kMailQueryTimeout) {
-    Reply(UnavailableError("query timed out (fragment unreachable?)"),
-          Schema(), nullptr);
+    // Degradation report: name a fragment the gather is still waiting on,
+    // if any RPC is outstanding (otherwise the stall is elsewhere, e.g. a
+    // consumer that lost its PE).
+    std::string detail = "query timed out (fragment unreachable?)";
+    net::NodeId target_pe = 0;
+    std::string table = "(unknown)";
+    for (const auto& [id, rpc] : *rpcs_) {
+      if (rpc.work_index == SIZE_MAX) continue;
+      const FragmentWork& w = (*work_)[rpc.work_index];
+      table = w.table;
+      detail = "query timed out awaiting " +
+               DescribeWorkTarget(w, &target_pe) + " (crashed PE?)";
+      break;
+    }
+    CountUnavailable(target_pe, table);
+    Reply(UnavailableError(std::move(detail)), Schema(), nullptr);
   }
 }
 

@@ -144,16 +144,39 @@ class QueryProcess : public pool::Process {
 
   // Scatter/gather bookkeeping.
   struct FragmentWork {
-    pool::ProcessId ofm;
+    pool::ProcessId ofm = pool::kNoProcess;
     std::shared_ptr<const algebra::Plan> plan;
-    size_t part;
+    size_t part = 0;
     /// Names for pid re-resolution on retransmit (the OFM may respawn).
+    /// `fragment` is the BASE fragment name; `replica` the replica the
+    /// plan is currently aimed at (plan scans carry the replica name).
     std::string table;
     std::string fragment;
+    int replica = 0;
+    /// Co-located join partner (empty when none): needed to re-aim the
+    /// partner's scan together with the anchor's on read failover.
+    std::string second_table;
+    std::string second_fragment;
     /// Set for exchange-join producers: the prebuilt shuffle plan (with a
     /// pre-assigned request_id) sent instead of a plain ExecPlanRequest.
     std::shared_ptr<ShufflePlanRequest> shuffle;
   };
+  /// Read routing (DESIGN.md §13): the replica of `frag` a read should
+  /// address — the primary while it is in-sync and alive, else the peer
+  /// if IT is in-sync and alive, else the primary (the RPC layer then
+  /// degrades to a typed Unavailable — never a wrong answer).
+  int ChooseReadReplica(const FragmentInfo& frag) const;
+  /// Re-aims an unanswered fragment read at the currently chosen replica
+  /// (crash failover at retransmission time): rebuilds the request body
+  /// with the plan's scans renamed, keeping the request id.
+  struct PendingRpc;
+  void MaybeFailover(size_t work_index, PendingRpc& rpc);
+  /// Bumps the labeled query.unavailable{pe,table} counter (registered
+  /// lazily so fault-free metric dumps are unchanged).
+  void CountUnavailable(net::NodeId pe, const std::string& table);
+  /// "fragment <replica-name> on PE <n>" for the replica `w` is aimed at;
+  /// fills *pe with that replica's PE (degradation reporting).
+  std::string DescribeWorkTarget(const FragmentWork& w, net::NodeId* pe) const;
   /// Builds the consumer processes and producer work entries of one
   /// exchange-lowered join part; returns the number of consumer replies
   /// the gather now additionally waits for.

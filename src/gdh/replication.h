@@ -1,0 +1,54 @@
+#ifndef PRISMA_GDH_REPLICATION_H_
+#define PRISMA_GDH_REPLICATION_H_
+
+#include <string>
+
+namespace prisma::gdh {
+
+/// Lifecycle of one fragment replica (DESIGN.md §13).
+///
+///   kInSync    — holds every committed write; eligible to serve reads and
+///                participate in 2PC as a write target.
+///   kStale     — observed dead while its peer carried on accepting writes;
+///                its contents are behind and must be rebuilt before it can
+///                serve anything.
+///   kResyncing — a fresh OFM process is being refilled from the surviving
+///                replica (snapshot bulk-copy + WAL-delta catch-up); flips
+///                back to kInSync at the 2PC-consistent cutover.
+enum class ReplicaState : uint8_t { kInSync, kStale, kResyncing };
+
+const char* ReplicaStateName(ReplicaState state);
+
+/// Suffix distinguishing the backup replica's fragment (and thus its OFM
+/// process, WAL stream "emp#3~b.wal", reply-cache identity and registry
+/// entry) from the home copy "emp#3". Reusing the fragment-name keyed
+/// machinery end-to-end is what lets a backup ride the existing RPC
+/// hardening and presumed-abort 2PC unchanged.
+inline constexpr char kBackupSuffix[] = "~b";
+
+inline bool IsBackupFragmentName(const std::string& fragment) {
+  return fragment.size() >= 2 &&
+         fragment.compare(fragment.size() - 2, 2, kBackupSuffix) == 0;
+}
+
+inline std::string BackupFragmentName(const std::string& base) {
+  return base + kBackupSuffix;
+}
+
+/// Strips the backup suffix if present: both replicas of "emp#3" share the
+/// base name, which is what locks and the dictionary key on.
+inline std::string BaseFragmentName(const std::string& fragment) {
+  if (!IsBackupFragmentName(fragment)) return fragment;
+  return fragment.substr(0, fragment.size() - 2);
+}
+
+/// "emp#3~b" -> "emp"; empty if `fragment` is not a fragment name.
+inline std::string TableOfFragment(const std::string& fragment) {
+  const std::string base = BaseFragmentName(fragment);
+  const size_t hash = base.rfind('#');
+  return hash == std::string::npos ? std::string() : base.substr(0, hash);
+}
+
+}  // namespace prisma::gdh
+
+#endif  // PRISMA_GDH_REPLICATION_H_

@@ -115,6 +115,13 @@ void Relation::Scan(const std::function<bool(RowId, const Tuple&)>& fn) const {
   }
 }
 
+void Relation::ScanSlots(
+    const std::function<void(RowId, const Tuple*)>& fn) const {
+  for (RowId r = 0; r < rows_.size(); ++r) {
+    fn(r, rows_[r].has_value() ? &*rows_[r] : nullptr);
+  }
+}
+
 std::vector<Tuple> Relation::AllTuples() const {
   std::vector<Tuple> out;
   out.reserve(live_count_);

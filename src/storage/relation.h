@@ -64,6 +64,12 @@ class Relation {
   /// stops early if `fn` returns false.
   void Scan(const std::function<bool(RowId, const Tuple&)>& fn) const;
 
+  /// Slot-preserving iteration: invokes `fn(row_id, tuple_or_null)` for
+  /// every slot in RowId order, tombstones included (tuple == nullptr).
+  /// The snapshot hook of checkpointing and replica resync — consumers
+  /// that must reproduce the exact RowId space iterate slots, not tuples.
+  void ScanSlots(const std::function<void(RowId, const Tuple*)>& fn) const;
+
   /// All live tuples in RowId order (convenience for small results).
   std::vector<Tuple> AllTuples() const;
 

@@ -13,6 +13,8 @@
 #include "common/str_util.h"
 #include "core/prisma_db.h"
 #include "exec/transitive_closure.h"
+#include "gdh/replication.h"
+#include "soak_repro.h"
 
 namespace prisma::core {
 namespace {
@@ -53,8 +55,15 @@ MachineConfig ChaosMachine(uint64_t seed) {
 /// guarantee the presumed-abort protocol owes the client.
 class ChaosDriver {
  public:
-  ChaosDriver(PrismaDb* db, uint64_t seed, int ops)
-      : db_(db), rng_(seed ^ 0xda3e39cb94b95bdbULL), ops_left_(ops) {}
+  /// With `reads_must_succeed` every Audit read is REQUIRED to come back
+  /// OK (the replicated machine's availability guarantee); without it a
+  /// read may legitimately degrade while a PE is down.
+  ChaosDriver(PrismaDb* db, uint64_t seed, int ops,
+              bool reads_must_succeed = false)
+      : db_(db),
+        rng_(seed ^ 0xda3e39cb94b95bdbULL),
+        ops_left_(ops),
+        reads_must_succeed_(reads_must_succeed) {}
 
   void Run() {
     Submit(StrFormat("CREATE TABLE t (id INT, v INT) FRAGMENTED BY "
@@ -181,6 +190,11 @@ class ChaosDriver {
   void Audit() {
     Submit("SELECT id FROM t", exec::kAutoCommit,
            [this](const gdh::ClientReply& reply) {
+             if (reads_must_succeed_) {
+               PRISMA_CHECK(reply.status.ok())
+                   << "replicated read degraded: "
+                   << reply.status.ToString();
+             }
              if (reply.status.ok()) {
                ++audits_;
                std::set<int64_t> ids;
@@ -206,6 +220,7 @@ class ChaosDriver {
   PrismaDb* db_;
   Rng rng_;
   int ops_left_;
+  bool reads_must_succeed_ = false;
   bool done_ = false;
   std::set<int64_t> model_;
   int64_t next_id_ = 0;
@@ -256,9 +271,8 @@ TEST(ChaosTest, SoakSurvives25Seeds) {
   uint64_t total_dropped = 0;
   uint64_t total_duplicated = 0;
   uint64_t total_audits = 0;
-  for (uint64_t seed = 1; seed <= 25; ++seed) {
-    SCOPED_TRACE(StrFormat("seed %llu",
-                           static_cast<unsigned long long>(seed)));
+  for (const uint64_t seed : SoakSeeds(1, 25)) {
+    PRISMA_SEED_REPRO("ChaosTest.SoakSurvives25Seeds", seed);
     const SoakOutcome out = RunChaosSoak(seed);
     // Every plan schedules exactly one PE crash, and it fired.
     EXPECT_EQ(out.crashes, 1u);
@@ -266,6 +280,7 @@ TEST(ChaosTest, SoakSurvives25Seeds) {
     total_duplicated += out.duplicated;
     total_audits += out.audits;
   }
+  if (SingleSeedMode()) return;
   // The soak was not a fair-weather run: messages were actually lost and
   // duplicated across the 25 plans, and mid-soak audits did land.
   EXPECT_GT(total_dropped, 0u);
@@ -309,6 +324,125 @@ QueryResult MustExecute(PrismaDb* db, const std::string& sql) {
   auto result = db->Execute(sql);
   PRISMA_CHECK(result.ok()) << sql << " -> " << result.status().ToString();
   return std::move(result).value();
+}
+
+// --------------------------------- Replicated machine under chaos (§13)
+
+/// Outcome of one replicated soak: the base SoakOutcome plus the
+/// replication trail the assertions key on.
+struct ReplicatedSoakOutcome {
+  SoakOutcome base;
+  uint64_t unavailable = 0;
+  uint64_t failovers = 0;
+  uint64_t stale_marks = 0;
+  uint64_t resyncs_completed = 0;
+};
+
+/// The tentpole availability soak: the same lossy/crashing machine as
+/// RunChaosSoak, but with every fragment replicated on two PEs and the
+/// coordinators pinned to PE 0. EVERY audit read — including those inside
+/// the crash window — must return the model-exact answer; zero reads may
+/// degrade to Unavailable. After the drain, the restarted PE's replicas
+/// must have resynced to byte-identical checkpoint snapshots.
+ReplicatedSoakOutcome RunReplicatedChaosSoak(uint64_t seed,
+                                             bool trace = false) {
+  MachineConfig config = ChaosMachine(seed);
+  config.replicate_fragments = true;
+  config.coordinator_pes = {0};
+  config.enable_tracing = trace;
+  // Stretch the down window past the write-retransmission budget: a write
+  // touching a dead replica must EXHAUST its retries and shed the replica
+  // (marking it stale) instead of merely stalling until the restart —
+  // that is what makes the restart exercise the full resync path.
+  config.rpc_attempts = 4;  // Exhausts after 250ms + 500ms + 1s retries.
+  net::PeCrashEvent& crash = config.fault_plan.pe_crashes[0];
+  crash.restart_at_ns = crash.at_ns + 3 * sim::kNanosPerSecond +
+                        static_cast<sim::SimTime>(seed % 4) * 250 *
+                            sim::kNanosPerMilli;
+  PrismaDb db(config);
+  ChaosDriver driver(&db, seed, 40, /*reads_must_succeed=*/true);
+  driver.Run();
+
+  ReplicatedSoakOutcome out;
+  auto result = db.Execute("SELECT id FROM t");
+  PRISMA_CHECK(result.ok()) << result.status().ToString();
+  for (const Tuple& tuple : result->tuples) {
+    out.base.ids.insert(tuple.at(0).int_value());
+  }
+  PRISMA_CHECK(out.base.ids == driver.model())
+      << "committed state diverged from the model: db has "
+      << out.base.ids.size() << " rows, model has " << driver.model().size();
+
+  // Resync convergence: after a checkpoint both replicas of every
+  // fragment hold byte-identical snapshots on their PEs' stable stores.
+  MustExecute(&db, "CHECKPOINT");
+  const auto table = db.gdh().dictionary().GetTable("t");
+  PRISMA_CHECK(table.ok());
+  for (const gdh::FragmentInfo& frag : (*table)->fragments) {
+    const auto home = db.stable_store(frag.pe).ReadSnapshot(
+        frag.name + ".ckpt");
+    const auto backup = db.stable_store(frag.backup_pe).ReadSnapshot(
+        gdh::BackupFragmentName(frag.name) + ".ckpt");
+    PRISMA_CHECK(home.ok() && backup.ok())
+        << frag.name << " missing a replica checkpoint (home="
+        << gdh::ReplicaStateName(frag.state)
+        << ", backup=" << gdh::ReplicaStateName(frag.backup_state) << ")";
+    PRISMA_CHECK(*home == *backup)
+        << "replicas of " << frag.name << " diverged after resync";
+  }
+
+  out.base.failed = driver.failed_statements();
+  out.base.audits = driver.audits();
+  out.base.dropped = db.network().stats().dropped;
+  out.base.duplicated = db.network().stats().duplicated;
+  out.base.crashes = db.metrics().CounterTotal("pe.crashes");
+  out.unavailable = db.metrics().CounterTotal("query.unavailable");
+  out.failovers = db.metrics().CounterTotal("replica.failovers");
+  out.stale_marks = db.metrics().CounterTotal("replica.stale_marks");
+  out.resyncs_completed =
+      db.metrics().CounterTotal("replica.resyncs_completed");
+  out.base.metrics = db.DumpMetrics();
+  if (trace) out.base.trace = db.DumpTrace();
+  return out;
+}
+
+TEST(ChaosTest, ReplicatedSoakServesEveryReadAcross25Seeds) {
+  uint64_t total_audits = 0;
+  uint64_t total_dropped = 0;
+  uint64_t total_failovers = 0;
+  uint64_t total_resyncs = 0;
+  for (const uint64_t seed : SoakSeeds(1, 25)) {
+    PRISMA_SEED_REPRO("ChaosTest.ReplicatedSoakServesEveryReadAcross25Seeds",
+                      seed);
+    const ReplicatedSoakOutcome out = RunReplicatedChaosSoak(seed);
+    EXPECT_EQ(out.base.crashes, 1u);  // The scheduled PE crash fired...
+    EXPECT_EQ(out.unavailable, 0u);   // ...and nothing degraded through it.
+    // Every replica shed during the window rejoined via resync. (Seeds
+    // whose window sheds nothing recover in place from WAL; the byte-
+    // identical snapshot check inside the soak covers both paths.)
+    if (out.stale_marks > 0) EXPECT_GT(out.resyncs_completed, 0u);
+    total_audits += out.base.audits;
+    total_dropped += out.base.dropped;
+    total_failovers += out.failovers;
+    total_resyncs += out.resyncs_completed;
+  }
+  if (SingleSeedMode()) return;
+  // Not a fair-weather run: reads really landed inside crash windows
+  // (failovers fired), messages were lost, and resyncs rebuilt replicas.
+  EXPECT_GT(total_audits, 0u);
+  EXPECT_GT(total_dropped, 0u);
+  EXPECT_GT(total_failovers, 0u);
+  EXPECT_GT(total_resyncs, 0u);
+}
+
+TEST(ChaosTest, ReplicatedSameSeedReplayIsByteIdenticalIncludingTraces) {
+  const ReplicatedSoakOutcome a = RunReplicatedChaosSoak(5, /*trace=*/true);
+  const ReplicatedSoakOutcome b = RunReplicatedChaosSoak(5, /*trace=*/true);
+  EXPECT_EQ(a.base.ids, b.base.ids);
+  EXPECT_EQ(a.base.metrics, b.base.metrics);  // Byte-identical dump.
+  ASSERT_FALSE(a.base.trace.empty());
+  ASSERT_EQ(a.base.trace.size(), b.base.trace.size());
+  EXPECT_EQ(a.base.trace, b.base.trace);
 }
 
 // ------------------------------------------- Exchange shuffles under chaos
@@ -380,15 +514,15 @@ TEST(ChaosTest, ExchangeSoakSurvives25Seeds) {
   uint64_t dropped = 0;
   uint64_t duplicated = 0;
   uint64_t recovered = 0;
-  for (uint64_t seed = 1; seed <= 25; ++seed) {
-    SCOPED_TRACE(StrFormat("seed %llu",
-                           static_cast<unsigned long long>(seed)));
+  for (const uint64_t seed : SoakSeeds(1, 25)) {
+    PRISMA_SEED_REPRO("ChaosTest.ExchangeSoakSurvives25Seeds", seed);
     const ExchangeSoakOutcome out = RunExchangeChaos(seed);
     EXPECT_GT(out.batches_sent, 0u);  // The join really used the exchange.
     dropped += out.dropped;
     duplicated += out.duplicated;
     recovered += out.retransmits + out.dup_batches;
   }
+  if (SingleSeedMode()) return;
   EXPECT_GT(dropped, 0u);
   EXPECT_GT(duplicated, 0u);
   // The faults hit the shuffle itself, not just the RPC plane: lost
@@ -412,9 +546,8 @@ TEST(ChaosTest, VectorizedExchangeSoakSurvives25Seeds) {
   uint64_t dropped = 0;
   uint64_t duplicated = 0;
   uint64_t recovered = 0;
-  for (uint64_t seed = 1; seed <= 25; ++seed) {
-    SCOPED_TRACE(StrFormat("seed %llu",
-                           static_cast<unsigned long long>(seed)));
+  for (const uint64_t seed : SoakSeeds(1, 25)) {
+    PRISMA_SEED_REPRO("ChaosTest.VectorizedExchangeSoakSurvives25Seeds", seed);
     const ExchangeSoakOutcome out =
         RunExchangeChaos(seed, exec::ExecMode::kVectorized);
     EXPECT_GT(out.batches_sent, 0u);
@@ -422,6 +555,7 @@ TEST(ChaosTest, VectorizedExchangeSoakSurvives25Seeds) {
     duplicated += out.duplicated;
     recovered += out.retransmits + out.dup_batches;
   }
+  if (SingleSeedMode()) return;
   EXPECT_GT(dropped, 0u);
   EXPECT_GT(duplicated, 0u);
   EXPECT_GT(recovered, 0u);
@@ -582,15 +716,15 @@ TEST(ChaosTest, FixpointSoakSurvives25Seeds) {
   uint64_t duplicated = 0;
   uint64_t recovered = 0;
   uint64_t answered = 0;
-  for (uint64_t seed = 1; seed <= 25; ++seed) {
-    SCOPED_TRACE(StrFormat("seed %llu",
-                           static_cast<unsigned long long>(seed)));
+  for (const uint64_t seed : SoakSeeds(1, 25)) {
+    PRISMA_SEED_REPRO("ChaosTest.FixpointSoakSurvives25Seeds", seed);
     const FixpointSoakOutcome out = RunFixpointChaos(seed);
     if (out.ok) ++answered;
     dropped += out.dropped;
     duplicated += out.duplicated;
     recovered += out.retransmits + out.dup_batches;
   }
+  if (SingleSeedMode()) return;
   // Not a fair-weather run: faults landed on the wire, the recursion's
   // batch streams recovered from them, and most seeds still produced the
   // exact closure.

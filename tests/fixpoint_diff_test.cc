@@ -15,6 +15,7 @@
 #include "common/str_util.h"
 #include "core/prisma_db.h"
 #include "exec/transitive_closure.h"
+#include "soak_repro.h"
 
 namespace prisma::core {
 namespace {
@@ -201,7 +202,8 @@ constexpr exec::TcAlgorithm kAlgorithms[] = {exec::TcAlgorithm::kNaive,
                                              exec::TcAlgorithm::kSmart};
 
 TEST(FixpointDiffTest, SeminaiveMatchesOracleAcrossSeeds) {
-  for (uint64_t seed = 1; seed <= 50; ++seed) {
+  for (const uint64_t seed : SoakSeeds(1, 50)) {
+    PRISMA_SEED_REPRO("FixpointDiffTest.SeminaiveMatchesOracleAcrossSeeds", seed);
     for (const int fragments : kFragmentCounts) {
       CheckSeed(seed, fragments, exec::TcAlgorithm::kSeminaive);
     }
@@ -209,7 +211,8 @@ TEST(FixpointDiffTest, SeminaiveMatchesOracleAcrossSeeds) {
 }
 
 TEST(FixpointDiffTest, NaiveMatchesOracleAcrossSeeds) {
-  for (uint64_t seed = 1; seed <= 50; ++seed) {
+  for (const uint64_t seed : SoakSeeds(1, 50)) {
+    PRISMA_SEED_REPRO("FixpointDiffTest.NaiveMatchesOracleAcrossSeeds", seed);
     for (const int fragments : kFragmentCounts) {
       CheckSeed(seed, fragments, exec::TcAlgorithm::kNaive);
     }
@@ -217,7 +220,8 @@ TEST(FixpointDiffTest, NaiveMatchesOracleAcrossSeeds) {
 }
 
 TEST(FixpointDiffTest, SmartMatchesOracleAcrossSeeds) {
-  for (uint64_t seed = 1; seed <= 50; ++seed) {
+  for (const uint64_t seed : SoakSeeds(1, 50)) {
+    PRISMA_SEED_REPRO("FixpointDiffTest.SmartMatchesOracleAcrossSeeds", seed);
     for (const int fragments : kFragmentCounts) {
       CheckSeed(seed, fragments, exec::TcAlgorithm::kSmart);
     }

@@ -1,0 +1,27 @@
+// Fixture: a file on the replication surface (gdh/replication.h) that
+// picks a failover order by iterating an unordered container. Both the
+// range-for and the iterator loop must produce a D2 diagnostic.
+#include <string>
+#include <unordered_map>
+
+#include "gdh/replication.h"
+
+namespace fixture {
+
+class FailoverPlanner {
+ public:
+  void ShedStale() {
+    for (const auto& [fragment, state] : states_) {
+      MarkStale(fragment, state);
+    }
+    for (auto it = states_.begin(); it != states_.end(); ++it) {
+      MarkStale(it->first, it->second);
+    }
+  }
+
+ private:
+  void MarkStale(const std::string& fragment, int state);
+  std::unordered_map<std::string, int> states_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// Fixture: a file on the replication surface (gdh/replication.h) whose
+// unordered iteration carries the sanctioned annotation. The analyzer
+// must report nothing for this file.
+#include <string>
+#include <unordered_map>
+
+#include "gdh/replication.h"
+
+namespace fixture {
+
+class ResyncAccounting {
+ public:
+  long WireBits() {
+    // prisma-lint: ordered - bits are summed; the total is order-free
+    for (const auto& [fragment, bits] : wire_bits_) {
+      total_ += bits;
+    }
+    return total_;
+  }
+
+ private:
+  std::unordered_map<std::string, long> wire_bits_;
+  long total_ = 0;
+};
+
+}  // namespace fixture

@@ -32,6 +32,8 @@ TEST(LintTest, GoldenDiagnosticsOverFixtureCorpus) {
       "bad/discard.cc:12 D4",
       "bad/unordered_frame.cc:15 D2",
       "bad/unordered_frame.cc:18 D2",
+      "bad/unordered_replica.cc:14 D2",
+      "bad/unordered_replica.cc:17 D2",
       "bad/unordered_send.cc:14 D2",
       "bad/unordered_send.cc:17 D2",
       "bad/wall_clock.cc:11 D1",
@@ -78,7 +80,7 @@ TEST(LintTest, AllowlistSilencesMatchedFindingAndFlagsStaleEntries) {
 
   LintReport report =
       ApplyAllowlist(AnalyzeSources(LoadFixtures()), allowlist);
-  EXPECT_EQ(report.violations, 10u);  // 12 findings - 2 allowlisted.
+  EXPECT_EQ(report.violations, 12u);  // 14 findings - 2 allowlisted.
   ASSERT_EQ(report.unused_allowlist.size(), 1u);
   EXPECT_EQ(report.unused_allowlist[0].needle, "no_such_token");
   EXPECT_FALSE(report.clean());
@@ -95,7 +97,7 @@ TEST(LintTest, AllowlistSilencesMatchedFindingAndFlagsStaleEntries) {
 
 TEST(LintTest, EmptyAllowlistReportsEveryFindingAsViolation) {
   LintReport report = ApplyAllowlist(AnalyzeSources(LoadFixtures()), {});
-  EXPECT_EQ(report.violations, 12u);
+  EXPECT_EQ(report.violations, 14u);
   EXPECT_TRUE(report.unused_allowlist.empty());
   EXPECT_FALSE(report.clean());
 }

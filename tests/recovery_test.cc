@@ -9,6 +9,8 @@
 #include "common/rng.h"
 #include "common/str_util.h"
 #include "core/prisma_db.h"
+#include "gdh/replication.h"
+#include "soak_repro.h"
 
 namespace prisma::core {
 namespace {
@@ -175,10 +177,13 @@ std::string RunSoak(uint64_t seed, std::set<int64_t>* final_ids,
 }
 
 TEST(RecoveryTest, RandomizedSoakKeepsCommittedStateAndMetricsHonest) {
+  const uint64_t seed = SoakSeeds(1234, 1234).front();
+  PRISMA_SEED_REPRO(
+      "RecoveryTest.RandomizedSoakKeepsCommittedStateAndMetricsHonest", seed);
   std::set<int64_t> ids;
   uint64_t aborts = 0;
   uint64_t crashes = 0;
-  const std::string metrics = RunSoak(1234, &ids, &aborts, &crashes);
+  const std::string metrics = RunSoak(seed, &ids, &aborts, &crashes);
 
   // The seed produced a non-trivial mix (update the seed if this fails
   // after changing the op distribution).
@@ -195,7 +200,7 @@ TEST(RecoveryTest, RandomizedSoakKeepsCommittedStateAndMetricsHonest) {
   std::set<int64_t> ids2;
   uint64_t aborts2 = 0;
   uint64_t crashes2 = 0;
-  const std::string metrics2 = RunSoak(1234, &ids2, &aborts2, &crashes2);
+  const std::string metrics2 = RunSoak(seed, &ids2, &aborts2, &crashes2);
 
   // Same seed, same machine: byte-identical metrics and identical state —
   // the crash/recovery path is deterministic too.
@@ -203,6 +208,176 @@ TEST(RecoveryTest, RandomizedSoakKeepsCommittedStateAndMetricsHonest) {
   EXPECT_EQ(aborts, aborts2);
   EXPECT_EQ(crashes, crashes2);
   EXPECT_EQ(metrics, metrics2);
+}
+
+// ------------------------------------------- Fragment replication (§13)
+
+/// Replicated machine: every permanent fragment lives on two distinct PEs,
+/// coordinators are pinned to PE 0 (which never crashes) so these tests
+/// observe replica failover, not coordinator loss. Tight retransmission
+/// knobs make crash detection on the write path exhaust quickly.
+MachineConfig ReplicatedMachine() {
+  MachineConfig config;
+  config.pes = 8;
+  config.replicate_fragments = true;
+  config.coordinator_pes = {0};
+  config.rpc_timeout_ns = 50 * sim::kNanosPerMilli;
+  config.rpc_backoff_cap_ns = 400 * sim::kNanosPerMilli;
+  config.rpc_attempts = 4;
+  return config;
+}
+
+/// After an end-of-test CHECKPOINT both replicas of every fragment of `t`
+/// must have byte-identical snapshots on their PEs' stable stores — the
+/// resync convergence criterion.
+void ExpectReplicasByteIdentical(PrismaDb* db) {
+  const auto table = db->gdh().dictionary().GetTable("t");
+  ASSERT_TRUE(table.ok());
+  for (const gdh::FragmentInfo& frag : (*table)->fragments) {
+    ASSERT_TRUE(frag.replicated);
+    const auto home = db->stable_store(frag.pe).ReadSnapshot(
+        frag.name + ".ckpt");
+    const auto backup = db->stable_store(frag.backup_pe).ReadSnapshot(
+        gdh::BackupFragmentName(frag.name) + ".ckpt");
+    ASSERT_TRUE(home.ok()) << frag.name;
+    ASSERT_TRUE(backup.ok()) << frag.name;
+    EXPECT_EQ(*home, *backup) << frag.name;
+  }
+}
+
+TEST(RecoveryTest, ReplicatedCrashFailoverServesReadsAndResyncConverges) {
+  PrismaDb db(ReplicatedMachine());
+  MustExecute(&db, StrFormat("CREATE TABLE t (id INT, v INT) FRAGMENTED BY "
+                             "HASH(id) INTO %d FRAGMENTS",
+                             kFragments));
+  std::set<int64_t> model;
+  for (int i = 0; i < 20; ++i) {
+    MustExecute(&db, StrFormat("INSERT INTO t VALUES (%d, %d)", i, i * 10));
+    model.insert(i);
+  }
+
+  const auto table = db.gdh().dictionary().GetTable("t");
+  ASSERT_TRUE(table.ok());
+  const gdh::FragmentInfo frag = (*table)->fragments[0];
+  ASSERT_TRUE(frag.replicated);
+  ASSERT_NE(frag.pe, frag.backup_pe);  // Anti-affinity placement.
+
+  // Crash the home PE of fragment 0. Reads must keep being answered —
+  // correctly and without a single Unavailable — from the backups.
+  ASSERT_GT(db.CrashPe(frag.pe), 0u);
+  EXPECT_EQ(SelectIds(&db), model);
+
+  // Writes keep committing too: the GDH sheds the dead replica from 2PC
+  // once its retransmission budget exhausts.
+  for (int i = 100; i < 105; ++i) {
+    MustExecute(&db, StrFormat("INSERT INTO t VALUES (%d, 0)", i));
+    model.insert(i);
+  }
+  EXPECT_EQ(SelectIds(&db), model);
+  EXPECT_GT(db.metrics().CounterTotal("replica.stale_marks"), 0u);
+
+  // Restart: the stale replicas resync (snapshot bulk + WAL delta +
+  // cutover) from their surviving peers and return to service.
+  ASSERT_TRUE(db.RecoverPe(frag.pe).ok());
+  db.Run();
+  EXPECT_GT(db.metrics().CounterTotal("replica.resyncs_completed"), 0u);
+  EXPECT_EQ(SelectIds(&db), model);
+
+  // The crash window never surfaced an Unavailable to a read.
+  EXPECT_EQ(db.metrics().CounterTotal("query.unavailable"), 0u);
+
+  MustExecute(&db, "CHECKPOINT");
+  ExpectReplicasByteIdentical(&db);
+}
+
+TEST(RecoveryTest, CrashDuringResyncNeverServesWrongAnswers) {
+  PrismaDb db(ReplicatedMachine());
+  MustExecute(&db, StrFormat("CREATE TABLE t (id INT, v INT) FRAGMENTED BY "
+                             "HASH(id) INTO %d FRAGMENTS",
+                             kFragments));
+  std::set<int64_t> model;
+  for (int i = 0; i < 30; ++i) {
+    MustExecute(&db, StrFormat("INSERT INTO t VALUES (%d, %d)", i, i));
+    model.insert(i);
+  }
+
+  const auto table = db.gdh().dictionary().GetTable("t");
+  ASSERT_TRUE(table.ok());
+  const gdh::FragmentInfo frag = (*table)->fragments[0];
+  ASSERT_GT(db.CrashPe(frag.pe), 0u);
+
+  // Writes while the PE is down: the replicas left behind go stale.
+  for (int i = 100; i < 110; ++i) {
+    MustExecute(&db, StrFormat("INSERT INTO t VALUES (%d, 1)", i));
+    model.insert(i);
+  }
+  MustExecute(&db, "DELETE FROM t WHERE id = 3");
+  model.erase(3);
+
+  // Restart the PE but crash it again mid-resync: step the simulation
+  // just until the first resync has started, then kill the target again.
+  ASSERT_TRUE(db.RecoverPe(frag.pe).ok());
+  while (db.metrics().CounterTotal("replica.resyncs_started") == 0) {
+    ASSERT_TRUE(db.simulator().Step()) << "drained before any resync began";
+  }
+  ASSERT_GT(db.CrashPe(frag.pe), 0u);
+  db.Run();
+
+  // The interrupted resync must not have published the half-filled
+  // replica: reads still come from the survivors, still exact.
+  EXPECT_EQ(SelectIds(&db), model);
+  EXPECT_EQ(db.metrics().CounterTotal("query.unavailable"), 0u);
+
+  // Second restart completes a fresh resync and converges for real.
+  ASSERT_TRUE(db.RecoverPe(frag.pe).ok());
+  db.Run();
+  EXPECT_GT(db.metrics().CounterTotal("replica.resyncs_completed"), 0u);
+  EXPECT_EQ(SelectIds(&db), model);
+
+  MustExecute(&db, "CHECKPOINT");
+  ExpectReplicasByteIdentical(&db);
+}
+
+TEST(RecoveryTest, DoubleFailureDegradesToTypedUnavailableNeverWrongAnswers) {
+  PrismaDb db(ReplicatedMachine());
+  MustExecute(&db, StrFormat("CREATE TABLE t (id INT, v INT) FRAGMENTED BY "
+                             "HASH(id) INTO %d FRAGMENTS",
+                             kFragments));
+  for (int i = 0; i < 20; ++i) {
+    MustExecute(&db, StrFormat("INSERT INTO t VALUES (%d, %d)", i, i));
+  }
+
+  const auto table = db.gdh().dictionary().GetTable("t");
+  ASSERT_TRUE(table.ok());
+  const gdh::FragmentInfo frag = (*table)->fragments[0];
+
+  // Lose BOTH replicas of fragment 0: replication degree 2 is exhausted.
+  ASSERT_GT(db.CrashPe(frag.pe), 0u);
+  ASSERT_GT(db.CrashPe(frag.backup_pe), 0u);
+
+  // The read must degrade to a typed Unavailable naming the crashed PE and
+  // fragment — never hang, never return a partial (wrong) answer.
+  auto severed = db.Execute("SELECT id FROM t");
+  ASSERT_FALSE(severed.ok());
+  EXPECT_EQ(severed.status().code(), StatusCode::kUnavailable)
+      << severed.status().ToString();
+  const std::string message = severed.status().ToString();
+  EXPECT_NE(message.find("fragment t#0"), std::string::npos) << message;
+  EXPECT_NE(message.find("on PE"), std::string::npos) << message;
+
+  // Degradation is accounted: the labeled counter named the same PE/table.
+  EXPECT_GT(db.metrics().CounterTotal("query.unavailable"), 0u);
+  EXPECT_NE(db.DumpMetrics().find("query.unavailable{"), std::string::npos);
+
+  // Both PEs back: resync runs both ways and full service resumes.
+  ASSERT_TRUE(db.RecoverPe(frag.pe).ok());
+  db.Run();
+  ASSERT_TRUE(db.RecoverPe(frag.backup_pe).ok());
+  db.Run();
+  EXPECT_EQ(SelectIds(&db).size(), 20u);
+
+  MustExecute(&db, "CHECKPOINT");
+  ExpectReplicasByteIdentical(&db);
 }
 
 TEST(RecoveryTest, SoakMetricsCountRecoveries) {

@@ -1,0 +1,60 @@
+#ifndef PRISMA_TESTS_SOAK_REPRO_H_
+#define PRISMA_TESTS_SOAK_REPRO_H_
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace prisma {
+
+/// Seeds a soak loop should run: [from, to] normally, or only $PRISMA_SEED
+/// when that environment variable is set — the single-seed repro mode the
+/// failure banner below points at.
+inline std::vector<uint64_t> SoakSeeds(uint64_t from, uint64_t to) {
+  if (const char* env = std::getenv("PRISMA_SEED")) {
+    return {std::strtoull(env, nullptr, 10)};
+  }
+  std::vector<uint64_t> seeds;
+  for (uint64_t seed = from; seed <= to; ++seed) seeds.push_back(seed);
+  return seeds;
+}
+
+/// True when $PRISMA_SEED narrowed the soak to one seed: aggregate
+/// assertions over the full seed range (total drops > 0, ...) don't hold
+/// for a single iteration and should be skipped.
+inline bool SingleSeedMode() { return std::getenv("PRISMA_SEED") != nullptr; }
+
+/// RAII for one soak iteration: any failure inside the scope — a gtest
+/// assertion (via ScopedTrace) or a PRISMA_CHECK abort deep inside the
+/// machine (via ScopedFailureContext) — prints the failing seed and a
+/// one-line command that reruns exactly that iteration.
+class SeedRepro {
+ public:
+  SeedRepro(const char* test_filter, uint64_t seed, const char* file, int line)
+      : banner_(StrFormat("failing seed: %llu\nrepro: PRISMA_SEED=%llu "
+                          "ctest -R %s --output-on-failure",
+                          static_cast<unsigned long long>(seed),
+                          static_cast<unsigned long long>(seed), test_filter)),
+        context_(banner_),
+        trace_(file, line, banner_.c_str()) {}
+
+ private:
+  std::string banner_;
+  ScopedFailureContext context_;
+  testing::ScopedTrace trace_;
+};
+
+}  // namespace prisma
+
+/// Declares the repro scope for one iteration of a seeded soak loop.
+/// `test_filter` must match the enclosing test's ctest name.
+#define PRISMA_SEED_REPRO(test_filter, seed) \
+  ::prisma::SeedRepro prisma_seed_repro_scope(test_filter, seed, __FILE__, \
+                                              __LINE__)
+
+#endif  // PRISMA_TESTS_SOAK_REPRO_H_

@@ -16,6 +16,7 @@
 #include "common/rng.h"
 #include "common/str_util.h"
 #include "core/prisma_db.h"
+#include "soak_repro.h"
 
 namespace prisma::core {
 namespace {
@@ -268,7 +269,8 @@ void CheckCell(uint64_t seed, int fragments, Layout layout) {
 constexpr int kFragmentCounts[] = {1, 3, 7};
 
 TEST(VectorizedDiffTest, ShuffleOneLayoutAcrossSeeds) {
-  for (uint64_t seed = 1; seed <= 17; ++seed) {
+  for (const uint64_t seed : SoakSeeds(1, 17)) {
+    PRISMA_SEED_REPRO("VectorizedDiffTest.ShuffleOneLayoutAcrossSeeds", seed);
     for (const int fragments : kFragmentCounts) {
       CheckCell(seed, fragments, Layout::kShuffleOne);
     }
@@ -276,7 +278,8 @@ TEST(VectorizedDiffTest, ShuffleOneLayoutAcrossSeeds) {
 }
 
 TEST(VectorizedDiffTest, BroadcastLayoutAcrossSeeds) {
-  for (uint64_t seed = 18; seed <= 34; ++seed) {
+  for (const uint64_t seed : SoakSeeds(18, 34)) {
+    PRISMA_SEED_REPRO("VectorizedDiffTest.BroadcastLayoutAcrossSeeds", seed);
     for (const int fragments : kFragmentCounts) {
       CheckCell(seed, fragments, Layout::kBroadcast);
     }
@@ -284,7 +287,8 @@ TEST(VectorizedDiffTest, BroadcastLayoutAcrossSeeds) {
 }
 
 TEST(VectorizedDiffTest, ShuffleBothLayoutAcrossSeeds) {
-  for (uint64_t seed = 35; seed <= 50; ++seed) {
+  for (const uint64_t seed : SoakSeeds(35, 50)) {
+    PRISMA_SEED_REPRO("VectorizedDiffTest.ShuffleBothLayoutAcrossSeeds", seed);
     for (const int fragments : kFragmentCounts) {
       CheckCell(seed, fragments, Layout::kShuffleBoth);
     }

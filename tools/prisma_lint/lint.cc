@@ -259,6 +259,10 @@ const char* const kObservableSurfaces[] = {
     // bytes are message payloads, so the order anything is appended to a
     // batch or frame is externally visible timing-wise and byte-wise.
     "common/column_batch.h", "common/serialize.h",
+    // Replication (DESIGN.md §13): replica names and states feed failover
+    // decisions, resync scheduling, metric labels and Unavailable
+    // messages, so iteration order near them is replay-visible.
+    "gdh/replication.h",
 };
 
 /// Collects names declared with an unordered container type, e.g.
