@@ -18,6 +18,8 @@ class PrismaDb::ClientProcess : public pool::Process {
 
   std::string debug_name() const override { return "client"; }
 
+  // Handler contract (D5): the client shim consumes only statement replies.
+  // PRISMA_HANDLES(kMailClientReply)
   void OnMail(const pool::Mail& mail) override {
     if (mail.kind != gdh::kMailClientReply) return;
     auto reply = std::any_cast<std::shared_ptr<gdh::ClientReply>>(mail.body);

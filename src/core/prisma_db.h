@@ -179,6 +179,9 @@ class PrismaDb {
   sim::Simulator& simulator() { return sim_; }
   net::Network& network() { return *network_; }
   pool::Runtime& runtime() { return *runtime_; }
+  // Control-plane accessor for tests/benches, called between simulation
+  // events only — never from a process handler.
+  // prisma-lint: cross-process - harness-side accessor, not handler state
   gdh::GdhProcess& gdh() { return *gdh_; }
   const MachineConfig& config() const { return config_; }
 
@@ -248,6 +251,9 @@ class PrismaDb {
   gdh::PeLocalRegistry registry_;
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<pool::Runtime> runtime_;
+  // PrismaDb is the simulation harness, not a POOL-X process; it drives
+  // the GDH between events and owns the machine the processes live in.
+  // prisma-lint: cross-process - harness owns the runtime, shares no events
   gdh::GdhProcess* gdh_ = nullptr;  // Owned by the runtime.
   ClientProcess* client_ = nullptr;  // Owned by the runtime.
   pool::ProcessId gdh_pid_ = pool::kNoProcess;

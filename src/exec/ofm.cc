@@ -600,7 +600,7 @@ Status Ofm::ResyncApplyRecord(const std::string& record) {
   BinaryReader r(record);
   ASSIGN_OR_RETURN(uint8_t op, r.GetU8());
   ASSIGN_OR_RETURN(TxnId txn, r.GetI64());
-  (void)txn;  // prisma-lint: reasoned - outcome was decided at the source.
+  (void)txn;  // prisma-lint: unused-status - outcome was decided at the source.
   return ApplyWalData(op, &r);
 }
 

@@ -36,8 +36,10 @@ struct FragmentInfo {
   bool replicated = false;
   net::NodeId backup_pe = 0;
   pool::ProcessId backup_ofm = pool::kNoProcess;
-  ReplicaState state = ReplicaState::kInSync;         // Replica 0 (home).
-  ReplicaState backup_state = ReplicaState::kInSync;  // Replica 1 (backup).
+  // PRISMA_TRANSITION(init, kInSync, replica 0 (home) is born in sync)
+  ReplicaState state = ReplicaState::kInSync;
+  // PRISMA_TRANSITION(init, kInSync, replica 1 (backup) is born in sync)
+  ReplicaState backup_state = ReplicaState::kInSync;
   /// Which replica serves reads and sources resyncs (0 home, 1 backup).
   /// Flips to the survivor on failover; no automatic failback.
   int primary_replica = 0;
@@ -56,6 +58,7 @@ struct FragmentInfo {
   ReplicaState replica_state(int r) const {
     return r == 0 ? state : backup_state;
   }
+  // PRISMA_STATE_SETTER(ReplicaState)
   void set_replica_state(int r, ReplicaState s) {
     (r == 0 ? state : backup_state) = s;
   }

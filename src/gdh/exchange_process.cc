@@ -60,6 +60,8 @@ void ExchangeConsumerProcess::OnStart() {
   }
 }
 
+// Handler contract (D5): the exchange consumer owns the shuffle data plane.
+// PRISMA_HANDLES(kMailTupleBatch, kMailExchangeReplyResend)
 void ExchangeConsumerProcess::OnMail(const pool::Mail& mail) {
   if (mail.kind == kMailTupleBatch) {
     HandleBatch(mail);

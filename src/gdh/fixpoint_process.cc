@@ -39,6 +39,11 @@ void FixpointPeProcess::OnStart() {
   }
 }
 
+// Handler contract (D5): a fixpoint PE consumes the recursive-query data
+// plane plus the round-barrier control mail from the coordinator.
+// PRISMA_HANDLES(kMailTupleBatch, kMailBatchAck, kMailFixpointStart)
+// PRISMA_HANDLES(kMailFixpointRound, kMailFixpointBatchResend)
+// PRISMA_HANDLES(kMailFixpointVoteResend, kMailExchangeReplyResend)
 void FixpointPeProcess::OnMail(const pool::Mail& mail) {
   if (mail.kind == kMailTupleBatch) {
     HandleBatch(mail);
@@ -368,7 +373,7 @@ bool FixpointPeProcess::OutboundSentComplete(uint64_t round) const {
   // this round must at least have first-transmitted every batch (the
   // vote's wire_bits are complete and the receivers can finish).
   for (const auto& [token, out] : *outbound_) {
-    (void)token;  // prisma-lint: reasoned - key only identifies the stream.
+    (void)token;  // prisma-lint: unused-status - key only identifies the stream.
     if (out.round == round && out.channel.next_unsent() != 0) return false;
   }
   return true;

@@ -316,6 +316,7 @@ bool GdhProcess::TryFailover(FragmentInfo& frag, int dead) {
       peer_ofm == pool::kNoProcess || !runtime()->IsAlive(peer_ofm)) {
     return false;
   }
+  // PRISMA_TRANSITION(kInSync, kStale, observed dead; peer carries on alone)
   frag.set_replica_state(dead, ReplicaState::kStale);
   ++stats_.stale_marks;
   Inc(LazyCounter(&m_stale_marks_, "replica.stale_marks"));
@@ -574,6 +575,8 @@ void GdhProcess::RunTwoPhaseCommit(exec::TxnId txn,
   if (involved.empty()) {
     // Read-only: nothing was written anywhere, so no participant will
     // ever inquire — no decision record needed (presumed abort is moot).
+    // PRISMA_TRANSITION(kActive, kCommitted, read-only; no participants)
+    it->second.phase = TxnPhase::kCommitted;
     locks_->ReleaseAll(txn);
     txns_->erase(txn);
     ++stats_.txns_committed;
@@ -583,6 +586,8 @@ void GdhProcess::RunTwoPhaseCommit(exec::TxnId txn,
   }
 
   // Phase 1: prepare.
+  // PRISMA_TRANSITION(kActive, kPreparing, prepare round fans out)
+  it->second.phase = TxnPhase::kPreparing;
   Inc(m_2pc_rounds_);
   const sim::SimTime phase1_start = runtime()->simulator()->now();
   const uint64_t batch_id = next_batch_id_++;
@@ -604,6 +609,11 @@ void GdhProcess::RunTwoPhaseCommit(exec::TxnId txn,
       // about this transaction always gets the decided answer. Aborts
       // are never logged — "unknown" means abort.
       LogCommitDecision(txn);
+      // PRISMA_TRANSITION(kPreparing, kCommitting, unanimous yes logged)
+      state_it->second.phase = TxnPhase::kCommitting;
+    } else if (state_it != txns_->end()) {
+      // PRISMA_TRANSITION(kPreparing, kAborting, veto or doomed writes)
+      state_it->second.phase = TxnPhase::kAborting;
     }
     if (config_.tracer != nullptr && config_.tracer->enabled()) {
       config_.tracer->Span("gdh", "2pc.prepare", phase1_start,
@@ -645,6 +655,16 @@ void GdhProcess::RunTwoPhaseCommit(exec::TxnId txn,
         // forgotten. If any ack is missing the record stays, so a later
         // inquiry still learns "commit".
         LogCommitEnd(txn);
+      }
+      auto final_it = txns_->find(txn);
+      if (final_it != txns_->end()) {
+        if (commit) {
+          // PRISMA_TRANSITION(kCommitting, kCommitted, decision delivered)
+          final_it->second.phase = TxnPhase::kCommitted;
+        } else {
+          // PRISMA_TRANSITION(kAborting, kAborted, abort round settled)
+          final_it->second.phase = TxnPhase::kAborted;
+        }
       }
       locks_->ReleaseAll(txn);
       txns_->erase(txn);
@@ -698,15 +718,24 @@ void GdhProcess::AbortEverywhere(exec::TxnId txn,
   // Presumed abort: no decision record — participants that never learn
   // the outcome resolve it by inquiry, and "unknown" means abort.
   if (involved.empty()) {
+    // PRISMA_TRANSITION(kActive, kAborted, nothing written; presumed abort)
+    it->second.phase = TxnPhase::kAborted;
     locks_->ReleaseAll(txn);
     txns_->erase(txn);
     then(Status::OK());
     return;
   }
+  // PRISMA_TRANSITION(kActive, kAborting, abort round fans out)
+  it->second.phase = TxnPhase::kAborting;
   const uint64_t batch_id = next_batch_id_++;
   Multicast& batch = batches_[batch_id];
   batch.expected = involved.size();
   batch.done = [this, txn, then = std::move(then)](Multicast&) {
+    auto state_it = txns_->find(txn);
+    if (state_it != txns_->end()) {
+      // PRISMA_TRANSITION(kAborting, kAborted, every abort settled)
+      state_it->second.phase = TxnPhase::kAborted;
+    }
     locks_->ReleaseAll(txn);
     txns_->erase(txn);
     ++stats_.txns_aborted;
@@ -1505,6 +1534,7 @@ void GdhProcess::StartResync(const std::string& table, int fragment,
       replica, SpawnReplicaOfm(**info, frag.ReplicaName(replica),
                                frag.ReplicaPe(replica), /*recover=*/false,
                                resync_id));
+  // PRISMA_TRANSITION(kStale, kResyncing, refill from the survivor begins)
   frag.set_replica_state(replica, ReplicaState::kResyncing);
   ResyncState rs;
   rs.table = table;
@@ -1586,8 +1616,9 @@ void GdhProcess::OnResyncPhaseDone(uint64_t resync_id, bool cutover,
   resyncs_.erase(it);
   auto info = dictionary_->GetTable(rs.table);
   if (info.ok()) {
-    (*info)->fragments[rs.fragment].set_replica_state(rs.replica,
-                                                      ReplicaState::kInSync);
+    FragmentInfo& frag = (*info)->fragments[rs.fragment];
+    // PRISMA_TRANSITION(kResyncing, kInSync, 2PC-consistent cutover done)
+    frag.set_replica_state(rs.replica, ReplicaState::kInSync);
   }
   if (rs.cutover_txn != exec::kAutoCommit) {
     locks_->ReleaseAll(rs.cutover_txn);
@@ -1608,6 +1639,7 @@ void GdhProcess::AbortResync(uint64_t resync_id) {
     const pool::ProcessId target = frag.ReplicaOfm(rs.replica);
     if (target != pool::kNoProcess) runtime()->Kill(target);
     frag.SetReplicaOfm(rs.replica, pool::kNoProcess);
+    // PRISMA_TRANSITION(kResyncing, kStale, resync aborted; back to shed)
     frag.set_replica_state(rs.replica, ReplicaState::kStale);
   }
   if (rs.cutover_txn != exec::kAutoCommit) {
@@ -1643,6 +1675,13 @@ void GdhProcess::HandleResyncReply(const pool::Mail& mail) {
 }
 
 // ------------------------------------------------------------------- Mail
+//
+// Handler contract (D5): the GDH consumes coordinator-side protocol mail —
+// client statements, lock grants, worker replies, 2PC recovery traffic and
+// the failover/resync control plane.
+// PRISMA_HANDLES(kMailClientStatement, kMailLockBatch, kMailStatementDone)
+// PRISMA_HANDLES(kMailWriteReply, kMailTxnControlReply, kMailDecisionRequest)
+// PRISMA_HANDLES(kMailRpcTimeout, kMailCoordCheck, kMailResyncReply)
 
 void GdhProcess::OnMail(const pool::Mail& mail) {
   if (mail.kind == kMailClientStatement) {

@@ -166,6 +166,26 @@ class GdhProcess : public pool::Process {
   const Stats& stats() const { return stats_; }
 
  private:
+  /// Coordinator-side 2PC lifecycle of one transaction. Terminal phases
+  /// are assigned just before the TxnState is erased, so the declared
+  /// machine covers the full lifetime.
+  ///
+  /// Transition table (D7): every assignment site carries a matching
+  /// PRISMA_TRANSITION annotation; the lint cross-checks both directions.
+  /// PRISMA_STATE_MACHINE(TxnPhase: init->kActive, kActive->kPreparing,
+  ///                      kActive->kAborting, kActive->kCommitted,
+  ///                      kActive->kAborted, kPreparing->kCommitting,
+  ///                      kPreparing->kAborting, kCommitting->kCommitted,
+  ///                      kAborting->kAborted)
+  enum class TxnPhase : uint8_t {
+    kActive,      // Accepting statements; nothing globally decided.
+    kPreparing,   // Phase 1 prepare round in flight.
+    kCommitting,  // Decision logged commit; phase 2 in flight.
+    kAborting,    // Abort round in flight (vetoed, doomed, or explicit).
+    kCommitted,   // Terminal: outcome surfaced as OK.
+    kAborted,     // Terminal: outcome surfaced as an abort.
+  };
+
   // Transaction bookkeeping.
   struct TxnState {
     bool explicit_txn = false;  // Created by BEGIN (vs statement/implicit).
@@ -174,6 +194,8 @@ class GdhProcess : public pool::Process {
     /// A fragment this transaction wrote to was respawned: the writes are
     /// gone, so commit must be refused.
     bool doomed = false;
+    // PRISMA_TRANSITION(init, kActive, every transaction starts active)
+    TxnPhase phase = TxnPhase::kActive;
   };
 
   /// One scatter/await-all interaction with a set of OFMs. Completion is
@@ -426,6 +448,11 @@ class GdhProcess : public pool::Process {
   uint64_t next_batch_id_ = 1;
   std::map<uint64_t, Multicast> batches_;
   std::map<uint64_t, uint64_t> request_batch_;  // request id -> batch id.
+  // Settlement contract (D6): replies settle via SettleRpc, retry-budget
+  // exhaustion via HandleRpcTimeout, and a dead replica's in-flight RPCs
+  // are swept onto the survivor by TryFailover.
+  // PRISMA_SETTLES(rpcs_: success=SettleRpc, exhaustion=HandleRpcTimeout,
+  //                shed=TryFailover)
   std::map<uint64_t, PendingRpc> rpcs_;         // request id -> retry state.
   /// Write requests settled as kUnavailable whose late reply has not
   /// arrived (FIFO-capped; only row-count statistics depend on it).

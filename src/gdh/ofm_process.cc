@@ -133,6 +133,14 @@ void OfmProcess::MaybeReplayStalled() {
   for (pool::Mail& mail : replay) OnMail(mail);
 }
 
+// Handler contract (D5): an OFM consumes the worker-side protocol — plan /
+// write / txn-control execution, checkpointing, exchange data plane, 2PC
+// decision recovery and the resync data plane.
+// PRISMA_HANDLES(kMailExecPlan, kMailWrite, kMailTxnControl, kMailCheckpoint)
+// PRISMA_HANDLES(kMailCreateIndex, kMailShufflePlan, kMailDecisionReply)
+// PRISMA_HANDLES(kMailDecisionRetry, kMailBatchAck, kMailBatchResend)
+// PRISMA_HANDLES(kMailTupleBatch, kMailResync, kMailResyncDelta)
+// PRISMA_HANDLES(kMailResyncDeltaAck, kMailResyncPump)
 void OfmProcess::OnMail(const pool::Mail& mail) {
   if (mail.kind == kMailDecisionReply) {
     HandleDecisionReply(mail);

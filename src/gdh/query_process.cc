@@ -1215,6 +1215,12 @@ void QueryProcess::ReplyFixpointExplain() {
 }
 
 // ------------------------------------------------------------------ Mail
+//
+// Handler contract (D5): a query coordinator consumes replies to the RPCs
+// it fans out (locks, plans, fixpoint votes) plus its own timeout mail.
+// PRISMA_HANDLES(kMailLockBatchReply, kMailExecPlanReply, kMailFixpointVote)
+// PRISMA_HANDLES(kMailFixpointCtrlResend, kMailRpcTimeout)
+// PRISMA_HANDLES(kMailStmtDoneResend, kMailQueryTimeout)
 
 void QueryProcess::OnMail(const pool::Mail& mail) {
   if (mail.kind == kMailLockBatchReply) {

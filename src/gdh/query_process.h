@@ -208,6 +208,11 @@ class QueryProcess : public pool::Process {
     sim::SimTime delay = 0;
     sim::EventId timer = 0;
   };
+  // Settlement contract (D6): replies settle via SettleRpc, retry-budget
+  // exhaustion via HandleRpcTimeout, and Reply clears whatever is still
+  // outstanding when the statement finishes (sheds the stragglers).
+  // PRISMA_SETTLES(rpcs_: success=SettleRpc, exhaustion=HandleRpcTimeout,
+  //                shed=Reply)
   pool::Owned<std::map<uint64_t, PendingRpc>> rpcs_;
   /// stmt_done retransmission (armed in Reply when configured).
   std::shared_ptr<StatementDone> done_msg_;

@@ -15,6 +15,12 @@ namespace prisma::gdh {
 ///   kResyncing — a fresh OFM process is being refilled from the surviving
 ///                replica (snapshot bulk-copy + WAL-delta catch-up); flips
 ///                back to kInSync at the 2PC-consistent cutover.
+///
+/// Transition table (D7): every assignment site carries a matching
+/// PRISMA_TRANSITION annotation; the lint cross-checks both directions.
+/// PRISMA_STATE_MACHINE(ReplicaState: init->kInSync, kInSync->kStale,
+///                      kStale->kResyncing, kResyncing->kInSync,
+///                      kResyncing->kStale)
 enum class ReplicaState : uint8_t { kInSync, kStale, kResyncing };
 
 const char* ReplicaStateName(ReplicaState state);

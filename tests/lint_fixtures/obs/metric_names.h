@@ -1,0 +1,20 @@
+// Fixture metric-name registry (D8). The `fix.dead` entry is deliberately
+// unused by any fixture so the dead-entry direction of the rule fires.
+#ifndef OBS_METRIC_NAMES_H_
+#define OBS_METRIC_NAMES_H_
+
+inline constexpr const char* kFixtureMetricNames[] = {
+    // PRISMA_METRICS_BEGIN
+    "fix.dead",
+    "fix.good",
+    // PRISMA_METRICS_END
+};
+
+inline constexpr const char* kFixtureSpanNames[] = {
+    // PRISMA_SPANS_BEGIN
+    "fixcat",
+    "fixspan",
+    // PRISMA_SPANS_END
+};
+
+#endif  // OBS_METRIC_NAMES_H_

@@ -1,0 +1,14 @@
+// Bad D5 citizen, both directions: dispatches kMailPing without declaring
+// it, and declares kMailPong without ever dispatching it (stale contract).
+#include "proto/messages.h"
+
+struct Mail {
+  const char* kind;
+};
+
+// PRISMA_HANDLES(kMailPong)
+void OnMail(const Mail& mail) {
+  if (mail.kind == kMailPing) {
+    return;
+  }
+}

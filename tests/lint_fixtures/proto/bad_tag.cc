@@ -1,0 +1,13 @@
+// D0 fixtures: a typo'd silence tag and a PRISMA_HANDLES naming a mail
+// kind that exists nowhere. Both used to be silent no-ops.
+#include "proto/messages.h"
+
+struct Mail {
+  const char* kind;
+};
+
+// PRISMA_HANDLES(kMailTypo)
+void OnMail(const Mail& mail) {
+  // prisma-lint: odered - misspelled tag silences nothing
+  (void)mail;
+}

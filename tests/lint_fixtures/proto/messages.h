@@ -1,0 +1,12 @@
+// Miniature wire protocol for the D5 fixtures. kMailPing and kMailPong
+// are claimed by ponger.cc; kMailOrphan is deliberately claimed by no
+// handler — the exhaustiveness case of adding a new mail kind and
+// forgetting to route it anywhere (golden D5 finding).
+#ifndef PROTO_MESSAGES_H_
+#define PROTO_MESSAGES_H_
+
+inline constexpr char kMailPing[] = "ping";
+inline constexpr char kMailPong[] = "pong";
+inline constexpr char kMailOrphan[] = "orphan";
+
+#endif  // PROTO_MESSAGES_H_

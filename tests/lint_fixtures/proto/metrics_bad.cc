@@ -1,0 +1,11 @@
+// Bad D8 citizen: the counter name is a typo that the registry never
+// declared, so the increment silently mints a new time series.
+struct Counter {
+  long value = 0;
+};
+
+Counter* GetCounter(const char* name);
+
+void Record() {
+  GetCounter("fix.typo")->value += 1;
+}

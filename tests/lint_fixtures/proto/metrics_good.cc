@@ -1,0 +1,13 @@
+// Good D8 citizen: every counter and span literal appears in the
+// fixture registry at obs/metric_names.h.
+struct Counter {
+  long value = 0;
+};
+
+Counter* GetCounter(const char* name);
+void Span(const char* category, const char* name, long start, long end);
+
+void Record() {
+  GetCounter("fix.good")->value += 1;
+  Span("fixcat", "fixspan", 0, 1);
+}

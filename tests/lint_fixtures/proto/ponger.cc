@@ -1,0 +1,15 @@
+// Good D5 citizen: the declared set and the dispatch chain agree exactly.
+#include "proto/messages.h"
+
+struct Mail {
+  const char* kind;
+};
+
+// PRISMA_HANDLES(kMailPing, kMailPong)
+void OnMail(const Mail& mail) {
+  if (mail.kind == kMailPing) {
+    return;
+  } else if (mail.kind == kMailPong) {
+    return;
+  }
+}

@@ -1,0 +1,34 @@
+// Bad D6 citizens: `orphans_` registers RPCs with no settlement contract
+// at all, and `leaky_` declares a triad whose shed path never actually
+// settles anything (the RPC leaks).
+#include <map>
+
+struct PendingRpc {
+  int attempts = 0;
+};
+
+std::map<int, PendingRpc> orphans_;
+
+// PRISMA_SETTLES(leaky_: success=SettleLeaky, exhaustion=ExpireLeaky,
+//                shed=ShedLeaky)
+std::map<int, PendingRpc> leaky_;
+
+void Register(int id) {
+  orphans_[id] = PendingRpc{};
+}
+
+void SettleLeaky(int id) {
+  leaky_.erase(id);
+}
+
+void ExpireLeaky(int id) {
+  SettleLeaky(id);
+}
+
+void ShedLeaky() {
+  // Forgets to clear leaky_ — and calls no declared settle path.
+}
+
+void RegisterLeaky(int id) {
+  leaky_[id] = PendingRpc{};
+}

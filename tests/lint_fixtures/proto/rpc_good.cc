@@ -1,0 +1,27 @@
+// Good D6 citizen: the pending-RPC container declares its settlement
+// triad, and every declared path visibly settles (erase/clear) or
+// delegates to another declared path.
+#include <map>
+
+struct PendingRpc {
+  int attempts = 0;
+};
+
+// PRISMA_SETTLES(rpcs_: success=Settle, exhaustion=Expire, shed=Shed)
+std::map<int, PendingRpc> rpcs_;
+
+void Settle(int id) {
+  rpcs_.erase(id);
+}
+
+void Expire(int id) {
+  Settle(id);  // Exhaustion settles through the success path.
+}
+
+void Shed() {
+  rpcs_.clear();
+}
+
+void Register(int id) {
+  rpcs_[id] = PendingRpc{};
+}

@@ -1,0 +1,14 @@
+// Bad D7 citizens, all three directions: an assignment with no site
+// annotation, an annotated site whose transition the table never
+// declared, and a declared table entry no site exercises.
+// PRISMA_STATE_MACHINE(Gear: init->kLow, kLow->kHigh, kHigh->kLow)
+enum class Gear { kLow, kHigh };
+
+struct Box {
+  Gear gear = Gear::kLow;  // Unannotated init assignment.
+};
+
+void Shift(Box& box) {
+  // PRISMA_TRANSITION(kHigh, kHigh, the table never declared this)
+  box.gear = Gear::kHigh;
+}

@@ -1,0 +1,11 @@
+#include "proto/states_good.h"
+
+void Run(Job& job) {
+  // PRISMA_TRANSITION(kIdle, kRunning, work arrived)
+  job.set_phase(Phase::kRunning);
+}
+
+void Finish(Job& job) {
+  // PRISMA_TRANSITION(kRunning, kDone, work drained)
+  job.set_phase(Phase::kDone);
+}

@@ -1,0 +1,22 @@
+// Good D7 citizen: a lifecycle enum with a declared transition table and
+// a tagged setter funnel. Every transition in the table is exercised by
+// an annotated site in states_good.cc.
+#ifndef PROTO_STATES_GOOD_H_
+#define PROTO_STATES_GOOD_H_
+
+// PRISMA_STATE_MACHINE(Phase: init->kIdle, kIdle->kRunning,
+//                      kRunning->kDone)
+enum class Phase { kIdle, kRunning, kDone };
+
+struct Job {
+  // PRISMA_TRANSITION(init, kIdle, jobs are born idle)
+  Phase phase = Phase::kIdle;
+
+  // PRISMA_STATE_SETTER(Phase)
+  void set_phase(Phase next) { phase_ = next; }
+
+ private:
+  Phase phase_;
+};
+
+#endif  // PROTO_STATES_GOOD_H_

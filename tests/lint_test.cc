@@ -41,8 +41,23 @@ TEST(LintTest, GoldenDiagnosticsOverFixtureCorpus) {
       "bad/wall_clock.cc:18 D1",
       "bad/wall_clock.cc:22 D1",
       "bad/wall_clock.cc:24 D1",
+      "obs/metric_names.h:8 D8",
       "procs/intruder.cc:9 D3",
       "procs/intruder.cc:12 D3",
+      "proto/bad_dispatch.cc:9 D5",
+      "proto/bad_dispatch.cc:11 D5",
+      "proto/bad_tag.cc:9 D5",
+      "proto/bad_tag.cc:11 D0",
+      "proto/bad_tag.cc:12 D4",
+      "proto/messages.h:10 D5",
+      "proto/metrics_bad.cc:10 D8",
+      "proto/rpc_bad.cc:12 D6",
+      "proto/rpc_bad.cc:17 D6",
+      "proto/states_bad.cc:4 D7",
+      "proto/states_bad.cc:4 D7",
+      "proto/states_bad.cc:4 D7",
+      "proto/states_bad.cc:8 D7",
+      "proto/states_bad.cc:13 D7",
   };
   EXPECT_EQ(got, want);
 }
@@ -80,7 +95,7 @@ TEST(LintTest, AllowlistSilencesMatchedFindingAndFlagsStaleEntries) {
 
   LintReport report =
       ApplyAllowlist(AnalyzeSources(LoadFixtures()), allowlist);
-  EXPECT_EQ(report.violations, 12u);  // 14 findings - 2 allowlisted.
+  EXPECT_EQ(report.violations, 27u);  // 29 findings - 2 allowlisted.
   ASSERT_EQ(report.unused_allowlist.size(), 1u);
   EXPECT_EQ(report.unused_allowlist[0].needle, "no_such_token");
   EXPECT_FALSE(report.clean());
@@ -97,7 +112,7 @@ TEST(LintTest, AllowlistSilencesMatchedFindingAndFlagsStaleEntries) {
 
 TEST(LintTest, EmptyAllowlistReportsEveryFindingAsViolation) {
   LintReport report = ApplyAllowlist(AnalyzeSources(LoadFixtures()), {});
-  EXPECT_EQ(report.violations, 14u);
+  EXPECT_EQ(report.violations, 29u);
   EXPECT_TRUE(report.unused_allowlist.empty());
   EXPECT_FALSE(report.clean());
 }
@@ -171,6 +186,139 @@ TEST(LintTest, ObservableSurfaceIsTransitiveThroughIncludes) {
   ASSERT_EQ(diagnostics.size(), 1u);
   EXPECT_EQ(diagnostics[0].path, "quiet/cold.cc");
   EXPECT_EQ(diagnostics[0].rule, "D2");
+}
+
+TEST(LintTest, MailTotalityFlagsKindAddedWithoutHandler) {
+  // The exhaustiveness scenario from the issue: a new mail kind lands in
+  // the protocol header but nobody claims it. The declaration site is the
+  // diagnostic anchor.
+  std::vector<SourceFile> files;
+  files.push_back(
+      {"proto/kinds.h",
+       "inline constexpr char kMailA[] = \"a\";\n"
+       "inline constexpr char kMailB[] = \"b\";\n"});
+  files.push_back(
+      {"proto/handler.cc",
+       "// PRISMA_HANDLES(kMailA)\n"
+       "void OnMail(const Mail& mail) {\n"
+       "  if (mail.kind == kMailA) {\n"
+       "  }\n"
+       "}\n"});
+  std::vector<Diagnostic> diagnostics = AnalyzeSources(files);
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule, "D5");
+  EXPECT_EQ(diagnostics[0].path, "proto/kinds.h");
+  EXPECT_EQ(diagnostics[0].line, 2);
+  EXPECT_NE(diagnostics[0].message.find("kMailB"), std::string::npos)
+      << diagnostics[0].message;
+}
+
+TEST(LintTest, MailTotalityAcceptsExhaustiveHandler) {
+  // Same protocol, but the handler claims and dispatches every kind.
+  std::vector<SourceFile> files;
+  files.push_back(
+      {"proto/kinds.h",
+       "inline constexpr char kMailA[] = \"a\";\n"
+       "inline constexpr char kMailB[] = \"b\";\n"});
+  files.push_back(
+      {"proto/handler.cc",
+       "// PRISMA_HANDLES(kMailA, kMailB)\n"
+       "void OnMail(const Mail& mail) {\n"
+       "  if (mail.kind == kMailA) {\n"
+       "  } else if (mail.kind == kMailB) {\n"
+       "  }\n"
+       "}\n"});
+  EXPECT_TRUE(AnalyzeSources(files).empty());
+}
+
+TEST(LintTest, RpcRegistrationWithoutSettlementContractIsFlagged) {
+  std::vector<SourceFile> files;
+  files.push_back(
+      {"net/client.cc",
+       "#include <map>\n"
+       "struct PendingRpc { int tries = 0; };\n"
+       "std::map<int, PendingRpc> rpcs_;\n"
+       "void Register(int id) {\n"
+       "  rpcs_[id] = PendingRpc{};\n"
+       "}\n"});
+  std::vector<Diagnostic> diagnostics = AnalyzeSources(files);
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule, "D6");
+  EXPECT_EQ(diagnostics[0].line, 5);
+  EXPECT_NE(diagnostics[0].message.find("rpcs_"), std::string::npos)
+      << diagnostics[0].message;
+}
+
+TEST(LintTest, UndeclaredStateTransitionIsFlagged) {
+  // An assignment to a tracked enum with no PRISMA_TRANSITION marker.
+  std::vector<SourceFile> files;
+  files.push_back(
+      {"core/fsm.cc",
+       "// PRISMA_STATE_MACHINE(S: init->kA)\n"
+       "enum class S { kA, kB };\n"
+       "struct T {\n"
+       "  // PRISMA_TRANSITION(init, kA, born in the start state)\n"
+       "  S s = S::kA;\n"
+       "};\n"
+       "void F(T& t) {\n"
+       "  t.s = S::kB;\n"
+       "}\n"});
+  std::vector<Diagnostic> diagnostics = AnalyzeSources(files);
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule, "D7");
+  EXPECT_EQ(diagnostics[0].line, 8);
+}
+
+TEST(LintTest, MetricNamesMustComeFromTheRegistry) {
+  std::vector<SourceFile> files;
+  files.push_back(
+      {"obs/metric_names.h",
+       "inline constexpr const char* kNames[] = {\n"
+       "    // PRISMA_METRICS_BEGIN\n"
+       "    \"app.good\",\n"
+       "    // PRISMA_METRICS_END\n"
+       "};\n"});
+  files.push_back(
+      {"exec/worker.cc",
+       "void* GetCounter(const char* name);\n"
+       "void F() {\n"
+       "  GetCounter(\"app.good\");\n"
+       "  GetCounter(\"app.typo\");\n"
+       "}\n"});
+  std::vector<Diagnostic> diagnostics = AnalyzeSources(files);
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule, "D8");
+  EXPECT_EQ(diagnostics[0].path, "exec/worker.cc");
+  EXPECT_EQ(diagnostics[0].line, 4);
+  EXPECT_NE(diagnostics[0].message.find("app.typo"), std::string::npos)
+      << diagnostics[0].message;
+}
+
+TEST(LintTest, AnnotationHygieneFlagsUnknownTags) {
+  // The lint lints its own annotation language: a typo'd tag silences
+  // nothing, so it must be an error rather than a silent no-op.
+  std::vector<Diagnostic> diagnostics = AnalyzeSources(LoadFixtures());
+  std::vector<const Diagnostic*> d0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.rule == "D0") d0.push_back(&d);
+  }
+  ASSERT_EQ(d0.size(), 1u);
+  EXPECT_EQ(d0[0]->path, "proto/bad_tag.cc");
+  EXPECT_EQ(d0[0]->line, 11);
+  EXPECT_NE(d0[0]->message.find("odered"), std::string::npos)
+      << d0[0]->message;
+}
+
+TEST(LintTest, ReportToJsonCarriesCountsAndDiagnostics) {
+  std::vector<SourceFile> files = LoadFixtures();
+  LintReport report = ApplyAllowlist(AnalyzeSources(files), {});
+  const std::string json = ReportToJson(report, files.size());
+  EXPECT_NE(json.find("\"files_scanned\": " + std::to_string(files.size())),
+            std::string::npos);
+  EXPECT_NE(json.find("\"violations\": 29"), std::string::npos);
+  EXPECT_NE(json.find("\"clean\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"D5\""), std::string::npos);
+  EXPECT_NE(json.find("\"path\": \"bad/discard.cc\""), std::string::npos);
 }
 
 TEST(LintTest, CommentsAndLiteralsDoNotTriggerRules) {

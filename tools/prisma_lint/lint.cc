@@ -8,171 +8,11 @@
 #include <regex>
 #include <sstream>
 
+#include "protocol.h"
+#include "structure.h"
+
 namespace prisma::lint {
 namespace {
-
-// ------------------------------------------------------------ text helpers
-
-std::string Trim(const std::string& s) {
-  size_t b = s.find_first_not_of(" \t\r\n");
-  if (b == std::string::npos) return "";
-  size_t e = s.find_last_not_of(" \t\r\n");
-  return s.substr(b, e - b + 1);
-}
-
-bool EndsWith(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-bool StartsWith(const std::string& s, const std::string& prefix) {
-  return s.compare(0, prefix.size(), prefix) == 0;
-}
-
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-// --------------------------------------------------------- file preparation
-
-/// A file split into lines, with a parallel "code view" in which comments
-/// and string/char literals are blanked out (same line count, so rule
-/// matches never fire inside a comment or a literal) and the per-line
-/// comment text preserved for annotation parsing.
-struct PreparedFile {
-  std::string path;
-  std::vector<std::string> raw;
-  std::vector<std::string> code;
-  std::vector<std::string> comment;  // Comment text on each line, if any.
-  std::vector<std::string> includes;  // Quoted include paths, in order.
-
-  /// tag -> lines it silences (the annotation's line and the next one).
-  std::map<std::string, std::set<int>> silenced;
-
-  bool IsSilenced(const std::string& tag, int line) const {
-    auto it = silenced.find(tag);
-    return it != silenced.end() && it->second.contains(line);
-  }
-};
-
-void SplitLines(const std::string& content, std::vector<std::string>* out) {
-  std::string line;
-  for (char c : content) {
-    if (c == '\n') {
-      out->push_back(line);
-      line.clear();
-    } else if (c != '\r') {
-      line.push_back(c);
-    }
-  }
-  if (!line.empty()) out->push_back(line);
-}
-
-/// Blanks comments and literals, collecting comment text per line. Handles
-/// //, /* */, "..." and '...' with escapes; raw strings are not used in
-/// this codebase and are treated as plain strings.
-void StripCommentsAndLiterals(PreparedFile* file) {
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
-  State state = State::kCode;
-  file->code.resize(file->raw.size());
-  file->comment.resize(file->raw.size());
-  for (size_t li = 0; li < file->raw.size(); ++li) {
-    const std::string& in = file->raw[li];
-    std::string& out = file->code[li];
-    std::string& comment = file->comment[li];
-    out.reserve(in.size());
-    if (state == State::kLineComment) state = State::kCode;
-    for (size_t i = 0; i < in.size(); ++i) {
-      char c = in[i];
-      char next = i + 1 < in.size() ? in[i + 1] : '\0';
-      switch (state) {
-        case State::kCode:
-          if (c == '/' && next == '/') {
-            state = State::kLineComment;
-            comment += in.substr(i);
-            i = in.size();
-          } else if (c == '/' && next == '*') {
-            state = State::kBlockComment;
-            out += "  ";
-            ++i;
-          } else if (c == '"') {
-            state = State::kString;
-            out += ' ';
-          } else if (c == '\'') {
-            state = State::kChar;
-            out += ' ';
-          } else {
-            out += c;
-          }
-          break;
-        case State::kBlockComment:
-          if (c == '*' && next == '/') {
-            state = State::kCode;
-            out += "  ";
-            ++i;
-          } else {
-            out += ' ';
-          }
-          break;
-        case State::kString:
-          if (c == '\\') {
-            out += "  ";
-            ++i;
-          } else if (c == '"') {
-            state = State::kCode;
-            out += ' ';
-          } else {
-            out += ' ';
-          }
-          break;
-        case State::kChar:
-          if (c == '\\') {
-            out += "  ";
-            ++i;
-          } else if (c == '\'') {
-            state = State::kCode;
-            out += ' ';
-          } else {
-            out += ' ';
-          }
-          break;
-        case State::kLineComment:
-          break;  // Unreachable: line comments consume the rest of the line.
-      }
-    }
-  }
-}
-
-/// Parses "// prisma-lint: tag - reason" annotations and quoted includes.
-void ParseAnnotationsAndIncludes(PreparedFile* file) {
-  static const std::regex kInclude("^\\s*#\\s*include\\s*\"([^\"]+)\"");
-  static const std::regex kAnnotation(
-      "//\\s*prisma-lint:\\s*([a-z-]+)(\\s*-\\s*\\S.*)?");
-  for (size_t li = 0; li < file->raw.size(); ++li) {
-    std::smatch m;
-    // Includes are read from the raw line: the quoted path is a string
-    // literal, which the code view blanks out.
-    if (std::regex_search(file->raw[li], m, kInclude)) {
-      file->includes.push_back(m[1].str());
-    }
-    if (!file->comment[li].empty() &&
-        std::regex_search(file->comment[li], m, kAnnotation)) {
-      const std::string tag = m[1].str();
-      const int line = static_cast<int>(li) + 1;
-      file->silenced[tag].insert(line);
-      file->silenced[tag].insert(line + 1);
-    }
-  }
-}
-
-PreparedFile Prepare(const SourceFile& source) {
-  PreparedFile file;
-  file.path = source.path;
-  SplitLines(source.content, &file.raw);
-  StripCommentsAndLiterals(&file);
-  ParseAnnotationsAndIncludes(&file);
-  return file;
-}
 
 // -------------------------------------------------------------- diagnostics
 
@@ -354,12 +194,6 @@ void CheckUnorderedIteration(const PreparedFile& file,
 
 // ------------------------------------------------------------------ rule D3
 
-/// Strips a scope qualifier: "prisma::gdh::GdhProcess" -> "GdhProcess".
-std::string LastComponent(const std::string& qualified) {
-  size_t pos = qualified.rfind("::");
-  return pos == std::string::npos ? qualified : qualified.substr(pos + 2);
-}
-
 /// Classes derived (directly) from pool::Process, collected tree-wide.
 void CollectProcessClasses(const std::vector<PreparedFile>& files,
                            std::map<std::string, std::string>* classes) {
@@ -370,7 +204,7 @@ void CollectProcessClasses(const std::vector<PreparedFile>& files,
     for (const std::string& line : file.code) {
       std::smatch m;
       if (std::regex_search(line, m, kDerived)) {
-        (*classes)[LastComponent(m[1].str())] = file.path;
+        (*classes)[UnqualifiedName(m[1].str())] = file.path;
       }
     }
   }
@@ -461,6 +295,31 @@ std::set<std::string> ComputeObservableFiles(
   return result;
 }
 
+/// Minimal JSON string escaping (the diagnostics contain no exotic bytes,
+/// but quotes/backslashes from snippets must round-trip).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string Diagnostic::Format() const {
@@ -513,6 +372,12 @@ std::vector<Diagnostic> AnalyzeSources(const std::vector<SourceFile>& files) {
   prepared.reserve(files.size());
   for (const SourceFile& source : files) prepared.push_back(Prepare(source));
 
+  std::vector<FileStructure> structures;
+  structures.reserve(prepared.size());
+  for (const PreparedFile& file : prepared) {
+    structures.push_back(ExtractStructure(file));
+  }
+
   std::map<std::string, std::string> process_classes;
   CollectProcessClasses(prepared, &process_classes);
   const std::set<std::string> observable = ComputeObservableFiles(prepared);
@@ -535,6 +400,7 @@ std::vector<Diagnostic> AnalyzeSources(const std::vector<SourceFile>& files) {
     CheckCrossProcessPointers(file, process_classes, &diagnostics);
     CheckVoidDiscards(file, &diagnostics);
   }
+  CheckProtocolRules(prepared, structures, &diagnostics);
   std::sort(diagnostics.begin(), diagnostics.end(),
             [](const Diagnostic& a, const Diagnostic& b) {
               if (a.path != b.path) return a.path < b.path;
@@ -566,6 +432,41 @@ LintReport ApplyAllowlist(std::vector<Diagnostic> diagnostics,
   }
   report.diagnostics = std::move(diagnostics);
   return report;
+}
+
+std::string ReportToJson(const LintReport& report, size_t file_count) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"files_scanned\": " << file_count << ",\n";
+  os << "  \"violations\": " << report.violations << ",\n";
+  os << "  \"clean\": " << (report.clean() ? "true" : "false") << ",\n";
+  os << "  \"diagnostics\": [";
+  for (size_t i = 0; i < report.diagnostics.size(); ++i) {
+    const Diagnostic& d = report.diagnostics[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"path\": \"" << JsonEscape(d.path) << "\", \"line\": "
+       << d.line << ", \"rule\": \"" << JsonEscape(d.rule)
+       << "\", \"allowlisted\": " << (d.allowlisted ? "true" : "false")
+       << ", \"message\": \"" << JsonEscape(d.message)
+       << "\", \"snippet\": \"" << JsonEscape(d.snippet) << "\"";
+    if (d.allowlisted) {
+      os << ", \"justification\": \"" << JsonEscape(d.justification) << "\"";
+    }
+    os << "}";
+  }
+  os << (report.diagnostics.empty() ? "" : "\n  ") << "],\n";
+  os << "  \"unused_allowlist\": [";
+  for (size_t i = 0; i < report.unused_allowlist.size(); ++i) {
+    const AllowlistEntry& e = report.unused_allowlist[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"rule\": \"" << JsonEscape(e.rule) << "\", \"path_suffix\": \""
+       << JsonEscape(e.path_suffix) << "\", \"needle\": \""
+       << JsonEscape(e.needle) << "\", \"allowlist_line\": " << e.source_line
+       << "}";
+  }
+  os << (report.unused_allowlist.empty() ? "" : "\n  ") << "]\n";
+  os << "}\n";
+  return os.str();
 }
 
 bool LoadTree(const std::string& root, std::vector<SourceFile>* files,

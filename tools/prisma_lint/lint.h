@@ -14,6 +14,9 @@
 // against a fixture corpus.
 //
 // Enforced rules:
+//   D0  annotation hygiene: unknown "prisma-lint:" tags, unknown PRISMA_*
+//       protocol markers and reason-less annotations are themselves
+//       findings (a typo'd silence must not silently do nothing).
 //   D1  no nondeterminism sources outside src/sim (wall clocks, rand,
 //       random_device, threads, mutexes, pointer-keyed ordered containers).
 //   D2  no iteration over unordered containers in files that (transitively)
@@ -22,11 +25,29 @@
 //   D3  no pointers/references to another POOL-X process class outside that
 //       class's own translation unit — cross-process state moves by Message.
 //   D4  a "(void)" discard of a result must carry a trailing reason comment.
+//   D5  mail-handler totality: every kMail* wire constant is consumed by
+//       exactly the files that declare it via "// PRISMA_HANDLES(kinds)",
+//       each dispatch chain is exhaustive over its declared set, and no
+//       kind is left unclaimed tree-wide.
+//   D6  RPC lifecycle: every registration into a PendingRpc container has a
+//       declared "// PRISMA_SETTLES(map: success=Fn, exhaustion=Fn,
+//       shed=Fn)" triad whose functions exist and visibly settle.
+//   D7  state-machine conformance: lifecycle enums with a
+//       "// PRISMA_STATE_MACHINE(Enum: from->to, ...)" table require a
+//       "// PRISMA_TRANSITION(from, to, reason)" at every assignment site;
+//       undeclared transitions AND unreachable declared transitions fail.
+//   D8  metric-name registry: every literal GetCounter/LazyCounter name and
+//       tracer span category/name must appear in obs/metric_names.h, and
+//       every registry entry must be used.
+//
+// D5–D8 are cross-file structural rules implemented in protocol.cc over
+// the extraction layer in structure.h; the annotation grammar is specified
+// in DESIGN.md §9.
 //
 // Annotation grammar (silences one finding on the same or the next line):
 //   // prisma-lint: <tag> - <reason>
 // with <tag> one of: nondet (D1), ordered (D2), cross-process (D3),
-// unused-status (D4). The reason is free text and is required.
+// unused-status (D4). The reason is free text and is required (D0).
 
 namespace prisma::lint {
 
@@ -41,7 +62,7 @@ struct SourceFile {
 struct Diagnostic {
   std::string path;
   int line = 0;  // 1-based.
-  std::string rule;  // "D1".."D4".
+  std::string rule;  // "D0".."D8".
   std::string message;
   std::string snippet;  // Trimmed source line the finding points at.
 
@@ -88,6 +109,11 @@ struct LintReport {
 /// Applies the allowlist to raw diagnostics and computes the verdict.
 LintReport ApplyAllowlist(std::vector<Diagnostic> diagnostics,
                           const std::vector<AllowlistEntry>& allowlist);
+
+/// Machine-readable report (uploaded as a CI artifact so diagnostics diff
+/// cleanly PR-over-PR). Stable key order; diagnostics in their sorted
+/// (path, line, rule) order.
+std::string ReportToJson(const LintReport& report, size_t file_count);
 
 /// Loads every *.h / *.cc / *.cpp under `root` (sorted, so diagnostics are
 /// stable) and returns them with root-relative paths. Returns false when

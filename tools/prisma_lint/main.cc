@@ -1,8 +1,10 @@
 // CLI driver: `prisma_lint --root src [--allowlist tools/prisma_lint/
-// allowlist.txt] [--verbose]`. Exit 0 when the tree is clean (allowlisted
-// findings are fine), 1 on violations or stale allowlist entries, 2 on
-// usage/IO errors.
+// allowlist.txt] [--json report.json] [--smoke [--budget-ms N]]
+// [--verbose]`. Exit 0 when the tree is clean (allowlisted findings are
+// fine), 1 on violations or stale allowlist entries, 2 on usage/IO errors
+// or a blown --smoke budget.
 
+#include <chrono>  // Tool-side wall clock for --smoke; src/ is what D1 lints.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -18,7 +20,7 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: prisma_lint --root <dir> [--allowlist <file>] "
-               "[--verbose]\n");
+               "[--json <file>] [--smoke] [--budget-ms <n>] [--verbose]\n");
   return 2;
 }
 
@@ -27,12 +29,22 @@ int Usage() {
 int main(int argc, char** argv) {
   std::string root;
   std::string allowlist_path;
+  std::string json_path;
   bool verbose = false;
+  bool smoke = false;
+  long budget_ms = 2000;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
       root = argv[++i];
     } else if (std::strcmp(argv[i], "--allowlist") == 0 && i + 1 < argc) {
       allowlist_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--budget-ms") == 0 && i + 1 < argc) {
+      budget_ms = std::strtol(argv[++i], nullptr, 10);
+      if (budget_ms <= 0) return Usage();
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       verbose = true;
     } else {
@@ -67,9 +79,24 @@ int main(int argc, char** argv) {
     if (!parse_errors.empty()) return 2;
   }
 
+  const auto analysis_start = std::chrono::steady_clock::now();
   prisma::lint::LintReport report =
       prisma::lint::ApplyAllowlist(prisma::lint::AnalyzeSources(files),
                                    allowlist);
+  const long elapsed_ms =
+      static_cast<long>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                            std::chrono::steady_clock::now() - analysis_start)
+                            .count());
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "prisma_lint: cannot write %s\n",
+                   json_path.c_str());
+      return 2;
+    }
+    out << prisma::lint::ReportToJson(report, files.size());
+  }
 
   size_t allowlisted = 0;
   for (const prisma::lint::Diagnostic& d : report.diagnostics) {
@@ -91,8 +118,15 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "prisma_lint: %zu file(s), %zu violation(s), %zu allowlisted, "
-      "%zu stale allowlist entrie(s)\n",
+      "%zu stale allowlist entrie(s), %ld ms\n",
       files.size(), report.violations, allowlisted,
-      report.unused_allowlist.size());
+      report.unused_allowlist.size(), elapsed_ms);
+  if (smoke && elapsed_ms > budget_ms) {
+    std::fprintf(stderr,
+                 "prisma_lint: SMOKE FAILURE: analysis took %ld ms, budget "
+                 "is %ld ms — the structural pass is becoming a build tax\n",
+                 elapsed_ms, budget_ms);
+    return 2;
+  }
   return report.clean() ? 0 : 1;
 }

@@ -1,0 +1,450 @@
+#include "structure.h"
+
+#include <cctype>
+#include <regex>
+
+#include "lint.h"
+
+namespace prisma::lint {
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+void SplitLines(const std::string& content, std::vector<std::string>* out) {
+  std::string line;
+  for (char c : content) {
+    if (c == '\n') {
+      out->push_back(line);
+      line.clear();
+    } else if (c != '\r') {
+      line.push_back(c);
+    }
+  }
+  if (!line.empty()) out->push_back(line);
+}
+
+std::vector<std::string> SplitCommaList(const std::string& args) {
+  std::vector<std::string> out;
+  std::string piece;
+  int depth = 0;
+  char prev = '\0';
+  for (char c : args) {
+    if (c == '(' || c == '<' || c == '[') ++depth;
+    // "->" is an arrow (transition-table syntax), not a closing bracket.
+    if (c == ')' || (c == '>' && prev != '-') || c == ']') --depth;
+    prev = c;
+    if (c == ',' && depth == 0) {
+      if (std::string t = Trim(piece); !t.empty()) out.push_back(t);
+      piece.clear();
+    } else {
+      piece.push_back(c);
+    }
+  }
+  if (std::string t = Trim(piece); !t.empty()) out.push_back(t);
+  return out;
+}
+
+std::string UnqualifiedName(const std::string& qualified) {
+  size_t pos = qualified.rfind("::");
+  return pos == std::string::npos ? qualified : qualified.substr(pos + 2);
+}
+
+namespace {
+
+/// Blanks comments and literals, collecting comment text per line and the
+/// literal-preserving `text` view. Handles //, /* */, "..." and '...'
+/// with escapes; raw strings are not used in this codebase and are
+/// treated as plain strings.
+void StripCommentsAndLiterals(PreparedFile* file) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  file->code.resize(file->raw.size());
+  file->text.resize(file->raw.size());
+  file->comment.resize(file->raw.size());
+  for (size_t li = 0; li < file->raw.size(); ++li) {
+    const std::string& in = file->raw[li];
+    std::string& out = file->code[li];
+    std::string& text = file->text[li];
+    std::string& comment = file->comment[li];
+    out.reserve(in.size());
+    text.reserve(in.size());
+    if (state == State::kLineComment) state = State::kCode;
+    for (size_t i = 0; i < in.size(); ++i) {
+      char c = in[i];
+      char next = i + 1 < in.size() ? in[i + 1] : '\0';
+      switch (state) {
+        case State::kCode:
+          if (c == '/' && next == '/') {
+            state = State::kLineComment;
+            comment += in.substr(i);
+            i = in.size();
+          } else if (c == '/' && next == '*') {
+            state = State::kBlockComment;
+            out += "  ";
+            text += "  ";
+            ++i;
+          } else if (c == '"') {
+            state = State::kString;
+            out += ' ';
+            text += c;
+          } else if (c == '\'') {
+            state = State::kChar;
+            out += ' ';
+            text += c;
+          } else {
+            out += c;
+            text += c;
+          }
+          break;
+        case State::kBlockComment:
+          if (c == '*' && next == '/') {
+            state = State::kCode;
+            out += "  ";
+            text += "  ";
+            ++i;
+          } else {
+            out += ' ';
+            text += ' ';
+          }
+          break;
+        case State::kString:
+          if (c == '\\') {
+            out += "  ";
+            text += c;
+            if (i + 1 < in.size()) text += in[i + 1];
+            ++i;
+          } else if (c == '"') {
+            state = State::kCode;
+            out += ' ';
+            text += c;
+          } else {
+            out += ' ';
+            text += c;
+          }
+          break;
+        case State::kChar:
+          if (c == '\\') {
+            out += "  ";
+            text += c;
+            if (i + 1 < in.size()) text += in[i + 1];
+            ++i;
+          } else if (c == '\'') {
+            state = State::kCode;
+            out += ' ';
+            text += c;
+          } else {
+            out += ' ';
+            text += c;
+          }
+          break;
+        case State::kLineComment:
+          break;  // Unreachable: line comments consume the rest of the line.
+      }
+    }
+  }
+}
+
+/// Parses "// prisma-lint: tag - reason" annotations and quoted includes.
+void ParseAnnotationsAndIncludes(PreparedFile* file) {
+  static const std::regex kInclude("^\\s*#\\s*include\\s*\"([^\"]+)\"");
+  static const std::regex kAnnotation(
+      "//\\s*prisma-lint:\\s*([a-z-]+)(\\s*-\\s*\\S.*)?");
+  for (size_t li = 0; li < file->raw.size(); ++li) {
+    std::smatch m;
+    // Includes are read from the raw line: the quoted path is a string
+    // literal, which the code view blanks out.
+    if (std::regex_search(file->raw[li], m, kInclude)) {
+      file->includes.push_back(m[1].str());
+    }
+    if (!file->comment[li].empty() &&
+        std::regex_search(file->comment[li], m, kAnnotation)) {
+      const std::string tag = m[1].str();
+      const int line = static_cast<int>(li) + 1;
+      file->annotations.push_back({tag, m[2].matched, line});
+      file->silenced[tag].insert(line);
+      file->silenced[tag].insert(line + 1);
+    }
+  }
+}
+
+bool IsControlKeyword(const std::string& name) {
+  static const std::set<std::string> kKeywords = {
+      "if",     "for",   "while",    "switch", "catch", "return",
+      "sizeof", "else",  "do",       "new",    "delete"};
+  return kKeywords.contains(name);
+}
+
+/// Scans backwards from `pos` (exclusive) over whitespace and returns the
+/// identifier ending there, or "" when the preceding token is not one.
+std::string IdentifierBefore(const std::string& s, size_t pos) {
+  while (pos > 0 &&
+         std::isspace(static_cast<unsigned char>(s[pos - 1])) != 0) {
+    --pos;
+  }
+  size_t end = pos;
+  while (pos > 0 && IsIdentChar(s[pos - 1])) --pos;
+  return s.substr(pos, end - pos);
+}
+
+/// Function extraction: walks the code view tracking brace depth. When a
+/// '{' opens, the statement header accumulated since the last ';', '{' or
+/// '}' is inspected: a parenthesized group whose preceding token is an
+/// identifier (and not a control keyword) makes the brace a function body
+/// whose extent runs to the matching '}'.
+void ExtractFunctions(const PreparedFile& file, FileStructure* out) {
+  struct Open {
+    bool is_function = false;
+    size_t index = 0;  // Into out->functions when is_function.
+  };
+  std::vector<Open> stack;
+  std::string header;
+  int header_line = 1;
+
+  for (size_t li = 0; li < file.code.size(); ++li) {
+    const std::string& line = file.code[li];
+    for (size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      if (c == ';') {
+        header.clear();
+        header_line = static_cast<int>(li) + 1;
+        continue;
+      }
+      if (c == '{') {
+        Open open;
+        // Find the parenthesized group closest to the brace. Anything
+        // between its ')' and the '{' (const, override, noexcept, ctor
+        // initializer lists) is tolerated as long as no ';' intervened.
+        size_t close = header.rfind(')');
+        if (close != std::string::npos) {
+          // Balance backwards to this group's '('.
+          int depth = 0;
+          size_t openp = std::string::npos;
+          for (size_t j = close + 1; j-- > 0;) {
+            if (header[j] == ')') ++depth;
+            if (header[j] == '(') {
+              if (--depth == 0) {
+                openp = j;
+                break;
+              }
+            }
+          }
+          if (openp != std::string::npos) {
+            // Constructor initializer lists repeat "name(...)" groups;
+            // walk left past ": member(init), member(init)" chains so the
+            // parameter list (the first group of the statement) names the
+            // function.
+            size_t group_open = openp;
+            while (true) {
+              std::string name = IdentifierBefore(header, group_open);
+              if (name.empty()) break;
+              size_t before_name = group_open;
+              while (before_name > 0 &&
+                     std::isspace(static_cast<unsigned char>(
+                         header[before_name - 1])) != 0) {
+                --before_name;
+              }
+              before_name -= name.size();
+              // Skip whitespace before the identifier.
+              size_t k = before_name;
+              while (k > 0 && std::isspace(static_cast<unsigned char>(
+                                  header[k - 1])) != 0) {
+                --k;
+              }
+              if (k >= 1 && (header[k - 1] == ',' || header[k - 1] == ':')) {
+                // Part of an initializer chain: find the previous group.
+                int d = 0;
+                size_t prev = std::string::npos;
+                for (size_t j = k; j-- > 0;) {
+                  if (header[j] == ')') ++d;
+                  if (header[j] == '(') {
+                    if (d == 0) break;
+                    if (--d == 0) {
+                      prev = j;
+                      break;
+                    }
+                  }
+                }
+                if (prev == std::string::npos) break;
+                group_open = prev;
+                continue;
+              }
+              break;
+            }
+            std::string name = IdentifierBefore(header, group_open);
+            if (!name.empty() && !IsControlKeyword(name) &&
+                std::isdigit(static_cast<unsigned char>(name[0])) == 0) {
+              open.is_function = true;
+              open.index = out->functions.size();
+              FunctionDef fn;
+              fn.name = name;
+              fn.first_line = static_cast<int>(li) + 1;
+              out->functions.push_back(fn);
+            }
+          }
+        }
+        stack.push_back(open);
+        header.clear();
+        header_line = static_cast<int>(li) + 1;
+        continue;
+      }
+      if (c == '}') {
+        if (!stack.empty()) {
+          if (stack.back().is_function) {
+            out->functions[stack.back().index].last_line =
+                static_cast<int>(li) + 1;
+          }
+          stack.pop_back();
+        }
+        header.clear();
+        header_line = static_cast<int>(li) + 1;
+        continue;
+      }
+      header.push_back(c);
+    }
+    header.push_back(' ');  // Line break separates tokens.
+  }
+  (void)header_line;  // Kept for symmetry; extents key off brace lines.
+}
+
+void ExtractEnums(const PreparedFile& file, FileStructure* out) {
+  static const std::regex kEnum(
+      "\\benum\\s+(?:class\\s+|struct\\s+)?([A-Za-z_]\\w*)");
+  for (size_t li = 0; li < file.code.size(); ++li) {
+    std::smatch m;
+    if (!std::regex_search(file.code[li], m, kEnum)) continue;
+    EnumDef def;
+    def.name = m[1].str();
+    def.first_line = static_cast<int>(li) + 1;
+    // Collect the brace body, possibly spanning lines.
+    std::string body;
+    bool in_body = false;
+    bool done = false;
+    size_t start =
+        static_cast<size_t>(m.position()) + static_cast<size_t>(m.length());
+    for (size_t lj = li; lj < file.code.size() && !done; ++lj) {
+      const std::string& line = file.code[lj];
+      for (size_t i = (lj == li ? start : 0); i < line.size(); ++i) {
+        const char c = line[i];
+        if (!in_body) {
+          if (c == '{') {
+            in_body = true;
+          } else if (c == ';') {
+            done = true;  // Forward declaration / opaque enum.
+            break;
+          }
+          continue;
+        }
+        if (c == '}') {
+          def.last_line = static_cast<int>(lj) + 1;
+          done = true;
+          break;
+        }
+        body.push_back(c);
+      }
+      body.push_back('\n');
+    }
+    if (def.last_line == 0) continue;  // Unterminated or forward decl.
+    for (const std::string& piece : SplitCommaList(body)) {
+      // Each enumerator segment is "Name" or "Name = value".
+      size_t e = 0;
+      while (e < piece.size() && IsIdentChar(piece[e])) ++e;
+      if (e > 0) def.enumerators.push_back(piece.substr(0, e));
+    }
+    if (!def.enumerators.empty()) out->enums.push_back(def);
+  }
+}
+
+void ExtractMarkers(const PreparedFile& file, FileStructure* out) {
+  // The argument list may wrap onto following comment lines ("// ..."
+  // continuations); it ends at the first ')'.
+  static const std::regex kOpen("PRISMA_([A-Z_]+)\\s*\\(");
+  for (size_t li = 0; li < file.comment.size(); ++li) {
+    const std::string& comment = file.comment[li];
+    if (comment.empty()) continue;
+    for (auto it = std::sregex_iterator(comment.begin(), comment.end(),
+                                        kOpen);
+         it != std::sregex_iterator(); ++it) {
+      Marker marker;
+      marker.tag = (*it)[1].str();
+      marker.line = static_cast<int>(li) + 1;
+      std::string rest = comment.substr(
+          static_cast<size_t>(it->position()) + it->length());
+      size_t continuation = li + 1;
+      while (rest.find(')') == std::string::npos &&
+             continuation < file.comment.size() &&
+             !file.comment[continuation].empty() &&
+             continuation - li < 8) {
+        // Strip the continuation line's "//" prefix before joining.
+        std::string next = Trim(file.comment[continuation]);
+        while (StartsWith(next, "/")) next.erase(0, 1);
+        rest += ' ';
+        rest += Trim(next);
+        ++continuation;
+      }
+      marker.args = rest.substr(0, rest.find(')'));
+      out->markers.push_back(std::move(marker));
+    }
+  }
+}
+
+void ExtractMailConstants(const PreparedFile& file, FileStructure* out) {
+  static const std::regex kConstant(
+      "\\bconstexpr\\s+char\\s+(kMail\\w+)\\s*\\[\\]");
+  for (size_t li = 0; li < file.code.size(); ++li) {
+    std::smatch m;
+    if (std::regex_search(file.code[li], m, kConstant)) {
+      out->mail_constants.emplace_back(m[1].str(),
+                                       static_cast<int>(li) + 1);
+    }
+  }
+}
+
+}  // namespace
+
+PreparedFile Prepare(const SourceFile& source) {
+  PreparedFile file;
+  file.path = source.path;
+  SplitLines(source.content, &file.raw);
+  StripCommentsAndLiterals(&file);
+  ParseAnnotationsAndIncludes(&file);
+  return file;
+}
+
+const FunctionDef* FileStructure::EnclosingFunction(int line) const {
+  const FunctionDef* best = nullptr;
+  for (const FunctionDef& fn : functions) {
+    if (fn.first_line <= line && line <= fn.last_line) {
+      // Innermost wins: later-starting extent is more specific.
+      if (best == nullptr || fn.first_line >= best->first_line) best = &fn;
+    }
+  }
+  return best;
+}
+
+FileStructure ExtractStructure(const PreparedFile& file) {
+  FileStructure out;
+  ExtractFunctions(file, &out);
+  ExtractEnums(file, &out);
+  ExtractMarkers(file, &out);
+  ExtractMailConstants(file, &out);
+  return out;
+}
+
+}  // namespace prisma::lint

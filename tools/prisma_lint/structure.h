@@ -1,0 +1,119 @@
+#ifndef PRISMA_TOOLS_PRISMA_LINT_STRUCTURE_H_
+#define PRISMA_TOOLS_PRISMA_LINT_STRUCTURE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+// Text preparation and the lightweight structural pass shared by every
+// lint rule (see lint.h for the rule catalogue).
+//
+// The analyzer stays freestanding: no compiler frontend, just a comment/
+// literal-aware line model plus brace-balanced extraction of functions,
+// enums and protocol annotations. That is deliberately cheap — the whole
+// tree is re-extracted on every run (see the --smoke budget) — and
+// deliberately dumb: anything the extractor cannot see (macro-generated
+// dispatch, computed mail kinds) must not be used for protocol surfaces.
+
+namespace prisma::lint {
+
+struct SourceFile;  // lint.h
+
+/// A "// prisma-lint: tag - reason" annotation occurrence.
+struct TagAnnotation {
+  std::string tag;
+  bool has_reason = false;
+  int line = 0;  // 1-based.
+};
+
+/// A file split into lines, with two parallel views of each line:
+///   code — comments AND string/char literals blanked (rule matching
+///          never fires inside either);
+///   text — comments blanked but literals kept (for rules that must see
+///          literal metric/span names).
+/// Line counts of raw/code/text always agree.
+struct PreparedFile {
+  std::string path;
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+  std::vector<std::string> text;
+  std::vector<std::string> comment;  // Comment text on each line, if any.
+  std::vector<std::string> includes;  // Quoted include paths, in order.
+
+  /// Every lowercase annotation, in file order (for hygiene checks).
+  std::vector<TagAnnotation> annotations;
+
+  /// tag -> lines it silences (the annotation's line and the next one).
+  std::map<std::string, std::set<int>> silenced;
+
+  bool IsSilenced(const std::string& tag, int line) const {
+    auto it = silenced.find(tag);
+    return it != silenced.end() && it->second.contains(line);
+  }
+};
+
+PreparedFile Prepare(const SourceFile& source);
+
+// ------------------------------------------------------ structural layer
+
+/// One function definition's brace extent. Covers out-of-class
+/// definitions ("bool GdhProcess::SettleRpc(...) {"), free functions and
+/// class-inline methods; `name` is the unqualified last component.
+/// Lambdas and control-flow blocks are not recorded (their braces only
+/// contribute to extent balancing).
+struct FunctionDef {
+  std::string name;
+  int first_line = 0;  // Line the body's opening brace is on.
+  int last_line = 0;   // Line of the matching closing brace.
+};
+
+/// An enum / enum class declaration and its enumerators.
+struct EnumDef {
+  std::string name;
+  std::vector<std::string> enumerators;
+  int first_line = 0;  // Line of the `enum` keyword.
+  int last_line = 0;   // Line of the closing brace.
+};
+
+/// An uppercase protocol annotation "// PRISMA_<TAG>(args)". The tag set
+/// is validated by the hygiene rule D0 (see lint.h); args are kept raw
+/// for the consuming rule to parse.
+struct Marker {
+  std::string tag;   // "HANDLES", "SETTLES", "STATE_MACHINE", ...
+  std::string args;  // Text inside the parentheses, untrimmed.
+  int line = 0;
+};
+
+struct FileStructure {
+  std::vector<FunctionDef> functions;
+  std::vector<EnumDef> enums;
+  std::vector<Marker> markers;
+  /// Wire-protocol mail-kind constants declared in this file
+  /// ("inline constexpr char kMailX[] = ..."), with declaration lines.
+  std::vector<std::pair<std::string, int>> mail_constants;
+
+  /// Functions whose extent covers `line`, innermost last.
+  const FunctionDef* EnclosingFunction(int line) const;
+};
+
+FileStructure ExtractStructure(const PreparedFile& file);
+
+// ------------------------------------------------------------- utilities
+
+std::string Trim(const std::string& s);
+bool EndsWith(const std::string& s, const std::string& suffix);
+bool StartsWith(const std::string& s, const std::string& prefix);
+bool IsIdentChar(char c);
+void SplitLines(const std::string& content, std::vector<std::string>* out);
+
+/// Splits on top-level commas, trimming each piece; empty pieces dropped.
+std::vector<std::string> SplitCommaList(const std::string& args);
+
+/// "prisma::gdh::kMailWrite" -> "kMailWrite".
+std::string UnqualifiedName(const std::string& qualified);
+
+}  // namespace prisma::lint
+
+#endif  // PRISMA_TOOLS_PRISMA_LINT_STRUCTURE_H_
