@@ -1,0 +1,323 @@
+// E14 — TPC-H-lite: distributed OLAP over the exchange layer
+// (DESIGN.md §14).
+//
+// Harness: a scaled-down TPC-H-shaped schema (lineitem / orders /
+// customer, integral values so every aggregate is exact) on machines of
+// increasing PE count, running eight analytic queries twice per machine
+// shape — once with the multi-stage OLAP lowering (pre-aggregate +
+// shuffle-by-key group-bys, sample-based range-partitioned sorts) and
+// once on the gather baseline (distributed_olap and aggregate_pushdown
+// off: the coordinator pulls base tuples and does everything itself).
+// Every answer is self-checked byte-for-byte against a single-fragment
+// reference machine before any number is reported.
+//
+// Emits BENCH_tpch_lite.json — per-PE-count, per-query response times
+// and wire volumes for both strategies — so OLAP regressions are visible
+// PR-over-PR.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "core/prisma_db.h"
+
+using prisma::Rng;
+using prisma::StrFormat;
+using prisma::Tuple;
+using prisma::core::MachineConfig;
+using prisma::core::PrismaDb;
+using prisma::core::QueryResult;
+
+namespace {
+
+// Scale (smoke shrinks these): TPC-H's 4:1 lineitem:orders row ratio.
+int kLineitems = 1200;
+int kOrders = 300;
+int kCustomers = 60;
+
+const char* kShipmodes[] = {"AIR", "MAIL", "RAIL", "SHIP", "TRUCK"};
+const char* kStatuses[] = {"F", "O", "P"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM", "4-LOW"};
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "MACHINERY"};
+const char* kNations[] = {"BRAZIL", "CANADA", "FRANCE", "JAPAN", "KENYA"};
+
+/// The eight queries: four single-table group-bys (every aggregate,
+/// AVG included so partial SUM+COUNT merge is priced), two distributed
+/// sorts (one under LIMIT), one global aggregate without group keys and
+/// one join + group-by whose group-by stays at the coordinator (the join
+/// output is not a base table) — the mixed-path case.
+struct Query {
+  const char* name;
+  const char* sql;
+};
+const Query kQueries[] = {
+    {"q1_pricing_summary",
+     "SELECT l_status, COUNT(*) AS n, SUM(l_quantity) AS qty, "
+     "SUM(l_price) AS price, AVG(l_price) AS mean_price "
+     "FROM lineitem GROUP BY l_status ORDER BY l_status"},
+    {"q2_shipmode_counts",
+     "SELECT l_shipmode, COUNT(*) AS n, SUM(l_price) AS price FROM lineitem "
+     "WHERE l_quantity >= 25 GROUP BY l_shipmode ORDER BY l_shipmode"},
+    {"q3_order_priority",
+     "SELECT o_priority, COUNT(*) AS n FROM orders "
+     "GROUP BY o_priority ORDER BY o_priority"},
+    {"q4_nation_distribution",
+     "SELECT c_nation, COUNT(*) AS n FROM customer "
+     "GROUP BY c_nation ORDER BY c_nation"},
+    {"q5_price_rank",
+     "SELECT l_orderkey, l_price FROM lineitem "
+     "ORDER BY l_price DESC, l_orderkey"},
+    {"q6_top_orders",
+     "SELECT o_orderkey, o_total FROM orders "
+     "ORDER BY o_total DESC, o_orderkey LIMIT 10"},
+    {"q7_revenue_filter",
+     "SELECT SUM(l_price) AS revenue, COUNT(*) AS n FROM lineitem "
+     "WHERE l_discount >= 5 AND l_quantity < 30"},
+    {"q8_segment_totals",
+     "SELECT c_segment, SUM(o_total) AS total FROM orders o "
+     "JOIN customer c ON o.o_custkey = c.c_custkey "
+     "GROUP BY c_segment ORDER BY c_segment"},
+};
+constexpr size_t kNumQueries = sizeof(kQueries) / sizeof(kQueries[0]);
+
+QueryResult MustExecute(PrismaDb& db, const std::string& sql) {
+  auto result = db.Execute(sql);
+  PRISMA_CHECK(result.ok()) << sql << " -> " << result.status().ToString();
+  return std::move(result).value();
+}
+
+void InsertBatched(PrismaDb& db, const std::string& table,
+                   const std::vector<std::string>& rows) {
+  for (size_t i = 0; i < rows.size(); i += 100) {
+    std::string sql = "INSERT INTO " + table + " VALUES ";
+    for (size_t j = i; j < rows.size() && j < i + 100; ++j) {
+      if (j > i) sql += ", ";
+      sql += rows[j];
+    }
+    MustExecute(db, sql);
+  }
+}
+
+/// Loads the deterministic dataset; `fragments` <= 1 creates unfragmented
+/// tables (the single-node reference).
+void LoadTpchLite(PrismaDb& db, int fragments) {
+  const char* frag_l =
+      fragments > 1 ? " FRAGMENTED BY HASH(l_orderkey) INTO %d FRAGMENTS" : "";
+  const char* frag_o =
+      fragments > 1 ? " FRAGMENTED BY HASH(o_orderkey) INTO %d FRAGMENTS" : "";
+  const char* frag_c =
+      fragments > 1 ? " FRAGMENTED BY HASH(c_custkey) INTO %d FRAGMENTS" : "";
+  MustExecute(db, StrFormat("CREATE TABLE lineitem (l_orderkey INT, "
+                            "l_partkey INT, l_quantity INT, l_price INT, "
+                            "l_discount INT, l_shipmode STRING, "
+                            "l_status STRING)%s",
+                            StrFormat(frag_l, fragments).c_str()));
+  MustExecute(db, StrFormat("CREATE TABLE orders (o_orderkey INT, "
+                            "o_custkey INT, o_status STRING, o_total INT, "
+                            "o_priority STRING)%s",
+                            StrFormat(frag_o, fragments).c_str()));
+  MustExecute(db, StrFormat("CREATE TABLE customer (c_custkey INT, "
+                            "c_name STRING, c_segment STRING, "
+                            "c_nation STRING)%s",
+                            StrFormat(frag_c, fragments).c_str()));
+
+  Rng rng(0x7c9b1ed1ULL);
+  std::vector<std::string> rows;
+  for (int i = 0; i < kLineitems; ++i) {
+    rows.push_back(StrFormat(
+        "(%d, %d, %d, %d, %d, '%s', '%s')", i % kOrders,
+        static_cast<int>(rng.UniformInt(0, 200)),
+        static_cast<int>(rng.UniformInt(1, 50)),
+        static_cast<int>(rng.UniformInt(100, 10000)),
+        static_cast<int>(rng.UniformInt(0, 10)),
+        kShipmodes[rng.UniformInt(0, 4)], kStatuses[rng.UniformInt(0, 2)]));
+  }
+  InsertBatched(db, "lineitem", rows);
+  rows.clear();
+  for (int i = 0; i < kOrders; ++i) {
+    rows.push_back(StrFormat(
+        "(%d, %d, '%s', %d, '%s')", i,
+        static_cast<int>(rng.UniformInt(0, kCustomers - 1)),
+        kStatuses[rng.UniformInt(0, 2)],
+        static_cast<int>(rng.UniformInt(1000, 100000)),
+        kPriorities[rng.UniformInt(0, 3)]));
+  }
+  InsertBatched(db, "orders", rows);
+  rows.clear();
+  for (int i = 0; i < kCustomers; ++i) {
+    rows.push_back(StrFormat("(%d, 'customer%d', '%s', '%s')", i, i,
+                             kSegments[rng.UniformInt(0, 2)],
+                             kNations[rng.UniformInt(0, 4)]));
+  }
+  InsertBatched(db, "customer", rows);
+}
+
+std::string Rendered(const QueryResult& result) {
+  std::string out;
+  for (const Tuple& t : result.tuples) {
+    out += t.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+struct QueryMeasure {
+  double ms = 0;                 ///< Virtual response time.
+  uint64_t tuples_gathered = 0;  ///< Rows pulled to the coordinator.
+  uint64_t olap_parts = 0;
+  uint64_t shuffle_bits = 0;     ///< olap.shuffle_bits delta.
+  uint64_t olap_gather_bits = 0; ///< olap.gather_bits delta.
+  uint64_t gather_bits = 0;      ///< Plain fragment-reply bits (gauge).
+};
+
+struct SweepCell {
+  int pes = 0;
+  int fragments = 0;
+  QueryMeasure olap[kNumQueries];
+  QueryMeasure gather[kNumQueries];
+};
+
+/// Runs all queries on one machine shape; `lowered` picks the strategy.
+/// Answers are checked against `reference` (the single-fragment run).
+void RunShape(int pes, int fragments, bool lowered,
+              const std::vector<std::string>& reference,
+              QueryMeasure* measures) {
+  MachineConfig config;
+  config.pes = pes;
+  if (!lowered) {
+    config.rules.distributed_olap = false;
+    config.rules.aggregate_pushdown = false;
+  }
+  PrismaDb db(config);
+  LoadTpchLite(db, fragments);
+  for (size_t q = 0; q < kNumQueries; ++q) {
+    const uint64_t gathered0 =
+        db.metrics().CounterTotal("query.tuples_gathered");
+    const uint64_t parts0 = db.metrics().CounterTotal("olap.parts");
+    const uint64_t shuffle0 = db.metrics().CounterTotal("olap.shuffle_bits");
+    const uint64_t ogather0 = db.metrics().CounterTotal("olap.gather_bits");
+    const QueryResult result = MustExecute(db, kQueries[q].sql);
+    PRISMA_CHECK(Rendered(result) == reference[q])
+        << kQueries[q].name << " diverged from the single-node reference "
+        << "(pes=" << pes << ", lowered=" << lowered << ")";
+    QueryMeasure& m = measures[q];
+    m.ms = static_cast<double>(result.response_time_ns) / 1e6;
+    m.tuples_gathered =
+        db.metrics().CounterTotal("query.tuples_gathered") - gathered0;
+    m.olap_parts = db.metrics().CounterTotal("olap.parts") - parts0;
+    m.shuffle_bits = db.metrics().CounterTotal("olap.shuffle_bits") - shuffle0;
+    m.olap_gather_bits =
+        db.metrics().CounterTotal("olap.gather_bits") - ogather0;
+    m.gather_bits = static_cast<uint64_t>(
+        db.metrics().GaugeValue("query.last_gather_bits"));
+  }
+  if (lowered) {
+    prisma::bench::PrintCounterSeries(
+        db.metrics(), {"olap.parts", "olap.shuffle_bits", "olap.gather_bits",
+                       "olap.sample_rows", "exchange.batches_sent",
+                       "query.tuples_gathered"});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = prisma::bench::SmokeMode(argc, argv);
+  std::vector<int> pe_counts = {4, 8, 16};
+  if (smoke) {
+    kLineitems = 240;
+    kOrders = 60;
+    kCustomers = 20;
+    pe_counts = {4};
+  }
+
+  // Single-fragment reference answers (no distributed plans at all).
+  std::vector<std::string> reference;
+  {
+    MachineConfig config;
+    config.pes = 2;
+    PrismaDb db(config);
+    LoadTpchLite(db, /*fragments=*/1);
+    for (const Query& q : kQueries) {
+      reference.push_back(Rendered(MustExecute(db, q.sql)));
+    }
+  }
+
+  std::vector<SweepCell> sweep;
+  for (const int pes : pe_counts) {
+    SweepCell cell;
+    cell.pes = pes;
+    cell.fragments = pes;
+    std::printf("== pes=%d fragments=%d ==\n", pes, cell.fragments);
+    RunShape(pes, cell.fragments, /*lowered=*/true, reference, cell.olap);
+    RunShape(pes, cell.fragments, /*lowered=*/false, reference, cell.gather);
+    std::printf("\n%-22s %12s %12s %10s %14s %14s\n", "query", "olap_ms",
+                "gather_ms", "speedup", "olap_bits", "gather_bits");
+    for (size_t q = 0; q < kNumQueries; ++q) {
+      const QueryMeasure& o = cell.olap[q];
+      const QueryMeasure& g = cell.gather[q];
+      std::printf("%-22s %12.3f %12.3f %9.2fx %14llu %14llu\n",
+                  kQueries[q].name, o.ms, g.ms, g.ms / o.ms,
+                  static_cast<unsigned long long>(
+                      o.shuffle_bits + o.olap_gather_bits + o.gather_bits),
+                  static_cast<unsigned long long>(g.gather_bits));
+    }
+    sweep.push_back(cell);
+
+    // Contract: the pure group-bys and sorts (q1..q6) all took the
+    // multi-stage path, and the canonical group-by (q1) moved strictly
+    // fewer wire bits than its base-tuple gather baseline.
+    for (size_t q = 0; q < 6; ++q) {
+      PRISMA_CHECK(cell.olap[q].olap_parts > 0)
+          << kQueries[q].name << " was not lowered at pes=" << pes;
+    }
+    PRISMA_CHECK(cell.olap[0].shuffle_bits + cell.olap[0].olap_gather_bits <
+                 cell.gather[0].gather_bits)
+        << "q1 wire bits not below the gather baseline at pes=" << pes;
+    PRISMA_CHECK(cell.olap[0].tuples_gathered < cell.gather[0].tuples_gathered)
+        << "q1 gathered as many tuples as the baseline at pes=" << pes;
+  }
+
+  // JSON trajectory artifact.
+  std::string json = StrFormat(
+      "{\n  \"bench\": \"tpch_lite\",\n  \"smoke\": %s,\n"
+      "  \"scale\": {\"lineitem\": %d, \"orders\": %d, \"customer\": %d},\n"
+      "  \"sweep\": [\n",
+      smoke ? "true" : "false", kLineitems, kOrders, kCustomers);
+  for (size_t c = 0; c < sweep.size(); ++c) {
+    const SweepCell& cell = sweep[c];
+    json += StrFormat("    {\"pes\": %d, \"fragments\": %d, \"queries\": [\n",
+                      cell.pes, cell.fragments);
+    for (size_t q = 0; q < kNumQueries; ++q) {
+      const QueryMeasure& o = cell.olap[q];
+      const QueryMeasure& g = cell.gather[q];
+      json += StrFormat(
+          "      {\"name\": \"%s\", \"olap_ms\": %.3f, \"gather_ms\": %.3f, "
+          "\"olap_parts\": %llu, \"olap_shuffle_bits\": %llu, "
+          "\"olap_gather_bits\": %llu, \"olap_tuples_gathered\": %llu, "
+          "\"baseline_gather_bits\": %llu, "
+          "\"baseline_tuples_gathered\": %llu}%s\n",
+          kQueries[q].name, o.ms, g.ms,
+          static_cast<unsigned long long>(o.olap_parts),
+          static_cast<unsigned long long>(o.shuffle_bits),
+          static_cast<unsigned long long>(o.olap_gather_bits),
+          static_cast<unsigned long long>(o.tuples_gathered),
+          static_cast<unsigned long long>(g.gather_bits),
+          static_cast<unsigned long long>(g.tuples_gathered),
+          q + 1 < kNumQueries ? "," : "");
+    }
+    json += StrFormat("    ]}%s\n", c + 1 < sweep.size() ? "," : "");
+  }
+  json += "  ]\n}\n";
+  const char* path = "BENCH_tpch_lite.json";
+  std::FILE* f = std::fopen(path, "w");
+  PRISMA_CHECK(f != nullptr) << "cannot write " << path;
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+  return 0;
+}

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Docs cross-reference lint (ctest case `check_docs`).
+
+The documentation map (README "Documentation map", DESIGN.md section
+index, EXPERIMENTS.md registry) is load-bearing: sources cite design
+sections by number and benches emit JSON artifacts that EXPERIMENTS.md
+interprets. This check fails the build when any of those links dangle:
+
+  1. every `DESIGN.md §N[.M]` reference in sources, tests, benches,
+     examples and the other docs resolves to a real DESIGN.md heading;
+  2. every `BENCH_*.json` artifact at the repo root has a matching
+     mention in EXPERIMENTS.md (a section interprets it);
+  3. every `bench/bench_*.cc` binary appears in the DESIGN.md §3
+     experiment index, and every `bench_*` named there exists on disk.
+
+Usage: check_docs.py [repo-root]   (defaults to the parent of scripts/)
+"""
+
+import os
+import re
+import sys
+
+
+def fail(problems):
+    for p in problems:
+        print(f"check_docs: {p}")
+    print(f"check_docs: FAILED ({len(problems)} problem(s))")
+    return 1
+
+
+def design_sections(design_text):
+    """Section numbers declared by DESIGN.md headings: {'3', '10', '10.2', ...}."""
+    sections = set()
+    for line in design_text.splitlines():
+        m = re.match(r"^##\s+(\d+)\.\s", line)
+        if m:
+            sections.add(m.group(1))
+        m = re.match(r"^###\s+(\d+\.\d+)\s", line)
+        if m:
+            sections.add(m.group(1))
+    return sections
+
+
+def iter_source_files(root):
+    scan_dirs = ["src", "tests", "bench", "examples", "tools", "scripts"]
+    for d in scan_dirs:
+        for dirpath, _, files in os.walk(os.path.join(root, d)):
+            for f in files:
+                if f.endswith((".h", ".cc", ".cpp", ".py", ".md", ".txt")):
+                    yield os.path.join(dirpath, f)
+    for f in os.listdir(root):
+        if f.endswith(".md"):
+            yield os.path.join(root, f)
+
+
+# "DESIGN.md §10.2", "`DESIGN.md` §14" — an optional closing backtick may
+# sit between the filename and the section sigil.
+REF_RE = re.compile(r"DESIGN\.md`?\s*§(\d+(?:\.\d+)?)")
+
+
+def check_section_refs(root, sections, problems):
+    for path in iter_source_files(root):
+        rel = os.path.relpath(path, root)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                lines = fh.read().splitlines()
+        except (OSError, UnicodeDecodeError):
+            continue
+        for lineno, line in enumerate(lines, 1):
+            for m in REF_RE.finditer(line):
+                if m.group(1) not in sections:
+                    problems.append(
+                        f"{rel}:{lineno}: dangling reference DESIGN.md "
+                        f"§{m.group(1)} (no such section heading)")
+
+
+def check_bench_artifacts(root, problems):
+    experiments = open(os.path.join(root, "EXPERIMENTS.md"),
+                       encoding="utf-8").read()
+    for f in sorted(os.listdir(root)):
+        if f.startswith("BENCH_") and f.endswith(".json"):
+            if f not in experiments:
+                problems.append(
+                    f"{f}: benchmark artifact has no mention in "
+                    f"EXPERIMENTS.md (add the section that interprets it)")
+
+
+def check_experiment_index(root, problems):
+    design = open(os.path.join(root, "DESIGN.md"), encoding="utf-8").read()
+    m = re.search(r"^## 3\.\s.*?(?=^## \d+\.)", design, re.M | re.S)
+    if not m:
+        problems.append("DESIGN.md: cannot locate the §3 experiment index")
+        return
+    index = m.group(0)
+    on_disk = {f[:-3] for f in os.listdir(os.path.join(root, "bench"))
+               if f.startswith("bench_") and f.endswith(".cc")}
+    for name in sorted(on_disk):
+        if name not in index:
+            problems.append(
+                f"bench/{name}.cc: not listed in the DESIGN.md §3 "
+                f"experiment index")
+    for name in sorted(set(re.findall(r"bench_\w+", index))):
+        if name not in on_disk:
+            problems.append(
+                f"DESIGN.md §3: experiment index names {name} but "
+                f"bench/{name}.cc does not exist")
+
+
+def main():
+    root = os.path.abspath(
+        sys.argv[1] if len(sys.argv) > 1
+        else os.path.join(os.path.dirname(__file__), os.pardir))
+    problems = []
+    design = open(os.path.join(root, "DESIGN.md"), encoding="utf-8").read()
+    check_section_refs(root, design_sections(design), problems)
+    check_bench_artifacts(root, problems)
+    check_experiment_index(root, problems)
+    if problems:
+        return fail(problems)
+    print("check_docs: OK (section references, bench artifacts and the "
+          "experiment index are in sync)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,6 @@
 #include "gdh/distributed_plan.h"
 
+#include <cmath>
 #include <utility>
 
 #include "common/logging.h"
@@ -20,6 +21,8 @@ using algebra::ScanPlan;
 std::string PartName(size_t index) {
   return StrFormat("\x02part:%zu", index);
 }
+
+std::string OlapInputName() { return "\x02olap:in"; }
 
 const char* ExchangeStrategyName(ExchangeStrategy strategy) {
   switch (strategy) {
@@ -166,7 +169,8 @@ std::unique_ptr<Plan> MakePart(std::unique_ptr<Plan> subtree,
                                const std::string& second_table = "") {
   const size_t index = out->parts.size();
   const Schema schema = subtree->schema();
-  out->parts.push_back(LocalPart{table, second_table, std::move(subtree)});
+  out->parts.push_back(
+      LocalPart{table, second_table, std::move(subtree), nullptr, nullptr});
   std::unique_ptr<Plan> scan = ScanPlan::Create(PartName(index), schema);
   if (has_distinct) scan = DistinctPlan::Create(std::move(scan));
   return scan;
@@ -379,21 +383,25 @@ StatusOr<std::unique_ptr<Plan>> TryExchangeJoin(std::unique_ptr<Plan>& plan,
   return std::unique_ptr<Plan>(ScanPlan::Create(PartName(index), schema));
 }
 
-/// Decomposes Aggregate(local-candidate) into per-fragment partials plus
-/// a global combine + final projection. Returns null when the shape does
-/// not apply (caller falls back to gathering raw rows).
-StatusOr<std::unique_ptr<Plan>> TryAggregatePushdown(
-    std::unique_ptr<Plan>& plan, const DataDictionary& dictionary,
-    DistributedPlan* out) {
-  auto& agg = static_cast<AggregatePlan&>(*plan);
-  std::string table;
-  bool has_distinct = false;
-  if (!IsLocalCandidate(*plan->child(), dictionary, &table, &has_distinct) ||
-      has_distinct) {
-    return std::unique_ptr<Plan>();  // Distinct under aggregate: bail out.
-  }
+// For each original aggregate: indexes of its partial column(s) within
+// the partial-agg output (offset by the group count).
+struct CombineInfo {
+  AggFunc func;
+  size_t first;   // Partial column (sum for AVG).
+  size_t second;  // AVG only: partial count column.
+};
 
-  // Build the partial (per-fragment) aggregate.
+struct PartialAggregate {
+  std::unique_ptr<Plan> plan;  // Partial aggregate over the given child.
+  std::vector<CombineInfo> combine;
+};
+
+/// Builds the partial (per-fragment / per-producer) half of the
+/// distributive aggregate decomposition over `child`: group columns
+/// g0..gk-1 followed by partial state columns p0.. (AVG splits into
+/// SUM(x*1.0) + COUNT(x); the combine step re-folds it).
+StatusOr<PartialAggregate> BuildPartialAggregate(const AggregatePlan& agg,
+                                                 std::unique_ptr<Plan> child) {
   std::vector<std::unique_ptr<Expr>> partial_groups;
   std::vector<std::string> partial_group_names;
   for (size_t i = 0; i < agg.group_by().size(); ++i) {
@@ -401,13 +409,6 @@ StatusOr<std::unique_ptr<Plan>> TryAggregatePushdown(
     partial_group_names.push_back(StrFormat("g%zu", i));
   }
   std::vector<AggSpec> partial_aggs;
-  // For each original aggregate: indexes of its partial column(s) within
-  // the partial-agg output (offset by the group count).
-  struct CombineInfo {
-    AggFunc func;
-    size_t first;   // Partial column (sum for AVG).
-    size_t second;  // AVG only: partial count column.
-  };
   std::vector<CombineInfo> combine;
   for (const AggSpec& spec : agg.aggs()) {
     CombineInfo info{spec.func, partial_aggs.size(), 0};
@@ -435,17 +436,24 @@ StatusOr<std::unique_ptr<Plan>> TryAggregatePushdown(
     }
     combine.push_back(info);
   }
+  PartialAggregate out;
+  out.combine = std::move(combine);
   ASSIGN_OR_RETURN(auto partial_plan,
-                   AggregatePlan::Create(plan->TakeChild(0),
+                   AggregatePlan::Create(std::move(child),
                                          std::move(partial_groups),
                                          partial_group_names,
                                          std::move(partial_aggs)));
-  const Schema partial_schema = partial_plan->schema();
-  const size_t group_count = agg.group_by().size();
+  out.plan = std::move(partial_plan);
+  return out;
+}
 
-  // Global side: combine gathered partials.
-  std::unique_ptr<Plan> gathered =
-      MakePart(std::move(partial_plan), table, false, out);
+/// Builds the combining half over `child` (which produces partial-schema
+/// rows): a second aggregation merging partial states per group, then a
+/// final projection restoring the original output (folding AVG pairs).
+StatusOr<std::unique_ptr<Plan>> BuildCombineAggregate(
+    const AggregatePlan& agg, const Schema& partial_schema,
+    const std::vector<CombineInfo>& combine, std::unique_ptr<Plan> child) {
+  const size_t group_count = agg.group_by().size();
   std::vector<std::unique_ptr<Expr>> global_groups;
   std::vector<std::string> global_group_names;
   for (size_t i = 0; i < group_count; ++i) {
@@ -482,12 +490,11 @@ StatusOr<std::unique_ptr<Plan>> TryAggregatePushdown(
     }
   }
   ASSIGN_OR_RETURN(std::unique_ptr<Plan> combined,
-                   AggregatePlan::Create(std::move(gathered),
+                   AggregatePlan::Create(std::move(child),
                                          std::move(global_groups),
                                          global_group_names,
                                          std::move(global_aggs)));
 
-  // Final projection restores the original output (folding AVG pairs).
   const Schema& combined_schema = combined->schema();
   std::vector<std::unique_ptr<Expr>> proj;
   std::vector<std::string> names;
@@ -515,27 +522,275 @@ StatusOr<std::unique_ptr<Plan>> TryAggregatePushdown(
   ASSIGN_OR_RETURN(std::unique_ptr<ProjectPlan> final_proj,
                    ProjectPlan::Create(std::move(combined), std::move(proj),
                                        std::move(names)));
-  out->pushed_aggregate = true;
   return std::unique_ptr<Plan>(std::move(final_proj));
+}
+
+/// Decomposes Aggregate(local-candidate) into per-fragment partials plus
+/// a global combine + final projection. Returns null when the shape does
+/// not apply (caller falls back to gathering raw rows).
+StatusOr<std::unique_ptr<Plan>> TryAggregatePushdown(
+    std::unique_ptr<Plan>& plan, const DataDictionary& dictionary,
+    DistributedPlan* out) {
+  auto& agg = static_cast<AggregatePlan&>(*plan);
+  std::string table;
+  bool has_distinct = false;
+  if (!IsLocalCandidate(*plan->child(), dictionary, &table, &has_distinct) ||
+      has_distinct) {
+    return std::unique_ptr<Plan>();  // Distinct under aggregate: bail out.
+  }
+  ASSIGN_OR_RETURN(PartialAggregate partial,
+                   BuildPartialAggregate(agg, plan->TakeChild(0)));
+  const Schema partial_schema = partial.plan->schema();
+  std::unique_ptr<Plan> gathered =
+      MakePart(std::move(partial.plan), table, false, out);
+  ASSIGN_OR_RETURN(std::unique_ptr<Plan> final_plan,
+                   BuildCombineAggregate(agg, partial_schema, partial.combine,
+                                         std::move(gathered)));
+  out->pushed_aggregate = true;
+  return final_plan;
+}
+
+/// Deep-copies `plan`, substituting `replacement` for the (single) Scan
+/// of `name` — used to render OLAP merge plans with an Exchange-marked
+/// producer in place of their runtime input scan.
+std::unique_ptr<Plan> ReplaceScan(const Plan& plan, const std::string& name,
+                                  std::unique_ptr<Plan>& replacement) {
+  if (plan.kind() == PlanKind::kScan &&
+      static_cast<const ScanPlan&>(plan).table() == name) {
+    PRISMA_CHECK(replacement != nullptr);
+    return std::move(replacement);
+  }
+  std::unique_ptr<Plan> clone = plan.Clone();
+  for (size_t i = 0; i < plan.num_children(); ++i) {
+    clone->SetChild(i, ReplaceScan(*plan.child(i), name, replacement));
+  }
+  return clone;
+}
+
+/// Registers a multi-stage OLAP part and returns its global replacement
+/// scan. The display plan is the merge plan with its input scan replaced
+/// by an Exchange over the producer.
+std::unique_ptr<Plan> MakeOlapPart(std::shared_ptr<OlapSpec> spec,
+                                   std::unique_ptr<Plan> producer,
+                                   std::unique_ptr<Plan> merge,
+                                   algebra::ExchangePlan::Mode mode,
+                                   std::vector<size_t> exchange_keys,
+                                   DistributedPlan* out) {
+  spec->schema = merge->schema();
+  std::unique_ptr<Plan> marked = algebra::ExchangePlan::Create(
+      producer->Clone(), mode, std::move(exchange_keys));
+  std::unique_ptr<Plan> display =
+      ReplaceScan(*merge, OlapInputName(), marked);
+  spec->producer_plan = std::shared_ptr<const Plan>(std::move(producer));
+  spec->merge_plan = std::shared_ptr<const Plan>(std::move(merge));
+  const size_t index = out->parts.size();
+  const Schema schema = spec->schema;
+  LocalPart part;
+  part.table = spec->table;
+  part.plan = std::shared_ptr<const Plan>(std::move(display));
+  part.olap = std::move(spec);
+  out->parts.push_back(std::move(part));
+  ++out->olap_parts;
+  return ScanPlan::Create(PartName(index), schema);
+}
+
+/// Lowers Aggregate(local-candidate) with a non-empty GROUP BY onto the
+/// exchange layer (DESIGN.md §14.2): producers pre-aggregate per fragment
+/// (or ship base rows, when the cost model expects nearly one group per
+/// row) and shuffle by group key into one merge consumer per fragment;
+/// consumers combine partial states and reply with final disjoint group
+/// slices. Scalar aggregates (no GROUP BY) keep the gather-based
+/// pushdown: one partial row per fragment is already optimal. Returns the
+/// replacement part scan or null when the shape does not apply.
+StatusOr<std::unique_ptr<Plan>> TryOlapGroupBy(std::unique_ptr<Plan>& plan,
+                                               const DataDictionary& dictionary,
+                                               const OptimizerRules& rules,
+                                               DistributedPlan* out) {
+  auto& agg = static_cast<AggregatePlan&>(*plan);
+  if (agg.group_by().empty()) return std::unique_ptr<Plan>();
+  std::string table;
+  bool has_distinct = false;
+  if (!IsLocalCandidate(*plan->child(), dictionary, &table, &has_distinct) ||
+      has_distinct) {
+    return std::unique_ptr<Plan>();
+  }
+  auto info = dictionary.GetTable(table);
+  if (!info.ok() || (*info)->fragments.size() < 2) {
+    // One fragment has nothing to merge across; the pushdown path ships
+    // one partial slice and finishes at the coordinator.
+    return std::unique_ptr<Plan>();
+  }
+  const double fragments = static_cast<double>((*info)->fragments.size());
+  const double rows =
+      std::max(1.0, static_cast<double>((*info)->TotalRows()));
+  // No per-column NDV statistics exist in the dictionary; sqrt(rows) is
+  // the classic distinct-count guess, overridable per statement via
+  // rules.olap_agg_strategy.
+  const double est_groups = std::sqrt(rows);
+
+  bool pre_aggregate = true;
+  switch (rules.olap_agg_strategy) {
+    case OptimizerRules::OlapAggStrategy::kPreAggregate:
+      pre_aggregate = true;
+      break;
+    case OptimizerRules::OlapAggStrategy::kDirect:
+      pre_aggregate = false;
+      break;
+    case OptimizerRules::OlapAggStrategy::kAuto:
+      // Pre-aggregation ships <= fragments * groups partial rows; direct
+      // ships every base row once.
+      pre_aggregate = fragments * est_groups < rows;
+      break;
+  }
+  // Direct mode routes base rows by the first group column, so it needs
+  // that key to be a plain column of the producer output.
+  const Expr& g0 = *agg.group_by()[0];
+  const bool g0_is_column =
+      g0.kind() == algebra::ExprKind::kColumnRef && g0.bound();
+  if (!pre_aggregate && !g0_is_column) pre_aggregate = true;
+
+  auto spec = std::make_shared<OlapSpec>();
+  spec->kind = OlapSpec::Kind::kGroupBy;
+  spec->table = table;
+  spec->pre_aggregate = pre_aggregate;
+  spec->est_groups = est_groups;
+
+  std::unique_ptr<Plan> producer;
+  std::unique_ptr<Plan> merge;
+  if (pre_aggregate) {
+    ASSIGN_OR_RETURN(PartialAggregate partial,
+                     BuildPartialAggregate(agg, plan->TakeChild(0)));
+    const Schema partial_schema = partial.plan->schema();
+    producer = std::move(partial.plan);
+    spec->partition_column = 0;  // First group column of the partial rows.
+    ASSIGN_OR_RETURN(
+        merge, BuildCombineAggregate(
+                   agg, partial_schema, partial.combine,
+                   ScanPlan::Create(OlapInputName(), partial_schema)));
+    out->pushed_aggregate = true;
+  } else {
+    producer = plan->TakeChild(0);
+    spec->partition_column = g0.column_index();
+    // The merge consumer runs the original aggregate over its slice of
+    // base rows: same group key -> same consumer, so slices are disjoint
+    // and complete.
+    std::vector<std::unique_ptr<Expr>> groups;
+    std::vector<std::string> group_names;
+    for (size_t i = 0; i < agg.group_by().size(); ++i) {
+      groups.push_back(agg.group_by()[i]->Clone());
+      group_names.push_back(agg.schema().column(i).name);
+    }
+    std::vector<AggSpec> aggs;
+    aggs.reserve(agg.aggs().size());
+    for (const AggSpec& s : agg.aggs()) aggs.push_back(s.Clone());
+    ASSIGN_OR_RETURN(
+        auto merged,
+        AggregatePlan::Create(
+            ScanPlan::Create(OlapInputName(), producer->schema()),
+            std::move(groups), group_names, std::move(aggs)));
+    merge = std::move(merged);
+  }
+  std::vector<size_t> route = {spec->partition_column};
+  return MakeOlapPart(std::move(spec), std::move(producer), std::move(merge),
+                      algebra::ExchangePlan::Mode::kHashPartition,
+                      std::move(route), out);
+}
+
+/// Lowers Sort(local-candidate) with plain-column keys onto the exchange
+/// layer as a sample-based range-partitioned sort (DESIGN.md §14.3):
+/// stage 1 samples per-fragment quantiles, stage 2 range-shuffles base
+/// rows so consumer c receives exactly slice c of the global order, stage
+/// 3 sorts each slice locally; the coordinator stitches slices in order.
+/// Returns the replacement part scan or null when the shape does not
+/// apply.
+StatusOr<std::unique_ptr<Plan>> TryOlapSort(std::unique_ptr<Plan>& plan,
+                                            const DataDictionary& dictionary,
+                                            DistributedPlan* out) {
+  auto& sort = static_cast<algebra::SortPlan&>(*plan);
+  std::string table;
+  bool has_distinct = false;
+  if (!IsLocalCandidate(*plan->child(), dictionary, &table, &has_distinct) ||
+      has_distinct) {
+    // Distinct deduplicates per fragment only; a range shuffle would
+    // reunite duplicates by key, but proving that for every key shape is
+    // the global Distinct's job — keep it at the coordinator.
+    return std::unique_ptr<Plan>();
+  }
+  auto info = dictionary.GetTable(table);
+  if (!info.ok() || (*info)->fragments.size() < 2) {
+    return std::unique_ptr<Plan>();
+  }
+  std::vector<size_t> sort_columns;
+  std::vector<bool> sort_desc;
+  for (const algebra::SortKey& key : sort.keys()) {
+    if (key.expr->kind() != algebra::ExprKind::kColumnRef ||
+        !key.expr->bound()) {
+      return std::unique_ptr<Plan>();  // Computed keys: sort globally.
+    }
+    sort_columns.push_back(key.expr->column_index());
+    sort_desc.push_back(key.descending);
+  }
+  if (sort_columns.empty()) return std::unique_ptr<Plan>();
+
+  auto clone_keys = [&sort]() {
+    std::vector<algebra::SortKey> keys;
+    keys.reserve(sort.keys().size());
+    for (const algebra::SortKey& key : sort.keys()) {
+      keys.push_back(key.Clone());
+    }
+    return keys;
+  };
+
+  auto spec = std::make_shared<OlapSpec>();
+  spec->kind = OlapSpec::Kind::kSort;
+  spec->table = table;
+  spec->sort_columns = sort_columns;
+  spec->sort_desc = sort_desc;
+  spec->ordered = true;
+
+  std::unique_ptr<Plan> producer = plan->TakeChild(0);
+  // Sampling stage: the locally *sorted* candidate, so the OFM's evenly
+  // spaced thinning yields per-fragment quantiles.
+  ASSIGN_OR_RETURN(auto sample,
+                   algebra::SortPlan::Create(producer->Clone(), clone_keys()));
+  spec->sample_plan = std::shared_ptr<const Plan>(std::move(sample));
+  ASSIGN_OR_RETURN(
+      auto merge,
+      algebra::SortPlan::Create(
+          ScanPlan::Create(OlapInputName(), producer->schema()),
+          clone_keys()));
+  return MakeOlapPart(std::move(spec), std::move(producer), std::move(merge),
+                      algebra::ExchangePlan::Mode::kRange, sort_columns, out);
 }
 
 StatusOr<std::unique_ptr<Plan>> SplitNode(std::unique_ptr<Plan> plan,
                                           const DataDictionary& dictionary,
-                                          bool colocated_joins,
-                                          bool exchange_joins,
+                                          const OptimizerRules& rules,
                                           DistributedPlan* out) {
   if (plan->kind() == PlanKind::kAggregate) {
-    ASSIGN_OR_RETURN(std::unique_ptr<Plan> pushed,
-                     TryAggregatePushdown(plan, dictionary, out));
-    if (pushed != nullptr) return pushed;
+    if (rules.distributed_olap) {
+      ASSIGN_OR_RETURN(std::unique_ptr<Plan> lowered,
+                       TryOlapGroupBy(plan, dictionary, rules, out));
+      if (lowered != nullptr) return lowered;
+    }
+    if (rules.aggregate_pushdown) {
+      ASSIGN_OR_RETURN(std::unique_ptr<Plan> pushed,
+                       TryAggregatePushdown(plan, dictionary, out));
+      if (pushed != nullptr) return pushed;
+    }
+  }
+  if (plan->kind() == PlanKind::kSort && rules.distributed_olap) {
+    ASSIGN_OR_RETURN(std::unique_ptr<Plan> lowered,
+                     TryOlapSort(plan, dictionary, out));
+    if (lowered != nullptr) return lowered;
   }
   if (plan->kind() == PlanKind::kJoin) {
     // Co-located beats exchange: it decomposes with zero shipped tuples.
-    if (colocated_joins) {
+    if (rules.colocated_joins) {
       std::unique_ptr<Plan> part = TryColocatedJoin(plan, dictionary, out);
       if (part != nullptr) return part;
     }
-    if (exchange_joins) {
+    if (rules.exchange_joins) {
       ASSIGN_OR_RETURN(std::unique_ptr<Plan> part,
                        TryExchangeJoin(plan, dictionary, out));
       if (part != nullptr) return part;
@@ -547,9 +802,8 @@ StatusOr<std::unique_ptr<Plan>> SplitNode(std::unique_ptr<Plan> plan,
     return MakePart(std::move(plan), table, has_distinct, out);
   }
   for (size_t i = 0; i < plan->num_children(); ++i) {
-    ASSIGN_OR_RETURN(auto child,
-                     SplitNode(plan->TakeChild(i), dictionary,
-                               colocated_joins, exchange_joins, out));
+    ASSIGN_OR_RETURN(auto child, SplitNode(plan->TakeChild(i), dictionary,
+                                           rules, out));
     plan->SetChild(i, std::move(child));
   }
   return plan;
@@ -560,10 +814,19 @@ StatusOr<std::unique_ptr<Plan>> SplitNode(std::unique_ptr<Plan> plan,
 StatusOr<DistributedPlan> SplitPlanForFragments(
     std::unique_ptr<Plan> plan, const DataDictionary& dictionary,
     bool colocated_joins, bool exchange_joins) {
+  OptimizerRules rules;
+  rules.colocated_joins = colocated_joins;
+  rules.exchange_joins = exchange_joins;
+  rules.distributed_olap = false;
+  return SplitPlanForFragments(std::move(plan), dictionary, rules);
+}
+
+StatusOr<DistributedPlan> SplitPlanForFragments(
+    std::unique_ptr<Plan> plan, const DataDictionary& dictionary,
+    const OptimizerRules& rules) {
   DistributedPlan out;
-  ASSIGN_OR_RETURN(out.global, SplitNode(std::move(plan), dictionary,
-                                         colocated_joins, exchange_joins,
-                                         &out));
+  ASSIGN_OR_RETURN(out.global,
+                   SplitNode(std::move(plan), dictionary, rules, &out));
   return out;
 }
 

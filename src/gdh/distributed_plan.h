@@ -8,12 +8,18 @@
 #include "algebra/plan.h"
 #include "common/status.h"
 #include "gdh/data_dictionary.h"
+#include "gdh/optimizer.h"
 
 namespace prisma::gdh {
 
 /// Scan name used by the global plan to reference the gathered result of
 /// local part `i`.
 std::string PartName(size_t index);
+
+/// Scan name by which an OLAP merge plan references its shuffled-in rows
+/// (the merge consumer materializes its inbound channels under this name;
+/// DESIGN.md §14).
+std::string OlapInputName();
 
 /// How the streaming exchange layer (DESIGN.md §10) executes one
 /// non-colocated equi-join: which side(s) leave their producing PEs, and
@@ -56,6 +62,42 @@ struct ExchangeJoinSpec {
   double moved_rows = 0;
 };
 
+/// Everything the coordinator needs to run one exchange-lowered OLAP
+/// operator (global group-by or ORDER BY, DESIGN.md §14) as a multi-stage
+/// plan: producers at every fragment of `table` run `producer_plan` and
+/// shuffle its rows — by group key (kGroupBy) or by sampled range
+/// boundaries (kSort) — into one merge consumer per fragment; each
+/// consumer materializes its inbound slice under OlapInputName() and runs
+/// `merge_plan` over it, replying with final rows only. The coordinator
+/// never sees a base tuple.
+struct OlapSpec {
+  enum class Kind : uint8_t { kGroupBy, kSort };
+  Kind kind = Kind::kGroupBy;
+  std::string table;
+  /// Per-fragment producer plan (its Scan names the base table).
+  std::shared_ptr<const algebra::Plan> producer_plan;
+  /// Consumer-side merge plan (its Scan names OlapInputName()).
+  std::shared_ptr<const algebra::Plan> merge_plan;
+  /// kGroupBy: producers aggregate locally before the shuffle (the
+  /// partial/combine decomposition), vs shipping base rows directly.
+  bool pre_aggregate = false;
+  /// kGroupBy: column of the producer output hashed for routing. NULL
+  /// keys route to consumer 0 (a NULL group is still a group).
+  size_t partition_column = 0;
+  /// kSort: sort-key columns and per-key descending flags of the
+  /// producer output; also the comparator for boundary routing.
+  std::vector<size_t> sort_columns;
+  std::vector<bool> sort_desc;
+  /// kSort: per-fragment sampling plan (the sorted candidate; the OFM
+  /// thins its result to `ExecPlanRequest::sample_rows` quantiles).
+  std::shared_ptr<const algebra::Plan> sample_plan;
+  Schema schema;          // Part output schema (merge plan output).
+  double est_groups = 0;  // Cost-model estimate behind the strategy pick.
+  /// kSort: gathered slices, stitched in consumer order, are globally
+  /// ordered — the coordinator must preserve arrival-slice order.
+  bool ordered = false;
+};
+
 /// One fragment-parallel unit of a distributed query: a plan to run at
 /// every fragment of `table`, with its Scan node naming the *table* — the
 /// coordinator clones it per fragment and renames the scan.
@@ -73,6 +115,9 @@ struct LocalPart {
   std::string second_table;  // Empty for single-table parts.
   std::shared_ptr<const algebra::Plan> plan;
   std::shared_ptr<const ExchangeJoinSpec> exchange;
+  /// Set for a multi-stage OLAP part (group-by / sort over the exchange
+  /// layer); `plan` is then only the EXPLAIN rendering.
+  std::shared_ptr<const OlapSpec> olap;
 };
 
 /// A SELECT plan split for fragment-parallel execution (§2.2): the local
@@ -88,6 +133,8 @@ struct DistributedPlan {
   int colocated_joins = 0;
   /// Number of joins lowered to streaming exchanges.
   int exchange_joins = 0;
+  /// Number of group-by / sort operators lowered to multi-stage plans.
+  int olap_parts = 0;
 };
 
 /// Splits a logical plan. Maximal subtrees of the form
@@ -98,6 +145,13 @@ struct DistributedPlan {
 StatusOr<DistributedPlan> SplitPlanForFragments(
     std::unique_ptr<algebra::Plan> plan, const DataDictionary& dictionary,
     bool colocated_joins = true, bool exchange_joins = true);
+
+/// Rule-driven overload: additionally lowers global group-by and ORDER BY
+/// onto the exchange layer as multi-stage OLAP parts when
+/// `rules.distributed_olap` is set (DESIGN.md §14).
+StatusOr<DistributedPlan> SplitPlanForFragments(
+    std::unique_ptr<algebra::Plan> plan, const DataDictionary& dictionary,
+    const OptimizerRules& rules);
 
 /// Deep-copies `plan`, renaming every Scan of `from` to `to` (used to
 /// retarget a local part at one fragment).

@@ -130,6 +130,11 @@ struct ExecPlanRequest {
   bool profile = false;
   /// Fragment-local execution mode (row-at-a-time or vectorized).
   exec::ExecMode exec_mode = exec::ExecMode::kRow;
+  /// Non-zero: a *sampling* request (distributed sort, DESIGN.md §14.3).
+  /// The OFM thins the plan's result to at most this many evenly spaced
+  /// rows before replying, so the coordinator sees bounded per-fragment
+  /// quantiles instead of a base-tuple gather.
+  uint64_t sample_rows = 0;
 
   int64_t WireBits() const {
     return kControlBits +
@@ -144,6 +149,9 @@ struct ExecPlanReply {
   std::shared_ptr<std::vector<Tuple>> tuples;
   /// Set when the request asked for profiling.
   std::shared_ptr<obs::OperatorProfile> profile;
+  /// Shuffle producers: first-transmission data-plane bits of the shuffle
+  /// this reply settles (feeds olap.shuffle_bits; zero for plain plans).
+  uint64_t shuffle_wire_bits = 0;
 
   int64_t WireBits() const {
     return kControlBits + (tuples ? TuplesBits(*tuples) : 0) +
@@ -191,7 +199,7 @@ struct WriteReply {
 /// so the coordinator's hardened-RPC machinery (retransmit, dedup,
 /// degrade-to-Unavailable) covers shuffles exactly like plain plans.
 struct ShufflePlanRequest {
-  enum class Mode : uint8_t { kHash, kBroadcast };
+  enum class Mode : uint8_t { kHash, kBroadcast, kRange };
   uint64_t request_id = 0;
   /// Identifies the exchange (one per lowered join part) and this
   /// producer's role in it; consumers use these to route batches onto the
@@ -203,6 +211,19 @@ struct ShufflePlanRequest {
   Mode mode = Mode::kHash;
   /// Hash mode: column of the plan's output schema to partition on.
   size_t partition_column = 0;
+  /// Hash mode: route NULL partition keys to consumer 0 instead of
+  /// dropping them. Join shuffles drop NULLs (they can never match an
+  /// equi-join); group-by shuffles must keep them (NULL is a real group,
+  /// DESIGN.md §14.2).
+  bool keep_nulls = false;
+  /// Range mode (distributed sort, DESIGN.md §14.3): the sort key —
+  /// columns of the plan's output schema with per-key descending flags —
+  /// and `consumers.size() - 1` boundary key-tuples splitting the key
+  /// space into consecutive slices. Row r routes to the number of
+  /// boundaries <= r's key (binary search with the query's comparator).
+  std::vector<size_t> sort_columns;
+  std::vector<bool> sort_desc;
+  std::shared_ptr<const std::vector<Tuple>> boundaries;
   std::vector<pool::ProcessId> consumers;
   uint64_t batch_rows = 64;     // Max tuples per batch.
   uint64_t credit_window = 4;   // Batches in flight per channel.
@@ -212,8 +233,10 @@ struct ShufflePlanRequest {
   exec::ExecMode exec_mode = exec::ExecMode::kRow;
 
   int64_t WireBits() const {
-    return kControlBits +
-           static_cast<int64_t>(plan->TreeSize()) * kPlanNodeBits;
+    int64_t bits = kControlBits +
+                   static_cast<int64_t>(plan->TreeSize()) * kPlanNodeBits;
+    if (boundaries != nullptr) bits += TuplesBits(*boundaries);
+    return bits;
   }
 };
 
@@ -250,6 +273,23 @@ struct TupleBatchMsg {
 /// and fixpoint partitions) funnel through this helper so the two wire
 /// formats stay interchangeable.
 StatusOr<std::vector<Tuple>> TupleBatchRows(const TupleBatchMsg& msg);
+
+/// Lexicographic comparison of two already-projected sort-key tuples
+/// under per-key descending flags — exactly the ordering exec::Executor's
+/// Sort operator uses (Value::Compare per key, sign flipped for DESC), so
+/// range routing, boundary selection and the merged output all agree.
+int CompareSortKeyTuples(const Tuple& a, const Tuple& b,
+                         const std::vector<bool>& desc);
+
+/// Projects `row` onto the sort-key columns.
+Tuple SortKeyOf(const Tuple& row, const std::vector<size_t>& columns);
+
+/// Range-partition routing (DESIGN.md §14.3): the slice index of `row`
+/// among `boundaries.size() + 1` consecutive key slices = the number of
+/// boundary keys <= the row's key (binary search).
+size_t RangeSliceOf(const Tuple& row, const std::vector<size_t>& columns,
+                    const std::vector<bool>& desc,
+                    const std::vector<Tuple>& boundaries);
 
 /// Consumer -> producer: cumulative acknowledgement for one channel.
 /// `ack` is the highest sequence number delivered in order; the producer

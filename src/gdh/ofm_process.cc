@@ -303,8 +303,20 @@ void OfmProcess::HandleExecPlan(const pool::Mail& mail) {
     }
   }
   if (result.ok()) {
-    reply->tuples =
-        std::make_shared<std::vector<Tuple>>(std::move(result).value());
+    std::vector<Tuple> rows = std::move(result).value();
+    if (request->sample_rows > 0 && rows.size() > request->sample_rows) {
+      // Sampling request (distributed sort, DESIGN.md §14.3): keep
+      // `sample_rows` evenly spaced rows of the (sorted) local result —
+      // per-fragment quantiles — so the reply stays bounded instead of
+      // gathering the fragment.
+      std::vector<Tuple> sample;
+      sample.reserve(request->sample_rows);
+      for (uint64_t i = 0; i < request->sample_rows; ++i) {
+        sample.push_back(rows[i * rows.size() / request->sample_rows]);
+      }
+      rows = std::move(sample);
+    }
+    reply->tuples = std::make_shared<std::vector<Tuple>>(std::move(rows));
     if (profile.has_value()) {
       reply->profile =
           std::make_shared<obs::OperatorProfile>(std::move(*profile));
@@ -368,15 +380,37 @@ void OfmProcess::HandleShufflePlan(const pool::Mail& mail) {
   if (request->mode == ShufflePlanRequest::Mode::kBroadcast) {
     for (size_t c = 0; c + 1 < consumers; ++c) partitions[c] = rows;
     partitions[consumers - 1] = std::move(rows);
+  } else if (request->mode == ShufflePlanRequest::Mode::kRange) {
+    // Range routing (distributed sort, DESIGN.md §14.3): binary search of
+    // the row's sort key over the coordinator's sampled boundaries, with
+    // the query's own comparator, so consumer c holds exactly slice c of
+    // the global order.
+    static const std::vector<Tuple> kNoBoundaries;
+    const std::vector<Tuple>& boundaries =
+        request->boundaries != nullptr ? *request->boundaries : kNoBoundaries;
+    uint64_t probes = 1;
+    for (size_t n = boundaries.size(); n > 0; n /= 2) ++probes;
+    ChargeCpu(static_cast<sim::SimTime>(rows.size()) * probes *
+              costs.compare_ns);
+    for (Tuple& tuple : rows) {
+      const size_t slice = RangeSliceOf(tuple, request->sort_columns,
+                                        request->sort_desc, boundaries);
+      partitions[std::min(slice, consumers - 1)].push_back(std::move(tuple));
+    }
   } else {
     // Same routing function as the stationary hash fragmenter
     // (Fragmenter::HashFragment), so a shuffled side lands on the
     // fragments that already hold the anchor table's matching keys.
-    // NULL keys are dropped: they can never satisfy an equi-join.
+    // Join shuffles drop NULL keys (they can never satisfy an equi-join);
+    // group-by shuffles set keep_nulls — NULL is a real group — and route
+    // them to consumer 0 (every producer agrees, so the group merges once).
     ChargeCpu(static_cast<sim::SimTime>(rows.size()) * costs.hash_ns);
     for (Tuple& tuple : rows) {
       const Value& key = tuple.at(request->partition_column);
-      if (key.is_null()) continue;
+      if (key.is_null()) {
+        if (request->keep_nulls) partitions[0].push_back(std::move(tuple));
+        continue;
+      }
       partitions[key.Hash() % consumers].push_back(std::move(tuple));
     }
   }
@@ -409,15 +443,19 @@ void OfmProcess::HandleShufflePlan(const pool::Mail& mail) {
   auto [it, inserted] = shuffles_->emplace(token, std::move(state));
   PRISMA_CHECK(inserted);
   PumpShuffle(it->second);
-  SendSelfAfter(it->second.retry_delay, kMailBatchResend,
-                std::make_shared<uint64_t>(token));
+  it->second.resend_timer =
+      SendSelfAfter(it->second.retry_delay, kMailBatchResend,
+                    std::make_shared<uint64_t>(token));
 }
 
 void OfmProcess::PumpShuffle(ShuffleState& state) {
   for (ShuffleChannel& sc : state.channels) {
     bool sent = false;
     while (const exec::TupleBatch* batch = sc.channel.TakeNextToSend()) {
-      SendBatch(state, sc, *batch);
+      // Only first transmissions count toward the shuffle's modelled
+      // data-plane bits; retransmissions are repair, not payload.
+      state.wire_bits +=
+          static_cast<uint64_t>(SendBatch(state, sc, *batch));
       sent = true;
     }
     // A drain that halted at the window edge (rather than running out of
@@ -431,9 +469,9 @@ void OfmProcess::PumpShuffle(ShuffleState& state) {
   }
 }
 
-void OfmProcess::SendBatch(const ShuffleState& state,
-                           const ShuffleChannel& channel,
-                           const exec::TupleBatch& batch) {
+int64_t OfmProcess::SendBatch(const ShuffleState& state,
+                              const ShuffleChannel& channel,
+                              const exec::TupleBatch& batch) {
   auto msg = std::make_shared<TupleBatchMsg>();
   msg->exchange_id = state.exchange_id;
   msg->side = state.side;
@@ -460,6 +498,7 @@ void OfmProcess::SendBatch(const ShuffleState& state,
     m_wire_bits_->Increment(bits);
   }
   SendMail(channel.consumer, kMailTupleBatch, std::move(msg), bits);
+  return bits;
 }
 
 void OfmProcess::HandleBatchAck(const pool::Mail& mail) {
@@ -539,14 +578,18 @@ void OfmProcess::HandleBatchResend(const pool::Mail& mail) {
   PumpShuffle(state);
   state.retry_delay =
       std::min(state.retry_delay * 2, config_.batch_backoff_cap_ns);
-  SendSelfAfter(state.retry_delay, kMailBatchResend,
-                std::make_shared<uint64_t>(token));
+  state.resend_timer = SendSelfAfter(state.retry_delay, kMailBatchResend,
+                                     std::make_shared<uint64_t>(token));
 }
 
 void OfmProcess::FinishShuffle(uint64_t token, Status status) {
   auto it = shuffles_->find(token);
   if (it == shuffles_->end()) return;
   ShuffleState& state = it->second;
+  // A settled shuffle must not leave its resend timer in the event queue:
+  // the fault-free backoff is seconds-scale, and a pending tombstone-less
+  // event would pad every drain-to-empty makespan measurement by that much.
+  runtime()->simulator()->Cancel(state.resend_timer);
   for (ShuffleChannel& sc : state.channels) {
     if (sc.credit_gauge != nullptr) sc.credit_gauge->Set(0);
   }
@@ -554,6 +597,7 @@ void OfmProcess::FinishShuffle(uint64_t token, Status status) {
   reply->request_id = state.request_id;
   reply->fragment = config_.fragment_name;
   reply->status = std::move(status);
+  reply->shuffle_wire_bits = state.wire_bits;
   // Cached, unlike plain plan replies: a shuffle completion is control-
   // sized, and re-running the shuffle for a duplicated request would
   // re-stream every batch at the consumers.

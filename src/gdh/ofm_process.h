@@ -173,13 +173,21 @@ class OfmProcess : public pool::Process {
     std::vector<ShuffleChannel> channels;
     int attempts = 0;           // Timer firings without window progress.
     sim::SimTime retry_delay = 0;
+    /// Pending kMailBatchResend timer; cancelled when the shuffle settles
+    /// so a finished statement leaves no event-queue tail behind.
+    sim::EventId resend_timer = 0;
+    /// First-transmission data-plane bits (retransmissions excluded);
+    /// reported to the coordinator in the settling reply so olap.* wire
+    /// accounting reflects the modelled payload, not retry luck.
+    uint64_t wire_bits = 0;
   };
 
   /// Transmits every sendable batch on every channel of `state`, counting
   /// stalls when a channel runs out of credit mid-drain.
   void PumpShuffle(ShuffleState& state);
-  void SendBatch(const ShuffleState& state, const ShuffleChannel& channel,
-                 const exec::TupleBatch& batch);
+  /// Returns the modelled wire bits of the transmitted batch.
+  int64_t SendBatch(const ShuffleState& state, const ShuffleChannel& channel,
+                    const exec::TupleBatch& batch);
   /// Answers the coordinator (cached) and discards the shuffle state.
   void FinishShuffle(uint64_t token, Status status);
   void RegisterExchangeMetrics();

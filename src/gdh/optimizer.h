@@ -35,6 +35,25 @@ struct OptimizerRules {
   /// the fragments (DESIGN.md §10) — instead of shipping whole inputs to
   /// the coordinator (consumed by the plan splitter).
   bool exchange_joins = true;
+  /// Compute partial aggregates inside the fragments and combine them at
+  /// the coordinator instead of gathering base tuples (consumed by the
+  /// plan splitter). Off = the base-tuple gather baseline used by the
+  /// OLAP wire-cost comparisons (EXPERIMENTS.md E14).
+  bool aggregate_pushdown = true;
+  /// Lower global group-by and ORDER BY onto the exchange layer as
+  /// multi-stage plans (DESIGN.md §14): per-fragment pre-aggregation +
+  /// shuffle-by-group-key into merge consumers, and sample-based range
+  /// partitioning for distributed sort. Off = the gather baseline (the
+  /// coordinator merges fragment results itself).
+  bool distributed_olap = true;
+  /// How a distributed group-by ships rows (consumed by the splitter's
+  /// cost model): pre-aggregate per fragment before the shuffle, ship
+  /// base rows directly to the merge consumers, or let the estimated
+  /// group count decide (kAuto).
+  enum class OlapAggStrategy : uint8_t { kAuto, kPreAggregate, kDirect };
+  OlapAggStrategy olap_agg_strategy = OlapAggStrategy::kAuto;
+  /// Per-fragment quantile sample size for range-partitioned sorts.
+  uint64_t olap_sample_rows = 16;
 };
 
 struct OptimizerReport {

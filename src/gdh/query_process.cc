@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "gdh/exchange_process.h"
 #include "gdh/fixpoint_process.h"
+#include "gdh/olap_process.h"
 #include "prismalog/engine.h"
 #include "prismalog/parser.h"
 #include "sql/binder.h"
@@ -280,6 +281,25 @@ void QueryProcess::Reply(Status status, Schema schema,
     config_.metrics->GetCounter("query.fragments_contacted", q)
         ->Increment(completed_);
     config_.metrics->GetGauge("query.response_ns", q)->Set(now - start_time_);
+    config_.metrics->GetGauge("query.last_gather_bits")->Set(gather_bits_);
+    if (!olap_work_.empty()) {
+      // Wire accounting of the multi-stage OLAP path (DESIGN.md §14.4):
+      // shuffle = producer -> merge first transmissions, gather = merge
+      // -> coordinator final rows, sample = quantile rows of sort parts.
+      config_.metrics->GetCounter("olap.parts", q)
+          ->Increment(olap_work_.size());
+      config_.metrics->GetCounter("olap.shuffle_bits", q)
+          ->Increment(olap_shuffle_bits_);
+      config_.metrics->GetCounter("olap.gather_bits", q)
+          ->Increment(olap_gather_bits_);
+      config_.metrics->GetCounter("olap.sample_rows", q)
+          ->Increment(olap_sample_rows_);
+      // Unlabeled "last query" figures for benches and tests.
+      config_.metrics->GetGauge("olap.last_shuffle_bits")
+          ->Set(olap_shuffle_bits_);
+      config_.metrics->GetGauge("olap.last_gather_bits")
+          ->Set(olap_gather_bits_);
+    }
   }
   if (config_.tracer != nullptr && config_.tracer->enabled()) {
     config_.tracer->Span(
@@ -337,10 +357,15 @@ void QueryProcess::StartSql() {
     return;
   }
 
-  auto split =
-      SplitPlanForFragments(std::move(optimized).value(), *config_.dictionary,
-                            config_.rules.colocated_joins,
-                            config_.rules.exchange_joins);
+  OptimizerRules split_rules = config_.rules;
+  if (analyze_) {
+    // EXPLAIN ANALYZE measures per-fragment operator profiles, which only
+    // the plain gather path reports (streamed OLAP stages reply with
+    // final rows, no profile); measure the gather-based decomposition.
+    split_rules.distributed_olap = false;
+  }
+  auto split = SplitPlanForFragments(std::move(optimized).value(),
+                                     *config_.dictionary, split_rules);
   if (!split.ok()) {
     Reply(split.status(), Schema(), nullptr);
     return;
@@ -378,6 +403,23 @@ void QueryProcess::StartSql() {
       std::vector<int> all;
       all.reserve(anchor->fragments.size());
       for (size_t f = 0; f < anchor->fragments.size(); ++f) {
+        all.push_back(static_cast<int>(f));
+      }
+      part_fragments_.push_back(std::move(all));
+      continue;
+    }
+    if (part.olap != nullptr) {
+      // Multi-stage OLAP part: producers run at every fragment of the
+      // table and a merge consumer anchors on each, so lock them all.
+      auto info = config_.dictionary->GetTable(part.olap->table);
+      if (!info.ok()) {
+        Reply(info.status(), Schema(), nullptr);
+        return;
+      }
+      std::vector<int> all;
+      all.reserve((*info)->fragments.size());
+      for (size_t f = 0; f < (*info)->fragments.size(); ++f) {
+        resources.insert((*info)->fragments[f].name);
         all.push_back(static_cast<int>(f));
       }
       part_fragments_.push_back(std::move(all));
@@ -457,6 +499,11 @@ void QueryProcess::Scatter() {
         // executed artifact, and their gather is fed by dedicated
         // consumers rather than a shareable per-fragment scan.
         consumer_replies += ScatterExchangePart(i);
+        continue;
+      }
+      if (part.olap != nullptr) {
+        // OLAP parts bypass CSE for the same reason.
+        consumer_replies += ScatterOlapPart(i);
         continue;
       }
       if (config_.rules.detect_common_subexpressions) {
@@ -625,6 +672,176 @@ size_t QueryProcess::ScatterExchangePart(size_t part_index) {
   return consumers.size();
 }
 
+size_t QueryProcess::ScatterOlapPart(size_t part_index) {
+  const LocalPart& part = split_.parts[part_index];
+  const OlapSpec& olap = *part.olap;
+  auto info_or = config_.dictionary->GetTable(olap.table);
+  PRISMA_CHECK(info_or.ok());
+  const TableInfo& table = **info_or;
+  const size_t fragments = table.fragments.size();
+  OlapPartWork& state = olap_work_[part_index];
+  state.slices.assign(fragments, {});
+
+  if (olap.kind == OlapSpec::Kind::kSort) {
+    // Stage 1 (DESIGN.md §14.3): every fragment runs the sorted candidate
+    // thinned to `olap_sample_rows` quantiles — plain hardened-RPC reads
+    // whose replies vote the sample barrier instead of joining the
+    // gather buffer. Stage 2 (producers + merges) launches at the
+    // barrier, so the gather waits for 2 * fragments replies beyond the
+    // sampling work entries appended here.
+    state.samples.Begin(1, fragments);
+    for (size_t f = 0; f < fragments; ++f) {
+      const FragmentInfo& frag = table.fragments[f];
+      const int replica = ChooseReadReplica(frag);
+      FragmentWork w;
+      w.ofm = frag.ReplicaOfm(replica);
+      w.plan = std::shared_ptr<const algebra::Plan>(CloneWithScanRenamed(
+          *olap.sample_plan, olap.table, frag.ReplicaName(replica)));
+      w.part = part_index;
+      w.table = olap.table;
+      w.fragment = frag.name;
+      w.replica = replica;
+      w.sample_rows = std::max<uint64_t>(1, config_.rules.olap_sample_rows);
+      w.sample_slice = f;
+      work_->push_back(std::move(w));
+    }
+    return 2 * fragments;
+  }
+  // Group-by: no sampling stage — consumers and producers start at once.
+  // The producers become ordinary work entries (counted by the caller);
+  // only the merge replies are extra.
+  LaunchOlapShuffle(part_index, nullptr, /*send_now=*/false);
+  return fragments;
+}
+
+void QueryProcess::LaunchOlapShuffle(
+    size_t part_index, std::shared_ptr<const std::vector<Tuple>> boundaries,
+    bool send_now) {
+  const LocalPart& part = split_.parts[part_index];
+  const OlapSpec& olap = *part.olap;
+  auto info_or = config_.dictionary->GetTable(olap.table);
+  PRISMA_CHECK(info_or.ok());
+  const TableInfo& table = **info_or;
+  const size_t fragments = table.fragments.size();
+  // Statement-unique exchange id, same convention as exchange joins.
+  const uint64_t exchange_id = (config_.statement->request_id << 16) |
+                               static_cast<uint64_t>(part_index);
+
+  // One merge consumer per fragment, co-located with whichever replica
+  // currently serves reads (the input arrives over channels; co-location
+  // just spreads merge CPU across the machine).
+  std::vector<pool::ProcessId> consumers;
+  consumers.reserve(fragments);
+  const Schema input_schema = olap.producer_plan->schema();
+  for (size_t c = 0; c < fragments; ++c) {
+    const FragmentInfo& frag = table.fragments[c];
+    const int replica = ChooseReadReplica(frag);
+    OlapMergeProcess::Config cc;
+    cc.exchange_id = exchange_id;
+    cc.index = c;
+    cc.fragment = frag.ReplicaName(replica);
+    cc.coordinator = self();
+    cc.reply_request_id = next_request_id_++;
+    cc.producers = fragments;
+    cc.input_schema = input_schema;
+    cc.merge_plan = olap.merge_plan;
+    cc.expr_mode = config_.expr_mode;
+    cc.exec_mode = config_.exec_mode;
+    cc.costs = config_.costs;
+    cc.credit_window = config_.exchange_credit_window;
+    cc.reply_resend_ns = config_.stmt_done_resend_ns;
+    cc.metrics = config_.metrics;
+    request_part_[cc.reply_request_id] = part_index;
+    olap_merge_of_[cc.reply_request_id] = {part_index, c};
+    const pool::ProcessId pid = runtime()->Spawn(
+        frag.ReplicaPe(replica),
+        std::make_unique<OlapMergeProcess>(std::move(cc)));
+    consumer_pids_.push_back(pid);
+    consumers.push_back(pid);
+  }
+
+  // One shuffle producer per fragment, through the hardened-RPC path.
+  for (size_t f = 0; f < fragments; ++f) {
+    const FragmentInfo& frag = table.fragments[f];
+    const int replica = ChooseReadReplica(frag);
+    auto request = std::make_shared<ShufflePlanRequest>();
+    request->request_id = next_request_id_++;
+    request->exchange_id = exchange_id;
+    request->side = 0;
+    request->producer = f;
+    request->plan = std::shared_ptr<const algebra::Plan>(CloneWithScanRenamed(
+        *olap.producer_plan, olap.table, frag.ReplicaName(replica)));
+    if (olap.kind == OlapSpec::Kind::kSort) {
+      request->mode = ShufflePlanRequest::Mode::kRange;
+      request->sort_columns = olap.sort_columns;
+      request->sort_desc = olap.sort_desc;
+      request->boundaries = boundaries;
+    } else {
+      request->mode = ShufflePlanRequest::Mode::kHash;
+      request->partition_column = olap.partition_column;
+      // A NULL group key is still a group (unlike a join key, which can
+      // never match): route NULLs to consumer 0 instead of dropping.
+      request->keep_nulls = true;
+    }
+    request->consumers = consumers;
+    request->batch_rows = config_.exchange_batch_rows;
+    request->credit_window = config_.exchange_credit_window;
+    request->exec_mode = config_.exec_mode;
+    olap_producer_ids_.insert(request->request_id);
+    FragmentWork w;
+    w.ofm = frag.ReplicaOfm(replica);
+    w.plan = request->plan;
+    w.part = part_index;
+    w.table = olap.table;
+    w.fragment = frag.name;
+    w.replica = replica;
+    w.shuffle = request;
+    work_->push_back(std::move(w));
+  }
+  if (send_now && config_.rules.parallel_fragments) {
+    while (next_work_ < work_->size()) SendNextFragmentPlan();
+  }
+  // Sequential mode picks the new entries up through the reply-driven
+  // cursor in HandlePlanReply.
+}
+
+void QueryProcess::HandleOlapSample(size_t part_index, size_t slice,
+                                    const ExecPlanReply& reply) {
+  auto it = olap_work_.find(part_index);
+  if (it == olap_work_.end()) return;
+  OlapPartWork& state = it->second;
+  const OlapSpec& olap = *split_.parts[part_index].olap;
+  if (!state.samples.Vote(1, static_cast<int>(slice))) return;
+  if (reply.tuples != nullptr) {
+    olap_sample_rows_ += reply.tuples->size();
+    for (const Tuple& row : *reply.tuples) {
+      state.sample_keys.push_back(SortKeyOf(row, olap.sort_columns));
+    }
+  }
+  if (!state.samples.complete()) return;
+
+  // Stage boundary: pool the per-fragment quantiles into K-1 range
+  // boundaries splitting the key space into roughly equal slices.
+  // Producers route a row to the count of boundaries <= its key, so
+  // consumer c receives exactly slice c of the global order.
+  std::sort(state.sample_keys.begin(), state.sample_keys.end(),
+            [&olap](const Tuple& a, const Tuple& b) {
+              return CompareSortKeyTuples(a, b, olap.sort_desc) < 0;
+            });
+  ChargeCpu(static_cast<sim::SimTime>(state.sample_keys.size()) *
+            config_.costs.compare_ns);
+  const size_t consumers = state.slices.size();
+  auto bounds = std::make_shared<std::vector<Tuple>>();
+  if (!state.sample_keys.empty()) {
+    for (size_t c = 1; c < consumers; ++c) {
+      bounds->push_back(
+          state.sample_keys[c * state.sample_keys.size() / consumers]);
+    }
+  }
+  state.sample_keys.clear();
+  LaunchOlapShuffle(part_index, std::move(bounds), /*send_now=*/true);
+}
+
 void QueryProcess::SendNextFragmentPlan() {
   const size_t index = next_work_++;
   const FragmentWork& w = (*work_)[index];
@@ -640,6 +857,10 @@ void QueryProcess::SendNextFragmentPlan() {
   request->plan = w.plan;
   request->profile = analyze_;
   request->exec_mode = config_.exec_mode;
+  request->sample_rows = w.sample_rows;
+  if (w.sample_rows > 0) {
+    olap_sample_of_[request->request_id] = {w.part, w.sample_slice};
+  }
   request_part_[request->request_id] = w.part;
   ++outstanding_;
   SendRpc(request->request_id, kMailExecPlan, request, request->WireBits(),
@@ -660,11 +881,37 @@ void QueryProcess::HandlePlanReply(const pool::Mail& mail) {
     Reply(reply->status, Schema(), nullptr);
     return;
   }
-  if (reply->tuples != nullptr) {
+  if (olap_producer_ids_.erase(reply->request_id) > 0) {
+    // OLAP shuffle producer settled: attribute its first-transmission
+    // data-plane bits (retransmissions excluded by the OFM).
+    olap_shuffle_bits_ += reply->shuffle_wire_bits;
+  }
+  if (auto sample = olap_sample_of_.find(reply->request_id);
+      sample != olap_sample_of_.end()) {
+    const auto [p, slice] = sample->second;
+    olap_sample_of_.erase(sample);
+    HandleOlapSample(p, slice, *reply);
+  } else if (auto merge = olap_merge_of_.find(reply->request_id);
+             merge != olap_merge_of_.end()) {
+    const auto [p, slice] = merge->second;
+    olap_merge_of_.erase(merge);
+    if (reply->tuples != nullptr) {
+      ChargeCpu(static_cast<sim::SimTime>(reply->tuples->size()) *
+                config_.costs.tuple_ns);
+      tuples_gathered_ += reply->tuples->size();
+      olap_gather_bits_ += static_cast<uint64_t>(reply->WireBits());
+      auto it_state = olap_work_.find(p);
+      if (it_state != olap_work_.end() &&
+          slice < it_state->second.slices.size()) {
+        it_state->second.slices[slice] = *reply->tuples;
+      }
+    }
+  } else if (reply->tuples != nullptr) {
     // Merging gathered tuples costs coordinator CPU.
     ChargeCpu(static_cast<sim::SimTime>(reply->tuples->size()) *
               config_.costs.tuple_ns);
     tuples_gathered_ += reply->tuples->size();
+    gather_bits_ += static_cast<uint64_t>(reply->WireBits());
     auto& sink = (*gathered_)[part];
     sink.insert(sink.end(), reply->tuples->begin(), reply->tuples->end());
   }
@@ -685,6 +932,26 @@ void QueryProcess::HandlePlanReply(const pool::Mail& mail) {
 }
 
 void QueryProcess::FinishGather() {
+  // Stitch OLAP merge slices into their parts' gather buffers. Sort
+  // slices concatenate in consumer order (consumer c holds range slice c
+  // of the global order). Group-by slices are disjoint group sets whose
+  // keys interleave across consumers; sorting the concatenation restores
+  // the single-node aggregate's output order (its group map iterates in
+  // ascending key order, group rows are unique on their leading key
+  // columns, so whole-tuple order IS group-key order).
+  for (auto& [part, state] : olap_work_) {
+    auto& sink = (*gathered_)[part];
+    for (std::vector<Tuple>& slice : state.slices) {
+      sink.insert(sink.end(), std::make_move_iterator(slice.begin()),
+                  std::make_move_iterator(slice.end()));
+      slice.clear();
+    }
+    if (split_.parts[part].olap->kind == OlapSpec::Kind::kGroupBy) {
+      std::sort(sink.begin(), sink.end());
+      ChargeCpu(static_cast<sim::SimTime>(sink.size()) *
+                config_.costs.compare_ns);
+    }
+  }
   // Materialize shared results for deduplicated parts.
   for (size_t i = 0; i < duplicate_of_.size(); ++i) {
     if (duplicate_of_[i] != SIZE_MAX) {
@@ -748,12 +1015,14 @@ void QueryProcess::ReplyExplain() {
   };
   emit(StrFormat("optimizer: %d selection(s) pushed, %d join reorder(s), "
                  "%d common subtree(s), aggregate pushdown: %s, "
-                 "co-located joins: %d, exchange joins: %d",
+                 "co-located joins: %d, exchange joins: %d, "
+                 "olap parts: %d",
                  optimizer_report_.selections_pushed,
                  optimizer_report_.joins_reordered,
                  optimizer_report_.common_subtrees,
                  split_.pushed_aggregate ? "yes" : "no",
-                 split_.colocated_joins, split_.exchange_joins));
+                 split_.colocated_joins, split_.exchange_joins,
+                 split_.olap_parts));
   emit("global plan (runs at the query coordinator):");
   for (const std::string& line :
        Split(split_.global->ToString(), '\n')) {
@@ -761,6 +1030,30 @@ void QueryProcess::ReplyExplain() {
   }
   for (size_t i = 0; i < split_.parts.size(); ++i) {
     const LocalPart& part = split_.parts[i];
+    if (part.olap != nullptr) {
+      const OlapSpec& olap = *part.olap;
+      auto info = config_.dictionary->GetTable(olap.table);
+      const size_t fan = info.ok() ? (*info)->fragments.size() : 0;
+      if (olap.kind == OlapSpec::Kind::kGroupBy) {
+        emit(StrFormat(
+            "part %zu (olap group-by over %s, %s + shuffle-by-key, "
+            "%zu fragment(s), %zu merge consumer(s), ~%.0f group(s)):",
+            i, olap.table.c_str(),
+            olap.pre_aggregate ? "pre-aggregate" : "direct",
+            fan, fan, olap.est_groups));
+      } else {
+        emit(StrFormat(
+            "part %zu (olap sort over %s, sample-based range partition, "
+            "%zu fragment(s), %zu merge consumer(s), %llu sample "
+            "row(s)/fragment):",
+            i, olap.table.c_str(), fan, fan,
+            static_cast<unsigned long long>(config_.rules.olap_sample_rows)));
+      }
+      for (const std::string& line : Split(part.plan->ToString(), '\n')) {
+        if (!line.empty()) emit("  " + line);
+      }
+      continue;
+    }
     if (part.exchange != nullptr) {
       const ExchangeJoinSpec& ex = *part.exchange;
       auto anchor = config_.dictionary->GetTable(ex.anchor_table);
@@ -806,12 +1099,14 @@ void QueryProcess::ReplyAnalyze(const obs::OperatorProfile& global) {
   };
   emit(StrFormat("optimizer: %d selection(s) pushed, %d join reorder(s), "
                  "%d common subtree(s), aggregate pushdown: %s, "
-                 "co-located joins: %d, exchange joins: %d",
+                 "co-located joins: %d, exchange joins: %d, "
+                 "olap parts: %d",
                  optimizer_report_.selections_pushed,
                  optimizer_report_.joins_reordered,
                  optimizer_report_.common_subtrees,
                  split_.pushed_aggregate ? "yes" : "no",
-                 split_.colocated_joins, split_.exchange_joins));
+                 split_.colocated_joins, split_.exchange_joins,
+                 split_.olap_parts));
   emit("global plan (ran at the query coordinator):");
   std::vector<std::string> rendered;
   obs::RenderProfile(global, 1, &rendered);
@@ -831,6 +1126,16 @@ void QueryProcess::ReplyAnalyze(const obs::OperatorProfile& global) {
                      i, ex.left_table.c_str(), ex.right_table.c_str(),
                      ExchangeStrategyName(ex.strategy),
                      part_fragments_[i].size()));
+      continue;
+    }
+    if (part.olap != nullptr) {
+      const OlapSpec& olap = *part.olap;
+      emit(StrFormat("part %zu (olap %s over %s, %zu merge "
+                     "consumer(s)): streamed, no fragment profile",
+                     i,
+                     olap.kind == OlapSpec::Kind::kGroupBy ? "group-by"
+                                                           : "sort",
+                     olap.table.c_str(), part_fragments_[i].size()));
       continue;
     }
     if (part.second_table.empty()) {
@@ -1045,7 +1350,7 @@ void QueryProcess::ScatterFixpoint() {
   }
   fx_pids_ = pids;
   fx_round_ = 0;
-  fx_votes_.clear();
+  fx_barrier_.Begin(0, fx_num_pes_);
   fx_any_new_ = false;
   fx_start_msg_ = std::make_shared<FixpointStartMsg>();
   fx_start_msg_->fixpoint_id = fixpoint_id_;
@@ -1106,9 +1411,10 @@ void QueryProcess::HandleFixpointVote(const pool::Mail& mail) {
   if (finished_ || !is_fixpoint_) return;
   auto msg = std::any_cast<std::shared_ptr<FixpointVoteMsg>>(mail.body);
   if (msg->fixpoint_id != fixpoint_id_) return;
-  if (msg->round != fx_round_) return;  // Late vote of a finished round.
   if (msg->pe >= fx_num_pes_) return;
-  if (!fx_votes_.insert(msg->pe).second) return;  // Retransmitted vote.
+  // One admitted vote per (round, PE): the barrier rejects late votes of
+  // finished rounds and retransmitted votes of the current one.
+  if (!fx_barrier_.Vote(msg->round, static_cast<int>(msg->pe))) return;
   if (msg->absorbed_new > 0) fx_any_new_ = true;
   fx_delta_total_ += msg->absorbed_new;
   fx_pairs_total_ += msg->pairs_derived;
@@ -1121,18 +1427,19 @@ void QueryProcess::HandleFixpointVote(const pool::Mail& mail) {
     config_.metrics->GetCounter("fixpoint.wire_bits", q)
         ->Increment(msg->wire_bits);
   }
-  if (fx_votes_.size() < fx_num_pes_) return;
+  if (!fx_barrier_.complete()) return;
 
   // Termination barrier: every partition finished round fx_round_. If any
   // of them absorbed a new pair the global delta is non-empty — run
-  // another round; otherwise the fixpoint is reached — harvest.
-  fx_votes_.clear();
+  // another round; otherwise the fixpoint is reached — harvest (the
+  // barrier is left open: further round-`fx_round_` votes are stale).
   const bool advance = fx_any_new_;
   fx_any_new_ = false;
   fx_round_msg_ = std::make_shared<FixpointRoundMsg>();
   fx_round_msg_->fixpoint_id = fixpoint_id_;
   if (advance) {
     ++fx_round_;
+    fx_barrier_.Begin(fx_round_, fx_num_pes_);
     fx_round_msg_->round = fx_round_;
   } else {
     fx_round_msg_->harvest = true;

@@ -16,6 +16,7 @@
 #include "gdh/messages.h"
 #include "gdh/optimizer.h"
 #include "gdh/pe_registry.h"
+#include "gdh/stage.h"
 #include "obs/metrics.h"
 #include "obs/query_profile.h"
 #include "obs/trace.h"
@@ -160,6 +161,11 @@ class QueryProcess : public pool::Process {
     /// Set for exchange-join producers: the prebuilt shuffle plan (with a
     /// pre-assigned request_id) sent instead of a plain ExecPlanRequest.
     std::shared_ptr<ShufflePlanRequest> shuffle;
+    /// Set for OLAP sort sampling requests (DESIGN.md §14.3): the OFM
+    /// thins its (sorted) result to this many evenly spaced quantiles.
+    uint64_t sample_rows = 0;
+    /// Fragment index of this sample within its part (barrier voter id).
+    size_t sample_slice = 0;
   };
   /// Read routing (DESIGN.md §13): the replica of `frag` a read should
   /// address — the primary while it is in-sync and alive, else the peer
@@ -181,6 +187,24 @@ class QueryProcess : public pool::Process {
   /// exchange-lowered join part; returns the number of consumer replies
   /// the gather now additionally waits for.
   size_t ScatterExchangePart(size_t part_index);
+  /// Starts one multi-stage OLAP part (DESIGN.md §14): group-by parts
+  /// spawn their merge consumers and shuffle producers immediately; sort
+  /// parts first scatter per-fragment sampling requests (stage 1) and
+  /// cross into the shuffle only at the sample barrier. Returns the
+  /// number of replies the gather waits for beyond the work entries
+  /// appended right now.
+  size_t ScatterOlapPart(size_t part_index);
+  /// Folds one sampling reply into the part's stage barrier; on barrier
+  /// completion computes the range boundaries and launches stage 2.
+  void HandleOlapSample(size_t part_index, size_t slice,
+                        const ExecPlanReply& reply);
+  /// Spawns the merge consumers and appends the shuffle-producer work
+  /// entries of an OLAP part (`boundaries` non-null for range sorts).
+  /// `send_now` dispatches the new entries immediately (stage-2 launches
+  /// after the initial scatter already ran).
+  void LaunchOlapShuffle(
+      size_t part_index,
+      std::shared_ptr<const std::vector<Tuple>> boundaries, bool send_now);
   // Process-local state below is wrapped in the ownership checker: only
   // this process's handlers (or control-plane code between events) may
   // touch it; see pool/owned.h.
@@ -227,6 +251,31 @@ class QueryProcess : public pool::Process {
   // (SIZE_MAX = unique part, scattered normally).
   std::vector<size_t> duplicate_of_;
 
+  // Multi-stage OLAP state (DESIGN.md §14), keyed by part index.
+  struct OlapPartWork {
+    /// Sort stage 1: one vote per fragment's quantile sample.
+    StageBarrier samples;
+    /// Pooled sample *key* tuples (SortKeyOf-projected).
+    std::vector<Tuple> sample_keys;
+    /// Merge consumer replies by consumer index: a sort part's slices
+    /// concatenate in index order into the global order; a group-by
+    /// part's slices are disjoint group sets, sorted after the gather.
+    std::vector<std::vector<Tuple>> slices;
+  };
+  std::map<size_t, OlapPartWork> olap_work_;
+  /// Sample request id -> (part, fragment index).
+  std::map<uint64_t, std::pair<size_t, size_t>> olap_sample_of_;
+  /// Merge-consumer reply id -> (part, consumer index).
+  std::map<uint64_t, std::pair<size_t, size_t>> olap_merge_of_;
+  /// Shuffle-producer request ids of OLAP parts (wire-bit attribution).
+  std::set<uint64_t> olap_producer_ids_;
+  uint64_t olap_shuffle_bits_ = 0;  // First-transmission data-plane bits.
+  uint64_t olap_gather_bits_ = 0;   // Merge reply bits (final rows only).
+  uint64_t olap_sample_rows_ = 0;   // Quantile rows gathered (sorts).
+  /// Bits of plain (non-OLAP) fragment replies gathered at the
+  /// coordinator — the gather-baseline figure E14 compares against.
+  uint64_t gather_bits_ = 0;
+
   // PRISMAlog state: gathered base tables by name.
   std::vector<std::string> plog_tables_;
   std::map<std::string, size_t> plog_part_of_table_;
@@ -242,8 +291,9 @@ class QueryProcess : public pool::Process {
   std::vector<pool::ProcessId> fx_pids_;
   /// Round the barrier is collecting votes for (0 = seed round).
   uint64_t fx_round_ = 0;
-  /// PEs whose round-`fx_round_` vote was admitted (dedups retransmits).
-  std::set<size_t> fx_votes_;
+  /// One admitted vote per (round, PE); dedups retransmits (the fixpoint
+  /// round barrier is a StageBarrier whose stage id is the round).
+  StageBarrier fx_barrier_;
   bool fx_any_new_ = false;  // Any vote this round absorbed new pairs.
   uint64_t fx_delta_total_ = 0;
   uint64_t fx_pairs_total_ = 0;

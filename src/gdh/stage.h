@@ -1,0 +1,51 @@
+#ifndef PRISMA_GDH_STAGE_H_
+#define PRISMA_GDH_STAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <utility>
+
+namespace prisma::gdh {
+
+/// Termination barrier for one stage of a multi-stage distributed plan
+/// (DESIGN.md §14.1). Each participant votes at most once per (stage,
+/// voter) pair; duplicate votes — retransmitted mail is at-least-once —
+/// are absorbed without advancing the count. The barrier opens when all
+/// `expected` participants of the current stage have voted, at which
+/// point the coordinator advances the stage counter and the old stage's
+/// votes become stale (votes carrying an old stage id are ignored, so a
+/// straggler retransmission from stage n cannot tear through the stage
+/// n+1 barrier). This generalizes the fixpoint round barrier (§11): a
+/// fixpoint round is a stage whose id is the round number.
+class StageBarrier {
+ public:
+  /// Starts (or restarts) a stage expecting `expected` distinct voters.
+  void Begin(uint64_t stage, size_t expected) {
+    stage_ = stage;
+    expected_ = expected;
+    votes_.clear();
+  }
+
+  /// Records a vote; returns true iff it was admitted (right stage, not
+  /// a duplicate, barrier not already open) — the caller may then fold in
+  /// the vote's payload and check complete().
+  bool Vote(uint64_t stage, int voter) {
+    if (stage != stage_ || complete()) return false;
+    return votes_.insert(voter).second;
+  }
+
+  uint64_t stage() const { return stage_; }
+  size_t votes() const { return votes_.size(); }
+  size_t expected() const { return expected_; }
+  bool complete() const { return expected_ > 0 && votes_.size() >= expected_; }
+
+ private:
+  uint64_t stage_ = 0;
+  size_t expected_ = 0;
+  std::set<int> votes_;  // Deterministic iteration (D2).
+};
+
+}  // namespace prisma::gdh
+
+#endif  // PRISMA_GDH_STAGE_H_

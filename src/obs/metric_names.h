@@ -63,6 +63,10 @@ inline constexpr const char* kRegisteredMetricNames[] = {
     "ofm.txn_commits",
     "ofm.wal_records",
     "ofm.write_ops",
+    "olap.gather_bits",
+    "olap.parts",
+    "olap.sample_rows",
+    "olap.shuffle_bits",
     "pe.cpu_ns",
     "pe.crashes",
     "pool.handlers_executed",

@@ -570,6 +570,106 @@ TEST(ChaosTest, VectorizedSameSeedReplayIsByteIdentical) {
   EXPECT_NE(a.metrics.find("exchange.wire_bits"), std::string::npos);
 }
 
+// --------------------------------------- Multi-stage OLAP under chaos
+
+struct OlapSoakOutcome {
+  uint64_t dropped = 0;
+  uint64_t duplicated = 0;
+  uint64_t recovered = 0;   // Retransmits + deduplicated batches/replies.
+  uint64_t olap_parts = 0;
+  std::string metrics;
+};
+
+/// A distributed group-by (pre-aggregate + shuffle-by-key) and a
+/// range-partitioned sort (sample stage + shuffle) under the same seeded
+/// lossy/duplicating/jittery interconnect as the exchange soak. Both are
+/// multi-stage plans (DESIGN.md §14): the stage barrier, the sample and
+/// merge replies, and the shuffle batches all cross the faulty links, and
+/// the exact answer must come back every time.
+OlapSoakOutcome RunOlapChaos(uint64_t seed,
+                             exec::ExecMode mode = exec::ExecMode::kRow) {
+  MachineConfig config;
+  config.pes = 4;
+  config.exec_mode = mode;
+  config.exchange_batch_rows = 4;
+  config.exchange_credit_window = 2;
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 29);
+  config.fault_plan.seed = seed;
+  config.fault_plan.link.drop_probability = 0.01 + 0.04 * rng.NextDouble();
+  config.fault_plan.link.duplicate_probability = 0.05 * rng.NextDouble();
+  config.fault_plan.link.max_extra_delay_ns = rng.UniformInt(0, 200'000);
+
+  PrismaDb db(config);
+  MustExecute(&db, "CREATE TABLE sales (id INT, g STRING, v INT) "
+                   "FRAGMENTED BY HASH(id) INTO 4 FRAGMENTS");
+  for (int i = 0; i < 40; ++i) {
+    MustExecute(&db, StrFormat("INSERT INTO sales VALUES (%d, 'g%d', %d)",
+                               i, i % 5, i));
+  }
+
+  const QueryResult grouped = MustExecute(
+      &db, "SELECT g, COUNT(*) AS n, SUM(v) AS s FROM sales "
+           "GROUP BY g ORDER BY g");
+  PRISMA_CHECK(grouped.tuples.size() == 5)
+      << grouped.tuples.size() << " groups under seed " << seed;
+  for (int k = 0; k < 5; ++k) {
+    // Group 'gk' holds i = k, k+5, ..., k+35: 8 rows summing 8k + 140.
+    PRISMA_CHECK(grouped.tuples[k].at(1) == Value::Int(8));
+    PRISMA_CHECK(grouped.tuples[k].at(2) == Value::Int(8 * k + 140))
+        << "group " << k << " under seed " << seed;
+  }
+  const QueryResult sorted =
+      MustExecute(&db, "SELECT id, v FROM sales ORDER BY v DESC, id");
+  PRISMA_CHECK(sorted.tuples.size() == 40);
+  for (int i = 0; i < 40; ++i) {
+    PRISMA_CHECK(sorted.tuples[i].at(1) == Value::Int(39 - i))
+        << "rank " << i << " under seed " << seed;
+  }
+
+  OlapSoakOutcome out;
+  out.dropped = db.network().stats().dropped;
+  out.duplicated = db.network().stats().duplicated;
+  out.recovered = db.metrics().CounterTotal("exchange.retransmits") +
+                  db.metrics().CounterTotal("exchange.dup_batches") +
+                  db.metrics().CounterTotal("gdh.rpc_retries") +
+                  db.metrics().CounterTotal("gdh.dup_replies");
+  out.olap_parts = db.metrics().CounterTotal("olap.parts");
+  out.metrics = db.DumpMetrics();
+  return out;
+}
+
+TEST(ChaosTest, OlapSoakSurvives25Seeds) {
+  uint64_t dropped = 0;
+  uint64_t duplicated = 0;
+  uint64_t recovered = 0;
+  for (const uint64_t seed : SoakSeeds(1, 25)) {
+    PRISMA_SEED_REPRO("ChaosTest.OlapSoakSurvives25Seeds", seed);
+    const OlapSoakOutcome out = RunOlapChaos(seed);
+    // Both statements really took the multi-stage path (one group-by
+    // part + one sort part).
+    EXPECT_EQ(out.olap_parts, 2u);
+    dropped += out.dropped;
+    duplicated += out.duplicated;
+    recovered += out.recovered;
+  }
+  if (SingleSeedMode()) return;
+  EXPECT_GT(dropped, 0u);
+  EXPECT_GT(duplicated, 0u);
+  // Lost shuffle batches, sample/merge replies or barrier votes forced
+  // retransmissions somewhere — and every answer still came back exact.
+  EXPECT_GT(recovered, 0u);
+}
+
+TEST(ChaosTest, OlapSameSeedReplayIsByteIdentical) {
+  const OlapSoakOutcome a = RunOlapChaos(19);
+  const OlapSoakOutcome b = RunOlapChaos(19);
+  EXPECT_EQ(a.metrics, b.metrics);  // Byte-identical, olap.* included.
+  EXPECT_NE(a.metrics.find("olap.shuffle_bits"), std::string::npos);
+  const OlapSoakOutcome va = RunOlapChaos(23, exec::ExecMode::kVectorized);
+  const OlapSoakOutcome vb = RunOlapChaos(23, exec::ExecMode::kVectorized);
+  EXPECT_EQ(va.metrics, vb.metrics);
+}
+
 TEST(ChaosTest, LinkDownMidShuffleDegradesToUnavailableNotAHang) {
   MachineConfig config;
   config.pes = 4;

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
 #include <set>
 
 #include "algebra/expr.h"
@@ -1246,6 +1247,135 @@ TEST_F(VectorizedExecutorTest, InterpretedModeSilentlyStaysRow) {
   EXPECT_EQ(out->size(), 30u);
   EXPECT_EQ(executor.stats().batches, 0u);  // Row path: no batches.
 }
+
+// --------------------------------- Distributed OLAP merge edge cases
+
+/// Machine-level edge cases of the partial-aggregate merge and the
+/// range-partitioned sort (DESIGN.md §14): fragments that contribute
+/// nothing, NULL group keys (a group of their own, routed to consumer 0),
+/// extreme group skew, and sorted runs that span exchange batch
+/// boundaries. Each case runs in both execution modes.
+class OlapEdgeTest : public ::testing::TestWithParam<ExecMode> {
+ protected:
+  std::unique_ptr<core::PrismaDb> MakeDb(
+      std::function<void(core::MachineConfig&)> tweak = nullptr) {
+    core::MachineConfig config;
+    config.pes = 8;
+    config.exec_mode = GetParam();
+    if (tweak) tweak(config);
+    return std::make_unique<core::PrismaDb>(config);
+  }
+
+  core::QueryResult MustExecute(core::PrismaDb& db, const std::string& sql) {
+    auto result = db.Execute(sql);
+    PRISMA_CHECK(result.ok()) << sql << " -> " << result.status().ToString();
+    return std::move(result).value();
+  }
+};
+
+TEST_P(OlapEdgeTest, EmptyFragmentsContributeEmptyPartials) {
+  // 3 fragments but only 2 rows: at least one fragment pre-aggregates
+  // nothing and its merge channels carry only EOS batches.
+  auto db = MakeDb();
+  MustExecute(*db, "CREATE TABLE t (id INT, g STRING, v INT) "
+                   "FRAGMENTED BY HASH(id) INTO 3 FRAGMENTS");
+  MustExecute(*db, "INSERT INTO t VALUES (1, 'a', 10), (2, 'b', 20)");
+  const auto grouped = MustExecute(
+      *db, "SELECT g, SUM(v) AS s FROM t GROUP BY g ORDER BY g");
+  ASSERT_EQ(grouped.tuples.size(), 2u);
+  EXPECT_EQ(grouped.tuples[0].at(0), Value::String("a"));
+  EXPECT_EQ(grouped.tuples[0].at(1), Value::Int(10));
+  EXPECT_EQ(grouped.tuples[1].at(0), Value::String("b"));
+  EXPECT_EQ(grouped.tuples[1].at(1), Value::Int(20));
+  const auto sorted =
+      MustExecute(*db, "SELECT id, v FROM t ORDER BY v DESC, id");
+  ASSERT_EQ(sorted.tuples.size(), 2u);
+  EXPECT_EQ(sorted.tuples[0].at(1), Value::Int(20));
+}
+
+TEST_P(OlapEdgeTest, AllNullGroupKeysFormOneGroup) {
+  auto db = MakeDb();
+  MustExecute(*db, "CREATE TABLE t (id INT, g STRING, v INT) "
+                   "FRAGMENTED BY HASH(id) INTO 4 FRAGMENTS");
+  std::string insert = "INSERT INTO t VALUES ";
+  for (int i = 0; i < 20; ++i) {
+    if (i > 0) insert += ", ";
+    insert += "(" + std::to_string(i) + ", NULL, " + std::to_string(i) + ")";
+  }
+  MustExecute(*db, insert);
+  const auto grouped = MustExecute(
+      *db, "SELECT g, COUNT(*) AS n, SUM(v) AS s FROM t GROUP BY g");
+  // Every partial lands on merge consumer 0 (NULL keys keep a stable
+  // route), and the NULL group survives the merge as a single group.
+  ASSERT_EQ(grouped.tuples.size(), 1u);
+  EXPECT_TRUE(grouped.tuples[0].at(0).is_null());
+  EXPECT_EQ(grouped.tuples[0].at(1), Value::Int(20));
+  EXPECT_EQ(grouped.tuples[0].at(2), Value::Int(190));
+}
+
+TEST_P(OlapEdgeTest, SingleGroupSkewAgreesAcrossStrategies) {
+  // Every row shares one group key: the direct strategy funnels all base
+  // rows into one merge consumer, the pre-aggregate strategy ships one
+  // partial per fragment. Both must agree with the exact totals.
+  using Strategy = gdh::OptimizerRules::OlapAggStrategy;
+  for (const Strategy strategy : {Strategy::kPreAggregate, Strategy::kDirect}) {
+    auto db = MakeDb([&](core::MachineConfig& config) {
+      config.rules.olap_agg_strategy = strategy;
+    });
+    MustExecute(*db, "CREATE TABLE t (id INT, g STRING, v INT) "
+                     "FRAGMENTED BY HASH(id) INTO 4 FRAGMENTS");
+    std::string insert = "INSERT INTO t VALUES ";
+    for (int i = 0; i < 80; ++i) {
+      if (i > 0) insert += ", ";
+      insert += "(" + std::to_string(i) + ", 'hot', " + std::to_string(i % 7) +
+                ")";
+    }
+    MustExecute(*db, insert);
+    const auto grouped = MustExecute(
+        *db,
+        "SELECT g, COUNT(*) AS n, SUM(v) AS s, MIN(v), MAX(v) FROM t "
+        "GROUP BY g");
+    ASSERT_EQ(grouped.tuples.size(), 1u);
+    EXPECT_EQ(grouped.tuples[0].at(0), Value::String("hot"));
+    EXPECT_EQ(grouped.tuples[0].at(1), Value::Int(80));
+    // 11 full cycles of 0..6 (= 231) plus 0+1+2 for rows 77..79.
+    EXPECT_EQ(grouped.tuples[0].at(2), Value::Int(234));
+    EXPECT_EQ(grouped.tuples[0].at(3), Value::Int(0));
+    EXPECT_EQ(grouped.tuples[0].at(4), Value::Int(6));
+  }
+}
+
+TEST_P(OlapEdgeTest, SortRunsSpanBatchBoundaries) {
+  // Tiny exchange batches force every sorted run through multiple frames
+  // per channel; long runs of the leading key cross batch boundaries and
+  // the unique trailing key pins tie order.
+  auto db = MakeDb([](core::MachineConfig& config) {
+    config.exchange_batch_rows = 4;
+    config.exchange_credit_window = 2;
+  });
+  MustExecute(*db, "CREATE TABLE t (id INT, k INT) "
+                   "FRAGMENTED BY HASH(id) INTO 3 FRAGMENTS");
+  std::string insert = "INSERT INTO t VALUES ";
+  for (int i = 0; i < 60; ++i) {
+    if (i > 0) insert += ", ";
+    // Only 3 distinct leading keys -> runs of ~20 equal keys.
+    insert += "(" + std::to_string(i) + ", " + std::to_string(i % 3) + ")";
+  }
+  MustExecute(*db, insert);
+  const auto sorted = MustExecute(*db, "SELECT k, id FROM t ORDER BY k, id");
+  ASSERT_EQ(sorted.tuples.size(), 60u);
+  for (int i = 0; i < 60; ++i) {
+    EXPECT_EQ(sorted.tuples[i].at(0), Value::Int(i / 20));
+    EXPECT_EQ(sorted.tuples[i].at(1), Value::Int((i % 20) * 3 + i / 20));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, OlapEdgeTest,
+    ::testing::Values(ExecMode::kRow, ExecMode::kVectorized),
+    [](const ::testing::TestParamInfo<ExecMode>& info) {
+      return info.param == ExecMode::kRow ? "Row" : "Vectorized";
+    });
 
 }  // namespace
 }  // namespace prisma::exec

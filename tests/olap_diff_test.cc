@@ -1,0 +1,323 @@
+// Distributed-OLAP differential harness (DESIGN.md §14.6): every seeded
+// workload of group-bys and sorts runs on a single-fragment machine (the
+// reference — no distributed OLAP possible) and on multi-fragment
+// machines with the multi-stage OLAP lowering enabled, in both execution
+// modes. Every run must produce byte-identical answers. A second family
+// of tests pins the acceptance criteria of the lowering itself: the
+// canonical group-by gathers zero base tuples, its wire cost stays
+// strictly below the base-tuple gather baseline, and the EXPLAIN output
+// names the chosen stage structure.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "core/prisma_db.h"
+#include "soak_repro.h"
+
+namespace prisma::core {
+namespace {
+
+/// One seeded dataset: sales(id, region, amount, qty) with seed-varying
+/// row count, group-key cardinality, NULL-region density and value
+/// ranges. Amounts stay integral and small so every SUM/AVG is exact in
+/// double arithmetic — partial-aggregate merges add the same integral
+/// values in a different order, which only FP rounding could expose.
+struct SalesRow {
+  int id;
+  int region;  // kNullRegion = NULL.
+  int amount;
+  int qty;
+};
+constexpr int kNullRegion = -1;
+
+std::vector<SalesRow> RandomSales(uint64_t seed) {
+  Rng rng(seed * 0x9e3779b9u + 41);
+  const int rows = static_cast<int>(rng.UniformInt(24, 120));
+  const int regions = static_cast<int>(rng.UniformInt(2, 7));
+  std::vector<SalesRow> sales;
+  sales.reserve(rows);
+  for (int i = 0; i < rows; ++i) {
+    SalesRow row;
+    row.id = i;
+    row.region = rng.Uniform(8) == 0 ? kNullRegion
+                                     : static_cast<int>(rng.Uniform(regions));
+    row.amount = static_cast<int>(rng.UniformInt(0, 400));
+    row.qty = static_cast<int>(rng.UniformInt(1, 9));
+    sales.push_back(row);
+  }
+  return sales;
+}
+
+std::string SalesInsert(const std::vector<SalesRow>& sales) {
+  std::string sql = "INSERT INTO sales VALUES ";
+  for (size_t i = 0; i < sales.size(); ++i) {
+    const SalesRow& row = sales[i];
+    if (i > 0) sql += ", ";
+    sql += '(' + std::to_string(row.id) + ", ";
+    sql += row.region == kNullRegion
+               ? std::string("NULL")
+               : "'region" + std::to_string(row.region) + "'";
+    sql += ", " + std::to_string(row.amount) + ", " +
+           std::to_string(row.qty) + ')';
+  }
+  return sql;
+}
+
+QueryResult MustExecute(PrismaDb& db, const std::string& sql) {
+  auto result = db.Execute(sql);
+  PRISMA_CHECK(result.ok()) << sql << ": " << result.status().ToString();
+  return std::move(result).value();
+}
+
+/// Byte rendering of a result. ORDER BY queries carry a unique trailing
+/// sort key, and group-by outputs are canonically ordered by the
+/// coordinator, so no extra canonicalization is needed — the comparison
+/// is over the exact tuple sequence.
+std::string Rendered(const QueryResult& result) {
+  std::string out;
+  for (const Tuple& t : result.tuples) {
+    out += t.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+/// The workload: group-bys over every aggregate (AVG decomposes into
+/// SUM+COUNT partials), a filtered group-by that can leave fragments
+/// empty, and distributed sorts whose trailing key (unique id) pins the
+/// order of ties across partitioning strategies.
+const char* kQueries[] = {
+    "SELECT region, COUNT(*) AS n, SUM(amount) AS total FROM sales "
+    "GROUP BY region ORDER BY region",
+    "SELECT region, AVG(amount) AS mean, MIN(qty) AS lo, MAX(qty) AS hi "
+    "FROM sales GROUP BY region ORDER BY region",
+    "SELECT id, amount FROM sales ORDER BY amount, id",
+    "SELECT id, amount, qty FROM sales WHERE qty >= 3 "
+    "ORDER BY qty DESC, id",
+    "SELECT region, SUM(qty) AS q FROM sales WHERE amount < 200 "
+    "GROUP BY region ORDER BY region",
+};
+
+/// Runs the whole workload on one machine configuration.
+std::vector<std::string> RunWorkload(const std::vector<SalesRow>& sales,
+                                     int fragments, exec::ExecMode mode) {
+  MachineConfig config;
+  config.pes = 8;
+  config.exec_mode = mode;
+  PrismaDb db(config);
+  if (fragments > 1) {
+    MustExecute(db, StrFormat("CREATE TABLE sales (id INT, region STRING, "
+                              "amount INT, qty INT) FRAGMENTED BY HASH(id) "
+                              "INTO %d FRAGMENTS",
+                              fragments));
+  } else {
+    MustExecute(db,
+                "CREATE TABLE sales (id INT, region STRING, amount INT, "
+                "qty INT)");
+  }
+  MustExecute(db, SalesInsert(sales));
+  std::vector<std::string> results;
+  for (const char* sql : kQueries) {
+    results.push_back(Rendered(MustExecute(db, sql)));
+  }
+  return results;
+}
+
+void CheckSeed(uint64_t seed) {
+  const std::vector<SalesRow> sales = RandomSales(seed);
+  const std::vector<std::string> reference =
+      RunWorkload(sales, /*fragments=*/1, exec::ExecMode::kRow);
+  for (const int fragments : {1, 3, 7}) {
+    for (const exec::ExecMode mode :
+         {exec::ExecMode::kRow, exec::ExecMode::kVectorized}) {
+      SCOPED_TRACE(StrFormat(
+          "fragments=%d mode=%s", fragments,
+          mode == exec::ExecMode::kRow ? "row" : "vectorized"));
+      const std::vector<std::string> got = RunWorkload(sales, fragments, mode);
+      ASSERT_EQ(reference.size(), got.size());
+      for (size_t q = 0; q < reference.size(); ++q) {
+        SCOPED_TRACE(StrFormat("query=%zu: %s", q, kQueries[q]));
+        EXPECT_EQ(reference[q], got[q]);
+      }
+    }
+  }
+}
+
+TEST(OlapDiffTest, SeededWorkloadsLow) {
+  for (const uint64_t seed : SoakSeeds(1, 17)) {
+    PRISMA_SEED_REPRO("OlapDiffTest.SeededWorkloadsLow", seed);
+    CheckSeed(seed);
+  }
+}
+
+TEST(OlapDiffTest, SeededWorkloadsMid) {
+  for (const uint64_t seed : SoakSeeds(18, 34)) {
+    PRISMA_SEED_REPRO("OlapDiffTest.SeededWorkloadsMid", seed);
+    CheckSeed(seed);
+  }
+}
+
+TEST(OlapDiffTest, SeededWorkloadsHigh) {
+  for (const uint64_t seed : SoakSeeds(35, 50)) {
+    PRISMA_SEED_REPRO("OlapDiffTest.SeededWorkloadsHigh", seed);
+    CheckSeed(seed);
+  }
+}
+
+// -------------------------------------------------- Acceptance criteria
+
+/// Loads the canonical emp table: 60 rows over 3 departments, 4
+/// fragments (4 distinct merge consumers).
+void LoadEmp(PrismaDb& db) {
+  MustExecute(db, "CREATE TABLE emp (id INT, dept STRING, salary INT) "
+                  "FRAGMENTED BY HASH(id) INTO 4 FRAGMENTS");
+  const char* depts[] = {"eng", "hr", "sales"};
+  std::string insert = "INSERT INTO emp VALUES ";
+  for (int i = 0; i < 60; ++i) {
+    if (i > 0) insert += ", ";
+    insert += StrFormat("(%d, '%s', %d)", i, depts[i % 3], 1000 + i);
+  }
+  MustExecute(db, insert);
+}
+
+constexpr const char* kCanonicalQuery =
+    "SELECT dept, SUM(salary) AS total FROM emp GROUP BY dept ORDER BY dept";
+
+/// The ISSUE's canonical acceptance check: the distributed group-by
+/// gathers only final groups (zero base tuples at the coordinator), and
+/// its total wire cost — shuffle plus final gather — is strictly below
+/// the bits a base-tuple gather of the same query puts on the wire.
+TEST(OlapDiffTest, CanonicalGroupByShipsNoBaseTuples) {
+  // Distributed-OLAP machine.
+  MachineConfig olap_config;
+  olap_config.pes = 8;
+  PrismaDb olap_db(olap_config);
+  LoadEmp(olap_db);
+  const QueryResult dist = MustExecute(olap_db, kCanonicalQuery);
+  ASSERT_EQ(dist.tuples.size(), 3u);
+
+  // EXPLAIN names the stage structure.
+  const QueryResult plan =
+      MustExecute(olap_db, std::string("EXPLAIN ") + kCanonicalQuery);
+  std::string text;
+  for (const Tuple& t : plan.tuples) text += t.ToString() + "\n";
+  EXPECT_NE(text.find("olap group-by over emp"), std::string::npos) << text;
+  EXPECT_NE(text.find("pre-aggregate + shuffle-by-key"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("Exchange hash("), std::string::npos) << text;
+
+  // Zero base tuples at the coordinator: only the 3 final groups arrive
+  // (one gather counter tick per group; EXPLAIN executes nothing).
+  EXPECT_EQ(olap_db.metrics().CounterTotal("query.tuples_gathered"), 3u);
+  EXPECT_EQ(olap_db.metrics().CounterTotal("olap.parts"), 1u);
+  const uint64_t shuffle_bits =
+      olap_db.metrics().CounterTotal("olap.shuffle_bits");
+  const uint64_t gather_bits =
+      olap_db.metrics().CounterTotal("olap.gather_bits");
+  EXPECT_GT(shuffle_bits, 0u);
+  EXPECT_GT(gather_bits, 0u);
+
+  // Gather baseline: same machine shape, OLAP lowering and aggregate
+  // pushdown off — the coordinator pulls all 60 base tuples.
+  MachineConfig base_config;
+  base_config.pes = 8;
+  base_config.rules.distributed_olap = false;
+  base_config.rules.aggregate_pushdown = false;
+  PrismaDb base_db(base_config);
+  LoadEmp(base_db);
+  const QueryResult gathered = MustExecute(base_db, kCanonicalQuery);
+  EXPECT_EQ(Rendered(dist), Rendered(gathered));
+  EXPECT_EQ(base_db.metrics().CounterTotal("query.tuples_gathered"), 60u);
+  const uint64_t baseline_bits = static_cast<uint64_t>(
+      base_db.metrics().GaugeValue("query.last_gather_bits"));
+  ASSERT_GT(baseline_bits, 0u);
+  EXPECT_LT(shuffle_bits + gather_bits, baseline_bits);
+}
+
+/// Both shipping strategies of the distributed group-by return identical
+/// answers, and EXPLAIN names the strategy in force.
+TEST(OlapDiffTest, AggStrategiesAgreeAndExplainNamesThem) {
+  using Strategy = gdh::OptimizerRules::OlapAggStrategy;
+  const struct {
+    Strategy strategy;
+    const char* expect;
+  } kCases[] = {
+      {Strategy::kPreAggregate, "pre-aggregate + shuffle-by-key"},
+      {Strategy::kDirect, "direct + shuffle-by-key"},
+  };
+  std::string reference;
+  for (const auto& c : kCases) {
+    SCOPED_TRACE(c.expect);
+    MachineConfig config;
+    config.pes = 8;
+    config.rules.olap_agg_strategy = c.strategy;
+    PrismaDb db(config);
+    LoadEmp(db);
+    const QueryResult result = MustExecute(db, kCanonicalQuery);
+    if (reference.empty()) {
+      reference = Rendered(result);
+    } else {
+      EXPECT_EQ(reference, Rendered(result));
+    }
+    const QueryResult plan =
+        MustExecute(db, std::string("EXPLAIN ") + kCanonicalQuery);
+    std::string text;
+    for (const Tuple& t : plan.tuples) text += t.ToString() + "\n";
+    EXPECT_NE(text.find(c.expect), std::string::npos) << text;
+  }
+}
+
+/// Distributed sort: EXPLAIN names the sample-based range partitioning
+/// and the sampled quantile rows are accounted in olap.sample_rows.
+TEST(OlapDiffTest, DistributedSortSamplesRanges) {
+  MachineConfig config;
+  config.pes = 8;
+  PrismaDb db(config);
+  LoadEmp(db);
+  const QueryResult plan = MustExecute(
+      db, "EXPLAIN SELECT id, salary FROM emp ORDER BY salary DESC, id");
+  std::string text;
+  for (const Tuple& t : plan.tuples) text += t.ToString() + "\n";
+  EXPECT_NE(text.find("olap sort over emp"), std::string::npos) << text;
+  EXPECT_NE(text.find("sample-based range partition"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("Exchange range("), std::string::npos) << text;
+
+  const QueryResult sorted =
+      MustExecute(db, "SELECT id, salary FROM emp ORDER BY salary DESC, id");
+  ASSERT_EQ(sorted.tuples.size(), 60u);
+  for (size_t i = 1; i < sorted.tuples.size(); ++i) {
+    EXPECT_GE(sorted.tuples[i - 1].at(1).int_value(),
+              sorted.tuples[i].at(1).int_value());
+  }
+  // 4 fragments each sampled at min(fragment rows, quantile budget).
+  const uint64_t sampled = db.metrics().CounterTotal("olap.sample_rows");
+  EXPECT_GT(sampled, 0u);
+  EXPECT_LE(sampled, 4 * config.rules.olap_sample_rows);
+}
+
+/// Disabling the lowering removes every olap part and metric — the knob
+/// is a true ablation switch (E14's baseline column).
+TEST(OlapDiffTest, DisablingLoweringRestoresGatherPlan) {
+  MachineConfig config;
+  config.pes = 8;
+  config.rules.distributed_olap = false;
+  PrismaDb db(config);
+  LoadEmp(db);
+  const QueryResult plan =
+      MustExecute(db, std::string("EXPLAIN ") + kCanonicalQuery);
+  std::string text;
+  for (const Tuple& t : plan.tuples) text += t.ToString() + "\n";
+  EXPECT_EQ(text.find("olap group-by"), std::string::npos) << text;
+  MustExecute(db, kCanonicalQuery);
+  EXPECT_EQ(db.metrics().CounterTotal("olap.parts"), 0u);
+  EXPECT_EQ(db.metrics().CounterTotal("olap.shuffle_bits"), 0u);
+}
+
+}  // namespace
+}  // namespace prisma::core

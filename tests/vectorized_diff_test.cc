@@ -1,4 +1,4 @@
-// Row-vs-vectorized differential harness (DESIGN.md §12.4): every seeded
+// Row-vs-vectorized differential harness (DESIGN.md §12.3): every seeded
 // workload runs twice on machines that are identical except for
 // MachineConfig::exec_mode, and the two runs must produce byte-identical
 // answers (canonicalized by sort where the query imposes no order),
