@@ -11,7 +11,10 @@ interprets. This check fails the build when any of those links dangle:
   2. every `BENCH_*.json` artifact at the repo root has a matching
      mention in EXPERIMENTS.md (a section interprets it);
   3. every `bench/bench_*.cc` binary appears in the DESIGN.md §3
-     experiment index, and every `bench_*` named there exists on disk.
+     experiment index, and every `bench_*` named there exists on disk;
+  4. every `BENCH_*.json` name EXPERIMENTS.md mentions has a bench
+     source that actually emits it (the string literal appears in some
+     bench/bench_*.cc) — no phantom artifacts in the registry.
 
 Usage: check_docs.py [repo-root]   (defaults to the parent of scripts/)
 """
@@ -85,6 +88,22 @@ def check_bench_artifacts(root, problems):
                     f"EXPERIMENTS.md (add the section that interprets it)")
 
 
+def check_bench_emitters(root, problems):
+    experiments = open(os.path.join(root, "EXPERIMENTS.md"),
+                       encoding="utf-8").read()
+    bench_dir = os.path.join(root, "bench")
+    emitted = set()
+    for f in os.listdir(bench_dir):
+        if f.startswith("bench_") and f.endswith(".cc"):
+            src = open(os.path.join(bench_dir, f), encoding="utf-8").read()
+            emitted.update(re.findall(r"BENCH_\w+\.json", src))
+    for name in sorted(set(re.findall(r"BENCH_\w+\.json", experiments))):
+        if name not in emitted:
+            problems.append(
+                f"EXPERIMENTS.md: mentions {name} but no bench/bench_*.cc "
+                f"emits it (write the bench or drop the artifact)")
+
+
 def check_experiment_index(root, problems):
     design = open(os.path.join(root, "DESIGN.md"), encoding="utf-8").read()
     m = re.search(r"^## 3\.\s.*?(?=^## \d+\.)", design, re.M | re.S)
@@ -114,6 +133,7 @@ def main():
     design = open(os.path.join(root, "DESIGN.md"), encoding="utf-8").read()
     check_section_refs(root, design_sections(design), problems)
     check_bench_artifacts(root, problems)
+    check_bench_emitters(root, problems)
     check_experiment_index(root, problems)
     if problems:
         return fail(problems)

@@ -29,6 +29,8 @@ const char* StatusCodeName(StatusCode code) {
       return "internal";
     case StatusCode::kUnimplemented:
       return "unimplemented";
+    case StatusCode::kOverloaded:
+      return "overloaded";
   }
   return "unknown";
 }
@@ -74,6 +76,9 @@ Status InternalError(std::string message) {
 }
 Status UnimplementedError(std::string message) {
   return Status(StatusCode::kUnimplemented, std::move(message));
+}
+Status OverloadedError(std::string message) {
+  return Status(StatusCode::kOverloaded, std::move(message));
 }
 
 namespace internal_status {

@@ -25,6 +25,7 @@ enum class StatusCode : uint8_t {
   kUnavailable,    // Processing element or fragment is down.
   kInternal,
   kUnimplemented,
+  kOverloaded,     // Shed at admission by the dispatcher (DESIGN.md §15).
 };
 
 /// Returns the canonical lower-case name of a status code ("ok",
@@ -82,6 +83,7 @@ Status AbortedError(std::string message);
 Status UnavailableError(std::string message);
 Status InternalError(std::string message);
 Status UnimplementedError(std::string message);
+Status OverloadedError(std::string message);
 
 /// A Status or a value of type T: exactly one of the two is present.
 ///

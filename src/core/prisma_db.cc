@@ -81,9 +81,11 @@ net::Topology PrismaDb::MakeTopology(const MachineConfig& config) {
   return net::Topology::Mesh(1, n);
 }
 
-PrismaDb::PrismaDb(MachineConfig config) : config_(std::move(config)) {
+PrismaDb::PrismaDb(MachineConfig config)
+    : config_(std::move(config)), plan_cache_(config_.plan_cache_capacity) {
   PRISMA_CHECK(config_.pes >= 1);
   tracer_.set_enabled(config_.enable_tracing);
+  plan_cache_.AttachMetrics(&metrics_);
   network_ = std::make_unique<net::Network>(&sim_, MakeTopology(config_),
                                             config_.link);
   network_->AttachObservability(&metrics_, &tracer_);
@@ -131,6 +133,7 @@ PrismaDb::PrismaDb(MachineConfig config) : config_(std::move(config)) {
   gdh_config.base_ofm_type = config_.base_ofm_type;
   gdh_config.placement = config_.placement;
   gdh_config.registry = &registry_;
+  gdh_config.plan_cache = &plan_cache_;
   // Auto timeouts (see MachineConfig): effectively silent when fault-free,
   // snappy when messages can actually be lost.
   gdh_config.rpc_timeout_ns =

@@ -87,6 +87,11 @@ struct MachineConfig {
   /// the per-round join strategy of the partitions.
   bool distributed_fixpoint = true;
   exec::TcAlgorithm fixpoint_algorithm = exec::TcAlgorithm::kSeminaive;
+  /// Entry bound of the machine-wide shared plan cache (DESIGN.md §15.4):
+  /// repeated parameterized SELECTs skip parse/bind/optimize/split and
+  /// reuse the cached DistributedPlan. 0 disables the cache (every
+  /// statement planned from scratch — the PR-9 behaviour).
+  size_t plan_cache_capacity = 256;
   /// Deterministic fault injection (message drops/duplicates/jitter, link
   /// outages, PE crash/restart schedule). An inert (default) plan leaves
   /// the machine's behaviour and metrics byte-identical to a build without
@@ -189,6 +194,9 @@ class PrismaDb {
 
   obs::MetricsRegistry& metrics() { return metrics_; }
   obs::Tracer& tracer() { return tracer_; }
+  /// Machine-wide shared plan cache (control-plane view: hit/miss/epoch
+  /// counters for benches and tests).
+  gdh::PlanCache& plan_cache() { return plan_cache_; }
 
   /// Text dump of every metric, after syncing derived gauges (per-PE busy
   /// time, simulator event counts, lock-manager counters). Byte-identical
@@ -249,6 +257,9 @@ class PrismaDb {
   std::vector<std::unique_ptr<storage::MemoryTracker>> memory_;
   std::vector<std::unique_ptr<storage::StableStore>> stable_;
   gdh::PeLocalRegistry registry_;
+  /// Machine-level shared structure like registry_: probed/filled by
+  /// query coordinators, invalidated by the GDH (DESIGN.md §15.4).
+  gdh::PlanCache plan_cache_;
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<pool::Runtime> runtime_;
   // PrismaDb is the simulation harness, not a POOL-X process; it drives

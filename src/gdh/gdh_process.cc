@@ -318,6 +318,12 @@ bool GdhProcess::TryFailover(FragmentInfo& frag, int dead) {
   }
   // PRISMA_TRANSITION(kInSync, kStale, observed dead; peer carries on alone)
   frag.set_replica_state(dead, ReplicaState::kStale);
+  // Replica placement changed under the cached plans; conservatively drop
+  // them (reads re-choose replicas at scatter time, but a fresh plan also
+  // re-reads fragment liveness for pruning decisions).
+  if (config_.plan_cache != nullptr) {
+    config_.plan_cache->Invalidate("failover");
+  }
   ++stats_.stale_marks;
   Inc(LazyCounter(&m_stale_marks_, "replica.stale_marks"));
   if (frag.primary_replica == dead) {
@@ -788,6 +794,9 @@ pool::ProcessId GdhProcess::SpawnReplicaOfm(const TableInfo& info,
 void GdhProcess::ExecuteDdl(const BoundStatement& bound,
                             const std::shared_ptr<ClientStatement>& stmt,
                             pool::ProcessId client) {
+  // Any DDL may change the schema or fragmentation cached plans were
+  // split against; drop them all before the catalog mutates.
+  if (config_.plan_cache != nullptr) config_.plan_cache->Invalidate("ddl");
   switch (bound.kind) {
     case Statement::Kind::kCreateTable: {
       FragmentationSpec spec;
@@ -1138,6 +1147,7 @@ void GdhProcess::SpawnCoordinator(const std::shared_ptr<ClientStatement>& stmt,
   config.rpc_attempts = config_.rpc_attempts;
   config.stmt_done_resend_ns = config_.stmt_done_resend_ns;
   config.registry = config_.registry;
+  config.plan_cache = config_.plan_cache;
   config.exchange_batch_rows = config_.exchange_batch_rows;
   config.exchange_credit_window = config_.exchange_credit_window;
   config.distributed_fixpoint = config_.distributed_fixpoint;
@@ -1619,6 +1629,11 @@ void GdhProcess::OnResyncPhaseDone(uint64_t resync_id, bool cutover,
     FragmentInfo& frag = (*info)->fragments[rs.fragment];
     // PRISMA_TRANSITION(kResyncing, kInSync, 2PC-consistent cutover done)
     frag.set_replica_state(rs.replica, ReplicaState::kInSync);
+    // The rebuilt replica is read-eligible again: retire plans built
+    // while it was shed.
+    if (config_.plan_cache != nullptr) {
+      config_.plan_cache->Invalidate("resync");
+    }
   }
   if (rs.cutover_txn != exec::kAutoCommit) {
     locks_->ReleaseAll(rs.cutover_txn);

@@ -17,6 +17,7 @@
 #include "gdh/messages.h"
 #include "gdh/optimizer.h"
 #include "gdh/pe_registry.h"
+#include "gdh/plan_cache.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "pool/owned.h"
@@ -81,6 +82,11 @@ class GdhProcess : public pool::Process {
     /// Directory of co-located fragments for distributed joins (owned by
     /// the machine; may be null to disable co-located execution).
     PeLocalRegistry* registry = nullptr;
+    /// Machine-wide shared plan cache (owned by the machine; may be null
+    /// to plan every statement from scratch). The GDH invalidates it on
+    /// DDL, replica failover and resync cutover; coordinators probe and
+    /// fill it (DESIGN.md §15.4).
+    PlanCache* plan_cache = nullptr;
     /// Streaming exchange framing, handed to every query coordinator:
     /// max tuples per batch and batches in flight per channel.
     uint64_t exchange_batch_rows = 64;

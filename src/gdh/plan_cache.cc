@@ -1,0 +1,48 @@
+#include "gdh/plan_cache.h"
+
+#include <utility>
+
+namespace prisma::gdh {
+
+std::shared_ptr<const PlanCache::Entry> PlanCache::Lookup(const Key& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter("query.plan_cache.miss")->Increment();
+    }
+    return nullptr;
+  }
+  ++hits_;
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("query.plan_cache.hit")->Increment();
+  }
+  return it->second;
+}
+
+void PlanCache::Insert(const Key& key, std::shared_ptr<const Entry> entry) {
+  if (capacity_ == 0 || entry == nullptr || entry->split == nullptr) return;
+  if (entries_.count(key) > 0) return;  // A concurrent query already filled it.
+  while (entries_.size() >= capacity_) {
+    auto oldest = insert_order_.begin();
+    entries_.erase(oldest->second);
+    insert_order_.erase(oldest);
+  }
+  entries_.emplace(key, std::move(entry));
+  insert_order_.emplace(next_seq_++, key);
+}
+
+void PlanCache::Invalidate(const char* reason) {
+  ++epoch_;
+  if (entries_.empty()) return;
+  if (metrics_ != nullptr) {
+    metrics_
+        ->GetCounter("query.plan_cache.invalidate",
+                     {{"reason", reason}})
+        ->Increment(entries_.size());
+  }
+  entries_.clear();
+  insert_order_.clear();
+}
+
+}  // namespace prisma::gdh

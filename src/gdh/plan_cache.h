@@ -1,0 +1,102 @@
+#ifndef PRISMA_GDH_PLAN_CACHE_H_
+#define PRISMA_GDH_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+#include "gdh/distributed_plan.h"
+#include "gdh/optimizer.h"
+#include "obs/metrics.h"
+
+namespace prisma::gdh {
+
+/// Machine-wide shared plan cache (DESIGN.md §15.4): repeated
+/// parameterized statements skip the coordinator's parse/bind/optimize/
+/// split work and reuse the immutable DistributedPlan.
+///
+/// Ownership: like the DataDictionary and PeLocalRegistry this is a
+/// machine-level structure owned by core::PrismaDb and handed to the GDH
+/// and every query coordinator as a plain pointer — conceptually shared
+/// memory, deliberately outside the pool::Owned ownership checker (any
+/// coordinator may probe or fill it; the discrete-event simulator
+/// serializes every access, so same-seed runs see identical cache states).
+///
+/// Key: normalized statement fingerprint + literal values + resolved
+/// execution mode. Literals are part of the key because constants are
+/// embedded in the optimized plan (fragment pruning depends on them), so a
+/// hit is only declared for a statement that optimizes to the very same
+/// plan; the fingerprint still buys whitespace/case insensitivity.
+///
+/// Invalidation: epoch-based. DDL (table/index create — a fragment-count
+/// change is a DDL), replica failover and resync cutover bump the epoch
+/// and drop every entry; a per-statement exec-mode flip needs no epoch
+/// (the mode is in the key). Entries are never served across epochs, so a
+/// stale plan cannot outlive the schema/placement it was built for.
+class PlanCache {
+ public:
+  struct Key {
+    std::string fingerprint;
+    std::vector<std::string> params;
+    exec::ExecMode exec_mode = exec::ExecMode::kRow;
+
+    bool operator<(const Key& other) const {
+      if (fingerprint != other.fingerprint)
+        return fingerprint < other.fingerprint;
+      if (params != other.params) return params < other.params;
+      return exec_mode < other.exec_mode;
+    }
+  };
+
+  /// What a hit restores in the coordinator: the split plan (immutable,
+  /// shared across concurrent queries) plus the optimizer report EXPLAIN
+  /// ANALYZE and bench stats surface.
+  struct Entry {
+    std::shared_ptr<const DistributedPlan> split;
+    OptimizerReport optimizer_report;
+  };
+
+  /// `capacity` bounds the entry count (FIFO eviction, deterministic);
+  /// 0 disables the cache entirely (every Lookup misses, Insert drops).
+  explicit PlanCache(size_t capacity) : capacity_(capacity) {}
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Observability sink for query.plan_cache.{hit,miss,invalidate}
+  /// (may stay null: no instrumentation).
+  void AttachMetrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  /// Returns the cached entry for `key`, or null (counted as hit/miss).
+  std::shared_ptr<const Entry> Lookup(const Key& key);
+
+  /// Publishes a freshly built plan under `key` at the current epoch.
+  void Insert(const Key& key, std::shared_ptr<const Entry> entry);
+
+  /// Drops every entry and bumps the epoch. `reason` labels the
+  /// invalidate metric ("ddl", "failover", "resync", ...).
+  void Invalidate(const char* reason);
+
+  uint64_t epoch() const { return epoch_; }
+  size_t size() const { return entries_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  const size_t capacity_;
+  uint64_t epoch_ = 0;
+  std::map<Key, std::shared_ptr<const Entry>> entries_;
+  /// Insertion order for FIFO eviction (seq -> key).
+  std::map<uint64_t, Key> insert_order_;
+  uint64_t next_seq_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace prisma::gdh
+
+#endif  // PRISMA_GDH_PLAN_CACHE_H_

@@ -14,6 +14,7 @@
 #include "prismalog/parser.h"
 #include "sql/binder.h"
 #include "common/str_util.h"
+#include "sql/normalize.h"
 #include "sql/parser.h"
 
 namespace prisma::gdh {
@@ -328,6 +329,30 @@ void QueryProcess::Reply(Status status, Schema schema,
 // ------------------------------------------------------------------- SQL
 
 void QueryProcess::StartSql() {
+  // Probe the shared plan cache first (DESIGN.md §15.4): a repeated
+  // parameterized statement reuses the immutable split plan and skips the
+  // per-query parser/optimizer instance entirely. Only plain SELECTs are
+  // cached — EXPLAIN [ANALYZE] are diagnostics of the planning work
+  // itself, so they always run it.
+  PlanCache::Key cache_key;
+  bool cacheable = false;
+  if (config_.plan_cache != nullptr) {
+    auto normalized = sql::NormalizeStatement(config_.statement->text);
+    if (normalized.ok() && normalized->fingerprint.rfind("SELECT", 0) == 0) {
+      cacheable = true;
+      cache_key.fingerprint = std::move(normalized->fingerprint);
+      cache_key.params = std::move(normalized->params);
+      cache_key.exec_mode = config_.exec_mode;
+      ChargeCpu(config_.costs.plan_cache_probe_ns);
+      if (auto hit = config_.plan_cache->Lookup(cache_key); hit != nullptr) {
+        split_ = hit->split;
+        optimizer_report_ = hit->optimizer_report;
+        AcquireSelectLocks();
+        return;
+      }
+    }
+  }
+
   // Parsing + optimizing burns this coordinator's PE — the per-query
   // "instance of the parser and optimizer" of §2.2.
   ChargeCpu(config_.costs.optimize_ns);
@@ -370,18 +395,28 @@ void QueryProcess::StartSql() {
     Reply(split.status(), Schema(), nullptr);
     return;
   }
-  split_ = std::move(split).value();
+  split_ = std::make_shared<const DistributedPlan>(std::move(split).value());
+  if (cacheable) {
+    auto entry = std::make_shared<PlanCache::Entry>();
+    entry->split = split_;
+    entry->optimizer_report = optimizer_report_;
+    config_.plan_cache->Insert(cache_key, std::move(entry));
+  }
 
   if (explain_ && !analyze_) {
     ReplyExplain();
     return;
   }
 
+  AcquireSelectLocks();
+}
+
+void QueryProcess::AcquireSelectLocks() {
   // Shared locks on the fragments this statement can actually touch
   // (selections pinning the fragmentation key prune the rest).
   std::set<std::string> resources;
   part_fragments_.clear();
-  for (const LocalPart& part : split_.parts) {
+  for (const LocalPart& part : split_->parts) {
     if (part.exchange != nullptr) {
       // Exchange join: every fragment of both inputs is read on its own
       // PE, so lock all of them; the part's fragment list is the anchor
@@ -463,7 +498,7 @@ void QueryProcess::RequestLocks(std::vector<std::string> resources) {
 void QueryProcess::Scatter() {
   // Build the per-fragment work list.
   gathered_->assign(
-      is_prismalog_phase_ ? plog_tables_.size() : split_.parts.size(), {});
+      is_prismalog_phase_ ? plog_tables_.size() : split_->parts.size(), {});
   duplicate_of_.assign(gathered_->size(), SIZE_MAX);
   part_profiles_.assign(gathered_->size(), std::nullopt);
   work_->clear();
@@ -491,9 +526,9 @@ void QueryProcess::Scatter() {
     // Identical parts (common subexpressions, e.g. self-joins) are
     // scattered once and their gathered result shared (§2.4).
     std::map<std::string, size_t> part_shapes;
-    duplicate_of_.assign(split_.parts.size(), SIZE_MAX);
-    for (size_t i = 0; i < split_.parts.size(); ++i) {
-      const LocalPart& part = split_.parts[i];
+    duplicate_of_.assign(split_->parts.size(), SIZE_MAX);
+    for (size_t i = 0; i < split_->parts.size(); ++i) {
+      const LocalPart& part = split_->parts[i];
       if (part.exchange != nullptr) {
         // Exchange parts bypass CSE: their rendered plan is not the
         // executed artifact, and their gather is fed by dedicated
@@ -567,7 +602,7 @@ void QueryProcess::Scatter() {
 }
 
 size_t QueryProcess::ScatterExchangePart(size_t part_index) {
-  const LocalPart& part = split_.parts[part_index];
+  const LocalPart& part = split_->parts[part_index];
   const ExchangeJoinSpec& ex = *part.exchange;
   auto anchor_or = config_.dictionary->GetTable(ex.anchor_table);
   auto left_or = config_.dictionary->GetTable(ex.left_table);
@@ -673,7 +708,7 @@ size_t QueryProcess::ScatterExchangePart(size_t part_index) {
 }
 
 size_t QueryProcess::ScatterOlapPart(size_t part_index) {
-  const LocalPart& part = split_.parts[part_index];
+  const LocalPart& part = split_->parts[part_index];
   const OlapSpec& olap = *part.olap;
   auto info_or = config_.dictionary->GetTable(olap.table);
   PRISMA_CHECK(info_or.ok());
@@ -717,7 +752,7 @@ size_t QueryProcess::ScatterOlapPart(size_t part_index) {
 void QueryProcess::LaunchOlapShuffle(
     size_t part_index, std::shared_ptr<const std::vector<Tuple>> boundaries,
     bool send_now) {
-  const LocalPart& part = split_.parts[part_index];
+  const LocalPart& part = split_->parts[part_index];
   const OlapSpec& olap = *part.olap;
   auto info_or = config_.dictionary->GetTable(olap.table);
   PRISMA_CHECK(info_or.ok());
@@ -810,7 +845,7 @@ void QueryProcess::HandleOlapSample(size_t part_index, size_t slice,
   auto it = olap_work_.find(part_index);
   if (it == olap_work_.end()) return;
   OlapPartWork& state = it->second;
-  const OlapSpec& olap = *split_.parts[part_index].olap;
+  const OlapSpec& olap = *split_->parts[part_index].olap;
   if (!state.samples.Vote(1, static_cast<int>(slice))) return;
   if (reply.tuples != nullptr) {
     olap_sample_rows_ += reply.tuples->size();
@@ -946,7 +981,7 @@ void QueryProcess::FinishGather() {
                   std::make_move_iterator(slice.end()));
       slice.clear();
     }
-    if (split_.parts[part].olap->kind == OlapSpec::Kind::kGroupBy) {
+    if (split_->parts[part].olap->kind == OlapSpec::Kind::kGroupBy) {
       std::sort(sink.begin(), sink.end());
       ChargeCpu(static_cast<sim::SimTime>(sink.size()) *
                 config_.costs.compare_ns);
@@ -972,9 +1007,9 @@ void QueryProcess::RunGlobalPhase() {
   // global plan over them.
   std::vector<std::unique_ptr<storage::Relation>> relations;
   exec::MapTableResolver resolver;
-  for (size_t i = 0; i < split_.parts.size(); ++i) {
+  for (size_t i = 0; i < split_->parts.size(); ++i) {
     auto rel = std::make_unique<storage::Relation>(
-        PartName(i), split_.parts[i].plan->schema());
+        PartName(i), split_->parts[i].plan->schema());
     for (Tuple& t : (*gathered_)[i]) {
       auto row = rel->Insert(std::move(t));
       if (!row.ok()) {
@@ -993,7 +1028,7 @@ void QueryProcess::RunGlobalPhase() {
   exec_opts.enable_subtree_cache = optimizer_report_.enable_subtree_cache;
   exec_opts.profile = analyze_;
   exec::Executor executor(&resolver, exec_opts);
-  auto result = executor.Execute(*split_.global);
+  auto result = executor.Execute(*split_->global);
   if (!result.ok()) {
     Reply(result.status(), Schema(), nullptr);
     return;
@@ -1002,7 +1037,7 @@ void QueryProcess::RunGlobalPhase() {
     ReplyAnalyze(*executor.profile());
     return;
   }
-  Reply(Status::OK(), split_.global->schema(),
+  Reply(Status::OK(), split_->global->schema(),
         std::make_shared<std::vector<Tuple>>(std::move(result).value()));
 }
 
@@ -1020,16 +1055,16 @@ void QueryProcess::ReplyExplain() {
                  optimizer_report_.selections_pushed,
                  optimizer_report_.joins_reordered,
                  optimizer_report_.common_subtrees,
-                 split_.pushed_aggregate ? "yes" : "no",
-                 split_.colocated_joins, split_.exchange_joins,
-                 split_.olap_parts));
+                 split_->pushed_aggregate ? "yes" : "no",
+                 split_->colocated_joins, split_->exchange_joins,
+                 split_->olap_parts));
   emit("global plan (runs at the query coordinator):");
   for (const std::string& line :
-       Split(split_.global->ToString(), '\n')) {
+       Split(split_->global->ToString(), '\n')) {
     if (!line.empty()) emit("  " + line);
   }
-  for (size_t i = 0; i < split_.parts.size(); ++i) {
-    const LocalPart& part = split_.parts[i];
+  for (size_t i = 0; i < split_->parts.size(); ++i) {
+    const LocalPart& part = split_->parts[i];
     if (part.olap != nullptr) {
       const OlapSpec& olap = *part.olap;
       auto info = config_.dictionary->GetTable(olap.table);
@@ -1104,15 +1139,15 @@ void QueryProcess::ReplyAnalyze(const obs::OperatorProfile& global) {
                  optimizer_report_.selections_pushed,
                  optimizer_report_.joins_reordered,
                  optimizer_report_.common_subtrees,
-                 split_.pushed_aggregate ? "yes" : "no",
-                 split_.colocated_joins, split_.exchange_joins,
-                 split_.olap_parts));
+                 split_->pushed_aggregate ? "yes" : "no",
+                 split_->colocated_joins, split_->exchange_joins,
+                 split_->olap_parts));
   emit("global plan (ran at the query coordinator):");
   std::vector<std::string> rendered;
   obs::RenderProfile(global, 1, &rendered);
   for (const std::string& line : rendered) emit(line);
-  for (size_t i = 0; i < split_.parts.size(); ++i) {
-    const LocalPart& part = split_.parts[i];
+  for (size_t i = 0; i < split_->parts.size(); ++i) {
+    const LocalPart& part = split_->parts[i];
     if (duplicate_of_[i] != SIZE_MAX) {
       emit(StrFormat("part %zu (table %s): reuses part %zu "
                      "(common subexpression)",

@@ -16,6 +16,7 @@
 #include "gdh/messages.h"
 #include "gdh/optimizer.h"
 #include "gdh/pe_registry.h"
+#include "gdh/plan_cache.h"
 #include "gdh/stage.h"
 #include "obs/metrics.h"
 #include "obs/query_profile.h"
@@ -66,6 +67,9 @@ class QueryProcess : public pool::Process {
     /// Directory of co-located fragments (may be null): exchange consumers
     /// resolve their stationary-side scans through it.
     const PeLocalRegistry* registry = nullptr;
+    /// Machine-wide shared plan cache (may be null: every statement is
+    /// planned from scratch). Probed/filled by StartSql (DESIGN.md §15.4).
+    PlanCache* plan_cache = nullptr;
     /// Streaming exchange framing: max tuples per batch and batches in
     /// flight per channel (DESIGN.md §10).
     uint64_t exchange_batch_rows = 64;
@@ -99,6 +103,9 @@ class QueryProcess : public pool::Process {
 
  private:
   void StartSql();
+  /// Collects the shared fragment locks of every part of `split_` (with
+  /// fragmentation-key pruning) and sends the lock batch to the GDH.
+  void AcquireSelectLocks();
   void ReplyExplain();
   /// EXPLAIN ANALYZE: renders the measured per-operator profiles (global
   /// plan + merged fragment profiles per part) as the result rows.
@@ -136,8 +143,9 @@ class QueryProcess : public pool::Process {
   sim::EventId timeout_event_ = 0;
   sim::SimTime start_time_ = 0;
 
-  // SELECT state.
-  DistributedPlan split_;
+  // SELECT state. The split plan is immutable once built and may be
+  // shared with the plan cache and concurrent queries (read-only here).
+  std::shared_ptr<const DistributedPlan> split_;
   OptimizerReport optimizer_report_;
   bool is_prismalog_phase_ = false;
   bool explain_ = false;

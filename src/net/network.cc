@@ -204,4 +204,10 @@ double Network::PeakLinkUtilization() const {
   return static_cast<double>(peak) / static_cast<double>(now);
 }
 
+int Network::TotalBacklog() const {
+  int total = 0;
+  for (const LinkState& l : links_) total += l.backlog;
+  return total;
+}
+
 }  // namespace prisma::net

@@ -193,6 +193,13 @@ class Network {
   /// Busy-time fraction of the most loaded directed link over [0, now].
   double PeakLinkUtilization() const;
 
+  /// Messages currently queued or in transmission, summed over every
+  /// directed link. This is the live backpressure level the serving
+  /// dispatcher keys its admission watermarks off (DESIGN.md §15.2) —
+  /// unlike Stats::max_link_backlog it falls back to zero when queues
+  /// drain, so hysteresis can re-open admission.
+  int TotalBacklog() const;
+
   /// Mirrors transport statistics into the machine-wide registry
   /// (net.messages_sent, net.messages_delivered, net.link_bits,
   /// net.latency_ns histogram) and, when the tracer is enabled, records a

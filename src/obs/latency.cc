@@ -1,0 +1,49 @@
+#include "obs/latency.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace prisma::obs {
+
+void LatencyHistogram::Record(int64_t sample_ns) {
+  ++samples_[sample_ns];
+  ++count_;
+  sum_ += sample_ns;
+}
+
+int64_t LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank: the ceil(q*n)-th smallest sample (1-based); rank 0 maps
+  // to the minimum so Quantile(0) is still a real sample.
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  rank = std::max<uint64_t>(rank, 1);
+  uint64_t seen = 0;
+  for (const auto& [value, occurrences] : samples_) {
+    seen += occurrences;
+    if (seen >= rank) return value;
+  }
+  return samples_.rbegin()->first;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (const auto& [value, occurrences] : other.samples_) {
+    samples_[value] += occurrences;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+std::string LatencyHistogram::DumpLine() const {
+  return StrFormat("count=%llu sum=%lld p50=%lld p99=%lld p999=%lld",
+                   static_cast<unsigned long long>(count_),
+                   static_cast<long long>(sum_),
+                   static_cast<long long>(P50()),
+                   static_cast<long long>(P99()),
+                   static_cast<long long>(P999()));
+}
+
+}  // namespace prisma::obs

@@ -1,0 +1,55 @@
+#ifndef PRISMA_OBS_LATENCY_H_
+#define PRISMA_OBS_LATENCY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace prisma::obs {
+
+/// Exact latency distribution for the serving layer (DESIGN.md §15.3).
+///
+/// The registry Histogram's power-of-two buckets are fine for byte-stable
+/// dumps but too coarse for tail latencies: at 1 ms a bucket spans ~0.5 ms,
+/// which swallows the p99/p999 story entirely. This histogram keeps an
+/// exact sample->count map instead. Serving runs record at most a few
+/// thousand distinct virtual-time latencies, so memory stays small, and
+/// the sorted map makes every quantile deterministic and order-independent
+/// (same samples in any order -> same quantiles, same rendering).
+class LatencyHistogram {
+ public:
+  void Record(int64_t sample_ns);
+
+  /// Nearest-rank quantile: the smallest recorded value v such that at
+  /// least ceil(q * count) samples are <= v. Exact, not interpolated; for
+  /// an empty histogram returns 0. q is clamped to [0, 1].
+  int64_t Quantile(double q) const;
+
+  int64_t P50() const { return Quantile(0.50); }
+  int64_t P99() const { return Quantile(0.99); }
+  int64_t P999() const { return Quantile(0.999); }
+
+  /// Adds every sample of `other` into this histogram (count-wise; exact).
+  void Merge(const LatencyHistogram& other);
+
+  uint64_t count() const { return count_; }
+  int64_t sum() const { return sum_; }
+  int64_t min() const { return count_ == 0 ? 0 : samples_.begin()->first; }
+  int64_t max() const { return count_ == 0 ? 0 : samples_.rbegin()->first; }
+  int64_t mean() const {
+    return count_ == 0 ? 0 : sum_ / static_cast<int64_t>(count_);
+  }
+
+  /// One-line byte-stable rendering used by same-seed replay diffs:
+  /// "count=5 sum=150 p50=30 p99=50 p999=50".
+  std::string DumpLine() const;
+
+ private:
+  std::map<int64_t, uint64_t> samples_;  // value -> occurrences (sorted).
+  uint64_t count_ = 0;
+  int64_t sum_ = 0;
+};
+
+}  // namespace prisma::obs
+
+#endif  // PRISMA_OBS_LATENCY_H_

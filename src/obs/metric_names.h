@@ -74,6 +74,9 @@ inline constexpr const char* kRegisteredMetricNames[] = {
     "pool.mail_dropped",
     "pool.mail_sent",
     "query.fragments_contacted",
+    "query.plan_cache.hit",
+    "query.plan_cache.invalidate",
+    "query.plan_cache.miss",
     "query.tuples_gathered",
     "query.unavailable",
     "replica.failovers",
@@ -85,6 +88,9 @@ inline constexpr const char* kRegisteredMetricNames[] = {
     "replica.resyncs_completed",
     "replica.resyncs_started",
     "replica.stale_marks",
+    "serve.admitted",
+    "serve.completed",
+    "serve.shed",
     // PRISMA_METRICS_END
 };
 

@@ -62,6 +62,9 @@ struct CostModel {
   sim::SimTime batch_row_ns = 100;
   /// Cost of parsing + optimizing a query in the GDH, per query.
   sim::SimTime optimize_ns = 300'000;
+  /// Cost of normalizing a statement and probing the shared plan cache
+  /// (DESIGN.md §15.4); charged instead of optimize_ns on a cache hit.
+  sim::SimTime plan_cache_probe_ns = 15'000;
 };
 
 class Runtime;

@@ -1,0 +1,159 @@
+#include "serve/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace prisma::serve {
+
+const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kPointRead:
+      return "point_read";
+    case QueryKind::kPointWrite:
+      return "point_write";
+    case QueryKind::kGroupBy:
+      return "group_by";
+    case QueryKind::kJoinGroupBy:
+      return "join_group_by";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Exponential draw with the given mean (inverse-CDF over a (0,1] uniform;
+/// 1 - NextDouble() avoids log(0)).
+double ExpDraw(Rng& rng, double mean) {
+  return -mean * std::log(1.0 - rng.NextDouble());
+}
+
+QueryKind DrawKind(Rng& rng, const QueryMix& mix) {
+  const double total =
+      mix.point_read + mix.point_write + mix.group_by + mix.join_group_by;
+  if (total <= 0) return QueryKind::kPointRead;
+  double draw = rng.NextDouble() * total;
+  if ((draw -= mix.point_read) < 0) return QueryKind::kPointRead;
+  if ((draw -= mix.point_write) < 0) return QueryKind::kPointWrite;
+  if ((draw -= mix.group_by) < 0) return QueryKind::kGroupBy;
+  return QueryKind::kJoinGroupBy;
+}
+
+std::string RenderSql(QueryKind kind, Rng& rng, int key_domain) {
+  switch (kind) {
+    case QueryKind::kPointRead:
+      return StrFormat("SELECT v FROM item WHERE id = %d",
+                       static_cast<int>(rng.Uniform(
+                           static_cast<uint64_t>(key_domain))));
+    case QueryKind::kPointWrite:
+      return StrFormat("UPDATE item SET v = v + 1 WHERE id = %d",
+                       static_cast<int>(rng.Uniform(
+                           static_cast<uint64_t>(key_domain))));
+    case QueryKind::kGroupBy:
+      return "SELECT grp, COUNT(*) AS n, SUM(v) AS total FROM item "
+             "GROUP BY grp ORDER BY grp";
+    case QueryKind::kJoinGroupBy:
+      return "SELECT name, COUNT(*) AS n, SUM(v) AS total "
+             "FROM item i JOIN grp_dim d ON i.grp = d.grp "
+             "GROUP BY name ORDER BY name";
+  }
+  return "SELECT v FROM item WHERE id = 0";
+}
+
+}  // namespace
+
+WorkloadGenerator::WorkloadGenerator(uint64_t seed, WorkloadProfile profile)
+    : seed_(seed), profile_(std::move(profile)) {}
+
+std::vector<ArrivalEvent> WorkloadGenerator::Generate() const {
+  std::vector<ArrivalEvent> schedule;
+  const int sessions = std::max(profile_.sessions, 1);
+  // Per-session base rate in statements per virtual nanosecond.
+  const double session_rate =
+      profile_.offered_qps / static_cast<double>(sessions) /
+      static_cast<double>(sim::kNanosPerSecond);
+  if (session_rate <= 0 || profile_.duration_ns <= 0) return schedule;
+  const double mean_gap_ns = 1.0 / session_rate;
+  for (int s = 0; s < sessions; ++s) {
+    // One independent stream per session: the schedule is insensitive to
+    // generation order and stable when `sessions` changes.
+    Rng rng(seed_ * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(s) + 1);
+    double now = 0;
+    if (profile_.arrival == ArrivalProcess::kPoisson) {
+      for (now += ExpDraw(rng, mean_gap_ns);
+           now < static_cast<double>(profile_.duration_ns);
+           now += ExpDraw(rng, mean_gap_ns)) {
+        ArrivalEvent event;
+        event.at_ns = static_cast<sim::SimTime>(now);
+        event.session = s;
+        event.kind = DrawKind(rng, profile_.mix);
+        event.sql = RenderSql(event.kind, rng, profile_.key_domain);
+        schedule.push_back(std::move(event));
+      }
+    } else {
+      // Bursty on/off: inside a burst the session runs `factor` times its
+      // base rate; the idle gap mean of burst_mean * (factor - 1) gives a
+      // 1/factor duty cycle, so the long-run average is still the base
+      // rate — offered_qps is preserved, just lumpier.
+      const double factor = std::max(profile_.burst_factor, 1.0);
+      const double in_burst_gap = mean_gap_ns / factor;
+      const double burst_mean = static_cast<double>(profile_.burst_mean_ns);
+      const double idle_mean = burst_mean * (factor - 1.0);
+      while (now < static_cast<double>(profile_.duration_ns)) {
+        const double burst_end =
+            std::min(now + ExpDraw(rng, burst_mean),
+                     static_cast<double>(profile_.duration_ns));
+        for (double t = now + ExpDraw(rng, in_burst_gap); t < burst_end;
+             t += ExpDraw(rng, in_burst_gap)) {
+          ArrivalEvent event;
+          event.at_ns = static_cast<sim::SimTime>(t);
+          event.session = s;
+          event.kind = DrawKind(rng, profile_.mix);
+          event.sql = RenderSql(event.kind, rng, profile_.key_domain);
+          schedule.push_back(std::move(event));
+        }
+        now = burst_end + (idle_mean > 0 ? ExpDraw(rng, idle_mean) : 0);
+      }
+    }
+  }
+  std::sort(schedule.begin(), schedule.end(),
+            [](const ArrivalEvent& a, const ArrivalEvent& b) {
+              if (a.at_ns != b.at_ns) return a.at_ns < b.at_ns;
+              return a.session < b.session;
+            });
+  return schedule;
+}
+
+Status WorkloadGenerator::SetupSchema(core::PrismaDb* db, int rows,
+                                      int fragments) {
+  auto run = [db](const std::string& sql) -> Status {
+    auto result = db->Execute(sql);
+    if (!result.ok()) return result.status();
+    return Status::OK();
+  };
+  RETURN_IF_ERROR(
+      run(StrFormat("CREATE TABLE item (id INT, grp INT, v INT) "
+                    "FRAGMENTED BY HASH(id) INTO %d FRAGMENTS",
+                    fragments)));
+  RETURN_IF_ERROR(run("CREATE TABLE grp_dim (grp INT, name STRING)"));
+  static const char* kGroupNames[] = {"alpha", "bravo", "charlie", "delta",
+                                      "echo",  "foxtrot", "golf",  "hotel"};
+  for (int g = 0; g < 8; ++g) {
+    RETURN_IF_ERROR(run(StrFormat(
+        "INSERT INTO grp_dim VALUES (%d, '%s')", g, kGroupNames[g])));
+  }
+  for (int base = 0; base < rows; base += 200) {
+    std::string sql = "INSERT INTO item VALUES ";
+    const int end = std::min(base + 200, rows);
+    for (int id = base; id < end; ++id) {
+      if (id > base) sql += ", ";
+      sql += StrFormat("(%d, %d, %d)", id, id % 8, id % 100);
+    }
+    RETURN_IF_ERROR(run(sql));
+  }
+  return Status::OK();
+}
+
+}  // namespace prisma::serve

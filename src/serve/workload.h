@@ -1,0 +1,102 @@
+#ifndef PRISMA_SERVE_WORKLOAD_H_
+#define PRISMA_SERVE_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/prisma_db.h"
+#include "sim/simulator.h"
+
+namespace prisma::serve {
+
+/// Statement shapes a serving session can issue (DESIGN.md §15.1). The
+/// mix mirrors production traffic against a PRISMA machine: cheap
+/// parameterized point accesses dominating, a tail of analytic shapes
+/// (the TPC-H-lite forms of E14) keeping the exchange layer busy.
+enum class QueryKind : uint8_t {
+  kPointRead,   // SELECT v FROM item WHERE id = ?
+  kPointWrite,  // UPDATE item SET v = v + 1 WHERE id = ?
+  kGroupBy,     // Fragment-parallel GROUP BY over the fact table.
+  kJoinGroupBy, // TPC-H-lite q8 shape: join + group-by + order-by.
+};
+
+const char* QueryKindName(QueryKind kind);
+
+/// How session inter-arrival gaps are drawn.
+enum class ArrivalProcess : uint8_t {
+  /// Exponential gaps — memoryless open-loop sessions.
+  kPoisson,
+  /// On/off phases: inside a burst the session issues at `burst_factor`
+  /// times its base rate, between bursts it idles. Models synchronized
+  /// client stampedes; the aggregate rate still matches `offered_qps`.
+  kBursty,
+};
+
+/// Relative statement-mix weights (normalized internally; all-zero falls
+/// back to point reads only).
+struct QueryMix {
+  double point_read = 0.70;
+  double point_write = 0.10;
+  double group_by = 0.15;
+  double join_group_by = 0.05;
+};
+
+/// One open-loop workload: `sessions` independent simulated clients, each
+/// issuing statements on the shared sim clock at an aggregate rate of
+/// `offered_qps` (virtual queries per virtual second) for `duration_ns`.
+/// Open-loop means arrival times never wait for completions — exactly the
+/// regime where an overloaded server must shed rather than queue forever.
+struct WorkloadProfile {
+  int sessions = 1000;
+  ArrivalProcess arrival = ArrivalProcess::kPoisson;
+  double offered_qps = 200.0;
+  sim::SimTime duration_ns = 2 * sim::kNanosPerSecond;
+  QueryMix mix;
+  /// kBursty: inside a burst the session issues at `burst_factor` times
+  /// its base rate; bursts have exponential mean `burst_mean_ns` and the
+  /// idle gaps between them are sized (burst_mean_ns * (factor - 1)) so
+  /// the long-run rate still averages `offered_qps`.
+  double burst_factor = 8.0;
+  sim::SimTime burst_mean_ns = 50 * sim::kNanosPerMilli;
+  /// Point statements draw their id from [0, key_domain). A small domain
+  /// re-parameterizes the same statements often — the plan-cache sweet
+  /// spot production traffic actually exhibits.
+  int key_domain = 512;
+};
+
+/// One statement arrival of one session.
+struct ArrivalEvent {
+  sim::SimTime at_ns = 0;
+  int session = 0;
+  QueryKind kind = QueryKind::kPointRead;
+  std::string sql;
+};
+
+/// Seeded, fully deterministic generator: the schedule is a pure function
+/// of (seed, profile) — per-session RNG streams make it independent of
+/// generation order, and ties are broken by session id, so the same seed
+/// always yields the byte-identical statement sequence.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(uint64_t seed, WorkloadProfile profile);
+
+  /// The full arrival schedule, sorted by (time, session).
+  std::vector<ArrivalEvent> Generate() const;
+
+  const WorkloadProfile& profile() const { return profile_; }
+
+  /// Creates and loads the serving schema the mix statements run against:
+  /// `item(id, grp, v)` hash-fragmented `fragments` ways with `rows` rows,
+  /// and the 8-row `grp_dim(grp, name)` dimension joined by kJoinGroupBy.
+  static Status SetupSchema(core::PrismaDb* db, int rows, int fragments);
+
+ private:
+  uint64_t seed_;
+  WorkloadProfile profile_;
+};
+
+}  // namespace prisma::serve
+
+#endif  // PRISMA_SERVE_WORKLOAD_H_

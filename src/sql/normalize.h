@@ -1,0 +1,38 @@
+#ifndef PRISMA_SQL_NORMALIZE_H_
+#define PRISMA_SQL_NORMALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace prisma::sql {
+
+/// A statement reduced to its parameterized shape (DESIGN.md §15.4).
+///
+/// `fingerprint` is the token stream rendered with canonical single-space
+/// separation, identifiers upper-cased and every literal replaced by `?`;
+/// `params` holds the literals in order of appearance, rendered exactly
+/// (ints as decimal, doubles via %.17g, strings with a quote prefix so
+/// ': 1' and 1 cannot collide). Two statements with the same fingerprint
+/// differ only in literals and formatting:
+///
+///   "select  name FROM emp WHERE dept = 'sales'"
+///   "SELECT name FROM emp WHERE dept='eng'"
+///
+/// both fingerprint to "SELECT NAME FROM EMP WHERE DEPT = ?". The plan
+/// cache keys on fingerprint + params (constants are embedded in the
+/// optimized plan — fragment pruning depends on them — so equal params are
+/// required for a hit; the fingerprint still buys formatting insensitivity
+/// and gives the cache its statement-shape identity).
+struct NormalizedStatement {
+  std::string fingerprint;
+  std::vector<std::string> params;
+};
+
+/// Tokenizes and normalizes `text`; fails only if the lexer does.
+StatusOr<NormalizedStatement> NormalizeStatement(const std::string& text);
+
+}  // namespace prisma::sql
+
+#endif  // PRISMA_SQL_NORMALIZE_H_

@@ -14,6 +14,8 @@
 #include "core/prisma_db.h"
 #include "exec/transitive_closure.h"
 #include "gdh/replication.h"
+#include "serve/dispatcher.h"
+#include "serve/workload.h"
 #include "soak_repro.h"
 
 namespace prisma::core {
@@ -843,6 +845,116 @@ TEST(ChaosTest, FixpointSameSeedReplayIsByteIdenticalIncludingTraces) {
   ASSERT_EQ(a.trace.size(), b.trace.size());
   EXPECT_EQ(a.trace, b.trace);
   EXPECT_NE(a.metrics.find("fixpoint.batches_sent"), std::string::npos);
+}
+
+// --------------------------------------- Serving layer under chaos (§15)
+
+struct ServingSoakOutcome {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t shed = 0;
+  uint64_t unavailable = 0;
+  uint64_t crashes = 0;
+  uint64_t dropped = 0;
+  uint64_t duplicated = 0;
+  std::string latency_line;
+  std::string metrics;
+  std::string trace;
+};
+
+/// Open-loop serving workload through the admission dispatcher on the
+/// lossy/crashing ChaosMachine, offered well past the machine's fault-free
+/// saturation (bench_serving's sweep knees near ~100 qps at this scale).
+/// The contract under fire: EVERY session statement resolves — an answer,
+/// a typed Unavailable from the RPC layer, or a typed Overloaded shed at
+/// admission — never a hang, and the same seed replays byte-identically.
+ServingSoakOutcome RunServingChaosSoak(uint64_t seed, bool trace = false) {
+  MachineConfig config = ChaosMachine(seed);
+  config.enable_tracing = trace;
+  PrismaDb db(config);
+  PRISMA_CHECK(
+      serve::WorkloadGenerator::SetupSchema(&db, /*rows=*/48, kFragments)
+          .ok());
+
+  serve::WorkloadProfile profile;
+  profile.sessions = 40;
+  // Well past 2x this machine's saturation for an analytics-heavy mix
+  // (the dispatcher queue must actually fill): overload, not fair weather.
+  profile.offered_qps = 1500;
+  profile.duration_ns = sim::kNanosPerSecond / 2;
+  profile.mix = {0.4, 0.1, 0.4, 0.1};
+  serve::WorkloadGenerator generator(seed, profile);
+
+  serve::Dispatcher dispatcher(&db, serve::DispatcherOptions());
+  for (const serve::ArrivalEvent& event : generator.Generate()) {
+    dispatcher.Submit(
+        event.sql, exec::kAutoCommit,
+        [](const gdh::ClientReply& reply, sim::SimTime) {
+          // Typed resolution only: success, shed at admission, or an RPC
+          // budget exhausted against a crashed PE. Anything else (a lexer
+          // error, a wrong-answer shape) is a bug, not degradation.
+          PRISMA_CHECK(reply.status.ok() ||
+                       reply.status.code() == StatusCode::kOverloaded ||
+                       reply.status.code() == StatusCode::kUnavailable)
+              << reply.status.ToString();
+        },
+        event.at_ns);
+  }
+  dispatcher.Run();
+
+  const serve::Dispatcher::Stats& stats = dispatcher.stats();
+  PRISMA_CHECK(stats.submitted == stats.completed + stats.shed)
+      << "serving soak hang under seed " << seed << ": " << stats.submitted
+      << " submitted, " << stats.completed << " completed, " << stats.shed
+      << " shed";
+  ServingSoakOutcome out;
+  out.submitted = stats.submitted;
+  out.completed = stats.completed;
+  out.shed = stats.shed;
+  out.unavailable = stats.unavailable;
+  out.crashes = db.metrics().CounterTotal("pe.crashes");
+  out.dropped = db.network().stats().dropped;
+  out.duplicated = db.network().stats().duplicated;
+  out.latency_line = dispatcher.latency().DumpLine();
+  out.metrics = db.DumpMetrics();
+  if (trace) out.trace = db.DumpTrace();
+  return out;
+}
+
+TEST(ChaosTest, ServingSoakShedsButNeverHangsAcross25Seeds) {
+  uint64_t total_shed = 0;
+  uint64_t total_completed = 0;
+  uint64_t total_dropped = 0;
+  for (const uint64_t seed : SoakSeeds(1, 25)) {
+    PRISMA_SEED_REPRO("ChaosTest.ServingSoakShedsButNeverHangsAcross25Seeds",
+                      seed);
+    const ServingSoakOutcome out = RunServingChaosSoak(seed);
+    EXPECT_EQ(out.crashes, 1u);  // The scheduled PE crash fired.
+    EXPECT_GT(out.completed, 0u);
+    total_shed += out.shed;
+    total_completed += out.completed;
+    total_dropped += out.dropped;
+  }
+  if (SingleSeedMode()) return;
+  // Overload was real (admission shed), faults were real (drops landed),
+  // and the machine still served the bulk of the offered statements.
+  EXPECT_GT(total_shed, 0u);
+  EXPECT_GT(total_dropped, 0u);
+  EXPECT_GT(total_completed, total_shed / 10);
+}
+
+TEST(ChaosTest, ServingSameSeedReplayIsByteIdenticalIncludingTraces) {
+  const ServingSoakOutcome a = RunServingChaosSoak(9, /*trace=*/true);
+  const ServingSoakOutcome b = RunServingChaosSoak(9, /*trace=*/true);
+  EXPECT_EQ(a.submitted, b.submitted);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.shed, b.shed);
+  EXPECT_EQ(a.unavailable, b.unavailable);
+  EXPECT_EQ(a.latency_line, b.latency_line);  // Exact quantiles replay too.
+  EXPECT_EQ(a.metrics, b.metrics);
+  ASSERT_FALSE(a.trace.empty());
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  EXPECT_EQ(a.trace, b.trace);
 }
 
 // ------------------------------------------------- Presumed-abort details

@@ -5,6 +5,7 @@
 
 #include "common/str_util.h"
 #include "core/prisma_db.h"
+#include "obs/latency.h"
 #include "obs/metrics.h"
 #include "obs/query_profile.h"
 #include "obs/trace.h"
@@ -316,6 +317,57 @@ TEST(ObservabilityEndToEnd, SameQueryTwiceYieldsIdenticalTraceSegments) {
   ASSERT_TRUE(db.Execute("SELECT COUNT(*) FROM emp").ok());
   EXPECT_EQ(db.tracer().num_events(), events_first);
   EXPECT_GT(events_first, 0u);
+}
+
+// -------------------------------------------------------- LatencyHistogram
+
+TEST(LatencyHistogramTest, ExactQuantilesOnKnownDistribution) {
+  obs::LatencyHistogram h;
+  // 1..1000 in scrambled order: nearest-rank quantiles are exact values,
+  // not bucket boundaries.
+  for (int64_t v = 1000; v >= 1; --v) h.Record(v);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 1000);
+  EXPECT_EQ(h.sum(), 1000 * 1001 / 2);
+  EXPECT_EQ(h.P50(), 500);
+  EXPECT_EQ(h.P99(), 990);
+  EXPECT_EQ(h.P999(), 999);
+  EXPECT_EQ(h.Quantile(0.0), 1);
+  EXPECT_EQ(h.Quantile(1.0), 1000);
+}
+
+TEST(LatencyHistogramTest, DuplicatesAndSmallCounts) {
+  obs::LatencyHistogram h;
+  EXPECT_EQ(h.P50(), 0);  // Empty histogram reads zero.
+  h.Record(7);
+  EXPECT_EQ(h.P50(), 7);
+  EXPECT_EQ(h.P999(), 7);  // A single sample is every quantile.
+  for (int i = 0; i < 9; ++i) h.Record(7);
+  h.Record(100);
+  // 10x value 7, 1x value 100: p50 is 7, only the extreme tail sees 100.
+  EXPECT_EQ(h.P50(), 7);
+  EXPECT_EQ(h.Quantile(10.0 / 11.0), 7);
+  EXPECT_EQ(h.P999(), 100);
+}
+
+TEST(LatencyHistogramTest, MergeMatchesRecordingIntoOne) {
+  obs::LatencyHistogram a;
+  obs::LatencyHistogram b;
+  obs::LatencyHistogram all;
+  for (int64_t v = 1; v <= 60; ++v) {
+    ((v % 3 == 0) ? a : b).Record(v * 10);
+    all.Record(v * 10);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.sum(), all.sum());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  for (double q : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(a.Quantile(q), all.Quantile(q)) << "q=" << q;
+  }
+  EXPECT_EQ(a.DumpLine(), all.DumpLine());
 }
 
 }  // namespace
